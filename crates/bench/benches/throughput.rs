@@ -1,0 +1,224 @@
+//! Criterion throughput benches: update cost (ns/op) and query latency for
+//! every sketch in the workspace, α-property algorithms next to their
+//! unbounded-deletion baselines, plus the hashing substrate and a CSSS
+//! sampling-strategy ablation (DESIGN.md §6).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use bd_core::{
+    AlphaHeavyHitters, AlphaInnerProduct, AlphaL0Estimator, AlphaL1Estimator, AlphaL1General,
+    Csss, Params,
+};
+use bd_sketch::{CountMin, CountSketch, L0Estimator, LogCosL1, MorrisCounter};
+use bd_stream::gen::BoundedDeletionGen;
+use bd_stream::StreamBatch;
+
+const N: u64 = 1 << 16;
+
+fn stream_for_bench(seed: u64) -> StreamBatch {
+    let mut rng = StdRng::seed_from_u64(seed);
+    BoundedDeletionGen::new(N, 50_000, 4.0).generate(&mut rng)
+}
+
+fn bench_hashing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hash");
+    let mut rng = StdRng::seed_from_u64(1);
+    for k in [2usize, 4, 8] {
+        let h = bd_hash::KWiseHash::new(&mut rng, k, 1 << 16);
+        g.bench_with_input(BenchmarkId::new("kwise", k), &h, |b, h| {
+            let mut x = 0u64;
+            b.iter(|| {
+                x = x.wrapping_add(0x9e37_79b9);
+                black_box(h.hash(x))
+            });
+        });
+    }
+    let row = bd_hash::CauchyRow::new(&mut rng, 6);
+    g.bench_function("cauchy_entry", |b| {
+        let mut x = 0u64;
+        b.iter(|| {
+            x += 1;
+            black_box(row.entry(x))
+        });
+    });
+    g.finish();
+}
+
+fn bench_point_query_sketches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("point_query");
+    let stream = stream_for_bench(2);
+    let params = Params::practical(N, 0.1, 4.0);
+
+    g.bench_function("countsketch_update", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut cs = CountSketch::<i64>::new(&mut rng, 9, 480);
+        let mut it = stream.updates.iter().cycle();
+        b.iter(|| {
+            let u = it.next().unwrap();
+            cs.update(u.item, u.delta);
+        });
+    });
+    g.bench_function("countmin_update", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut cm = CountMin::new(&mut rng, 5, 512);
+        let mut it = stream.updates.iter().cycle();
+        b.iter(|| {
+            let u = it.next().unwrap();
+            cm.update(u.item, u.delta);
+        });
+    });
+    g.bench_function("csss_update", |b| {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut cs = Csss::new(&mut rng, 80, 9, params.csss_sample_budget());
+        let mut it = stream.updates.iter().cycle();
+        b.iter(|| {
+            let u = it.next().unwrap();
+            cs.update(&mut rng, u.item, u.delta);
+        });
+    });
+    g.bench_function("csss_query", |b| {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut cs = Csss::new(&mut rng, 80, 9, params.csss_sample_budget());
+        for u in &stream {
+            cs.update(&mut rng, u.item, u.delta);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % N;
+            black_box(cs.estimate(i))
+        });
+    });
+    g.finish();
+}
+
+fn bench_heavy_hitters(c: &mut Criterion) {
+    let mut g = c.benchmark_group("heavy_hitters");
+    let stream = stream_for_bench(7);
+    let params = Params::practical(N, 0.1, 4.0);
+    g.bench_function("alpha_hh_update", |b| {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut hh = AlphaHeavyHitters::new_strict(&mut rng, &params);
+        let mut it = stream.updates.iter().cycle();
+        b.iter(|| {
+            let u = it.next().unwrap();
+            hh.update(&mut rng, u.item, u.delta);
+        });
+    });
+    g.finish();
+}
+
+fn bench_l1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("l1");
+    let stream = stream_for_bench(9);
+    let params = Params::practical(N, 0.25, 4.0);
+    g.bench_function("alpha_l1_strict_update", |b| {
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut e = AlphaL1Estimator::new(&params);
+        let mut it = stream.updates.iter().cycle();
+        b.iter(|| {
+            let u = it.next().unwrap();
+            e.update(&mut rng, u.item, u.delta);
+        });
+    });
+    g.bench_function("alpha_l1_general_update", |b| {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut e = AlphaL1General::new(&mut rng, &params);
+        let mut it = stream.updates.iter().cycle();
+        b.iter(|| {
+            let u = it.next().unwrap();
+            e.update(&mut rng, u.item, u.delta);
+        });
+    });
+    g.bench_function("logcos_baseline_update", |b| {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut e = LogCosL1::new(&mut rng, 0.25);
+        let mut it = stream.updates.iter().cycle();
+        b.iter(|| {
+            let u = it.next().unwrap();
+            e.update(u.item, u.delta);
+        });
+    });
+    g.bench_function("morris_tick", |b| {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut m = MorrisCounter::new();
+        b.iter(|| m.tick(&mut rng));
+    });
+    g.finish();
+}
+
+fn bench_l0(c: &mut Criterion) {
+    let mut g = c.benchmark_group("l0");
+    let stream = stream_for_bench(14);
+    let params = Params::practical(N, 0.25, 4.0);
+    g.bench_function("alpha_l0_update", |b| {
+        let mut rng = StdRng::seed_from_u64(15);
+        let mut e = AlphaL0Estimator::new(&mut rng, &params);
+        let mut it = stream.updates.iter().cycle();
+        b.iter(|| {
+            let u = it.next().unwrap();
+            e.update(&mut rng, u.item, u.delta);
+        });
+    });
+    g.bench_function("knw_l0_baseline_update", |b| {
+        let mut rng = StdRng::seed_from_u64(16);
+        let mut e = L0Estimator::new(&mut rng, N, 0.25);
+        let mut it = stream.updates.iter().cycle();
+        b.iter(|| {
+            let u = it.next().unwrap();
+            e.update(u.item, u.delta);
+        });
+    });
+    g.finish();
+}
+
+fn bench_inner_product(c: &mut Criterion) {
+    let mut g = c.benchmark_group("inner_product");
+    let stream = stream_for_bench(17);
+    let params = Params::practical(N, 0.1, 4.0);
+    g.bench_function("alpha_ip_update", |b| {
+        let mut rng = StdRng::seed_from_u64(18);
+        let mut ip = AlphaInnerProduct::new(&mut rng, &params);
+        let mut it = stream.updates.iter().cycle();
+        b.iter(|| {
+            let u = it.next().unwrap();
+            ip.update_f(&mut rng, u.item, u.delta);
+        });
+    });
+    g.finish();
+}
+
+fn bench_csss_budget_ablation(c: &mut Criterion) {
+    // Ablation: how the sample budget (the α²/ε³ knob) trades update cost.
+    let mut g = c.benchmark_group("csss_budget_ablation");
+    let stream = stream_for_bench(19);
+    for budget_log2 in [8u32, 12, 16] {
+        g.bench_with_input(
+            BenchmarkId::new("budget", 1u64 << budget_log2),
+            &budget_log2,
+            |b, &bl| {
+                let mut rng = StdRng::seed_from_u64(20);
+                let mut cs = Csss::new(&mut rng, 16, 7, 1u64 << bl);
+                let mut it = stream.updates.iter().cycle();
+                b.iter(|| {
+                    let u = it.next().unwrap();
+                    cs.update(&mut rng, u.item, u.delta);
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hashing,
+    bench_point_query_sketches,
+    bench_heavy_hitters,
+    bench_l1,
+    bench_l0,
+    bench_inner_product,
+    bench_csss_budget_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! E14 — Appendix A (L2 heavy hitters for α-property streams): the
+//! find-on-`I+D`, verify-on-`f` reduction. Recall must be total; false
+//! positives below ε/2 must be absent; space grows with α² (the paper
+//! flags the polynomial α dependence as an open question).
+//!
+//! Run: `cargo run --release -p bd-bench --bin e14_l2_hh`
+
+use bd_bench::{fmt_bits, Table};
+use bd_core::{AlphaL2HeavyHitters, Params};
+use bd_stream::gen::BoundedDeletionGen;
+use bd_stream::{FrequencyVector, SpaceUsage};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let eps = 0.25;
+    println!("E14 — L2 heavy hitters (Appendix A), ε = {eps}, m = 200k\n");
+    let mut table = Table::new(
+        "recall / precision / space vs α",
+        &["α", "recall", "false pos", "‖f‖₂ rel.err", "space"],
+    );
+    for alpha in [2.0f64, 4.0, 8.0] {
+        let mut rng = StdRng::seed_from_u64(alpha as u64 + 77);
+        let stream = BoundedDeletionGen::new(1 << 12, 200_000, alpha).generate(&mut rng);
+        let truth = FrequencyVector::from_stream(&stream);
+        let params = Params::practical(stream.n, eps, alpha);
+        let mut hh = AlphaL2HeavyHitters::new(&mut rng, &params);
+        for u in &stream {
+            hh.update(u.item, u.delta);
+        }
+        let got: Vec<u64> = hh.query().into_iter().map(|(i, _)| i).collect();
+        let exact = truth.l2_heavy_hitters(eps);
+        let recall = exact.iter().filter(|i| got.contains(i)).count();
+        let l2 = truth.l2();
+        let fp = got
+            .iter()
+            .filter(|&&i| (truth.get(i).unsigned_abs() as f64) < eps / 2.0 * l2)
+            .count();
+        table.row(vec![
+            format!("{alpha:.0}"),
+            format!("{recall}/{}", exact.len()),
+            format!("{fp}"),
+            format!("{:.3}", (hh.l2_estimate() - l2).abs() / l2),
+            fmt_bits(hh.space_bits()),
+        ]);
+    }
+    table.print();
+    println!("\nExpected shape: full recall, no sub-ε/2 items, space growing ~α²");
+    println!("(the finder table width is (2α/ε)² — the open-question overhead).");
+}

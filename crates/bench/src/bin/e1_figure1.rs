@@ -1,0 +1,262 @@
+//! E1 — Figure 1, regenerated empirically.
+//!
+//! For every row of the paper's table, run the unbounded-deletion baseline
+//! and the α-property algorithm on the *same* bounded-deletion streams,
+//! sweeping α, and report measured space (bits, from `SpaceUsage`) plus the
+//! answer quality. The paper's claim is a *shape*: baseline space carries
+//! `log n`/`log m` counter widths; α-algorithm space carries `log α` widths.
+//! Absolute constants differ from the proofs (practical `Params`), but who
+//! wins and how the gap scales with α is the reproduction target.
+//!
+//! Run: `cargo run --release -p bd-bench --bin e1_figure1`
+
+use bd_bench::{fmt_bits, rel_err, Table};
+use bd_core::{
+    AlphaHeavyHitters, AlphaInnerProduct, AlphaL0Estimator, AlphaL1Estimator, AlphaL1General,
+    AlphaL1Sampler, AlphaSupportSampler, Params,
+};
+use bd_sketch::{
+    CountSketch, IpFamily, L0Estimator, L1SamplerTurnstile, LogCosL1, SampleOutcome,
+    SupportSamplerTurnstile,
+};
+use bd_stream::gen::{BoundedDeletionGen, L0AlphaGen, StrongAlphaGen};
+use bd_stream::{FrequencyVector, SpaceUsage};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const N: u64 = 1 << 20;
+const EPS: f64 = 0.25;
+const ALPHAS: [f64; 3] = [2.0, 8.0, 32.0];
+
+fn params_for(alpha: f64) -> Params {
+    let mut p = Params::practical(N, EPS, alpha);
+    // Smaller leading constant so thinning activates within the bench
+    // streams; the functional form is unchanged.
+    p.sample_const = 4.0;
+    p
+}
+
+fn heavy_hitters(table: &mut Table) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let eps = 0.1;
+    for alpha in ALPHAS {
+        let mut gen = BoundedDeletionGen::new(N, 2_000_000, alpha);
+        gen.distinct = 128; // skewed support so ε-heavy hitters exist
+        gen.zipf_s = 1.3;
+        let stream = gen.generate(&mut rng);
+        let truth = FrequencyVector::from_stream(&stream);
+        let mut params = params_for(alpha);
+        params.epsilon = eps;
+
+        let mut ours = AlphaHeavyHitters::new_strict(&mut rng, &params);
+        let mut base = CountSketch::<i64>::new(&mut rng, params.depth, 6 * (8.0 / eps) as usize);
+        for u in &stream {
+            ours.update(&mut rng, u.item, u.delta);
+            base.update(u.item, u.delta);
+        }
+        let got: Vec<u64> = ours.query().into_iter().map(|(i, _)| i).collect();
+        let exact = truth.l1_heavy_hitters(eps);
+        let recall = exact.iter().filter(|i| got.contains(i)).count();
+        table.row(vec![
+            "ε-Heavy Hitters".into(),
+            format!("{alpha:.0}"),
+            fmt_bits(base.space_bits()),
+            fmt_bits(ours.space_bits()),
+            format!("recall {recall}/{}", exact.len()),
+        ]);
+    }
+}
+
+fn inner_product(table: &mut Table) {
+    let mut rng = StdRng::seed_from_u64(2);
+    for alpha in ALPHAS {
+        let f = BoundedDeletionGen::new(N, 400_000, alpha).generate(&mut rng);
+        let g = BoundedDeletionGen::new(N, 400_000, alpha).generate(&mut rng);
+        let (vf, vg) = (
+            FrequencyVector::from_stream(&f),
+            FrequencyVector::from_stream(&g),
+        );
+        let truth = vf.inner_product(&vg) as f64;
+        let budget = EPS * vf.l1() as f64 * vg.l1() as f64;
+        let params = params_for(alpha);
+
+        let mut ours = AlphaInnerProduct::new(&mut rng, &params);
+        let fam = IpFamily::new(&mut rng, 5, (2.0 / EPS) as usize);
+        let (mut bf, mut bg) = (fam.sketch(), fam.sketch());
+        for u in &f {
+            ours.update_f(&mut rng, u.item, u.delta);
+            bf.update(u.item, u.delta);
+        }
+        for u in &g {
+            ours.update_g(&mut rng, u.item, u.delta);
+            bg.update(u.item, u.delta);
+        }
+        let base_err = (bf.inner_product(&bg) - truth).abs() / budget;
+        let ours_err = (ours.estimate() - truth).abs() / budget;
+        table.row(vec![
+            "Inner Product".into(),
+            format!("{alpha:.0}"),
+            fmt_bits(bf.space_bits() + bg.space_bits()),
+            fmt_bits(ours.space_bits()),
+            format!("err/budget {ours_err:.2} (base {base_err:.2})"),
+        ]);
+    }
+}
+
+fn l1_strict(table: &mut Table) {
+    let mut rng = StdRng::seed_from_u64(3);
+    for alpha in ALPHAS {
+        let stream = BoundedDeletionGen::new(N, 2_000_000, alpha).generate(&mut rng);
+        let truth = FrequencyVector::from_stream(&stream).l1() as f64;
+        let mut ours = AlphaL1Estimator::new(&params_for(alpha));
+        for u in &stream {
+            ours.update(&mut rng, u.item, u.delta);
+        }
+        // Strict-turnstile baseline: one exact log(mM)-bit net counter.
+        let base_bits = bd_hash::width_unsigned(stream.total_mass()) as u64;
+        table.row(vec![
+            "L1 Estimation (strict)".into(),
+            format!("{alpha:.0}"),
+            fmt_bits(base_bits),
+            fmt_bits(ours.space_bits()),
+            format!("rel.err {:.3}", rel_err(ours.estimate(), truth)),
+        ]);
+    }
+}
+
+fn l1_general(table: &mut Table) {
+    let mut rng = StdRng::seed_from_u64(4);
+    for alpha in ALPHAS {
+        let stream = BoundedDeletionGen::new(N, 300_000, alpha).generate(&mut rng);
+        let truth = FrequencyVector::from_stream(&stream).l1() as f64;
+        let params = params_for(alpha);
+        let mut ours = AlphaL1General::new(&mut rng, &params);
+        let mut base = LogCosL1::new(&mut rng, EPS);
+        for u in &stream {
+            ours.update(&mut rng, u.item, u.delta);
+            base.update(u.item, u.delta);
+        }
+        table.row(vec![
+            "L1 Estimation (general)".into(),
+            format!("{alpha:.0}"),
+            fmt_bits(base.space_bits()),
+            fmt_bits(ours.space_bits()),
+            format!(
+                "rel.err {:.3} (base {:.3})",
+                rel_err(ours.estimate(), truth),
+                rel_err(base.estimate(), truth)
+            ),
+        ]);
+    }
+}
+
+fn l0_estimation(table: &mut Table) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let n = 1u64 << 30; // deep level hierarchy: the windowing win needs log n >> log α
+    for alpha in ALPHAS {
+        let stream = L0AlphaGen::new(n, 4_000, alpha).generate(&mut rng);
+        let truth = FrequencyVector::from_stream(&stream).l0() as f64;
+        let mut params = params_for(alpha);
+        params.n = n;
+        let mut ours = AlphaL0Estimator::new(&mut rng, &params);
+        let mut base = L0Estimator::new(&mut rng, n, EPS);
+        for u in &stream {
+            ours.update(&mut rng, u.item, u.delta);
+            base.update(u.item, u.delta);
+        }
+        table.row(vec![
+            "L0 Estimation".into(),
+            format!("{alpha:.0}"),
+            fmt_bits(base.space_bits()),
+            fmt_bits(ours.space_bits()),
+            format!(
+                "rel.err {:.3} (base {:.3}), rows {}/{}",
+                rel_err(ours.estimate(), truth),
+                rel_err(base.estimate(), truth),
+                ours.peak_live_rows(),
+                bd_hash::log2_ceil(n)
+            ),
+        ]);
+    }
+}
+
+fn l1_sampling(table: &mut Table) {
+    for alpha in [2.0, 8.0] {
+        let mut gen_rng = StdRng::seed_from_u64(6);
+        let stream = StrongAlphaGen::new(1 << 10, 300, alpha).generate(&mut gen_rng);
+        // Figure 3 sizes CSSS with sensitivity ε' = ε³/log²n; keep a larger
+        // leading constant here than the other rows so thinning noise stays
+        // below the recovery thresholds.
+        let mut params = params_for(alpha).with_delta(0.3);
+        params.sample_const = 64.0;
+        let mut ours_ok = 0;
+        let mut base_ok = 0;
+        let mut ours_bits = 0;
+        let mut base_bits = 0;
+        for seed in 0..15u64 {
+            let mut rng = StdRng::seed_from_u64(600 + seed);
+            let mut ours = AlphaL1Sampler::new(&mut rng, &params);
+            let mut base = L1SamplerTurnstile::new(&mut rng, 1 << 10, EPS, 0.3);
+            for u in &stream {
+                ours.update(&mut rng, u.item, u.delta);
+                base.update(u.item, u.delta);
+            }
+            ours_ok += i32::from(matches!(ours.query(), SampleOutcome::Sample { .. }));
+            base_ok += i32::from(matches!(base.query(), SampleOutcome::Sample { .. }));
+            ours_bits = ours.space_bits();
+            base_bits = base.space_bits();
+        }
+        table.row(vec![
+            "L1 Sampling".into(),
+            format!("{alpha:.0}"),
+            fmt_bits(base_bits),
+            fmt_bits(ours_bits),
+            format!("sampled {ours_ok}/15 (base {base_ok}/15)"),
+        ]);
+    }
+}
+
+fn support_sampling(table: &mut Table) {
+    let mut rng = StdRng::seed_from_u64(7);
+    for alpha in [2.0, 8.0] {
+        let stream = L0AlphaGen::new(1 << 30, 1_000, alpha).generate(&mut rng);
+        let truth = FrequencyVector::from_stream(&stream);
+        let params = Params::practical(1 << 30, EPS, alpha);
+        let k = 8;
+        let mut ours = AlphaSupportSampler::new(&mut rng, &params, k);
+        let mut base = SupportSamplerTurnstile::new(&mut rng, 1 << 30, k);
+        for u in &stream {
+            ours.update(&mut rng, u.item, u.delta);
+            base.update(u.item, u.delta);
+        }
+        let got = ours.query();
+        let valid = got.iter().filter(|&&i| truth.get(i) != 0).count();
+        table.row(vec![
+            "Support Sampling".into(),
+            format!("{alpha:.0}"),
+            fmt_bits(base.space_bits()),
+            fmt_bits(ours.space_bits()),
+            format!("recovered {valid} valid (need {k})"),
+        ]);
+    }
+}
+
+fn main() {
+    println!("E1 — Figure 1 regenerated: turnstile baselines vs α-property algorithms");
+    println!("n = 2^20, ε = {EPS}; space measured in bits via SpaceUsage\n");
+    let mut table = Table::new(
+        "Figure 1 (measured)",
+        &["Problem", "α", "Turnstile baseline", "α-property", "Quality"],
+    );
+    heavy_hitters(&mut table);
+    inner_product(&mut table);
+    l1_strict(&mut table);
+    l1_general(&mut table);
+    l0_estimation(&mut table);
+    l1_sampling(&mut table);
+    support_sampling(&mut table);
+    table.print();
+    println!("\nReading guide: baseline counter widths carry log(m)/log(n) factors;");
+    println!("α-property widths carry log(α/ε) factors and should grow only mildly");
+    println!("down each α sweep while the baseline column stays stream-dominated.");
+}

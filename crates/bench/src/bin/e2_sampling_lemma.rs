@@ -1,0 +1,60 @@
+//! E2 — Lemma 1 (the Sampling Lemma): sampling `poly(α/ε)` updates
+//! preserves every coordinate to `±ε‖f‖₁`.
+//!
+//! Sweeps the sample budget `S` and reports the worst observed point error
+//! as a multiple of `ε‖f‖₁`, plus the error of the summed estimate. The
+//! lemma predicts errors ≤ 1 budget-multiple once `S ≳ α²/ε³·log(1/δ)`.
+//!
+//! Run: `cargo run --release -p bd-bench --bin e2_sampling_lemma`
+
+use bd_bench::{run_trials, Table};
+use bd_core::SampledVector;
+use bd_stream::gen::BoundedDeletionGen;
+use bd_stream::FrequencyVector;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let alpha = 4.0f64;
+    let eps = 0.1f64;
+    let lemma_budget = alpha * alpha / eps.powi(3) * 3.0; // α²ε⁻³·log(1/δ)
+    println!("E2 — Sampling Lemma (Lemma 1): α = {alpha}, ε = {eps}");
+    println!("Lemma budget S* = α²ε⁻³·log(1/δ) ≈ {lemma_budget:.0}\n");
+
+    let mut gen_rng = StdRng::seed_from_u64(1);
+    let stream = BoundedDeletionGen::new(1 << 12, 400_000, alpha).generate(&mut gen_rng);
+    let truth = FrequencyVector::from_stream(&stream);
+    let bound = eps * truth.l1() as f64;
+
+    let mut table = Table::new(
+        "point error vs sample budget (10 trials each)",
+        &["S (budget)", "S/S*", "max |f*_i − f_i| / ε‖f‖₁", "sum err / ε‖f‖₁", "within bound"],
+    );
+    for budget_pow in [8u32, 10, 12, 14, 16] {
+        let budget = 1u64 << budget_pow;
+        let mut max_sum_err = 0.0f64;
+        let stats = run_trials(10, |seed| {
+            let mut rng = StdRng::seed_from_u64(100 + seed);
+            let mut s = SampledVector::new(budget);
+            for u in &stream {
+                s.update(&mut rng, u.item, u.delta);
+            }
+            let worst = truth
+                .support()
+                .iter()
+                .map(|&i| (s.estimate(i) - truth.get(i) as f64).abs())
+                .fold(0.0f64, f64::max);
+            max_sum_err = max_sum_err.max((s.estimate_sum() - truth.l1() as f64).abs() / bound);
+            (worst / bound, worst <= bound)
+        });
+        table.row(vec![
+            format!("2^{budget_pow}"),
+            format!("{:.2}", budget as f64 / lemma_budget),
+            format!("{:.2}", stats.max),
+            format!("{max_sum_err:.2}"),
+            format!("{:.0}%", 100.0 * stats.success_rate),
+        ]);
+    }
+    table.print();
+    println!("\nExpected shape: error multiples fall below 1 as S crosses S*.");
+}

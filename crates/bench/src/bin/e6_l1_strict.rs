@@ -1,0 +1,76 @@
+//! E6 — Theorem 6 (αL1Estimator): `(1±ε)` L1 estimation on strict
+//! turnstile α-property streams with `O(log(α/ε) + log log n)`-bit state.
+//!
+//! Run: `cargo run --release -p bd-bench --bin e6_l1_strict`
+
+use bd_bench::{rel_err, run_trials, Table};
+use bd_core::{AlphaL1Estimator, Params};
+use bd_stream::gen::BoundedDeletionGen;
+use bd_stream::{FrequencyVector, SpaceUsage};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    println!("E6 — strict-turnstile L1 (Figure 4 / Theorem 6), m = 1M\n");
+    let mut table = Table::new(
+        "relative error and state size (10 trials each)",
+        &["α", "s (budget)", "mean rel.err", "max rel.err", "sketch bits"],
+    );
+    for alpha in [2.0f64, 8.0, 32.0] {
+        let mut gen_rng = StdRng::seed_from_u64(alpha as u64 + 5);
+        let stream = BoundedDeletionGen::new(1 << 14, 1_000_000, alpha).generate(&mut gen_rng);
+        let truth = FrequencyVector::from_stream(&stream).l1() as f64;
+        let params = Params::practical(stream.n, 0.2, alpha);
+        let mut bits = 0u64;
+        let stats = run_trials(10, |seed| {
+            let mut rng = StdRng::seed_from_u64(50 + seed);
+            let mut e = AlphaL1Estimator::new(&params);
+            for u in &stream {
+                e.update(&mut rng, u.item, u.delta);
+            }
+            bits = bits.max(e.space_bits());
+            let err = rel_err(e.estimate(), truth);
+            (err, err < 0.25)
+        });
+        table.row(vec![
+            format!("{alpha:.0}"),
+            format!("{}", params.interval_budget()),
+            format!("{:.3}", stats.mean),
+            format!("{:.3}", stats.max),
+            format!("{bits}"),
+        ]);
+    }
+    table.print();
+
+    // Ablation: force thinning by shrinking s below √m, to expose the
+    // sampling-error regime the budget normally keeps you out of.
+    let mut ablation = Table::new(
+        "ablation: thinning-active budgets (α = 4, m = 1M, 10 trials)",
+        &["s (budget)", "mean rel.err", "max rel.err"],
+    );
+    let mut gen_rng = StdRng::seed_from_u64(99);
+    let stream = BoundedDeletionGen::new(1 << 14, 1_000_000, 4.0).generate(&mut gen_rng);
+    let truth = FrequencyVector::from_stream(&stream).l1() as f64;
+    for budget_pow in [6u32, 8, 10] {
+        let stats = run_trials(10, |seed| {
+            let mut rng = StdRng::seed_from_u64(200 + seed);
+            let mut e = AlphaL1Estimator::with_budget(1 << budget_pow);
+            for u in &stream {
+                e.update(&mut rng, u.item, u.delta);
+            }
+            let err = rel_err(e.estimate(), truth);
+            (err, err < 0.5)
+        });
+        ablation.row(vec![
+            format!("2^{budget_pow}"),
+            format!("{:.3}", stats.mean),
+            format!("{:.3}", stats.max),
+        ]);
+    }
+    ablation.print();
+
+    println!("\nExpected shape: errors stay O(ε) while total state is a few hundred");
+    println!("bits — two windows of log(s)-bit counters plus a Morris register —");
+    println!("versus the Ω(log n) needed per coordinate by exact counting. The");
+    println!("ablation shows error falling as 1/√s once thinning is active.");
+}

@@ -1,0 +1,140 @@
+//! # bd-bench
+//!
+//! The experiment harness that regenerates the paper's evaluation content:
+//! Figure 1 (the space-comparison table) and the quantitative claim of every
+//! theorem. Each experiment is a binary in `src/bin/` (see DESIGN.md §5 for
+//! the index); Criterion throughput benches live in `benches/`.
+//!
+//! This library holds the shared plumbing: aligned table printing, seeded
+//! trial runners, and error/space summaries.
+
+use std::fmt::Display;
+
+/// A plain-text aligned table, printed in the style of the paper's Figure 1.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with a title and column headers.
+    pub fn new<S: Display>(title: S, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row (already formatted cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render to stdout.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let line_len = widths.iter().sum::<usize>() + 3 * widths.len() + 1;
+        println!("\n{}", self.title);
+        println!("{}", "=".repeat(line_len.min(120)));
+        let fmt_row = |cells: &[String]| {
+            let mut s = String::from("|");
+            for (i, c) in cells.iter().enumerate() {
+                s.push_str(&format!(" {:>w$} |", c, w = widths[i]));
+            }
+            s
+        };
+        println!("{}", fmt_row(&self.headers));
+        println!("{}", "-".repeat(line_len.min(120)));
+        for row in &self.rows {
+            println!("{}", fmt_row(row));
+        }
+    }
+}
+
+/// Summary statistics over repeated trials.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TrialStats {
+    /// Number of trials.
+    pub trials: usize,
+    /// Mean observed value.
+    pub mean: f64,
+    /// Maximum observed value.
+    pub max: f64,
+    /// Fraction of trials below a caller-defined success threshold.
+    pub success_rate: f64,
+}
+
+/// Run `trials` seeded experiments, each returning `(value, success)`;
+/// aggregate into [`TrialStats`].
+pub fn run_trials<F: FnMut(u64) -> (f64, bool)>(trials: usize, mut f: F) -> TrialStats {
+    let mut mean = 0.0;
+    let mut max: f64 = 0.0;
+    let mut ok = 0usize;
+    for seed in 0..trials as u64 {
+        let (v, success) = f(seed);
+        mean += v;
+        max = max.max(v);
+        ok += usize::from(success);
+    }
+    TrialStats {
+        trials,
+        mean: mean / trials.max(1) as f64,
+        max,
+        success_rate: ok as f64 / trials.max(1) as f64,
+    }
+}
+
+/// Format a bit count as `bits (KiB)`.
+pub fn fmt_bits(bits: u64) -> String {
+    if bits >= 8 * 1024 {
+        format!("{bits} ({:.1} KiB)", bits as f64 / 8.0 / 1024.0)
+    } else {
+        format!("{bits}")
+    }
+}
+
+/// Relative error `|est − truth| / truth` (0 when both are 0).
+pub fn rel_err(est: f64, truth: f64) -> f64 {
+    if truth == 0.0 {
+        est.abs()
+    } else {
+        (est - truth).abs() / truth.abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_without_panicking() {
+        let mut t = Table::new("demo", &["a", "bb"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.print();
+    }
+
+    #[test]
+    fn trial_stats_aggregate() {
+        let s = run_trials(4, |seed| (seed as f64, seed % 2 == 0));
+        assert_eq!(s.trials, 4);
+        assert!((s.mean - 1.5).abs() < 1e-12);
+        assert_eq!(s.max, 3.0);
+        assert!((s.success_rate - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rel_err_handles_zero() {
+        assert_eq!(rel_err(0.0, 0.0), 0.0);
+        assert_eq!(rel_err(3.0, 0.0), 3.0);
+        assert!((rel_err(11.0, 10.0) - 0.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,163 @@
+//! Exact binomial thinning — the sampling primitive behind CSSS and the
+//! interval samplers.
+//!
+//! The paper's algorithms sample stream updates with dyadic probabilities
+//! `2^{-q}` and periodically *downsample existing counters*: Figure 2 step
+//! 5(a) replaces every counter `a` by `Bin(a, 1/2)`, and §1.3 expands a
+//! weighted update `|Δ| > 1` into `sign(Δ)·Bin(|Δ|, p)` sampled units.
+//!
+//! `Bin(c, 1/2)` is the popcount of `c` fair bits — computed exactly from
+//! random 64-bit words. `Bin(c, 2^{-q})` is `q` iterated halvings (the count
+//! shrinks geometrically, so expected work is `O(c/64 + q)`). Above
+//! [`EXACT_LIMIT`] trials we switch to the normal approximation, whose
+//! total-variation error at that size is far below every failure probability
+//! in the paper (documented substitution, DESIGN.md §3).
+
+use rand::Rng;
+
+/// Threshold above which `Bin(n, 1/2)` uses the normal approximation.
+pub const EXACT_LIMIT: u64 = 1 << 16;
+
+/// Sample `Bin(n, 1/2)` exactly for `n ≤ EXACT_LIMIT` (popcount of `n`
+/// random bits), with a continuity-corrected normal approximation above.
+pub fn bin_half<R: Rng + ?Sized>(rng: &mut R, n: u64) -> u64 {
+    if n == 0 {
+        return 0;
+    }
+    if n > EXACT_LIMIT {
+        // N(n/2, n/4) with continuity correction, clamped to [0, n].
+        let mean = n as f64 / 2.0;
+        let sd = (n as f64 / 4.0).sqrt();
+        let z = gaussian(rng);
+        return (mean + sd * z).round().clamp(0.0, n as f64) as u64;
+    }
+    let mut remaining = n;
+    let mut ones = 0u64;
+    while remaining >= 64 {
+        ones += rng.gen::<u64>().count_ones() as u64;
+        remaining -= 64;
+    }
+    if remaining > 0 {
+        let mask = (1u64 << remaining) - 1;
+        ones += (rng.gen::<u64>() & mask).count_ones() as u64;
+    }
+    ones
+}
+
+/// Sample `Bin(n, 2^{-q})` by iterated halving.
+pub fn bin_pow2<R: Rng + ?Sized>(rng: &mut R, n: u64, q: u32) -> u64 {
+    let mut c = n;
+    for _ in 0..q {
+        if c == 0 {
+            return 0;
+        }
+        c = bin_half(rng, c);
+    }
+    c
+}
+
+/// A single Bernoulli(`2^{-q}`) trial.
+#[inline]
+pub fn coin_pow2<R: Rng + ?Sized>(rng: &mut R, q: u32) -> bool {
+    let mut left = q;
+    while left >= 64 {
+        if rng.gen::<u64>() != 0 {
+            return false;
+        }
+        left -= 64;
+    }
+    left == 0 || rng.gen::<u64>() & ((1u64 << left) - 1) == 0
+}
+
+/// Standard normal via Box–Muller (only used above `EXACT_LIMIT`).
+fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bin_half_mean_and_variance() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 1000u64;
+        let trials = 20_000;
+        let samples: Vec<u64> = (0..trials).map(|_| bin_half(&mut rng, n)).collect();
+        let mean = samples.iter().sum::<u64>() as f64 / trials as f64;
+        let var = samples
+            .iter()
+            .map(|&s| (s as f64 - mean).powi(2))
+            .sum::<f64>()
+            / trials as f64;
+        assert!((mean - 500.0).abs() < 2.0, "mean {mean}");
+        assert!((var - 250.0).abs() < 25.0, "variance {var}");
+    }
+
+    #[test]
+    fn bin_half_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for n in [0u64, 1, 63, 64, 65, 1000, EXACT_LIMIT + 5] {
+            for _ in 0..100 {
+                assert!(bin_half(&mut rng, n) <= n);
+            }
+        }
+        assert_eq!(bin_half(&mut rng, 0), 0);
+    }
+
+    #[test]
+    fn bin_pow2_mean() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (n, q) = (1 << 14, 4u32); // expect n/16 = 1024
+        let trials = 5_000;
+        let mean = (0..trials).map(|_| bin_pow2(&mut rng, n, q)).sum::<u64>() as f64
+            / trials as f64;
+        assert!((mean - 1024.0).abs() < 15.0, "mean {mean}");
+    }
+
+    #[test]
+    fn coin_pow2_rates() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let trials = 200_000;
+        for q in [0u32, 1, 3, 6] {
+            let hits = (0..trials).filter(|_| coin_pow2(&mut rng, q)).count();
+            let p = hits as f64 / trials as f64;
+            let expect = 0.5f64.powi(q as i32);
+            assert!(
+                (p - expect).abs() < 6.0 * (expect / trials as f64).sqrt() + 1e-4,
+                "q={q}: rate {p} vs {expect}"
+            );
+        }
+        // q = 0 must always sample.
+        assert!(coin_pow2(&mut rng, 0));
+    }
+
+    #[test]
+    fn large_q_never_panics() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let _ = coin_pow2(&mut rng, 130);
+            assert_eq!(bin_pow2(&mut rng, 10, 200), 0); // overwhelming odds
+        }
+    }
+
+    #[test]
+    fn thinning_composes() {
+        // Bin(Bin(n,1/2),1/2) ~ Bin(n,1/4): compare means.
+        let mut rng = StdRng::seed_from_u64(6);
+        let n = 4096u64;
+        let trials = 10_000;
+        let mean = (0..trials)
+            .map(|_| {
+                let h = bin_half(&mut rng, n);
+                bin_half(&mut rng, h)
+            })
+            .sum::<u64>() as f64
+            / trials as f64;
+        assert!((mean - 1024.0).abs() < 10.0, "mean {mean}");
+    }
+}

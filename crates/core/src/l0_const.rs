@@ -1,0 +1,214 @@
+//! αStreamConstL0Est (paper Lemma 20, §6.4): a constant-factor L0 estimate
+//! `R ∈ [L0, 100·L0]` keeping only `O(log α)` subsampling levels alive.
+//!
+//! Identical in shape to `RoughL0Estimator` (Lemma 14): per-level `SmallL0`
+//! detectors with the threshold test "`L0(S_j) > 8`". The α-property lets
+//! the level window follow `log(L̄0^t)` (from [`AlphaRoughL0`]): since
+//! `L0^t` never exceeds `α·L0` and the final `L0` is at least `L̄0^m/ρα`,
+//! only levels within `±(2·log(αρ/ε) + O(1))` of the tracker can matter, so
+//! detectors outside the moving window are dropped (their prefix
+//! contribution is `O(ε²)` of the final L0, per the Lemma 20 proof). The
+//! exact small-`F0` path (Lemma 19) covers streams the tracker cannot.
+
+use crate::l0_rough::AlphaRoughL0;
+use crate::params::Params;
+use bd_sketch::{RoughL0, SmallF0, SmallF0Result, SmallL0};
+use bd_stream::{SpaceReport, SpaceUsage};
+use rand::Rng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+
+/// The windowed constant-factor L0 estimator.
+#[derive(Clone, Debug)]
+pub struct AlphaConstL0 {
+    level_hash: bd_hash::KWiseHash,
+    detectors: BTreeMap<u32, SmallL0>,
+    tracker: AlphaRoughL0,
+    small_f0: SmallF0,
+    /// Window margin below the tracker (covers tracker overshoot).
+    win_lo: u32,
+    /// Window margin above the tracker (covers late level starts).
+    win_hi: u32,
+    max_level: u32,
+    /// Deterministic seed stream for late-created detectors.
+    spawn_seed: u64,
+    spawned: u64,
+    /// Detector sizing.
+    det_cap: usize,
+    det_reps: usize,
+    det_buckets: usize,
+    /// High-water mark of simultaneously live levels (space reporting).
+    peak_live: usize,
+}
+
+impl AlphaConstL0 {
+    /// The guaranteed over-approximation ratio (Lemma 20).
+    pub const RATIO: f64 = 100.0;
+
+    /// Build from shared parameters.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, params: &Params) -> Self {
+        let max_level = bd_hash::log2_ceil(params.n.max(2));
+        let logn = bd_hash::log2_ceil(params.n.max(4)) as f64;
+        let f0_cap = ((8.0 * logn / logn.log2().max(1.0)).ceil() as usize).max(8);
+        AlphaConstL0 {
+            level_hash: bd_hash::KWiseHash::pairwise(rng, 1u64 << 62),
+            detectors: BTreeMap::new(),
+            tracker: AlphaRoughL0::new(rng, params.n),
+            small_f0: SmallF0::new(rng, f0_cap),
+            win_lo: params.l0_window_overshoot(AlphaRoughL0::RATIO) as u32,
+            win_hi: params.l0_window_suffix() as u32,
+            max_level,
+            spawn_seed: rng.gen(),
+            spawned: 0,
+            det_cap: 132,
+            det_reps: 2,
+            det_buckets: 256,
+            peak_live: 0,
+        }
+    }
+
+    /// The live level window `[lo, hi]` for the current tracker estimate.
+    fn live_window(&self) -> (u32, u32) {
+        let center = bd_hash::log2_ceil(self.tracker.estimate().max(2));
+        let lo = center.saturating_sub(self.win_lo);
+        let hi = (center + self.win_hi).min(self.max_level);
+        (lo.min(hi), hi)
+    }
+
+    /// Apply an update.
+    pub fn update<R: Rng + ?Sized>(&mut self, rng: &mut R, item: u64, delta: i64) {
+        if delta == 0 {
+            return;
+        }
+        self.tracker.update(item, delta);
+        self.small_f0.update(item, delta);
+        let (lo, hi) = self.live_window();
+        // Drop detectors that fell below the (monotone) window...
+        self.detectors.retain(|&j, _| j >= lo);
+        // ...and create newly covered levels (they sketch the suffix).
+        for j in lo..=hi {
+            if !self.detectors.contains_key(&j) {
+                let mut det_rng =
+                    rand::rngs::StdRng::seed_from_u64(self.spawn_seed ^ self.spawned);
+                self.spawned += 1;
+                self.detectors.insert(
+                    j,
+                    SmallL0::with_buckets(&mut det_rng, self.det_cap, self.det_reps, self.det_buckets),
+                );
+            }
+        }
+        self.peak_live = self.peak_live.max(self.detectors.len());
+        let _ = rng;
+        let lvl = bd_hash::lsb(self.level_hash.hash(item), self.max_level);
+        if let Some(det) = self.detectors.get_mut(&lvl) {
+            det.update(item, delta);
+        }
+    }
+
+    /// The estimate `R ∈ [L0, 100·L0]` (with Lemma 20's constant-probability
+    /// guarantee; callers amplify by independent copies).
+    pub fn estimate(&self) -> u64 {
+        // Exact path when few distinct items ever appeared.
+        if let SmallF0Result::Exact(l0) = self.small_f0.result() {
+            return l0;
+        }
+        let cap = 2 * self.tracker.estimate();
+        let mut jstar: Option<u32> = None;
+        for (&j, det) in &self.detectors {
+            if (1u64 << j.min(55)) <= cap && det.exceeds(RoughL0::THRESHOLD) {
+                jstar = Some(j);
+            }
+        }
+        match jstar {
+            Some(j) => (RoughL0::SCALE * (1u64 << j.min(55)) as f64).round() as u64,
+            None => 50,
+        }
+    }
+
+    /// Levels currently alive (the `O(log(α/ε))` of Lemma 20).
+    pub fn live_levels(&self) -> usize {
+        self.detectors.len()
+    }
+
+    /// Most levels ever simultaneously alive.
+    pub fn peak_live_levels(&self) -> usize {
+        self.peak_live
+    }
+}
+
+impl SpaceUsage for AlphaConstL0 {
+    fn space(&self) -> SpaceReport {
+        let mut rep = SpaceReport {
+            seed_bits: self.level_hash.seed_bits() as u64 + 64,
+            overhead_bits: self.detectors.len() as u64 * 8,
+            ..Default::default()
+        };
+        for det in self.detectors.values() {
+            rep = rep.merge(det.space());
+        }
+        rep.merge(self.tracker.space()).merge(self.small_f0.space())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bd_stream::gen::L0AlphaGen;
+    use bd_stream::FrequencyVector;
+    use rand::rngs::StdRng;
+
+    #[test]
+    fn sandwich_on_l0_alpha_streams() {
+        let alpha = 4.0;
+        let mut ok = 0;
+        let trials = 20;
+        for seed in 0..trials {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let stream = L0AlphaGen::new(1 << 20, 1_500, alpha).generate(&mut rng);
+            let params = Params::practical(stream.n, 0.2, alpha);
+            let mut est = AlphaConstL0::new(&mut rng, &params);
+            for u in &stream {
+                est.update(&mut rng, u.item, u.delta);
+            }
+            let l0 = FrequencyVector::from_stream(&stream).l0();
+            let r = est.estimate();
+            if r >= l0 && r as f64 <= AlphaConstL0::RATIO * l0 as f64 {
+                ok += 1;
+            }
+        }
+        assert!(ok >= 15, "sandwich held in only {ok}/{trials}");
+    }
+
+    #[test]
+    fn exact_for_tiny_f0() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let params = Params::practical(1 << 16, 0.2, 2.0);
+        let mut est = AlphaConstL0::new(&mut rng, &params);
+        for i in 0..10u64 {
+            est.update(&mut rng, i * 31, 1);
+        }
+        assert_eq!(est.estimate(), 10);
+    }
+
+    #[test]
+    fn live_levels_bounded_by_window() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let alpha = 4.0;
+        let stream = L0AlphaGen::new(1 << 22, 5_000, alpha).generate(&mut rng);
+        let params = Params::practical(stream.n, 0.25, alpha);
+        let mut est = AlphaConstL0::new(&mut rng, &params);
+        for u in &stream {
+            est.update(&mut rng, u.item, u.delta);
+        }
+        let bound = params.l0_window_overshoot(AlphaRoughL0::RATIO)
+            + params.l0_window_suffix()
+            + 1;
+        assert!(
+            est.peak_live_levels() <= bound,
+            "{} live levels exceeds the O(log α/ε) window {bound}",
+            est.peak_live_levels()
+        );
+        // Strictly fewer than the log(n) levels the baseline carries.
+        assert!(est.peak_live_levels() < 22);
+    }
+}

@@ -1,0 +1,125 @@
+//! αStreamRoughL0Est (paper Corollary 2): monotone estimates
+//! `L̃0^t ∈ [L0^t, ρ·α·L0]` at all times, in `O(log n)`-ish bits.
+//!
+//! For an L0 α-property stream, `L0^t ≤ F0^t ≤ F0 ≤ α·L0`, so a monotone
+//! `[F0^t, ρ·F0^t]` tracker (Lemma 18, [`bd_sketch::RoughF0`]) is
+//! automatically an `[L0^t, ρ·α·L0]` tracker. Its estimates drive the level
+//! windows of `αStreamConstL0Est`, `αL0Estimator`, and `α-SupportSampler`.
+//! The guarantee only kicks in once `F0 ≥ max(8, log n/log log n)`, so
+//! callers floor the estimate at that threshold (Figure 7 step 2).
+
+use bd_sketch::RoughF0;
+use bd_stream::{SpaceReport, SpaceUsage};
+use rand::Rng;
+
+/// The α-stream rough L0 tracker.
+#[derive(Clone, Debug)]
+pub struct AlphaRoughL0 {
+    rough: RoughF0,
+    floor: u64,
+}
+
+impl AlphaRoughL0 {
+    /// The tracker's over-approximation ratio `ρ` relative to `F0`
+    /// (so estimates lie in `[L0^t, RATIO·α·L0]`).
+    pub const RATIO: f64 = RoughF0::RATIO;
+
+    /// Build for universe size `n`; the floor is `max(8, log n/log log n)`
+    /// scaled by 8 as in Figure 7.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, n: u64) -> Self {
+        let logn = bd_hash::log2_ceil(n.max(4)) as f64;
+        let floor = (8.0 * logn / logn.log2().max(1.0)).ceil() as u64;
+        AlphaRoughL0 {
+            rough: RoughF0::new(rng),
+            floor: floor.max(8),
+        }
+    }
+
+    /// Observe an update's identity.
+    pub fn update(&mut self, item: u64, delta: i64) {
+        if delta != 0 {
+            self.rough.observe(item);
+        }
+    }
+
+    /// The floored, monotone estimate `L̄0^t = max(L̃0^t, 8·log n/log log n)`.
+    pub fn estimate(&self) -> u64 {
+        self.rough.estimate().max(self.floor)
+    }
+
+    /// The raw (unfloored) tracker estimate.
+    pub fn raw_estimate(&self) -> u64 {
+        self.rough.estimate()
+    }
+
+    /// The floor value.
+    pub fn floor(&self) -> u64 {
+        self.floor
+    }
+}
+
+impl SpaceUsage for AlphaRoughL0 {
+    fn space(&self) -> SpaceReport {
+        let mut rep = self.rough.space();
+        rep.overhead_bits += bd_hash::width_unsigned(self.floor) as u64;
+        rep
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bd_stream::gen::L0AlphaGen;
+    use bd_stream::{FrequencyVector, StreamBatch};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sandwich_against_alpha_l0() {
+        let alpha = 3.0;
+        let mut ok = 0;
+        let trials = 20;
+        for seed in 0..trials {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let stream = L0AlphaGen::new(1 << 20, 2_000, alpha).generate(&mut rng);
+            let mut tracker = AlphaRoughL0::new(&mut rng, stream.n);
+            let mut prefix = FrequencyVector::new(stream.n);
+            let mut good = true;
+            for (t, u) in stream.iter().enumerate() {
+                tracker.update(u.item, u.delta);
+                prefix.update(*u);
+                if (t + 1) % 1000 == 0 && prefix.f0() >= tracker.floor() {
+                    let est = tracker.estimate() as f64;
+                    let lo = prefix.l0() as f64;
+                    let hi = AlphaRoughL0::RATIO * alpha * 2_000.0;
+                    if est < lo || est > hi {
+                        good = false;
+                    }
+                }
+            }
+            if good {
+                ok += 1;
+            }
+        }
+        assert!(ok >= 16, "sandwich held in only {ok}/{trials} trials");
+    }
+
+    #[test]
+    fn estimates_monotone_and_floored() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let stream = StreamBatch::new(
+            1 << 16,
+            (0..500u64).map(|i| bd_stream::Update::insert(i, 1)).collect(),
+        );
+        let mut tracker = AlphaRoughL0::new(&mut rng, stream.n);
+        assert_eq!(tracker.estimate(), tracker.floor());
+        let mut last = 0;
+        for u in &stream {
+            tracker.update(u.item, u.delta);
+            let e = tracker.estimate();
+            assert!(e >= last);
+            last = e;
+        }
+        assert!(last >= 500);
+    }
+}

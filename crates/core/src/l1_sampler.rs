@@ -1,0 +1,238 @@
+//! αL1Sampler — ε-relative-error L1 sampling for strict-turnstile strong
+//! α-property streams (paper §4, Figure 3, Theorem 5).
+//!
+//! Precision sampling on top of CSSS: scale each coordinate by `1/t_i`
+//! (`O(log 1/ε)`-wise independent uniforms, so the scaled stream `z`
+//! inherits the α-property from the *strong* α-property of `f`), run CSSS
+//! on `z`, and output the maximal estimate if it crossed `‖f‖₁/ε` — an
+//! event of probability exactly `ε|f_i|/‖f‖₁`. The Figure 3 Recovery guards
+//! (the tail estimate `v` from Lemma 5, the `(c/2)ε²/log²(n)·‖z‖₁` floor)
+//! reject the rare executions where the CSSS error could bias the sample.
+//! One instance outputs with probability `Θ(ε)`; [`AlphaL1Sampler`] runs
+//! `O(ε^{-1}·log(1/δ))` instances.
+
+use crate::csss::Csss;
+use crate::params::Params;
+use bd_sketch::{CandidateSet, SampleOutcome};
+use bd_stream::{SpaceReport, SpaceUsage};
+use rand::Rng;
+
+/// One αL1Sampler instance (Figure 3).
+#[derive(Clone, Debug)]
+pub struct AlphaL1SamplerInstance {
+    cs1: Csss,
+    cs2: Csss,
+    ts: bd_hash::KWiseUniform,
+    candidates: CandidateSet,
+    epsilon: f64,
+    /// The sensitivity `ε' = ε³/log²(n)` used in the Recovery thresholds.
+    eps_z: f64,
+    k: usize,
+    universe: u64,
+    /// Figure 3's `r = ‖f‖₁` (exact on strict turnstile streams).
+    r: i64,
+    /// Figure 3's `q = ‖z‖₁` (exact, in quantized z-units).
+    q: u64,
+}
+
+impl AlphaL1SamplerInstance {
+    /// Build one instance from shared parameters.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, params: &Params) -> Self {
+        let k = ((1.0 / params.epsilon).log2().ceil() as usize).max(4);
+        let logn = (params.n.max(4) as f64).ln();
+        AlphaL1SamplerInstance {
+            cs1: Csss::new(rng, k, params.depth, params.csss_sample_budget()),
+            cs2: Csss::new(rng, k, params.depth, params.csss_sample_budget()),
+            ts: bd_hash::KWiseUniform::new(rng, k),
+            candidates: CandidateSet::new(4 * k),
+            epsilon: params.epsilon,
+            eps_z: params.epsilon.powi(3) / (logn * logn),
+            k,
+            universe: params.n,
+            r: 0,
+            q: 0,
+        }
+    }
+
+    /// Apply an update. The scaled weight `|Δ|/t_i` is rounded to the unit
+    /// grid (`t_i ≤ 1`, so the relative rounding error is ≤ 1/|z-weight|).
+    pub fn update<R: Rng + ?Sized>(&mut self, rng: &mut R, item: u64, delta: i64) {
+        if delta == 0 {
+            return;
+        }
+        let w = (delta.unsigned_abs() as f64 * self.ts.inv_t(item)).round() as u64;
+        let w = w.max(1);
+        self.cs1.update_weighted(rng, item, w, delta > 0);
+        self.cs2.update_weighted(rng, item, w, delta > 0);
+        self.r += delta;
+        self.q += w;
+        let cs = &self.cs1;
+        self.candidates.offer(item, |i| cs.estimate(i));
+    }
+
+    /// Figure 3's Recovery step.
+    pub fn query(&self) -> SampleOutcome {
+        let r = self.r.max(0) as f64;
+        if r == 0.0 {
+            return SampleOutcome::Fail;
+        }
+        let q = self.q as f64;
+        let cs = &self.cs1;
+        let Some(best) = self.candidates.argmax(|i| cs.estimate(i)) else {
+            return SampleOutcome::Fail;
+        };
+        let y_best = self.cs1.estimate(best);
+
+        // Tail estimate v via Lemma 5: subtract the best k-sparse
+        // approximation of y* from CSSS₂ and read the residual norm.
+        let yhat = self.candidates.top_k(self.k, |i| cs.estimate(i));
+        let v = 2.0 * self.cs2.residual_l2(&yhat) + 5.0 * self.eps_z * q;
+
+        let sqrt_k = (self.k as f64).sqrt();
+        if v > sqrt_k * r + 45.0 * sqrt_k * self.eps_z * q {
+            return SampleOutcome::Fail; // Err₂ᵏ(z) too heavy (Lemma 9 event)
+        }
+        let floor = (0.125 * self.eps_z / self.epsilon * q).max(r / self.epsilon);
+        if y_best.abs() < floor {
+            return SampleOutcome::Fail; // no threshold crossing
+        }
+        SampleOutcome::Sample {
+            item: best,
+            estimate: self.ts.t(best) * y_best,
+        }
+    }
+}
+
+impl SpaceUsage for AlphaL1SamplerInstance {
+    fn space(&self) -> SpaceReport {
+        let mut rep = self.cs1.space().merge(self.cs2.space());
+        rep.seed_bits += self.ts.seed_bits() as u64;
+        rep.overhead_bits += self.candidates.space_bits(self.universe)
+            + bd_hash::width_unsigned(self.r.unsigned_abs().max(1)) as u64
+            + bd_hash::width_unsigned(self.q.max(1)) as u64;
+        rep
+    }
+}
+
+/// The amplified sampler (Theorem 5): `O(ε^{-1} log(1/δ))` instances.
+#[derive(Clone, Debug)]
+pub struct AlphaL1Sampler {
+    instances: Vec<AlphaL1SamplerInstance>,
+}
+
+impl AlphaL1Sampler {
+    /// Build from shared parameters.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, params: &Params) -> Self {
+        AlphaL1Sampler {
+            instances: (0..params.sampler_copies())
+                .map(|_| AlphaL1SamplerInstance::new(rng, params))
+                .collect(),
+        }
+    }
+
+    /// Apply an update to every instance.
+    pub fn update<R: Rng + ?Sized>(&mut self, rng: &mut R, item: u64, delta: i64) {
+        for inst in &mut self.instances {
+            inst.update(rng, item, delta);
+        }
+    }
+
+    /// The first successful instance's sample.
+    pub fn query(&self) -> SampleOutcome {
+        for inst in &self.instances {
+            if let s @ SampleOutcome::Sample { .. } = inst.query() {
+                return s;
+            }
+        }
+        SampleOutcome::Fail
+    }
+
+    /// Number of parallel instances.
+    pub fn instances(&self) -> usize {
+        self.instances.len()
+    }
+}
+
+impl SpaceUsage for AlphaL1Sampler {
+    fn space(&self) -> SpaceReport {
+        self.instances
+            .iter()
+            .fold(SpaceReport::default(), |acc, i| acc.merge(i.space()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bd_stream::gen::StrongAlphaGen;
+    use bd_stream::FrequencyVector;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    #[test]
+    fn output_distribution_tracks_l1() {
+        let mut gen_rng = StdRng::seed_from_u64(1);
+        let stream = StrongAlphaGen::new(64, 40, 3.0).generate(&mut gen_rng);
+        let truth = FrequencyVector::from_stream(&stream);
+        let l1 = truth.l1() as f64;
+        let params = Params::practical(64, 0.25, 3.0).with_delta(0.5);
+
+        let mut counts: HashMap<u64, usize> = HashMap::new();
+        let mut draws = 0usize;
+        for seed in 0..250u64 {
+            let mut rng = StdRng::seed_from_u64(100 + seed);
+            let mut s = AlphaL1Sampler::new(&mut rng, &params);
+            for u in &stream {
+                s.update(&mut rng, u.item, u.delta);
+            }
+            if let SampleOutcome::Sample { item, .. } = s.query() {
+                *counts.entry(item).or_insert(0) += 1;
+                draws += 1;
+            }
+        }
+        assert!(draws >= 120, "too many failures: {draws}/250 draws");
+        let mut tv = 0.0;
+        for i in truth.support() {
+            let p = truth.get(i).unsigned_abs() as f64 / l1;
+            let q = counts.get(&i).copied().unwrap_or(0) as f64 / draws as f64;
+            tv += (p - q).abs();
+        }
+        tv /= 2.0;
+        assert!(tv < 0.35, "TV distance {tv}");
+    }
+
+    #[test]
+    fn estimates_have_relative_error() {
+        let mut gen_rng = StdRng::seed_from_u64(2);
+        let stream = StrongAlphaGen::new(256, 80, 2.0).generate(&mut gen_rng);
+        let truth = FrequencyVector::from_stream(&stream);
+        let params = Params::practical(256, 0.25, 2.0).with_delta(0.5);
+        let mut checked = 0;
+        for seed in 0..50u64 {
+            let mut rng = StdRng::seed_from_u64(500 + seed);
+            let mut s = AlphaL1Sampler::new(&mut rng, &params);
+            for u in &stream {
+                s.update(&mut rng, u.item, u.delta);
+            }
+            if let SampleOutcome::Sample { item, estimate } = s.query() {
+                let f = truth.get(item) as f64;
+                assert!(f != 0.0, "sampled outside the support");
+                assert!(
+                    (estimate - f).abs() / f.abs() < 0.5,
+                    "estimate {estimate} vs {f}"
+                );
+                checked += 1;
+            }
+        }
+        assert!(checked >= 15, "too few samples: {checked}");
+    }
+
+    #[test]
+    fn empty_stream_fails() {
+        let params = Params::practical(64, 0.5, 2.0).with_delta(0.5);
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = AlphaL1Sampler::new(&mut rng, &params);
+        assert_eq!(s.query(), SampleOutcome::Fail);
+    }
+}

@@ -1,0 +1,224 @@
+//! αL1Estimator — strict-turnstile `(1±ε)` L1 estimation (paper Figure 4,
+//! Theorem 6) in `O(log(α/ε) + log(1/δ) + log log n)` bits.
+//!
+//! Position in the stream is tracked only by a Morris counter (Lemma 11);
+//! based on its estimate `v_t`, updates are sampled at rate `s^{-j}` while
+//! `v_t` lies in the interval `I_j = [s^j, s^{j+2}]`. Two interval windows
+//! are live at any time; each keeps separate insertion/deletion counters
+//! `(c⁺_j, c⁻_j)`. At query time the *oldest* live window scaled by `s^j`
+//! estimates `Σ_i f_i = ‖f‖₁` (strict turnstile): the missed prefix is an
+//! `ε`-fraction by the α-property, and the Sampling Lemma bounds the
+//! thinning error.
+
+use crate::binomial::bin_pow2;
+use crate::params::Params;
+use bd_sketch::MorrisCounter;
+use bd_stream::{SpaceReport, SpaceUsage};
+use rand::Rng;
+
+/// One live sampling window `I_j`.
+#[derive(Clone, Copy, Debug)]
+struct Window {
+    j: u32,
+    plus: u64,
+    minus: u64,
+}
+
+/// The Figure 4 estimator.
+#[derive(Clone, Debug)]
+pub struct AlphaL1Estimator {
+    /// `s`, a power of two.
+    s: u64,
+    /// `log2(s)`.
+    sigma: u32,
+    morris: MorrisCounter,
+    windows: Vec<Window>,
+    max_counter: u64,
+}
+
+impl AlphaL1Estimator {
+    /// Size from shared parameters (`s = Params::interval_budget()`).
+    pub fn new(params: &Params) -> Self {
+        Self::with_budget(params.interval_budget())
+    }
+
+    /// Explicit power-of-two interval budget `s`.
+    pub fn with_budget(s: u64) -> Self {
+        assert!(s.is_power_of_two() && s >= 2);
+        AlphaL1Estimator {
+            s,
+            sigma: bd_hash::log2_floor(s),
+            morris: MorrisCounter::new(),
+            windows: vec![Window {
+                j: 0,
+                plus: 0,
+                minus: 0,
+            }],
+            max_counter: 0,
+        }
+    }
+
+    /// The interval budget `s`.
+    pub fn budget(&self) -> u64 {
+        self.s
+    }
+
+    /// `floor(log_s(v))` for the Morris estimate `v` (0 for `v < s`).
+    fn j_hi(&self, v: u64) -> u32 {
+        if v < self.s {
+            0
+        } else {
+            bd_hash::log2_floor(v) / self.sigma
+        }
+    }
+
+    /// Apply an update (weighted updates advance the Morris counter by
+    /// their magnitude and are binomially thinned, §1.3 / Remark 2).
+    pub fn update<R: Rng + ?Sized>(&mut self, rng: &mut R, item: u64, delta: i64) {
+        let _ = item; // the L1 estimator is identity-oblivious
+        if delta == 0 {
+            return;
+        }
+        let mag = delta.unsigned_abs();
+        for _ in 0..mag {
+            self.morris.tick(rng);
+        }
+        let v = self.morris.estimate().max(1);
+        let hi = self.j_hi(v);
+        let lo = hi.saturating_sub(1);
+        // Retire windows whose interval has passed, open new ones.
+        self.windows.retain(|w| w.j >= lo);
+        for j in lo..=hi {
+            if !self.windows.iter().any(|w| w.j == j) {
+                self.windows.push(Window {
+                    j,
+                    plus: 0,
+                    minus: 0,
+                });
+            }
+        }
+        self.windows.sort_by_key(|w| w.j);
+        for w in &mut self.windows {
+            let kept = bin_pow2(rng, mag, w.j * self.sigma);
+            if kept == 0 {
+                continue;
+            }
+            if delta > 0 {
+                w.plus += kept;
+            } else {
+                w.minus += kept;
+            }
+            self.max_counter = self.max_counter.max(w.plus.max(w.minus));
+        }
+    }
+
+    /// The estimate `s^{j*}·(c⁺ − c⁻)` from the oldest live window.
+    pub fn estimate(&self) -> f64 {
+        let Some(w) = self.windows.first() else {
+            return 0.0;
+        };
+        let scale = ((w.j * self.sigma) as f64).exp2();
+        (w.plus as f64 - w.minus as f64) * scale
+    }
+
+    /// The Morris position estimate (diagnostics).
+    pub fn position_estimate(&self) -> u64 {
+        self.morris.estimate()
+    }
+}
+
+impl SpaceUsage for AlphaL1Estimator {
+    fn space(&self) -> SpaceReport {
+        // Two live windows × two counters, each bounded by the samples a
+        // window can absorb (≤ s² in expectation ⇒ O(log s) = O(log(α/ε))
+        // bits), plus the Morris register.
+        let ctr_width = bd_hash::width_unsigned(self.max_counter.max(1)) as u64;
+        SpaceReport {
+            counters: (2 * self.windows.len()) as u64,
+            counter_bits: (2 * self.windows.len()) as u64 * ctr_width,
+            seed_bits: 0,
+            overhead_bits: 2 * 8, // window indices j (log log m bits each)
+        }
+        .merge(self.morris.space())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bd_stream::gen::BoundedDeletionGen;
+    use bd_stream::FrequencyVector;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exact_for_short_streams() {
+        // While v < s², window 0 samples everything: the estimate is exact.
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut e = AlphaL1Estimator::with_budget(1 << 10);
+        for i in 0..200u64 {
+            e.update(&mut rng, i, 2);
+        }
+        for i in 0..50u64 {
+            e.update(&mut rng, i, -1);
+        }
+        assert_eq!(e.estimate(), 350.0);
+    }
+
+    #[test]
+    fn relative_error_on_alpha_streams() {
+        let alpha = 4.0;
+        let mut gen_rng = StdRng::seed_from_u64(2);
+        let stream = BoundedDeletionGen::new(1 << 12, 400_000, alpha).generate(&mut gen_rng);
+        let truth = FrequencyVector::from_stream(&stream).l1() as f64;
+        let mut ok = 0;
+        let trials = 10;
+        for seed in 0..trials {
+            let mut rng = StdRng::seed_from_u64(100 + seed);
+            let mut e = AlphaL1Estimator::with_budget(1 << 12);
+            for u in &stream {
+                e.update(&mut rng, u.item, u.delta);
+            }
+            if (e.estimate() - truth).abs() / truth < 0.25 {
+                ok += 1;
+            }
+        }
+        assert!(ok >= 8, "only {ok}/{trials} within 25%");
+    }
+
+    #[test]
+    fn counters_stay_small() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut e = AlphaL1Estimator::with_budget(1 << 6);
+        for _ in 0..500_000u64 {
+            e.update(&mut rng, 1, 1);
+        }
+        // Counter magnitudes are O(s²·poly-log slack), not O(m).
+        let s2 = 1u64 << 12;
+        assert!(
+            e.space().counter_bits / e.space().counters
+                <= bd_hash::width_unsigned(64 * s2) as u64,
+            "counter width too large"
+        );
+    }
+
+    #[test]
+    fn insertion_only_streams_are_recovered() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut e = AlphaL1Estimator::with_budget(1 << 8);
+        for i in 0..100_000u64 {
+            e.update(&mut rng, i % 97, 1);
+        }
+        let est = e.estimate();
+        assert!(
+            (est - 100_000.0).abs() / 100_000.0 < 0.3,
+            "estimate {est} for m = 100000"
+        );
+    }
+
+    #[test]
+    fn empty_stream() {
+        let e = AlphaL1Estimator::with_budget(1 << 8);
+        assert_eq!(e.estimate(), 0.0);
+    }
+}

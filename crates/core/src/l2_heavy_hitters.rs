@@ -1,0 +1,132 @@
+//! L2 heavy hitters for α-property streams (paper Appendix A).
+//!
+//! If `|f_i| ≥ ε‖f‖₂` and the stream has the L2 α-property, then in the
+//! *insertion-only* stream `I + D` (every update taken with positive sign)
+//! item `i` is an `ε/α`-heavy hitter: `I_i + D_i ≥ |f_i| ≥ ε‖f‖₂ ≥
+//! (ε/α)‖I+D‖₂`. So: find the `ε/(2α)`-heavy candidates of `I + D` with an
+//! insertion-only sketch, then verify each against a Countsketch of `f`
+//! itself, keeping those with `|f̂_i| ≥ (3ε/4)·‖f‖₂`. Space is
+//! `O(α²ε^{-2}·log n·log(α/ε))` — polynomial in α (the paper leaves a
+//! logarithmic dependence open).
+
+use crate::params::Params;
+use bd_sketch::{CandidateSet, CountSketch};
+use bd_stream::{SpaceReport, SpaceUsage};
+use rand::Rng;
+
+/// The Appendix A two-stage L2 heavy-hitters sketch.
+#[derive(Clone, Debug)]
+pub struct AlphaL2HeavyHitters {
+    /// Countsketch over the insertion-only stream `I + D`.
+    finder: CountSketch<i64>,
+    /// Countsketch over `f` for verification and `‖f‖₂` estimation.
+    verifier: CountSketch<i64>,
+    candidates: CandidateSet,
+    epsilon: f64,
+    universe: u64,
+}
+
+impl AlphaL2HeavyHitters {
+    /// Build from shared parameters.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, params: &Params) -> Self {
+        let eps_find = params.epsilon / (2.0 * params.alpha);
+        let k_find = ((4.0 / (eps_find * eps_find)).ceil() as usize).clamp(8, 1 << 18);
+        let k_verify = ((8.0 / (params.epsilon * params.epsilon)).ceil() as usize).max(8);
+        let cap = ((4.0 * params.alpha * params.alpha)
+            / (params.epsilon * params.epsilon))
+            .ceil()
+            .clamp(8.0, 1e6) as usize;
+        AlphaL2HeavyHitters {
+            finder: CountSketch::new(rng, params.depth, k_find),
+            verifier: CountSketch::new(rng, params.depth, k_verify),
+            candidates: CandidateSet::new(cap),
+            epsilon: params.epsilon,
+            universe: params.n,
+        }
+    }
+
+    /// Apply an update.
+    pub fn update(&mut self, item: u64, delta: i64) {
+        // Insertion-only view: |Δ|.
+        self.finder.update(item, delta.unsigned_abs() as i64);
+        self.verifier.update(item, delta);
+        let finder = &self.finder;
+        self.candidates.offer(item, |i| finder.estimate(i));
+    }
+
+    /// The estimate of `‖f‖₂` from the verifier rows (Lemma 4).
+    pub fn l2_estimate(&self) -> f64 {
+        self.verifier.l2_estimate()
+    }
+
+    /// All items with `|f_i| ≥ ε‖f‖₂`, none below `(ε/2)‖f‖₂`.
+    pub fn query(&self) -> Vec<(u64, f64)> {
+        let thresh = 0.75 * self.epsilon * self.l2_estimate();
+        let verifier = &self.verifier;
+        let mut out: Vec<(u64, f64)> = self
+            .candidates
+            .iter()
+            .map(|i| (i, verifier.estimate(i)))
+            .filter(|&(_, e)| e.abs() >= thresh)
+            .collect();
+        out.sort_by(|a, b| b.1.abs().partial_cmp(&a.1.abs()).unwrap().then(a.0.cmp(&b.0)));
+        out
+    }
+}
+
+impl SpaceUsage for AlphaL2HeavyHitters {
+    fn space(&self) -> SpaceReport {
+        let mut rep = self.finder.space().merge(self.verifier.space());
+        rep.overhead_bits += self.candidates.space_bits(self.universe);
+        rep
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bd_stream::gen::BoundedDeletionGen;
+    use bd_stream::FrequencyVector;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn finds_l2_heavy_hitters() {
+        let eps = 0.25;
+        let alpha = 3.0;
+        let mut gen_rng = StdRng::seed_from_u64(1);
+        let stream = BoundedDeletionGen::new(1 << 12, 50_000, alpha).generate(&mut gen_rng);
+        let truth = FrequencyVector::from_stream(&stream);
+        let params = Params::practical(stream.n, eps, alpha);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut hh = AlphaL2HeavyHitters::new(&mut rng, &params);
+        for u in &stream {
+            hh.update(u.item, u.delta);
+        }
+        let got: Vec<u64> = hh.query().into_iter().map(|(i, _)| i).collect();
+        for i in truth.l2_heavy_hitters(eps) {
+            assert!(got.contains(&i), "missed L2 heavy hitter {i}");
+        }
+        let l2 = truth.l2();
+        for &i in &got {
+            assert!(
+                truth.get(i).unsigned_abs() as f64 >= eps / 2.0 * l2,
+                "false positive {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn l2_norm_estimate_is_tight() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let params = Params::practical(1 << 10, 0.2, 2.0);
+        let mut hh = AlphaL2HeavyHitters::new(&mut rng, &params);
+        let mut gen_rng = StdRng::seed_from_u64(4);
+        let stream = BoundedDeletionGen::new(1 << 10, 20_000, 2.0).generate(&mut gen_rng);
+        for u in &stream {
+            hh.update(u.item, u.delta);
+        }
+        let truth = FrequencyVector::from_stream(&stream).l2();
+        assert!((hh.l2_estimate() - truth).abs() / truth < 0.25);
+    }
+}

@@ -1,0 +1,61 @@
+//! # bd-core
+//!
+//! The α-property streaming algorithms of *Data Streams with Bounded
+//! Deletions* (Jayaram & Woodruff, PODS 2018).
+//!
+//! A stream has the **Lp α-property** (Definition 1) when
+//! `‖I + D‖_p ≤ α·‖f‖_p` — the Lp mass of the updates, had they all been
+//! insertions, exceeds the final norm by at most a factor α. `α = 1` is the
+//! insertion-only model; `α = poly(n)` is the full turnstile model. For
+//! streams between the extremes, this crate replaces the `log n` space
+//! factors of turnstile algorithms with `log α`:
+//!
+//! | Problem | Type | Paper | Entry point |
+//! |---|---|---|---|
+//! | point queries on samples | Figure 2, Thm 1 | CSSS | [`Csss`] |
+//! | ε-heavy hitters (L1) | §3, Thms 3–4 | strict + general | [`AlphaHeavyHitters`] |
+//! | L1 sampling | Figure 3, Thm 5 | strict, strong α | [`AlphaL1Sampler`] |
+//! | L1 estimation | Figure 4, Thm 6 | strict | [`AlphaL1Estimator`] |
+//! | L1 estimation | §5.2, Thm 8 | general | [`AlphaL1General`] |
+//! | inner products | §2.2, Thm 2 | general | [`AlphaInnerProduct`] |
+//! | L0 estimation | Figure 7, Thm 10 | general | [`AlphaL0Estimator`] |
+//! | rough L0 tracking | Cor. 2, Lemma 20 | general | [`AlphaRoughL0`], [`AlphaConstL0`] |
+//! | support sampling | Figure 8, Thm 11 | strict | [`AlphaSupportSampler`] |
+//! | L2 heavy hitters | Appendix A | general | [`AlphaL2HeavyHitters`] |
+//!
+//! All structures take a caller-supplied [`rand::Rng`] per update for the
+//! sampling coins, report bit-level space through
+//! [`bd_stream::SpaceUsage`], and are sized by [`Params`]. The
+//! unbounded-deletion baselines live in [`bd_sketch`].
+
+pub mod binomial;
+pub mod csss;
+pub mod heavy_hitters;
+pub mod inner_product;
+pub mod l0_const;
+pub mod l0_estimator;
+pub mod l0_rough;
+pub mod l1_general;
+pub mod l1_sampler;
+pub mod l1_strict;
+pub mod l2_heavy_hitters;
+pub mod params;
+pub mod sampling;
+pub mod support_sampler;
+
+pub use csss::Csss;
+pub use heavy_hitters::AlphaHeavyHitters;
+pub use inner_product::{AlphaInnerProduct, AlphaIpFamily, AlphaIpSketch};
+pub use l0_const::AlphaConstL0;
+pub use l0_estimator::AlphaL0Estimator;
+pub use l0_rough::AlphaRoughL0;
+pub use l1_general::AlphaL1General;
+pub use l1_sampler::{AlphaL1Sampler, AlphaL1SamplerInstance};
+pub use l1_strict::AlphaL1Estimator;
+pub use l2_heavy_hitters::AlphaL2HeavyHitters;
+pub use params::Params;
+pub use sampling::SampledVector;
+pub use support_sampler::{AlphaSupportSampler, AlphaSupportSamplerSet};
+
+/// Re-export of the sample outcome type shared with the baselines.
+pub use bd_sketch::SampleOutcome;

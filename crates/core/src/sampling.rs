@@ -1,0 +1,241 @@
+//! The Sampling Lemma primitive (paper Lemma 1 / Lemma 13).
+//!
+//! For an α-property stream, uniformly sampling `poly(α/ε)` updates and
+//! scaling up preserves every coordinate to within an additive `ε‖f‖₁`:
+//! sampling an update is a coin whose bias the α-property bounds away from
+//! `1/2` relative to the final norm. [`SampledVector`] maintains such a
+//! sample with a dyadic, self-adjusting rate (double the stream, halve the
+//! rate) using exact binomial thinning, so at any time the retained sample
+//! is distributed exactly as a fresh `2^{-level}` sample of the prefix.
+
+use crate::binomial::{bin_half, bin_pow2};
+use bd_stream::{SpaceReport, SpaceUsage};
+use rand::Rng;
+use std::collections::HashMap;
+
+/// A uniformly sampled, dyadically thinned copy of the stream's frequency
+/// vector, with per-item positive/negative sampled counts.
+#[derive(Clone, Debug)]
+pub struct SampledVector {
+    budget: u64,
+    level: u32,
+    /// Stream position: total update mass seen.
+    position: u64,
+    /// Per item: (sampled insertions, sampled deletions).
+    counts: HashMap<u64, (u64, u64)>,
+}
+
+impl SampledVector {
+    /// Keep roughly `budget..2·budget` sampled units: the rate halves each
+    /// time the position crosses `budget·2^r` (giving `2^{-level} ≥ S/(2m)`,
+    /// the invariant every use of Lemma 1 needs).
+    pub fn new(budget: u64) -> Self {
+        SampledVector {
+            budget: budget.max(1),
+            level: 0,
+            position: 0,
+            counts: HashMap::new(),
+        }
+    }
+
+    /// The current sampling level `p` (rate `2^{-p}`).
+    pub fn level(&self) -> u32 {
+        self.level
+    }
+
+    /// The stream mass processed.
+    pub fn position(&self) -> u64 {
+        self.position
+    }
+
+    /// Apply an update; weighted updates are thinned with `Bin(|Δ|, 2^-p)`
+    /// (§1.3's implicit unit expansion).
+    pub fn update<R: Rng + ?Sized>(&mut self, rng: &mut R, item: u64, delta: i64) {
+        if delta == 0 {
+            return;
+        }
+        let mag = delta.unsigned_abs();
+        self.position += mag;
+        while self.position > self.budget << self.level {
+            self.halve(rng);
+        }
+        let kept = bin_pow2(rng, mag, self.level);
+        if kept == 0 {
+            return;
+        }
+        let slot = self.counts.entry(item).or_insert((0, 0));
+        if delta > 0 {
+            slot.0 += kept;
+        } else {
+            slot.1 += kept;
+        }
+    }
+
+    /// Downsample every retained unit with probability 1/2 and bump the
+    /// level (Figure 2 step 5(a)).
+    fn halve<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        self.level += 1;
+        self.counts.retain(|_, (pos, neg)| {
+            *pos = bin_half(rng, *pos);
+            *neg = bin_half(rng, *neg);
+            *pos != 0 || *neg != 0
+        });
+    }
+
+    /// The scaled estimate `f*_i = 2^p·(pos_i − neg_i)`.
+    pub fn estimate(&self, item: u64) -> f64 {
+        match self.counts.get(&item) {
+            Some(&(pos, neg)) => (pos as f64 - neg as f64) * (self.level as f64).exp2(),
+            None => 0.0,
+        }
+    }
+
+    /// The scaled estimate of `Σ_i f_i` (Lemma 1's final statement).
+    pub fn estimate_sum(&self) -> f64 {
+        let net: i64 = self
+            .counts
+            .values()
+            .map(|&(p, n)| p as i64 - n as i64)
+            .sum();
+        net as f64 * (self.level as f64).exp2()
+    }
+
+    /// Number of retained sampled units.
+    pub fn sampled_units(&self) -> u64 {
+        self.counts.values().map(|&(p, n)| p + n).sum()
+    }
+
+    /// Items with at least one retained unit.
+    pub fn touched(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+impl SpaceUsage for SampledVector {
+    fn space(&self) -> SpaceReport {
+        // Each entry: an identifier + two counters bounded by the retained
+        // sample size (≤ 2·budget whp) ⇒ O(log(budget)) bits apiece.
+        let entries = self.counts.len() as u64;
+        let max_count = self
+            .counts
+            .values()
+            .map(|&(p, n)| p.max(n))
+            .max()
+            .unwrap_or(0);
+        let ctr = 2 * bd_hash::width_unsigned(max_count.max(1)) as u64;
+        SpaceReport {
+            counters: entries,
+            counter_bits: entries * (64 + ctr),
+            seed_bits: 0,
+            overhead_bits: 64 + 8, // position + level
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bd_stream::gen::BoundedDeletionGen;
+    use bd_stream::FrequencyVector;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn no_thinning_below_budget() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut s = SampledVector::new(1_000);
+        for i in 0..100u64 {
+            s.update(&mut rng, i, 3);
+        }
+        assert_eq!(s.level(), 0);
+        for i in 0..100u64 {
+            assert_eq!(s.estimate(i), 3.0, "exact below budget");
+        }
+        assert_eq!(s.estimate_sum(), 300.0);
+    }
+
+    #[test]
+    fn rate_invariant_holds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let budget = 256u64;
+        let mut s = SampledVector::new(budget);
+        for i in 0..100_000u64 {
+            s.update(&mut rng, i % 64, 1);
+        }
+        // 2^{-level} >= budget / (2·position)
+        assert!(budget << s.level() >= s.position());
+        assert!((budget << s.level()) / 2 <= s.position());
+        // retained sample size stays O(budget)
+        assert!(s.sampled_units() <= 4 * budget);
+    }
+
+    #[test]
+    fn sampling_lemma_error_bound() {
+        // Lemma 1: |f*_i − f_i| ≤ ε‖f‖₁ with budget S = α²/ε³·log(1/δ)-ish.
+        let alpha = 3.0f64;
+        let eps = 0.15f64;
+        let budget = (alpha * alpha / eps.powi(3) * 8.0) as u64;
+        let mut gen_rng = StdRng::seed_from_u64(3);
+        let stream = BoundedDeletionGen::new(1 << 10, 200_000, alpha).generate(&mut gen_rng);
+        let truth = FrequencyVector::from_stream(&stream);
+        let bound = eps * truth.l1() as f64;
+
+        let mut violations = 0usize;
+        let mut probes = 0usize;
+        for seed in 0..8u64 {
+            let mut rng = StdRng::seed_from_u64(100 + seed);
+            let mut s = SampledVector::new(budget);
+            for u in &stream {
+                s.update(&mut rng, u.item, u.delta);
+            }
+            for i in truth.support() {
+                probes += 1;
+                if (s.estimate(i) - truth.get(i) as f64).abs() > bound {
+                    violations += 1;
+                }
+            }
+            if (s.estimate_sum() - truth.l1() as f64).abs() > bound {
+                violations += 1;
+            }
+        }
+        assert!(
+            violations * 50 <= probes,
+            "{violations}/{probes} Lemma-1 violations"
+        );
+    }
+
+    #[test]
+    fn estimates_are_unbiased() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let trials = 3000;
+        let mut acc = 0.0;
+        for _ in 0..trials {
+            let mut s = SampledVector::new(16);
+            for _ in 0..40 {
+                s.update(&mut rng, 7, 1); // f_7 = 40, forces thinning
+            }
+            acc += s.estimate(7);
+        }
+        let mean = acc / trials as f64;
+        assert!((mean - 40.0).abs() < 1.5, "mean {mean}");
+    }
+
+    #[test]
+    fn deletions_thin_symmetrically() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let trials = 3000;
+        let mut acc = 0.0;
+        for _ in 0..trials {
+            let mut s = SampledVector::new(32);
+            for _ in 0..50 {
+                s.update(&mut rng, 1, 2);
+            }
+            for _ in 0..30 {
+                s.update(&mut rng, 1, -2);
+            }
+            acc += s.estimate(1); // true f_1 = 40
+        }
+        let mean = acc / trials as f64;
+        assert!((mean - 40.0).abs() < 3.0, "mean {mean}");
+    }
+}

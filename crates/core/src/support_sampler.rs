@@ -1,0 +1,289 @@
+//! α-SupportSampler — support sampling for strict-turnstile L0 α-property
+//! streams (paper §7, Figure 8, Theorem 11):
+//! `O(k·log(n)·(log α + log log n)·log(1/δ))` bits versus the turnstile
+//! lower bound `Ω(k·log²(n/k))`.
+//!
+//! The universe is subsampled at nested levels `I_j = {i : h(i) < 2^j}`, and
+//! each *live* level keeps an s-sparse recovery sketch (Lemma 22) of the
+//! suffix stream `f^{t_j:t}|I_j`. Liveness follows the rough tracker `R_t`
+//! (Corollary 2): only levels `j ≈ log(n·s/(3R_t)) ± 2 log(αρ/ε)` — whose
+//! expected live support fits the recovery budget — plus the top few levels
+//! `j ≥ log(n·s·log log n/(24 log n))` (covering the tiny-F0 regime where
+//! the tracker has no guarantee) are maintained. At query time every stored
+//! level is decoded and the *strictly positive* recovered coordinates are
+//! returned: on strict streams a positive suffix frequency certifies
+//! membership in the final support.
+
+use crate::l0_rough::AlphaRoughL0;
+use crate::params::Params;
+use bd_sketch::{Recovery, SparseRecovery};
+use bd_stream::{SpaceReport, SpaceUsage};
+use rand::Rng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+
+/// One α-property support-sampler instance.
+#[derive(Clone, Debug)]
+pub struct AlphaSupportSampler {
+    h: bd_hash::KWiseHash,
+    sketches: BTreeMap<u32, SparseRecovery>,
+    tracker: AlphaRoughL0,
+    universe: u64,
+    /// Recovery budget per level, `s = Θ(k)`.
+    s: usize,
+    k: usize,
+    /// Margin below the centre (levels the descending centre will reach).
+    win_lo: u32,
+    /// Margin above the centre (covers tracker overshoot / late starts).
+    win_hi: u32,
+    max_level: u32,
+    /// Levels `≥ top_floor` are always stored (the Figure 8 second set).
+    top_floor: u32,
+    spawn_seed: u64,
+    spawned: u64,
+    peak_live: usize,
+}
+
+impl AlphaSupportSampler {
+    /// Build for request size `k` from shared parameters.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, params: &Params, k: usize) -> Self {
+        let n_pow = bd_hash::next_pow2(params.n.max(2));
+        let max_level = bd_hash::log2_floor(n_pow);
+        let s = (4 * k).max(8);
+        let logn = bd_hash::log2_ceil(params.n.max(4)) as f64;
+        // j ≥ log2(n·s·loglog(n)/(24·log n)), clamped into range.
+        let top = (n_pow as f64 * s as f64 * logn.log2().max(1.0) / (24.0 * logn))
+            .log2()
+            .ceil()
+            .clamp(0.0, max_level as f64) as u32;
+        AlphaSupportSampler {
+            h: bd_hash::KWiseHash::pairwise(rng, n_pow),
+            sketches: BTreeMap::new(),
+            tracker: AlphaRoughL0::new(rng, params.n),
+            universe: params.n,
+            s,
+            k,
+            win_lo: params.l0_window_suffix() as u32,
+            // Overshoot margin: the tracker exceeds L0 by ≤ αρ, and unlike
+            // the L0 estimator there is no query-time row walk to cover, so
+            // +3 slack suffices (DESIGN.md §6).
+            win_hi: ((params.alpha * AlphaRoughL0::RATIO).log2().ceil() as u32).max(1) + 3,
+            max_level,
+            top_floor: top,
+            spawn_seed: rng.gen(),
+            spawned: 0,
+            peak_live: 0,
+        }
+    }
+
+    /// The request size `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The live-window centre `log2(n·s/(3·R_t))`.
+    fn centre(&self) -> u32 {
+        let n_pow = 1u64 << self.max_level;
+        let target = n_pow as f64 * self.s as f64 / (3.0 * self.tracker.estimate() as f64);
+        target.log2().round().clamp(0.0, self.max_level as f64) as u32
+    }
+
+    /// Apply an update.
+    pub fn update<R: Rng + ?Sized>(&mut self, rng: &mut R, item: u64, delta: i64) {
+        if delta == 0 {
+            return;
+        }
+        let _ = rng;
+        self.tracker.update(item, delta);
+        // Maintain the live set: drop dead levels, spawn new ones (each new
+        // sketch sees only the suffix from its spawn time).
+        let centre = self.centre();
+        let lo = centre.saturating_sub(self.win_lo);
+        let hi = (centre + self.win_hi).min(self.max_level);
+        let top = self.top_floor;
+        self.sketches.retain(|&j, _| j >= top || j >= lo);
+        for j in (lo..=hi).chain(top..=self.max_level) {
+            if !self.sketches.contains_key(&j) {
+                let mut spawn =
+                    rand::rngs::StdRng::seed_from_u64(self.spawn_seed ^ (self.spawned << 8));
+                self.spawned += 1;
+                self.sketches
+                    .insert(j, SparseRecovery::new(&mut spawn, self.universe, self.s));
+            }
+        }
+        self.peak_live = self.peak_live.max(self.sketches.len());
+
+        let hv = self.h.hash(item);
+        // Item belongs to I_j ⇔ h(item) < 2^j ⇔ j > log2(hv).
+        let first = if hv == 0 {
+            0
+        } else {
+            bd_hash::log2_floor(hv) + 1
+        };
+        for (_, sk) in self.sketches.range_mut(first..) {
+            sk.update(item, delta);
+        }
+    }
+
+    /// Decode every stored level; return strictly positive recovered
+    /// coordinates (members of the final support on strict streams).
+    pub fn query(&self) -> Vec<u64> {
+        let mut out: Vec<u64> = Vec::new();
+        for sk in self.sketches.values() {
+            if let Recovery::Sparse(m) = sk.decode() {
+                for (i, v) in m {
+                    if v > 0 {
+                        out.push(i);
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Levels currently live.
+    pub fn live_levels(&self) -> usize {
+        self.sketches.len()
+    }
+
+    /// Most levels ever simultaneously live.
+    pub fn peak_live_levels(&self) -> usize {
+        self.peak_live
+    }
+}
+
+impl SpaceUsage for AlphaSupportSampler {
+    fn space(&self) -> SpaceReport {
+        let mut rep = SpaceReport {
+            seed_bits: self.h.seed_bits() as u64 + 64,
+            overhead_bits: self.sketches.len() as u64 * 8,
+            ..Default::default()
+        };
+        for sk in self.sketches.values() {
+            rep = rep.merge(sk.space());
+        }
+        rep.merge(self.tracker.space())
+    }
+}
+
+/// Amplified wrapper: independent instances raise the `min(k, ‖f‖₀)`
+/// success probability to `1 − δ` (Theorem 11).
+#[derive(Clone, Debug)]
+pub struct AlphaSupportSamplerSet {
+    instances: Vec<AlphaSupportSampler>,
+}
+
+impl AlphaSupportSamplerSet {
+    /// Build `O(log 1/δ)` instances.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, params: &Params, k: usize) -> Self {
+        let copies = ((1.0 / params.delta).log2().ceil() as usize).clamp(1, 16);
+        AlphaSupportSamplerSet {
+            instances: (0..copies)
+                .map(|_| AlphaSupportSampler::new(rng, params, k))
+                .collect(),
+        }
+    }
+
+    /// Apply an update to every instance.
+    pub fn update<R: Rng + ?Sized>(&mut self, rng: &mut R, item: u64, delta: i64) {
+        for inst in &mut self.instances {
+            inst.update(rng, item, delta);
+        }
+    }
+
+    /// Union of the instances' recoveries.
+    pub fn query(&self) -> Vec<u64> {
+        let mut out: Vec<u64> = self.instances.iter().flat_map(|i| i.query()).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+impl SpaceUsage for AlphaSupportSamplerSet {
+    fn space(&self) -> SpaceReport {
+        self.instances
+            .iter()
+            .fold(SpaceReport::default(), |acc, i| acc.merge(i.space()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bd_stream::gen::{L0AlphaGen, SensorGen};
+    use bd_stream::FrequencyVector;
+    use rand::rngs::StdRng;
+
+    #[test]
+    fn returns_enough_valid_support() {
+        let alpha = 3.0;
+        let mut ok = 0;
+        let trials = 10;
+        for seed in 0..trials {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let stream = L0AlphaGen::new(1 << 18, 600, alpha).generate(&mut rng);
+            let truth = FrequencyVector::from_stream(&stream);
+            let params = Params::practical(stream.n, 0.25, alpha);
+            let k = 16usize;
+            let mut s = AlphaSupportSamplerSet::new(&mut rng, &params, k);
+            for u in &stream {
+                s.update(&mut rng, u.item, u.delta);
+            }
+            let got = s.query();
+            let valid = got.iter().all(|&i| truth.get(i) != 0);
+            if valid && got.len() >= k.min(truth.l0() as usize) {
+                ok += 1;
+            }
+        }
+        assert!(ok >= 8, "support guarantee held in only {ok}/{trials}");
+    }
+
+    #[test]
+    fn never_returns_deleted_items() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let stream = SensorGen::new(1 << 16, 100, 400).generate(&mut rng);
+        let truth = FrequencyVector::from_stream(&stream);
+        let params = Params::practical(stream.n, 0.25, 5.0);
+        let mut s = AlphaSupportSampler::new(&mut rng, &params, 8);
+        for u in &stream {
+            s.update(&mut rng, u.item, u.delta);
+        }
+        for i in s.query() {
+            assert!(truth.get(i) > 0, "item {i} is not in the support");
+        }
+    }
+
+    #[test]
+    fn small_support_fully_recovered() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let params = Params::practical(1 << 20, 0.25, 2.0);
+        let mut s = AlphaSupportSampler::new(&mut rng, &params, 8);
+        for i in 0..5u64 {
+            s.update(&mut rng, i * 131_071, (i + 1) as i64);
+        }
+        let got = s.query();
+        assert_eq!(got.len(), 5, "‖f‖₀ < k ⇒ everything comes back: {got:?}");
+    }
+
+    #[test]
+    fn live_levels_stay_windowed() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let alpha = 2.0;
+        let stream = L0AlphaGen::new(1 << 24, 2_000, alpha).generate(&mut rng);
+        let params = Params::practical(stream.n, 0.25, alpha);
+        let mut s = AlphaSupportSampler::new(&mut rng, &params, 8);
+        for u in &stream {
+            s.update(&mut rng, u.item, u.delta);
+        }
+        let logn = bd_hash::log2_ceil(stream.n) as usize;
+        assert!(
+            s.peak_live_levels() < 2 * logn,
+            "{} live levels",
+            s.peak_live_levels()
+        );
+        assert!(s.live_levels() >= 1);
+    }
+}

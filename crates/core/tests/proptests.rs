@@ -1,0 +1,97 @@
+//! Property-based tests for the α-property algorithms' primitives.
+
+use bd_core::binomial::{bin_half, bin_pow2, coin_pow2};
+use bd_core::{Csss, Params, SampledVector};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bin_half_never_exceeds_trials(seed: u64, n in 0u64..100_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        prop_assert!(bin_half(&mut rng, n) <= n);
+    }
+
+    #[test]
+    fn bin_pow2_monotone_in_q(seed: u64, n in 0u64..10_000, q in 0u32..20) {
+        // Thinning harder cannot (stochastically) produce more than the
+        // whole population.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let kept = bin_pow2(&mut rng, n, q);
+        prop_assert!(kept <= n);
+        if q == 0 {
+            prop_assert_eq!(kept, n);
+        }
+    }
+
+    #[test]
+    fn coin_pow2_zero_is_certain(seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        prop_assert!(coin_pow2(&mut rng, 0));
+    }
+
+    #[test]
+    fn sampled_vector_is_exact_below_budget(
+        seed: u64,
+        items in prop::collection::vec((0u64..32, -6i64..6), 0..30),
+    ) {
+        let mass: u64 = items.iter().map(|(_, d)| d.unsigned_abs()).sum();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut s = SampledVector::new(mass.max(1) * 2);
+        let mut exact = std::collections::HashMap::new();
+        for &(i, d) in &items {
+            s.update(&mut rng, i, d);
+            *exact.entry(i).or_insert(0i64) += d;
+        }
+        prop_assert_eq!(s.level(), 0, "no thinning below budget");
+        for (&i, &f) in &exact {
+            prop_assert_eq!(s.estimate(i), f as f64);
+        }
+    }
+
+    #[test]
+    fn csss_exact_on_sparse_input_below_budget(
+        seed: u64,
+        deltas in prop::collection::vec(-100i64..100, 1..6),
+    ) {
+        // ≤5 well-separated items in a 96-bucket row: the median over 11
+        // rows is exact w.h.p.; fixed seeds make this deterministic.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut c = Csss::new(&mut rng, 16, 11, 1 << 30);
+        for (idx, &d) in deltas.iter().enumerate() {
+            c.update(&mut rng, idx as u64 * 1_000_003, d);
+        }
+        for (idx, &d) in deltas.iter().enumerate() {
+            let est = c.estimate(idx as u64 * 1_000_003);
+            prop_assert!((est - d as f64).abs() < 1e-9, "est {est} vs {d}");
+        }
+    }
+
+    #[test]
+    fn params_budgets_are_monotone(
+        alpha in 1.0f64..64.0,
+        eps in 0.02f64..0.5,
+    ) {
+        let p = Params::practical(1 << 20, eps, alpha);
+        let p2 = Params::practical(1 << 20, eps, alpha * 2.0);
+        prop_assert!(p2.csss_sample_budget() >= p.csss_sample_budget());
+        prop_assert!(p2.interval_budget() >= p.interval_budget());
+        let tighter = Params::practical(1 << 20, eps / 2.0, alpha);
+        prop_assert!(tighter.csss_sample_budget() >= p.csss_sample_budget());
+    }
+
+    #[test]
+    fn csss_counters_bounded_by_budget_multiple(seed: u64, reps in 1u64..40) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let budget = 128u64;
+        let mut c = Csss::new(&mut rng, 2, 3, budget);
+        for i in 0..reps * 500 {
+            c.update(&mut rng, i % 8, 1);
+        }
+        // Counters hold sampled units: whp ≤ a small multiple of budget.
+        prop_assert!(c.max_counter() <= 16 * budget, "counter {}", c.max_counter());
+    }
+}

@@ -1,0 +1,111 @@
+//! Bit-level utilities: `lsb`, logarithms, and bit-width accounting.
+//!
+//! The L0 structures (paper §6.1) subsample item `i` to level `lsb(h1(i))`,
+//! and every space comparison in Figure 1 is stated in bits, so the rest of
+//! the workspace leans on these helpers.
+
+/// 0-based index of the least significant set bit; by the paper's convention
+/// (`lsb(0) = log n`) a zero input maps to `max_level`.
+///
+/// `lsb(6) = 1`, `lsb(5) = 0`, `lsb(0) = max_level`.
+#[inline]
+pub fn lsb(x: u64, max_level: u32) -> u32 {
+    if x == 0 {
+        max_level
+    } else {
+        x.trailing_zeros()
+    }
+}
+
+/// `ceil(log2(x))` for `x >= 1`; `log2_ceil(1) = 0`.
+#[inline]
+pub fn log2_ceil(x: u64) -> u32 {
+    assert!(x >= 1);
+    64 - (x - 1).leading_zeros()
+}
+
+/// `floor(log2(x))` for `x >= 1`.
+#[inline]
+pub fn log2_floor(x: u64) -> u32 {
+    assert!(x >= 1);
+    63 - x.leading_zeros()
+}
+
+/// Number of bits required to store an unsigned magnitude: `0 → 1` bit,
+/// otherwise `floor(log2(x)) + 1`.
+#[inline]
+pub fn width_unsigned(x: u64) -> u32 {
+    if x == 0 {
+        1
+    } else {
+        log2_floor(x) + 1
+    }
+}
+
+/// Number of bits required to store a signed counter that reached absolute
+/// magnitude `max_abs`: magnitude bits plus one sign bit.
+#[inline]
+pub fn width_signed(max_abs: u64) -> u32 {
+    width_unsigned(max_abs) + 1
+}
+
+/// Round `x` up to the next power of two (`0 → 1`).
+#[inline]
+pub fn next_pow2(x: u64) -> u64 {
+    x.max(1).next_power_of_two()
+}
+
+/// Integer `ceil(a / b)`.
+#[inline]
+pub fn div_ceil(a: u64, b: u64) -> u64 {
+    debug_assert!(b > 0);
+    a / b + u64::from(!a.is_multiple_of(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lsb_matches_paper_examples() {
+        assert_eq!(lsb(6, 32), 1);
+        assert_eq!(lsb(5, 32), 0);
+        assert_eq!(lsb(0, 32), 32);
+        assert_eq!(lsb(8, 32), 3);
+        assert_eq!(lsb(1 << 40, 64), 40);
+    }
+
+    #[test]
+    fn log2_ceil_and_floor() {
+        assert_eq!(log2_ceil(1), 0);
+        assert_eq!(log2_ceil(2), 1);
+        assert_eq!(log2_ceil(3), 2);
+        assert_eq!(log2_ceil(1024), 10);
+        assert_eq!(log2_ceil(1025), 11);
+        assert_eq!(log2_floor(1), 0);
+        assert_eq!(log2_floor(3), 1);
+        assert_eq!(log2_floor(1024), 10);
+        assert_eq!(log2_floor(2047), 10);
+    }
+
+    #[test]
+    fn widths() {
+        assert_eq!(width_unsigned(0), 1);
+        assert_eq!(width_unsigned(1), 1);
+        assert_eq!(width_unsigned(2), 2);
+        assert_eq!(width_unsigned(255), 8);
+        assert_eq!(width_unsigned(256), 9);
+        assert_eq!(width_signed(0), 2);
+        assert_eq!(width_signed(127), 8);
+    }
+
+    #[test]
+    fn pow2_and_div_ceil() {
+        assert_eq!(next_pow2(0), 1);
+        assert_eq!(next_pow2(5), 8);
+        assert_eq!(next_pow2(8), 8);
+        assert_eq!(div_ceil(10, 3), 4);
+        assert_eq!(div_ceil(9, 3), 3);
+        assert_eq!(div_ceil(0, 3), 0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Streaming modular reduction of long identities (paper Lemma 7).
+//!
+//! Lemma 7: a `log n`-bit integer `x` can be reduced modulo `p` using only
+//! `log log n + log p` bits of working state, by scanning the bits of `x`
+//! from least significant upward while maintaining `2^t mod p` and a running
+//! congruence class. The inner-product algorithm (Theorem 2) uses this to
+//! hash sampled identities into `[P]` without ever holding `Ω(log n)` extra
+//! bits beyond the identity being processed.
+
+/// Incremental `x mod p` over a bit stream, least-significant bit first.
+///
+/// State: the current accumulator `< p`, the current power `2^t mod p`, and
+/// the bit index `t` (the `log log n`-bit cursor of the lemma).
+#[derive(Clone, Debug)]
+pub struct StreamingMod {
+    p: u64,
+    acc: u64,
+    pow: u64,
+    bit_index: u32,
+}
+
+impl StreamingMod {
+    /// Start a reduction modulo `p >= 2`.
+    pub fn new(p: u64) -> Self {
+        assert!(p >= 2);
+        StreamingMod {
+            p,
+            acc: 0,
+            pow: 1 % p,
+            bit_index: 0,
+        }
+    }
+
+    /// Feed the next bit (LSB-first). Mirrors the `c ← c + y_t (mod p)` loop
+    /// of Lemma 7.
+    #[inline]
+    pub fn push_bit(&mut self, bit: bool) {
+        if bit {
+            self.acc = (self.acc + self.pow) % self.p;
+        }
+        self.pow = self.pow.wrapping_mul(2) % self.p; // pow < p <= 2^63 ⇒ no overflow for p < 2^63
+        self.bit_index += 1;
+    }
+
+    /// Number of bits consumed so far.
+    pub fn bits_consumed(&self) -> u32 {
+        self.bit_index
+    }
+
+    /// The reduction of the bits consumed so far.
+    pub fn value(&self) -> u64 {
+        self.acc
+    }
+
+    /// Working-state size in bits: `2·ceil(log2 p)` for `acc`/`pow` plus the
+    /// `log log`-bit cursor.
+    pub fn state_bits(&self) -> u32 {
+        2 * crate::bits::width_unsigned(self.p - 1) + crate::bits::width_unsigned(64)
+    }
+}
+
+/// One-shot convenience: reduce a `u64` identity via the streaming scanner.
+pub fn mod_streaming(x: u64, p: u64) -> u64 {
+    let mut s = StreamingMod::new(p);
+    for t in 0..64 {
+        s.push_bit((x >> t) & 1 == 1);
+    }
+    s.value()
+}
+
+/// Reduce an arbitrarily long identity given as little-endian 64-bit limbs.
+pub fn mod_streaming_limbs(limbs: &[u64], p: u64) -> u64 {
+    let mut s = StreamingMod::new(p);
+    for &limb in limbs {
+        for t in 0..64 {
+            s.push_bit((limb >> t) & 1 == 1);
+        }
+    }
+    s.value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_direct_reduction() {
+        for &p in &[2u64, 3, 97, 1_000_003, (1 << 31) - 1] {
+            for &x in &[0u64, 1, 2, 96, 97, 98, u64::MAX, 0xdead_beef_1234_5678] {
+                assert_eq!(mod_streaming(x, p), x % p, "x={x} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_limb_identities() {
+        // x = limbs[0] + 2^64 limbs[1]; check against u128 arithmetic.
+        let p = 1_000_000_007u64;
+        let limbs = [0x0123_4567_89ab_cdefu64, 0xfedc_ba98_7654_3210u64];
+        let x = (limbs[1] as u128) << 64 | limbs[0] as u128;
+        assert_eq!(mod_streaming_limbs(&limbs, p) as u128, x % p as u128);
+    }
+
+    #[test]
+    fn state_is_small() {
+        let s = StreamingMod::new(1_000_003);
+        assert!(s.state_bits() <= 2 * 20 + 7);
+    }
+
+    #[test]
+    fn incremental_prefix_values() {
+        // After consuming t bits of x, value == (x mod 2^t) mod p.
+        let p = 12_345_701u64; // prime-ish; any modulus works
+        let x = 0xfeed_face_cafe_f00du64;
+        let mut s = StreamingMod::new(p);
+        for t in 0..64u32 {
+            let prefix = if t == 0 { 0 } else { x & ((1u64 << t) - 1) };
+            assert_eq!(s.value(), prefix % p, "prefix of {t} bits");
+            s.push_bit((x >> t) & 1 == 1);
+        }
+    }
+}

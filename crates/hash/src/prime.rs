@@ -1,0 +1,191 @@
+//! Primality testing and random prime sampling.
+//!
+//! Several of the paper's constructions pick a uniformly random prime
+//! `P ∈ [D, D^3]` and work modulo `P`: the inner-product universe reduction
+//! (Theorem 2), the L0 fingerprints (Figure 6 picks `p ∈ [D, D^3]` with
+//! `D = 100·K·log(mM)`), and the small-F0 counter (Lemma 19). Density of
+//! primes guarantees enough primes in the window; we sample by rejection with
+//! a deterministic Miller–Rabin test that is exact for all `u64`.
+
+use rand::Rng;
+
+/// Deterministic Miller–Rabin primality test, exact for all `n < 2^64`.
+///
+/// Uses the standard 12-base witness set proven sufficient for the `u64`
+/// range.
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n.is_multiple_of(p) {
+            return false;
+        }
+    }
+    // write n-1 = d * 2^s with d odd
+    let mut d = n - 1;
+    let mut s = 0u32;
+    while d & 1 == 0 {
+        d >>= 1;
+        s += 1;
+    }
+    'witness: for &a in &[2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = pow_mod(a % n, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..s - 1 {
+            x = mul_mod(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// `(a * b) mod m` without overflow.
+#[inline]
+pub fn mul_mod(a: u64, b: u64, m: u64) -> u64 {
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+/// `(a + b) mod m` without overflow.
+#[inline]
+pub fn add_mod(a: u64, b: u64, m: u64) -> u64 {
+    ((a as u128 + b as u128) % m as u128) as u64
+}
+
+/// `a^e mod m` by square-and-multiply.
+pub fn pow_mod(mut a: u64, mut e: u64, m: u64) -> u64 {
+    if m == 1 {
+        return 0;
+    }
+    let mut acc = 1u64;
+    a %= m;
+    while e > 0 {
+        if e & 1 == 1 {
+            acc = mul_mod(acc, a, m);
+        }
+        a = mul_mod(a, a, m);
+        e >>= 1;
+    }
+    acc
+}
+
+/// Sample a uniformly random prime in `[lo, hi]` by rejection.
+///
+/// Panics if the interval contains no prime (callers use wide windows like
+/// `[D, D^3]` where the prime-counting function guarantees plenty).
+pub fn random_prime_in<R: Rng + ?Sized>(rng: &mut R, lo: u64, hi: u64) -> u64 {
+    assert!(lo <= hi, "empty prime window");
+    // Expected O(ln hi) rejections; cap attempts generously before falling
+    // back to a deterministic scan so the function is total.
+    for _ in 0..64 * 128 {
+        let c = rng.gen_range(lo..=hi);
+        if is_prime(c) {
+            return c;
+        }
+    }
+    let mut c = lo;
+    while c <= hi {
+        if is_prime(c) {
+            return c;
+        }
+        c += 1;
+    }
+    panic!("no prime in [{lo}, {hi}]");
+}
+
+/// The paper's window `[D, D^3]` (saturating at `u64::MAX`), as used by
+/// Figure 6 and Theorem 2.
+pub fn prime_window(d: u64) -> (u64, u64) {
+    let lo = d.max(2);
+    let hi = lo.saturating_mul(lo).saturating_mul(lo);
+    (lo, hi)
+}
+
+/// Sample a random prime from `[D, D^3]`.
+pub fn random_prime_window<R: Rng + ?Sized>(rng: &mut R, d: u64) -> u64 {
+    let (lo, hi) = prime_window(d);
+    random_prime_in(rng, lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn small_primes_classified() {
+        let primes = [2u64, 3, 5, 7, 11, 13, 97, 7919, 104_729];
+        let composites = [0u64, 1, 4, 6, 9, 15, 91, 7917, 104_730, 341, 561];
+        for p in primes {
+            assert!(is_prime(p), "{p} should be prime");
+        }
+        for c in composites {
+            assert!(!is_prime(c), "{c} should be composite");
+        }
+    }
+
+    #[test]
+    fn agrees_with_trial_division_below_ten_thousand() {
+        fn trial(n: u64) -> bool {
+            if n < 2 {
+                return false;
+            }
+            let mut d = 2;
+            while d * d <= n {
+                if n.is_multiple_of(d) {
+                    return false;
+                }
+                d += 1;
+            }
+            true
+        }
+        for n in 0..10_000u64 {
+            assert_eq!(is_prime(n), trial(n), "disagreement at {n}");
+        }
+    }
+
+    #[test]
+    fn large_known_primes() {
+        assert!(is_prime((1 << 61) - 1)); // Mersenne prime
+        assert!(is_prime(18_446_744_073_709_551_557)); // largest u64 prime
+        assert!(!is_prime(18_446_744_073_709_551_555));
+    }
+
+    #[test]
+    fn strong_pseudoprimes_rejected() {
+        // Carmichael numbers and classic strong pseudoprimes.
+        for c in [561u64, 1105, 1729, 2465, 2821, 6601, 8911, 3215031751] {
+            assert!(!is_prime(c), "{c} is composite");
+        }
+    }
+
+    #[test]
+    fn random_prime_lands_in_window() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let p = random_prime_window(&mut rng, 1000);
+            assert!((1000..=1_000_000_000).contains(&p));
+            assert!(is_prime(p));
+        }
+    }
+
+    #[test]
+    fn pow_mod_matches_naive() {
+        for (a, e, m) in [(3u64, 10u64, 1_000_007u64), (2, 61, 97), (5, 0, 13)] {
+            let mut naive = 1u64 % m;
+            for _ in 0..e {
+                naive = (naive * a) % m;
+            }
+            assert_eq!(pow_mod(a, e, m), naive);
+        }
+    }
+}

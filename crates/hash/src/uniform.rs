@@ -1,0 +1,106 @@
+//! k-wise independent uniform scaling factors `t_i ∈ (0, 1]`.
+//!
+//! The precision-sampling L1 sampler (paper §4.1, Figure 3) scales each
+//! coordinate by `1/t_i` where the `t_i` are `k = O(log(1/ε))`-wise
+//! independent uniforms. We realize them on a dyadic grid of `2^res` points:
+//! `t_i = (h(i) + 1) / 2^res`, with `h` a k-wise independent hash onto
+//! `[2^res]`. The grid spacing `2^-res` is far below every ε the sampler is
+//! run with, and excluding 0 keeps `1/t_i` finite.
+
+use crate::kwise::KWiseHash;
+use rand::Rng;
+
+/// A family of k-wise independent uniform variates on `(0, 1]`.
+#[derive(Clone, Debug)]
+pub struct KWiseUniform {
+    hash: KWiseHash,
+    scale: f64,
+}
+
+impl KWiseUniform {
+    /// Default grid resolution (30 bits ⇒ spacing ≈ 9.3e-10).
+    pub const DEFAULT_RESOLUTION: u32 = 30;
+
+    /// Draw a fresh family with independence `k` at the default resolution.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, k: usize) -> Self {
+        Self::with_resolution(rng, k, Self::DEFAULT_RESOLUTION)
+    }
+
+    /// Draw a fresh family with independence `k` on a `2^resolution` grid.
+    pub fn with_resolution<R: Rng + ?Sized>(rng: &mut R, k: usize, resolution: u32) -> Self {
+        assert!((1..=62).contains(&resolution));
+        KWiseUniform {
+            hash: KWiseHash::new(rng, k, 1u64 << resolution),
+            scale: 1.0 / (1u64 << resolution) as f64,
+        }
+    }
+
+    /// The variate `t_i ∈ (0, 1]` attached to item `i`.
+    #[inline]
+    pub fn t(&self, i: u64) -> f64 {
+        (self.hash.hash(i) + 1) as f64 * self.scale
+    }
+
+    /// `1 / t_i`, the precision-sampling scale factor.
+    #[inline]
+    pub fn inv_t(&self, i: u64) -> f64 {
+        1.0 / self.t(i)
+    }
+
+    /// Bits needed to store the family (the hash seed).
+    pub fn seed_bits(&self) -> usize {
+        self.hash.seed_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn values_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let u = KWiseUniform::new(&mut rng, 6);
+        for i in 0..10_000u64 {
+            let t = u.t(i);
+            assert!(t > 0.0 && t <= 1.0, "t = {t}");
+        }
+    }
+
+    #[test]
+    fn mean_is_half() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let u = KWiseUniform::new(&mut rng, 4);
+        let n = 200_000u64;
+        let mean: f64 = (0..n).map(|i| u.t(i)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn threshold_probability_matches_uniform() {
+        // Pr[t_i <= q] = q for dyadic q, across independent draws.
+        let mut rng = StdRng::seed_from_u64(3);
+        let q = 0.25f64;
+        let trials = 20_000;
+        let mut hits = 0usize;
+        for _ in 0..trials {
+            let u = KWiseUniform::new(&mut rng, 2);
+            if u.t(777) <= q {
+                hits += 1;
+            }
+        }
+        let p = hits as f64 / trials as f64;
+        assert!((p - q).abs() < 0.02, "p = {p}");
+    }
+
+    #[test]
+    fn inv_t_is_reciprocal() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let u = KWiseUniform::new(&mut rng, 4);
+        for i in [0u64, 5, 1_000_000] {
+            assert!((u.inv_t(i) * u.t(i) - 1.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Property-based tests for the hashing substrate.
+
+use bd_hash::field::{poly_eval, M61Elem, M61};
+use bd_hash::{is_prime, mod_streaming, KWiseHash, SignHash};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #[test]
+    fn field_add_commutes(a in 0..M61, b in 0..M61) {
+        let (x, y) = (M61Elem::new(a), M61Elem::new(b));
+        prop_assert_eq!(x.add(y), y.add(x));
+    }
+
+    #[test]
+    fn field_mul_commutes_and_distributes(a in 0..M61, b in 0..M61, c in 0..M61) {
+        let (x, y, z) = (M61Elem::new(a), M61Elem::new(b), M61Elem::new(c));
+        prop_assert_eq!(x.mul(y), y.mul(x));
+        prop_assert_eq!(x.mul(y.add(z)), x.mul(y).add(x.mul(z)));
+    }
+
+    #[test]
+    fn field_mul_matches_u128(a in 0..M61, b in 0..M61) {
+        let expect = ((a as u128 * b as u128) % M61 as u128) as u64;
+        prop_assert_eq!(M61Elem::new(a).mul(M61Elem::new(b)).value(), expect);
+    }
+
+    #[test]
+    fn field_inverse_is_inverse(a in 1..M61) {
+        let x = M61Elem::new(a);
+        prop_assert_eq!(x.mul(x.inv()), M61Elem::ONE);
+    }
+
+    #[test]
+    fn poly_eval_linear_case(c0 in 0..M61, c1 in 0..M61, x in 0..M61) {
+        let coeffs = [M61Elem::new(c0), M61Elem::new(c1)];
+        let expect = M61Elem::new(c0).add(M61Elem::new(c1).mul(M61Elem::new(x)));
+        prop_assert_eq!(poly_eval(&coeffs, M61Elem::new(x)), expect);
+    }
+
+    #[test]
+    fn hash_range_respected(seed: u64, k in 1usize..8, range in 1u64..10_000, x: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let h = KWiseHash::new(&mut rng, k, range);
+        prop_assert!(h.hash(x) < range);
+    }
+
+    #[test]
+    fn sign_hash_is_pm_one(seed: u64, x: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = SignHash::new(&mut rng);
+        let s = g.sign(x);
+        prop_assert!(s == 1 || s == -1);
+    }
+
+    #[test]
+    fn streaming_mod_agrees(x: u64, p in 2u64..1_000_000) {
+        prop_assert_eq!(mod_streaming(x, p), x % p);
+    }
+
+    #[test]
+    fn primality_has_no_false_positives_on_products(a in 2u64..50_000, b in 2u64..50_000) {
+        prop_assert!(!is_prime(a * b));
+    }
+}

@@ -1,0 +1,277 @@
+//! Inner-product sketches for join-size estimation (paper §2.2, \[5, 22\]).
+//!
+//! Two baselines:
+//!
+//! * [`AmsSketch`] — the classic AMS/tug-of-war sketch: rows of signed sums
+//!   `z_r = Σ_i g_r(i) f_i`; `E[z^f z^g] = ⟨f,g⟩` with variance
+//!   `≤ 2‖f‖₂²‖g‖₂²`.
+//! * [`IpCountSketch`] — the Countsketch dot-product estimator the paper's
+//!   Lemma 8 builds on: two tables sharing `(h, g)`, estimate
+//!   `Σ_b A_b·B_b`, giving additive `ε‖f‖₁‖g‖₁` error with `k = O(1/ε)`
+//!   buckets. The bounded-deletion algorithm (bd-core) runs this on samples;
+//!   here it sees the full stream, which is the `O(ε^{-1} log n)` baseline.
+//!
+//! Sketches that estimate `⟨f, g⟩` must share randomness, so both types are
+//! constructed in pairs (or families) from a shared seed object.
+
+use crate::weight::median_f64;
+use bd_stream::{MaxMag, SpaceReport, SpaceUsage};
+use rand::Rng;
+
+/// The shared hash functions for a family of compatible AMS sketches.
+#[derive(Clone, Debug)]
+pub struct AmsFamily {
+    signs: Vec<bd_hash::SignHash>,
+}
+
+impl AmsFamily {
+    /// Create a family with `rows` independent sign rows.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, rows: usize) -> Self {
+        AmsFamily {
+            signs: (0..rows).map(|_| bd_hash::SignHash::new(rng)).collect(),
+        }
+    }
+
+    /// Instantiate a sketch of this family (all sketches share hashes).
+    pub fn sketch(&self) -> AmsSketch {
+        AmsSketch {
+            family: self.clone(),
+            z: vec![0; self.signs.len()],
+            max_mag: MaxMag::default(),
+        }
+    }
+}
+
+/// One AMS sketch instance.
+#[derive(Clone, Debug)]
+pub struct AmsSketch {
+    family: AmsFamily,
+    z: Vec<i64>,
+    max_mag: MaxMag,
+}
+
+impl AmsSketch {
+    /// Apply an update.
+    pub fn update(&mut self, item: u64, delta: i64) {
+        for (r, g) in self.family.signs.iter().enumerate() {
+            self.z[r] += g.sign(item) * delta;
+            self.max_mag.observe(self.z[r]);
+        }
+    }
+
+    /// Estimate `⟨f, g⟩` against a sketch from the same family, as the
+    /// median of row-group means (`groups` medians of `rows/groups` means).
+    pub fn inner_product(&self, other: &AmsSketch, groups: usize) -> f64 {
+        assert_eq!(self.z.len(), other.z.len(), "family mismatch");
+        let rows = self.z.len();
+        let per = (rows / groups.max(1)).max(1);
+        let mut meds: Vec<f64> = Vec::with_capacity(groups);
+        for gi in 0..groups.max(1) {
+            let lo = gi * per;
+            let hi = ((gi + 1) * per).min(rows);
+            if lo >= hi {
+                break;
+            }
+            let mean = (lo..hi)
+                .map(|r| self.z[r] as f64 * other.z[r] as f64)
+                .sum::<f64>()
+                / (hi - lo) as f64;
+            meds.push(mean);
+        }
+        median_f64(&mut meds)
+    }
+
+    /// Estimate of `‖f‖₂²` (mean of squared rows, median over groups).
+    pub fn f2(&self, groups: usize) -> f64 {
+        let rows = self.z.len();
+        let per = (rows / groups.max(1)).max(1);
+        let mut meds: Vec<f64> = Vec::with_capacity(groups);
+        for gi in 0..groups.max(1) {
+            let lo = gi * per;
+            let hi = ((gi + 1) * per).min(rows);
+            if lo >= hi {
+                break;
+            }
+            let mean =
+                (lo..hi).map(|r| (self.z[r] as f64).powi(2)).sum::<f64>() / (hi - lo) as f64;
+            meds.push(mean);
+        }
+        median_f64(&mut meds)
+    }
+}
+
+impl SpaceUsage for AmsSketch {
+    fn space(&self) -> SpaceReport {
+        SpaceReport {
+            counters: self.z.len() as u64,
+            counter_bits: self.z.len() as u64 * self.max_mag.bits_signed(),
+            seed_bits: self
+                .family
+                .signs
+                .iter()
+                .map(|s| s.seed_bits() as u64)
+                .sum(),
+            overhead_bits: 0,
+        }
+    }
+}
+
+/// Shared hashes for Countsketch-style inner-product tables (Lemma 8 setup:
+/// one bucket hash `h` and one sign hash `σ`, shared by both vectors).
+#[derive(Clone, Debug)]
+pub struct IpFamily {
+    buckets: Vec<bd_hash::KWiseHash>,
+    signs: Vec<bd_hash::SignHash>,
+    width: usize,
+}
+
+impl IpFamily {
+    /// `depth` independent (bucket, sign) rows of `width` buckets.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, depth: usize, width: usize) -> Self {
+        IpFamily {
+            buckets: (0..depth)
+                .map(|_| bd_hash::KWiseHash::pairwise(rng, width as u64))
+                .collect(),
+            signs: (0..depth).map(|_| bd_hash::SignHash::new(rng)).collect(),
+            width,
+        }
+    }
+
+    /// Instantiate a table.
+    pub fn sketch(&self) -> IpCountSketch {
+        IpCountSketch {
+            family: self.clone(),
+            table: vec![0; self.buckets.len() * self.width],
+            max_mag: MaxMag::default(),
+        }
+    }
+}
+
+/// One Countsketch-style inner-product table.
+#[derive(Clone, Debug)]
+pub struct IpCountSketch {
+    family: IpFamily,
+    table: Vec<i64>,
+    max_mag: MaxMag,
+}
+
+impl IpCountSketch {
+    /// Apply an update.
+    pub fn update(&mut self, item: u64, delta: i64) {
+        let w = self.family.width;
+        for r in 0..self.family.buckets.len() {
+            let b = self.family.buckets[r].hash(item) as usize;
+            let cell = &mut self.table[r * w + b];
+            *cell += self.family.signs[r].sign(item) * delta;
+            self.max_mag.observe(*cell);
+        }
+    }
+
+    /// Estimate `⟨f, g⟩` as the median over rows of `Σ_b A[r][b]·B[r][b]`.
+    pub fn inner_product(&self, other: &IpCountSketch) -> f64 {
+        assert_eq!(self.table.len(), other.table.len(), "family mismatch");
+        let w = self.family.width;
+        let depth = self.family.buckets.len();
+        let mut ests: Vec<f64> = (0..depth)
+            .map(|r| {
+                (0..w)
+                    .map(|b| self.table[r * w + b] as f64 * other.table[r * w + b] as f64)
+                    .sum()
+            })
+            .collect();
+        median_f64(&mut ests)
+    }
+}
+
+impl SpaceUsage for IpCountSketch {
+    fn space(&self) -> SpaceReport {
+        SpaceReport {
+            counters: self.table.len() as u64,
+            counter_bits: self.table.len() as u64 * self.max_mag.bits_signed(),
+            seed_bits: self
+                .family
+                .buckets
+                .iter()
+                .map(|h| h.seed_bits() as u64)
+                .chain(self.family.signs.iter().map(|s| s.seed_bits() as u64))
+                .sum(),
+            overhead_bits: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bd_stream::gen::NetworkDiffGen;
+    use bd_stream::FrequencyVector;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ams_exact_expectation_on_disjoint_supports() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let fam = AmsFamily::new(&mut rng, 600);
+        let mut a = fam.sketch();
+        let mut b = fam.sketch();
+        a.update(1, 10);
+        b.update(2, 7); // disjoint ⇒ true inner product 0
+        let est = a.inner_product(&b, 6);
+        assert!(est.abs() <= 70.0, "estimate {est} too far from 0");
+    }
+
+    #[test]
+    fn ams_recovers_overlap() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let fam = AmsFamily::new(&mut rng, 800);
+        let mut a = fam.sketch();
+        let mut b = fam.sketch();
+        for i in 0..20u64 {
+            a.update(i, 3);
+            b.update(i, 4);
+        }
+        // true <f,g> = 20*12 = 240
+        let est = a.inner_product(&b, 8);
+        assert!((est - 240.0).abs() < 120.0, "estimate {est}");
+    }
+
+    #[test]
+    fn ip_countsketch_additive_error() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let eps = 0.05;
+        let fam = IpFamily::new(&mut rng, 9, (2.0 / eps) as usize);
+        let mut sa = fam.sketch();
+        let mut sb = fam.sketch();
+        let ga = NetworkDiffGen::new(1 << 14, 20_000, 0.2).generate(&mut rng);
+        let gb = NetworkDiffGen::new(1 << 14, 20_000, 0.2).generate(&mut rng);
+        for u in &ga {
+            sa.update(u.item, u.delta);
+        }
+        for u in &gb {
+            sb.update(u.item, u.delta);
+        }
+        let va = FrequencyVector::from_stream(&ga);
+        let vb = FrequencyVector::from_stream(&gb);
+        let truth = va.inner_product(&vb) as f64;
+        let bound = eps * va.l1() as f64 * vb.l1() as f64;
+        let est = sa.inner_product(&sb);
+        assert!(
+            (est - truth).abs() <= bound,
+            "err {} vs bound {bound}",
+            (est - truth).abs()
+        );
+    }
+
+    #[test]
+    fn ams_f2_estimate() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let fam = AmsFamily::new(&mut rng, 900);
+        let mut a = fam.sketch();
+        for i in 0..50u64 {
+            a.update(i, (i % 5) as i64 + 1);
+        }
+        let truth: f64 = (0..50u64).map(|i| (((i % 5) + 1) as f64).powi(2)).sum();
+        let est = a.f2(9);
+        assert!((est - truth).abs() / truth < 0.3, "F2 {est} vs {truth}");
+    }
+}

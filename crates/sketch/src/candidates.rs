@@ -1,0 +1,122 @@
+//! Bounded candidate tracking for point-query sketches.
+//!
+//! Countsketch-style structures answer point queries but cannot *enumerate*
+//! heavy items. The standard fix (used since \[14\]) is to maintain, online, a
+//! small set of the items whose current estimates are largest: every update
+//! re-estimates the touched item and the set evicts its weakest member when
+//! over capacity. The set's size is charged to the reported space.
+
+use std::collections::HashSet;
+
+/// A capped set of candidate items, evicted by a caller-supplied score.
+#[derive(Clone, Debug, Default)]
+pub struct CandidateSet {
+    cap: usize,
+    items: HashSet<u64>,
+}
+
+impl CandidateSet {
+    /// Create with capacity `cap ≥ 1`.
+    pub fn new(cap: usize) -> Self {
+        CandidateSet {
+            cap: cap.max(1),
+            items: HashSet::new(),
+        }
+    }
+
+    /// Offer an item. The set is allowed to grow to `2·cap` before a prune
+    /// pass re-scores everything and keeps the top `cap` by `|score|` —
+    /// amortizing eviction to O(1) score evaluations per offer while never
+    /// dropping an item that was in the true top `cap` at prune time.
+    pub fn offer<F: Fn(u64) -> f64>(&mut self, item: u64, score: F) {
+        self.items.insert(item);
+        if self.items.len() > 2 * self.cap {
+            let mut scored: Vec<(u64, f64)> =
+                self.items.iter().map(|&i| (i, score(i).abs())).collect();
+            scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+            scored.truncate(self.cap);
+            self.items = scored.into_iter().map(|(i, _)| i).collect();
+        }
+    }
+
+    /// The current candidates (unordered).
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.items.iter().copied()
+    }
+
+    /// The candidate maximizing `|score|`, if any.
+    pub fn argmax<F: Fn(u64) -> f64>(&self, score: F) -> Option<u64> {
+        self.items
+            .iter()
+            .copied()
+            .max_by(|&a, &b| score(a).abs().partial_cmp(&score(b).abs()).unwrap())
+    }
+
+    /// The top `k` candidates by `|score|`, descending.
+    pub fn top_k<F: Fn(u64) -> f64>(&self, k: usize, score: F) -> Vec<(u64, f64)> {
+        let mut scored: Vec<(u64, f64)> = self.items.iter().map(|&i| (i, score(i))).collect();
+        scored.sort_by(|a, b| b.1.abs().partial_cmp(&a.1.abs()).unwrap().then(a.0.cmp(&b.0)));
+        scored.truncate(k);
+        scored
+    }
+
+    /// Number of candidates currently held.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Capacity.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Bits to store the set: one identifier per slot (the set holds up to
+    /// `2·cap` items between prune passes).
+    pub fn space_bits(&self, universe: u64) -> u64 {
+        2 * self.cap as u64 * bd_hash::width_unsigned(universe.max(2) - 1) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_strongest_items() {
+        let mut c = CandidateSet::new(3);
+        let score = |i: u64| i as f64; // bigger id = stronger
+        for i in 1..=20u64 {
+            c.offer(i, score);
+        }
+        assert!(c.len() <= 6, "bounded by 2·cap");
+        assert_eq!(c.argmax(score), Some(20));
+        let top: Vec<u64> = c.top_k(3, score).into_iter().map(|(i, _)| i).collect();
+        assert_eq!(top, vec![20, 19, 18]);
+    }
+
+    #[test]
+    fn top_k_ordering() {
+        let mut c = CandidateSet::new(8);
+        let score = |i: u64| -((i % 5) as f64); // |score| = i mod 5
+        for i in 0..8u64 {
+            c.offer(i, score);
+        }
+        let top = c.top_k(2, score);
+        assert_eq!(top.len(), 2);
+        assert!(top[0].1.abs() >= top[1].1.abs());
+    }
+
+    #[test]
+    fn duplicate_offers_are_idempotent() {
+        let mut c = CandidateSet::new(2);
+        for _ in 0..5 {
+            c.offer(7, |_| 1.0);
+        }
+        assert_eq!(c.len(), 1);
+    }
+}

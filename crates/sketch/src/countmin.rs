@@ -1,0 +1,135 @@
+//! Count-Min sketch of Cormode–Muthukrishnan \[22\] (cited in §2.2).
+//!
+//! `d × w` table of non-negative counters with pairwise row hashes; in the
+//! strict turnstile model the point query `min_r A[r][h_r(j)]` overestimates
+//! `f_j` by at most `‖f‖₁/w` per row, so the min over `d = O(log 1/δ)` rows
+//! is within `ε‖f‖₁` for `w = ⌈e/ε⌉` with probability `1 − δ`. Used as an
+//! auxiliary baseline for the heavy-hitter comparisons.
+
+use bd_stream::{MaxMag, SpaceReport, SpaceUsage};
+use rand::Rng;
+
+/// A Count-Min sketch (strict turnstile: net counters stay non-negative).
+#[derive(Clone, Debug)]
+pub struct CountMin {
+    depth: usize,
+    width: usize,
+    table: Vec<i64>,
+    hashes: Vec<bd_hash::KWiseHash>,
+    max_mag: MaxMag,
+}
+
+impl CountMin {
+    /// Create a `depth × width` Count-Min sketch.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, depth: usize, width: usize) -> Self {
+        assert!(depth >= 1 && width >= 1);
+        CountMin {
+            depth,
+            width,
+            table: vec![0; depth * width],
+            hashes: (0..depth)
+                .map(|_| bd_hash::KWiseHash::pairwise(rng, width as u64))
+                .collect(),
+            max_mag: MaxMag::default(),
+        }
+    }
+
+    /// Sized for error `ε‖f‖₁` with failure probability `δ`.
+    pub fn with_error<R: Rng + ?Sized>(rng: &mut R, epsilon: f64, delta: f64) -> Self {
+        let width = (std::f64::consts::E / epsilon).ceil() as usize;
+        let depth = (1.0 / delta).ln().ceil().max(1.0) as usize;
+        Self::new(rng, depth, width)
+    }
+
+    /// Apply an update.
+    #[inline]
+    pub fn update(&mut self, item: u64, delta: i64) {
+        for r in 0..self.depth {
+            let b = self.hashes[r].hash(item) as usize;
+            let cell = &mut self.table[r * self.width + b];
+            *cell += delta;
+            self.max_mag.observe(*cell);
+        }
+    }
+
+    /// Point query: `min_r A[r][h_r(j)]` (an overestimate of `f_j` in the
+    /// strict turnstile model).
+    pub fn estimate(&self, item: u64) -> i64 {
+        (0..self.depth)
+            .map(|r| self.table[r * self.width + self.hashes[r].hash(item) as usize])
+            .min()
+            .expect("depth >= 1")
+    }
+
+    /// Number of rows.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Buckets per row.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+}
+
+impl SpaceUsage for CountMin {
+    fn space(&self) -> SpaceReport {
+        SpaceReport {
+            counters: (self.depth * self.width) as u64,
+            counter_bits: (self.depth * self.width) as u64 * self.max_mag.bits_signed(),
+            seed_bits: self.hashes.iter().map(|h| h.seed_bits() as u64).sum(),
+            overhead_bits: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bd_stream::gen::BoundedDeletionGen;
+    use bd_stream::FrequencyVector;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn never_underestimates_on_strict_streams() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut cm = CountMin::new(&mut rng, 5, 64);
+        let stream = BoundedDeletionGen::new(1 << 10, 10_000, 3.0).generate(&mut rng);
+        let truth = FrequencyVector::from_stream(&stream);
+        for u in &stream {
+            cm.update(u.item, u.delta);
+        }
+        for i in truth.support() {
+            assert!(cm.estimate(i) >= truth.get(i));
+        }
+    }
+
+    #[test]
+    fn error_within_epsilon_l1() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let eps = 0.02;
+        let mut cm = CountMin::with_error(&mut rng, eps, 0.01);
+        let stream = BoundedDeletionGen::new(1 << 12, 40_000, 2.0).generate(&mut rng);
+        let truth = FrequencyVector::from_stream(&stream);
+        for u in &stream {
+            cm.update(u.item, u.delta);
+        }
+        let bound = eps * truth.l1() as f64;
+        let mut bad = 0;
+        for i in truth.support() {
+            if (cm.estimate(i) - truth.get(i)) as f64 > bound {
+                bad += 1;
+            }
+        }
+        assert!(bad <= truth.l0() as usize / 50, "{bad} overestimates");
+    }
+
+    #[test]
+    fn exact_for_singleton() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut cm = CountMin::new(&mut rng, 3, 16);
+        cm.update(7, 41);
+        assert_eq!(cm.estimate(7), 41);
+    }
+}

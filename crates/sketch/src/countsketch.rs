@@ -1,0 +1,217 @@
+//! Countsketch of Charikar–Chen–Farach-Colton \[14\] (paper §2.1, Lemma 2).
+//!
+//! A `d × w` table; row `i` hashes items with a 4-wise `h_i : [n] → [w]` and
+//! signs them with a 4-wise `g_i : [n] → {±1}`. The point estimate is the
+//! median over rows of `g_i(j)·A[i][h_i(j)]`, with per-row guarantee
+//! `|g_i(j)A[i,h_i(j)] − f_j| < w'^{-1/2}·Err₂^{w'}(f)` (w' = w/6) with
+//! probability 2/3. This is the unbounded-deletion baseline that CSSS
+//! (bd-core) simulates on samples; it is also reused by the baseline L1
+//! sampler and the heavy-hitter comparisons.
+
+use crate::weight::{median_f64, Weight};
+use bd_stream::{MaxMag, SpaceReport, SpaceUsage};
+use rand::Rng;
+
+/// A Countsketch with `depth` rows and `width` buckets per row over counters
+/// of type `W` (`i64` for plain streams, `f64` for precision-scaled ones).
+#[derive(Clone, Debug)]
+pub struct CountSketch<W: Weight = i64> {
+    depth: usize,
+    width: usize,
+    table: Vec<W>,
+    bucket_hashes: Vec<bd_hash::KWiseHash>,
+    sign_hashes: Vec<bd_hash::SignHash>,
+    max_mag: MaxMag,
+}
+
+impl<W: Weight> CountSketch<W> {
+    /// Create a `depth × width` Countsketch. For the paper's parameters use
+    /// `width = 6k` and `depth = O(log n)`.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, depth: usize, width: usize) -> Self {
+        assert!(depth >= 1 && width >= 1);
+        CountSketch {
+            depth,
+            width,
+            table: vec![W::zero(); depth * width],
+            bucket_hashes: (0..depth)
+                .map(|_| bd_hash::KWiseHash::fourwise(rng, width as u64))
+                .collect(),
+            sign_hashes: (0..depth).map(|_| bd_hash::SignHash::new(rng)).collect(),
+            max_mag: MaxMag::default(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Buckets per row.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Apply an update `f_item ← f_item + delta`.
+    #[inline]
+    pub fn update(&mut self, item: u64, delta: W) {
+        for r in 0..self.depth {
+            let b = self.bucket_hashes[r].hash(item) as usize;
+            let signed = if self.sign_hashes[r].sign(item) >= 0 {
+                delta
+            } else {
+                delta.neg()
+            };
+            let cell = &mut self.table[r * self.width + b];
+            cell.add_assign(signed);
+            self.max_mag.observe_mag(cell.abs_f64() as u64);
+        }
+    }
+
+    /// The estimate from a single row (the `g_i(j)·a_{i,h_i(j)}` of Lemma 2).
+    #[inline]
+    pub fn row_estimate(&self, row: usize, item: u64) -> f64 {
+        let b = self.bucket_hashes[row].hash(item) as usize;
+        let v = self.table[row * self.width + b].to_f64();
+        if self.sign_hashes[row].sign(item) >= 0 {
+            v
+        } else {
+            -v
+        }
+    }
+
+    /// Median-of-rows point estimate `y*_j`.
+    pub fn estimate(&self, item: u64) -> f64 {
+        let mut ests: Vec<f64> = (0..self.depth).map(|r| self.row_estimate(r, item)).collect();
+        median_f64(&mut ests)
+    }
+
+    /// The squared L2 norm of one row, `Σ_b A[r][b]²` — a `(1 ± O(w^{-1/2}))`
+    /// estimate of `‖f‖₂²` (paper Lemma 4).
+    pub fn row_l2_squared(&self, row: usize) -> f64 {
+        self.table[row * self.width..(row + 1) * self.width]
+            .iter()
+            .map(|c| {
+                let v = c.to_f64();
+                v * v
+            })
+            .sum()
+    }
+
+    /// Median across rows of the row-L2 estimates of `‖f‖₂`.
+    pub fn l2_estimate(&self) -> f64 {
+        let mut ests: Vec<f64> = (0..self.depth)
+            .map(|r| self.row_l2_squared(r).sqrt())
+            .collect();
+        median_f64(&mut ests)
+    }
+
+    /// Raw cell access for composition (row-major).
+    pub fn cell(&self, row: usize, bucket: usize) -> W {
+        self.table[row * self.width + bucket]
+    }
+}
+
+impl<W: Weight> SpaceUsage for CountSketch<W> {
+    fn space(&self) -> SpaceReport {
+        let seed_bits: usize = self
+            .bucket_hashes
+            .iter()
+            .map(|h| h.seed_bits())
+            .chain(self.sign_hashes.iter().map(|g| g.seed_bits()))
+            .sum();
+        SpaceReport {
+            counters: (self.depth * self.width) as u64,
+            counter_bits: (self.depth * self.width) as u64 * self.max_mag.bits_signed(),
+            seed_bits: seed_bits as u64,
+            overhead_bits: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bd_stream::gen::BoundedDeletionGen;
+    use bd_stream::FrequencyVector;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exact_on_sparse_input() {
+        // With few items and a wide table, estimates are exact w.h.p.
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut cs = CountSketch::<i64>::new(&mut rng, 9, 256);
+        cs.update(10, 5);
+        cs.update(20, -3);
+        cs.update(10, 2);
+        assert_eq!(cs.estimate(10), 7.0);
+        assert_eq!(cs.estimate(20), -3.0);
+        assert_eq!(cs.estimate(99), 0.0);
+    }
+
+    #[test]
+    fn error_bounded_by_lemma_two() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let k = 16usize;
+        let mut cs = CountSketch::<i64>::new(&mut rng, 15, 6 * k);
+        let stream = BoundedDeletionGen::new(1 << 12, 30_000, 4.0).generate(&mut rng);
+        let truth = FrequencyVector::from_stream(&stream);
+        for u in &stream {
+            cs.update(u.item, u.delta);
+        }
+        let bound = truth.err_k(k, 2) / (k as f64).sqrt();
+        let mut violations = 0usize;
+        let items: Vec<u64> = truth.support();
+        for &i in &items {
+            let err = (cs.estimate(i) - truth.get(i) as f64).abs();
+            if err > bound.max(1.0) {
+                violations += 1;
+            }
+        }
+        // Lemma 2 gives the bound w.h.p. per item; allow a tiny slack count.
+        assert!(
+            violations <= items.len() / 50,
+            "{violations}/{} violations of the Countsketch bound",
+            items.len()
+        );
+    }
+
+    #[test]
+    fn l2_estimate_close() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut cs = CountSketch::<i64>::new(&mut rng, 11, 512);
+        let stream = BoundedDeletionGen::new(1 << 10, 20_000, 2.0).generate(&mut rng);
+        for u in &stream {
+            cs.update(u.item, u.delta);
+        }
+        let truth = FrequencyVector::from_stream(&stream).l2();
+        let est = cs.l2_estimate();
+        assert!(
+            (est - truth).abs() / truth < 0.2,
+            "L2 estimate {est} vs {truth}"
+        );
+    }
+
+    #[test]
+    fn float_counters_accept_scaled_updates() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut cs = CountSketch::<f64>::new(&mut rng, 7, 64);
+        cs.update(5, 2.5);
+        cs.update(5, 0.5);
+        assert!((cs.estimate(5) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn space_reports_counter_growth() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut cs = CountSketch::<i64>::new(&mut rng, 2, 4);
+        let before = cs.space().counter_bits;
+        for _ in 0..1000 {
+            cs.update(1, 1000);
+        }
+        let after = cs.space().counter_bits;
+        assert!(after > before, "counter widths must grow with magnitude");
+        assert_eq!(cs.space().counters, 8);
+        assert!(cs.space().seed_bits > 0);
+    }
+}

@@ -1,0 +1,235 @@
+//! Baseline precision-sampling L1 sampler (paper §4 setup, from \[38\]).
+//!
+//! Scale every coordinate by `1/t_i` (k-wise independent uniforms), run a
+//! full Countsketch on the scaled stream `z`, and output the item whose
+//! `z_i = f_i/t_i` crosses `‖f‖₁/ε` — which happens with probability exactly
+//! `ε|f_i|/‖f‖₁`. This is the `O(log² n)`-space baseline; the α-property
+//! version (bd-core) replaces the full Countsketch with CSSS and is the
+//! paper's Theorem 5. One instance succeeds with probability `Θ(ε)`;
+//! [`L1SamplerTurnstile`] wraps `O(ε^{-1} log(1/δ))` instances.
+
+use crate::candidates::CandidateSet;
+use crate::countsketch::CountSketch;
+use bd_stream::{SpaceReport, SpaceUsage};
+use rand::Rng;
+
+/// Outcome of querying an L1 sampler.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SampleOutcome {
+    /// A sampled item together with a `(1 ± O(ε))` estimate of `f_i`.
+    Sample {
+        /// The sampled item.
+        item: u64,
+        /// The relative-error estimate of its frequency.
+        estimate: f64,
+    },
+    /// This instance declined to output (expected with probability `1−Θ(ε)`).
+    Fail,
+}
+
+/// One precision-sampling instance over a full Countsketch.
+#[derive(Clone, Debug)]
+pub struct PrecisionSamplerInstance {
+    cs: CountSketch<f64>,
+    ts: bd_hash::KWiseUniform,
+    candidates: CandidateSet,
+    epsilon: f64,
+    k: usize,
+    universe: u64,
+    /// Σ_t Δ_t — equals ‖f‖₁ on strict turnstile streams (Figure 3's `r`).
+    sum_f: i64,
+    /// Σ_t Δ_t/t_{i_t} — equals ‖z‖₁ on strict streams (Figure 3's `q`).
+    sum_z: f64,
+}
+
+impl PrecisionSamplerInstance {
+    /// Build one instance: `k = O(log 1/ε)` column groups, `depth` rows.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, universe: u64, epsilon: f64, depth: usize) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0);
+        let k = ((1.0 / epsilon).log2().ceil() as usize).max(4);
+        PrecisionSamplerInstance {
+            cs: CountSketch::new(rng, depth, 6 * k),
+            ts: bd_hash::KWiseUniform::new(rng, k.max(4)),
+            candidates: CandidateSet::new(4 * k),
+            epsilon,
+            k,
+            universe,
+            sum_f: 0,
+            sum_z: 0.0,
+        }
+    }
+
+    /// Apply an update.
+    pub fn update(&mut self, item: u64, delta: i64) {
+        let scaled = delta as f64 * self.ts.inv_t(item);
+        self.cs.update(item, scaled);
+        self.sum_f += delta;
+        self.sum_z += scaled;
+        let cs = &self.cs;
+        self.candidates.offer(item, |i| cs.estimate(i));
+    }
+
+    /// Query (Figure 3's Recovery, with practical thresholds): output the
+    /// maximal `z` estimate if it crossed `r/ε` and the tail looks sane.
+    pub fn query(&self) -> SampleOutcome {
+        let r = self.sum_f.unsigned_abs() as f64;
+        if r == 0.0 {
+            return SampleOutcome::Fail;
+        }
+        let cs = &self.cs;
+        let Some(best) = self.candidates.argmax(|i| cs.estimate(i)) else {
+            return SampleOutcome::Fail;
+        };
+        let z_best = self.cs.estimate(best);
+        // Threshold crossing: z_i ≥ r/ε.
+        if z_best.abs() < r / self.epsilon {
+            return SampleOutcome::Fail;
+        }
+        // Tail guard (the `v` test): the row-L2 of z minus the recovered top
+        // coordinate must not drown the threshold.
+        let l2 = self.cs.l2_estimate();
+        let resid = (l2 * l2 - z_best * z_best).max(0.0).sqrt();
+        if resid > (self.k as f64).sqrt() * (r / self.epsilon) {
+            return SampleOutcome::Fail;
+        }
+        let t = self.ts.t(best);
+        SampleOutcome::Sample {
+            item: best,
+            estimate: t * z_best,
+        }
+    }
+}
+
+impl SpaceUsage for PrecisionSamplerInstance {
+    fn space(&self) -> SpaceReport {
+        let mut rep = self.cs.space();
+        rep.seed_bits += self.ts.seed_bits() as u64;
+        rep.overhead_bits += self.candidates.space_bits(self.universe) + 64 + 64;
+        rep
+    }
+}
+
+/// `O(ε^{-1} log(1/δ))` instances; the first that answers wins.
+#[derive(Clone, Debug)]
+pub struct L1SamplerTurnstile {
+    instances: Vec<PrecisionSamplerInstance>,
+}
+
+impl L1SamplerTurnstile {
+    /// Build a sampler with failure probability `δ`.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, universe: u64, epsilon: f64, delta: f64) -> Self {
+        let copies =
+            (((1.0 / epsilon) * (1.0 / delta).ln()).ceil() as usize).clamp(1, 256);
+        let depth = bd_hash::log2_ceil(universe.max(4)) as usize / 2 + 3;
+        L1SamplerTurnstile {
+            instances: (0..copies)
+                .map(|_| PrecisionSamplerInstance::new(rng, universe, epsilon, depth))
+                .collect(),
+        }
+    }
+
+    /// Apply an update to every instance.
+    pub fn update(&mut self, item: u64, delta: i64) {
+        for inst in &mut self.instances {
+            inst.update(item, delta);
+        }
+    }
+
+    /// First successful instance's sample.
+    pub fn query(&self) -> SampleOutcome {
+        for inst in &self.instances {
+            if let s @ SampleOutcome::Sample { .. } = inst.query() {
+                return s;
+            }
+        }
+        SampleOutcome::Fail
+    }
+
+    /// Number of parallel instances.
+    pub fn instances(&self) -> usize {
+        self.instances.len()
+    }
+}
+
+impl SpaceUsage for L1SamplerTurnstile {
+    fn space(&self) -> SpaceReport {
+        self.instances
+            .iter()
+            .fold(SpaceReport::default(), |acc, i| acc.merge(i.space()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bd_stream::gen::BoundedDeletionGen;
+    use bd_stream::FrequencyVector;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    #[test]
+    fn samples_follow_l1_distribution() {
+        // Small universe with known skew; collect empirical sample counts.
+        let mut stream_rng = StdRng::seed_from_u64(77);
+        let stream = BoundedDeletionGen::new(64, 3_000, 2.0).generate(&mut stream_rng);
+        let truth = FrequencyVector::from_stream(&stream);
+        let l1 = truth.l1() as f64;
+
+        let mut counts: HashMap<u64, usize> = HashMap::new();
+        let mut draws = 0usize;
+        for seed in 0..300u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut s = L1SamplerTurnstile::new(&mut rng, 64, 0.25, 0.5);
+            for u in &stream {
+                s.update(u.item, u.delta);
+            }
+            if let SampleOutcome::Sample { item, .. } = s.query() {
+                *counts.entry(item).or_insert(0) += 1;
+                draws += 1;
+            }
+        }
+        assert!(draws >= 150, "sampler failed too often: {draws}/300");
+        // Total-variation distance between empirical and L1 distribution.
+        let mut tv = 0.0;
+        for i in truth.support() {
+            let p = truth.get(i).unsigned_abs() as f64 / l1;
+            let q = counts.get(&i).copied().unwrap_or(0) as f64 / draws as f64;
+            tv += (p - q).abs();
+        }
+        tv /= 2.0;
+        assert!(tv < 0.35, "TV distance {tv}");
+    }
+
+    #[test]
+    fn estimate_has_small_relative_error() {
+        let mut stream_rng = StdRng::seed_from_u64(5);
+        let stream = BoundedDeletionGen::new(256, 5_000, 3.0).generate(&mut stream_rng);
+        let truth = FrequencyVector::from_stream(&stream);
+        let mut checked = 0;
+        for seed in 0..60u64 {
+            let mut rng = StdRng::seed_from_u64(1000 + seed);
+            let mut s = L1SamplerTurnstile::new(&mut rng, 256, 0.25, 0.5);
+            for u in &stream {
+                s.update(u.item, u.delta);
+            }
+            if let SampleOutcome::Sample { item, estimate } = s.query() {
+                let f = truth.get(item) as f64;
+                assert!(f != 0.0, "sampled an item outside the support");
+                assert!(
+                    (estimate - f).abs() / f.abs() < 0.5,
+                    "estimate {estimate} for true {f}"
+                );
+                checked += 1;
+            }
+        }
+        assert!(checked > 20, "too few successful samples: {checked}");
+    }
+
+    #[test]
+    fn empty_stream_fails_gracefully() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = L1SamplerTurnstile::new(&mut rng, 64, 0.5, 0.5);
+        assert_eq!(s.query(), SampleOutcome::Fail);
+    }
+}

@@ -1,0 +1,157 @@
+//! The Morris approximate counter \[49\], with the paper's Lemma 11 analysis.
+//!
+//! `αL1Estimator` (Figure 4) tracks its position in the stream with a Morris
+//! counter: increment a `log log`-bit register `v` with probability `2^{-v}`,
+//! estimate `t ≈ 2^v − 1`. Lemma 11 trades accuracy for space: for any fixed
+//! `t`, `δ/(12 log m)·t ≤ v̂_t ≤ t/δ` with probability `1 − δ`, where `v̂_t`
+//! is the (non-decreasing) estimate.
+
+use bd_stream::{SpaceReport, SpaceUsage};
+use rand::Rng;
+
+/// A Morris counter.
+#[derive(Clone, Debug, Default)]
+pub struct MorrisCounter {
+    level: u32,
+    ticks: u64, // debug/testing only: true count (not charged to space)
+}
+
+impl MorrisCounter {
+    /// A fresh counter at zero.
+    pub fn new() -> Self {
+        MorrisCounter::default()
+    }
+
+    /// Count one event: `v ← v + 1` with probability `2^{-v}`.
+    #[inline]
+    pub fn tick<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        self.ticks += 1;
+        if self.level >= 63 {
+            return; // saturated; estimate already astronomically large
+        }
+        // Pr[increment] = 2^{-level}: check `level` fair coins at once.
+        if self.level == 0 || rng.gen_range(0u64..(1u64 << self.level)) == 0 {
+            self.level += 1;
+        }
+    }
+
+    /// The current estimate `2^v − 1` of the number of ticks.
+    pub fn estimate(&self) -> u64 {
+        (1u64 << self.level.min(63)) - 1
+    }
+
+    /// The raw register `v` (the only state charged to space).
+    pub fn level(&self) -> u32 {
+        self.level
+    }
+
+    /// True tick count (test instrumentation, not part of the algorithm).
+    pub fn true_count(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Lemma 11's lower envelope `δ/(12 log m)·t` for a probe at true time
+    /// `t` with failure probability `δ`.
+    pub fn lemma11_lower(t: u64, m: u64, delta: f64) -> f64 {
+        let logm = (m.max(2) as f64).log2();
+        delta / (12.0 * logm) * t as f64
+    }
+
+    /// Lemma 11's upper envelope `t/δ`.
+    pub fn lemma11_upper(t: u64, delta: f64) -> f64 {
+        t as f64 / delta
+    }
+}
+
+impl SpaceUsage for MorrisCounter {
+    fn space(&self) -> SpaceReport {
+        SpaceReport {
+            counters: 1,
+            // The register holds v <= 64, i.e. O(log log m) bits.
+            counter_bits: bd_hash::width_unsigned(self.level.max(1) as u64) as u64,
+            seed_bits: 0,
+            overhead_bits: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn unbiased_in_expectation() {
+        // E[2^v] = t + 1 exactly; check the average estimate over trials.
+        let t = 4096u64;
+        let trials = 400;
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut acc = 0f64;
+        for _ in 0..trials {
+            let mut c = MorrisCounter::new();
+            for _ in 0..t {
+                c.tick(&mut rng);
+            }
+            acc += (c.estimate() + 1) as f64;
+        }
+        let mean = acc / trials as f64;
+        let expect = (t + 1) as f64;
+        assert!(
+            (mean - expect).abs() < 0.15 * expect,
+            "mean {mean} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn lemma11_envelope_holds_at_probes() {
+        let m = 1u64 << 16;
+        let delta = 0.05;
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut violations = 0usize;
+        let mut probes = 0usize;
+        for _ in 0..40 {
+            let mut c = MorrisCounter::new();
+            for t in 1..=m {
+                c.tick(&mut rng);
+                if t.is_power_of_two() && t >= 64 {
+                    probes += 1;
+                    let est = c.estimate() as f64;
+                    if est < MorrisCounter::lemma11_lower(t, m, delta)
+                        || est > MorrisCounter::lemma11_upper(t, delta)
+                    {
+                        violations += 1;
+                    }
+                }
+            }
+        }
+        // Each probe fails with probability <= δ; allow generous slack.
+        assert!(
+            (violations as f64) < 3.0 * delta * probes as f64 + 3.0,
+            "{violations}/{probes} envelope violations"
+        );
+    }
+
+    #[test]
+    fn estimate_is_monotone() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut c = MorrisCounter::new();
+        let mut last = 0;
+        for _ in 0..10_000 {
+            c.tick(&mut rng);
+            let e = c.estimate();
+            assert!(e >= last);
+            last = e;
+        }
+    }
+
+    #[test]
+    fn space_is_loglog() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut c = MorrisCounter::new();
+        for _ in 0..1_000_000 {
+            c.tick(&mut rng);
+        }
+        assert!(c.space_bits() <= 6, "register is log log sized");
+    }
+}

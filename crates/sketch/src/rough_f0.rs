@@ -1,0 +1,168 @@
+//! Monotone constant-factor F0 tracking (paper Lemma 18, RoughF0Est of \[40\]).
+//!
+//! Provides non-decreasing estimates `F̃0^t` with `F̃0^t ∈ [F0^t, RATIO·F0^t]`
+//! for all times `t` once `F0^t ≥ max(8, log n / log log n)`, in
+//! `O(log n · log log n)`-ish bits. `F0` only grows, which is what makes an
+//! all-times guarantee possible (contrast with `L0`).
+//!
+//! Construction: a pairwise hash assigns each item the level `lsb(h(i))`;
+//! level-`j` items appear with probability `2^{-j−1}`. Each level keeps a
+//! capped set of 32-bit item fingerprints; a level *saturates* when the
+//! suffix count `Σ_{l ≥ j} |set_l|` reaches `C0 = 64` distinct prints. The
+//! estimate is `2·2·C0·2^{j*}` for the deepest saturated level `j*` (exact
+//! counting before any level saturates). Buckets at or below a saturated
+//! level are dropped, so the expected live fingerprint count stays `O(C0)`.
+
+use bd_stream::{SpaceReport, SpaceUsage};
+use rand::Rng;
+use std::collections::HashSet;
+
+/// The monotone rough-F0 estimator.
+#[derive(Clone, Debug)]
+pub struct RoughF0 {
+    level_hash: bd_hash::KWiseHash,
+    print_hash: bd_hash::KWiseHash,
+    /// Per-lsb fingerprint sets; levels `<= sat_level` are dropped (empty).
+    buckets: Vec<HashSet<u32>>,
+    sat_level: i32,
+    best: u64,
+}
+
+impl RoughF0 {
+    /// Saturation cap per the concentration argument in the module docs.
+    pub const C0: u64 = 64;
+    /// The promised over-approximation ratio: estimates lie in
+    /// `[F0, RATIO·F0]` (whp; see module docs for the Chebyshev constants).
+    pub const RATIO: f64 = 16.0;
+    const LEVELS: usize = 62;
+
+    /// Fresh tracker.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        RoughF0 {
+            level_hash: bd_hash::KWiseHash::pairwise(rng, 1u64 << 62),
+            print_hash: bd_hash::KWiseHash::pairwise(rng, 1u64 << 32),
+            buckets: vec![HashSet::new(); Self::LEVELS + 1],
+            sat_level: -1,
+            best: 0,
+        }
+    }
+
+    /// Observe an update's *identity* (F0 ignores deltas; zero-deltas are
+    /// skipped by callers).
+    pub fn observe(&mut self, item: u64) {
+        let lvl = bd_hash::lsb(self.level_hash.hash(item), Self::LEVELS as u32) as i32;
+        if lvl <= self.sat_level {
+            return; // below the frontier: cannot change any suffix count
+        }
+        let print = self.print_hash.hash(item) as u32;
+        if !self.buckets[lvl as usize].insert(print) {
+            return;
+        }
+        // Advance the saturation frontier: deepest j with suffix count ≥ C0.
+        let mut suffix = 0u64;
+        let mut new_sat = self.sat_level;
+        for j in (0..=Self::LEVELS).rev() {
+            suffix += self.buckets[j].len() as u64;
+            if suffix >= Self::C0 {
+                new_sat = new_sat.max(j as i32);
+                break;
+            }
+        }
+        if new_sat > self.sat_level {
+            self.sat_level = new_sat;
+            for j in 0..=new_sat as usize {
+                self.buckets[j] = HashSet::new();
+            }
+            self.best = self.best.max((4 * Self::C0) << self.sat_level as u32);
+        }
+    }
+
+    /// The current (non-decreasing) estimate `F̃0^t`.
+    pub fn estimate(&self) -> u64 {
+        if self.sat_level < 0 {
+            // Exact regime: every distinct print is stored.
+            let exact: u64 = self.buckets.iter().map(|b| b.len() as u64).sum();
+            exact.max(self.best)
+        } else {
+            self.best
+        }
+    }
+}
+
+impl SpaceUsage for RoughF0 {
+    fn space(&self) -> SpaceReport {
+        let prints: u64 = self.buckets.iter().map(|b| b.len() as u64).sum();
+        SpaceReport {
+            counters: prints,
+            counter_bits: prints * 32,
+            seed_bits: (self.level_hash.seed_bits() + self.print_hash.seed_bits()) as u64,
+            overhead_bits: 8 + 64, // frontier cursor + best estimate
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exact_before_saturation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut r = RoughF0::new(&mut rng);
+        for i in 0..40u64 {
+            r.observe(i);
+            r.observe(i); // duplicates don't count
+        }
+        assert_eq!(r.estimate(), 40);
+    }
+
+    #[test]
+    fn estimates_are_monotone() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut r = RoughF0::new(&mut rng);
+        let mut last = 0;
+        for i in 0..100_000u64 {
+            r.observe(i);
+            let e = r.estimate();
+            assert!(e >= last, "estimate decreased at {i}");
+            last = e;
+        }
+    }
+
+    #[test]
+    fn sandwich_holds_at_probe_times() {
+        let mut ok = 0;
+        let trials = 30;
+        for seed in 0..trials {
+            let mut rng = StdRng::seed_from_u64(100 + seed);
+            let mut r = RoughF0::new(&mut rng);
+            let mut good = true;
+            for i in 1..=65_536u64 {
+                r.observe(i * 0x9e37_79b9 + seed); // distinct ids
+                if i.is_power_of_two() && i >= 64 {
+                    let e = r.estimate() as f64;
+                    if e < i as f64 || e > RoughF0::RATIO * i as f64 {
+                        good = false;
+                    }
+                }
+            }
+            if good {
+                ok += 1;
+            }
+        }
+        assert!(ok * 10 >= trials * 8, "sandwich held in only {ok}/{trials}");
+    }
+
+    #[test]
+    fn live_fingerprints_stay_bounded() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut r = RoughF0::new(&mut rng);
+        for i in 0..1_000_000u64 {
+            r.observe(i);
+        }
+        let live: u64 = r.space().counters;
+        assert!(live <= 16 * RoughF0::C0, "{live} live prints");
+    }
+}

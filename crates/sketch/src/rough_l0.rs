@@ -1,0 +1,172 @@
+//! RoughL0Estimator (paper Lemma 14, from \[40\]): a constant-factor L0
+//! estimate `R ∈ [L0, 110·L0]` for turnstile streams.
+//!
+//! Items are subsampled to level `j = lsb(h(i))` (so substream `S_j` has
+//! `E[L0(S_j)] = L0/2^{j+1}`), and each level runs a [`SmallL0`] detector.
+//! The estimate is `(20000/99)·2^{j*}` for the deepest level reporting
+//! `L0(S_j) > 8`, and 50 if none does. The theory sizes each detector with
+//! `c = 132, η = 1/16`; `Config::practical()` keeps the same shape with
+//! smaller tables (the detector's count only errs low, so the threshold
+//! test stays one-sided).
+
+use crate::small_l0::SmallL0;
+use bd_stream::{SpaceReport, SpaceUsage};
+use rand::Rng;
+
+/// Sizing for the per-level detectors.
+#[derive(Clone, Copy, Debug)]
+pub struct RoughL0Config {
+    /// Detector cap `c` (Lemma 21 promise parameter).
+    pub cap: usize,
+    /// Detector repetitions (`O(log 1/η)`).
+    pub reps: usize,
+    /// Buckets per detector repetition.
+    pub buckets: usize,
+    /// Number of subsampling levels (`log n` in the paper).
+    pub levels: usize,
+}
+
+impl RoughL0Config {
+    /// The paper's constants: `c = 132`, `η = 1/16`, `c²` buckets.
+    pub fn theory(levels: usize) -> Self {
+        RoughL0Config {
+            cap: 132,
+            reps: 4,
+            buckets: 132 * 132,
+            levels,
+        }
+    }
+
+    /// Laptop-scale tables with the same functional shape. 256 buckets
+    /// undercount a 132-item level by ~25%, which cannot flip the one-sided
+    /// "count > 8" test (true counts near the decision point are ≥ 28).
+    pub fn practical(levels: usize) -> Self {
+        RoughL0Config {
+            cap: 132,
+            reps: 2,
+            buckets: 256,
+            levels,
+        }
+    }
+}
+
+/// The rough L0 estimator.
+#[derive(Clone, Debug)]
+pub struct RoughL0 {
+    level_hash: bd_hash::KWiseHash,
+    detectors: Vec<SmallL0>,
+    levels: usize,
+}
+
+impl RoughL0 {
+    /// The guaranteed over-approximation ratio (Lemma 14).
+    pub const RATIO: f64 = 110.0;
+    /// The per-level decision threshold.
+    pub const THRESHOLD: u64 = 8;
+    /// The estimate scale `20000/99`.
+    pub const SCALE: f64 = 20000.0 / 99.0;
+
+    /// Build from a configuration.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, cfg: RoughL0Config) -> Self {
+        RoughL0 {
+            level_hash: bd_hash::KWiseHash::pairwise(rng, 1u64 << 62),
+            detectors: (0..=cfg.levels)
+                .map(|_| SmallL0::with_buckets(rng, cfg.cap, cfg.reps, cfg.buckets))
+                .collect(),
+            levels: cfg.levels,
+        }
+    }
+
+    /// Default practical sizing for a universe of size `n`.
+    pub fn for_universe<R: Rng + ?Sized>(rng: &mut R, n: u64) -> Self {
+        let levels = bd_hash::log2_ceil(n.max(2)) as usize;
+        Self::new(rng, RoughL0Config::practical(levels))
+    }
+
+    /// Apply an update.
+    pub fn update(&mut self, item: u64, delta: i64) {
+        let lvl = bd_hash::lsb(self.level_hash.hash(item), self.levels as u32) as usize;
+        self.detectors[lvl.min(self.levels)].update(item, delta);
+    }
+
+    /// The estimate `R`; `∈ [L0, 110·L0]` with constant probability.
+    pub fn estimate(&self) -> u64 {
+        let mut jstar: Option<usize> = None;
+        for (j, det) in self.detectors.iter().enumerate() {
+            if det.exceeds(Self::THRESHOLD) {
+                jstar = Some(j);
+            }
+        }
+        match jstar {
+            Some(j) => (Self::SCALE * (1u64 << j.min(55)) as f64).round() as u64,
+            None => 50,
+        }
+    }
+}
+
+impl SpaceUsage for RoughL0 {
+    fn space(&self) -> SpaceReport {
+        let mut rep = SpaceReport {
+            seed_bits: self.level_hash.seed_bits() as u64,
+            ..Default::default()
+        };
+        for d in &self.detectors {
+            rep = rep.merge(d.space());
+        }
+        rep
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bd_stream::gen::L0AlphaGen;
+    use bd_stream::FrequencyVector;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sandwich_on_turnstile_streams() {
+        let mut ok = 0;
+        let trials = 20;
+        for seed in 0..trials {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let stream = L0AlphaGen::new(1 << 20, 200 + 50 * seed, 2.0).generate(&mut rng);
+            let mut r = RoughL0::for_universe(&mut rng, stream.n);
+            for u in &stream {
+                r.update(u.item, u.delta);
+            }
+            let l0 = FrequencyVector::from_stream(&stream).l0();
+            let est = r.estimate();
+            if est >= l0 && est as f64 <= RoughL0::RATIO * l0 as f64 {
+                ok += 1;
+            }
+        }
+        assert!(ok >= 15, "sandwich held in only {ok}/{trials} trials");
+    }
+
+    #[test]
+    fn tiny_l0_returns_floor() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut r = RoughL0::for_universe(&mut rng, 1 << 16);
+        r.update(3, 1);
+        r.update(9, 2);
+        let est = r.estimate();
+        assert!((2..=220).contains(&est) || est == 50, "estimate {est}");
+    }
+
+    #[test]
+    fn deletions_shrink_the_estimate() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut r = RoughL0::for_universe(&mut rng, 1 << 16);
+        for i in 0..5_000u64 {
+            r.update(i, 1);
+        }
+        let big = r.estimate();
+        for i in 0..4_990u64 {
+            r.update(i, -1);
+        }
+        let small = r.estimate();
+        assert!(small < big, "estimate must track deletions: {small} vs {big}");
+    }
+}

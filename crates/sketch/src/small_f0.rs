@@ -1,0 +1,148 @@
+//! Exact L0 when few distinct items ever appear (paper Lemma 19).
+//!
+//! With `F0 ≤ c` promised, store one modular counter per *hashed identity*
+//! seen (pairwise hash into `Θ(c²)` to keep identities distinct, counters
+//! mod a random prime). If more than `c` identities appear, report `LARGE` —
+//! that certifies `F0 > c`. The α-property L0 algorithms use this with
+//! `c = 8 log(n)/log log(n)` to cover the regime where the rough F0 tracker
+//! has no guarantee.
+
+use bd_stream::{SpaceReport, SpaceUsage};
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Outcome of the small-F0 counter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SmallF0Result {
+    /// `F0 ≤ c` held; this is the exact `L0` (w.p. 49/50 per Lemma 19).
+    Exact(u64),
+    /// More than `c` distinct identities appeared: `F0 > c` certified.
+    Large,
+}
+
+/// The Lemma 19 structure.
+#[derive(Clone, Debug)]
+pub struct SmallF0 {
+    cap: usize,
+    hash: bd_hash::KWiseHash,
+    p: u64,
+    counters: HashMap<u64, u64>,
+    large: bool,
+}
+
+impl SmallF0 {
+    /// Build with promise parameter `c` (`cap`).
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, cap: usize) -> Self {
+        let c = cap.max(1) as u64;
+        // Pairwise hash into C = Θ(c²) keeps ≤ c identities collision-free
+        // with probability 99/100 (scaling constant 100 as in the Lemma).
+        let range = (100 * c * c).max(16);
+        // Prime window [P, P^3], P = 100²·c·log(mM); mM ≤ 2^40 assumed.
+        let p = bd_hash::random_prime_window(rng, (100 * 100 * c * 40).max(64));
+        SmallF0 {
+            cap,
+            hash: bd_hash::KWiseHash::pairwise(rng, range),
+            p,
+            counters: HashMap::new(),
+            large: false,
+        }
+    }
+
+    /// Apply an update.
+    pub fn update(&mut self, item: u64, delta: i64) {
+        if self.large {
+            return; // LARGE is absorbing; no more state is kept
+        }
+        let key = self.hash.hash(item);
+        let mag = delta.unsigned_abs() % self.p;
+        let cell = self.counters.entry(key).or_insert(0);
+        *cell = if delta >= 0 {
+            (*cell + mag) % self.p
+        } else {
+            (*cell + self.p - mag) % self.p
+        };
+        if self.counters.len() > self.cap {
+            self.large = true;
+            self.counters = HashMap::new(); // drop payload, keep the verdict
+        }
+    }
+
+    /// Query the structure.
+    pub fn result(&self) -> SmallF0Result {
+        if self.large {
+            SmallF0Result::Large
+        } else {
+            SmallF0Result::Exact(self.counters.values().filter(|&&c| c != 0).count() as u64)
+        }
+    }
+
+    /// The promise parameter `c`.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+}
+
+impl SpaceUsage for SmallF0 {
+    fn space(&self) -> SpaceReport {
+        // ≤ c identities of log(C) bits plus counters of log(p) bits.
+        let entries = self.counters.len() as u64;
+        let key_bits = bd_hash::width_unsigned(self.hash.range().max(2) - 1) as u64;
+        let ctr_bits = bd_hash::width_unsigned(self.p - 1) as u64;
+        SpaceReport {
+            counters: entries,
+            counter_bits: entries * (key_bits + ctr_bits),
+            seed_bits: self.hash.seed_bits() as u64 + bd_hash::width_unsigned(self.p) as u64,
+            overhead_bits: 1, // the LARGE flag
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exact_small_support() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut s = SmallF0::new(&mut rng, 64);
+        for i in 0..30u64 {
+            s.update(i * 101, 2);
+        }
+        for i in 0..10u64 {
+            s.update(i * 101, -2); // fully delete ten of them
+        }
+        assert_eq!(s.result(), SmallF0Result::Exact(20));
+    }
+
+    #[test]
+    fn large_is_certified_and_absorbing() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut s = SmallF0::new(&mut rng, 8);
+        for i in 0..100u64 {
+            s.update(i, 1);
+        }
+        assert_eq!(s.result(), SmallF0Result::Large);
+        // further updates keep it LARGE
+        s.update(3, -1);
+        assert_eq!(s.result(), SmallF0Result::Large);
+    }
+
+    #[test]
+    fn repeated_identity_is_one_key() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut s = SmallF0::new(&mut rng, 4);
+        for _ in 0..1000 {
+            s.update(42, 1);
+        }
+        assert_eq!(s.result(), SmallF0Result::Exact(1));
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = SmallF0::new(&mut rng, 4);
+        assert_eq!(s.result(), SmallF0Result::Exact(0));
+    }
+}

@@ -1,0 +1,173 @@
+//! Exact L0 under a sparsity promise (paper Lemma 21, from \[40\]).
+//!
+//! Given the promise `L0 ≤ c`, hash the universe pairwise-independently into
+//! `Θ(c²)` buckets, each holding `Σ f_i mod p` for a random prime `p`. With
+//! no collisions among the (at most `c`) live items and `p` dividing no
+//! `f_i`, the number of non-zero buckets *is* `L0`. Collisions and divisible
+//! frequencies only ever shrink the count, so the maximum over
+//! `O(log(1/η))` independent repetitions is correct with probability
+//! `1 − η`. This is also the per-level detector inside the rough L0
+//! estimators (threshold "`L0(S_j) > 8`").
+
+use bd_stream::{SpaceReport, SpaceUsage};
+use rand::Rng;
+
+/// One exact-small-L0 structure.
+#[derive(Clone, Debug)]
+pub struct SmallL0 {
+    cap: usize,
+    buckets: usize,
+    p: u64,
+    tables: Vec<Vec<u64>>, // reps × buckets, counters mod p
+    hashes: Vec<bd_hash::KWiseHash>,
+}
+
+impl SmallL0 {
+    /// Promise `L0 ≤ cap`, failure probability `η ≈ 2^-reps`; `c²` buckets
+    /// per repetition (the Lemma's sizing).
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, cap: usize, reps: usize) -> Self {
+        let buckets = (cap * cap).max(4);
+        Self::with_buckets(rng, cap, reps, buckets)
+    }
+
+    /// Explicit bucket count (practical configurations shrink `c²`; the
+    /// count only ever errs low, so threshold tests stay sound).
+    pub fn with_buckets<R: Rng + ?Sized>(
+        rng: &mut R,
+        cap: usize,
+        reps: usize,
+        buckets: usize,
+    ) -> Self {
+        assert!(reps >= 1 && buckets >= 1);
+        // Prime window [P, P^3] with P = 100·c·log2(mM); we take mM ≤ 2^40.
+        let p_base = (100 * cap.max(2) as u64 * 40).max(64);
+        let p = bd_hash::random_prime_window(rng, p_base);
+        SmallL0 {
+            cap,
+            buckets,
+            p,
+            tables: vec![vec![0u64; buckets]; reps],
+            hashes: (0..reps)
+                .map(|_| bd_hash::KWiseHash::pairwise(rng, buckets as u64))
+                .collect(),
+        }
+    }
+
+    /// The sparsity promise `c`.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Apply an update.
+    pub fn update(&mut self, item: u64, delta: i64) {
+        let mag = delta.unsigned_abs() % self.p;
+        for (t, h) in self.hashes.iter().enumerate() {
+            let b = h.hash(item) as usize;
+            let cell = &mut self.tables[t][b];
+            *cell = if delta >= 0 {
+                (*cell + mag) % self.p
+            } else {
+                (*cell + self.p - mag) % self.p
+            };
+        }
+    }
+
+    /// The L0 estimate: max over repetitions of the non-zero bucket count.
+    /// Exact with probability `1 − η` when `L0 ≤ cap`.
+    pub fn estimate(&self) -> u64 {
+        self.tables
+            .iter()
+            .map(|t| t.iter().filter(|&&c| c != 0).count() as u64)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Threshold test used by the rough estimators: conservative (collisions
+    /// only undercount), so `true` certainly means `L0 > thresh` up to the
+    /// mod-p event.
+    pub fn exceeds(&self, thresh: u64) -> bool {
+        self.estimate() > thresh
+    }
+}
+
+impl SpaceUsage for SmallL0 {
+    fn space(&self) -> SpaceReport {
+        let cells = (self.tables.len() * self.buckets) as u64;
+        let width = bd_hash::width_unsigned(self.p - 1) as u64;
+        SpaceReport {
+            counters: cells,
+            counter_bits: cells * width,
+            seed_bits: self.hashes.iter().map(|h| h.seed_bits() as u64).sum::<u64>()
+                + bd_hash::width_unsigned(self.p) as u64,
+            overhead_bits: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exact_within_promise() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut s = SmallL0::new(&mut rng, 32, 4);
+        for i in 0..20u64 {
+            s.update(i * 7919, 3);
+        }
+        assert_eq!(s.estimate(), 20);
+    }
+
+    #[test]
+    fn deletions_cancel() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut s = SmallL0::new(&mut rng, 16, 4);
+        for i in 0..10u64 {
+            s.update(i, 2);
+        }
+        for i in 0..5u64 {
+            s.update(i, -2);
+        }
+        assert_eq!(s.estimate(), 5);
+    }
+
+    #[test]
+    fn never_overcounts() {
+        let mut rng = StdRng::seed_from_u64(3);
+        // Violate the promise badly; the count must still be <= true L0.
+        let mut s = SmallL0::with_buckets(&mut rng, 8, 3, 64);
+        for i in 0..500u64 {
+            s.update(i, 1);
+        }
+        assert!(s.estimate() <= 500);
+        assert!(s.exceeds(8));
+    }
+
+    #[test]
+    fn zero_stream() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = SmallL0::new(&mut rng, 8, 2);
+        assert_eq!(s.estimate(), 0);
+        assert!(!s.exceeds(0));
+    }
+
+    #[test]
+    fn repeated_trials_exact_with_high_rate() {
+        let mut exact = 0;
+        for seed in 0..40u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut s = SmallL0::new(&mut rng, 24, 4);
+            for i in 0..24u64 {
+                s.update(i * 1_000_003 + 5, (i as i64 % 7) - 3);
+            }
+            // items with delta 0 don't count
+            let true_l0 = (0..24).filter(|i| (i % 7) as i64 - 3 != 0).count() as u64;
+            if s.estimate() == true_l0 {
+                exact += 1;
+            }
+        }
+        assert!(exact >= 37, "{exact}/40 exact");
+    }
+}

@@ -1,0 +1,316 @@
+//! Exact s-sparse recovery (paper Lemma 22, from \[38\]).
+//!
+//! A linear sketch `J : R^n → R^q`, `q = O(s)`, such that if `f` is s-sparse
+//! the decoder returns `f` exactly, and otherwise returns `DENSE` w.h.p.
+//!
+//! Construction: `d` rows of `2s` buckets. Each bucket holds the triple
+//! `(count, idsum, fingerprint) = (Σ f_i, Σ i·f_i, Σ f_i·r^i mod 2^61−1)`
+//! over the items hashed to it. A bucket containing exactly one non-zero
+//! item is *pure*: `idsum/count` reveals the identity, and the Karp–Rabin
+//! fingerprint confirms purity with failure probability `~1/2^61` per test.
+//! Decoding peels pure buckets (recover item, subtract everywhere, repeat) —
+//! the IBLT-style peeling process that succeeds w.h.p. when at most `s`
+//! items are present. The support samplers (paper §7) are built on this.
+
+use bd_hash::{M61Elem, M61};
+use bd_stream::{MaxMag, SpaceReport, SpaceUsage};
+use rand::Rng;
+use std::collections::HashMap;
+
+/// One bucket's linear measurements.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+struct Cell {
+    count: i64,
+    idsum: i128,
+    fp: M61Elem,
+}
+
+impl Cell {
+    #[inline]
+    fn is_zero(&self) -> bool {
+        self.count == 0 && self.idsum == 0 && self.fp == M61Elem::ZERO
+    }
+}
+
+/// Result of decoding a sparse-recovery sketch.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Recovery {
+    /// The sketched vector, exactly (item → frequency, all non-zero).
+    Sparse(HashMap<u64, i64>),
+    /// More than `s` items present (or a peeling dead end): not recoverable.
+    Dense,
+}
+
+/// The s-sparse recovery sketch.
+#[derive(Clone, Debug)]
+pub struct SparseRecovery {
+    universe: u64,
+    sparsity: usize,
+    depth: usize,
+    width: usize,
+    cells: Vec<Cell>,
+    hashes: Vec<bd_hash::KWiseHash>,
+    base: M61Elem,
+    max_mag: MaxMag,
+}
+
+impl SparseRecovery {
+    /// Sketch for vectors over `[0, universe)` recoverable up to sparsity
+    /// `s`, with `d = 4` rows of `2s` buckets (q = 8s cells).
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, universe: u64, sparsity: usize) -> Self {
+        Self::with_shape(rng, universe, sparsity, 4, 2 * sparsity.max(1))
+    }
+
+    /// Explicit shape (rows × buckets), for ablations.
+    pub fn with_shape<R: Rng + ?Sized>(
+        rng: &mut R,
+        universe: u64,
+        sparsity: usize,
+        depth: usize,
+        width: usize,
+    ) -> Self {
+        assert!(depth >= 1 && width >= 1);
+        SparseRecovery {
+            universe,
+            sparsity,
+            depth,
+            width,
+            cells: vec![Cell::default(); depth * width],
+            hashes: (0..depth)
+                .map(|_| bd_hash::KWiseHash::pairwise(rng, width as u64))
+                .collect(),
+            base: M61Elem::new(rng.gen_range(2..M61)),
+            max_mag: MaxMag::default(),
+        }
+    }
+
+    /// The sparsity budget `s`.
+    pub fn sparsity(&self) -> usize {
+        self.sparsity
+    }
+
+    /// Apply an update (linear, so works under arbitrary deletions).
+    pub fn update(&mut self, item: u64, delta: i64) {
+        debug_assert!(item < self.universe);
+        let fp_delta = self.fp_term(item, delta);
+        for r in 0..self.depth {
+            let b = self.hashes[r].hash(item) as usize;
+            let cell = &mut self.cells[r * self.width + b];
+            cell.count += delta;
+            cell.idsum += item as i128 * delta as i128;
+            cell.fp = cell.fp.add(fp_delta);
+            self.max_mag.observe(cell.count);
+        }
+    }
+
+    /// `Δ · r^i` in `F_{2^61-1}` (negative deltas via field negation).
+    fn fp_term(&self, item: u64, delta: i64) -> M61Elem {
+        let mag = M61Elem::new(delta.unsigned_abs() % M61).mul(self.base.pow(item));
+        if delta >= 0 {
+            mag
+        } else {
+            mag.neg()
+        }
+    }
+
+    /// Whether `cell` holds exactly one item; returns `(item, freq)` if so.
+    fn pure_item(&self, cell: &Cell) -> Option<(u64, i64)> {
+        if cell.count == 0 {
+            return None;
+        }
+        let c = cell.count as i128;
+        if cell.idsum % c != 0 {
+            return None;
+        }
+        let id = cell.idsum / c;
+        if id < 0 || id as u128 >= self.universe as u128 {
+            return None;
+        }
+        let id = id as u64;
+        if self.fp_term(id, cell.count) != cell.fp {
+            return None;
+        }
+        Some((id, cell.count))
+    }
+
+    /// Decode by peeling. Does not consume the sketch (works on a copy).
+    pub fn decode(&self) -> Recovery {
+        let mut cells = self.cells.clone();
+        let mut out: HashMap<u64, i64> = HashMap::new();
+        // Peel until no pure cell remains. Each round scans all cells; at
+        // most `depth·width + recovered` rounds of work overall because each
+        // successful peel strictly reduces residual support.
+        let mut progress = true;
+        while progress {
+            progress = false;
+            for idx in 0..cells.len() {
+                let cell = cells[idx];
+                if cell.is_zero() {
+                    continue;
+                }
+                if let Some((item, freq)) = self.pure_item(&cell) {
+                    // Subtract the recovered item from every row.
+                    let fp_delta = self.fp_term(item, freq);
+                    for r in 0..self.depth {
+                        let b = self.hashes[r].hash(item) as usize;
+                        let c = &mut cells[r * self.width + b];
+                        c.count -= freq;
+                        c.idsum -= item as i128 * freq as i128;
+                        c.fp = c.fp.sub(fp_delta);
+                    }
+                    *out.entry(item).or_insert(0) += freq;
+                    progress = true;
+                }
+            }
+        }
+        if cells.iter().all(Cell::is_zero) {
+            out.retain(|_, v| *v != 0);
+            Recovery::Sparse(out)
+        } else {
+            Recovery::Dense
+        }
+    }
+
+    /// Merge-subtract another *identically seeded* sketch (linearity):
+    /// afterwards this sketch represents `f − g`.
+    pub fn subtract(&mut self, other: &SparseRecovery) {
+        assert_eq!(self.cells.len(), other.cells.len(), "shape mismatch");
+        for (a, b) in self.cells.iter_mut().zip(&other.cells) {
+            a.count -= b.count;
+            a.idsum -= b.idsum;
+            a.fp = a.fp.sub(b.fp);
+        }
+    }
+}
+
+impl SpaceUsage for SparseRecovery {
+    fn space(&self) -> SpaceReport {
+        let cells = (self.depth * self.width) as u64;
+        // count: tracked magnitude; idsum: magnitude + log(universe) bits;
+        // fingerprint: 61 bits.
+        let count_bits = self.max_mag.bits_signed();
+        let id_bits = count_bits + bd_hash::width_unsigned(self.universe.max(1)) as u64;
+        SpaceReport {
+            counters: 3 * cells,
+            counter_bits: cells * (count_bits + id_bits + 61),
+            seed_bits: self.hashes.iter().map(|h| h.seed_bits() as u64).sum::<u64>() + 61,
+            overhead_bits: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn roundtrip(items: &[(u64, i64)], s: usize, seed: u64) -> Recovery {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sk = SparseRecovery::new(&mut rng, 1 << 40, s);
+        for &(i, d) in items {
+            sk.update(i, d);
+        }
+        sk.decode()
+    }
+
+    #[test]
+    fn empty_decodes_empty() {
+        match roundtrip(&[], 4, 1) {
+            Recovery::Sparse(m) => assert!(m.is_empty()),
+            Recovery::Dense => panic!("empty vector is sparse"),
+        }
+    }
+
+    #[test]
+    fn exact_recovery_at_sparsity() {
+        let items: Vec<(u64, i64)> = (0..16).map(|t| (t * 1_000_003 + 7, t as i64 - 8)).collect();
+        let nonzero: HashMap<u64, i64> = items
+            .iter()
+            .copied()
+            .filter(|&(_, d)| d != 0)
+            .collect();
+        match roundtrip(&items, 16, 2) {
+            Recovery::Sparse(m) => assert_eq!(m, nonzero),
+            Recovery::Dense => panic!("16-sparse vector must decode"),
+        }
+    }
+
+    #[test]
+    fn cancellations_are_invisible() {
+        // Insert then fully delete many items; only survivors decode.
+        let mut updates = Vec::new();
+        for i in 0..200u64 {
+            updates.push((i, 5i64));
+            updates.push((i, -5i64));
+        }
+        updates.push((777, 3));
+        match roundtrip(&updates, 4, 3) {
+            Recovery::Sparse(m) => {
+                assert_eq!(m.len(), 1);
+                assert_eq!(m[&777], 3);
+            }
+            Recovery::Dense => panic!("1-sparse after cancellation"),
+        }
+    }
+
+    #[test]
+    fn dense_detected() {
+        let items: Vec<(u64, i64)> = (0..500).map(|t| (t * 13 + 1, 1i64)).collect();
+        match roundtrip(&items, 8, 4) {
+            Recovery::Dense => {}
+            Recovery::Sparse(m) => {
+                // Peeling may still succeed slightly above budget; it must
+                // then be the exact answer.
+                assert_eq!(m.len(), 500);
+            }
+        }
+    }
+
+    #[test]
+    fn negative_frequencies_recovered() {
+        match roundtrip(&[(5, -9), (1 << 35, 4)], 4, 5) {
+            Recovery::Sparse(m) => {
+                assert_eq!(m[&5], -9);
+                assert_eq!(m[&(1 << 35)], 4);
+            }
+            Recovery::Dense => panic!("2-sparse must decode"),
+        }
+    }
+
+    #[test]
+    fn subtract_gives_difference() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut a = SparseRecovery::new(&mut rng, 1 << 20, 8);
+        let mut b = a.clone();
+        a.update(10, 4);
+        a.update(11, 2);
+        b.update(10, 4);
+        b.update(12, 9);
+        a.subtract(&b);
+        match a.decode() {
+            Recovery::Sparse(m) => {
+                assert_eq!(m.len(), 2);
+                assert_eq!(m[&11], 2);
+                assert_eq!(m[&12], -9);
+            }
+            Recovery::Dense => panic!("difference is 2-sparse"),
+        }
+    }
+
+    #[test]
+    fn recovery_success_rate_high() {
+        let mut ok = 0;
+        for seed in 0..50u64 {
+            let items: Vec<(u64, i64)> = (0..20)
+                .map(|t| ((t * 7919 + seed * 104729) % (1 << 30), 1i64))
+                .collect();
+            if let Recovery::Sparse(m) = roundtrip(&items, 20, 1000 + seed) {
+                if m.len() == items.len() {
+                    ok += 1;
+                }
+            }
+        }
+        assert!(ok >= 47, "only {ok}/50 decodes succeeded");
+    }
+}

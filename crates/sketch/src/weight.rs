@@ -1,0 +1,121 @@
+//! Counter weight abstraction.
+//!
+//! Most sketches count integers, but precision sampling (paper §4) scales
+//! updates by `1/t_i ∈ [1, ∞)` and therefore needs real-valued cells. The
+//! [`Weight`] trait lets table-based sketches share one implementation across
+//! `i64` (exact, bit-width-accountable) and `f64` (scaled) counters.
+
+/// A counter cell type: closed under addition/negation, comparable by
+/// magnitude, and convertible to `f64` for medians and norms.
+pub trait Weight: Copy + Default + PartialEq + std::fmt::Debug + 'static {
+    /// The zero counter.
+    fn zero() -> Self;
+    /// Add another value into this cell.
+    fn add_assign(&mut self, rhs: Self);
+    /// Negate.
+    fn neg(self) -> Self;
+    /// Absolute value as `f64` (for medians, norms, space accounting).
+    fn abs_f64(self) -> f64;
+    /// Signed value as `f64`.
+    fn to_f64(self) -> f64;
+    /// Build from an `i64` stream delta.
+    fn from_i64(v: i64) -> Self;
+}
+
+impl Weight for i64 {
+    #[inline]
+    fn zero() -> Self {
+        0
+    }
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        *self += rhs;
+    }
+    #[inline]
+    fn neg(self) -> Self {
+        -self
+    }
+    #[inline]
+    fn abs_f64(self) -> f64 {
+        self.unsigned_abs() as f64
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    #[inline]
+    fn from_i64(v: i64) -> Self {
+        v
+    }
+}
+
+impl Weight for f64 {
+    #[inline]
+    fn zero() -> Self {
+        0.0
+    }
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        *self += rhs;
+    }
+    #[inline]
+    fn neg(self) -> Self {
+        -self
+    }
+    #[inline]
+    fn abs_f64(self) -> f64 {
+        self.abs()
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline]
+    fn from_i64(v: i64) -> Self {
+        v as f64
+    }
+}
+
+/// Median of a slice by `f64` ordering; for even lengths returns the lower
+/// median (the convention used throughout the sketch literature).
+pub fn median_f64(values: &mut [f64]) -> f64 {
+    assert!(!values.is_empty(), "median of empty slice");
+    let mid = (values.len() - 1) / 2;
+    values
+        .select_nth_unstable_by(mid, |a, b| a.partial_cmp(b).expect("NaN in median"))
+        .1
+        .to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weight_ops_i64() {
+        let mut w = i64::zero();
+        w.add_assign(5);
+        w.add_assign((-2).neg());
+        assert_eq!(w, 7);
+        assert_eq!(w.abs_f64(), 7.0);
+        assert_eq!(i64::from_i64(-3), -3);
+    }
+
+    #[test]
+    fn weight_ops_f64() {
+        let mut w = f64::zero();
+        w.add_assign(2.5);
+        assert_eq!(w.neg(), -2.5);
+        assert_eq!((-2.5f64).abs_f64(), 2.5);
+    }
+
+    #[test]
+    fn median_odd_even() {
+        let mut v = [3.0, 1.0, 2.0];
+        assert_eq!(median_f64(&mut v), 2.0);
+        let mut v = [4.0, 1.0, 2.0, 3.0];
+        assert_eq!(median_f64(&mut v), 2.0); // lower median
+        let mut v = [9.0];
+        assert_eq!(median_f64(&mut v), 9.0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests for the baseline sketches.
+
+use bd_sketch::{
+    CountMin, CountSketch, MorrisCounter, Recovery, SmallF0, SmallF0Result, SmallL0,
+    SparseRecovery,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+fn exact_vector(items: &[(u64, i64)]) -> HashMap<u64, i64> {
+    let mut m = HashMap::new();
+    for &(i, d) in items {
+        *m.entry(i).or_insert(0) += d;
+    }
+    m.retain(|_, v| *v != 0);
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sparse_recovery_roundtrips_any_sparse_vector(
+        seed: u64,
+        items in prop::collection::vec((0u64..1 << 30, -50i64..50), 0..12),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sk = SparseRecovery::new(&mut rng, 1 << 30, 12);
+        for &(i, d) in &items {
+            sk.update(i, d);
+        }
+        let expect = exact_vector(&items);
+        match sk.decode() {
+            Recovery::Sparse(m) => prop_assert_eq!(m, expect),
+            Recovery::Dense => {
+                // Allowed only with tiny probability; treat repeated failure
+                // as a bug by bounding support size (peeling on ≤12 items
+                // with 4×24 cells virtually never stalls).
+                prop_assert!(expect.len() >= 8, "dense verdict on {} items", expect.len());
+            }
+        }
+    }
+
+    #[test]
+    fn countsketch_is_linear_in_updates(seed: u64, a in -40i64..40, b in -40i64..40) {
+        // Applying (i, a) then (i, b) equals applying (i, a + b).
+        let mut rng = StdRng::seed_from_u64(seed);
+        let proto = CountSketch::<i64>::new(&mut rng, 5, 32);
+        let mut one = proto.clone();
+        let mut two = proto.clone();
+        one.update(9, a);
+        one.update(9, b);
+        two.update(9, a + b);
+        for row in 0..5 {
+            prop_assert_eq!(one.row_estimate(row, 9), two.row_estimate(row, 9));
+        }
+    }
+
+    #[test]
+    fn countmin_never_underestimates_nonnegative_vectors(
+        seed: u64,
+        items in prop::collection::vec((0u64..64, 1i64..20), 1..40),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut cm = CountMin::new(&mut rng, 4, 16);
+        let mut exact = HashMap::new();
+        for &(i, d) in &items {
+            cm.update(i, d);
+            *exact.entry(i).or_insert(0i64) += d;
+        }
+        for (&i, &f) in &exact {
+            prop_assert!(cm.estimate(i) >= f);
+        }
+    }
+
+    #[test]
+    fn small_l0_never_exceeds_true_support(
+        seed: u64,
+        items in prop::collection::vec((0u64..1000, -5i64..5), 0..60),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut s = SmallL0::new(&mut rng, 16, 3);
+        for &(i, d) in &items {
+            s.update(i, d);
+        }
+        let true_l0 = exact_vector(&items).len() as u64;
+        prop_assert!(s.estimate() <= true_l0);
+    }
+
+    #[test]
+    fn small_f0_large_verdict_is_sound(
+        seed: u64,
+        distinct in 1usize..40,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cap = 12usize;
+        let mut s = SmallF0::new(&mut rng, cap);
+        for i in 0..distinct as u64 {
+            s.update(i * 7 + 1, 1);
+        }
+        match s.result() {
+            SmallF0Result::Large => prop_assert!(distinct > cap),
+            SmallF0Result::Exact(c) => prop_assert!(c <= distinct as u64),
+        }
+    }
+
+    #[test]
+    fn morris_estimate_bounded_by_extremes(seed: u64, ticks in 1u64..5000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut m = MorrisCounter::new();
+        for _ in 0..ticks {
+            m.tick(&mut rng);
+        }
+        // v ≤ t always (can't increment more than once per tick) ⇒
+        // estimate ≤ 2^t − 1; and the estimate is ≥ 1 after ≥1 tick.
+        prop_assert!(m.estimate() >= 1);
+        prop_assert!(u64::from(m.level()) <= ticks);
+    }
+}

@@ -1,0 +1,339 @@
+//! Generators for α-property streams (the paper's Definition 1 and 2).
+//!
+//! [`BoundedDeletionGen`] produces strict-turnstile streams whose realized
+//! `L1` α is close to a requested target: it plants Zipfian insertions and
+//! then deletes a `(α−1)/(α+1)` fraction of the inserted mass, interleaved
+//! uniformly while never driving a coordinate negative. [`StrongAlphaGen`]
+//! enforces the per-coordinate Definition 2 bound. [`L0AlphaGen`] produces
+//! streams with a target `F₀/L₀` ratio for the L0 algorithms of §6–7.
+
+use crate::gen::zipf::Zipf;
+use crate::update::{StreamBatch, Update};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Strict-turnstile L1 α-property stream generator.
+#[derive(Clone, Debug)]
+pub struct BoundedDeletionGen {
+    /// Universe size.
+    pub n: u64,
+    /// Total inserted mass (number of unit insertions).
+    pub insert_mass: u64,
+    /// Target L1 α ≥ 1.
+    pub alpha: f64,
+    /// Zipf exponent for item popularity.
+    pub zipf_s: f64,
+    /// Number of distinct items receiving mass.
+    pub distinct: usize,
+}
+
+impl BoundedDeletionGen {
+    /// A reasonable default configuration for a universe of size `n`.
+    pub fn new(n: u64, insert_mass: u64, alpha: f64) -> Self {
+        assert!(alpha >= 1.0);
+        BoundedDeletionGen {
+            n,
+            insert_mass,
+            alpha,
+            zipf_s: 1.05,
+            distinct: (n as usize / 4).clamp(1, 4096),
+        }
+    }
+
+    /// Generate the stream. The realized α is within O(1/√mass) of the
+    /// target; read it back exactly via `FrequencyVector::alpha_l1`.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> StreamBatch {
+        let distinct = self.distinct.min(self.n as usize).max(1);
+        // Choose the distinct item identities uniformly from the universe.
+        let mut ids: Vec<u64> = Vec::with_capacity(distinct);
+        if (self.n as usize) <= 4 * distinct {
+            let mut all: Vec<u64> = (0..self.n).collect();
+            all.shuffle(rng);
+            ids.extend(all.into_iter().take(distinct));
+        } else {
+            let mut seen = std::collections::HashSet::new();
+            while ids.len() < distinct {
+                let c = rng.gen_range(0..self.n);
+                if seen.insert(c) {
+                    ids.push(c);
+                }
+            }
+        }
+        let zipf = Zipf::new(distinct, self.zipf_s);
+
+        // Per-item inserted mass.
+        let mut ins = vec![0u64; distinct];
+        for _ in 0..self.insert_mass {
+            ins[zipf.sample(rng)] += 1;
+        }
+
+        // Total deleted mass D with (I + D)/(I - D) = α ⇒ D = I(α-1)/(α+1).
+        let del_total =
+            ((self.insert_mass as f64) * (self.alpha - 1.0) / (self.alpha + 1.0)).round() as u64;
+
+        // Spread deletions proportionally to insertions, never exceeding them.
+        let mut del = vec![0u64; distinct];
+        let mut remaining = del_total;
+        for r in 0..distinct {
+            let share = ((ins[r] as f64 / self.insert_mass.max(1) as f64) * del_total as f64)
+                .floor() as u64;
+            let d = share.min(ins[r]).min(remaining);
+            del[r] = d;
+            remaining -= d;
+        }
+        // Distribute any rounding remainder greedily.
+        let mut r = 0usize;
+        while remaining > 0 && r < distinct {
+            if del[r] < ins[r] {
+                let take = (ins[r] - del[r]).min(remaining);
+                del[r] += take;
+                remaining -= take;
+            }
+            r += 1;
+        }
+
+        interleave_strict(rng, &ids, &ins, &del, self.n)
+    }
+}
+
+/// Strong α-property generator (Definition 2): every coordinate individually
+/// satisfies `I_i + D_i ≤ α|f_i|`, and `f_i ≥ 1` for every touched item.
+#[derive(Clone, Debug)]
+pub struct StrongAlphaGen {
+    /// Universe size.
+    pub n: u64,
+    /// Number of touched items.
+    pub distinct: usize,
+    /// Mean final frequency of an item.
+    pub mean_freq: u64,
+    /// Target strong α ≥ 1.
+    pub alpha: f64,
+    /// Zipf exponent shaping final frequencies.
+    pub zipf_s: f64,
+}
+
+impl StrongAlphaGen {
+    /// Default configuration.
+    pub fn new(n: u64, distinct: usize, alpha: f64) -> Self {
+        assert!(alpha >= 1.0);
+        StrongAlphaGen {
+            n,
+            distinct,
+            mean_freq: 16,
+            alpha,
+            zipf_s: 1.05,
+        }
+    }
+
+    /// Generate the stream (strict turnstile, strong α ≤ target).
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> StreamBatch {
+        let distinct = self.distinct.min(self.n as usize).max(1);
+        let zipf = Zipf::new(distinct, self.zipf_s);
+        let total_mass = self.mean_freq * distinct as u64;
+        let mut freq = vec![1u64; distinct]; // f_i ≥ 1 keeps strong α finite
+        for _ in 0..total_mass.saturating_sub(distinct as u64) {
+            freq[zipf.sample(rng)] += 1;
+        }
+        let mut ids: Vec<u64> = Vec::with_capacity(distinct);
+        let mut seen = std::collections::HashSet::new();
+        while ids.len() < distinct {
+            let c = rng.gen_range(0..self.n);
+            if seen.insert(c) {
+                ids.push(c);
+            }
+        }
+        // Churn: e_i extra insert/delete pairs with 2e_i + f_i ≤ α f_i.
+        let mut ins = vec![0u64; distinct];
+        let mut del = vec![0u64; distinct];
+        for r in 0..distinct {
+            let cap = ((self.alpha - 1.0) * freq[r] as f64 / 2.0).floor() as u64;
+            let churn = if cap == 0 { 0 } else { rng.gen_range(0..=cap) };
+            ins[r] = freq[r] + churn;
+            del[r] = churn;
+        }
+        interleave_strict(rng, &ids, &ins, &del, self.n)
+    }
+}
+
+/// L0 α-property generator: `F₀ = ceil(α · L₀)` distinct items are touched,
+/// `L₀` survive with non-zero final frequency, the rest are fully deleted.
+#[derive(Clone, Debug)]
+pub struct L0AlphaGen {
+    /// Universe size.
+    pub n: u64,
+    /// Final support size `L₀`.
+    pub l0: u64,
+    /// Target `F₀ / L₀` ratio ≥ 1.
+    pub alpha: f64,
+    /// Frequency given to each surviving item.
+    pub survivor_freq: u64,
+}
+
+impl L0AlphaGen {
+    /// Default configuration.
+    pub fn new(n: u64, l0: u64, alpha: f64) -> Self {
+        assert!(alpha >= 1.0);
+        L0AlphaGen {
+            n,
+            l0,
+            alpha,
+            survivor_freq: 2,
+        }
+    }
+
+    /// Generate the stream (strict turnstile).
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> StreamBatch {
+        let f0 = ((self.l0 as f64 * self.alpha).ceil() as u64).min(self.n);
+        let l0 = self.l0.min(f0);
+        let mut ids: Vec<u64> = Vec::with_capacity(f0 as usize);
+        let mut seen = std::collections::HashSet::new();
+        while (ids.len() as u64) < f0 {
+            let c = rng.gen_range(0..self.n);
+            if seen.insert(c) {
+                ids.push(c);
+            }
+        }
+        let mut ins = Vec::with_capacity(f0 as usize);
+        let mut del = Vec::with_capacity(f0 as usize);
+        for (r, _) in ids.iter().enumerate() {
+            if (r as u64) < l0 {
+                ins.push(self.survivor_freq);
+                del.push(0);
+            } else {
+                ins.push(1);
+                del.push(1);
+            }
+        }
+        interleave_strict(rng, &ids, &ins, &del, self.n)
+    }
+}
+
+/// Emit `ins[r]` unit insertions and `del[r]` unit deletions per item,
+/// uniformly interleaved subject to never driving a prefix negative
+/// (deletions for an item are only scheduled behind enough insertions).
+fn interleave_strict<R: Rng + ?Sized>(
+    rng: &mut R,
+    ids: &[u64],
+    ins: &[u64],
+    del: &[u64],
+    n: u64,
+) -> StreamBatch {
+    // Schedule: per item, place its deletions uniformly among the positions
+    // *after* matching insertions by pairing deletion d with insertion d
+    // (FIFO), then globally shuffle insertion order and release deletions as
+    // their matched insertion has appeared.
+    let total: u64 = ins.iter().sum::<u64>() + del.iter().sum::<u64>();
+    let mut inserts: Vec<u32> = Vec::new();
+    for (r, &c) in ins.iter().enumerate() {
+        for _ in 0..c {
+            inserts.push(r as u32);
+        }
+    }
+    inserts.shuffle(rng);
+
+    let mut updates = Vec::with_capacity(total as usize);
+    // pending deletions per item, released once balance allows
+    let mut balance = vec![0u64; ids.len()];
+    let mut owed = del.to_vec();
+    let mut releasable: Vec<u32> = Vec::new();
+
+    let mut ins_iter = inserts.into_iter();
+    loop {
+        // Randomly choose to emit a releasable deletion or the next insertion.
+        let can_delete = !releasable.is_empty();
+        let emit_delete = can_delete && rng.gen_bool(0.5);
+        if emit_delete {
+            let idx = rng.gen_range(0..releasable.len());
+            let r = releasable.swap_remove(idx) as usize;
+            balance[r] -= 1;
+            updates.push(Update::delete(ids[r], 1));
+        } else if let Some(r32) = ins_iter.next() {
+            let r = r32 as usize;
+            balance[r] += 1;
+            updates.push(Update::insert(ids[r], 1));
+            if owed[r] > 0 && balance[r] > 0 {
+                owed[r] -= 1;
+                releasable.push(r32);
+            }
+        } else if can_delete {
+            // Insertions exhausted: flush remaining deletions in random order.
+            releasable.shuffle(rng);
+            for r32 in releasable.drain(..) {
+                updates.push(Update::delete(ids[r32 as usize], 1));
+            }
+        } else {
+            break;
+        }
+    }
+    StreamBatch::new(n, updates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::FrequencyVector;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bounded_gen_hits_target_alpha() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for target in [1.0, 2.0, 8.0, 32.0] {
+            let g = BoundedDeletionGen::new(1 << 14, 40_000, target);
+            let s = g.generate(&mut rng);
+            let v = FrequencyVector::from_stream(&s);
+            assert!(v.is_nonnegative(), "strict turnstile violated");
+            let a = v.alpha_l1();
+            assert!(
+                (a - target).abs() / target < 0.15,
+                "target {target}, realized {a}"
+            );
+        }
+    }
+
+    #[test]
+    fn bounded_gen_prefixes_stay_nonnegative() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = BoundedDeletionGen::new(1 << 10, 5_000, 4.0);
+        let s = g.generate(&mut rng);
+        let mut v = FrequencyVector::new(s.n);
+        for u in &s {
+            v.update(*u);
+            assert!(v.is_nonnegative());
+        }
+    }
+
+    #[test]
+    fn strong_gen_respects_definition_two() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for target in [1.0, 3.0, 10.0] {
+            let g = StrongAlphaGen::new(1 << 12, 300, target);
+            let s = g.generate(&mut rng);
+            let v = FrequencyVector::from_stream(&s);
+            let a = v.alpha_strong();
+            assert!(a <= target + 1e-9, "strong α {a} exceeds target {target}");
+            assert!(v.is_nonnegative());
+        }
+    }
+
+    #[test]
+    fn l0_gen_hits_ratio() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for target in [1.0, 2.0, 6.0] {
+            let g = L0AlphaGen::new(1 << 16, 500, target);
+            let s = g.generate(&mut rng);
+            let v = FrequencyVector::from_stream(&s);
+            assert_eq!(v.l0(), 500);
+            let a = v.alpha_l0();
+            assert!((a - target).abs() < 0.05, "target {target}, realized {a}");
+        }
+    }
+
+    #[test]
+    fn alpha_one_means_insertion_only() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let g = BoundedDeletionGen::new(256, 2_000, 1.0);
+        let s = g.generate(&mut rng);
+        assert!(s.iter().all(|u| u.is_insertion()));
+    }
+}

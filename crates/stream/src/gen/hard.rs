@@ -1,0 +1,304 @@
+//! The §8 lower-bound constructions as concrete stream generators.
+//!
+//! Each communication-complexity reduction in the paper builds an explicit
+//! family of α-property streams that any correct algorithm must handle; we
+//! generate those families and use them as stress workloads (experiment E12).
+//! The streams here are *hard for space*, not for correctness — our upper
+//! bound algorithms must still answer correctly on them, and the tests check
+//! exactly that.
+
+use crate::update::{StreamBatch, Update};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Theorem 12's augmented-indexing instance for ε-heavy hitters.
+///
+/// `r = log_6(α/4)` blocks, block `j` holding a random set `x_j` of
+/// `⌊1/(2ε)⌋` items inserted with weight `α·6^j + 1`; the suffix blocks
+/// `j > j*` are then deleted down to weight 1. The surviving top block `x_j*`
+/// is exactly the ε-heavy-hitter set.
+#[derive(Clone, Debug)]
+pub struct AugmentedIndexingHH {
+    /// Universe size.
+    pub n: u64,
+    /// Heavy-hitter threshold ε.
+    pub epsilon: f64,
+    /// The α parameter of the construction (the realized stream has the
+    /// strong O(α²)-property, as in the paper's proof).
+    pub alpha: f64,
+}
+
+/// A generated hard instance with its ground truth.
+#[derive(Clone, Debug)]
+pub struct HardInstance {
+    /// The stream.
+    pub stream: StreamBatch,
+    /// Items the construction plants as the answer (e.g. the heavy set).
+    pub planted: Vec<u64>,
+    /// The index `j*` the reduction queries.
+    pub query_block: usize,
+}
+
+impl AugmentedIndexingHH {
+    /// Build with default parameters.
+    pub fn new(n: u64, epsilon: f64, alpha: f64) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0);
+        assert!(alpha >= 4.0, "construction needs α ≥ 4");
+        AugmentedIndexingHH { n, epsilon, alpha }
+    }
+
+    /// Generate the instance. `j*` is drawn uniformly from the blocks.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> HardInstance {
+        const D: u64 = 6;
+        let r = ((self.alpha / 4.0).log(6.0).floor() as usize).max(1);
+        let set_size = ((1.0 / (2.0 * self.epsilon)).floor() as usize).max(1);
+        let alpha = self.alpha as u64;
+        let jstar = rng.gen_range(0..r);
+
+        // Disjoint random sets per block (the proof allows overlap; disjoint
+        // sets give a clean planted answer).
+        let mut seen = std::collections::HashSet::new();
+        let mut blocks: Vec<Vec<u64>> = Vec::with_capacity(r);
+        for _ in 0..r {
+            let mut b = Vec::with_capacity(set_size);
+            while b.len() < set_size {
+                let c = rng.gen_range(0..self.n);
+                if seen.insert(c) {
+                    b.push(c);
+                }
+            }
+            blocks.push(b);
+        }
+
+        let mut updates = Vec::new();
+        // Alice inserts (α·D^j + 1) per item of block j.
+        for (j, b) in blocks.iter().enumerate() {
+            let w = alpha * D.pow(j as u32 + 1) + 1;
+            for &i in b {
+                updates.push(Update::insert(i, w));
+            }
+        }
+        updates.shuffle(rng);
+        // Bob deletes α·D^j per item for blocks above j*.
+        let mut dels = Vec::new();
+        for (j, b) in blocks.iter().enumerate().skip(jstar + 1) {
+            let w = alpha * D.pow(j as u32 + 1);
+            for &i in b {
+                dels.push(Update::delete(i, w));
+            }
+        }
+        dels.shuffle(rng);
+        updates.extend(dels);
+
+        let mut planted = blocks[jstar].clone();
+        planted.sort_unstable();
+        HardInstance {
+            stream: StreamBatch::new(self.n, updates),
+            planted,
+            query_block: jstar,
+        }
+    }
+}
+
+/// Theorem 20's support-sampling instance: `log(α/4)` active blocks of size
+/// `α/4`; block `j` receives `2^j` distinct singleton items, then all blocks
+/// above `j*` are deleted. Block `j*` dominates the surviving support.
+#[derive(Clone, Debug)]
+pub struct SupportHard {
+    /// Universe size.
+    pub n: u64,
+    /// The α parameter (realized L0 α ≤ 2α).
+    pub alpha: u64,
+}
+
+impl SupportHard {
+    /// Build with the given α ≥ 8.
+    pub fn new(n: u64, alpha: u64) -> Self {
+        assert!(alpha >= 8);
+        SupportHard { n, alpha }
+    }
+
+    /// Generate the instance.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> HardInstance {
+        let r = bd_hash::log2_floor(self.alpha / 4).max(1) as usize;
+        let block_size = (self.alpha / 4).max(1);
+        let jstar = rng.gen_range(0..r);
+        let mut updates = Vec::new();
+        let mut planted = Vec::new();
+        let mut dels = Vec::new();
+        for j in 0..r {
+            let count = (1u64 << j).min(block_size);
+            // block j occupies ids [j*block_size, (j+1)*block_size)
+            let base = (j as u64) * block_size;
+            for t in 0..count {
+                let id = (base + t) % self.n;
+                updates.push(Update::insert(id, 1));
+                if j > jstar {
+                    dels.push(Update::delete(id, 1));
+                } else if j == jstar {
+                    planted.push(id);
+                }
+            }
+        }
+        updates.shuffle(rng);
+        dels.shuffle(rng);
+        updates.extend(dels);
+        planted.sort_unstable();
+        HardInstance {
+            stream: StreamBatch::new(self.n, updates),
+            planted,
+            query_block: jstar,
+        }
+    }
+}
+
+/// Theorem 21's inner-product instance: `log₁₀(α)/4` blocks of `1/(8ε)`
+/// items with weights `b_i·10^j + 1`, `b_i ∈ {α, 2α}` encoding a bit vector;
+/// the suffix is deleted down to 1s and `g` is a planted singleton whose
+/// surviving weight encodes the queried bit.
+#[derive(Clone, Debug)]
+pub struct InnerProductHard {
+    /// Universe size.
+    pub n: u64,
+    /// Accuracy parameter ε.
+    pub epsilon: f64,
+    /// The α parameter.
+    pub alpha: u64,
+}
+
+/// Inner-product hard instance: two streams plus the planted query.
+#[derive(Clone, Debug)]
+pub struct InnerProductInstance {
+    /// Stream for `f`.
+    pub f: StreamBatch,
+    /// Stream for `g` (a planted singleton).
+    pub g: StreamBatch,
+    /// The queried item `i*`.
+    pub query_item: u64,
+    /// The planted bit: `⟨f, g⟩ = (bit + 1)·α·10^{j*} + 1`.
+    pub bit: bool,
+    /// The block index `j*` of the queried item.
+    pub query_block: usize,
+}
+
+impl InnerProductHard {
+    /// Build with the given parameters.
+    pub fn new(n: u64, epsilon: f64, alpha: u64) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0);
+        assert!(alpha >= 10);
+        InnerProductHard { n, epsilon, alpha }
+    }
+
+    /// Generate the paired instance.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> InnerProductInstance {
+        let blocks = (((self.alpha as f64).log10() / 4.0).ceil() as usize).max(1);
+        let per_block = ((1.0 / (8.0 * self.epsilon)).floor() as usize).max(1);
+        let d = blocks * per_block;
+        assert!((d as u64) < self.n, "universe too small for construction");
+        let jstar = rng.gen_range(0..blocks);
+        let istar_off = rng.gen_range(0..per_block);
+        let mut f_updates = Vec::new();
+        let mut dels = Vec::new();
+        let mut bits = vec![false; d];
+        for b in bits.iter_mut() {
+            *b = rng.gen_bool(0.5);
+        }
+        let pow10 = |j: usize| 10u64.pow(j as u32 + 1);
+        let mut query_item = 0u64;
+        let mut planted_bit = false;
+        for j in 0..blocks {
+            for t in 0..per_block {
+                let idx = j * per_block + t;
+                let i = idx as u64;
+                let b = if bits[idx] {
+                    2 * self.alpha
+                } else {
+                    self.alpha
+                };
+                f_updates.push(Update::insert(i, b * pow10(j) + 1));
+                if j > jstar {
+                    // Bob knows these bits and deletes them down to 1.
+                    dels.push(Update::delete(i, b * pow10(j)));
+                } else if j == jstar && t == istar_off {
+                    query_item = i;
+                    planted_bit = bits[idx];
+                }
+            }
+        }
+        f_updates.shuffle(rng);
+        dels.shuffle(rng);
+        f_updates.extend(dels);
+        let g = StreamBatch::new(self.n, vec![Update::insert(query_item, 1)]);
+        InnerProductInstance {
+            f: StreamBatch::new(self.n, f_updates),
+            g,
+            query_item,
+            bit: planted_bit,
+            query_block: jstar,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::FrequencyVector;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn augmented_indexing_planted_set_is_heavy() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let inst = AugmentedIndexingHH::new(1 << 16, 0.05, 216.0).generate(&mut rng);
+        let v = FrequencyVector::from_stream(&inst.stream);
+        assert!(v.is_nonnegative());
+        let hh = v.l1_heavy_hitters(0.05);
+        for &i in &inst.planted {
+            assert!(hh.contains(&i), "planted item {i} not ε-heavy");
+        }
+        // nothing below ε/2 should be heavier than planted items
+        let l1 = v.l1() as f64;
+        for &i in &hh {
+            assert!(v.get(i).unsigned_abs() as f64 >= 0.025 * l1);
+        }
+    }
+
+    #[test]
+    fn augmented_indexing_alpha_is_bounded() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let alpha = 216.0;
+        let inst = AugmentedIndexingHH::new(1 << 16, 0.1, alpha).generate(&mut rng);
+        let v = FrequencyVector::from_stream(&inst.stream);
+        // Paper: the construction has the strong 3α²-property.
+        assert!(v.alpha_strong() <= 3.0 * alpha * alpha);
+        assert!(v.alpha_l1() <= 3.0 * alpha * alpha);
+    }
+
+    #[test]
+    fn support_hard_survivors_match() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let inst = SupportHard::new(1 << 20, 64).generate(&mut rng);
+        let v = FrequencyVector::from_stream(&inst.stream);
+        let support = v.support();
+        for &i in &inst.planted {
+            assert!(support.contains(&i));
+        }
+        assert!(v.is_nonnegative());
+    }
+
+    #[test]
+    fn inner_product_encodes_bit() {
+        let mut rng = StdRng::seed_from_u64(34);
+        let gen = InnerProductHard::new(1 << 16, 0.05, 100);
+        for _ in 0..5 {
+            let inst = gen.generate(&mut rng);
+            let f = FrequencyVector::from_stream(&inst.f);
+            let g = FrequencyVector::from_stream(&inst.g);
+            let ip = f.inner_product(&g);
+            let expect = if inst.bit { 2 } else { 1 } * 100i128
+                * 10i128.pow(inst.query_block as u32 + 1)
+                + 1;
+            assert_eq!(ip, expect);
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Workload generators.
+//!
+//! * [`zipf`] — Zipfian popularity sampling;
+//! * [`bounded`] — streams with a target L1/L0/strong α (Definitions 1–2);
+//! * [`scenarios`] — the paper's §1 motivating applications (network traffic
+//!   differences, Remote Differential Compression, clustered sensors);
+//! * [`hard`] — the §8 lower-bound constructions as stress workloads;
+//! * [`turnstile`] — unbounded-deletion adversarial streams (the regime the
+//!   paper's Ω(log n) bounds live in), for baseline comparisons.
+
+pub mod bounded;
+pub mod hard;
+pub mod scenarios;
+pub mod turnstile;
+pub mod zipf;
+
+pub use bounded::{BoundedDeletionGen, L0AlphaGen, StrongAlphaGen};
+pub use hard::{
+    AugmentedIndexingHH, HardInstance, InnerProductHard, InnerProductInstance, SupportHard,
+};
+pub use scenarios::{NetworkDiffGen, RdcGen, SensorGen};
+pub use turnstile::UnboundedDeletionGen;
+pub use zipf::Zipf;

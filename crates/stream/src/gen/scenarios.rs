@@ -1,0 +1,271 @@
+//! The paper's motivating application scenarios (§1) as synthetic workloads.
+//!
+//! * [`NetworkDiffGen`] — differences between traffic patterns across two
+//!   time intervals/routers: stream is `f¹ − f²` ("even differences as small
+//!   as 0.1% ... result in α < 1000").
+//! * [`RdcGen`] — Remote Differential Compression: comparing file versions by
+//!   streaming block differences ("streaming algorithms with α = 2 would
+//!   suffice").
+//! * [`SensorGen`] — cheap moving sensors with clustered occupancy: bounded
+//!   `F₀/L₀` ratio for the L0 estimation problems.
+
+use crate::gen::zipf::Zipf;
+use crate::update::{StreamBatch, Update};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Traffic-difference workload: two correlated Zipfian traffic matrices; the
+/// stream inserts interval 1 and deletes interval 2, so the final vector is
+/// `f¹ − f²` (general turnstile — coordinates may go negative).
+#[derive(Clone, Debug)]
+pub struct NetworkDiffGen {
+    /// Universe of (source, destination) pairs.
+    pub n: u64,
+    /// Packets per interval.
+    pub packets: u64,
+    /// Number of active flows.
+    pub flows: usize,
+    /// Fraction of flows whose rate changes between the intervals
+    /// (smaller ⇒ larger α).
+    pub churn: f64,
+    /// Relative rate change for churned flows.
+    pub drift: f64,
+}
+
+impl NetworkDiffGen {
+    /// Default configuration with the requested churn fraction.
+    pub fn new(n: u64, packets: u64, churn: f64) -> Self {
+        NetworkDiffGen {
+            n,
+            packets,
+            flows: 512,
+            churn,
+            drift: 0.5,
+        }
+    }
+
+    /// Generate the difference stream (interval-1 packets as insertions,
+    /// interval-2 packets as deletions, interleaved).
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> StreamBatch {
+        let flows = self.flows.min(self.n as usize).max(1);
+        let zipf = Zipf::new(flows, 1.1);
+        let mut ids = std::collections::HashSet::new();
+        let mut flow_ids = Vec::with_capacity(flows);
+        while flow_ids.len() < flows {
+            let c = rng.gen_range(0..self.n);
+            if ids.insert(c) {
+                flow_ids.push(c);
+            }
+        }
+        // Interval 1 rates.
+        let mut rate1 = vec![0u64; flows];
+        for _ in 0..self.packets {
+            rate1[zipf.sample(rng)] += 1;
+        }
+        // Interval 2: same rates except churned flows drift.
+        let mut rate2 = rate1.clone();
+        for r in 0..flows {
+            if rng.gen_bool(self.churn) {
+                let delta = (rate1[r] as f64 * self.drift) as u64;
+                if rng.gen_bool(0.5) {
+                    rate2[r] += delta;
+                } else {
+                    rate2[r] = rate2[r].saturating_sub(delta);
+                }
+            }
+        }
+        let mut updates = Vec::new();
+        for r in 0..flows {
+            if rate1[r] > 0 {
+                updates.push(Update::insert(flow_ids[r], rate1[r]));
+            }
+            if rate2[r] > 0 {
+                updates.push(Update::delete(flow_ids[r], rate2[r]));
+            }
+        }
+        updates.shuffle(rng);
+        StreamBatch::new(self.n, updates)
+    }
+}
+
+/// Remote Differential Compression workload: a file of `blocks` blocks where
+/// an `edit_fraction` of blocks differ between client and server. The stream
+/// is old-version insertions followed by new-version deletions per block
+/// signature, so unchanged blocks cancel.
+#[derive(Clone, Debug)]
+pub struct RdcGen {
+    /// Universe of block signatures.
+    pub n: u64,
+    /// Number of file blocks.
+    pub blocks: u64,
+    /// Fraction of blocks edited (α ≈ 2/edit_fraction).
+    pub edit_fraction: f64,
+}
+
+impl RdcGen {
+    /// Default configuration.
+    pub fn new(n: u64, blocks: u64, edit_fraction: f64) -> Self {
+        assert!((0.0..=1.0).contains(&edit_fraction));
+        RdcGen {
+            n,
+            blocks,
+            edit_fraction,
+        }
+    }
+
+    /// Generate the signature-difference stream.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> StreamBatch {
+        let mut updates = Vec::with_capacity(2 * self.blocks as usize);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..self.blocks {
+            // fresh signature per block
+            let sig = loop {
+                let c = rng.gen_range(0..self.n);
+                if seen.insert(c) {
+                    break c;
+                }
+            };
+            updates.push(Update::insert(sig, 1));
+            if rng.gen_bool(self.edit_fraction) {
+                // edited block: new signature appears on the other side
+                let new_sig = loop {
+                    let c = rng.gen_range(0..self.n);
+                    if seen.insert(c) {
+                        break c;
+                    }
+                };
+                updates.push(Update::delete(new_sig, 1));
+            } else {
+                // unchanged block cancels
+                updates.push(Update::delete(sig, 1));
+            }
+        }
+        updates.shuffle(rng);
+        StreamBatch::new(self.n, updates)
+    }
+}
+
+/// Clustered-sensor workload for L0 problems: `cells` grid cells, sensors
+/// cluster on a core set of cells that stay occupied while a churn population
+/// visits and leaves other cells, giving a bounded `F₀/L₀` ratio.
+#[derive(Clone, Debug)]
+pub struct SensorGen {
+    /// Universe of grid cells.
+    pub n: u64,
+    /// Number of persistently occupied cells.
+    pub core_cells: u64,
+    /// Number of transiently visited cells (arrive then leave).
+    pub transient_cells: u64,
+}
+
+impl SensorGen {
+    /// Default configuration; realized `α_{L0} ≈ (core + transient)/core`.
+    pub fn new(n: u64, core_cells: u64, transient_cells: u64) -> Self {
+        SensorGen {
+            n,
+            core_cells,
+            transient_cells,
+        }
+    }
+
+    /// Generate the occupancy stream (strict turnstile).
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> StreamBatch {
+        let total = (self.core_cells + self.transient_cells).min(self.n);
+        let mut seen = std::collections::HashSet::new();
+        let mut cells = Vec::with_capacity(total as usize);
+        while (cells.len() as u64) < total {
+            let c = rng.gen_range(0..self.n);
+            if seen.insert(c) {
+                cells.push(c);
+            }
+        }
+        let mut updates = Vec::new();
+        for (idx, &cell) in cells.iter().enumerate() {
+            if (idx as u64) < self.core_cells {
+                updates.push(Update::insert(cell, 1)); // stays occupied
+            } else {
+                updates.push(Update::insert(cell, 1)); // visits...
+                updates.push(Update::delete(cell, 1)); // ...and leaves
+            }
+        }
+        // Shuffle arrivals; departures must follow their arrival, so pair
+        // them with a strict interleave.
+        let mut pairs: Vec<Vec<Update>> = Vec::new();
+        let mut i = 0usize;
+        while i < updates.len() {
+            if i + 1 < updates.len()
+                && updates[i].item == updates[i + 1].item
+                && !updates[i + 1].is_insertion()
+            {
+                pairs.push(vec![updates[i], updates[i + 1]]);
+                i += 2;
+            } else {
+                pairs.push(vec![updates[i]]);
+                i += 1;
+            }
+        }
+        pairs.shuffle(rng);
+        let mut out = Vec::with_capacity(updates.len());
+        for p in pairs {
+            out.extend(p);
+        }
+        StreamBatch::new(self.n, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::FrequencyVector;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn network_diff_alpha_shrinks_with_churn() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let low_churn = NetworkDiffGen::new(1 << 20, 50_000, 0.02).generate(&mut rng);
+        let high_churn = NetworkDiffGen::new(1 << 20, 50_000, 0.5).generate(&mut rng);
+        let a_low = FrequencyVector::from_stream(&low_churn).alpha_l1();
+        let a_high = FrequencyVector::from_stream(&high_churn).alpha_l1();
+        assert!(
+            a_low > a_high,
+            "less churn must mean larger α: {a_low} vs {a_high}"
+        );
+        assert!(a_high >= 1.0);
+    }
+
+    #[test]
+    fn rdc_alpha_tracks_edit_fraction() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let g = RdcGen::new(1 << 30, 4_000, 0.5);
+        let s = g.generate(&mut rng);
+        let v = FrequencyVector::from_stream(&s);
+        // Each edited block leaves 2 units of L1 out of 2 units of mass;
+        // unchanged blocks leave 0 of 2. α = 2m_blocks/(2·edits) ≈ 1/0.5 = 2.
+        let a = v.alpha_l1();
+        assert!((a - 2.0).abs() < 0.3, "α = {a}");
+    }
+
+    #[test]
+    fn sensor_ratio_matches_configuration() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let g = SensorGen::new(1 << 22, 300, 900);
+        let s = g.generate(&mut rng);
+        let v = FrequencyVector::from_stream(&s);
+        assert_eq!(v.l0(), 300);
+        assert_eq!(v.f0(), 1200);
+        assert!((v.alpha_l0() - 4.0).abs() < 1e-9);
+        assert!(v.is_nonnegative());
+    }
+
+    #[test]
+    fn sensor_prefixes_stay_nonnegative() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let s = SensorGen::new(1 << 16, 50, 150).generate(&mut rng);
+        let mut v = FrequencyVector::new(s.n);
+        for u in &s {
+            v.update(*u);
+            assert!(v.is_nonnegative());
+        }
+    }
+}

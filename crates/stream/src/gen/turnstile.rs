@@ -1,0 +1,109 @@
+//! Unbounded-deletion (full turnstile) adversarial streams.
+//!
+//! "Nearly all of the lower bounds for turnstile streams involve inserting a
+//! large number of items before deleting nearly all of them" (§1). This
+//! generator does exactly that: it plants a large Zipfian population and
+//! deletes all but a `survivors` residue, driving the realized α toward
+//! `mass / residue` — the `poly(n)` regime where the α-property buys nothing.
+//! Used to measure baseline behaviour and to show where the α-algorithms'
+//! guarantees are (by design) vacuous.
+
+use crate::gen::zipf::Zipf;
+use crate::update::{StreamBatch, Update};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Insert-then-delete-nearly-everything generator (strict turnstile).
+#[derive(Clone, Debug)]
+pub struct UnboundedDeletionGen {
+    /// Universe size.
+    pub n: u64,
+    /// Total inserted mass.
+    pub insert_mass: u64,
+    /// Number of unit-weight survivors left at the end.
+    pub survivors: u64,
+    /// Zipf exponent for the inserted population.
+    pub zipf_s: f64,
+}
+
+impl UnboundedDeletionGen {
+    /// Default configuration.
+    pub fn new(n: u64, insert_mass: u64, survivors: u64) -> Self {
+        UnboundedDeletionGen {
+            n,
+            insert_mass,
+            survivors,
+            zipf_s: 1.05,
+        }
+    }
+
+    /// Generate the stream. Realized α ≈ `2·insert_mass / survivors`.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> StreamBatch {
+        let distinct = (self.n as usize / 2).clamp(1, 2048);
+        let zipf = Zipf::new(distinct, self.zipf_s);
+        let mut seen = std::collections::HashSet::new();
+        let mut ids = Vec::with_capacity(distinct);
+        while ids.len() < distinct {
+            let c = rng.gen_range(0..self.n);
+            if seen.insert(c) {
+                ids.push(c);
+            }
+        }
+        let mut mass = vec![0u64; distinct];
+        for _ in 0..self.insert_mass {
+            mass[zipf.sample(rng)] += 1;
+        }
+        let mut updates: Vec<Update> = Vec::new();
+        for (r, &c) in mass.iter().enumerate() {
+            if c > 0 {
+                updates.push(Update::insert(ids[r], c));
+            }
+        }
+        updates.shuffle(rng);
+        // Delete everything except `survivors` units spread over the most
+        // popular items.
+        let mut dels = Vec::new();
+        let mut spare = self.survivors;
+        for (r, &c) in mass.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let keep = spare.min(1);
+            spare -= keep;
+            if c > keep {
+                dels.push(Update::delete(ids[r], c - keep));
+            }
+        }
+        dels.shuffle(rng);
+        updates.extend(dels);
+        StreamBatch::new(self.n, updates)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::FrequencyVector;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn alpha_is_huge() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let g = UnboundedDeletionGen::new(1 << 12, 100_000, 10);
+        let s = g.generate(&mut rng);
+        let v = FrequencyVector::from_stream(&s);
+        assert_eq!(v.l1(), 10);
+        assert!(v.alpha_l1() > 1_000.0, "α = {}", v.alpha_l1());
+        assert!(v.is_nonnegative());
+    }
+
+    #[test]
+    fn survivors_bound_respected() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let g = UnboundedDeletionGen::new(1 << 12, 10_000, 7);
+        let v = FrequencyVector::from_stream(&g.generate(&mut rng));
+        assert_eq!(v.l1(), 7);
+        assert_eq!(v.l0(), 7);
+    }
+}

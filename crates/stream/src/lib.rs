@@ -1,0 +1,23 @@
+//! # bd-stream
+//!
+//! Stream model, exact ground truth, workload generators, and space
+//! accounting for the `bounded-deletions` workspace (a reproduction of
+//! *Data Streams with Bounded Deletions*, Jayaram & Woodruff, PODS 2018).
+//!
+//! * [`update`] — items, updates `(i, Δ)`, and [`update::StreamBatch`];
+//! * [`vector`] — exact frequency vectors `f = I − D` with every statistic
+//!   the paper's guarantees are stated against (`‖f‖₀`, `‖f‖₁`, `F₀`,
+//!   `Err₂ᵏ`, realized α values, exact heavy hitters, inner products);
+//! * [`gen`] — Zipfian, bounded-deletion, scenario (§1) and lower-bound (§8)
+//!   stream generators;
+//! * [`space`] — bit-level space reports ([`space::SpaceUsage`]), the
+//!   measurement behind every Figure 1 comparison.
+
+pub mod gen;
+pub mod space;
+pub mod update;
+pub mod vector;
+
+pub use space::{MaxMag, SpaceReport, SpaceUsage};
+pub use update::{Item, StreamBatch, Update};
+pub use vector::FrequencyVector;

@@ -1,0 +1,137 @@
+//! Space accounting, the measurement behind every Figure 1 comparison.
+//!
+//! The paper's headline claims are *space* claims ("replace a `log n` factor
+//! with `log α`"). A counter in a sketch needs as many bits as the largest
+//! magnitude it ever held; the α-property algorithms keep counters small by
+//! holding only `poly(α log(n)/ε)` samples, while turnstile baselines hold
+//! sums over all `m` updates. [`SpaceUsage`] lets each sketch report the
+//! bit-level cost it actually incurred, split into counter payload, hash
+//! seeds, and bookkeeping, so experiment `E1` can regenerate the table shape.
+
+/// Itemized space report, in bits.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpaceReport {
+    /// Number of counters/cells the structure maintains right now.
+    pub counters: u64,
+    /// Total bits across counters, sized by the max magnitude each held.
+    pub counter_bits: u64,
+    /// Bits for hash-function seeds and other randomness.
+    pub seed_bits: u64,
+    /// Bits for cursors, thresholds, and other bookkeeping state.
+    pub overhead_bits: u64,
+}
+
+impl SpaceReport {
+    /// Total bits.
+    pub fn total_bits(&self) -> u64 {
+        self.counter_bits + self.seed_bits + self.overhead_bits
+    }
+
+    /// Total bytes, rounded up.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bits().div_ceil(8)
+    }
+
+    /// Merge two reports (e.g. a structure made of sub-structures).
+    pub fn merge(self, other: SpaceReport) -> SpaceReport {
+        SpaceReport {
+            counters: self.counters + other.counters,
+            counter_bits: self.counter_bits + other.counter_bits,
+            seed_bits: self.seed_bits + other.seed_bits,
+            overhead_bits: self.overhead_bits + other.overhead_bits,
+        }
+    }
+
+    /// Scale a report by a replication factor (parallel repetitions).
+    pub fn repeat(self, times: u64) -> SpaceReport {
+        SpaceReport {
+            counters: self.counters * times,
+            counter_bits: self.counter_bits * times,
+            seed_bits: self.seed_bits * times,
+            overhead_bits: self.overhead_bits * times,
+        }
+    }
+}
+
+/// Implemented by every sketch in the workspace.
+pub trait SpaceUsage {
+    /// Itemized bit-level space report.
+    fn space(&self) -> SpaceReport;
+
+    /// Total bits (convenience).
+    fn space_bits(&self) -> u64 {
+        self.space().total_bits()
+    }
+}
+
+/// Track the maximum absolute magnitude a signed counter reaches, so its
+/// required bit width can be reported afterwards.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MaxMag(u64);
+
+impl MaxMag {
+    /// Observe a counter value.
+    #[inline]
+    pub fn observe(&mut self, v: i64) {
+        let a = v.unsigned_abs();
+        if a > self.0 {
+            self.0 = a;
+        }
+    }
+
+    /// Observe an unsigned magnitude.
+    #[inline]
+    pub fn observe_mag(&mut self, a: u64) {
+        if a > self.0 {
+            self.0 = a;
+        }
+    }
+
+    /// The maximum magnitude seen.
+    pub fn max(&self) -> u64 {
+        self.0
+    }
+
+    /// Bits for a signed counter of this magnitude.
+    pub fn bits_signed(&self) -> u64 {
+        bd_hash::width_signed(self.0) as u64
+    }
+
+    /// Bits for an unsigned counter of this magnitude.
+    pub fn bits_unsigned(&self) -> u64 {
+        bd_hash::width_unsigned(self.0) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_arithmetic() {
+        let a = SpaceReport {
+            counters: 2,
+            counter_bits: 10,
+            seed_bits: 61,
+            overhead_bits: 7,
+        };
+        let b = a.merge(a);
+        assert_eq!(b.counters, 4);
+        assert_eq!(b.total_bits(), 2 * (10 + 61 + 7));
+        assert_eq!(a.repeat(3).counter_bits, 30);
+        assert_eq!(a.total_bytes(), (10 + 61 + 7 + 7) / 8);
+    }
+
+    #[test]
+    fn max_mag_tracks_width() {
+        let mut m = MaxMag::default();
+        assert_eq!(m.bits_signed(), 2);
+        m.observe(-5);
+        m.observe(3);
+        assert_eq!(m.max(), 5);
+        assert_eq!(m.bits_signed(), 4);
+        m.observe_mag(255);
+        assert_eq!(m.bits_unsigned(), 8);
+        assert_eq!(m.bits_signed(), 9);
+    }
+}

@@ -1,0 +1,350 @@
+//! Exact frequency vectors and ground-truth statistics.
+//!
+//! [`FrequencyVector`] tracks `f = I − D` exactly (paper Definition 1
+//! notation: `I` is the frequency vector of the positive updates, `D` the
+//! entry-wise absolute value of the negative ones). Every experiment compares
+//! a sketch's answer against the statistics computed here.
+
+use crate::update::{Item, StreamBatch, Update};
+use std::collections::HashMap;
+
+/// Exact state of a stream: `f`, `I`, `D`, and derived norms. Sparse storage,
+/// so universes up to `2^60` are fine as long as the support is laptop-sized.
+#[derive(Clone, Debug, Default)]
+pub struct FrequencyVector {
+    n: u64,
+    /// `f_i` for items with any touch history (may be zero after deletions).
+    f: HashMap<Item, i64>,
+    /// `I_i`: total inserted mass per item.
+    ins: HashMap<Item, u64>,
+    /// `D_i`: total deleted mass per item.
+    del: HashMap<Item, u64>,
+    mass: u64,
+}
+
+impl FrequencyVector {
+    /// Empty vector over universe `[0, n)`.
+    pub fn new(n: u64) -> Self {
+        FrequencyVector {
+            n,
+            ..Default::default()
+        }
+    }
+
+    /// Build by replaying a whole stream.
+    pub fn from_stream(stream: &StreamBatch) -> Self {
+        let mut v = FrequencyVector::new(stream.n);
+        for u in stream {
+            v.update(*u);
+        }
+        v
+    }
+
+    /// Apply one update.
+    pub fn update(&mut self, u: Update) {
+        debug_assert!(u.item < self.n, "item out of universe");
+        if u.delta == 0 {
+            return;
+        }
+        *self.f.entry(u.item).or_insert(0) += u.delta;
+        if u.delta > 0 {
+            *self.ins.entry(u.item).or_insert(0) += u.delta as u64;
+        } else {
+            *self.del.entry(u.item).or_insert(0) += u.delta.unsigned_abs();
+        }
+        self.mass += u.magnitude();
+    }
+
+    /// Universe size `n`.
+    pub fn universe(&self) -> u64 {
+        self.n
+    }
+
+    /// Current frequency `f_i`.
+    pub fn get(&self, i: Item) -> i64 {
+        self.f.get(&i).copied().unwrap_or(0)
+    }
+
+    /// Inserted mass `I_i`.
+    pub fn inserted(&self, i: Item) -> u64 {
+        self.ins.get(&i).copied().unwrap_or(0)
+    }
+
+    /// Deleted mass `D_i`.
+    pub fn deleted(&self, i: Item) -> u64 {
+        self.del.get(&i).copied().unwrap_or(0)
+    }
+
+    /// `‖f‖₁ = Σ|f_i|`.
+    pub fn l1(&self) -> u64 {
+        self.f.values().map(|v| v.unsigned_abs()).sum()
+    }
+
+    /// `‖f‖₀`: the number of non-zero coordinates.
+    pub fn l0(&self) -> u64 {
+        self.f.values().filter(|&&v| v != 0).count() as u64
+    }
+
+    /// `‖f‖₂²`.
+    pub fn l2_squared(&self) -> u128 {
+        self.f
+            .values()
+            .map(|&v| (v as i128 * v as i128) as u128)
+            .sum()
+    }
+
+    /// `‖f‖₂`.
+    pub fn l2(&self) -> f64 {
+        (self.l2_squared() as f64).sqrt()
+    }
+
+    /// `F₀`: the number of distinct items ever updated.
+    pub fn f0(&self) -> u64 {
+        self.f.len() as u64
+    }
+
+    /// `‖I + D‖₁ = Σ_t |Δ_t|`, the total update mass.
+    pub fn total_mass(&self) -> u64 {
+        self.mass
+    }
+
+    /// The realized **L1 α** of the stream: `‖I + D‖₁ / ‖f‖₁`
+    /// (`∞` when `f = 0`; `1.0` for the empty stream).
+    pub fn alpha_l1(&self) -> f64 {
+        if self.mass == 0 {
+            return 1.0;
+        }
+        let l1 = self.l1();
+        if l1 == 0 {
+            f64::INFINITY
+        } else {
+            self.mass as f64 / l1 as f64
+        }
+    }
+
+    /// The realized **L0 α** of the stream: `F₀ / L₀`.
+    pub fn alpha_l0(&self) -> f64 {
+        if self.f.is_empty() {
+            return 1.0;
+        }
+        let l0 = self.l0();
+        if l0 == 0 {
+            f64::INFINITY
+        } else {
+            self.f0() as f64 / l0 as f64
+        }
+    }
+
+    /// The realized **strong α** (Definition 2): `max_i (I_i + D_i)/|f_i|`;
+    /// `∞` if some touched item ends at zero.
+    pub fn alpha_strong(&self) -> f64 {
+        let mut worst: f64 = 1.0;
+        for (&i, &fi) in &self.f {
+            let touched = self.inserted(i) + self.deleted(i);
+            if touched == 0 {
+                continue;
+            }
+            if fi == 0 {
+                return f64::INFINITY;
+            }
+            worst = worst.max(touched as f64 / fi.unsigned_abs() as f64);
+        }
+        worst
+    }
+
+    /// Items sorted by decreasing `|f_i|` (ties by item id for determinism).
+    pub fn by_magnitude(&self) -> Vec<(Item, i64)> {
+        let mut v: Vec<(Item, i64)> = self
+            .f
+            .iter()
+            .filter(|(_, &f)| f != 0)
+            .map(|(&i, &f)| (i, f))
+            .collect();
+        v.sort_by(|a, b| b.1.unsigned_abs().cmp(&a.1.unsigned_abs()).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// `Err_p^k(f)`: the `Lp` norm of `f` with the `k` heaviest coordinates
+    /// removed (paper §1.3), for `p ∈ {1, 2}`.
+    pub fn err_k(&self, k: usize, p: u32) -> f64 {
+        let ordered = self.by_magnitude();
+        let tail = ordered.iter().skip(k);
+        match p {
+            1 => tail.map(|(_, f)| f.unsigned_abs() as f64).sum(),
+            2 => tail
+                .map(|(_, f)| {
+                    let a = f.unsigned_abs() as f64;
+                    a * a
+                })
+                .sum::<f64>()
+                .sqrt(),
+            _ => panic!("err_k supports p = 1 or 2"),
+        }
+    }
+
+    /// The exact set of L1 `φ`-heavy hitters: items with `|f_i| ≥ φ‖f‖₁`.
+    pub fn l1_heavy_hitters(&self, phi: f64) -> Vec<Item> {
+        let thresh = phi * self.l1() as f64;
+        let mut v: Vec<Item> = self
+            .f
+            .iter()
+            .filter(|(_, &f)| f != 0 && f.unsigned_abs() as f64 >= thresh)
+            .map(|(&i, _)| i)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The exact set of L2 `φ`-heavy hitters: items with `|f_i| ≥ φ‖f‖₂`.
+    pub fn l2_heavy_hitters(&self, phi: f64) -> Vec<Item> {
+        let thresh = phi * self.l2();
+        let mut v: Vec<Item> = self
+            .f
+            .iter()
+            .filter(|(_, &f)| f != 0 && f.unsigned_abs() as f64 >= thresh)
+            .map(|(&i, _)| i)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Exact inner product `⟨f, g⟩` with another vector.
+    pub fn inner_product(&self, other: &FrequencyVector) -> i128 {
+        let (small, large) = if self.f.len() <= other.f.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        small
+            .f
+            .iter()
+            .map(|(&i, &fi)| fi as i128 * large.get(i) as i128)
+            .sum()
+    }
+
+    /// The support of `f` (non-zero items), sorted.
+    pub fn support(&self) -> Vec<Item> {
+        let mut v: Vec<Item> = self
+            .f
+            .iter()
+            .filter(|(_, &f)| f != 0)
+            .map(|(&i, _)| i)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Whether every coordinate is non-negative at this point (i.e. the
+    /// prefix seen so far is consistent with a strict turnstile stream).
+    pub fn is_nonnegative(&self) -> bool {
+        self.f.values().all(|&v| v >= 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FrequencyVector {
+        let s = StreamBatch::new(
+            8,
+            vec![
+                Update::insert(0, 10),
+                Update::insert(1, 4),
+                Update::delete(0, 3),
+                Update::insert(2, 1),
+                Update::delete(2, 1),
+            ],
+        );
+        FrequencyVector::from_stream(&s)
+    }
+
+    #[test]
+    fn norms_and_mass() {
+        let v = sample();
+        assert_eq!(v.get(0), 7);
+        assert_eq!(v.get(1), 4);
+        assert_eq!(v.get(2), 0);
+        assert_eq!(v.l1(), 11);
+        assert_eq!(v.l0(), 2);
+        assert_eq!(v.f0(), 3);
+        assert_eq!(v.total_mass(), 19);
+        assert_eq!(v.l2_squared(), 49 + 16);
+    }
+
+    #[test]
+    fn alphas() {
+        let v = sample();
+        assert!((v.alpha_l1() - 19.0 / 11.0).abs() < 1e-12);
+        assert!((v.alpha_l0() - 1.5).abs() < 1e-12);
+        // item 2 was touched and ended at zero ⇒ strong α is infinite
+        assert!(v.alpha_strong().is_infinite());
+    }
+
+    #[test]
+    fn strong_alpha_finite_case() {
+        let s = StreamBatch::new(
+            4,
+            vec![
+                Update::insert(0, 4),
+                Update::delete(0, 2),
+                Update::insert(1, 1),
+            ],
+        );
+        let v = FrequencyVector::from_stream(&s);
+        // item 0: (4+2)/2 = 3, item 1: 1/1 = 1
+        assert!((v.alpha_strong() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn err_k_values() {
+        let v = sample(); // |f| = {7, 4}
+        assert_eq!(v.err_k(0, 1), 11.0);
+        assert_eq!(v.err_k(1, 1), 4.0);
+        assert_eq!(v.err_k(2, 1), 0.0);
+        assert_eq!(v.err_k(1, 2), 4.0);
+    }
+
+    #[test]
+    fn heavy_hitters_exact() {
+        let v = sample(); // L1 = 11
+        assert_eq!(v.l1_heavy_hitters(0.5), vec![0]);
+        assert_eq!(v.l1_heavy_hitters(0.3), vec![0, 1]);
+        assert!(v.l1_heavy_hitters(0.8).is_empty());
+    }
+
+    #[test]
+    fn inner_product_exact() {
+        let a = FrequencyVector::from_stream(&StreamBatch::new(
+            4,
+            vec![Update::insert(0, 2), Update::insert(1, 3)],
+        ));
+        let b = FrequencyVector::from_stream(&StreamBatch::new(
+            4,
+            vec![Update::insert(1, 5), Update::delete(2, 7)],
+        ));
+        assert_eq!(a.inner_product(&b), 15);
+        assert_eq!(b.inner_product(&a), 15);
+    }
+
+    #[test]
+    fn support_and_sign() {
+        let v = sample();
+        assert_eq!(v.support(), vec![0, 1]);
+        assert!(v.is_nonnegative());
+        let mut w = FrequencyVector::new(4);
+        w.update(Update::delete(3, 1));
+        assert!(!w.is_nonnegative());
+    }
+
+    #[test]
+    fn empty_stream_edge_cases() {
+        let v = FrequencyVector::new(16);
+        assert_eq!(v.l1(), 0);
+        assert_eq!(v.l0(), 0);
+        assert_eq!(v.alpha_l1(), 1.0);
+        assert_eq!(v.alpha_l0(), 1.0);
+        assert_eq!(v.alpha_strong(), 1.0);
+        assert!(v.l1_heavy_hitters(0.1).is_empty());
+    }
+}

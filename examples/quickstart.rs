@@ -1,0 +1,111 @@
+//! Quickstart: sketch one bounded-deletion stream end to end.
+//!
+//! Generates a strict-turnstile stream with α = 4 (deletions cancel 60% of
+//! the inserted mass), then runs the paper's heavy hitters, L1 estimator,
+//! L0 estimator, and support sampler on a single pass, comparing every
+//! answer against exact ground truth.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use bounded_deletions::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let n = 1u64 << 16;
+    let alpha = 4.0;
+    let epsilon = 0.1;
+
+    println!("== bounded-deletions quickstart ==");
+    println!("universe n = 2^16, target α = {alpha}, ε = {epsilon}\n");
+
+    // A skewed Zipfian stream of 100k insertions with deletions tuned to α
+    // (a concentrated head, so ε-heavy hitters actually exist).
+    let mut gen = BoundedDeletionGen::new(n, 100_000, alpha);
+    gen.distinct = 128;
+    gen.zipf_s = 1.3;
+    let stream = gen.generate(&mut rng);
+    let truth = FrequencyVector::from_stream(&stream);
+    println!(
+        "stream: {} updates, ‖f‖₁ = {}, ‖f‖₀ = {}, realized α = {:.2}",
+        stream.len(),
+        truth.l1(),
+        truth.l0(),
+        truth.alpha_l1()
+    );
+
+    let params = Params::practical(n, epsilon, alpha);
+
+    // --- one pass over the stream for the L1 sketches ---
+    let mut hh = AlphaHeavyHitters::new_strict(&mut rng, &params);
+    let mut l1 = AlphaL1Estimator::new(&params);
+    for u in &stream {
+        hh.update(&mut rng, u.item, u.delta);
+        l1.update(&mut rng, u.item, u.delta);
+    }
+
+    // --- a second, support-style stream for the L0 sketches ---
+    let n_l0 = 1u64 << 24;
+    let l0_stream = L0AlphaGen::new(n_l0, 2_000, alpha).generate(&mut rng);
+    let l0_truth = FrequencyVector::from_stream(&l0_stream);
+    let l0_params = Params::practical(n_l0, 0.15, alpha);
+    let mut l0 = AlphaL0Estimator::new(&mut rng, &l0_params);
+    let mut support = AlphaSupportSampler::new(&mut rng, &l0_params, 8);
+    for u in &l0_stream {
+        l0.update(&mut rng, u.item, u.delta);
+        support.update(&mut rng, u.item, u.delta);
+    }
+
+    // --- heavy hitters ---
+    let found = hh.query();
+    let exact_hh = truth.l1_heavy_hitters(epsilon);
+    println!("\nε-heavy hitters (ε = {epsilon}):");
+    for (item, est) in found.iter().take(8) {
+        println!(
+            "  item {item:>6}: estimate {est:>9.1}, true {:>6}",
+            truth.get(*item)
+        );
+    }
+    let recall = exact_hh
+        .iter()
+        .filter(|i| found.iter().any(|(j, _)| j == *i))
+        .count();
+    println!(
+        "  recall {recall}/{} exact heavy hitters, space = {} bits",
+        exact_hh.len(),
+        hh.space_bits()
+    );
+
+    // --- L1 estimation ---
+    println!("\nL1 estimation (Figure 4, Morris + interval sampling):");
+    println!(
+        "  estimate {:.0} vs true {} ({:+.2}%), space = {} bits",
+        l1.estimate(),
+        truth.l1(),
+        100.0 * (l1.estimate() - truth.l1() as f64) / truth.l1() as f64,
+        l1.space_bits()
+    );
+
+    // --- L0 estimation ---
+    println!("\nL0 estimation (Figure 7, windowed levels; occupancy stream, α_L0 = {:.1}):", l0_truth.alpha_l0());
+    println!(
+        "  estimate {:.0} vs true {} ({:+.2}%), live rows {} of log n = {}",
+        l0.estimate(),
+        l0_truth.l0(),
+        100.0 * (l0.estimate() - l0_truth.l0() as f64) / l0_truth.l0() as f64,
+        l0.peak_live_rows(),
+        64 - (n_l0 - 1).leading_zeros()
+    );
+
+    // --- support sampling ---
+    let got = support.query();
+    let valid = got.iter().filter(|&&i| l0_truth.get(i) != 0).count();
+    println!("\nsupport sampling (Figure 8):");
+    println!(
+        "  recovered {} support items ({} valid), space = {} bits",
+        got.len(),
+        valid,
+        support.space_bits()
+    );
+}

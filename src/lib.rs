@@ -1,0 +1,66 @@
+//! # bounded-deletions
+//!
+//! A Rust implementation of the streaming algorithms from
+//! *Data Streams with Bounded Deletions* (Rajesh Jayaram & David P.
+//! Woodruff, PODS 2018, arXiv:1803.08777).
+//!
+//! A turnstile stream has the **Lp α-property** when `‖I + D‖_p ≤ α·‖f‖_p`:
+//! the stream's total update mass is at most an α factor above the final
+//! norm. Real deletion-heavy workloads (traffic differencing, database
+//! synchronization, sensor churn) satisfy this for small α, and every
+//! classic `log n` space factor of turnstile sketching then drops to
+//! `log α`. This crate bundles:
+//!
+//! * [`core`](bd_core) — the paper's α-property algorithms (CSSS, heavy
+//!   hitters, L1 sampler/estimators, inner products, L0 estimators, support
+//!   sampler);
+//! * [`sketch`](bd_sketch) — the unbounded-deletion baselines
+//!   (Countsketch, Count-Min, Cauchy L1, KNW L0, sparse recovery, ...);
+//! * [`stream`](bd_stream) — the stream model, exact ground truth,
+//!   workload generators, and bit-level space accounting;
+//! * [`hash`](bd_hash) — k-wise independent hashing and number theory.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use bounded_deletions::prelude::*;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! // A strict-turnstile stream with α = 4: deletions cancel 3/5 of mass.
+//! let stream = BoundedDeletionGen::new(1 << 12, 20_000, 4.0).generate(&mut rng);
+//!
+//! let params = Params::practical(stream.n, 0.1, 4.0);
+//! let mut hh = AlphaHeavyHitters::new_strict(&mut rng, &params);
+//! for u in &stream {
+//!     hh.update(&mut rng, u.item, u.delta);
+//! }
+//! let heavy = hh.query(); // every |f_i| ≥ 0.1·‖f‖₁, nothing < 0.05·‖f‖₁
+//! let bits = hh.space_bits(); // counter widths scale with log α, not log n
+//! # let _ = (heavy, bits);
+//! ```
+
+pub use bd_core;
+pub use bd_hash;
+pub use bd_sketch;
+pub use bd_stream;
+
+/// The commonly used types in one import.
+pub mod prelude {
+    pub use bd_core::{
+        AlphaConstL0, AlphaHeavyHitters, AlphaInnerProduct, AlphaL0Estimator, AlphaL1Estimator,
+        AlphaL1General, AlphaL1Sampler, AlphaL2HeavyHitters, AlphaRoughL0, AlphaSupportSampler,
+        AlphaSupportSamplerSet, Csss, Params, SampleOutcome, SampledVector,
+    };
+    pub use bd_sketch::{
+        CountMin, CountSketch, L0Estimator, L1SamplerTurnstile, LogCosL1, MedianL1, MorrisCounter,
+        Recovery, SparseRecovery, SupportSamplerTurnstile,
+    };
+    pub use bd_stream::gen::{
+        AugmentedIndexingHH, BoundedDeletionGen, InnerProductHard, L0AlphaGen, NetworkDiffGen,
+        RdcGen, SensorGen, StrongAlphaGen, SupportHard, UnboundedDeletionGen, Zipf,
+    };
+    pub use bd_stream::{
+        FrequencyVector, Item, SpaceReport, SpaceUsage, StreamBatch, Update,
+    };
+}

@@ -1,0 +1,174 @@
+//! End-to-end integration tests: every α-property algorithm against every
+//! relevant workload family, validated against exact ground truth.
+
+use bounded_deletions::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn run_stream<F: FnMut(&Update)>(stream: &StreamBatch, mut f: F) {
+    for u in stream {
+        f(u);
+    }
+}
+
+#[test]
+fn heavy_hitters_across_workloads() {
+    let eps = 0.05;
+    let mut rng = StdRng::seed_from_u64(1);
+    let streams = vec![
+        BoundedDeletionGen::new(1 << 14, 50_000, 2.0).generate(&mut rng),
+        BoundedDeletionGen::new(1 << 14, 50_000, 16.0).generate(&mut rng),
+        StrongAlphaGen::new(1 << 14, 400, 4.0).generate(&mut rng),
+    ];
+    for stream in streams {
+        let truth = FrequencyVector::from_stream(&stream);
+        let alpha = truth.alpha_l1().max(1.0);
+        let params = Params::practical(stream.n, eps, alpha);
+        let mut hh = AlphaHeavyHitters::new_strict(&mut rng, &params);
+        run_stream(&stream, |u| hh.update(&mut rng, u.item, u.delta));
+        let got: Vec<u64> = hh.query().into_iter().map(|(i, _)| i).collect();
+        for i in truth.l1_heavy_hitters(eps) {
+            assert!(got.contains(&i), "missed heavy hitter {i} (α = {alpha:.1})");
+        }
+        let l1 = truth.l1() as f64;
+        for &i in &got {
+            assert!(
+                truth.get(i).unsigned_abs() as f64 >= eps / 2.0 * l1,
+                "false positive {i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn l1_estimation_strict_and_general_agree_with_truth() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let stream = BoundedDeletionGen::new(1 << 12, 150_000, 6.0).generate(&mut rng);
+    let truth = FrequencyVector::from_stream(&stream).l1() as f64;
+    let params = Params::practical(stream.n, 0.2, 6.0);
+
+    let mut strict = AlphaL1Estimator::new(&params);
+    let mut general = AlphaL1General::new(&mut rng, &params);
+    run_stream(&stream, |u| {
+        strict.update(&mut rng, u.item, u.delta);
+        general.update(&mut rng, u.item, u.delta);
+    });
+    assert!(
+        (strict.estimate() - truth).abs() / truth < 0.3,
+        "strict estimate {} vs {truth}",
+        strict.estimate()
+    );
+    assert!(
+        (general.estimate() - truth).abs() / truth < 0.35,
+        "general estimate {} vs {truth}",
+        general.estimate()
+    );
+}
+
+#[test]
+fn l0_estimation_on_sensor_and_synthetic_streams() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let streams = vec![
+        L0AlphaGen::new(1 << 20, 2_500, 2.0).generate(&mut rng),
+        SensorGen::new(1 << 20, 1_500, 4_500).generate(&mut rng),
+    ];
+    for stream in streams {
+        let truth = FrequencyVector::from_stream(&stream);
+        let alpha = truth.alpha_l0();
+        let params = Params::practical(stream.n, 0.15, alpha);
+        let mut est = AlphaL0Estimator::new(&mut rng, &params);
+        run_stream(&stream, |u| est.update(&mut rng, u.item, u.delta));
+        let e = est.estimate();
+        let t = truth.l0() as f64;
+        assert!(
+            (e - t).abs() / t < 0.5,
+            "L0 estimate {e} vs {t} (α = {alpha:.1})"
+        );
+    }
+}
+
+#[test]
+fn support_sampler_feeds_downstream_consumers() {
+    // The classic dynamic-graph pattern: recover support items, then verify
+    // their exact values with a second pass (here: against ground truth).
+    let mut rng = StdRng::seed_from_u64(4);
+    let stream = L0AlphaGen::new(1 << 16, 300, 3.0).generate(&mut rng);
+    let truth = FrequencyVector::from_stream(&stream);
+    let params = Params::practical(stream.n, 0.25, 3.0);
+    let mut s = AlphaSupportSamplerSet::new(&mut rng, &params, 12);
+    run_stream(&stream, |u| s.update(&mut rng, u.item, u.delta));
+    let got = s.query();
+    assert!(got.len() >= 12, "only {} recovered", got.len());
+    for i in got {
+        assert!(truth.get(i) > 0, "item {i} not in the support");
+    }
+}
+
+#[test]
+fn inner_product_on_rdc_pairs() {
+    // Compare two file versions' signature multisets.
+    let mut rng = StdRng::seed_from_u64(5);
+    let f = RdcGen::new(1 << 20, 8_000, 0.3).generate(&mut rng);
+    let g = RdcGen::new(1 << 20, 8_000, 0.3).generate(&mut rng);
+    let vf = FrequencyVector::from_stream(&f);
+    let vg = FrequencyVector::from_stream(&g);
+    let eps = 0.05;
+    let alpha = vf.alpha_l1().max(vg.alpha_l1()).max(1.0);
+    let params = Params::practical(1 << 20, eps, alpha);
+    let mut ip = AlphaInnerProduct::new(&mut rng, &params);
+    run_stream(&f, |u| ip.update_f(&mut rng, u.item, u.delta));
+    run_stream(&g, |u| ip.update_g(&mut rng, u.item, u.delta));
+    let bound = eps * vf.l1() as f64 * vg.l1() as f64;
+    let err = (ip.estimate() - vf.inner_product(&vg) as f64).abs();
+    assert!(err <= 2.0 * bound, "error {err} vs bound {bound}");
+}
+
+#[test]
+fn alpha_one_matches_insertion_only_behaviour() {
+    // α = 1 degenerates to the insertion-only model: everything should be
+    // near-exact.
+    let mut rng = StdRng::seed_from_u64(6);
+    let stream = BoundedDeletionGen::new(1 << 10, 40_000, 1.0).generate(&mut rng);
+    let truth = FrequencyVector::from_stream(&stream);
+    let params = Params::practical(stream.n, 0.1, 1.0);
+    let mut l1 = AlphaL1Estimator::new(&params);
+    let mut hh = AlphaHeavyHitters::new_strict(&mut rng, &params);
+    run_stream(&stream, |u| {
+        l1.update(&mut rng, u.item, u.delta);
+        hh.update(&mut rng, u.item, u.delta);
+    });
+    let t = truth.l1() as f64;
+    assert!((l1.estimate() - t).abs() / t < 0.2);
+    for i in truth.l1_heavy_hitters(0.1) {
+        assert!(hh.query().iter().any(|&(j, _)| j == i));
+    }
+}
+
+#[test]
+fn weighted_updates_match_unit_expansion_semantics() {
+    // Feeding (i, 5) must behave like five unit updates in expectation:
+    // compare CSSS estimates across the two encodings.
+    let mut rng = StdRng::seed_from_u64(7);
+    let params = Params::practical(1 << 10, 0.1, 2.0);
+    let mut weighted = bd_core::Csss::new(&mut rng, 8, 13, params.csss_sample_budget());
+    let mut expanded = bd_core::Csss::new(&mut rng, 8, 13, params.csss_sample_budget());
+    // Sparse support (8 items over 48 buckets/row, deep median) keeps
+    // collision noise below the signal, so both encodings are near-exact.
+    for i in 0..8u64 {
+        weighted.update(&mut rng, i, 50);
+        for _ in 0..50 {
+            expanded.update(&mut rng, i, 1);
+        }
+        weighted.update(&mut rng, i, -20);
+        for _ in 0..20 {
+            expanded.update(&mut rng, i, -1);
+        }
+    }
+    for i in 0..8u64 {
+        let (w, e) = (weighted.estimate(i), expanded.estimate(i));
+        assert!(
+            (w - 30.0).abs() < 20.0 && (e - 30.0).abs() < 20.0,
+            "weighted {w} / expanded {e} should both track f_i = 30"
+        );
+    }
+}

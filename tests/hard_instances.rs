@@ -1,0 +1,130 @@
+//! Experiment E12: run the upper-bound algorithms on the §8 lower-bound
+//! constructions. These instances are hard for *space* (they encode
+//! communication problems) — a correct algorithm must still answer them,
+//! which is precisely what the reductions exploit. Each test also verifies
+//! the construction produces the promised α.
+
+use bounded_deletions::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn heavy_hitters_decode_augmented_indexing() {
+    // Theorem 12: recovering the planted block via ε-heavy hitters is
+    // exactly what Bob does to solve Ind.
+    let eps = 0.05;
+    let alpha = 216.0;
+    let mut ok = 0;
+    for seed in 0..5u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inst = AugmentedIndexingHH::new(1 << 16, eps, alpha).generate(&mut rng);
+        let truth = FrequencyVector::from_stream(&inst.stream);
+        assert!(truth.alpha_strong() <= 3.0 * alpha * alpha);
+
+        let params = Params::practical(inst.stream.n, eps, truth.alpha_l1().max(1.0));
+        let mut hh = AlphaHeavyHitters::new_strict(&mut rng, &params);
+        for u in &inst.stream {
+            hh.update(&mut rng, u.item, u.delta);
+        }
+        let got: Vec<u64> = hh.query().into_iter().map(|(i, _)| i).collect();
+        if inst.planted.iter().all(|i| got.contains(i)) {
+            ok += 1;
+        }
+    }
+    assert!(ok >= 4, "decoded the planted block in only {ok}/5 instances");
+}
+
+#[test]
+fn support_sampler_survives_block_instance() {
+    // Theorem 20: the surviving block dominates the support; a correct
+    // support sampler must return items from it.
+    let mut rng = StdRng::seed_from_u64(10);
+    let inst = SupportHard::new(1 << 20, 64).generate(&mut rng);
+    let truth = FrequencyVector::from_stream(&inst.stream);
+    let params = Params::practical(inst.stream.n, 0.25, truth.alpha_l0().max(1.0));
+    let mut s = AlphaSupportSamplerSet::new(&mut rng, &params, 4);
+    for u in &inst.stream {
+        s.update(&mut rng, u.item, u.delta);
+    }
+    let got = s.query();
+    assert!(
+        got.len() >= 4.min(truth.l0() as usize),
+        "returned {} items",
+        got.len()
+    );
+    for i in &got {
+        assert!(truth.get(*i) != 0);
+    }
+}
+
+#[test]
+fn inner_product_decodes_planted_bit() {
+    // Theorem 21: Bob decides y_{i*} by thresholding IP(f, g) at
+    // (3/2)·α·10^{j*}. Our estimator must make that decision correctly.
+    let alpha = 100u64;
+    let eps = 0.05;
+    let mut correct = 0;
+    let trials = 8;
+    for seed in 0..trials {
+        let mut rng = StdRng::seed_from_u64(20 + seed);
+        let inst = InnerProductHard::new(1 << 16, eps, alpha).generate(&mut rng);
+        let vf = FrequencyVector::from_stream(&inst.f);
+        let params = Params::practical(1 << 16, 0.01, vf.alpha_strong().clamp(1.0, 1e6));
+        let mut ip = AlphaInnerProduct::new(&mut rng, &params);
+        for u in &inst.f {
+            ip.update_f(&mut rng, u.item, u.delta);
+        }
+        for u in &inst.g {
+            ip.update_g(&mut rng, u.item, u.delta);
+        }
+        let threshold = 1.5 * alpha as f64 * 10f64.powi(inst.query_block as i32 + 1);
+        let decoded_bit = ip.estimate() >= threshold;
+        if decoded_bit == inst.bit {
+            correct += 1;
+        }
+    }
+    assert!(correct >= 6, "decoded the bit in only {correct}/{trials}");
+}
+
+#[test]
+fn l1_estimator_on_geometric_block_stream() {
+    // Theorem 16's instance shape: geometric weights α·10^i + 1 with the
+    // suffix deleted. The strict L1 estimator must track the surviving mass.
+    let mut rng = StdRng::seed_from_u64(30);
+    let alpha = 216.0;
+    let inst = AugmentedIndexingHH::new(1 << 14, 0.1, alpha).generate(&mut rng);
+    let truth = FrequencyVector::from_stream(&inst.stream);
+    let realized = truth.alpha_l1();
+    let params = Params::practical(inst.stream.n, 0.2, realized.max(1.0));
+    let mut est = AlphaL1Estimator::new(&params);
+    for u in &inst.stream {
+        est.update(&mut rng, u.item, u.delta);
+    }
+    let t = truth.l1() as f64;
+    assert!(
+        (est.estimate() - t).abs() / t < 0.35,
+        "estimate {} vs {t}",
+        est.estimate()
+    );
+}
+
+#[test]
+fn unbounded_deletion_streams_break_the_alpha_window_gracefully() {
+    // On a stream violating every α promise (α ≈ 20000), algorithms sized
+    // for α = 4 may lose accuracy but must not panic or return garbage
+    // like negative norms.
+    let mut rng = StdRng::seed_from_u64(40);
+    let stream = UnboundedDeletionGen::new(1 << 12, 100_000, 10).generate(&mut rng);
+    let params = Params::practical(stream.n, 0.2, 4.0);
+    let mut l1 = AlphaL1Estimator::new(&params);
+    let mut l0 = AlphaL0Estimator::new(&mut rng, &params);
+    let mut hh = AlphaHeavyHitters::new_strict(&mut rng, &params);
+    for u in &stream {
+        l1.update(&mut rng, u.item, u.delta);
+        l0.update(&mut rng, u.item, u.delta);
+        hh.update(&mut rng, u.item, u.delta);
+    }
+    assert!(l1.estimate() >= 0.0);
+    assert!(l0.estimate() >= 0.0);
+    let _ = hh.query();
+}
