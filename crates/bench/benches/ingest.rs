@@ -1,0 +1,104 @@
+//! Ingestion throughput: per-update `Sketch::update` versus batched
+//! `Sketch::update_batch` through the `StreamRunner`, on the structures with
+//! pre-aggregating batch overrides (Countsketch, Count-Min, CSSS, the
+//! α heavy hitters) plus one default-impl control (the exact frequency
+//! vector).
+//!
+//! Emits `BENCH_ingest.json` (median updates/sec per configuration) so later
+//! PRs have a throughput trajectory to compare against.
+//!
+//! Run: `cargo bench -p bd-bench --bench ingest`
+
+use bd_bench::micro::{self, Measurement};
+use bd_core::{AlphaHeavyHitters, Csss, Params};
+use bd_sketch::{CountMin, CountSketch};
+use bd_stream::gen::BoundedDeletionGen;
+use bd_stream::{FrequencyVector, Sketch, StreamBatch, StreamRunner};
+
+const N: u64 = 1 << 16;
+const MASS: u64 = 400_000;
+const SAMPLES: usize = 7;
+const WARMUP: usize = 2;
+
+fn workload() -> StreamBatch {
+    // Zipfian head over 1024 distinct items: the duplicate-heavy regime the
+    // batched paths exist for (each 4096-update chunk holds ~few hundred
+    // distinct items).
+    let mut gen = BoundedDeletionGen::new(N, MASS, 4.0);
+    gen.distinct = 1024;
+    gen.generate_seeded(7)
+}
+
+/// Time a full pass over `stream` on a fresh sketch per sample.
+fn ingest<S: Sketch, F: Fn(u64) -> S>(
+    name: &str,
+    stream: &StreamBatch,
+    runner: StreamRunner,
+    mk: F,
+) -> Measurement {
+    micro::sample(name, stream.len() as u64, SAMPLES, WARMUP, |s| {
+        let mut sk = mk(s as u64);
+        runner.run(&mut sk, stream);
+        std::hint::black_box(sk.space_bits());
+    })
+}
+
+fn main() {
+    let stream = workload();
+    let params = Params::practical(N, 0.1, 4.0);
+    let per = StreamRunner::unbatched();
+    let bat = StreamRunner::new();
+    let mut results: Vec<Measurement> = Vec::new();
+    let mut pairs: Vec<(String, f64)> = Vec::new();
+
+    println!(
+        "ingest throughput — {} updates, {} distinct-ish items, chunk = {}\n",
+        stream.len(),
+        1024,
+        StreamRunner::DEFAULT_CHUNK
+    );
+
+    macro_rules! compare {
+        ($label:expr, $mk:expr) => {{
+            let a = ingest(&format!("{}/per_update", $label), &stream, per, $mk);
+            let b = ingest(&format!("{}/update_batch", $label), &stream, bat, $mk);
+            micro::report(&a);
+            micro::report(&b);
+            let speedup = b.ops_per_sec / a.ops_per_sec;
+            println!("  {:<44} {speedup:>10.2}x batched speedup\n", $label);
+            pairs.push(($label.to_string(), speedup));
+            results.push(a);
+            results.push(b);
+        }};
+    }
+
+    compare!("countsketch", |s| CountSketch::<i64>::new(s, 9, 480));
+    compare!("countmin", |s| CountMin::new(s, 5, 512));
+    compare!("csss", |s| Csss::new(s, 16, 9, params.csss_sample_budget()));
+    compare!("alpha_heavy_hitters", |s| AlphaHeavyHitters::new_strict(
+        s, &params
+    ));
+    compare!("frequency_vector(control)", |_s| FrequencyVector::new(N));
+
+    let json = micro::to_json(
+        &[
+            ("bench", "ingest".to_string()),
+            ("updates", stream.len().to_string()),
+            ("chunk", StreamRunner::DEFAULT_CHUNK.to_string()),
+            (
+                "speedups",
+                pairs
+                    .iter()
+                    .map(|(n, s)| format!("{n}={s:.2}x"))
+                    .collect::<Vec<_>>()
+                    .join(","),
+            ),
+        ],
+        &results,
+    );
+    // cargo bench runs with the package directory as CWD; emit at the
+    // workspace root so the trajectory file has a stable path.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ingest.json");
+    std::fs::write(path, &json).expect("write BENCH_ingest.json");
+    println!("wrote {path}");
+}

@@ -1,224 +1,123 @@
-//! Criterion throughput benches: update cost (ns/op) and query latency for
-//! every sketch in the workspace, α-property algorithms next to their
+//! Throughput benches: update cost (ns/op) and query latency for the main
+//! sketches in the workspace, α-property algorithms next to their
 //! unbounded-deletion baselines, plus the hashing substrate and a CSSS
-//! sampling-strategy ablation (DESIGN.md §6).
+//! sampling-budget ablation. Built on `bd_bench::micro` (criterion is
+//! unavailable in the offline build); ingestion passes go through the
+//! shared `StreamRunner`.
+//!
+//! Run: `cargo bench -p bd-bench --bench throughput`
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
+use bd_bench::micro;
 use bd_core::{
-    AlphaHeavyHitters, AlphaInnerProduct, AlphaL0Estimator, AlphaL1Estimator, AlphaL1General,
-    Csss, Params,
+    AlphaHeavyHitters, AlphaInnerProduct, AlphaL0Estimator, AlphaL1Estimator, AlphaL1General, Csss,
+    Params,
 };
 use bd_sketch::{CountMin, CountSketch, L0Estimator, LogCosL1, MorrisCounter};
 use bd_stream::gen::BoundedDeletionGen;
-use bd_stream::StreamBatch;
+use bd_stream::{Sketch, StreamBatch, StreamRunner};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 const N: u64 = 1 << 16;
+const SAMPLES: usize = 5;
+const WARMUP: usize = 1;
 
 fn stream_for_bench(seed: u64) -> StreamBatch {
-    let mut rng = StdRng::seed_from_u64(seed);
-    BoundedDeletionGen::new(N, 50_000, 4.0).generate(&mut rng)
+    BoundedDeletionGen::new(N, 50_000, 4.0).generate_seeded(seed)
 }
 
-fn bench_hashing(c: &mut Criterion) {
-    let mut g = c.benchmark_group("hash");
+/// Median ns/update for a full `StreamRunner` pass on fresh sketches.
+fn bench_ingest<S: Sketch>(name: &str, stream: &StreamBatch, mk: impl Fn(u64) -> S) {
+    let runner = StreamRunner::new();
+    let m = micro::sample(name, stream.len() as u64, SAMPLES, WARMUP, |s| {
+        let mut sk = mk(s as u64);
+        runner.run(&mut sk, stream);
+        std::hint::black_box(sk.space_bits());
+    });
+    micro::report(&m);
+}
+
+fn bench_hashing() {
+    println!("hash substrate:");
     let mut rng = StdRng::seed_from_u64(1);
     for k in [2usize, 4, 8] {
         let h = bd_hash::KWiseHash::new(&mut rng, k, 1 << 16);
-        g.bench_with_input(BenchmarkId::new("kwise", k), &h, |b, h| {
-            let mut x = 0u64;
-            b.iter(|| {
-                x = x.wrapping_add(0x9e37_79b9);
-                black_box(h.hash(x))
-            });
-        });
+        let m = micro::sample(
+            &format!("kwise_hash/k={k}"),
+            1 << 16,
+            SAMPLES,
+            WARMUP,
+            |_| {
+                let mut x = 0u64;
+                for _ in 0..(1 << 16) {
+                    x = x.wrapping_add(0x9e37_79b9);
+                    std::hint::black_box(h.hash(x));
+                }
+            },
+        );
+        micro::report(&m);
     }
     let row = bd_hash::CauchyRow::new(&mut rng, 6);
-    g.bench_function("cauchy_entry", |b| {
-        let mut x = 0u64;
-        b.iter(|| {
-            x += 1;
-            black_box(row.entry(x))
-        });
+    let m = micro::sample("cauchy_entry", 1 << 14, SAMPLES, WARMUP, |_| {
+        for x in 0..(1u64 << 14) {
+            std::hint::black_box(row.entry(x));
+        }
     });
-    g.finish();
+    micro::report(&m);
 }
 
-fn bench_point_query_sketches(c: &mut Criterion) {
-    let mut g = c.benchmark_group("point_query");
+fn bench_queries(stream: &StreamBatch, params: &Params) {
+    println!("\nquery latency:");
+    let mut cs = Csss::new(6, 16, 9, params.csss_sample_budget());
+    StreamRunner::new().run(&mut cs, stream);
+    let m = micro::sample("csss_point_query", 1 << 12, SAMPLES, WARMUP, |_| {
+        for i in 0..(1u64 << 12) {
+            std::hint::black_box(cs.estimate(i % N));
+        }
+    });
+    micro::report(&m);
+}
+
+fn main() {
     let stream = stream_for_bench(2);
     let params = Params::practical(N, 0.1, 4.0);
 
-    g.bench_function("countsketch_update", |b| {
-        let mut rng = StdRng::seed_from_u64(3);
-        let mut cs = CountSketch::<i64>::new(&mut rng, 9, 480);
-        let mut it = stream.updates.iter().cycle();
-        b.iter(|| {
-            let u = it.next().unwrap();
-            cs.update(u.item, u.delta);
-        });
-    });
-    g.bench_function("countmin_update", |b| {
-        let mut rng = StdRng::seed_from_u64(4);
-        let mut cm = CountMin::new(&mut rng, 5, 512);
-        let mut it = stream.updates.iter().cycle();
-        b.iter(|| {
-            let u = it.next().unwrap();
-            cm.update(u.item, u.delta);
-        });
-    });
-    g.bench_function("csss_update", |b| {
-        let mut rng = StdRng::seed_from_u64(5);
-        let mut cs = Csss::new(&mut rng, 80, 9, params.csss_sample_budget());
-        let mut it = stream.updates.iter().cycle();
-        b.iter(|| {
-            let u = it.next().unwrap();
-            cs.update(&mut rng, u.item, u.delta);
-        });
-    });
-    g.bench_function("csss_query", |b| {
-        let mut rng = StdRng::seed_from_u64(6);
-        let mut cs = Csss::new(&mut rng, 80, 9, params.csss_sample_budget());
-        for u in &stream {
-            cs.update(&mut rng, u.item, u.delta);
-        }
-        let mut i = 0u64;
-        b.iter(|| {
-            i = (i + 1) % N;
-            black_box(cs.estimate(i))
-        });
-    });
-    g.finish();
-}
+    bench_hashing();
 
-fn bench_heavy_hitters(c: &mut Criterion) {
-    let mut g = c.benchmark_group("heavy_hitters");
-    let stream = stream_for_bench(7);
-    let params = Params::practical(N, 0.1, 4.0);
-    g.bench_function("alpha_hh_update", |b| {
-        let mut rng = StdRng::seed_from_u64(8);
-        let mut hh = AlphaHeavyHitters::new_strict(&mut rng, &params);
-        let mut it = stream.updates.iter().cycle();
-        b.iter(|| {
-            let u = it.next().unwrap();
-            hh.update(&mut rng, u.item, u.delta);
-        });
+    println!("\ningestion (full StreamRunner pass, fresh sketch per sample):");
+    bench_ingest("countsketch", &stream, |s| {
+        CountSketch::<i64>::new(s, 9, 480)
     });
-    g.finish();
-}
+    bench_ingest("countmin", &stream, |s| CountMin::new(s, 5, 512));
+    bench_ingest("csss", &stream, |s| {
+        Csss::new(s, 16, 9, params.csss_sample_budget())
+    });
+    bench_ingest("alpha_heavy_hitters", &stream, |s| {
+        AlphaHeavyHitters::new_strict(s, &params)
+    });
+    let l1_params = Params::practical(N, 0.25, 4.0);
+    bench_ingest("alpha_l1_strict", &stream, |s| {
+        AlphaL1Estimator::new(s, &l1_params)
+    });
+    bench_ingest("alpha_l1_general", &stream, |s| {
+        AlphaL1General::new(s, &l1_params)
+    });
+    bench_ingest("logcos_l1_baseline", &stream, |s| LogCosL1::new(s, 0.25));
+    bench_ingest("alpha_l0", &stream, |s| {
+        AlphaL0Estimator::new(s, &l1_params)
+    });
+    bench_ingest("knw_l0_baseline", &stream, |s| L0Estimator::new(s, N, 0.25));
+    bench_ingest("alpha_ip(one side)", &stream, |s| {
+        AlphaInnerProduct::new(s, &params).f
+    });
+    bench_ingest("morris", &stream, MorrisCounter::new);
 
-fn bench_l1(c: &mut Criterion) {
-    let mut g = c.benchmark_group("l1");
-    let stream = stream_for_bench(9);
-    let params = Params::practical(N, 0.25, 4.0);
-    g.bench_function("alpha_l1_strict_update", |b| {
-        let mut rng = StdRng::seed_from_u64(10);
-        let mut e = AlphaL1Estimator::new(&params);
-        let mut it = stream.updates.iter().cycle();
-        b.iter(|| {
-            let u = it.next().unwrap();
-            e.update(&mut rng, u.item, u.delta);
-        });
-    });
-    g.bench_function("alpha_l1_general_update", |b| {
-        let mut rng = StdRng::seed_from_u64(11);
-        let mut e = AlphaL1General::new(&mut rng, &params);
-        let mut it = stream.updates.iter().cycle();
-        b.iter(|| {
-            let u = it.next().unwrap();
-            e.update(&mut rng, u.item, u.delta);
-        });
-    });
-    g.bench_function("logcos_baseline_update", |b| {
-        let mut rng = StdRng::seed_from_u64(12);
-        let mut e = LogCosL1::new(&mut rng, 0.25);
-        let mut it = stream.updates.iter().cycle();
-        b.iter(|| {
-            let u = it.next().unwrap();
-            e.update(u.item, u.delta);
-        });
-    });
-    g.bench_function("morris_tick", |b| {
-        let mut rng = StdRng::seed_from_u64(13);
-        let mut m = MorrisCounter::new();
-        b.iter(|| m.tick(&mut rng));
-    });
-    g.finish();
-}
-
-fn bench_l0(c: &mut Criterion) {
-    let mut g = c.benchmark_group("l0");
-    let stream = stream_for_bench(14);
-    let params = Params::practical(N, 0.25, 4.0);
-    g.bench_function("alpha_l0_update", |b| {
-        let mut rng = StdRng::seed_from_u64(15);
-        let mut e = AlphaL0Estimator::new(&mut rng, &params);
-        let mut it = stream.updates.iter().cycle();
-        b.iter(|| {
-            let u = it.next().unwrap();
-            e.update(&mut rng, u.item, u.delta);
-        });
-    });
-    g.bench_function("knw_l0_baseline_update", |b| {
-        let mut rng = StdRng::seed_from_u64(16);
-        let mut e = L0Estimator::new(&mut rng, N, 0.25);
-        let mut it = stream.updates.iter().cycle();
-        b.iter(|| {
-            let u = it.next().unwrap();
-            e.update(u.item, u.delta);
-        });
-    });
-    g.finish();
-}
-
-fn bench_inner_product(c: &mut Criterion) {
-    let mut g = c.benchmark_group("inner_product");
-    let stream = stream_for_bench(17);
-    let params = Params::practical(N, 0.1, 4.0);
-    g.bench_function("alpha_ip_update", |b| {
-        let mut rng = StdRng::seed_from_u64(18);
-        let mut ip = AlphaInnerProduct::new(&mut rng, &params);
-        let mut it = stream.updates.iter().cycle();
-        b.iter(|| {
-            let u = it.next().unwrap();
-            ip.update_f(&mut rng, u.item, u.delta);
-        });
-    });
-    g.finish();
-}
-
-fn bench_csss_budget_ablation(c: &mut Criterion) {
-    // Ablation: how the sample budget (the α²/ε³ knob) trades update cost.
-    let mut g = c.benchmark_group("csss_budget_ablation");
-    let stream = stream_for_bench(19);
+    println!("\ncsss sample-budget ablation (the α²/ε³ knob):");
     for budget_log2 in [8u32, 12, 16] {
-        g.bench_with_input(
-            BenchmarkId::new("budget", 1u64 << budget_log2),
-            &budget_log2,
-            |b, &bl| {
-                let mut rng = StdRng::seed_from_u64(20);
-                let mut cs = Csss::new(&mut rng, 16, 7, 1u64 << bl);
-                let mut it = stream.updates.iter().cycle();
-                b.iter(|| {
-                    let u = it.next().unwrap();
-                    cs.update(&mut rng, u.item, u.delta);
-                });
-            },
-        );
+        bench_ingest(&format!("csss/budget=2^{budget_log2}"), &stream, |s| {
+            Csss::new(s, 16, 7, 1u64 << budget_log2)
+        });
     }
-    g.finish();
-}
 
-criterion_group!(
-    benches,
-    bench_hashing,
-    bench_point_query_sketches,
-    bench_heavy_hitters,
-    bench_l1,
-    bench_l0,
-    bench_inner_product,
-    bench_csss_budget_ablation
-);
-criterion_main!(benches);
+    bench_queries(&stream, &params);
+}

@@ -8,21 +8,25 @@ use bd_bench::{fmt_bits, run_trials, Table};
 use bd_core::{AlphaInnerProduct, Params};
 use bd_sketch::IpFamily;
 use bd_stream::gen::BoundedDeletionGen;
-use bd_stream::{FrequencyVector, SpaceUsage};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use bd_stream::{FrequencyVector, Sketch, SpaceUsage, StreamRunner};
 
 fn main() {
     let eps = 0.1;
     println!("E10 — inner products (Theorem 2), ε = {eps}, m = 300k per stream\n");
     let mut table = Table::new(
         "additive error as a fraction of ε‖f‖₁‖g‖₁ (8 trials)",
-        &["α", "mean err/budget", "max err/budget", "within budget", "α-space", "base space"],
+        &[
+            "α",
+            "mean err/budget",
+            "max err/budget",
+            "within budget",
+            "α-space",
+            "base space",
+        ],
     );
     for alpha in [2.0f64, 8.0, 32.0] {
-        let mut gen_rng = StdRng::seed_from_u64(alpha as u64 + 31);
-        let f = BoundedDeletionGen::new(1 << 20, 300_000, alpha).generate(&mut gen_rng);
-        let g = BoundedDeletionGen::new(1 << 20, 300_000, alpha).generate(&mut gen_rng);
+        let f = BoundedDeletionGen::new(1 << 20, 300_000, alpha).generate_seeded(alpha as u64 + 31);
+        let g = BoundedDeletionGen::new(1 << 20, 300_000, alpha).generate_seeded(alpha as u64 + 32);
         let (vf, vg) = (
             FrequencyVector::from_stream(&f),
             FrequencyVector::from_stream(&g),
@@ -34,18 +38,12 @@ fn main() {
         let mut our_bits = 0u64;
         let mut base_bits = 0u64;
         let stats = run_trials(8, |seed| {
-            let mut rng = StdRng::seed_from_u64(40 + seed);
-            let mut ours = AlphaInnerProduct::new(&mut rng, &params);
-            let fam = IpFamily::new(&mut rng, 5, (2.0 / eps) as usize);
+            let mut ours = AlphaInnerProduct::new(40 + seed, &params);
+            let fam = IpFamily::new(140 + seed, 5, (2.0 / eps) as usize);
             let (mut bf, mut bg) = (fam.sketch(), fam.sketch());
-            for u in &f {
-                ours.update_f(&mut rng, u.item, u.delta);
-                bf.update(u.item, u.delta);
-            }
-            for u in &g {
-                ours.update_g(&mut rng, u.item, u.delta);
-                bg.update(u.item, u.delta);
-            }
+            let runner = StreamRunner::new();
+            runner.run_each(&mut [&mut ours.f as &mut dyn Sketch, &mut bf], &f);
+            runner.run_each(&mut [&mut ours.g as &mut dyn Sketch, &mut bg], &g);
             our_bits = our_bits.max(ours.space_bits());
             base_bits = base_bits.max(bf.space_bits() + bg.space_bits());
             let ratio = (ours.estimate() - truth).abs() / budget;

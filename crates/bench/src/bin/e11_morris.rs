@@ -6,15 +6,20 @@
 use bd_bench::Table;
 use bd_sketch::MorrisCounter;
 use bd_stream::SpaceUsage;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
     let m = 1u64 << 20;
     println!("E11 — Morris counter (Lemma 11), m = 2^20, probes at powers of two\n");
     let mut table = Table::new(
         "envelope violations over 50 runs",
-        &["δ", "probes", "below lower", "above upper", "allowed (δ·probes)", "max register bits"],
+        &[
+            "δ",
+            "probes",
+            "below lower",
+            "above upper",
+            "allowed (δ·probes)",
+            "max register bits",
+        ],
     );
     for delta in [0.2f64, 0.05, 0.01] {
         let mut below = 0usize;
@@ -22,10 +27,9 @@ fn main() {
         let mut probes = 0usize;
         let mut max_bits = 0u64;
         for seed in 0..50u64 {
-            let mut rng = StdRng::seed_from_u64(seed);
-            let mut c = MorrisCounter::new();
+            let mut c = MorrisCounter::new(seed);
             for t in 1..=m {
-                c.tick(&mut rng);
+                c.tick();
                 if t.is_power_of_two() && t >= 64 {
                     probes += 1;
                     let est = c.estimate() as f64;

@@ -7,9 +7,7 @@
 use bd_bench::{run_trials, Table};
 use bd_core::{AlphaHeavyHitters, AlphaInnerProduct, AlphaSupportSamplerSet, Params};
 use bd_stream::gen::{AugmentedIndexingHH, InnerProductHard, SupportHard};
-use bd_stream::FrequencyVector;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use bd_stream::{FrequencyVector, StreamRunner};
 
 fn main() {
     println!("E12 — the §8 hard instances, decoded by the upper-bound algorithms\n");
@@ -20,14 +18,11 @@ fn main() {
 
     // Theorem 12: augmented indexing via ε-heavy hitters.
     let stats = run_trials(10, |seed| {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let inst = AugmentedIndexingHH::new(1 << 16, 0.05, 216.0).generate(&mut rng);
+        let inst = AugmentedIndexingHH::new(1 << 16, 0.05, 216.0).generate_seeded(seed);
         let truth = FrequencyVector::from_stream(&inst.stream);
         let params = Params::practical(inst.stream.n, 0.05, truth.alpha_l1().max(1.0));
-        let mut hh = AlphaHeavyHitters::new_strict(&mut rng, &params);
-        for u in &inst.stream {
-            hh.update(&mut rng, u.item, u.delta);
-        }
+        let mut hh = AlphaHeavyHitters::new_strict(seed + 50, &params);
+        StreamRunner::new().run(&mut hh, &inst.stream);
         let got: Vec<u64> = hh.query().into_iter().map(|(i, _)| i).collect();
         let ok = inst.planted.iter().all(|i| got.contains(i));
         (f64::from(u8::from(ok)), ok)
@@ -41,17 +36,13 @@ fn main() {
 
     // Theorem 20: block-support instance via support sampling.
     let stats = run_trials(10, |seed| {
-        let mut rng = StdRng::seed_from_u64(100 + seed);
-        let inst = SupportHard::new(1 << 20, 64).generate(&mut rng);
+        let inst = SupportHard::new(1 << 20, 64).generate_seeded(100 + seed);
         let truth = FrequencyVector::from_stream(&inst.stream);
         let params = Params::practical(inst.stream.n, 0.25, truth.alpha_l0().max(1.0));
-        let mut s = AlphaSupportSamplerSet::new(&mut rng, &params, 4);
-        for u in &inst.stream {
-            s.update(&mut rng, u.item, u.delta);
-        }
+        let mut s = AlphaSupportSamplerSet::new(150 + seed, &params, 4);
+        StreamRunner::new().run(&mut s, &inst.stream);
         let got = s.query();
-        let ok = got.len() >= 4.min(truth.l0() as usize)
-            && got.iter().all(|&i| truth.get(i) != 0);
+        let ok = got.len() >= 4.min(truth.l0() as usize) && got.iter().all(|&i| truth.get(i) != 0);
         (f64::from(u8::from(ok)), ok)
     });
     table.row(vec![
@@ -63,17 +54,13 @@ fn main() {
 
     // Theorem 21: planted-bit decoding via inner products.
     let stats = run_trials(10, |seed| {
-        let mut rng = StdRng::seed_from_u64(200 + seed);
-        let inst = InnerProductHard::new(1 << 16, 0.05, 100).generate(&mut rng);
+        let inst = InnerProductHard::new(1 << 16, 0.05, 100).generate_seeded(200 + seed);
         let vf = FrequencyVector::from_stream(&inst.f);
         let params = Params::practical(1 << 16, 0.01, vf.alpha_strong().clamp(1.0, 1e6));
-        let mut ip = AlphaInnerProduct::new(&mut rng, &params);
-        for u in &inst.f {
-            ip.update_f(&mut rng, u.item, u.delta);
-        }
-        for u in &inst.g {
-            ip.update_g(&mut rng, u.item, u.delta);
-        }
+        let mut ip = AlphaInnerProduct::new(250 + seed, &params);
+        let runner = StreamRunner::new();
+        runner.run(&mut ip.f, &inst.f);
+        runner.run(&mut ip.g, &inst.g);
         let threshold = 1.5 * 100.0 * 10f64.powi(inst.query_block as i32 + 1);
         let ok = (ip.estimate() >= threshold) == inst.bit;
         (f64::from(u8::from(ok)), ok)

@@ -8,32 +8,36 @@
 use bd_bench::{run_trials, Table};
 use bd_core::{AlphaConstL0, AlphaRoughL0, Params};
 use bd_stream::gen::L0AlphaGen;
-use bd_stream::FrequencyVector;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use bd_stream::{FrequencyVector, StreamRunner};
 
 fn main() {
     println!("E13 — rough L0 trackers (Corollary 2 / Lemma 20), n = 2^28\n");
     let mut table = Table::new(
         "sandwich success over 20 trials",
-        &["α", "L0", "tracker all-times", "const-est final", "peak live levels"],
+        &[
+            "α",
+            "L0",
+            "tracker all-times",
+            "const-est final",
+            "peak live levels",
+        ],
     );
     for (alpha, l0) in [(2.0f64, 1_000u64), (4.0, 2_000), (8.0, 4_000)] {
         let mut peak = 0usize;
         let tracker_stats = run_trials(20, |seed| {
-            let mut rng = StdRng::seed_from_u64(seed);
-            let stream = L0AlphaGen::new(1 << 28, l0, alpha).generate(&mut rng);
-            let mut tr = AlphaRoughL0::new(&mut rng, stream.n);
+            let stream = L0AlphaGen::new(1 << 28, l0, alpha).generate_seeded(seed);
+            let mut tr = AlphaRoughL0::new(seed + 30, stream.n);
             let mut prefix = FrequencyVector::new(stream.n);
             let mut good = true;
-            for (t, u) in stream.iter().enumerate() {
-                tr.update(u.item, u.delta);
-                prefix.update(*u);
-                if (t + 1) % 2000 == 0 && prefix.f0() >= tr.floor() {
+            // All-times guarantee: probe after each 2000-update window the
+            // runner feeds to both the tracker and the exact prefix vector.
+            let runner = StreamRunner::new();
+            for window in stream.updates.chunks(2000) {
+                runner.run_updates(&mut tr, window);
+                runner.run_updates(&mut prefix, window);
+                if prefix.f0() >= tr.floor() {
                     let est = tr.estimate() as f64;
-                    if est < prefix.l0() as f64
-                        || est > AlphaRoughL0::RATIO * alpha * l0 as f64
-                    {
+                    if est < prefix.l0() as f64 || est > AlphaRoughL0::RATIO * alpha * l0 as f64 {
                         good = false;
                     }
                 }
@@ -41,13 +45,10 @@ fn main() {
             (f64::from(u8::from(good)), good)
         });
         let const_stats = run_trials(20, |seed| {
-            let mut rng = StdRng::seed_from_u64(1000 + seed);
-            let stream = L0AlphaGen::new(1 << 28, l0, alpha).generate(&mut rng);
+            let stream = L0AlphaGen::new(1 << 28, l0, alpha).generate_seeded(1000 + seed);
             let params = Params::practical(stream.n, 0.2, alpha);
-            let mut est = AlphaConstL0::new(&mut rng, &params);
-            for u in &stream {
-                est.update(&mut rng, u.item, u.delta);
-            }
+            let mut est = AlphaConstL0::new(1100 + seed, &params);
+            StreamRunner::new().run(&mut est, &stream);
             peak = peak.max(est.peak_live_levels());
             let r = est.estimate();
             let ok = r >= l0 && r as f64 <= AlphaConstL0::RATIO * l0 as f64;

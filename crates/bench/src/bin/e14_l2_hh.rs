@@ -8,9 +8,7 @@
 use bd_bench::{fmt_bits, Table};
 use bd_core::{AlphaL2HeavyHitters, Params};
 use bd_stream::gen::BoundedDeletionGen;
-use bd_stream::{FrequencyVector, SpaceUsage};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use bd_stream::{FrequencyVector, SpaceUsage, StreamRunner};
 
 fn main() {
     let eps = 0.25;
@@ -20,14 +18,12 @@ fn main() {
         &["α", "recall", "false pos", "‖f‖₂ rel.err", "space"],
     );
     for alpha in [2.0f64, 4.0, 8.0] {
-        let mut rng = StdRng::seed_from_u64(alpha as u64 + 77);
-        let stream = BoundedDeletionGen::new(1 << 12, 200_000, alpha).generate(&mut rng);
+        let stream =
+            BoundedDeletionGen::new(1 << 12, 200_000, alpha).generate_seeded(alpha as u64 + 77);
         let truth = FrequencyVector::from_stream(&stream);
         let params = Params::practical(stream.n, eps, alpha);
-        let mut hh = AlphaL2HeavyHitters::new(&mut rng, &params);
-        for u in &stream {
-            hh.update(u.item, u.delta);
-        }
+        let mut hh = AlphaL2HeavyHitters::new(alpha as u64 + 78, &params);
+        StreamRunner::new().run(&mut hh, &stream);
         let got: Vec<u64> = hh.query().into_iter().map(|(i, _)| i).collect();
         let exact = truth.l2_heavy_hitters(eps);
         let recall = exact.iter().filter(|i| got.contains(i)).count();

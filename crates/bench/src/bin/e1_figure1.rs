@@ -20,9 +20,7 @@ use bd_sketch::{
     SupportSamplerTurnstile,
 };
 use bd_stream::gen::{BoundedDeletionGen, L0AlphaGen, StrongAlphaGen};
-use bd_stream::{FrequencyVector, SpaceUsage};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use bd_stream::{FrequencyVector, Sketch, SpaceUsage, StreamRunner};
 
 const N: u64 = 1 << 20;
 const EPS: f64 = 0.25;
@@ -37,23 +35,20 @@ fn params_for(alpha: f64) -> Params {
 }
 
 fn heavy_hitters(table: &mut Table) {
-    let mut rng = StdRng::seed_from_u64(1);
     let eps = 0.1;
     for alpha in ALPHAS {
         let mut gen = BoundedDeletionGen::new(N, 2_000_000, alpha);
         gen.distinct = 128; // skewed support so ε-heavy hitters exist
         gen.zipf_s = 1.3;
-        let stream = gen.generate(&mut rng);
+        let stream = gen.generate_seeded(1 + alpha as u64);
         let truth = FrequencyVector::from_stream(&stream);
         let mut params = params_for(alpha);
         params.epsilon = eps;
 
-        let mut ours = AlphaHeavyHitters::new_strict(&mut rng, &params);
-        let mut base = CountSketch::<i64>::new(&mut rng, params.depth, 6 * (8.0 / eps) as usize);
-        for u in &stream {
-            ours.update(&mut rng, u.item, u.delta);
-            base.update(u.item, u.delta);
-        }
+        let mut ours = AlphaHeavyHitters::new_strict(11 + alpha as u64, &params);
+        let mut base =
+            CountSketch::<i64>::new(12 + alpha as u64, params.depth, 6 * (8.0 / eps) as usize);
+        StreamRunner::new().run_each(&mut [&mut ours as &mut dyn Sketch, &mut base], &stream);
         let got: Vec<u64> = ours.query().into_iter().map(|(i, _)| i).collect();
         let exact = truth.l1_heavy_hitters(eps);
         let recall = exact.iter().filter(|i| got.contains(i)).count();
@@ -68,10 +63,9 @@ fn heavy_hitters(table: &mut Table) {
 }
 
 fn inner_product(table: &mut Table) {
-    let mut rng = StdRng::seed_from_u64(2);
     for alpha in ALPHAS {
-        let f = BoundedDeletionGen::new(N, 400_000, alpha).generate(&mut rng);
-        let g = BoundedDeletionGen::new(N, 400_000, alpha).generate(&mut rng);
+        let f = BoundedDeletionGen::new(N, 400_000, alpha).generate_seeded(2 + alpha as u64);
+        let g = BoundedDeletionGen::new(N, 400_000, alpha).generate_seeded(3 + alpha as u64);
         let (vf, vg) = (
             FrequencyVector::from_stream(&f),
             FrequencyVector::from_stream(&g),
@@ -80,17 +74,12 @@ fn inner_product(table: &mut Table) {
         let budget = EPS * vf.l1() as f64 * vg.l1() as f64;
         let params = params_for(alpha);
 
-        let mut ours = AlphaInnerProduct::new(&mut rng, &params);
-        let fam = IpFamily::new(&mut rng, 5, (2.0 / EPS) as usize);
+        let mut ours = AlphaInnerProduct::new(21 + alpha as u64, &params);
+        let fam = IpFamily::new(22 + alpha as u64, 5, (2.0 / EPS) as usize);
         let (mut bf, mut bg) = (fam.sketch(), fam.sketch());
-        for u in &f {
-            ours.update_f(&mut rng, u.item, u.delta);
-            bf.update(u.item, u.delta);
-        }
-        for u in &g {
-            ours.update_g(&mut rng, u.item, u.delta);
-            bg.update(u.item, u.delta);
-        }
+        let runner = StreamRunner::new();
+        runner.run_each(&mut [&mut ours.f as &mut dyn Sketch, &mut bf], &f);
+        runner.run_each(&mut [&mut ours.g as &mut dyn Sketch, &mut bg], &g);
         let base_err = (bf.inner_product(&bg) - truth).abs() / budget;
         let ours_err = (ours.estimate() - truth).abs() / budget;
         table.row(vec![
@@ -104,14 +93,11 @@ fn inner_product(table: &mut Table) {
 }
 
 fn l1_strict(table: &mut Table) {
-    let mut rng = StdRng::seed_from_u64(3);
     for alpha in ALPHAS {
-        let stream = BoundedDeletionGen::new(N, 2_000_000, alpha).generate(&mut rng);
+        let stream = BoundedDeletionGen::new(N, 2_000_000, alpha).generate_seeded(4 + alpha as u64);
         let truth = FrequencyVector::from_stream(&stream).l1() as f64;
-        let mut ours = AlphaL1Estimator::new(&params_for(alpha));
-        for u in &stream {
-            ours.update(&mut rng, u.item, u.delta);
-        }
+        let mut ours = AlphaL1Estimator::new(31 + alpha as u64, &params_for(alpha));
+        StreamRunner::new().run(&mut ours, &stream);
         // Strict-turnstile baseline: one exact log(mM)-bit net counter.
         let base_bits = bd_hash::width_unsigned(stream.total_mass()) as u64;
         table.row(vec![
@@ -125,17 +111,13 @@ fn l1_strict(table: &mut Table) {
 }
 
 fn l1_general(table: &mut Table) {
-    let mut rng = StdRng::seed_from_u64(4);
     for alpha in ALPHAS {
-        let stream = BoundedDeletionGen::new(N, 300_000, alpha).generate(&mut rng);
+        let stream = BoundedDeletionGen::new(N, 300_000, alpha).generate_seeded(5 + alpha as u64);
         let truth = FrequencyVector::from_stream(&stream).l1() as f64;
         let params = params_for(alpha);
-        let mut ours = AlphaL1General::new(&mut rng, &params);
-        let mut base = LogCosL1::new(&mut rng, EPS);
-        for u in &stream {
-            ours.update(&mut rng, u.item, u.delta);
-            base.update(u.item, u.delta);
-        }
+        let mut ours = AlphaL1General::new(41 + alpha as u64, &params);
+        let mut base = LogCosL1::new(42 + alpha as u64, EPS);
+        StreamRunner::new().run_each(&mut [&mut ours as &mut dyn Sketch, &mut base], &stream);
         table.row(vec![
             "L1 Estimation (general)".into(),
             format!("{alpha:.0}"),
@@ -151,19 +133,15 @@ fn l1_general(table: &mut Table) {
 }
 
 fn l0_estimation(table: &mut Table) {
-    let mut rng = StdRng::seed_from_u64(5);
     let n = 1u64 << 30; // deep level hierarchy: the windowing win needs log n >> log α
     for alpha in ALPHAS {
-        let stream = L0AlphaGen::new(n, 4_000, alpha).generate(&mut rng);
+        let stream = L0AlphaGen::new(n, 4_000, alpha).generate_seeded(6 + alpha as u64);
         let truth = FrequencyVector::from_stream(&stream).l0() as f64;
         let mut params = params_for(alpha);
         params.n = n;
-        let mut ours = AlphaL0Estimator::new(&mut rng, &params);
-        let mut base = L0Estimator::new(&mut rng, n, EPS);
-        for u in &stream {
-            ours.update(&mut rng, u.item, u.delta);
-            base.update(u.item, u.delta);
-        }
+        let mut ours = AlphaL0Estimator::new(51 + alpha as u64, &params);
+        let mut base = L0Estimator::new(52 + alpha as u64, n, EPS);
+        StreamRunner::new().run_each(&mut [&mut ours as &mut dyn Sketch, &mut base], &stream);
         table.row(vec![
             "L0 Estimation".into(),
             format!("{alpha:.0}"),
@@ -182,8 +160,7 @@ fn l0_estimation(table: &mut Table) {
 
 fn l1_sampling(table: &mut Table) {
     for alpha in [2.0, 8.0] {
-        let mut gen_rng = StdRng::seed_from_u64(6);
-        let stream = StrongAlphaGen::new(1 << 10, 300, alpha).generate(&mut gen_rng);
+        let stream = StrongAlphaGen::new(1 << 10, 300, alpha).generate_seeded(6);
         // Figure 3 sizes CSSS with sensitivity ε' = ε³/log²n; keep a larger
         // leading constant here than the other rows so thinning noise stays
         // below the recovery thresholds.
@@ -194,13 +171,9 @@ fn l1_sampling(table: &mut Table) {
         let mut ours_bits = 0;
         let mut base_bits = 0;
         for seed in 0..15u64 {
-            let mut rng = StdRng::seed_from_u64(600 + seed);
-            let mut ours = AlphaL1Sampler::new(&mut rng, &params);
-            let mut base = L1SamplerTurnstile::new(&mut rng, 1 << 10, EPS, 0.3);
-            for u in &stream {
-                ours.update(&mut rng, u.item, u.delta);
-                base.update(u.item, u.delta);
-            }
+            let mut ours = AlphaL1Sampler::new(600 + seed, &params);
+            let mut base = L1SamplerTurnstile::new(700 + seed, 1 << 10, EPS, 0.3);
+            StreamRunner::new().run_each(&mut [&mut ours as &mut dyn Sketch, &mut base], &stream);
             ours_ok += i32::from(matches!(ours.query(), SampleOutcome::Sample { .. }));
             base_ok += i32::from(matches!(base.query(), SampleOutcome::Sample { .. }));
             ours_bits = ours.space_bits();
@@ -217,18 +190,14 @@ fn l1_sampling(table: &mut Table) {
 }
 
 fn support_sampling(table: &mut Table) {
-    let mut rng = StdRng::seed_from_u64(7);
     for alpha in [2.0, 8.0] {
-        let stream = L0AlphaGen::new(1 << 30, 1_000, alpha).generate(&mut rng);
+        let stream = L0AlphaGen::new(1 << 30, 1_000, alpha).generate_seeded(7 + alpha as u64);
         let truth = FrequencyVector::from_stream(&stream);
         let params = Params::practical(1 << 30, EPS, alpha);
         let k = 8;
-        let mut ours = AlphaSupportSampler::new(&mut rng, &params, k);
-        let mut base = SupportSamplerTurnstile::new(&mut rng, 1 << 30, k);
-        for u in &stream {
-            ours.update(&mut rng, u.item, u.delta);
-            base.update(u.item, u.delta);
-        }
+        let mut ours = AlphaSupportSampler::new(71 + alpha as u64, &params, k);
+        let mut base = SupportSamplerTurnstile::new(72 + alpha as u64, 1 << 30, k);
+        StreamRunner::new().run_each(&mut [&mut ours as &mut dyn Sketch, &mut base], &stream);
         let got = ours.query();
         let valid = got.iter().filter(|&&i| truth.get(i) != 0).count();
         table.row(vec![
@@ -246,7 +215,13 @@ fn main() {
     println!("n = 2^20, ε = {EPS}; space measured in bits via SpaceUsage\n");
     let mut table = Table::new(
         "Figure 1 (measured)",
-        &["Problem", "α", "Turnstile baseline", "α-property", "Quality"],
+        &[
+            "Problem",
+            "α",
+            "Turnstile baseline",
+            "α-property",
+            "Quality",
+        ],
     );
     heavy_hitters(&mut table);
     inner_product(&mut table);

@@ -10,9 +10,7 @@
 use bd_bench::{run_trials, Table};
 use bd_core::SampledVector;
 use bd_stream::gen::BoundedDeletionGen;
-use bd_stream::FrequencyVector;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use bd_stream::{FrequencyVector, StreamRunner};
 
 fn main() {
     let alpha = 4.0f64;
@@ -21,24 +19,26 @@ fn main() {
     println!("E2 — Sampling Lemma (Lemma 1): α = {alpha}, ε = {eps}");
     println!("Lemma budget S* = α²ε⁻³·log(1/δ) ≈ {lemma_budget:.0}\n");
 
-    let mut gen_rng = StdRng::seed_from_u64(1);
-    let stream = BoundedDeletionGen::new(1 << 12, 400_000, alpha).generate(&mut gen_rng);
+    let stream = BoundedDeletionGen::new(1 << 12, 400_000, alpha).generate_seeded(1);
     let truth = FrequencyVector::from_stream(&stream);
     let bound = eps * truth.l1() as f64;
 
     let mut table = Table::new(
         "point error vs sample budget (10 trials each)",
-        &["S (budget)", "S/S*", "max |f*_i − f_i| / ε‖f‖₁", "sum err / ε‖f‖₁", "within bound"],
+        &[
+            "S (budget)",
+            "S/S*",
+            "max |f*_i − f_i| / ε‖f‖₁",
+            "sum err / ε‖f‖₁",
+            "within bound",
+        ],
     );
     for budget_pow in [8u32, 10, 12, 14, 16] {
         let budget = 1u64 << budget_pow;
         let mut max_sum_err = 0.0f64;
         let stats = run_trials(10, |seed| {
-            let mut rng = StdRng::seed_from_u64(100 + seed);
-            let mut s = SampledVector::new(budget);
-            for u in &stream {
-                s.update(&mut rng, u.item, u.delta);
-            }
+            let mut s = SampledVector::new(100 + seed, budget);
+            StreamRunner::new().run(&mut s, &stream);
             let worst = truth
                 .support()
                 .iter()

@@ -7,9 +7,7 @@
 use bd_bench::Table;
 use bd_core::{Csss, Params};
 use bd_stream::gen::BoundedDeletionGen;
-use bd_stream::{FrequencyVector, SpaceUsage};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use bd_stream::{FrequencyVector, SpaceUsage, StreamRunner};
 
 fn main() {
     let eps = 0.1f64;
@@ -17,20 +15,24 @@ fn main() {
     println!("E3 — CSSS (Figure 2 / Theorem 1): k = {k}, ε = {eps}, m = 600k\n");
     let mut table = Table::new(
         "CSSS error and counter width vs α",
-        &["α", "bound", "p99 err", "max err", "violations", "max counter", "bits/ctr"],
+        &[
+            "α",
+            "bound",
+            "p99 err",
+            "max err",
+            "violations",
+            "max counter",
+            "bits/ctr",
+        ],
     );
     for alpha in [2.0f64, 4.0, 16.0] {
-        let mut gen_rng = StdRng::seed_from_u64(7);
-        let stream = BoundedDeletionGen::new(1 << 12, 600_000, alpha).generate(&mut gen_rng);
+        let stream = BoundedDeletionGen::new(1 << 12, 600_000, alpha).generate_seeded(7);
         let truth = FrequencyVector::from_stream(&stream);
         let bound = 2.0 * (truth.err_k(k, 2) / (k as f64).sqrt() + eps * truth.l1() as f64);
 
         let params = Params::practical(stream.n, eps, alpha);
-        let mut rng = StdRng::seed_from_u64(17);
-        let mut csss = Csss::new(&mut rng, k, params.depth, params.csss_sample_budget());
-        for u in &stream {
-            csss.update(&mut rng, u.item, u.delta);
-        }
+        let mut csss = Csss::new(17, k, params.depth, params.csss_sample_budget());
+        StreamRunner::new().run(&mut csss, &stream);
         let mut errs: Vec<f64> = truth
             .support()
             .iter()

@@ -7,9 +7,7 @@ use bd_bench::{fmt_bits, Table};
 use bd_core::{AlphaHeavyHitters, Params};
 use bd_sketch::CountSketch;
 use bd_stream::gen::BoundedDeletionGen;
-use bd_stream::{FrequencyVector, SpaceUsage};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use bd_stream::{FrequencyVector, Sketch, SpaceUsage, StreamRunner};
 
 fn main() {
     println!("E4 — L1 ε-heavy hitters (Theorems 3–4), strict turnstile, m = 1M\n");
@@ -28,18 +26,15 @@ fn main() {
     );
     for alpha in [2.0f64, 8.0, 32.0] {
         for eps in [0.1f64, 0.05] {
-            let mut rng = StdRng::seed_from_u64((alpha as u64) << 8 | (100.0 * eps) as u64);
-            let stream = BoundedDeletionGen::new(1 << 18, 1_000_000, alpha).generate(&mut rng);
+            let seed = (alpha as u64) << 8 | (100.0 * eps) as u64;
+            let stream = BoundedDeletionGen::new(1 << 18, 1_000_000, alpha).generate_seeded(seed);
             let truth = FrequencyVector::from_stream(&stream);
             let mut params = Params::practical(stream.n, eps, alpha);
             params.sample_const = 4.0;
-            let mut hh = AlphaHeavyHitters::new_strict(&mut rng, &params);
+            let mut hh = AlphaHeavyHitters::new_strict(seed + 1, &params);
             let mut base =
-                CountSketch::<i64>::new(&mut rng, params.depth, 6 * (8.0 / eps) as usize);
-            for u in &stream {
-                hh.update(&mut rng, u.item, u.delta);
-                base.update(u.item, u.delta);
-            }
+                CountSketch::<i64>::new(seed + 2, params.depth, 6 * (8.0 / eps) as usize);
+            StreamRunner::new().run_each(&mut [&mut hh as &mut dyn Sketch, &mut base], &stream);
             let got: Vec<u64> = hh.query().into_iter().map(|(i, _)| i).collect();
             let exact = truth.l1_heavy_hitters(eps);
             let recall = exact.iter().filter(|i| got.contains(i)).count();

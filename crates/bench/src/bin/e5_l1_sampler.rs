@@ -7,9 +7,7 @@
 use bd_bench::Table;
 use bd_core::{AlphaL1Sampler, Params, SampleOutcome};
 use bd_stream::gen::StrongAlphaGen;
-use bd_stream::FrequencyVector;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use bd_stream::{FrequencyVector, StreamRunner};
 use std::collections::HashMap;
 
 fn main() {
@@ -19,8 +17,7 @@ fn main() {
         &["α", "TV distance", "max est rel.err", "FAIL rate"],
     );
     for alpha in [2.0f64, 4.0, 8.0] {
-        let mut gen_rng = StdRng::seed_from_u64(alpha as u64);
-        let stream = StrongAlphaGen::new(64, 40, alpha).generate(&mut gen_rng);
+        let stream = StrongAlphaGen::new(64, 40, alpha).generate_seeded(alpha as u64);
         let truth = FrequencyVector::from_stream(&stream);
         let l1 = truth.l1() as f64;
         let params = Params::practical(64, 0.25, alpha).with_delta(0.5);
@@ -30,11 +27,8 @@ fn main() {
         let mut fails = 0usize;
         let mut worst_est = 0.0f64;
         for seed in 0..250u64 {
-            let mut rng = StdRng::seed_from_u64(1000 + seed);
-            let mut s = AlphaL1Sampler::new(&mut rng, &params);
-            for u in &stream {
-                s.update(&mut rng, u.item, u.delta);
-            }
+            let mut s = AlphaL1Sampler::new(1000 + seed, &params);
+            StreamRunner::new().run(&mut s, &stream);
             match s.query() {
                 SampleOutcome::Sample { item, estimate } => {
                     *counts.entry(item).or_insert(0) += 1;

@@ -6,28 +6,29 @@
 use bd_bench::{rel_err, run_trials, Table};
 use bd_core::{AlphaL1Estimator, Params};
 use bd_stream::gen::BoundedDeletionGen;
-use bd_stream::{FrequencyVector, SpaceUsage};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use bd_stream::{FrequencyVector, SpaceUsage, StreamRunner};
 
 fn main() {
     println!("E6 — strict-turnstile L1 (Figure 4 / Theorem 6), m = 1M\n");
     let mut table = Table::new(
         "relative error and state size (10 trials each)",
-        &["α", "s (budget)", "mean rel.err", "max rel.err", "sketch bits"],
+        &[
+            "α",
+            "s (budget)",
+            "mean rel.err",
+            "max rel.err",
+            "sketch bits",
+        ],
     );
     for alpha in [2.0f64, 8.0, 32.0] {
-        let mut gen_rng = StdRng::seed_from_u64(alpha as u64 + 5);
-        let stream = BoundedDeletionGen::new(1 << 14, 1_000_000, alpha).generate(&mut gen_rng);
+        let stream =
+            BoundedDeletionGen::new(1 << 14, 1_000_000, alpha).generate_seeded(alpha as u64 + 5);
         let truth = FrequencyVector::from_stream(&stream).l1() as f64;
         let params = Params::practical(stream.n, 0.2, alpha);
         let mut bits = 0u64;
         let stats = run_trials(10, |seed| {
-            let mut rng = StdRng::seed_from_u64(50 + seed);
-            let mut e = AlphaL1Estimator::new(&params);
-            for u in &stream {
-                e.update(&mut rng, u.item, u.delta);
-            }
+            let mut e = AlphaL1Estimator::new(50 + seed, &params);
+            StreamRunner::new().run(&mut e, &stream);
             bits = bits.max(e.space_bits());
             let err = rel_err(e.estimate(), truth);
             (err, err < 0.25)
@@ -48,16 +49,12 @@ fn main() {
         "ablation: thinning-active budgets (α = 4, m = 1M, 10 trials)",
         &["s (budget)", "mean rel.err", "max rel.err"],
     );
-    let mut gen_rng = StdRng::seed_from_u64(99);
-    let stream = BoundedDeletionGen::new(1 << 14, 1_000_000, 4.0).generate(&mut gen_rng);
+    let stream = BoundedDeletionGen::new(1 << 14, 1_000_000, 4.0).generate_seeded(99);
     let truth = FrequencyVector::from_stream(&stream).l1() as f64;
     for budget_pow in [6u32, 8, 10] {
         let stats = run_trials(10, |seed| {
-            let mut rng = StdRng::seed_from_u64(200 + seed);
-            let mut e = AlphaL1Estimator::with_budget(1 << budget_pow);
-            for u in &stream {
-                e.update(&mut rng, u.item, u.delta);
-            }
+            let mut e = AlphaL1Estimator::with_budget(200 + seed, 1 << budget_pow);
+            StreamRunner::new().run(&mut e, &stream);
             let err = rel_err(e.estimate(), truth);
             (err, err < 0.5)
         });

@@ -8,29 +8,31 @@ use bd_bench::{fmt_bits, rel_err, Table};
 use bd_core::{AlphaL1General, Params};
 use bd_sketch::LogCosL1;
 use bd_stream::gen::NetworkDiffGen;
-use bd_stream::{FrequencyVector, SpaceUsage};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use bd_stream::{FrequencyVector, Sketch, SpaceUsage, StreamRunner};
 
 fn main() {
     let eps = 0.2;
     println!("E7 — general-turnstile L1 (Theorem 8 vs Figure 5 baseline), ε = {eps}\n");
     let mut table = Table::new(
         "relative error and space (network-difference streams)",
-        &["churn", "realized α", "α rel.err", "base rel.err", "α-space", "baseline space"],
+        &[
+            "churn",
+            "realized α",
+            "α rel.err",
+            "base rel.err",
+            "α-space",
+            "baseline space",
+        ],
     );
     for churn in [0.5f64, 0.2, 0.05] {
-        let mut rng = StdRng::seed_from_u64((churn * 100.0) as u64);
-        let stream = NetworkDiffGen::new(1 << 20, 150_000, churn).generate(&mut rng);
+        let seed = (churn * 100.0) as u64;
+        let stream = NetworkDiffGen::new(1 << 20, 150_000, churn).generate_seeded(seed);
         let truth = FrequencyVector::from_stream(&stream);
         let alpha = truth.alpha_l1().max(1.0);
         let params = Params::practical(stream.n, eps, alpha);
-        let mut ours = AlphaL1General::new(&mut rng, &params);
-        let mut base = LogCosL1::new(&mut rng, eps);
-        for u in &stream {
-            ours.update(&mut rng, u.item, u.delta);
-            base.update(u.item, u.delta);
-        }
+        let mut ours = AlphaL1General::new(seed + 1, &params);
+        let mut base = LogCosL1::new(seed + 2, eps);
+        StreamRunner::new().run_each(&mut [&mut ours as &mut dyn Sketch, &mut base], &stream);
         let t = truth.l1() as f64;
         table.row(vec![
             format!("{churn}"),

@@ -7,9 +7,7 @@ use bd_bench::{fmt_bits, rel_err, run_trials, Table};
 use bd_core::{AlphaL0Estimator, Params};
 use bd_sketch::L0Estimator;
 use bd_stream::gen::L0AlphaGen;
-use bd_stream::{FrequencyVector, SpaceUsage};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use bd_stream::{FrequencyVector, Sketch, SpaceUsage, StreamRunner};
 
 fn main() {
     let eps = 0.15;
@@ -18,11 +16,17 @@ fn main() {
     println!("n = 2^30, ε = {eps}, L0 = 3000, 8 trials per row\n");
     let mut table = Table::new(
         "relative error / live rows / space",
-        &["α", "α rel.err (mean)", "base rel.err (mean)", "rows α/base", "α-space", "base space"],
+        &[
+            "α",
+            "α rel.err (mean)",
+            "base rel.err (mean)",
+            "rows α/base",
+            "α-space",
+            "base space",
+        ],
     );
     for alpha in [1.5f64, 4.0, 16.0] {
-        let mut gen_rng = StdRng::seed_from_u64(alpha as u64);
-        let stream = L0AlphaGen::new(n, 3_000, alpha).generate(&mut gen_rng);
+        let stream = L0AlphaGen::new(n, 3_000, alpha).generate_seeded(alpha as u64);
         let truth = FrequencyVector::from_stream(&stream).l0() as f64;
         let params = Params::practical(n, eps, alpha);
         let mut rows = 0usize;
@@ -30,13 +34,9 @@ fn main() {
         let mut base_bits = 0u64;
         let mut base_errs = 0.0f64;
         let stats = run_trials(8, |seed| {
-            let mut rng = StdRng::seed_from_u64(700 + seed);
-            let mut ours = AlphaL0Estimator::new(&mut rng, &params);
-            let mut base = L0Estimator::new(&mut rng, n, eps);
-            for u in &stream {
-                ours.update(&mut rng, u.item, u.delta);
-                base.update(u.item, u.delta);
-            }
+            let mut ours = AlphaL0Estimator::new(700 + seed, &params);
+            let mut base = L0Estimator::new(800 + seed, n, eps);
+            StreamRunner::new().run_each(&mut [&mut ours as &mut dyn Sketch, &mut base], &stream);
             rows = rows.max(ours.peak_live_rows());
             our_bits = our_bits.max(ours.space_bits());
             base_bits = base_bits.max(base.space_bits());

@@ -8,9 +8,7 @@ use bd_bench::{fmt_bits, run_trials, Table};
 use bd_core::{AlphaSupportSampler, Params};
 use bd_sketch::SupportSamplerTurnstile;
 use bd_stream::gen::L0AlphaGen;
-use bd_stream::{FrequencyVector, SpaceUsage};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use bd_stream::{FrequencyVector, Sketch, SpaceUsage, StreamRunner};
 
 fn main() {
     let n = 1u64 << 28;
@@ -18,24 +16,26 @@ fn main() {
     println!("E9 — support sampling (Figure 8 / Theorem 11), n = 2^28, k = {k}\n");
     let mut table = Table::new(
         "recovery success and space (8 trials per row)",
-        &["α", "L0", "success (≥k valid)", "invalid items", "α-space", "baseline space"],
+        &[
+            "α",
+            "L0",
+            "success (≥k valid)",
+            "invalid items",
+            "α-space",
+            "baseline space",
+        ],
     );
     for (alpha, l0) in [(2.0f64, 500u64), (8.0, 500), (2.0, 5_000)] {
-        let mut gen_rng = StdRng::seed_from_u64(l0 ^ alpha as u64);
-        let stream = L0AlphaGen::new(n, l0, alpha).generate(&mut gen_rng);
+        let stream = L0AlphaGen::new(n, l0, alpha).generate_seeded(l0 ^ alpha as u64);
         let truth = FrequencyVector::from_stream(&stream);
         let params = Params::practical(n, 0.25, alpha);
         let mut invalid = 0usize;
         let mut our_bits = 0u64;
         let mut base_bits = 0u64;
         let stats = run_trials(8, |seed| {
-            let mut rng = StdRng::seed_from_u64(3000 + seed);
-            let mut ours = AlphaSupportSampler::new(&mut rng, &params, k);
-            let mut base = SupportSamplerTurnstile::new(&mut rng, n, k);
-            for u in &stream {
-                ours.update(&mut rng, u.item, u.delta);
-                base.update(u.item, u.delta);
-            }
+            let mut ours = AlphaSupportSampler::new(3000 + seed, &params, k);
+            let mut base = SupportSamplerTurnstile::new(4000 + seed, n, k);
+            StreamRunner::new().run_each(&mut [&mut ours as &mut dyn Sketch, &mut base], &stream);
             let got = ours.query();
             invalid += got.iter().filter(|&&i| truth.get(i) == 0).count();
             our_bits = our_bits.max(ours.space_bits());

@@ -6,7 +6,12 @@
 //! the index); Criterion throughput benches live in `benches/`.
 //!
 //! This library holds the shared plumbing: aligned table printing, seeded
-//! trial runners, and error/space summaries.
+//! trial runners, error/space summaries, and [`micro`] — a small
+//! criterion-style timing harness (the build environment has no crates.io
+//! access, so criterion itself is unavailable; `benches/` are
+//! `harness = false` binaries built on `micro`).
+
+pub mod micro;
 
 use std::fmt::Display;
 

@@ -114,8 +114,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let (n, q) = (1 << 14, 4u32); // expect n/16 = 1024
         let trials = 5_000;
-        let mean = (0..trials).map(|_| bin_pow2(&mut rng, n, q)).sum::<u64>() as f64
-            / trials as f64;
+        let mean =
+            (0..trials).map(|_| bin_pow2(&mut rng, n, q)).sum::<u64>() as f64 / trials as f64;
         assert!((mean - 1024.0).abs() < 15.0, "mean {mean}");
     }
 

@@ -17,8 +17,11 @@
 //! uses; the figure's `t = 2^r log S + 1` appears to be a typo).
 
 use crate::binomial::{bin_half, bin_pow2};
-use bd_stream::{SpaceReport, SpaceUsage};
-use rand::Rng;
+use bd_stream::{
+    aggregate_signed_mass, Mergeable, PointQuery, Sketch, SpaceReport, SpaceUsage, Update,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
 /// One row: an independent Countsketch row over an independent sample.
 #[derive(Clone, Debug)]
@@ -39,9 +42,12 @@ impl CsssRow {
     }
 }
 
-/// The CSSS sketch.
+/// The CSSS sketch. Owns its sampling RNG: two sketches built from the same
+/// seed share hash functions (the [`Mergeable`] contract) and replay
+/// identically on identical streams.
 #[derive(Clone, Debug)]
 pub struct Csss {
+    seed: u64,
     k: usize,
     columns: usize,
     budget: u64,
@@ -49,15 +55,19 @@ pub struct Csss {
     position: u64,
     rows: Vec<CsssRow>,
     max_counter: u64,
+    rng: SmallRng,
 }
 
 impl Csss {
     /// Create with sensitivity parameter `k` (→ `6k` columns), `depth` rows,
-    /// and sample budget `S` (`Params::csss_sample_budget`).
-    pub fn new<R: Rng + ?Sized>(rng: &mut R, k: usize, depth: usize, budget: u64) -> Self {
+    /// and sample budget `S` (`Params::csss_sample_budget`), seeded by
+    /// `seed`.
+    pub fn new(seed: u64, k: usize, depth: usize, budget: u64) -> Self {
         assert!(k >= 1 && depth >= 1);
+        let mut rng = SmallRng::seed_from_u64(seed);
         let columns = 6 * k;
         Csss {
+            seed,
             k,
             columns,
             budget: budget.max(16),
@@ -65,14 +75,20 @@ impl Csss {
             position: 0,
             rows: (0..depth)
                 .map(|_| CsssRow {
-                    h: bd_hash::KWiseHash::fourwise(rng, columns as u64),
-                    g: bd_hash::SignHash::new(rng),
+                    h: bd_hash::KWiseHash::fourwise(&mut rng, columns as u64),
+                    g: bd_hash::SignHash::new(&mut rng),
                     pos: vec![0; columns],
                     neg: vec![0; columns],
                 })
                 .collect(),
             max_counter: 0,
+            rng,
         }
+    }
+
+    /// The construction seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
     /// The sensitivity parameter `k`.
@@ -101,35 +117,32 @@ impl Csss {
     }
 
     /// Apply a signed integer update `(item, delta)`.
-    pub fn update<R: Rng + ?Sized>(&mut self, rng: &mut R, item: u64, delta: i64) {
+    pub fn update(&mut self, item: u64, delta: i64) {
         if delta == 0 {
             return;
         }
-        self.update_weighted(rng, item, delta.unsigned_abs(), delta > 0);
+        self.update_weighted(item, delta.unsigned_abs(), delta > 0);
     }
 
     /// Apply an update of magnitude `weight` with an explicit sign (the L1
     /// sampler feeds pre-scaled magnitudes through this entry point).
-    pub fn update_weighted<R: Rng + ?Sized>(
-        &mut self,
-        rng: &mut R,
-        item: u64,
-        weight: u64,
-        positive: bool,
-    ) {
+    pub fn update_weighted(&mut self, item: u64, weight: u64, positive: bool) {
         if weight == 0 {
             return;
         }
         self.position += weight;
         while self.position > self.budget << self.level {
             self.level += 1;
+            let rng = &mut self.rng;
             for row in &mut self.rows {
                 row.thin(rng);
             }
         }
+        let level = self.level;
+        let rng = &mut self.rng;
         for row in &mut self.rows {
             // Per-row independent sample of Bin(weight, 2^-p) units.
-            let kept = bin_pow2(rng, weight, self.level);
+            let kept = bin_pow2(rng, weight, level);
             if kept == 0 {
                 continue;
             }
@@ -193,6 +206,102 @@ impl Csss {
     pub fn max_counter(&self) -> u64 {
         self.max_counter
     }
+
+    /// Thin every row until the sketch's sampling level reaches `target`.
+    fn thin_to_level(&mut self, target: u32) {
+        while self.level < target {
+            self.level += 1;
+            let rng = &mut self.rng;
+            for row in &mut self.rows {
+                row.thin(rng);
+            }
+        }
+    }
+}
+
+impl Sketch for Csss {
+    fn update(&mut self, item: u64, delta: i64) {
+        Csss::update(self, item, delta);
+    }
+
+    /// Batched ingestion: aggregate the chunk into per-item
+    /// `(inserted, deleted)` mass first, then apply one weighted update per
+    /// item and sign. Duplicate items pay the per-row hash and sign
+    /// evaluations once, and each `Bin(w, 2^-p)` draw covers a whole item's
+    /// chunk mass instead of one update. Total update mass (and therefore
+    /// the sampling-rate schedule) is preserved, so the output distribution
+    /// is the one the §1.3 weighted-update semantics already define.
+    fn update_batch(&mut self, batch: &[Update]) {
+        for (item, pos, neg) in aggregate_signed_mass(batch) {
+            if pos > 0 {
+                self.update_weighted(item, pos, true);
+            }
+            if neg > 0 {
+                self.update_weighted(item, neg, false);
+            }
+        }
+    }
+}
+
+impl PointQuery for Csss {
+    fn point(&self, item: u64) -> f64 {
+        self.estimate(item)
+    }
+}
+
+impl Mergeable for Csss {
+    /// Merge by aligning both sketches to the deeper sampling level (thinning
+    /// the shallower one down) and adding counters; positions add, and the
+    /// rate invariant `position ≤ budget·2^level` is restored by further
+    /// halving if needed. Each retained unit keeps its `Bin(·, 2^-level)`
+    /// marginal, so the merged sketch is distributed as a single-pass sketch
+    /// of the concatenated streams.
+    fn merge_from(&mut self, other: &Self) {
+        assert!(
+            self.seed == other.seed
+                && self.k == other.k
+                && self.budget == other.budget
+                && self.rows.len() == other.rows.len(),
+            "Csss merge requires identically seeded sketches"
+        );
+        // Align levels: thin self up, and thin a copy of other's counters up.
+        let target = self.level.max(other.level);
+        self.thin_to_level(target);
+        let mut theirs: Vec<(Vec<u64>, Vec<u64>)> = other
+            .rows
+            .iter()
+            .map(|r| (r.pos.clone(), r.neg.clone()))
+            .collect();
+        for lvl in other.level..target {
+            let _ = lvl;
+            for (pos, neg) in &mut theirs {
+                for c in pos.iter_mut().chain(neg.iter_mut()) {
+                    if *c > 0 {
+                        *c = bin_half(&mut self.rng, *c);
+                    }
+                }
+            }
+        }
+        for (row, (pos, neg)) in self.rows.iter_mut().zip(&theirs) {
+            for (a, b) in row.pos.iter_mut().zip(pos) {
+                *a += b;
+                self.max_counter = self.max_counter.max(*a);
+            }
+            for (a, b) in row.neg.iter_mut().zip(neg) {
+                *a += b;
+                self.max_counter = self.max_counter.max(*a);
+            }
+        }
+        self.position += other.position;
+        // Restore the rate invariant for the combined position.
+        while self.position > self.budget << self.level {
+            self.level += 1;
+            let rng = &mut self.rng;
+            for row in &mut self.rows {
+                row.thin(rng);
+            }
+        }
+    }
 }
 
 impl SpaceUsage for Csss {
@@ -218,16 +327,13 @@ impl SpaceUsage for Csss {
 mod tests {
     use super::*;
     use bd_stream::gen::BoundedDeletionGen;
-    use bd_stream::FrequencyVector;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use bd_stream::{FrequencyVector, StreamRunner};
 
     #[test]
     fn exact_below_budget_on_sparse_input() {
-        let mut rng = StdRng::seed_from_u64(1);
-        let mut c = Csss::new(&mut rng, 16, 9, 1 << 16);
-        c.update(&mut rng, 3, 40);
-        c.update(&mut rng, 900, -17);
+        let mut c = Csss::new(1, 16, 9, 1 << 16);
+        c.update(3, 40);
+        c.update(900, -17);
         assert_eq!(c.level(), 0);
         assert_eq!(c.estimate(3), 40.0);
         assert_eq!(c.estimate(900), -17.0);
@@ -239,15 +345,13 @@ mod tests {
         let alpha = 4.0f64;
         let eps = 0.1f64;
         let k = 16usize;
-        let mut gen_rng = StdRng::seed_from_u64(2);
-        let stream = BoundedDeletionGen::new(1 << 12, 120_000, alpha).generate(&mut gen_rng);
+        let stream = BoundedDeletionGen::new(1 << 12, 120_000, alpha).generate_seeded(2);
         let truth = FrequencyVector::from_stream(&stream);
         let budget = (24.0 * alpha * alpha / eps.powi(3)) as u64;
 
-        let mut rng = StdRng::seed_from_u64(3);
-        let mut c = Csss::new(&mut rng, k, 9, budget);
+        let mut c = Csss::new(3, k, 9, budget);
         for u in &stream {
-            c.update(&mut rng, u.item, u.delta);
+            c.update(u.item, u.delta);
         }
         let bound = 2.0 * (truth.err_k(k, 2) / (k as f64).sqrt() + eps * truth.l1() as f64);
         let mut violations = 0usize;
@@ -267,11 +371,10 @@ mod tests {
     #[test]
     fn counters_stay_sample_bounded() {
         // The whole point: counter magnitude tracks S, not stream length.
-        let mut rng = StdRng::seed_from_u64(4);
         let budget = 1 << 10;
-        let mut c = Csss::new(&mut rng, 4, 5, budget);
+        let mut c = Csss::new(4, 4, 5, budget);
         for i in 0..2_000_000u64 {
-            c.update(&mut rng, i % 256, 1);
+            c.update(i % 256, 1);
         }
         assert!(
             c.max_counter() <= 8 * budget,
@@ -283,13 +386,12 @@ mod tests {
 
     #[test]
     fn estimates_unbiased_under_thinning() {
-        let mut rng = StdRng::seed_from_u64(5);
         let trials = 1500;
         let mut acc = 0.0;
-        for _ in 0..trials {
-            let mut c = Csss::new(&mut rng, 8, 1, 64);
+        for seed in 0..trials {
+            let mut c = Csss::new(seed, 8, 1, 64);
             for _ in 0..50 {
-                c.update(&mut rng, 9, 4); // f_9 = 200 >> budget
+                c.update(9, 4); // f_9 = 200 >> budget
             }
             acc += c.row_estimate(0, 9);
         }
@@ -299,10 +401,9 @@ mod tests {
 
     #[test]
     fn residual_subtracts_sparse_vector() {
-        let mut rng = StdRng::seed_from_u64(6);
-        let mut c = Csss::new(&mut rng, 8, 7, 1 << 20);
-        c.update(&mut rng, 1, 100);
-        c.update(&mut rng, 2, 50);
+        let mut c = Csss::new(6, 8, 7, 1 << 20);
+        c.update(1, 100);
+        c.update(2, 50);
         // Subtracting the exact content leaves ~nothing.
         let resid = c.residual_l2(&[(1, 100.0), (2, 50.0)]);
         assert!(resid < 1e-9, "residual {resid}");
@@ -314,22 +415,33 @@ mod tests {
 
     #[test]
     fn weighted_entry_point_matches_signed() {
-        let mut rng = StdRng::seed_from_u64(7);
-        let mut a = Csss::new(&mut rng, 4, 3, 1 << 20);
+        let mut a = Csss::new(7, 4, 3, 1 << 20);
         let mut b = a.clone();
-        let mut rng_a = StdRng::seed_from_u64(8);
-        let mut rng_b = StdRng::seed_from_u64(8);
-        a.update(&mut rng_a, 5, -31);
-        b.update_weighted(&mut rng_b, 5, 31, false);
+        a.update(5, -31);
+        b.update_weighted(5, 31, false);
         assert_eq!(a.estimate(5), b.estimate(5));
     }
 
     #[test]
+    fn seeded_replay_is_identical() {
+        let stream = BoundedDeletionGen::new(1 << 10, 50_000, 4.0).generate_seeded(11);
+        let run = || {
+            let mut c = Csss::new(42, 8, 5, 1 << 10);
+            for u in &stream {
+                c.update(u.item, u.delta);
+            }
+            (0..64u64)
+                .map(|i| c.estimate(i).to_bits())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
     fn space_width_is_logarithmic_in_budget() {
-        let mut rng = StdRng::seed_from_u64(9);
-        let mut c = Csss::new(&mut rng, 4, 3, 1 << 8);
+        let mut c = Csss::new(9, 4, 3, 1 << 8);
         for i in 0..500_000u64 {
-            c.update(&mut rng, i % 128, 1);
+            c.update(i % 128, 1);
         }
         let rep = c.space();
         let per_counter = rep.counter_bits / rep.counters;
@@ -337,5 +449,75 @@ mod tests {
             per_counter <= 12,
             "counter width {per_counter} bits should be ~log2(S)"
         );
+    }
+
+    #[test]
+    fn batched_ingestion_matches_per_update_statistically() {
+        // Batched CSSS is a different (equally valid) sampling realization;
+        // on a budget large enough to avoid thinning it is exactly equal,
+        // and on thinned runs the estimates must agree within Theorem-1 noise.
+        let stream = BoundedDeletionGen::new(1 << 10, 30_000, 3.0).generate_seeded(13);
+        let truth = FrequencyVector::from_stream(&stream);
+
+        // No-thinning regime: bit-identical results.
+        let mut exact_a = Csss::new(5, 8, 5, 1 << 20);
+        let mut exact_b = exact_a.clone();
+        StreamRunner::unbatched().run(&mut exact_a, &stream);
+        StreamRunner::new().run(&mut exact_b, &stream);
+        assert_eq!(exact_a.level(), 0);
+        for i in truth.support() {
+            assert_eq!(exact_a.estimate(i).to_bits(), exact_b.estimate(i).to_bits());
+        }
+
+        // Thinning regime: same error envelope.
+        let budget = 1 << 12;
+        let mut thin_a = Csss::new(6, 16, 9, budget);
+        let mut thin_b = thin_a.clone();
+        StreamRunner::unbatched().run(&mut thin_a, &stream);
+        StreamRunner::new().run(&mut thin_b, &stream);
+        let bound = 2.0 * (truth.err_k(16, 2) / 4.0 + 0.1 * truth.l1() as f64);
+        let mut bad = 0usize;
+        for i in truth.support() {
+            if (thin_b.estimate(i) - truth.get(i) as f64).abs() > bound {
+                bad += 1;
+            }
+        }
+        assert!(bad <= truth.l0() as usize / 25, "{bad} batched violations");
+    }
+
+    #[test]
+    fn merge_matches_single_pass_statistically() {
+        let stream = BoundedDeletionGen::new(1 << 10, 40_000, 3.0).generate_seeded(17);
+        let truth = FrequencyVector::from_stream(&stream);
+        let mid = stream.len() / 2;
+        let budget = 1 << 12;
+        let mut left = Csss::new(21, 16, 9, budget);
+        let mut right = left.clone();
+        for u in &stream.updates[..mid] {
+            left.update(u.item, u.delta);
+        }
+        for u in &stream.updates[mid..] {
+            right.update(u.item, u.delta);
+        }
+        left.merge_from(&right);
+        assert_eq!(left.position(), stream.total_mass());
+        // Rate invariant holds after the merge.
+        assert!(left.position() <= budget << left.level());
+        let bound = 2.0 * (truth.err_k(16, 2) / 4.0 + 0.1 * truth.l1() as f64);
+        let mut bad = 0usize;
+        for i in truth.support() {
+            if (left.estimate(i) - truth.get(i) as f64).abs() > bound {
+                bad += 1;
+            }
+        }
+        assert!(bad <= truth.l0() as usize / 25, "{bad} merged violations");
+    }
+
+    #[test]
+    #[should_panic(expected = "identically seeded")]
+    fn merge_rejects_mismatched_seeds() {
+        let mut a = Csss::new(1, 4, 3, 64);
+        let b = Csss::new(2, 4, 3, 64);
+        a.merge_from(&b);
     }
 }

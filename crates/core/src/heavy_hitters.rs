@@ -15,8 +15,11 @@
 use crate::csss::Csss;
 use crate::params::Params;
 use bd_sketch::{CandidateSet, MedianL1};
-use bd_stream::{SpaceReport, SpaceUsage};
-use rand::Rng;
+use bd_stream::{
+    aggregate_signed_mass, NormEstimate, PointQuery, Sketch, SpaceReport, SpaceUsage, Update,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
 /// How `‖f‖₁` is tracked.
 #[derive(Clone, Debug)]
@@ -39,21 +42,24 @@ pub struct AlphaHeavyHitters {
 
 impl AlphaHeavyHitters {
     /// Strict-turnstile variant (Theorem 4).
-    pub fn new_strict<R: Rng + ?Sized>(rng: &mut R, params: &Params) -> Self {
-        Self::build(rng, params, NormTracker::Strict { net: 0 })
+    pub fn new_strict(seed: u64, params: &Params) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        Self::build(&mut rng, params, NormTracker::Strict { net: 0 })
     }
 
     /// General-turnstile variant (Theorem 3).
-    pub fn new_general<R: Rng + ?Sized>(rng: &mut R, params: &Params) -> Self {
-        let norm = NormTracker::General(Box::new(MedianL1::new(rng, 1.0 / 8.0, params.delta)));
-        Self::build(rng, params, norm)
+    pub fn new_general(seed: u64, params: &Params) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let norm =
+            NormTracker::General(Box::new(MedianL1::new(rng.gen(), 1.0 / 8.0, params.delta)));
+        Self::build(&mut rng, params, norm)
     }
 
-    fn build<R: Rng + ?Sized>(rng: &mut R, params: &Params, norm: NormTracker) -> Self {
+    fn build(rng: &mut SmallRng, params: &Params, norm: NormTracker) -> Self {
         let k = ((8.0 / params.epsilon).ceil() as usize).max(2);
         let cap = ((8.0 / params.epsilon).ceil() as usize).max(4);
         AlphaHeavyHitters {
-            csss: Csss::new(rng, k, params.depth, params.csss_sample_budget()),
+            csss: Csss::new(rng.gen(), k, params.depth, params.csss_sample_budget()),
             candidates: CandidateSet::new(cap),
             norm,
             epsilon: params.epsilon,
@@ -62,8 +68,8 @@ impl AlphaHeavyHitters {
     }
 
     /// Apply an update.
-    pub fn update<R: Rng + ?Sized>(&mut self, rng: &mut R, item: u64, delta: i64) {
-        self.csss.update(rng, item, delta);
+    pub fn update(&mut self, item: u64, delta: i64) {
+        self.csss.update(item, delta);
         match &mut self.norm {
             NormTracker::Strict { net } => *net += delta,
             NormTracker::General(m) => m.update(item, delta),
@@ -97,8 +103,73 @@ impl AlphaHeavyHitters {
             .map(|i| (i, csss.estimate(i)))
             .filter(|&(_, e)| e.abs() >= thresh)
             .collect();
-        out.sort_by(|a, b| b.1.abs().partial_cmp(&a.1.abs()).unwrap().then(a.0.cmp(&b.0)));
+        out.sort_by(|a, b| {
+            b.1.abs()
+                .partial_cmp(&a.1.abs())
+                .unwrap()
+                .then(a.0.cmp(&b.0))
+        });
         out
+    }
+}
+
+impl Sketch for AlphaHeavyHitters {
+    fn update(&mut self, item: u64, delta: i64) {
+        AlphaHeavyHitters::update(self, item, delta);
+    }
+
+    /// Batched ingestion: the chunk is aggregated into per-item signed mass
+    /// once, then (1) CSSS absorbs one weighted update per item and sign,
+    /// (2) the norm tracker absorbs per-item net deltas (it is linear),
+    /// (3) the candidate set is offered each distinct item once, after the
+    /// counters settle — identical candidate-set semantics, a fraction of
+    /// the point-query evaluations.
+    fn update_batch(&mut self, batch: &[Update]) {
+        let agg = aggregate_signed_mass(batch);
+        if agg.is_empty() {
+            return;
+        }
+        for &(item, pos, neg) in &agg {
+            if pos > 0 {
+                self.csss.update_weighted(item, pos, true);
+            }
+            if neg > 0 {
+                self.csss.update_weighted(item, neg, false);
+            }
+        }
+        match &mut self.norm {
+            NormTracker::Strict { net } => {
+                *net += agg
+                    .iter()
+                    .map(|&(_, p, n)| p as i64 - n as i64)
+                    .sum::<i64>();
+            }
+            NormTracker::General(m) => {
+                for &(item, pos, neg) in &agg {
+                    let net = pos as i64 - neg as i64;
+                    if net != 0 {
+                        m.update(item, net);
+                    }
+                }
+            }
+        }
+        let csss = &self.csss;
+        for &(item, _, _) in &agg {
+            self.candidates.offer(item, |i| csss.estimate(i));
+        }
+    }
+}
+
+impl PointQuery for AlphaHeavyHitters {
+    fn point(&self, item: u64) -> f64 {
+        self.estimate(item)
+    }
+}
+
+impl NormEstimate for AlphaHeavyHitters {
+    /// The `R ≈ ‖f‖₁` used for thresholding.
+    fn norm_estimate(&self) -> f64 {
+        AlphaHeavyHitters::norm_estimate(self)
     }
 }
 
@@ -118,24 +189,20 @@ impl SpaceUsage for AlphaHeavyHitters {
 mod tests {
     use super::*;
     use bd_stream::gen::BoundedDeletionGen;
-    use bd_stream::FrequencyVector;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use bd_stream::{FrequencyVector, StreamRunner};
 
     fn check_hh(strict: bool, alpha: f64, seed: u64) -> (usize, usize) {
         let eps = 0.05;
-        let mut gen_rng = StdRng::seed_from_u64(seed);
-        let stream = BoundedDeletionGen::new(1 << 14, 60_000, alpha).generate(&mut gen_rng);
+        let stream = BoundedDeletionGen::new(1 << 14, 60_000, alpha).generate_seeded(seed);
         let truth = FrequencyVector::from_stream(&stream);
         let params = Params::practical(stream.n, eps, alpha);
-        let mut rng = StdRng::seed_from_u64(seed + 1000);
         let mut hh = if strict {
-            AlphaHeavyHitters::new_strict(&mut rng, &params)
+            AlphaHeavyHitters::new_strict(seed + 1000, &params)
         } else {
-            AlphaHeavyHitters::new_general(&mut rng, &params)
+            AlphaHeavyHitters::new_general(seed + 1000, &params)
         };
         for u in &stream {
-            hh.update(&mut rng, u.item, u.delta);
+            hh.update(u.item, u.delta);
         }
         let got: Vec<u64> = hh.query().into_iter().map(|(i, _)| i).collect();
         let must_have = truth.l1_heavy_hitters(eps);
@@ -176,11 +243,10 @@ mod tests {
     #[test]
     fn counter_widths_scale_with_alpha_not_n() {
         let eps = 0.1;
-        let mut rng = StdRng::seed_from_u64(1);
         let small_alpha = Params::practical(1 << 30, eps, 2.0);
         let big_alpha = Params::practical(1 << 30, eps, 64.0);
-        let a = AlphaHeavyHitters::new_strict(&mut rng, &small_alpha);
-        let b = AlphaHeavyHitters::new_strict(&mut rng, &big_alpha);
+        let a = AlphaHeavyHitters::new_strict(1, &small_alpha);
+        let b = AlphaHeavyHitters::new_strict(2, &big_alpha);
         // Identical table shapes; only the sample budget (counter widths)
         // grows with α.
         assert_eq!(a.space().counters, b.space().counters);
@@ -188,9 +254,29 @@ mod tests {
 
     #[test]
     fn empty_stream_returns_nothing() {
-        let mut rng = StdRng::seed_from_u64(2);
         let params = Params::practical(1 << 10, 0.1, 2.0);
-        let hh = AlphaHeavyHitters::new_strict(&mut rng, &params);
+        let hh = AlphaHeavyHitters::new_strict(2, &params);
         assert!(hh.query().is_empty());
+    }
+
+    #[test]
+    fn batched_ingestion_finds_the_same_heavy_hitters() {
+        let eps = 0.05;
+        let stream = BoundedDeletionGen::new(1 << 14, 60_000, 4.0).generate_seeded(50);
+        let truth = FrequencyVector::from_stream(&stream);
+        let params = Params::practical(stream.n, eps, 4.0);
+        let mut hh = AlphaHeavyHitters::new_strict(51, &params);
+        StreamRunner::new().run(&mut hh, &stream);
+        let got: Vec<u64> = hh.query().into_iter().map(|(i, _)| i).collect();
+        for i in truth.l1_heavy_hitters(eps) {
+            assert!(got.contains(&i), "batched path missed heavy hitter {i}");
+        }
+        let l1 = truth.l1() as f64;
+        for &i in &got {
+            assert!(
+                truth.get(i).unsigned_abs() as f64 >= eps / 2.0 * l1,
+                "batched path returned sub-ε/2 item {i}"
+            );
+        }
     }
 }

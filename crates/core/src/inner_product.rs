@@ -19,8 +19,9 @@
 
 use crate::binomial::bin_pow2;
 use crate::params::Params;
-use bd_stream::{SpaceReport, SpaceUsage};
-use rand::Rng;
+use bd_stream::{Sketch, SpaceReport, SpaceUsage};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
 /// Shared randomness for a compatible pair (or set) of sketches.
 #[derive(Clone, Debug)]
@@ -36,22 +37,24 @@ pub struct AlphaIpFamily {
 }
 
 impl AlphaIpFamily {
-    /// Build from shared parameters. `depth` rows amplify Lemma 8's 11/13
-    /// success probability by a median (depth 1 matches the paper exactly).
-    pub fn new<R: Rng + ?Sized>(rng: &mut R, params: &Params, depth: usize) -> Self {
+    /// Build from shared parameters and a seed. `depth` rows amplify Lemma
+    /// 8's 11/13 success probability by a median (depth 1 matches the paper
+    /// exactly).
+    pub fn new(seed: u64, params: &Params, depth: usize) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
         let k = ((2.0 / params.epsilon).ceil() as usize).max(4);
         // Random prime with ≥ 2^44 magnitude: the pairwise collision rate of
         // the sampled ids is then far below the Countsketch bucket-collision
         // rate that Lemma 8 already pays for (DESIGN.md §3 notes the paper's
         // [D, D³] window with D = 100·s⁴ exceeds u64 and is substituted).
-        let p = bd_hash::random_prime_in(rng, 1 << 44, 1 << 45);
+        let p = bd_hash::random_prime_in(&mut rng, 1 << 44, 1 << 45);
         AlphaIpFamily {
             p,
             rows: (0..depth.max(1))
                 .map(|_| {
                     (
-                        bd_hash::KWiseHash::fourwise(rng, k as u64),
-                        bd_hash::SignHash::new(rng),
+                        bd_hash::KWiseHash::fourwise(&mut rng, k as u64),
+                        bd_hash::SignHash::new(&mut rng),
                     )
                 })
                 .collect(),
@@ -60,14 +63,16 @@ impl AlphaIpFamily {
         }
     }
 
-    /// Instantiate one stream's sketch.
-    pub fn sketch(&self) -> AlphaIpSketch {
+    /// Instantiate one stream's sketch; `seed` drives its sampling coins
+    /// (hash functions stay shared across the family).
+    pub fn sketch(&self, seed: u64) -> AlphaIpSketch {
         AlphaIpSketch {
             family: self.clone(),
             position: 0,
             windows: vec![IpWindow::new(0, self.rows.len() * self.k)],
             sigma: bd_hash::log2_floor(self.s),
             max_counter: 0,
+            rng: SmallRng::seed_from_u64(seed),
         }
     }
 
@@ -102,6 +107,7 @@ pub struct AlphaIpSketch {
     windows: Vec<IpWindow>,
     sigma: u32,
     max_counter: u64,
+    rng: SmallRng,
 }
 
 impl AlphaIpSketch {
@@ -115,7 +121,7 @@ impl AlphaIpSketch {
     }
 
     /// Apply an update.
-    pub fn update<R: Rng + ?Sized>(&mut self, rng: &mut R, item: u64, delta: i64) {
+    pub fn update(&mut self, item: u64, delta: i64) {
         if delta == 0 {
             return;
         }
@@ -136,7 +142,7 @@ impl AlphaIpSketch {
         let k = self.family.k;
         for w in 0..self.windows.len() {
             let q = self.windows[w].j * self.sigma;
-            let kept = bin_pow2(rng, mag, q);
+            let kept = bin_pow2(&mut self.rng, mag, q);
             if kept == 0 {
                 continue;
             }
@@ -184,6 +190,12 @@ impl AlphaIpSketch {
     }
 }
 
+impl Sketch for AlphaIpSketch {
+    fn update(&mut self, item: u64, delta: i64) {
+        AlphaIpSketch::update(self, item, delta);
+    }
+}
+
 impl SpaceUsage for AlphaIpSketch {
     fn space(&self) -> SpaceReport {
         let cells: u64 = self.windows.iter().map(|w| w.table.len() as u64).sum();
@@ -218,22 +230,23 @@ pub struct AlphaInnerProduct {
 impl AlphaInnerProduct {
     /// Build a shared-randomness pair (Theorem 2 configuration, with a
     /// small row median for test stability).
-    pub fn new<R: Rng + ?Sized>(rng: &mut R, params: &Params) -> Self {
-        let family = AlphaIpFamily::new(rng, params, 5);
+    pub fn new(seed: u64, params: &Params) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let family = AlphaIpFamily::new(rng.gen(), params, 5);
         AlphaInnerProduct {
-            f: family.sketch(),
-            g: family.sketch(),
+            f: family.sketch(rng.gen()),
+            g: family.sketch(rng.gen()),
         }
     }
 
     /// Update the `f` side.
-    pub fn update_f<R: Rng + ?Sized>(&mut self, rng: &mut R, item: u64, delta: i64) {
-        self.f.update(rng, item, delta);
+    pub fn update_f(&mut self, item: u64, delta: i64) {
+        self.f.update(item, delta);
     }
 
     /// Update the `g` side.
-    pub fn update_g<R: Rng + ?Sized>(&mut self, rng: &mut R, item: u64, delta: i64) {
-        self.g.update(rng, item, delta);
+    pub fn update_g(&mut self, item: u64, delta: i64) {
+        self.g.update(item, delta);
     }
 
     /// The estimate `IP(f, g)`.
@@ -253,14 +266,11 @@ mod tests {
     use super::*;
     use bd_stream::gen::NetworkDiffGen;
     use bd_stream::FrequencyVector;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn additive_error_on_alpha_pairs() {
-        let mut gen_rng = StdRng::seed_from_u64(1);
-        let fa = NetworkDiffGen::new(1 << 16, 20_000, 0.25).generate(&mut gen_rng);
-        let ga = NetworkDiffGen::new(1 << 16, 20_000, 0.25).generate(&mut gen_rng);
+        let fa = NetworkDiffGen::new(1 << 16, 20_000, 0.25).generate_seeded(1);
+        let ga = NetworkDiffGen::new(1 << 16, 20_000, 0.25).generate_seeded(2);
         let vf = FrequencyVector::from_stream(&fa);
         let vg = FrequencyVector::from_stream(&ga);
         let truth = vf.inner_product(&vg) as f64;
@@ -272,13 +282,12 @@ mod tests {
         let mut ok = 0;
         let trials = 10;
         for seed in 0..trials {
-            let mut rng = StdRng::seed_from_u64(10 + seed);
-            let mut ip = AlphaInnerProduct::new(&mut rng, &params);
+            let mut ip = AlphaInnerProduct::new(10 + seed, &params);
             for u in &fa {
-                ip.update_f(&mut rng, u.item, u.delta);
+                ip.update_f(u.item, u.delta);
             }
             for u in &ga {
-                ip.update_g(&mut rng, u.item, u.delta);
+                ip.update_g(u.item, u.delta);
             }
             if (ip.estimate() - truth).abs() <= bound {
                 ok += 1;
@@ -291,11 +300,10 @@ mod tests {
     #[test]
     fn disjoint_supports_estimate_near_zero() {
         let params = Params::practical(1 << 12, 0.1, 2.0);
-        let mut rng = StdRng::seed_from_u64(2);
-        let mut ip = AlphaInnerProduct::new(&mut rng, &params);
+        let mut ip = AlphaInnerProduct::new(2, &params);
         for i in 0..200u64 {
-            ip.update_f(&mut rng, i, 5);
-            ip.update_g(&mut rng, 4000 + i, 5);
+            ip.update_f(i, 5);
+            ip.update_g(4000 + i, 5);
         }
         let est = ip.estimate().abs();
         let bound = 0.1 * 1000.0 * 1000.0;
@@ -305,11 +313,10 @@ mod tests {
     #[test]
     fn identical_streams_estimate_f2() {
         let params = Params::practical(1 << 12, 0.05, 1.0);
-        let mut rng = StdRng::seed_from_u64(3);
-        let mut ip = AlphaInnerProduct::new(&mut rng, &params);
+        let mut ip = AlphaInnerProduct::new(3, &params);
         for i in 0..100u64 {
-            ip.update_f(&mut rng, i, 10);
-            ip.update_g(&mut rng, i, 10);
+            ip.update_f(i, 10);
+            ip.update_g(i, 10);
         }
         // <f,g> = 100 · 100 = 10_000; ‖f‖₁‖g‖₁ = 1e6, ε = 0.05 ⇒ ±5e4.
         let est = ip.estimate();
@@ -319,11 +326,10 @@ mod tests {
     #[test]
     fn counters_bounded_by_samples() {
         let params = Params::practical(1 << 16, 0.2, 2.0);
-        let mut rng = StdRng::seed_from_u64(4);
-        let family = AlphaIpFamily::new(&mut rng, &params, 3);
-        let mut sk = family.sketch();
+        let family = AlphaIpFamily::new(4, &params, 3);
+        let mut sk = family.sketch(5);
         for i in 0..400_000u64 {
-            sk.update(&mut rng, i % 1000, 1);
+            sk.update(i % 1000, 1);
         }
         let rep = sk.space();
         let per = rep.counter_bits / rep.counters;

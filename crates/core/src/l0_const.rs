@@ -13,9 +13,9 @@
 use crate::l0_rough::AlphaRoughL0;
 use crate::params::Params;
 use bd_sketch::{RoughL0, SmallF0, SmallF0Result, SmallL0};
-use bd_stream::{SpaceReport, SpaceUsage};
-use rand::Rng;
-use rand::SeedableRng;
+use bd_stream::{NormEstimate, Sketch, SpaceReport, SpaceUsage};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
 
 /// The windowed constant-factor L0 estimator.
@@ -45,16 +45,17 @@ impl AlphaConstL0 {
     /// The guaranteed over-approximation ratio (Lemma 20).
     pub const RATIO: f64 = 100.0;
 
-    /// Build from shared parameters.
-    pub fn new<R: Rng + ?Sized>(rng: &mut R, params: &Params) -> Self {
+    /// Build from shared parameters and a seed.
+    pub fn new(seed: u64, params: &Params) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
         let max_level = bd_hash::log2_ceil(params.n.max(2));
         let logn = bd_hash::log2_ceil(params.n.max(4)) as f64;
         let f0_cap = ((8.0 * logn / logn.log2().max(1.0)).ceil() as usize).max(8);
         AlphaConstL0 {
-            level_hash: bd_hash::KWiseHash::pairwise(rng, 1u64 << 62),
+            level_hash: bd_hash::KWiseHash::pairwise(&mut rng, 1u64 << 62),
             detectors: BTreeMap::new(),
-            tracker: AlphaRoughL0::new(rng, params.n),
-            small_f0: SmallF0::new(rng, f0_cap),
+            tracker: AlphaRoughL0::new(rng.gen(), params.n),
+            small_f0: SmallF0::new(rng.gen(), f0_cap),
             win_lo: params.l0_window_overshoot(AlphaRoughL0::RATIO) as u32,
             win_hi: params.l0_window_suffix() as u32,
             max_level,
@@ -76,7 +77,7 @@ impl AlphaConstL0 {
     }
 
     /// Apply an update.
-    pub fn update<R: Rng + ?Sized>(&mut self, rng: &mut R, item: u64, delta: i64) {
+    pub fn update(&mut self, item: u64, delta: i64) {
         if delta == 0 {
             return;
         }
@@ -85,20 +86,19 @@ impl AlphaConstL0 {
         let (lo, hi) = self.live_window();
         // Drop detectors that fell below the (monotone) window...
         self.detectors.retain(|&j, _| j >= lo);
-        // ...and create newly covered levels (they sketch the suffix).
+        // ...and create newly covered levels (they sketch the suffix;
+        // deterministic per-spawn seed keeps replays identical).
         for j in lo..=hi {
             if !self.detectors.contains_key(&j) {
-                let mut det_rng =
-                    rand::rngs::StdRng::seed_from_u64(self.spawn_seed ^ self.spawned);
+                let det_seed = self.spawn_seed ^ self.spawned;
                 self.spawned += 1;
                 self.detectors.insert(
                     j,
-                    SmallL0::with_buckets(&mut det_rng, self.det_cap, self.det_reps, self.det_buckets),
+                    SmallL0::with_buckets(det_seed, self.det_cap, self.det_reps, self.det_buckets),
                 );
             }
         }
         self.peak_live = self.peak_live.max(self.detectors.len());
-        let _ = rng;
         let lvl = bd_hash::lsb(self.level_hash.hash(item), self.max_level);
         if let Some(det) = self.detectors.get_mut(&lvl) {
             det.update(item, delta);
@@ -136,6 +136,19 @@ impl AlphaConstL0 {
     }
 }
 
+impl Sketch for AlphaConstL0 {
+    fn update(&mut self, item: u64, delta: i64) {
+        AlphaConstL0::update(self, item, delta);
+    }
+}
+
+impl NormEstimate for AlphaConstL0 {
+    /// The constant-factor estimate `R ∈ [L0, 100·L0]` (Lemma 20).
+    fn norm_estimate(&self) -> f64 {
+        self.estimate() as f64
+    }
+}
+
 impl SpaceUsage for AlphaConstL0 {
     fn space(&self) -> SpaceReport {
         let mut rep = SpaceReport {
@@ -155,7 +168,6 @@ mod tests {
     use super::*;
     use bd_stream::gen::L0AlphaGen;
     use bd_stream::FrequencyVector;
-    use rand::rngs::StdRng;
 
     #[test]
     fn sandwich_on_l0_alpha_streams() {
@@ -163,12 +175,11 @@ mod tests {
         let mut ok = 0;
         let trials = 20;
         for seed in 0..trials {
-            let mut rng = StdRng::seed_from_u64(seed);
-            let stream = L0AlphaGen::new(1 << 20, 1_500, alpha).generate(&mut rng);
+            let stream = L0AlphaGen::new(1 << 20, 1_500, alpha).generate_seeded(seed);
             let params = Params::practical(stream.n, 0.2, alpha);
-            let mut est = AlphaConstL0::new(&mut rng, &params);
+            let mut est = AlphaConstL0::new(seed, &params);
             for u in &stream {
-                est.update(&mut rng, u.item, u.delta);
+                est.update(u.item, u.delta);
             }
             let l0 = FrequencyVector::from_stream(&stream).l0();
             let r = est.estimate();
@@ -181,28 +192,24 @@ mod tests {
 
     #[test]
     fn exact_for_tiny_f0() {
-        let mut rng = StdRng::seed_from_u64(3);
         let params = Params::practical(1 << 16, 0.2, 2.0);
-        let mut est = AlphaConstL0::new(&mut rng, &params);
+        let mut est = AlphaConstL0::new(3, &params);
         for i in 0..10u64 {
-            est.update(&mut rng, i * 31, 1);
+            est.update(i * 31, 1);
         }
         assert_eq!(est.estimate(), 10);
     }
 
     #[test]
     fn live_levels_bounded_by_window() {
-        let mut rng = StdRng::seed_from_u64(4);
         let alpha = 4.0;
-        let stream = L0AlphaGen::new(1 << 22, 5_000, alpha).generate(&mut rng);
+        let stream = L0AlphaGen::new(1 << 22, 5_000, alpha).generate_seeded(4);
         let params = Params::practical(stream.n, 0.25, alpha);
-        let mut est = AlphaConstL0::new(&mut rng, &params);
+        let mut est = AlphaConstL0::new(4, &params);
         for u in &stream {
-            est.update(&mut rng, u.item, u.delta);
+            est.update(u.item, u.delta);
         }
-        let bound = params.l0_window_overshoot(AlphaRoughL0::RATIO)
-            + params.l0_window_suffix()
-            + 1;
+        let bound = params.l0_window_overshoot(AlphaRoughL0::RATIO) + params.l0_window_suffix() + 1;
         assert!(
             est.peak_live_levels() <= bound,
             "{} live levels exceeds the O(log α/ε) window {bound}",

@@ -14,8 +14,9 @@ use crate::l0_const::AlphaConstL0;
 use crate::l0_rough::AlphaRoughL0;
 use crate::params::Params;
 use bd_sketch::{L0Estimator, SmallL0};
-use bd_stream::{SpaceReport, SpaceUsage};
-use rand::Rng;
+use bd_stream::{NormEstimate, Sketch, SpaceReport, SpaceUsage};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
 
 /// The windowed `(1±ε)` L0 estimator.
@@ -42,26 +43,27 @@ pub struct AlphaL0Estimator {
 }
 
 impl AlphaL0Estimator {
-    /// Build from shared parameters.
-    pub fn new<R: Rng + ?Sized>(rng: &mut R, params: &Params) -> Self {
+    /// Build from shared parameters and a seed.
+    pub fn new(seed: u64, params: &Params) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
         let k = ((1.0 / (params.epsilon * params.epsilon)).ceil() as usize).max(16);
         let k3 = (k as u64).pow(3);
-        let p = bd_hash::random_prime_window(rng, (100 * k as u64 * 40).max(64));
+        let p = bd_hash::random_prime_window(&mut rng, (100 * k as u64 * 40).max(64));
         let kind = bd_sketch::l0_turnstile::k_for_eps_l0(params.epsilon);
         let max_level = bd_hash::log2_ceil(params.n.max(2));
         AlphaL0Estimator {
             k,
             p,
-            h1: bd_hash::KWiseHash::pairwise(rng, 1u64 << 62),
-            h2: bd_hash::KWiseHash::pairwise(rng, k3),
-            h3: bd_hash::KWiseHash::new(rng, kind, k as u64),
-            h4: bd_hash::KWiseHash::pairwise(rng, k as u64),
+            h1: bd_hash::KWiseHash::pairwise(&mut rng, 1u64 << 62),
+            h2: bd_hash::KWiseHash::pairwise(&mut rng, k3),
+            h3: bd_hash::KWiseHash::new(&mut rng, kind, k as u64),
+            h4: bd_hash::KWiseHash::pairwise(&mut rng, k as u64),
             u: (0..k).map(|_| rng.gen_range(1..p)).collect(),
             rows: BTreeMap::new(),
             collapsed: vec![0; 2 * k],
-            tracker: AlphaRoughL0::new(rng, params.n),
-            const_est: AlphaConstL0::new(rng, params),
-            exact: SmallL0::new(rng, L0Estimator::EXACT_CAP, 4),
+            tracker: AlphaRoughL0::new(rng.gen(), params.n),
+            const_est: AlphaConstL0::new(rng.gen(), params),
+            exact: SmallL0::new(rng.gen(), L0Estimator::EXACT_CAP, 4),
             win_lo: params.l0_window_overshoot(AlphaRoughL0::RATIO) as u32,
             win_hi: params.l0_window_suffix() as u32,
             max_level,
@@ -88,12 +90,12 @@ impl AlphaL0Estimator {
     }
 
     /// Apply an update.
-    pub fn update<R: Rng + ?Sized>(&mut self, rng: &mut R, item: u64, delta: i64) {
+    pub fn update(&mut self, item: u64, delta: i64) {
         if delta == 0 {
             return;
         }
         self.tracker.update(item, delta);
-        self.const_est.update(rng, item, delta);
+        self.const_est.update(item, delta);
         self.exact.update(item, delta);
 
         let (lo, hi) = self.live_window();
@@ -119,8 +121,7 @@ impl AlphaL0Estimator {
         if let Some(row) = self.rows.get_mut(&level) {
             apply(&mut row[col]);
         }
-        let col_small =
-            (col * 2 + (self.h4.hash(id) as usize & 1)) % self.collapsed.len();
+        let col_small = (col * 2 + (self.h4.hash(id) as usize & 1)) % self.collapsed.len();
         apply(&mut self.collapsed[col_small]);
     }
 
@@ -186,11 +187,23 @@ impl AlphaL0Estimator {
     }
 }
 
+impl Sketch for AlphaL0Estimator {
+    fn update(&mut self, item: u64, delta: i64) {
+        AlphaL0Estimator::update(self, item, delta);
+    }
+}
+
+impl NormEstimate for AlphaL0Estimator {
+    /// Estimates `‖f‖₀` to `(1±ε)` (Theorem 10).
+    fn norm_estimate(&self) -> f64 {
+        self.estimate()
+    }
+}
+
 impl SpaceUsage for AlphaL0Estimator {
     fn space(&self) -> SpaceReport {
         let width = bd_hash::width_unsigned(self.p - 1) as u64;
-        let cells =
-            (self.rows.len() * self.k + self.collapsed.len()) as u64;
+        let cells = (self.rows.len() * self.k + self.collapsed.len()) as u64;
         let seeds = [&self.h1, &self.h2, &self.h3, &self.h4]
             .iter()
             .map(|h| h.seed_bits() as u64)
@@ -213,16 +226,13 @@ mod tests {
     use super::*;
     use bd_stream::gen::{L0AlphaGen, SensorGen};
     use bd_stream::FrequencyVector;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn exact_path_for_tiny_support() {
-        let mut rng = StdRng::seed_from_u64(1);
         let params = Params::practical(1 << 16, 0.2, 2.0);
-        let mut est = AlphaL0Estimator::new(&mut rng, &params);
+        let mut est = AlphaL0Estimator::new(1, &params);
         for i in 0..25u64 {
-            est.update(&mut rng, i * 1009, 3);
+            est.update(i * 1009, 3);
         }
         assert_eq!(est.estimate(), 25.0);
     }
@@ -233,12 +243,11 @@ mod tests {
         let mut ok = 0;
         let trials = 12;
         for seed in 0..trials {
-            let mut rng = StdRng::seed_from_u64(300 + seed);
-            let stream = L0AlphaGen::new(1 << 20, 3_000, alpha).generate(&mut rng);
+            let stream = L0AlphaGen::new(1 << 20, 3_000, alpha).generate_seeded(300 + seed);
             let params = Params::practical(stream.n, 0.15, alpha);
-            let mut est = AlphaL0Estimator::new(&mut rng, &params);
+            let mut est = AlphaL0Estimator::new(300 + seed, &params);
             for u in &stream {
-                est.update(&mut rng, u.item, u.delta);
+                est.update(u.item, u.delta);
             }
             let truth = FrequencyVector::from_stream(&stream).l0() as f64;
             let e = est.estimate();
@@ -251,12 +260,11 @@ mod tests {
 
     #[test]
     fn sensor_scenario_estimates() {
-        let mut rng = StdRng::seed_from_u64(2);
-        let stream = SensorGen::new(1 << 22, 2_000, 6_000).generate(&mut rng);
+        let stream = SensorGen::new(1 << 22, 2_000, 6_000).generate_seeded(2);
         let params = Params::practical(stream.n, 0.2, 4.0);
-        let mut est = AlphaL0Estimator::new(&mut rng, &params);
+        let mut est = AlphaL0Estimator::new(2, &params);
         for u in &stream {
-            est.update(&mut rng, u.item, u.delta);
+            est.update(u.item, u.delta);
         }
         let truth = FrequencyVector::from_stream(&stream).l0() as f64;
         let e = est.estimate();
@@ -265,13 +273,12 @@ mod tests {
 
     #[test]
     fn live_rows_beat_log_n() {
-        let mut rng = StdRng::seed_from_u64(3);
         let alpha = 2.0;
-        let stream = L0AlphaGen::new(1 << 26, 4_000, alpha).generate(&mut rng);
+        let stream = L0AlphaGen::new(1 << 26, 4_000, alpha).generate_seeded(3);
         let params = Params::practical(stream.n, 0.25, alpha);
-        let mut est = AlphaL0Estimator::new(&mut rng, &params);
+        let mut est = AlphaL0Estimator::new(3, &params);
         for u in &stream {
-            est.update(&mut rng, u.item, u.delta);
+            est.update(u.item, u.delta);
         }
         let logn = bd_hash::log2_ceil(stream.n) as usize;
         assert!(

@@ -9,8 +9,7 @@
 //! callers floor the estimate at that threshold (Figure 7 step 2).
 
 use bd_sketch::RoughF0;
-use bd_stream::{SpaceReport, SpaceUsage};
-use rand::Rng;
+use bd_stream::{NormEstimate, Sketch, SpaceReport, SpaceUsage};
 
 /// The α-stream rough L0 tracker.
 #[derive(Clone, Debug)]
@@ -26,11 +25,11 @@ impl AlphaRoughL0 {
 
     /// Build for universe size `n`; the floor is `max(8, log n/log log n)`
     /// scaled by 8 as in Figure 7.
-    pub fn new<R: Rng + ?Sized>(rng: &mut R, n: u64) -> Self {
+    pub fn new(seed: u64, n: u64) -> Self {
         let logn = bd_hash::log2_ceil(n.max(4)) as f64;
         let floor = (8.0 * logn / logn.log2().max(1.0)).ceil() as u64;
         AlphaRoughL0 {
-            rough: RoughF0::new(rng),
+            rough: RoughF0::new(seed),
             floor: floor.max(8),
         }
     }
@@ -58,6 +57,19 @@ impl AlphaRoughL0 {
     }
 }
 
+impl Sketch for AlphaRoughL0 {
+    fn update(&mut self, item: u64, delta: i64) {
+        AlphaRoughL0::update(self, item, delta);
+    }
+}
+
+impl NormEstimate for AlphaRoughL0 {
+    /// The floored monotone `L̄0^t` estimate (Corollary 2).
+    fn norm_estimate(&self) -> f64 {
+        self.estimate() as f64
+    }
+}
+
 impl SpaceUsage for AlphaRoughL0 {
     fn space(&self) -> SpaceReport {
         let mut rep = self.rough.space();
@@ -71,8 +83,6 @@ mod tests {
     use super::*;
     use bd_stream::gen::L0AlphaGen;
     use bd_stream::{FrequencyVector, StreamBatch};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn sandwich_against_alpha_l0() {
@@ -80,9 +90,8 @@ mod tests {
         let mut ok = 0;
         let trials = 20;
         for seed in 0..trials {
-            let mut rng = StdRng::seed_from_u64(seed);
-            let stream = L0AlphaGen::new(1 << 20, 2_000, alpha).generate(&mut rng);
-            let mut tracker = AlphaRoughL0::new(&mut rng, stream.n);
+            let stream = L0AlphaGen::new(1 << 20, 2_000, alpha).generate_seeded(seed);
+            let mut tracker = AlphaRoughL0::new(seed, stream.n);
             let mut prefix = FrequencyVector::new(stream.n);
             let mut good = true;
             for (t, u) in stream.iter().enumerate() {
@@ -106,12 +115,13 @@ mod tests {
 
     #[test]
     fn estimates_monotone_and_floored() {
-        let mut rng = StdRng::seed_from_u64(7);
         let stream = StreamBatch::new(
             1 << 16,
-            (0..500u64).map(|i| bd_stream::Update::insert(i, 1)).collect(),
+            (0..500u64)
+                .map(|i| bd_stream::Update::insert(i, 1))
+                .collect(),
         );
-        let mut tracker = AlphaRoughL0::new(&mut rng, stream.n);
+        let mut tracker = AlphaRoughL0::new(7, stream.n);
         assert_eq!(tracker.estimate(), tracker.floor());
         let mut last = 0;
         for u in &stream {

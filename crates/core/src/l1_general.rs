@@ -14,8 +14,9 @@
 
 use crate::binomial::{bin_half, bin_pow2};
 use crate::params::Params;
-use bd_stream::{SpaceReport, SpaceUsage};
-use rand::Rng;
+use bd_stream::{NormEstimate, Sketch, SpaceReport, SpaceUsage};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
 /// A sampled, dyadically thinned signed counter (one per Cauchy row).
 #[derive(Clone, Copy, Debug, Default)]
@@ -69,45 +70,47 @@ pub struct AlphaL1General {
     /// Per-counter sample budget.
     budget: u64,
     mass: u64,
+    rng: SmallRng,
 }
 
 impl AlphaL1General {
     /// Size from shared parameters: `r = Θ(1/ε²)` main rows, 31 auxiliary,
     /// per-row budget `Θ((α·log n/ε)²)`.
-    pub fn new<R: Rng + ?Sized>(rng: &mut R, params: &Params) -> Self {
+    pub fn new(seed: u64, params: &Params) -> Self {
         let r = ((6.0 / (params.epsilon * params.epsilon)).ceil() as usize).max(8);
         let logn = params.log_n() as f64;
-        let budget =
-            (8.0 * (params.alpha * logn / params.epsilon).powi(2)).ceil() as u64;
-        Self::with_shape(rng, r, 31, budget)
+        let budget = (8.0 * (params.alpha * logn / params.epsilon).powi(2)).ceil() as u64;
+        Self::with_shape(seed, r, 31, budget)
     }
 
     /// Explicit shape (for experiments).
-    pub fn with_shape<R: Rng + ?Sized>(
-        rng: &mut R,
-        main: usize,
-        aux: usize,
-        budget: u64,
-    ) -> Self {
+    pub fn with_shape(seed: u64, main: usize, aux: usize, budget: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
         let k = 6; // k-wise independence of row entries
         AlphaL1General {
-            main_rows: (0..main).map(|_| bd_hash::CauchyRow::new(rng, k)).collect(),
-            aux_rows: (0..aux).map(|_| bd_hash::CauchyRow::new(rng, k)).collect(),
+            main_rows: (0..main)
+                .map(|_| bd_hash::CauchyRow::new(&mut rng, k))
+                .collect(),
+            aux_rows: (0..aux)
+                .map(|_| bd_hash::CauchyRow::new(&mut rng, k))
+                .collect(),
             main: vec![SampledCounter::default(); main],
             aux: vec![SampledCounter::default(); aux],
             quant: 1.0 / 16.0,
             budget: budget.max(256),
             mass: 0,
+            rng,
         }
     }
 
     /// Apply an update.
-    pub fn update<R: Rng + ?Sized>(&mut self, rng: &mut R, item: u64, delta: i64) {
+    pub fn update(&mut self, item: u64, delta: i64) {
         if delta == 0 {
             return;
         }
         self.mass += delta.unsigned_abs();
         let d = delta as f64;
+        let rng = &mut self.rng;
         for (row, ctr) in self.main_rows.iter().zip(self.main.iter_mut()) {
             let eta = d * row.entry(item);
             let w = (eta.abs() / self.quant).round() as u64;
@@ -143,6 +146,19 @@ impl AlphaL1General {
     /// Number of main rows.
     pub fn main_rows(&self) -> usize {
         self.main.len()
+    }
+}
+
+impl Sketch for AlphaL1General {
+    fn update(&mut self, item: u64, delta: i64) {
+        AlphaL1General::update(self, item, delta);
+    }
+}
+
+impl NormEstimate for AlphaL1General {
+    /// Estimates `‖f‖₁` on general-turnstile α-property streams (Theorem 8).
+    fn norm_estimate(&self) -> f64 {
+        self.estimate()
     }
 }
 
@@ -187,22 +203,18 @@ mod tests {
     use super::*;
     use bd_stream::gen::{BoundedDeletionGen, NetworkDiffGen};
     use bd_stream::FrequencyVector;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn matches_l1_on_general_turnstile_alpha_streams() {
-        let mut gen_rng = StdRng::seed_from_u64(1);
-        let stream = NetworkDiffGen::new(1 << 14, 30_000, 0.3).generate(&mut gen_rng);
+        let stream = NetworkDiffGen::new(1 << 14, 30_000, 0.3).generate_seeded(1);
         let truth = FrequencyVector::from_stream(&stream).l1() as f64;
         let alpha = FrequencyVector::from_stream(&stream).alpha_l1();
         let params = Params::practical(stream.n, 0.15, alpha.max(1.0));
         let mut ok = 0;
         for seed in 0..8u64 {
-            let mut rng = StdRng::seed_from_u64(10 + seed);
-            let mut e = AlphaL1General::new(&mut rng, &params);
+            let mut e = AlphaL1General::new(10 + seed, &params);
             for u in &stream {
-                e.update(&mut rng, u.item, u.delta);
+                e.update(u.item, u.delta);
             }
             if (e.estimate() - truth).abs() / truth < 0.3 {
                 ok += 1;
@@ -213,17 +225,18 @@ mod tests {
 
     #[test]
     fn strict_alpha_streams_also_work() {
-        let mut gen_rng = StdRng::seed_from_u64(2);
-        let stream = BoundedDeletionGen::new(1 << 12, 60_000, 3.0).generate(&mut gen_rng);
+        let stream = BoundedDeletionGen::new(1 << 12, 60_000, 3.0).generate_seeded(2);
         let truth = FrequencyVector::from_stream(&stream).l1() as f64;
         let params = Params::practical(stream.n, 0.2, 3.0);
-        let mut rng = StdRng::seed_from_u64(3);
-        let mut e = AlphaL1General::new(&mut rng, &params);
+        let mut e = AlphaL1General::new(3, &params);
         for u in &stream {
-            e.update(&mut rng, u.item, u.delta);
+            e.update(u.item, u.delta);
         }
         let est = e.estimate();
-        assert!((est - truth).abs() / truth < 0.35, "estimate {est} vs {truth}");
+        assert!(
+            (est - truth).abs() / truth < 0.35,
+            "estimate {est} vs {truth}"
+        );
     }
 
     #[test]
@@ -231,10 +244,9 @@ mod tests {
         // The sampled counters' widths are O(log(α log n/ε)); the Figure 5
         // baseline maintains Θ(log n)-bit fixed-point rows.
         let params = Params::practical(1 << 20, 0.25, 2.0);
-        let mut rng = StdRng::seed_from_u64(4);
-        let mut e = AlphaL1General::new(&mut rng, &params);
+        let mut e = AlphaL1General::new(4, &params);
         for i in 0..200_000u64 {
-            e.update(&mut rng, i % 500, 1);
+            e.update(i % 500, 1);
         }
         let rep = e.space();
         let per_counter = rep.counter_bits / rep.counters;
@@ -247,8 +259,7 @@ mod tests {
     #[test]
     fn empty_stream_is_zero() {
         let params = Params::practical(1 << 10, 0.3, 2.0);
-        let mut rng = StdRng::seed_from_u64(5);
-        let e = AlphaL1General::new(&mut rng, &params);
+        let e = AlphaL1General::new(5, &params);
         assert_eq!(e.estimate(), 0.0);
     }
 }

@@ -14,8 +14,9 @@
 use crate::csss::Csss;
 use crate::params::Params;
 use bd_sketch::{CandidateSet, SampleOutcome};
-use bd_stream::{SpaceReport, SpaceUsage};
-use rand::Rng;
+use bd_stream::{SampleQuery, Sketch, SpaceReport, SpaceUsage};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
 /// One αL1Sampler instance (Figure 3).
 #[derive(Clone, Debug)]
@@ -36,14 +37,15 @@ pub struct AlphaL1SamplerInstance {
 }
 
 impl AlphaL1SamplerInstance {
-    /// Build one instance from shared parameters.
-    pub fn new<R: Rng + ?Sized>(rng: &mut R, params: &Params) -> Self {
+    /// Build one instance from shared parameters and a seed.
+    pub fn new(seed: u64, params: &Params) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
         let k = ((1.0 / params.epsilon).log2().ceil() as usize).max(4);
         let logn = (params.n.max(4) as f64).ln();
         AlphaL1SamplerInstance {
-            cs1: Csss::new(rng, k, params.depth, params.csss_sample_budget()),
-            cs2: Csss::new(rng, k, params.depth, params.csss_sample_budget()),
-            ts: bd_hash::KWiseUniform::new(rng, k),
+            cs1: Csss::new(rng.gen(), k, params.depth, params.csss_sample_budget()),
+            cs2: Csss::new(rng.gen(), k, params.depth, params.csss_sample_budget()),
+            ts: bd_hash::KWiseUniform::new(&mut rng, k),
             candidates: CandidateSet::new(4 * k),
             epsilon: params.epsilon,
             eps_z: params.epsilon.powi(3) / (logn * logn),
@@ -56,14 +58,14 @@ impl AlphaL1SamplerInstance {
 
     /// Apply an update. The scaled weight `|Δ|/t_i` is rounded to the unit
     /// grid (`t_i ≤ 1`, so the relative rounding error is ≤ 1/|z-weight|).
-    pub fn update<R: Rng + ?Sized>(&mut self, rng: &mut R, item: u64, delta: i64) {
+    pub fn update(&mut self, item: u64, delta: i64) {
         if delta == 0 {
             return;
         }
         let w = (delta.unsigned_abs() as f64 * self.ts.inv_t(item)).round() as u64;
         let w = w.max(1);
-        self.cs1.update_weighted(rng, item, w, delta > 0);
-        self.cs2.update_weighted(rng, item, w, delta > 0);
+        self.cs1.update_weighted(item, w, delta > 0);
+        self.cs2.update_weighted(item, w, delta > 0);
         self.r += delta;
         self.q += w;
         let cs = &self.cs1;
@@ -103,6 +105,18 @@ impl AlphaL1SamplerInstance {
     }
 }
 
+impl Sketch for AlphaL1SamplerInstance {
+    fn update(&mut self, item: u64, delta: i64) {
+        AlphaL1SamplerInstance::update(self, item, delta);
+    }
+}
+
+impl SampleQuery for AlphaL1SamplerInstance {
+    fn sample(&self) -> SampleOutcome {
+        self.query()
+    }
+}
+
 impl SpaceUsage for AlphaL1SamplerInstance {
     fn space(&self) -> SpaceReport {
         let mut rep = self.cs1.space().merge(self.cs2.space());
@@ -121,19 +135,20 @@ pub struct AlphaL1Sampler {
 }
 
 impl AlphaL1Sampler {
-    /// Build from shared parameters.
-    pub fn new<R: Rng + ?Sized>(rng: &mut R, params: &Params) -> Self {
+    /// Build from shared parameters, instance seeds derived from `seed`.
+    pub fn new(seed: u64, params: &Params) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
         AlphaL1Sampler {
             instances: (0..params.sampler_copies())
-                .map(|_| AlphaL1SamplerInstance::new(rng, params))
+                .map(|_| AlphaL1SamplerInstance::new(rng.gen(), params))
                 .collect(),
         }
     }
 
     /// Apply an update to every instance.
-    pub fn update<R: Rng + ?Sized>(&mut self, rng: &mut R, item: u64, delta: i64) {
+    pub fn update(&mut self, item: u64, delta: i64) {
         for inst in &mut self.instances {
-            inst.update(rng, item, delta);
+            inst.update(item, delta);
         }
     }
 
@@ -153,6 +168,18 @@ impl AlphaL1Sampler {
     }
 }
 
+impl Sketch for AlphaL1Sampler {
+    fn update(&mut self, item: u64, delta: i64) {
+        AlphaL1Sampler::update(self, item, delta);
+    }
+}
+
+impl SampleQuery for AlphaL1Sampler {
+    fn sample(&self) -> SampleOutcome {
+        self.query()
+    }
+}
+
 impl SpaceUsage for AlphaL1Sampler {
     fn space(&self) -> SpaceReport {
         self.instances
@@ -166,14 +193,11 @@ mod tests {
     use super::*;
     use bd_stream::gen::StrongAlphaGen;
     use bd_stream::FrequencyVector;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use std::collections::HashMap;
 
     #[test]
     fn output_distribution_tracks_l1() {
-        let mut gen_rng = StdRng::seed_from_u64(1);
-        let stream = StrongAlphaGen::new(64, 40, 3.0).generate(&mut gen_rng);
+        let stream = StrongAlphaGen::new(64, 40, 3.0).generate_seeded(1);
         let truth = FrequencyVector::from_stream(&stream);
         let l1 = truth.l1() as f64;
         let params = Params::practical(64, 0.25, 3.0).with_delta(0.5);
@@ -181,10 +205,9 @@ mod tests {
         let mut counts: HashMap<u64, usize> = HashMap::new();
         let mut draws = 0usize;
         for seed in 0..250u64 {
-            let mut rng = StdRng::seed_from_u64(100 + seed);
-            let mut s = AlphaL1Sampler::new(&mut rng, &params);
+            let mut s = AlphaL1Sampler::new(100 + seed, &params);
             for u in &stream {
-                s.update(&mut rng, u.item, u.delta);
+                s.update(u.item, u.delta);
             }
             if let SampleOutcome::Sample { item, .. } = s.query() {
                 *counts.entry(item).or_insert(0) += 1;
@@ -204,16 +227,14 @@ mod tests {
 
     #[test]
     fn estimates_have_relative_error() {
-        let mut gen_rng = StdRng::seed_from_u64(2);
-        let stream = StrongAlphaGen::new(256, 80, 2.0).generate(&mut gen_rng);
+        let stream = StrongAlphaGen::new(256, 80, 2.0).generate_seeded(2);
         let truth = FrequencyVector::from_stream(&stream);
         let params = Params::practical(256, 0.25, 2.0).with_delta(0.5);
         let mut checked = 0;
         for seed in 0..50u64 {
-            let mut rng = StdRng::seed_from_u64(500 + seed);
-            let mut s = AlphaL1Sampler::new(&mut rng, &params);
+            let mut s = AlphaL1Sampler::new(500 + seed, &params);
             for u in &stream {
-                s.update(&mut rng, u.item, u.delta);
+                s.update(u.item, u.delta);
             }
             if let SampleOutcome::Sample { item, estimate } = s.query() {
                 let f = truth.get(item) as f64;
@@ -231,8 +252,7 @@ mod tests {
     #[test]
     fn empty_stream_fails() {
         let params = Params::practical(64, 0.5, 2.0).with_delta(0.5);
-        let mut rng = StdRng::seed_from_u64(3);
-        let s = AlphaL1Sampler::new(&mut rng, &params);
+        let s = AlphaL1Sampler::new(3, &params);
         assert_eq!(s.query(), SampleOutcome::Fail);
     }
 }

@@ -13,8 +13,9 @@
 use crate::binomial::bin_pow2;
 use crate::params::Params;
 use bd_sketch::MorrisCounter;
-use bd_stream::{SpaceReport, SpaceUsage};
-use rand::Rng;
+use bd_stream::{NormEstimate, Sketch, SpaceReport, SpaceUsage};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
 /// One live sampling window `I_j`.
 #[derive(Clone, Copy, Debug)]
@@ -24,7 +25,8 @@ struct Window {
     minus: u64,
 }
 
-/// The Figure 4 estimator.
+/// The Figure 4 estimator. Owns its sampling RNG (Morris coins and interval
+/// thinning): construction from a `u64` seed makes replays identical.
 #[derive(Clone, Debug)]
 pub struct AlphaL1Estimator {
     /// `s`, a power of two.
@@ -34,27 +36,30 @@ pub struct AlphaL1Estimator {
     morris: MorrisCounter,
     windows: Vec<Window>,
     max_counter: u64,
+    rng: SmallRng,
 }
 
 impl AlphaL1Estimator {
     /// Size from shared parameters (`s = Params::interval_budget()`).
-    pub fn new(params: &Params) -> Self {
-        Self::with_budget(params.interval_budget())
+    pub fn new(seed: u64, params: &Params) -> Self {
+        Self::with_budget(seed, params.interval_budget())
     }
 
     /// Explicit power-of-two interval budget `s`.
-    pub fn with_budget(s: u64) -> Self {
+    pub fn with_budget(seed: u64, s: u64) -> Self {
         assert!(s.is_power_of_two() && s >= 2);
+        let mut rng = SmallRng::seed_from_u64(seed);
         AlphaL1Estimator {
             s,
             sigma: bd_hash::log2_floor(s),
-            morris: MorrisCounter::new(),
+            morris: MorrisCounter::new(rng.gen()),
             windows: vec![Window {
                 j: 0,
                 plus: 0,
                 minus: 0,
             }],
             max_counter: 0,
+            rng,
         }
     }
 
@@ -74,15 +79,13 @@ impl AlphaL1Estimator {
 
     /// Apply an update (weighted updates advance the Morris counter by
     /// their magnitude and are binomially thinned, §1.3 / Remark 2).
-    pub fn update<R: Rng + ?Sized>(&mut self, rng: &mut R, item: u64, delta: i64) {
+    pub fn update(&mut self, item: u64, delta: i64) {
         let _ = item; // the L1 estimator is identity-oblivious
         if delta == 0 {
             return;
         }
         let mag = delta.unsigned_abs();
-        for _ in 0..mag {
-            self.morris.tick(rng);
-        }
+        self.morris.tick_by(mag);
         let v = self.morris.estimate().max(1);
         let hi = self.j_hi(v);
         let lo = hi.saturating_sub(1);
@@ -98,6 +101,7 @@ impl AlphaL1Estimator {
             }
         }
         self.windows.sort_by_key(|w| w.j);
+        let rng = &mut self.rng;
         for w in &mut self.windows {
             let kept = bin_pow2(rng, mag, w.j * self.sigma);
             if kept == 0 {
@@ -127,6 +131,19 @@ impl AlphaL1Estimator {
     }
 }
 
+impl Sketch for AlphaL1Estimator {
+    fn update(&mut self, item: u64, delta: i64) {
+        AlphaL1Estimator::update(self, item, delta);
+    }
+}
+
+impl NormEstimate for AlphaL1Estimator {
+    /// Estimates `‖f‖₁` on strict-turnstile α-property streams (Theorem 6).
+    fn norm_estimate(&self) -> f64 {
+        self.estimate()
+    }
+}
+
 impl SpaceUsage for AlphaL1Estimator {
     fn space(&self) -> SpaceReport {
         // Two live windows × two counters, each bounded by the samples a
@@ -148,19 +165,16 @@ mod tests {
     use super::*;
     use bd_stream::gen::BoundedDeletionGen;
     use bd_stream::FrequencyVector;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn exact_for_short_streams() {
         // While v < s², window 0 samples everything: the estimate is exact.
-        let mut rng = StdRng::seed_from_u64(1);
-        let mut e = AlphaL1Estimator::with_budget(1 << 10);
+        let mut e = AlphaL1Estimator::with_budget(1, 1 << 10);
         for i in 0..200u64 {
-            e.update(&mut rng, i, 2);
+            e.update(i, 2);
         }
         for i in 0..50u64 {
-            e.update(&mut rng, i, -1);
+            e.update(i, -1);
         }
         assert_eq!(e.estimate(), 350.0);
     }
@@ -168,16 +182,14 @@ mod tests {
     #[test]
     fn relative_error_on_alpha_streams() {
         let alpha = 4.0;
-        let mut gen_rng = StdRng::seed_from_u64(2);
-        let stream = BoundedDeletionGen::new(1 << 12, 400_000, alpha).generate(&mut gen_rng);
+        let stream = BoundedDeletionGen::new(1 << 12, 400_000, alpha).generate_seeded(2);
         let truth = FrequencyVector::from_stream(&stream).l1() as f64;
         let mut ok = 0;
         let trials = 10;
         for seed in 0..trials {
-            let mut rng = StdRng::seed_from_u64(100 + seed);
-            let mut e = AlphaL1Estimator::with_budget(1 << 12);
+            let mut e = AlphaL1Estimator::with_budget(100 + seed, 1 << 12);
             for u in &stream {
-                e.update(&mut rng, u.item, u.delta);
+                e.update(u.item, u.delta);
             }
             if (e.estimate() - truth).abs() / truth < 0.25 {
                 ok += 1;
@@ -188,26 +200,23 @@ mod tests {
 
     #[test]
     fn counters_stay_small() {
-        let mut rng = StdRng::seed_from_u64(3);
-        let mut e = AlphaL1Estimator::with_budget(1 << 6);
+        let mut e = AlphaL1Estimator::with_budget(3, 1 << 6);
         for _ in 0..500_000u64 {
-            e.update(&mut rng, 1, 1);
+            e.update(1, 1);
         }
         // Counter magnitudes are O(s²·poly-log slack), not O(m).
         let s2 = 1u64 << 12;
         assert!(
-            e.space().counter_bits / e.space().counters
-                <= bd_hash::width_unsigned(64 * s2) as u64,
+            e.space().counter_bits / e.space().counters <= bd_hash::width_unsigned(64 * s2) as u64,
             "counter width too large"
         );
     }
 
     #[test]
     fn insertion_only_streams_are_recovered() {
-        let mut rng = StdRng::seed_from_u64(4);
-        let mut e = AlphaL1Estimator::with_budget(1 << 8);
+        let mut e = AlphaL1Estimator::with_budget(4, 1 << 8);
         for i in 0..100_000u64 {
-            e.update(&mut rng, i % 97, 1);
+            e.update(i % 97, 1);
         }
         let est = e.estimate();
         assert!(
@@ -218,7 +227,7 @@ mod tests {
 
     #[test]
     fn empty_stream() {
-        let e = AlphaL1Estimator::with_budget(1 << 8);
+        let e = AlphaL1Estimator::with_budget(5, 1 << 8);
         assert_eq!(e.estimate(), 0.0);
     }
 }

@@ -11,8 +11,9 @@
 
 use crate::params::Params;
 use bd_sketch::{CandidateSet, CountSketch};
-use bd_stream::{SpaceReport, SpaceUsage};
-use rand::Rng;
+use bd_stream::{NormEstimate, PointQuery, Sketch, SpaceReport, SpaceUsage};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
 /// The Appendix A two-stage L2 heavy-hitters sketch.
 #[derive(Clone, Debug)]
@@ -27,18 +28,18 @@ pub struct AlphaL2HeavyHitters {
 }
 
 impl AlphaL2HeavyHitters {
-    /// Build from shared parameters.
-    pub fn new<R: Rng + ?Sized>(rng: &mut R, params: &Params) -> Self {
+    /// Build from shared parameters and a seed.
+    pub fn new(seed: u64, params: &Params) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
         let eps_find = params.epsilon / (2.0 * params.alpha);
         let k_find = ((4.0 / (eps_find * eps_find)).ceil() as usize).clamp(8, 1 << 18);
         let k_verify = ((8.0 / (params.epsilon * params.epsilon)).ceil() as usize).max(8);
-        let cap = ((4.0 * params.alpha * params.alpha)
-            / (params.epsilon * params.epsilon))
+        let cap = ((4.0 * params.alpha * params.alpha) / (params.epsilon * params.epsilon))
             .ceil()
             .clamp(8.0, 1e6) as usize;
         AlphaL2HeavyHitters {
-            finder: CountSketch::new(rng, params.depth, k_find),
-            verifier: CountSketch::new(rng, params.depth, k_verify),
+            finder: CountSketch::new(rng.gen(), params.depth, k_find),
+            verifier: CountSketch::new(rng.gen(), params.depth, k_verify),
             candidates: CandidateSet::new(cap),
             epsilon: params.epsilon,
             universe: params.n,
@@ -69,8 +70,33 @@ impl AlphaL2HeavyHitters {
             .map(|i| (i, verifier.estimate(i)))
             .filter(|&(_, e)| e.abs() >= thresh)
             .collect();
-        out.sort_by(|a, b| b.1.abs().partial_cmp(&a.1.abs()).unwrap().then(a.0.cmp(&b.0)));
+        out.sort_by(|a, b| {
+            b.1.abs()
+                .partial_cmp(&a.1.abs())
+                .unwrap()
+                .then(a.0.cmp(&b.0))
+        });
         out
+    }
+}
+
+impl Sketch for AlphaL2HeavyHitters {
+    fn update(&mut self, item: u64, delta: i64) {
+        AlphaL2HeavyHitters::update(self, item, delta);
+    }
+}
+
+impl PointQuery for AlphaL2HeavyHitters {
+    /// The verifier Countsketch's estimate of `f_item`.
+    fn point(&self, item: u64) -> f64 {
+        self.verifier.estimate(item)
+    }
+}
+
+impl NormEstimate for AlphaL2HeavyHitters {
+    /// Estimates `‖f‖₂` (Lemma 4 on the verifier rows).
+    fn norm_estimate(&self) -> f64 {
+        self.l2_estimate()
     }
 }
 
@@ -87,19 +113,15 @@ mod tests {
     use super::*;
     use bd_stream::gen::BoundedDeletionGen;
     use bd_stream::FrequencyVector;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn finds_l2_heavy_hitters() {
         let eps = 0.25;
         let alpha = 3.0;
-        let mut gen_rng = StdRng::seed_from_u64(1);
-        let stream = BoundedDeletionGen::new(1 << 12, 50_000, alpha).generate(&mut gen_rng);
+        let stream = BoundedDeletionGen::new(1 << 12, 50_000, alpha).generate_seeded(1);
         let truth = FrequencyVector::from_stream(&stream);
         let params = Params::practical(stream.n, eps, alpha);
-        let mut rng = StdRng::seed_from_u64(2);
-        let mut hh = AlphaL2HeavyHitters::new(&mut rng, &params);
+        let mut hh = AlphaL2HeavyHitters::new(2, &params);
         for u in &stream {
             hh.update(u.item, u.delta);
         }
@@ -118,11 +140,9 @@ mod tests {
 
     #[test]
     fn l2_norm_estimate_is_tight() {
-        let mut rng = StdRng::seed_from_u64(3);
         let params = Params::practical(1 << 10, 0.2, 2.0);
-        let mut hh = AlphaL2HeavyHitters::new(&mut rng, &params);
-        let mut gen_rng = StdRng::seed_from_u64(4);
-        let stream = BoundedDeletionGen::new(1 << 10, 20_000, 2.0).generate(&mut gen_rng);
+        let mut hh = AlphaL2HeavyHitters::new(3, &params);
+        let stream = BoundedDeletionGen::new(1 << 10, 20_000, 2.0).generate_seeded(4);
         for u in &stream {
             hh.update(u.item, u.delta);
         }

@@ -23,10 +23,24 @@
 //! | support sampling | Figure 8, Thm 11 | strict | [`AlphaSupportSampler`] |
 //! | L2 heavy hitters | Appendix A | general | [`AlphaL2HeavyHitters`] |
 //!
-//! All structures take a caller-supplied [`rand::Rng`] per update for the
-//! sampling coins, report bit-level space through
-//! [`bd_stream::SpaceUsage`], and are sized by [`Params`]. The
-//! unbounded-deletion baselines live in [`bd_sketch`].
+//! ## The unified sketch interface
+//!
+//! Every structure here implements [`bd_stream::Sketch`]: construction from
+//! a `u64` seed (each sketch **owns** its sampling RNG — no update path
+//! takes a caller-supplied generator, so identical seeds replay
+//! bit-for-bit), `update(item, Δ)`, and batched `update_batch`. The hottest
+//! structures ([`Csss`], [`AlphaHeavyHitters`]) override `update_batch`
+//! with pre-aggregating implementations that collapse duplicate items and
+//! amortize k-wise hashing; [`Csss`] and [`SampledVector`] also implement
+//! [`bd_stream::Mergeable`] (thin-to-common-level + add), the substrate for
+//! sharded ingestion. Capability traits ([`bd_stream::PointQuery`],
+//! [`bd_stream::NormEstimate`], [`bd_stream::SampleQuery`]) expose each
+//! structure's query. Drive any of them over a stream with
+//! [`bd_stream::StreamRunner`].
+//!
+//! All structures report bit-level space through [`bd_stream::SpaceUsage`]
+//! and are sized by [`Params`]. The unbounded-deletion baselines live in
+//! [`bd_sketch`].
 
 pub mod binomial;
 pub mod csss;

@@ -9,12 +9,14 @@
 //! is distributed exactly as a fresh `2^{-level}` sample of the prefix.
 
 use crate::binomial::{bin_half, bin_pow2};
-use bd_stream::{SpaceReport, SpaceUsage};
-use rand::Rng;
+use bd_stream::{Mergeable, NormEstimate, PointQuery, Sketch, SpaceReport, SpaceUsage};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
 use std::collections::HashMap;
 
 /// A uniformly sampled, dyadically thinned copy of the stream's frequency
-/// vector, with per-item positive/negative sampled counts.
+/// vector, with per-item positive/negative sampled counts. Owns its sampling
+/// RNG: construction from a `u64` seed makes replays identical.
 #[derive(Clone, Debug)]
 pub struct SampledVector {
     budget: u64,
@@ -23,18 +25,20 @@ pub struct SampledVector {
     position: u64,
     /// Per item: (sampled insertions, sampled deletions).
     counts: HashMap<u64, (u64, u64)>,
+    rng: SmallRng,
 }
 
 impl SampledVector {
     /// Keep roughly `budget..2·budget` sampled units: the rate halves each
     /// time the position crosses `budget·2^r` (giving `2^{-level} ≥ S/(2m)`,
     /// the invariant every use of Lemma 1 needs).
-    pub fn new(budget: u64) -> Self {
+    pub fn new(seed: u64, budget: u64) -> Self {
         SampledVector {
             budget: budget.max(1),
             level: 0,
             position: 0,
             counts: HashMap::new(),
+            rng: SmallRng::seed_from_u64(seed),
         }
     }
 
@@ -50,16 +54,16 @@ impl SampledVector {
 
     /// Apply an update; weighted updates are thinned with `Bin(|Δ|, 2^-p)`
     /// (§1.3's implicit unit expansion).
-    pub fn update<R: Rng + ?Sized>(&mut self, rng: &mut R, item: u64, delta: i64) {
+    pub fn update(&mut self, item: u64, delta: i64) {
         if delta == 0 {
             return;
         }
         let mag = delta.unsigned_abs();
         self.position += mag;
         while self.position > self.budget << self.level {
-            self.halve(rng);
+            self.halve();
         }
-        let kept = bin_pow2(rng, mag, self.level);
+        let kept = bin_pow2(&mut self.rng, mag, self.level);
         if kept == 0 {
             return;
         }
@@ -73,13 +77,22 @@ impl SampledVector {
 
     /// Downsample every retained unit with probability 1/2 and bump the
     /// level (Figure 2 step 5(a)).
-    fn halve<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+    ///
+    /// Entries are processed in sorted item order: `HashMap` iteration order
+    /// is nondeterministic per instance, and pairing it with draws from the
+    /// owned RNG would break the same-seed ⇒ bit-identical-replay contract.
+    fn halve(&mut self) {
         self.level += 1;
-        self.counts.retain(|_, (pos, neg)| {
-            *pos = bin_half(rng, *pos);
-            *neg = bin_half(rng, *neg);
-            *pos != 0 || *neg != 0
-        });
+        let mut items: Vec<u64> = self.counts.keys().copied().collect();
+        items.sort_unstable();
+        for item in items {
+            let slot = self.counts.get_mut(&item).expect("key just listed");
+            slot.0 = bin_half(&mut self.rng, slot.0);
+            slot.1 = bin_half(&mut self.rng, slot.1);
+            if slot.0 == 0 && slot.1 == 0 {
+                self.counts.remove(&item);
+            }
+        }
     }
 
     /// The scaled estimate `f*_i = 2^p·(pos_i − neg_i)`.
@@ -111,6 +124,62 @@ impl SampledVector {
     }
 }
 
+impl Sketch for SampledVector {
+    fn update(&mut self, item: u64, delta: i64) {
+        SampledVector::update(self, item, delta);
+    }
+}
+
+impl PointQuery for SampledVector {
+    fn point(&self, item: u64) -> f64 {
+        self.estimate(item)
+    }
+}
+
+impl NormEstimate for SampledVector {
+    /// Estimates `Σ_i f_i` (= `‖f‖₁` on strict-turnstile streams, Lemma 1).
+    fn norm_estimate(&self) -> f64 {
+        self.estimate_sum()
+    }
+}
+
+impl Mergeable for SampledVector {
+    /// Merge two independent samples of disjoint substreams: align to the
+    /// deeper sampling level by thinning, add per-item counts, add
+    /// positions, then restore the rate invariant. Budgets must match.
+    fn merge_from(&mut self, other: &Self) {
+        assert_eq!(
+            self.budget, other.budget,
+            "SampledVector merge requires matching budgets"
+        );
+        let target = self.level.max(other.level);
+        while self.level < target {
+            self.halve();
+        }
+        // Sorted order for the same determinism reason as `halve`.
+        let mut theirs: Vec<(u64, (u64, u64))> =
+            other.counts.iter().map(|(&i, &c)| (i, c)).collect();
+        theirs.sort_unstable_by_key(|&(i, _)| i);
+        let gap = target - other.level;
+        for (item, (pos, neg)) in theirs {
+            let (p, n) = (
+                bin_pow2(&mut self.rng, pos, gap),
+                bin_pow2(&mut self.rng, neg, gap),
+            );
+            if p == 0 && n == 0 {
+                continue;
+            }
+            let slot = self.counts.entry(item).or_insert((0, 0));
+            slot.0 += p;
+            slot.1 += n;
+        }
+        self.position += other.position;
+        while self.position > self.budget << self.level {
+            self.halve();
+        }
+    }
+}
+
 impl SpaceUsage for SampledVector {
     fn space(&self) -> SpaceReport {
         // Each entry: an identifier + two counters bounded by the retained
@@ -137,15 +206,12 @@ mod tests {
     use super::*;
     use bd_stream::gen::BoundedDeletionGen;
     use bd_stream::FrequencyVector;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn no_thinning_below_budget() {
-        let mut rng = StdRng::seed_from_u64(1);
-        let mut s = SampledVector::new(1_000);
+        let mut s = SampledVector::new(1, 1_000);
         for i in 0..100u64 {
-            s.update(&mut rng, i, 3);
+            s.update(i, 3);
         }
         assert_eq!(s.level(), 0);
         for i in 0..100u64 {
@@ -156,11 +222,10 @@ mod tests {
 
     #[test]
     fn rate_invariant_holds() {
-        let mut rng = StdRng::seed_from_u64(2);
         let budget = 256u64;
-        let mut s = SampledVector::new(budget);
+        let mut s = SampledVector::new(2, budget);
         for i in 0..100_000u64 {
-            s.update(&mut rng, i % 64, 1);
+            s.update(i % 64, 1);
         }
         // 2^{-level} >= budget / (2·position)
         assert!(budget << s.level() >= s.position());
@@ -175,18 +240,16 @@ mod tests {
         let alpha = 3.0f64;
         let eps = 0.15f64;
         let budget = (alpha * alpha / eps.powi(3) * 8.0) as u64;
-        let mut gen_rng = StdRng::seed_from_u64(3);
-        let stream = BoundedDeletionGen::new(1 << 10, 200_000, alpha).generate(&mut gen_rng);
+        let stream = BoundedDeletionGen::new(1 << 10, 200_000, alpha).generate_seeded(3);
         let truth = FrequencyVector::from_stream(&stream);
         let bound = eps * truth.l1() as f64;
 
         let mut violations = 0usize;
         let mut probes = 0usize;
         for seed in 0..8u64 {
-            let mut rng = StdRng::seed_from_u64(100 + seed);
-            let mut s = SampledVector::new(budget);
+            let mut s = SampledVector::new(100 + seed, budget);
             for u in &stream {
-                s.update(&mut rng, u.item, u.delta);
+                s.update(u.item, u.delta);
             }
             for i in truth.support() {
                 probes += 1;
@@ -206,13 +269,12 @@ mod tests {
 
     #[test]
     fn estimates_are_unbiased() {
-        let mut rng = StdRng::seed_from_u64(4);
         let trials = 3000;
         let mut acc = 0.0;
-        for _ in 0..trials {
-            let mut s = SampledVector::new(16);
+        for seed in 0..trials {
+            let mut s = SampledVector::new(seed, 16);
             for _ in 0..40 {
-                s.update(&mut rng, 7, 1); // f_7 = 40, forces thinning
+                s.update(7, 1); // f_7 = 40, forces thinning
             }
             acc += s.estimate(7);
         }
@@ -221,17 +283,53 @@ mod tests {
     }
 
     #[test]
+    fn seeded_replay_is_identical_under_thinning() {
+        // Small budget ⇒ halve() runs many times; replay must still be
+        // bit-identical (halve iterates in sorted order for this reason).
+        let stream = BoundedDeletionGen::new(1 << 10, 30_000, 4.0).generate_seeded(7);
+        let run = || {
+            let mut s = SampledVector::new(99, 64);
+            for u in &stream {
+                s.update(u.item, u.delta);
+            }
+            (0..1024u64)
+                .map(|i| s.estimate(i).to_bits())
+                .collect::<Vec<_>>()
+        };
+        assert!(run().iter().any(|&b| b != 0), "thinned sample is non-empty");
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn merge_is_seed_deterministic_under_thinning() {
+        let stream = BoundedDeletionGen::new(1 << 10, 20_000, 3.0).generate_seeded(8);
+        let mid = stream.len() / 2;
+        let run = || {
+            let mut left = SampledVector::new(1, 128);
+            let mut right = SampledVector::new(2, 128);
+            for u in &stream.updates[..mid] {
+                left.update(u.item, u.delta);
+            }
+            for u in &stream.updates[mid..] {
+                right.update(u.item, u.delta);
+            }
+            left.merge_from(&right);
+            (left.position(), left.level(), left.estimate_sum().to_bits())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
     fn deletions_thin_symmetrically() {
-        let mut rng = StdRng::seed_from_u64(5);
         let trials = 3000;
         let mut acc = 0.0;
-        for _ in 0..trials {
-            let mut s = SampledVector::new(32);
+        for seed in 0..trials {
+            let mut s = SampledVector::new(9000 + seed, 32);
             for _ in 0..50 {
-                s.update(&mut rng, 1, 2);
+                s.update(1, 2);
             }
             for _ in 0..30 {
-                s.update(&mut rng, 1, -2);
+                s.update(1, -2);
             }
             acc += s.estimate(1); // true f_1 = 40
         }

@@ -17,9 +17,9 @@
 use crate::l0_rough::AlphaRoughL0;
 use crate::params::Params;
 use bd_sketch::{Recovery, SparseRecovery};
-use bd_stream::{SpaceReport, SpaceUsage};
-use rand::Rng;
-use rand::SeedableRng;
+use bd_stream::{Sketch, SpaceReport, SpaceUsage};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
 
 /// One α-property support-sampler instance.
@@ -45,8 +45,9 @@ pub struct AlphaSupportSampler {
 }
 
 impl AlphaSupportSampler {
-    /// Build for request size `k` from shared parameters.
-    pub fn new<R: Rng + ?Sized>(rng: &mut R, params: &Params, k: usize) -> Self {
+    /// Build for request size `k` from shared parameters and a seed.
+    pub fn new(seed: u64, params: &Params, k: usize) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
         let n_pow = bd_hash::next_pow2(params.n.max(2));
         let max_level = bd_hash::log2_floor(n_pow);
         let s = (4 * k).max(8);
@@ -57,9 +58,9 @@ impl AlphaSupportSampler {
             .ceil()
             .clamp(0.0, max_level as f64) as u32;
         AlphaSupportSampler {
-            h: bd_hash::KWiseHash::pairwise(rng, n_pow),
+            h: bd_hash::KWiseHash::pairwise(&mut rng, n_pow),
             sketches: BTreeMap::new(),
-            tracker: AlphaRoughL0::new(rng, params.n),
+            tracker: AlphaRoughL0::new(rng.gen(), params.n),
             universe: params.n,
             s,
             k,
@@ -89,14 +90,14 @@ impl AlphaSupportSampler {
     }
 
     /// Apply an update.
-    pub fn update<R: Rng + ?Sized>(&mut self, rng: &mut R, item: u64, delta: i64) {
+    pub fn update(&mut self, item: u64, delta: i64) {
         if delta == 0 {
             return;
         }
-        let _ = rng;
         self.tracker.update(item, delta);
         // Maintain the live set: drop dead levels, spawn new ones (each new
-        // sketch sees only the suffix from its spawn time).
+        // sketch sees only the suffix from its spawn time; deterministic
+        // per-spawn seeds keep replays identical).
         let centre = self.centre();
         let lo = centre.saturating_sub(self.win_lo);
         let hi = (centre + self.win_hi).min(self.max_level);
@@ -104,11 +105,10 @@ impl AlphaSupportSampler {
         self.sketches.retain(|&j, _| j >= top || j >= lo);
         for j in (lo..=hi).chain(top..=self.max_level) {
             if !self.sketches.contains_key(&j) {
-                let mut spawn =
-                    rand::rngs::StdRng::seed_from_u64(self.spawn_seed ^ (self.spawned << 8));
+                let spawn = self.spawn_seed ^ (self.spawned << 8);
                 self.spawned += 1;
                 self.sketches
-                    .insert(j, SparseRecovery::new(&mut spawn, self.universe, self.s));
+                    .insert(j, SparseRecovery::new(spawn, self.universe, self.s));
             }
         }
         self.peak_live = self.peak_live.max(self.sketches.len());
@@ -154,6 +154,12 @@ impl AlphaSupportSampler {
     }
 }
 
+impl Sketch for AlphaSupportSampler {
+    fn update(&mut self, item: u64, delta: i64) {
+        AlphaSupportSampler::update(self, item, delta);
+    }
+}
+
 impl SpaceUsage for AlphaSupportSampler {
     fn space(&self) -> SpaceReport {
         let mut rep = SpaceReport {
@@ -176,20 +182,21 @@ pub struct AlphaSupportSamplerSet {
 }
 
 impl AlphaSupportSamplerSet {
-    /// Build `O(log 1/δ)` instances.
-    pub fn new<R: Rng + ?Sized>(rng: &mut R, params: &Params, k: usize) -> Self {
+    /// Build `O(log 1/δ)` instances with seeds derived from `seed`.
+    pub fn new(seed: u64, params: &Params, k: usize) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
         let copies = ((1.0 / params.delta).log2().ceil() as usize).clamp(1, 16);
         AlphaSupportSamplerSet {
             instances: (0..copies)
-                .map(|_| AlphaSupportSampler::new(rng, params, k))
+                .map(|_| AlphaSupportSampler::new(rng.gen(), params, k))
                 .collect(),
         }
     }
 
     /// Apply an update to every instance.
-    pub fn update<R: Rng + ?Sized>(&mut self, rng: &mut R, item: u64, delta: i64) {
+    pub fn update(&mut self, item: u64, delta: i64) {
         for inst in &mut self.instances {
-            inst.update(rng, item, delta);
+            inst.update(item, delta);
         }
     }
 
@@ -199,6 +206,12 @@ impl AlphaSupportSamplerSet {
         out.sort_unstable();
         out.dedup();
         out
+    }
+}
+
+impl Sketch for AlphaSupportSamplerSet {
+    fn update(&mut self, item: u64, delta: i64) {
+        AlphaSupportSamplerSet::update(self, item, delta);
     }
 }
 
@@ -215,7 +228,6 @@ mod tests {
     use super::*;
     use bd_stream::gen::{L0AlphaGen, SensorGen};
     use bd_stream::FrequencyVector;
-    use rand::rngs::StdRng;
 
     #[test]
     fn returns_enough_valid_support() {
@@ -223,14 +235,13 @@ mod tests {
         let mut ok = 0;
         let trials = 10;
         for seed in 0..trials {
-            let mut rng = StdRng::seed_from_u64(seed);
-            let stream = L0AlphaGen::new(1 << 18, 600, alpha).generate(&mut rng);
+            let stream = L0AlphaGen::new(1 << 18, 600, alpha).generate_seeded(seed);
             let truth = FrequencyVector::from_stream(&stream);
             let params = Params::practical(stream.n, 0.25, alpha);
             let k = 16usize;
-            let mut s = AlphaSupportSamplerSet::new(&mut rng, &params, k);
+            let mut s = AlphaSupportSamplerSet::new(seed, &params, k);
             for u in &stream {
-                s.update(&mut rng, u.item, u.delta);
+                s.update(u.item, u.delta);
             }
             let got = s.query();
             let valid = got.iter().all(|&i| truth.get(i) != 0);
@@ -243,13 +254,12 @@ mod tests {
 
     #[test]
     fn never_returns_deleted_items() {
-        let mut rng = StdRng::seed_from_u64(11);
-        let stream = SensorGen::new(1 << 16, 100, 400).generate(&mut rng);
+        let stream = SensorGen::new(1 << 16, 100, 400).generate_seeded(11);
         let truth = FrequencyVector::from_stream(&stream);
         let params = Params::practical(stream.n, 0.25, 5.0);
-        let mut s = AlphaSupportSampler::new(&mut rng, &params, 8);
+        let mut s = AlphaSupportSampler::new(11, &params, 8);
         for u in &stream {
-            s.update(&mut rng, u.item, u.delta);
+            s.update(u.item, u.delta);
         }
         for i in s.query() {
             assert!(truth.get(i) > 0, "item {i} is not in the support");
@@ -258,11 +268,10 @@ mod tests {
 
     #[test]
     fn small_support_fully_recovered() {
-        let mut rng = StdRng::seed_from_u64(12);
         let params = Params::practical(1 << 20, 0.25, 2.0);
-        let mut s = AlphaSupportSampler::new(&mut rng, &params, 8);
+        let mut s = AlphaSupportSampler::new(12, &params, 8);
         for i in 0..5u64 {
-            s.update(&mut rng, i * 131_071, (i + 1) as i64);
+            s.update(i * 131_071, (i + 1) as i64);
         }
         let got = s.query();
         assert_eq!(got.len(), 5, "‖f‖₀ < k ⇒ everything comes back: {got:?}");
@@ -270,13 +279,12 @@ mod tests {
 
     #[test]
     fn live_levels_stay_windowed() {
-        let mut rng = StdRng::seed_from_u64(13);
         let alpha = 2.0;
-        let stream = L0AlphaGen::new(1 << 24, 2_000, alpha).generate(&mut rng);
+        let stream = L0AlphaGen::new(1 << 24, 2_000, alpha).generate_seeded(13);
         let params = Params::practical(stream.n, 0.25, alpha);
-        let mut s = AlphaSupportSampler::new(&mut rng, &params, 8);
+        let mut s = AlphaSupportSampler::new(13, &params, 8);
         for u in &stream {
-            s.update(&mut rng, u.item, u.delta);
+            s.update(u.item, u.delta);
         }
         let logn = bd_hash::log2_ceil(stream.n) as usize;
         assert!(

@@ -111,7 +111,7 @@ pub fn reduce_u64(x: u64) -> u64 {
 pub fn reduce_u128(x: u128) -> u64 {
     // x = lo + 2^61 * hi with hi < 2^67; fold twice.
     let lo = (x & (M61 as u128)) as u64;
-    let hi = (x >> 61) as u128;
+    let hi = x >> 61;
     let hi_lo = (hi & M61 as u128) as u64;
     let hi_hi = (hi >> 61) as u64; // < 2^6
     let mut r = lo as u128 + hi_lo as u128 + hi_hi as u128;

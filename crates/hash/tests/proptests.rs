@@ -1,66 +1,117 @@
-//! Property-based tests for the hashing substrate.
+//! Property-style tests for the hashing substrate.
+//!
+//! The offline build has no `proptest`, so properties are checked over
+//! seeded pseudo-random case sweeps: same coverage shape (hundreds of random
+//! cases per property), fully deterministic replays.
 
 use bd_hash::field::{poly_eval, M61Elem, M61};
 use bd_hash::{is_prime, mod_streaming, KWiseHash, SignHash};
-use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
-proptest! {
-    #[test]
-    fn field_add_commutes(a in 0..M61, b in 0..M61) {
+const CASES: usize = 256;
+
+#[test]
+fn field_add_commutes() {
+    let mut rng = StdRng::seed_from_u64(1);
+    for _ in 0..CASES {
+        let (a, b) = (rng.gen_range(0..M61), rng.gen_range(0..M61));
         let (x, y) = (M61Elem::new(a), M61Elem::new(b));
-        prop_assert_eq!(x.add(y), y.add(x));
+        assert_eq!(x.add(y), y.add(x));
     }
+}
 
-    #[test]
-    fn field_mul_commutes_and_distributes(a in 0..M61, b in 0..M61, c in 0..M61) {
+#[test]
+fn field_mul_commutes_and_distributes() {
+    let mut rng = StdRng::seed_from_u64(2);
+    for _ in 0..CASES {
+        let (a, b, c) = (
+            rng.gen_range(0..M61),
+            rng.gen_range(0..M61),
+            rng.gen_range(0..M61),
+        );
         let (x, y, z) = (M61Elem::new(a), M61Elem::new(b), M61Elem::new(c));
-        prop_assert_eq!(x.mul(y), y.mul(x));
-        prop_assert_eq!(x.mul(y.add(z)), x.mul(y).add(x.mul(z)));
+        assert_eq!(x.mul(y), y.mul(x));
+        assert_eq!(x.mul(y.add(z)), x.mul(y).add(x.mul(z)));
     }
+}
 
-    #[test]
-    fn field_mul_matches_u128(a in 0..M61, b in 0..M61) {
+#[test]
+fn field_mul_matches_u128() {
+    let mut rng = StdRng::seed_from_u64(3);
+    for _ in 0..CASES {
+        let (a, b) = (rng.gen_range(0..M61), rng.gen_range(0..M61));
         let expect = ((a as u128 * b as u128) % M61 as u128) as u64;
-        prop_assert_eq!(M61Elem::new(a).mul(M61Elem::new(b)).value(), expect);
+        assert_eq!(M61Elem::new(a).mul(M61Elem::new(b)).value(), expect);
     }
+}
 
-    #[test]
-    fn field_inverse_is_inverse(a in 1..M61) {
+#[test]
+fn field_inverse_is_inverse() {
+    let mut rng = StdRng::seed_from_u64(4);
+    for _ in 0..CASES {
+        let a = rng.gen_range(1..M61);
         let x = M61Elem::new(a);
-        prop_assert_eq!(x.mul(x.inv()), M61Elem::ONE);
+        assert_eq!(x.mul(x.inv()), M61Elem::ONE);
     }
+}
 
-    #[test]
-    fn poly_eval_linear_case(c0 in 0..M61, c1 in 0..M61, x in 0..M61) {
+#[test]
+fn poly_eval_linear_case() {
+    let mut rng = StdRng::seed_from_u64(5);
+    for _ in 0..CASES {
+        let (c0, c1, x) = (
+            rng.gen_range(0..M61),
+            rng.gen_range(0..M61),
+            rng.gen_range(0..M61),
+        );
         let coeffs = [M61Elem::new(c0), M61Elem::new(c1)];
         let expect = M61Elem::new(c0).add(M61Elem::new(c1).mul(M61Elem::new(x)));
-        prop_assert_eq!(poly_eval(&coeffs, M61Elem::new(x)), expect);
+        assert_eq!(poly_eval(&coeffs, M61Elem::new(x)), expect);
     }
+}
 
-    #[test]
-    fn hash_range_respected(seed: u64, k in 1usize..8, range in 1u64..10_000, x: u64) {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let h = KWiseHash::new(&mut rng, k, range);
-        prop_assert!(h.hash(x) < range);
+#[test]
+fn hash_range_respected() {
+    let mut rng = StdRng::seed_from_u64(6);
+    for case in 0..CASES as u64 {
+        let k = rng.gen_range(1usize..8);
+        let range = rng.gen_range(1u64..10_000);
+        let x: u64 = rng.gen();
+        let mut hrng = StdRng::seed_from_u64(case);
+        let h = KWiseHash::new(&mut hrng, k, range);
+        assert!(h.hash(x) < range);
     }
+}
 
-    #[test]
-    fn sign_hash_is_pm_one(seed: u64, x: u64) {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let g = SignHash::new(&mut rng);
+#[test]
+fn sign_hash_is_pm_one() {
+    let mut rng = StdRng::seed_from_u64(7);
+    for case in 0..CASES as u64 {
+        let x: u64 = rng.gen();
+        let mut grng = StdRng::seed_from_u64(case);
+        let g = SignHash::new(&mut grng);
         let s = g.sign(x);
-        prop_assert!(s == 1 || s == -1);
+        assert!(s == 1 || s == -1);
     }
+}
 
-    #[test]
-    fn streaming_mod_agrees(x: u64, p in 2u64..1_000_000) {
-        prop_assert_eq!(mod_streaming(x, p), x % p);
+#[test]
+fn streaming_mod_agrees() {
+    let mut rng = StdRng::seed_from_u64(8);
+    for _ in 0..CASES {
+        let x: u64 = rng.gen();
+        let p = rng.gen_range(2u64..1_000_000);
+        assert_eq!(mod_streaming(x, p), x % p);
     }
+}
 
-    #[test]
-    fn primality_has_no_false_positives_on_products(a in 2u64..50_000, b in 2u64..50_000) {
-        prop_assert!(!is_prime(a * b));
+#[test]
+fn primality_has_no_false_positives_on_products() {
+    let mut rng = StdRng::seed_from_u64(9);
+    for _ in 0..CASES {
+        let a = rng.gen_range(2u64..50_000);
+        let b = rng.gen_range(2u64..50_000);
+        assert!(!is_prime(a * b), "{a}·{b} reported prime");
     }
 }

@@ -15,20 +15,26 @@
 //! constructed in pairs (or families) from a shared seed object.
 
 use crate::weight::median_f64;
-use bd_stream::{MaxMag, SpaceReport, SpaceUsage};
-use rand::Rng;
+use bd_stream::{MaxMag, Mergeable, Sketch, SpaceReport, SpaceUsage};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
 
 /// The shared hash functions for a family of compatible AMS sketches.
 #[derive(Clone, Debug)]
 pub struct AmsFamily {
+    seed: u64,
     signs: Vec<bd_hash::SignHash>,
 }
 
 impl AmsFamily {
-    /// Create a family with `rows` independent sign rows.
-    pub fn new<R: Rng + ?Sized>(rng: &mut R, rows: usize) -> Self {
+    /// Create a family with `rows` independent sign rows from a seed.
+    pub fn new(seed: u64, rows: usize) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
         AmsFamily {
-            signs: (0..rows).map(|_| bd_hash::SignHash::new(rng)).collect(),
+            seed,
+            signs: (0..rows)
+                .map(|_| bd_hash::SignHash::new(&mut rng))
+                .collect(),
         }
     }
 
@@ -92,11 +98,29 @@ impl AmsSketch {
             if lo >= hi {
                 break;
             }
-            let mean =
-                (lo..hi).map(|r| (self.z[r] as f64).powi(2)).sum::<f64>() / (hi - lo) as f64;
+            let mean = (lo..hi).map(|r| (self.z[r] as f64).powi(2)).sum::<f64>() / (hi - lo) as f64;
             meds.push(mean);
         }
         median_f64(&mut meds)
+    }
+}
+
+impl Sketch for AmsSketch {
+    fn update(&mut self, item: u64, delta: i64) {
+        AmsSketch::update(self, item, delta);
+    }
+}
+
+impl Mergeable for AmsSketch {
+    fn merge_from(&mut self, other: &Self) {
+        assert!(
+            self.family.seed == other.family.seed && self.z.len() == other.z.len(),
+            "AmsSketch merge requires sketches of one family"
+        );
+        for (a, b) in self.z.iter_mut().zip(&other.z) {
+            *a += *b;
+            self.max_mag.observe(*a);
+        }
     }
 }
 
@@ -105,12 +129,7 @@ impl SpaceUsage for AmsSketch {
         SpaceReport {
             counters: self.z.len() as u64,
             counter_bits: self.z.len() as u64 * self.max_mag.bits_signed(),
-            seed_bits: self
-                .family
-                .signs
-                .iter()
-                .map(|s| s.seed_bits() as u64)
-                .sum(),
+            seed_bits: self.family.signs.iter().map(|s| s.seed_bits() as u64).sum(),
             overhead_bits: 0,
         }
     }
@@ -120,19 +139,25 @@ impl SpaceUsage for AmsSketch {
 /// one bucket hash `h` and one sign hash `σ`, shared by both vectors).
 #[derive(Clone, Debug)]
 pub struct IpFamily {
+    seed: u64,
     buckets: Vec<bd_hash::KWiseHash>,
     signs: Vec<bd_hash::SignHash>,
     width: usize,
 }
 
 impl IpFamily {
-    /// `depth` independent (bucket, sign) rows of `width` buckets.
-    pub fn new<R: Rng + ?Sized>(rng: &mut R, depth: usize, width: usize) -> Self {
+    /// `depth` independent (bucket, sign) rows of `width` buckets, from a
+    /// seed.
+    pub fn new(seed: u64, depth: usize, width: usize) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
         IpFamily {
+            seed,
             buckets: (0..depth)
-                .map(|_| bd_hash::KWiseHash::pairwise(rng, width as u64))
+                .map(|_| bd_hash::KWiseHash::pairwise(&mut rng, width as u64))
                 .collect(),
-            signs: (0..depth).map(|_| bd_hash::SignHash::new(rng)).collect(),
+            signs: (0..depth)
+                .map(|_| bd_hash::SignHash::new(&mut rng))
+                .collect(),
             width,
         }
     }
@@ -183,6 +208,25 @@ impl IpCountSketch {
     }
 }
 
+impl Sketch for IpCountSketch {
+    fn update(&mut self, item: u64, delta: i64) {
+        IpCountSketch::update(self, item, delta);
+    }
+}
+
+impl Mergeable for IpCountSketch {
+    fn merge_from(&mut self, other: &Self) {
+        assert!(
+            self.family.seed == other.family.seed && self.table.len() == other.table.len(),
+            "IpCountSketch merge requires sketches of one family"
+        );
+        for (a, b) in self.table.iter_mut().zip(&other.table) {
+            *a += *b;
+            self.max_mag.observe(*a);
+        }
+    }
+}
+
 impl SpaceUsage for IpCountSketch {
     fn space(&self) -> SpaceReport {
         SpaceReport {
@@ -205,13 +249,10 @@ mod tests {
     use super::*;
     use bd_stream::gen::NetworkDiffGen;
     use bd_stream::FrequencyVector;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn ams_exact_expectation_on_disjoint_supports() {
-        let mut rng = StdRng::seed_from_u64(1);
-        let fam = AmsFamily::new(&mut rng, 600);
+        let fam = AmsFamily::new(1, 600);
         let mut a = fam.sketch();
         let mut b = fam.sketch();
         a.update(1, 10);
@@ -222,8 +263,7 @@ mod tests {
 
     #[test]
     fn ams_recovers_overlap() {
-        let mut rng = StdRng::seed_from_u64(2);
-        let fam = AmsFamily::new(&mut rng, 800);
+        let fam = AmsFamily::new(2, 800);
         let mut a = fam.sketch();
         let mut b = fam.sketch();
         for i in 0..20u64 {
@@ -236,14 +276,31 @@ mod tests {
     }
 
     #[test]
+    fn ams_merge_is_linear() {
+        let fam = AmsFamily::new(5, 64);
+        let mut whole = fam.sketch();
+        let mut left = fam.sketch();
+        let mut right = fam.sketch();
+        for i in 0..40u64 {
+            whole.update(i, i as i64 + 1);
+            if i < 20 {
+                left.update(i, i as i64 + 1);
+            } else {
+                right.update(i, i as i64 + 1);
+            }
+        }
+        left.merge_from(&right);
+        assert_eq!(whole.z, left.z);
+    }
+
+    #[test]
     fn ip_countsketch_additive_error() {
-        let mut rng = StdRng::seed_from_u64(3);
         let eps = 0.05;
-        let fam = IpFamily::new(&mut rng, 9, (2.0 / eps) as usize);
+        let fam = IpFamily::new(3, 9, (2.0 / eps) as usize);
         let mut sa = fam.sketch();
         let mut sb = fam.sketch();
-        let ga = NetworkDiffGen::new(1 << 14, 20_000, 0.2).generate(&mut rng);
-        let gb = NetworkDiffGen::new(1 << 14, 20_000, 0.2).generate(&mut rng);
+        let ga = NetworkDiffGen::new(1 << 14, 20_000, 0.2).generate_seeded(31);
+        let gb = NetworkDiffGen::new(1 << 14, 20_000, 0.2).generate_seeded(32);
         for u in &ga {
             sa.update(u.item, u.delta);
         }
@@ -264,8 +321,7 @@ mod tests {
 
     #[test]
     fn ams_f2_estimate() {
-        let mut rng = StdRng::seed_from_u64(4);
-        let fam = AmsFamily::new(&mut rng, 900);
+        let fam = AmsFamily::new(4, 900);
         let mut a = fam.sketch();
         for i in 0..50u64 {
             a.update(i, (i % 5) as i64 + 1);

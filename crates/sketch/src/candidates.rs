@@ -55,7 +55,12 @@ impl CandidateSet {
     /// The top `k` candidates by `|score|`, descending.
     pub fn top_k<F: Fn(u64) -> f64>(&self, k: usize, score: F) -> Vec<(u64, f64)> {
         let mut scored: Vec<(u64, f64)> = self.items.iter().map(|&i| (i, score(i))).collect();
-        scored.sort_by(|a, b| b.1.abs().partial_cmp(&a.1.abs()).unwrap().then(a.0.cmp(&b.0)));
+        scored.sort_by(|a, b| {
+            b.1.abs()
+                .partial_cmp(&a.1.abs())
+                .unwrap()
+                .then(a.0.cmp(&b.0))
+        });
         scored.truncate(k);
         scored
     }

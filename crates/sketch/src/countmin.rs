@@ -6,12 +6,16 @@
 //! is within `ε‖f‖₁` for `w = ⌈e/ε⌉` with probability `1 − δ`. Used as an
 //! auxiliary baseline for the heavy-hitter comparisons.
 
-use bd_stream::{MaxMag, SpaceReport, SpaceUsage};
-use rand::Rng;
+use bd_stream::{
+    aggregate_net, MaxMag, Mergeable, PointQuery, Sketch, SpaceReport, SpaceUsage, Update,
+};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
 
 /// A Count-Min sketch (strict turnstile: net counters stay non-negative).
 #[derive(Clone, Debug)]
 pub struct CountMin {
+    seed: u64,
     depth: usize,
     width: usize,
     table: Vec<i64>,
@@ -20,25 +24,33 @@ pub struct CountMin {
 }
 
 impl CountMin {
-    /// Create a `depth × width` Count-Min sketch.
-    pub fn new<R: Rng + ?Sized>(rng: &mut R, depth: usize, width: usize) -> Self {
+    /// Create a `depth × width` Count-Min sketch from a seed (identical
+    /// seeds and shapes share hash functions — the [`Mergeable`] contract).
+    pub fn new(seed: u64, depth: usize, width: usize) -> Self {
         assert!(depth >= 1 && width >= 1);
+        let mut rng = SmallRng::seed_from_u64(seed);
         CountMin {
+            seed,
             depth,
             width,
             table: vec![0; depth * width],
             hashes: (0..depth)
-                .map(|_| bd_hash::KWiseHash::pairwise(rng, width as u64))
+                .map(|_| bd_hash::KWiseHash::pairwise(&mut rng, width as u64))
                 .collect(),
             max_mag: MaxMag::default(),
         }
     }
 
     /// Sized for error `ε‖f‖₁` with failure probability `δ`.
-    pub fn with_error<R: Rng + ?Sized>(rng: &mut R, epsilon: f64, delta: f64) -> Self {
+    pub fn with_error(seed: u64, epsilon: f64, delta: f64) -> Self {
         let width = (std::f64::consts::E / epsilon).ceil() as usize;
         let depth = (1.0 / delta).ln().ceil().max(1.0) as usize;
-        Self::new(rng, depth, width)
+        Self::new(seed, depth, width)
+    }
+
+    /// The construction seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
     /// Apply an update.
@@ -72,6 +84,46 @@ impl CountMin {
     }
 }
 
+impl Sketch for CountMin {
+    fn update(&mut self, item: u64, delta: i64) {
+        CountMin::update(self, item, delta);
+    }
+
+    /// Batched ingestion: duplicate items collapse to one net delta, paying
+    /// the `depth` pairwise hash evaluations once per distinct item per
+    /// chunk. Estimates are bit-identical to the sequential loop by
+    /// linearity; the `max_mag` width tracker may record *smaller* peaks
+    /// (intra-chunk cancellations never hit the table), so reported counter
+    /// widths reflect the magnitudes actually written, which can depend on
+    /// the chunking.
+    fn update_batch(&mut self, batch: &[Update]) {
+        for (item, net) in aggregate_net(batch) {
+            if net != 0 {
+                CountMin::update(self, item, net);
+            }
+        }
+    }
+}
+
+impl PointQuery for CountMin {
+    fn point(&self, item: u64) -> f64 {
+        self.estimate(item) as f64
+    }
+}
+
+impl Mergeable for CountMin {
+    fn merge_from(&mut self, other: &Self) {
+        assert!(
+            self.seed == other.seed && self.depth == other.depth && self.width == other.width,
+            "CountMin merge requires identically seeded sketches"
+        );
+        for (a, b) in self.table.iter_mut().zip(&other.table) {
+            *a += *b;
+            self.max_mag.observe(*a);
+        }
+    }
+}
+
 impl SpaceUsage for CountMin {
     fn space(&self) -> SpaceReport {
         SpaceReport {
@@ -87,15 +139,12 @@ impl SpaceUsage for CountMin {
 mod tests {
     use super::*;
     use bd_stream::gen::BoundedDeletionGen;
-    use bd_stream::FrequencyVector;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use bd_stream::{FrequencyVector, StreamRunner};
 
     #[test]
     fn never_underestimates_on_strict_streams() {
-        let mut rng = StdRng::seed_from_u64(1);
-        let mut cm = CountMin::new(&mut rng, 5, 64);
-        let stream = BoundedDeletionGen::new(1 << 10, 10_000, 3.0).generate(&mut rng);
+        let mut cm = CountMin::new(1, 5, 64);
+        let stream = BoundedDeletionGen::new(1 << 10, 10_000, 3.0).generate_seeded(1);
         let truth = FrequencyVector::from_stream(&stream);
         for u in &stream {
             cm.update(u.item, u.delta);
@@ -107,10 +156,9 @@ mod tests {
 
     #[test]
     fn error_within_epsilon_l1() {
-        let mut rng = StdRng::seed_from_u64(2);
         let eps = 0.02;
-        let mut cm = CountMin::with_error(&mut rng, eps, 0.01);
-        let stream = BoundedDeletionGen::new(1 << 12, 40_000, 2.0).generate(&mut rng);
+        let mut cm = CountMin::with_error(2, eps, 0.01);
+        let stream = BoundedDeletionGen::new(1 << 12, 40_000, 2.0).generate_seeded(2);
         let truth = FrequencyVector::from_stream(&stream);
         for u in &stream {
             cm.update(u.item, u.delta);
@@ -127,9 +175,42 @@ mod tests {
 
     #[test]
     fn exact_for_singleton() {
-        let mut rng = StdRng::seed_from_u64(3);
-        let mut cm = CountMin::new(&mut rng, 3, 16);
+        let mut cm = CountMin::new(3, 3, 16);
         cm.update(7, 41);
         assert_eq!(cm.estimate(7), 41);
+    }
+
+    #[test]
+    fn batched_ingestion_is_bit_identical() {
+        let stream = BoundedDeletionGen::new(1 << 10, 20_000, 3.0).generate_seeded(4);
+        let mut per_update = CountMin::new(5, 5, 64);
+        let mut batched = per_update.clone();
+        StreamRunner::unbatched().run(&mut per_update, &stream);
+        StreamRunner::new().run(&mut batched, &stream);
+        for i in 0..1024u64 {
+            assert_eq!(per_update.estimate(i), batched.estimate(i));
+        }
+    }
+
+    #[test]
+    fn merge_equals_single_pass() {
+        let stream = BoundedDeletionGen::new(1 << 10, 10_000, 2.0).generate_seeded(6);
+        let mid = stream.len() / 2;
+        let mut whole = CountMin::new(7, 5, 64);
+        let mut left = whole.clone();
+        let mut right = whole.clone();
+        for u in &stream {
+            whole.update(u.item, u.delta);
+        }
+        for u in &stream.updates[..mid] {
+            left.update(u.item, u.delta);
+        }
+        for u in &stream.updates[mid..] {
+            right.update(u.item, u.delta);
+        }
+        left.merge_from(&right);
+        for i in 0..1024u64 {
+            assert_eq!(whole.estimate(i), left.estimate(i));
+        }
     }
 }

@@ -9,13 +9,17 @@
 //! sampler and the heavy-hitter comparisons.
 
 use crate::weight::{median_f64, Weight};
-use bd_stream::{MaxMag, SpaceReport, SpaceUsage};
-use rand::Rng;
+use bd_stream::{
+    aggregate_net, MaxMag, Mergeable, PointQuery, Sketch, SpaceReport, SpaceUsage, Update,
+};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
 
 /// A Countsketch with `depth` rows and `width` buckets per row over counters
 /// of type `W` (`i64` for plain streams, `f64` for precision-scaled ones).
 #[derive(Clone, Debug)]
 pub struct CountSketch<W: Weight = i64> {
+    seed: u64,
     depth: usize,
     width: usize,
     table: Vec<W>,
@@ -25,20 +29,30 @@ pub struct CountSketch<W: Weight = i64> {
 }
 
 impl<W: Weight> CountSketch<W> {
-    /// Create a `depth × width` Countsketch. For the paper's parameters use
-    /// `width = 6k` and `depth = O(log n)`.
-    pub fn new<R: Rng + ?Sized>(rng: &mut R, depth: usize, width: usize) -> Self {
+    /// Create a `depth × width` Countsketch from a seed (identical seeds and
+    /// shapes give identical hash functions, the [`Mergeable`] contract).
+    /// For the paper's parameters use `width = 6k` and `depth = O(log n)`.
+    pub fn new(seed: u64, depth: usize, width: usize) -> Self {
         assert!(depth >= 1 && width >= 1);
+        let mut rng = SmallRng::seed_from_u64(seed);
         CountSketch {
+            seed,
             depth,
             width,
             table: vec![W::zero(); depth * width],
             bucket_hashes: (0..depth)
-                .map(|_| bd_hash::KWiseHash::fourwise(rng, width as u64))
+                .map(|_| bd_hash::KWiseHash::fourwise(&mut rng, width as u64))
                 .collect(),
-            sign_hashes: (0..depth).map(|_| bd_hash::SignHash::new(rng)).collect(),
+            sign_hashes: (0..depth)
+                .map(|_| bd_hash::SignHash::new(&mut rng))
+                .collect(),
             max_mag: MaxMag::default(),
         }
+    }
+
+    /// The construction seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
     /// Number of rows.
@@ -81,7 +95,9 @@ impl<W: Weight> CountSketch<W> {
 
     /// Median-of-rows point estimate `y*_j`.
     pub fn estimate(&self, item: u64) -> f64 {
-        let mut ests: Vec<f64> = (0..self.depth).map(|r| self.row_estimate(r, item)).collect();
+        let mut ests: Vec<f64> = (0..self.depth)
+            .map(|r| self.row_estimate(r, item))
+            .collect();
         median_f64(&mut ests)
     }
 
@@ -111,6 +127,46 @@ impl<W: Weight> CountSketch<W> {
     }
 }
 
+impl<W: Weight> Sketch for CountSketch<W> {
+    fn update(&mut self, item: u64, delta: i64) {
+        CountSketch::update(self, item, W::from_i64(delta));
+    }
+
+    /// Batched ingestion: collapse duplicate items to net deltas first, so
+    /// each distinct item pays the `depth` 4-wise hash evaluations once per
+    /// chunk. Estimates are bit-identical to the sequential loop by
+    /// linearity; the `max_mag` width tracker may record *smaller* peaks
+    /// (intra-chunk cancellations never hit the table), so reported counter
+    /// widths reflect the magnitudes actually written, which can depend on
+    /// the chunking.
+    fn update_batch(&mut self, batch: &[Update]) {
+        for (item, net) in aggregate_net(batch) {
+            if net != 0 {
+                CountSketch::update(self, item, W::from_i64(net));
+            }
+        }
+    }
+}
+
+impl<W: Weight> PointQuery for CountSketch<W> {
+    fn point(&self, item: u64) -> f64 {
+        self.estimate(item)
+    }
+}
+
+impl<W: Weight> Mergeable for CountSketch<W> {
+    fn merge_from(&mut self, other: &Self) {
+        assert!(
+            self.seed == other.seed && self.depth == other.depth && self.width == other.width,
+            "CountSketch merge requires identically seeded sketches"
+        );
+        for (a, b) in self.table.iter_mut().zip(&other.table) {
+            a.add_assign(*b);
+            self.max_mag.observe_mag(a.abs_f64() as u64);
+        }
+    }
+}
+
 impl<W: Weight> SpaceUsage for CountSketch<W> {
     fn space(&self) -> SpaceReport {
         let seed_bits: usize = self
@@ -132,15 +188,12 @@ impl<W: Weight> SpaceUsage for CountSketch<W> {
 mod tests {
     use super::*;
     use bd_stream::gen::BoundedDeletionGen;
-    use bd_stream::FrequencyVector;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use bd_stream::{FrequencyVector, StreamRunner};
 
     #[test]
     fn exact_on_sparse_input() {
         // With few items and a wide table, estimates are exact w.h.p.
-        let mut rng = StdRng::seed_from_u64(1);
-        let mut cs = CountSketch::<i64>::new(&mut rng, 9, 256);
+        let mut cs = CountSketch::<i64>::new(1, 9, 256);
         cs.update(10, 5);
         cs.update(20, -3);
         cs.update(10, 2);
@@ -151,10 +204,9 @@ mod tests {
 
     #[test]
     fn error_bounded_by_lemma_two() {
-        let mut rng = StdRng::seed_from_u64(2);
         let k = 16usize;
-        let mut cs = CountSketch::<i64>::new(&mut rng, 15, 6 * k);
-        let stream = BoundedDeletionGen::new(1 << 12, 30_000, 4.0).generate(&mut rng);
+        let mut cs = CountSketch::<i64>::new(2, 15, 6 * k);
+        let stream = BoundedDeletionGen::new(1 << 12, 30_000, 4.0).generate_seeded(2);
         let truth = FrequencyVector::from_stream(&stream);
         for u in &stream {
             cs.update(u.item, u.delta);
@@ -178,9 +230,8 @@ mod tests {
 
     #[test]
     fn l2_estimate_close() {
-        let mut rng = StdRng::seed_from_u64(3);
-        let mut cs = CountSketch::<i64>::new(&mut rng, 11, 512);
-        let stream = BoundedDeletionGen::new(1 << 10, 20_000, 2.0).generate(&mut rng);
+        let mut cs = CountSketch::<i64>::new(3, 11, 512);
+        let stream = BoundedDeletionGen::new(1 << 10, 20_000, 2.0).generate_seeded(3);
         for u in &stream {
             cs.update(u.item, u.delta);
         }
@@ -194,8 +245,7 @@ mod tests {
 
     #[test]
     fn float_counters_accept_scaled_updates() {
-        let mut rng = StdRng::seed_from_u64(4);
-        let mut cs = CountSketch::<f64>::new(&mut rng, 7, 64);
+        let mut cs = CountSketch::<f64>::new(4, 7, 64);
         cs.update(5, 2.5);
         cs.update(5, 0.5);
         assert!((cs.estimate(5) - 3.0).abs() < 1e-12);
@@ -203,8 +253,7 @@ mod tests {
 
     #[test]
     fn space_reports_counter_growth() {
-        let mut rng = StdRng::seed_from_u64(5);
-        let mut cs = CountSketch::<i64>::new(&mut rng, 2, 4);
+        let mut cs = CountSketch::<i64>::new(5, 2, 4);
         let before = cs.space().counter_bits;
         for _ in 0..1000 {
             cs.update(1, 1000);
@@ -213,5 +262,50 @@ mod tests {
         assert!(after > before, "counter widths must grow with magnitude");
         assert_eq!(cs.space().counters, 8);
         assert!(cs.space().seed_bits > 0);
+    }
+
+    #[test]
+    fn batched_ingestion_is_bit_identical() {
+        let stream = BoundedDeletionGen::new(1 << 10, 20_000, 3.0).generate_seeded(6);
+        let mut per_update = CountSketch::<i64>::new(7, 7, 128);
+        let mut batched = per_update.clone();
+        StreamRunner::unbatched().run(&mut per_update, &stream);
+        StreamRunner::new().run(&mut batched, &stream);
+        for i in 0..1024u64 {
+            assert_eq!(
+                per_update.estimate(i).to_bits(),
+                batched.estimate(i).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn merge_equals_single_pass() {
+        let stream = BoundedDeletionGen::new(1 << 10, 10_000, 2.0).generate_seeded(8);
+        let mid = stream.len() / 2;
+        let mut whole = CountSketch::<i64>::new(9, 5, 64);
+        let mut left = whole.clone();
+        let mut right = whole.clone();
+        for u in &stream {
+            Sketch::update(&mut whole, u.item, u.delta);
+        }
+        for u in &stream.updates[..mid] {
+            Sketch::update(&mut left, u.item, u.delta);
+        }
+        for u in &stream.updates[mid..] {
+            Sketch::update(&mut right, u.item, u.delta);
+        }
+        left.merge_from(&right);
+        for i in 0..1024u64 {
+            assert_eq!(whole.estimate(i).to_bits(), left.estimate(i).to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "identically seeded")]
+    fn merge_rejects_different_seeds() {
+        let mut a = CountSketch::<i64>::new(1, 3, 16);
+        let b = CountSketch::<i64>::new(2, 3, 16);
+        a.merge_from(&b);
     }
 }

@@ -12,8 +12,9 @@
 
 use crate::rough_l0::RoughL0;
 use crate::small_l0::SmallL0;
-use bd_stream::{SpaceReport, SpaceUsage};
-use rand::Rng;
+use bd_stream::{NormEstimate, Sketch, SpaceReport, SpaceUsage};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
 /// The Figure 6 L0 estimator (full `log n` rows — the baseline the
 /// α-property version reduces to `O(log α)` live rows).
@@ -39,14 +40,15 @@ impl L0Estimator {
     /// Exact-regime threshold: `L0 ≤ 100` is counted exactly (paper §6.2).
     pub const EXACT_CAP: usize = 100;
 
-    /// Build for universe size `n` and accuracy `ε`.
-    pub fn new<R: Rng + ?Sized>(rng: &mut R, n: u64, epsilon: f64) -> Self {
+    /// Build for universe size `n` and accuracy `ε` from a seed.
+    pub fn new(seed: u64, n: u64, epsilon: f64) -> Self {
         assert!(epsilon > 0.0 && epsilon < 1.0);
+        let mut rng = SmallRng::seed_from_u64(seed);
         let k = ((1.0 / (epsilon * epsilon)).ceil() as usize).max(16);
         let levels = bd_hash::log2_ceil(n.max(2)) as usize;
         let k3 = (k as u64).pow(3);
         // D = 100·K·log(mM); mM ≤ 2^40 assumed throughout the workspace.
-        let p = bd_hash::random_prime_window(rng, (100 * k as u64 * 40).max(64));
+        let p = bd_hash::random_prime_window(&mut rng, (100 * k as u64 * 40).max(64));
         let kind = k_for_eps_l0(epsilon);
         L0Estimator {
             k,
@@ -54,13 +56,13 @@ impl L0Estimator {
             p,
             b: vec![vec![0u64; k]; levels + 1],
             b_small: vec![0u64; 2 * k],
-            h1: bd_hash::KWiseHash::pairwise(rng, 1u64 << 62),
-            h2: bd_hash::KWiseHash::pairwise(rng, k3),
-            h3: bd_hash::KWiseHash::new(rng, kind, k as u64),
-            h4: bd_hash::KWiseHash::pairwise(rng, k as u64),
+            h1: bd_hash::KWiseHash::pairwise(&mut rng, 1u64 << 62),
+            h2: bd_hash::KWiseHash::pairwise(&mut rng, k3),
+            h3: bd_hash::KWiseHash::new(&mut rng, kind, k as u64),
+            h4: bd_hash::KWiseHash::pairwise(&mut rng, k as u64),
             u: (0..k).map(|_| rng.gen_range(1..p)).collect(),
-            rough: RoughL0::for_universe(rng, n),
-            exact: SmallL0::new(rng, Self::EXACT_CAP, 4),
+            rough: RoughL0::for_universe(rng.gen(), n),
+            exact: SmallL0::new(rng.gen(), Self::EXACT_CAP, 4),
         }
     }
 
@@ -85,8 +87,8 @@ impl L0Estimator {
             };
         };
         apply(&mut self.b[row][col], self.p);
-        let col_small = (self.h3.hash(id) as usize * 2 + (self.h4.hash(id) as usize & 1))
-            % self.b_small.len();
+        let col_small =
+            (self.h3.hash(id) as usize * 2 + (self.h4.hash(id) as usize & 1)) % self.b_small.len();
         apply(&mut self.b_small[col_small], self.p);
         self.rough.update(item, delta);
         self.exact.update(item, delta);
@@ -158,6 +160,19 @@ pub fn k_for_eps_l0(epsilon: f64) -> usize {
     ((2.0 * l / l.ln().max(1.0)).ceil() as usize).max(4)
 }
 
+impl Sketch for L0Estimator {
+    fn update(&mut self, item: u64, delta: i64) {
+        L0Estimator::update(self, item, delta);
+    }
+}
+
+impl NormEstimate for L0Estimator {
+    /// Estimates `‖f‖₀` to `(1±ε)`.
+    fn norm_estimate(&self) -> f64 {
+        self.estimate()
+    }
+}
+
 impl SpaceUsage for L0Estimator {
     fn space(&self) -> SpaceReport {
         let width = bd_hash::width_unsigned(self.p - 1) as u64;
@@ -183,8 +198,6 @@ mod tests {
     use super::*;
     use bd_stream::gen::{L0AlphaGen, SensorGen};
     use bd_stream::FrequencyVector;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn occupancy_inversion_roundtrip() {
@@ -203,8 +216,7 @@ mod tests {
 
     #[test]
     fn exact_path_for_tiny_support() {
-        let mut rng = StdRng::seed_from_u64(1);
-        let mut est = L0Estimator::new(&mut rng, 1 << 16, 0.2);
+        let mut est = L0Estimator::new(1, 1 << 16, 0.2);
         for i in 0..30u64 {
             est.update(i * 977, 2);
         }
@@ -216,9 +228,8 @@ mod tests {
         let mut ok = 0;
         let trials = 12;
         for seed in 0..trials {
-            let mut rng = StdRng::seed_from_u64(200 + seed);
-            let stream = L0AlphaGen::new(1 << 20, 3_000, 1.5).generate(&mut rng);
-            let mut est = L0Estimator::new(&mut rng, stream.n, 0.15);
+            let stream = L0AlphaGen::new(1 << 20, 3_000, 1.5).generate_seeded(200 + seed);
+            let mut est = L0Estimator::new(777 + seed, stream.n, 0.15);
             for u in &stream {
                 est.update(u.item, u.delta);
             }
@@ -235,9 +246,8 @@ mod tests {
 
     #[test]
     fn handles_sensor_scenario() {
-        let mut rng = StdRng::seed_from_u64(3);
-        let stream = SensorGen::new(1 << 22, 2_000, 6_000).generate(&mut rng);
-        let mut est = L0Estimator::new(&mut rng, stream.n, 0.2);
+        let stream = SensorGen::new(1 << 22, 2_000, 6_000).generate_seeded(3);
+        let mut est = L0Estimator::new(3, stream.n, 0.2);
         for u in &stream {
             est.update(u.item, u.delta);
         }
@@ -248,9 +258,8 @@ mod tests {
 
     #[test]
     fn space_scales_with_log_n() {
-        let mut rng = StdRng::seed_from_u64(4);
-        let small = L0Estimator::new(&mut rng, 1 << 10, 0.25);
-        let large = L0Estimator::new(&mut rng, 1 << 30, 0.25);
+        let small = L0Estimator::new(4, 1 << 10, 0.25);
+        let large = L0Estimator::new(5, 1 << 30, 0.25);
         assert!(large.space_bits() > small.space_bits());
         assert!(large.b.len() > small.b.len());
     }

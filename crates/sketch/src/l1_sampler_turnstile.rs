@@ -10,22 +10,13 @@
 
 use crate::candidates::CandidateSet;
 use crate::countsketch::CountSketch;
-use bd_stream::{SpaceReport, SpaceUsage};
-use rand::Rng;
+use bd_stream::{SampleQuery, Sketch, SpaceReport, SpaceUsage};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
-/// Outcome of querying an L1 sampler.
-#[derive(Clone, Copy, Debug, PartialEq)]
-pub enum SampleOutcome {
-    /// A sampled item together with a `(1 ± O(ε))` estimate of `f_i`.
-    Sample {
-        /// The sampled item.
-        item: u64,
-        /// The relative-error estimate of its frequency.
-        estimate: f64,
-    },
-    /// This instance declined to output (expected with probability `1−Θ(ε)`).
-    Fail,
-}
+/// Outcome of querying an L1 sampler (canonical definition lives in the
+/// trait layer, `bd_stream::sketch`; re-exported here for compatibility).
+pub use bd_stream::SampleOutcome;
 
 /// One precision-sampling instance over a full Countsketch.
 #[derive(Clone, Debug)]
@@ -44,12 +35,13 @@ pub struct PrecisionSamplerInstance {
 
 impl PrecisionSamplerInstance {
     /// Build one instance: `k = O(log 1/ε)` column groups, `depth` rows.
-    pub fn new<R: Rng + ?Sized>(rng: &mut R, universe: u64, epsilon: f64, depth: usize) -> Self {
+    pub fn new(seed: u64, universe: u64, epsilon: f64, depth: usize) -> Self {
         assert!(epsilon > 0.0 && epsilon < 1.0);
+        let mut rng = SmallRng::seed_from_u64(seed);
         let k = ((1.0 / epsilon).log2().ceil() as usize).max(4);
         PrecisionSamplerInstance {
-            cs: CountSketch::new(rng, depth, 6 * k),
-            ts: bd_hash::KWiseUniform::new(rng, k.max(4)),
+            cs: CountSketch::new(rng.gen(), depth, 6 * k),
+            ts: bd_hash::KWiseUniform::new(&mut rng, k.max(4)),
             candidates: CandidateSet::new(4 * k),
             epsilon,
             k,
@@ -100,6 +92,18 @@ impl PrecisionSamplerInstance {
     }
 }
 
+impl Sketch for PrecisionSamplerInstance {
+    fn update(&mut self, item: u64, delta: i64) {
+        PrecisionSamplerInstance::update(self, item, delta);
+    }
+}
+
+impl SampleQuery for PrecisionSamplerInstance {
+    fn sample(&self) -> SampleOutcome {
+        self.query()
+    }
+}
+
 impl SpaceUsage for PrecisionSamplerInstance {
     fn space(&self) -> SpaceReport {
         let mut rep = self.cs.space();
@@ -117,13 +121,13 @@ pub struct L1SamplerTurnstile {
 
 impl L1SamplerTurnstile {
     /// Build a sampler with failure probability `δ`.
-    pub fn new<R: Rng + ?Sized>(rng: &mut R, universe: u64, epsilon: f64, delta: f64) -> Self {
-        let copies =
-            (((1.0 / epsilon) * (1.0 / delta).ln()).ceil() as usize).clamp(1, 256);
+    pub fn new(seed: u64, universe: u64, epsilon: f64, delta: f64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let copies = (((1.0 / epsilon) * (1.0 / delta).ln()).ceil() as usize).clamp(1, 256);
         let depth = bd_hash::log2_ceil(universe.max(4)) as usize / 2 + 3;
         L1SamplerTurnstile {
             instances: (0..copies)
-                .map(|_| PrecisionSamplerInstance::new(rng, universe, epsilon, depth))
+                .map(|_| PrecisionSamplerInstance::new(rng.gen(), universe, epsilon, depth))
                 .collect(),
         }
     }
@@ -151,6 +155,18 @@ impl L1SamplerTurnstile {
     }
 }
 
+impl Sketch for L1SamplerTurnstile {
+    fn update(&mut self, item: u64, delta: i64) {
+        L1SamplerTurnstile::update(self, item, delta);
+    }
+}
+
+impl SampleQuery for L1SamplerTurnstile {
+    fn sample(&self) -> SampleOutcome {
+        self.query()
+    }
+}
+
 impl SpaceUsage for L1SamplerTurnstile {
     fn space(&self) -> SpaceReport {
         self.instances
@@ -164,23 +180,19 @@ mod tests {
     use super::*;
     use bd_stream::gen::BoundedDeletionGen;
     use bd_stream::FrequencyVector;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use std::collections::HashMap;
 
     #[test]
     fn samples_follow_l1_distribution() {
         // Small universe with known skew; collect empirical sample counts.
-        let mut stream_rng = StdRng::seed_from_u64(77);
-        let stream = BoundedDeletionGen::new(64, 3_000, 2.0).generate(&mut stream_rng);
+        let stream = BoundedDeletionGen::new(64, 3_000, 2.0).generate_seeded(77);
         let truth = FrequencyVector::from_stream(&stream);
         let l1 = truth.l1() as f64;
 
         let mut counts: HashMap<u64, usize> = HashMap::new();
         let mut draws = 0usize;
         for seed in 0..300u64 {
-            let mut rng = StdRng::seed_from_u64(seed);
-            let mut s = L1SamplerTurnstile::new(&mut rng, 64, 0.25, 0.5);
+            let mut s = L1SamplerTurnstile::new(seed, 64, 0.25, 0.5);
             for u in &stream {
                 s.update(u.item, u.delta);
             }
@@ -203,13 +215,11 @@ mod tests {
 
     #[test]
     fn estimate_has_small_relative_error() {
-        let mut stream_rng = StdRng::seed_from_u64(5);
-        let stream = BoundedDeletionGen::new(256, 5_000, 3.0).generate(&mut stream_rng);
+        let stream = BoundedDeletionGen::new(256, 5_000, 3.0).generate_seeded(5);
         let truth = FrequencyVector::from_stream(&stream);
         let mut checked = 0;
         for seed in 0..60u64 {
-            let mut rng = StdRng::seed_from_u64(1000 + seed);
-            let mut s = L1SamplerTurnstile::new(&mut rng, 256, 0.25, 0.5);
+            let mut s = L1SamplerTurnstile::new(1000 + seed, 256, 0.25, 0.5);
             for u in &stream {
                 s.update(u.item, u.delta);
             }
@@ -228,8 +238,7 @@ mod tests {
 
     #[test]
     fn empty_stream_fails_gracefully() {
-        let mut rng = StdRng::seed_from_u64(1);
-        let s = L1SamplerTurnstile::new(&mut rng, 64, 0.5, 0.5);
+        let s = L1SamplerTurnstile::new(1, 64, 0.5, 0.5);
         assert_eq!(s.query(), SampleOutcome::Fail);
     }
 }

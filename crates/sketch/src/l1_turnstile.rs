@@ -13,8 +13,9 @@
 //! algorithm to get `R = (1 ± 1/8)‖f‖₁`.
 
 use crate::weight::median_f64;
-use bd_stream::{SpaceReport, SpaceUsage};
-use rand::Rng;
+use bd_stream::{NormEstimate, Sketch, SpaceReport, SpaceUsage};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
 
 /// The Figure 5 log-cosine L1 estimator.
 #[derive(Clone, Debug)]
@@ -30,23 +31,23 @@ pub struct LogCosL1 {
 impl LogCosL1 {
     /// `r = ceil(c/ε²)` main rows and `r' = 31` auxiliary rows; `k`-wise
     /// entries with `k = Θ(log(1/ε)/log log(1/ε))` (we use `max(4, ...)`).
-    pub fn new<R: Rng + ?Sized>(rng: &mut R, epsilon: f64) -> Self {
+    pub fn new(seed: u64, epsilon: f64) -> Self {
         assert!(epsilon > 0.0 && epsilon < 1.0);
         let r = ((6.0 / (epsilon * epsilon)).ceil() as usize).max(8);
         let k = k_for_eps(epsilon);
-        Self::with_rows(rng, r, 31, k)
+        Self::with_rows(seed, r, 31, k)
     }
 
     /// Explicit row counts (for experiments).
-    pub fn with_rows<R: Rng + ?Sized>(
-        rng: &mut R,
-        main: usize,
-        aux: usize,
-        k: usize,
-    ) -> Self {
+    pub fn with_rows(seed: u64, main: usize, aux: usize, k: usize) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
         LogCosL1 {
-            main_rows: (0..main).map(|_| bd_hash::CauchyRow::new(rng, k)).collect(),
-            aux_rows: (0..aux).map(|_| bd_hash::CauchyRow::new(rng, k)).collect(),
+            main_rows: (0..main)
+                .map(|_| bd_hash::CauchyRow::new(&mut rng, k))
+                .collect(),
+            aux_rows: (0..aux)
+                .map(|_| bd_hash::CauchyRow::new(&mut rng, k))
+                .collect(),
             y: vec![0.0; main],
             y_aux: vec![0.0; aux],
             max_abs: 0.0,
@@ -97,6 +98,19 @@ pub fn k_for_eps(epsilon: f64) -> usize {
     ((l / l.ln().max(1.0)).ceil() as usize).max(4)
 }
 
+impl Sketch for LogCosL1 {
+    fn update(&mut self, item: u64, delta: i64) {
+        LogCosL1::update(self, item, delta);
+    }
+}
+
+impl NormEstimate for LogCosL1 {
+    /// Estimates `‖f‖₁` to `(1±ε)` (probability 3/4 per instance).
+    fn norm_estimate(&self) -> f64 {
+        self.estimate()
+    }
+}
+
 impl SpaceUsage for LogCosL1 {
     fn space(&self) -> SpaceReport {
         // Counters are maintained to precision δ = Θ(ε/m) (paper Lemma 12 /
@@ -130,15 +144,18 @@ pub struct MedianL1 {
 
 impl MedianL1 {
     /// `(1 ± ε)` with failure probability δ: `O(ε^{-2} log(1/δ))` rows.
-    pub fn new<R: Rng + ?Sized>(rng: &mut R, epsilon: f64, delta: f64) -> Self {
+    pub fn new(seed: u64, epsilon: f64, delta: f64) -> Self {
         let rows = ((8.0 / (epsilon * epsilon)) * (1.0 / delta).ln().max(1.0)).ceil() as usize;
-        Self::with_rows(rng, rows.max(8))
+        Self::with_rows(seed, rows.max(8))
     }
 
     /// Explicit row count.
-    pub fn with_rows<R: Rng + ?Sized>(rng: &mut R, rows: usize) -> Self {
+    pub fn with_rows(seed: u64, rows: usize) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
         MedianL1 {
-            rows: (0..rows).map(|_| bd_hash::CauchyRow::new(rng, 4)).collect(),
+            rows: (0..rows)
+                .map(|_| bd_hash::CauchyRow::new(&mut rng, 4))
+                .collect(),
             y: vec![0.0; rows],
             max_abs: 0.0,
             mass: 0,
@@ -162,6 +179,19 @@ impl MedianL1 {
     }
 }
 
+impl Sketch for MedianL1 {
+    fn update(&mut self, item: u64, delta: i64) {
+        MedianL1::update(self, item, delta);
+    }
+}
+
+impl NormEstimate for MedianL1 {
+    /// Estimates `‖f‖₁` (Indyk's median estimator, Fact 1).
+    fn norm_estimate(&self) -> f64 {
+        self.estimate()
+    }
+}
+
 impl SpaceUsage for MedianL1 {
     fn space(&self) -> SpaceReport {
         let eps_over_m = 1.0 / (self.mass.max(2) as f64 * self.y.len().max(2) as f64);
@@ -180,17 +210,13 @@ mod tests {
     use super::*;
     use bd_stream::gen::{BoundedDeletionGen, NetworkDiffGen};
     use bd_stream::FrequencyVector;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn logcos_estimates_l1_on_general_turnstile() {
-        let mut rng = StdRng::seed_from_u64(1);
         let mut ok = 0;
         for t in 0..10 {
-            let mut est = LogCosL1::new(&mut rng, 0.15);
-            let stream = NetworkDiffGen::new(1 << 14, 20_000, 0.3)
-                .generate(&mut StdRng::seed_from_u64(100 + t));
+            let mut est = LogCosL1::new(t, 0.15);
+            let stream = NetworkDiffGen::new(1 << 14, 20_000, 0.3).generate_seeded(100 + t);
             for u in &stream {
                 est.update(u.item, u.delta);
             }
@@ -204,10 +230,8 @@ mod tests {
 
     #[test]
     fn median_estimator_concentrates() {
-        let mut rng = StdRng::seed_from_u64(2);
-        let mut est = MedianL1::new(&mut rng, 0.1, 0.05);
-        let stream = BoundedDeletionGen::new(1 << 12, 30_000, 4.0)
-            .generate(&mut StdRng::seed_from_u64(7));
+        let mut est = MedianL1::new(2, 0.1, 0.05);
+        let stream = BoundedDeletionGen::new(1 << 12, 30_000, 4.0).generate_seeded(7);
         for u in &stream {
             est.update(u.item, u.delta);
         }
@@ -218,15 +242,13 @@ mod tests {
 
     #[test]
     fn empty_stream_estimates_zero() {
-        let mut rng = StdRng::seed_from_u64(3);
-        let est = LogCosL1::new(&mut rng, 0.2);
+        let est = LogCosL1::new(3, 0.2);
         assert_eq!(est.estimate(), 0.0);
     }
 
     #[test]
     fn space_grows_with_stream_mass() {
-        let mut rng = StdRng::seed_from_u64(4);
-        let mut est = MedianL1::with_rows(&mut rng, 16);
+        let mut est = MedianL1::with_rows(4, 16);
         est.update(1, 1);
         let small = est.space_bits();
         for i in 0..10_000u64 {

@@ -22,6 +22,13 @@
 //! | [`l1_sampler_turnstile`] | precision-sampling L1 sampler | §4, \[38\] |
 //! | [`support_turnstile`] | log-n-level support sampler | §7, \[41\] |
 //! | [`morris`] | Morris counter | Lemma 11, \[49\] |
+//!
+//! Every structure here implements the unified [`bd_stream::Sketch`] trait:
+//! seeded construction (`new(seed, ...)`, identical seeds ⇒ identical hash
+//! functions), `update(item, Δ)`, batched `update_batch` (Countsketch and
+//! Count-Min override it with duplicate-collapsing implementations), and
+//! bit-level space reports. Linear table sketches additionally implement
+//! [`bd_stream::Mergeable`] for sharded ingestion.
 
 pub mod ams;
 pub mod candidates;

@@ -6,32 +6,46 @@
 //! `t`, `δ/(12 log m)·t ≤ v̂_t ≤ t/δ` with probability `1 − δ`, where `v̂_t`
 //! is the (non-decreasing) estimate.
 
-use bd_stream::{SpaceReport, SpaceUsage};
-use rand::Rng;
+use bd_stream::{NormEstimate, Sketch, SpaceReport, SpaceUsage};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
-/// A Morris counter.
-#[derive(Clone, Debug, Default)]
+/// A Morris counter. Owns its sampling RNG: construction from a `u64` seed
+/// makes replays bit-for-bit identical.
+#[derive(Clone, Debug)]
 pub struct MorrisCounter {
     level: u32,
     ticks: u64, // debug/testing only: true count (not charged to space)
+    rng: SmallRng,
 }
 
 impl MorrisCounter {
-    /// A fresh counter at zero.
-    pub fn new() -> Self {
-        MorrisCounter::default()
+    /// A fresh counter at zero, with its sampling coins seeded by `seed`.
+    pub fn new(seed: u64) -> Self {
+        MorrisCounter {
+            level: 0,
+            ticks: 0,
+            rng: SmallRng::seed_from_u64(seed),
+        }
     }
 
     /// Count one event: `v ← v + 1` with probability `2^{-v}`.
     #[inline]
-    pub fn tick<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+    pub fn tick(&mut self) {
         self.ticks += 1;
         if self.level >= 63 {
             return; // saturated; estimate already astronomically large
         }
         // Pr[increment] = 2^{-level}: check `level` fair coins at once.
-        if self.level == 0 || rng.gen_range(0u64..(1u64 << self.level)) == 0 {
+        if self.level == 0 || self.rng.gen_range(0u64..(1u64 << self.level)) == 0 {
             self.level += 1;
+        }
+    }
+
+    /// Count `mag` events.
+    pub fn tick_by(&mut self, mag: u64) {
+        for _ in 0..mag {
+            self.tick();
         }
     }
 
@@ -63,6 +77,21 @@ impl MorrisCounter {
     }
 }
 
+impl Sketch for MorrisCounter {
+    /// A Morris counter summarizes stream *position*: an update of magnitude
+    /// `|Δ|` ticks the counter `|Δ|` times (the §1.3 unit expansion).
+    fn update(&mut self, _item: u64, delta: i64) {
+        self.tick_by(delta.unsigned_abs());
+    }
+}
+
+impl NormEstimate for MorrisCounter {
+    /// Estimates the total update mass `Σ_t |Δ_t|`.
+    fn norm_estimate(&self) -> f64 {
+        self.estimate() as f64
+    }
+}
+
 impl SpaceUsage for MorrisCounter {
     fn space(&self) -> SpaceReport {
         SpaceReport {
@@ -78,20 +107,17 @@ impl SpaceUsage for MorrisCounter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn unbiased_in_expectation() {
         // E[2^v] = t + 1 exactly; check the average estimate over trials.
         let t = 4096u64;
         let trials = 400;
-        let mut rng = StdRng::seed_from_u64(1);
         let mut acc = 0f64;
-        for _ in 0..trials {
-            let mut c = MorrisCounter::new();
+        for seed in 0..trials {
+            let mut c = MorrisCounter::new(seed);
             for _ in 0..t {
-                c.tick(&mut rng);
+                c.tick();
             }
             acc += (c.estimate() + 1) as f64;
         }
@@ -107,13 +133,12 @@ mod tests {
     fn lemma11_envelope_holds_at_probes() {
         let m = 1u64 << 16;
         let delta = 0.05;
-        let mut rng = StdRng::seed_from_u64(2);
         let mut violations = 0usize;
         let mut probes = 0usize;
-        for _ in 0..40 {
-            let mut c = MorrisCounter::new();
+        for seed in 0..40 {
+            let mut c = MorrisCounter::new(1000 + seed);
             for t in 1..=m {
-                c.tick(&mut rng);
+                c.tick();
                 if t.is_power_of_two() && t >= 64 {
                     probes += 1;
                     let est = c.estimate() as f64;
@@ -134,11 +159,10 @@ mod tests {
 
     #[test]
     fn estimate_is_monotone() {
-        let mut rng = StdRng::seed_from_u64(3);
-        let mut c = MorrisCounter::new();
+        let mut c = MorrisCounter::new(3);
         let mut last = 0;
         for _ in 0..10_000 {
-            c.tick(&mut rng);
+            c.tick();
             let e = c.estimate();
             assert!(e >= last);
             last = e;
@@ -147,11 +171,20 @@ mod tests {
 
     #[test]
     fn space_is_loglog() {
-        let mut rng = StdRng::seed_from_u64(4);
-        let mut c = MorrisCounter::new();
+        let mut c = MorrisCounter::new(4);
         for _ in 0..1_000_000 {
-            c.tick(&mut rng);
+            c.tick();
         }
         assert!(c.space_bits() <= 6, "register is log log sized");
+    }
+
+    #[test]
+    fn seeded_replay_is_identical() {
+        let run = || {
+            let mut c = MorrisCounter::new(99);
+            c.tick_by(100_000);
+            c.estimate()
+        };
+        assert_eq!(run(), run());
     }
 }

@@ -13,8 +13,9 @@
 //! counting before any level saturates). Buckets at or below a saturated
 //! level are dropped, so the expected live fingerprint count stays `O(C0)`.
 
-use bd_stream::{SpaceReport, SpaceUsage};
-use rand::Rng;
+use bd_stream::{NormEstimate, Sketch, SpaceReport, SpaceUsage};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
 use std::collections::HashSet;
 
 /// The monotone rough-F0 estimator.
@@ -36,11 +37,12 @@ impl RoughF0 {
     pub const RATIO: f64 = 16.0;
     const LEVELS: usize = 62;
 
-    /// Fresh tracker.
-    pub fn new<R: Rng + ?Sized>(rng: &mut R) -> Self {
+    /// Fresh tracker, hashes drawn from `seed`.
+    pub fn new(seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
         RoughF0 {
-            level_hash: bd_hash::KWiseHash::pairwise(rng, 1u64 << 62),
-            print_hash: bd_hash::KWiseHash::pairwise(rng, 1u64 << 32),
+            level_hash: bd_hash::KWiseHash::pairwise(&mut rng, 1u64 << 62),
+            print_hash: bd_hash::KWiseHash::pairwise(&mut rng, 1u64 << 32),
             buckets: vec![HashSet::new(); Self::LEVELS + 1],
             sat_level: -1,
             best: 0,
@@ -89,6 +91,22 @@ impl RoughF0 {
     }
 }
 
+impl Sketch for RoughF0 {
+    /// F0 tracking observes identities only; zero-deltas are ignored.
+    fn update(&mut self, item: u64, delta: i64) {
+        if delta != 0 {
+            self.observe(item);
+        }
+    }
+}
+
+impl NormEstimate for RoughF0 {
+    /// Estimates `F₀` within `[F₀, RATIO·F₀]`.
+    fn norm_estimate(&self) -> f64 {
+        self.estimate() as f64
+    }
+}
+
 impl SpaceUsage for RoughF0 {
     fn space(&self) -> SpaceReport {
         let prints: u64 = self.buckets.iter().map(|b| b.len() as u64).sum();
@@ -104,13 +122,9 @@ impl SpaceUsage for RoughF0 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
-
     #[test]
     fn exact_before_saturation() {
-        let mut rng = StdRng::seed_from_u64(1);
-        let mut r = RoughF0::new(&mut rng);
+        let mut r = RoughF0::new(1);
         for i in 0..40u64 {
             r.observe(i);
             r.observe(i); // duplicates don't count
@@ -120,8 +134,7 @@ mod tests {
 
     #[test]
     fn estimates_are_monotone() {
-        let mut rng = StdRng::seed_from_u64(2);
-        let mut r = RoughF0::new(&mut rng);
+        let mut r = RoughF0::new(2);
         let mut last = 0;
         for i in 0..100_000u64 {
             r.observe(i);
@@ -136,8 +149,7 @@ mod tests {
         let mut ok = 0;
         let trials = 30;
         for seed in 0..trials {
-            let mut rng = StdRng::seed_from_u64(100 + seed);
-            let mut r = RoughF0::new(&mut rng);
+            let mut r = RoughF0::new(100 + seed);
             let mut good = true;
             for i in 1..=65_536u64 {
                 r.observe(i * 0x9e37_79b9 + seed); // distinct ids
@@ -157,8 +169,7 @@ mod tests {
 
     #[test]
     fn live_fingerprints_stay_bounded() {
-        let mut rng = StdRng::seed_from_u64(3);
-        let mut r = RoughF0::new(&mut rng);
+        let mut r = RoughF0::new(3);
         for i in 0..1_000_000u64 {
             r.observe(i);
         }

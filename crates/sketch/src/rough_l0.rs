@@ -10,8 +10,9 @@
 //! test stays one-sided).
 
 use crate::small_l0::SmallL0;
-use bd_stream::{SpaceReport, SpaceUsage};
-use rand::Rng;
+use bd_stream::{NormEstimate, Sketch, SpaceReport, SpaceUsage};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
 /// Sizing for the per-level detectors.
 #[derive(Clone, Copy, Debug)]
@@ -66,21 +67,22 @@ impl RoughL0 {
     /// The estimate scale `20000/99`.
     pub const SCALE: f64 = 20000.0 / 99.0;
 
-    /// Build from a configuration.
-    pub fn new<R: Rng + ?Sized>(rng: &mut R, cfg: RoughL0Config) -> Self {
+    /// Build from a configuration and a seed.
+    pub fn new(seed: u64, cfg: RoughL0Config) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
         RoughL0 {
-            level_hash: bd_hash::KWiseHash::pairwise(rng, 1u64 << 62),
+            level_hash: bd_hash::KWiseHash::pairwise(&mut rng, 1u64 << 62),
             detectors: (0..=cfg.levels)
-                .map(|_| SmallL0::with_buckets(rng, cfg.cap, cfg.reps, cfg.buckets))
+                .map(|_| SmallL0::with_buckets(rng.gen(), cfg.cap, cfg.reps, cfg.buckets))
                 .collect(),
             levels: cfg.levels,
         }
     }
 
     /// Default practical sizing for a universe of size `n`.
-    pub fn for_universe<R: Rng + ?Sized>(rng: &mut R, n: u64) -> Self {
+    pub fn for_universe(seed: u64, n: u64) -> Self {
         let levels = bd_hash::log2_ceil(n.max(2)) as usize;
-        Self::new(rng, RoughL0Config::practical(levels))
+        Self::new(seed, RoughL0Config::practical(levels))
     }
 
     /// Apply an update.
@@ -104,6 +106,19 @@ impl RoughL0 {
     }
 }
 
+impl Sketch for RoughL0 {
+    fn update(&mut self, item: u64, delta: i64) {
+        RoughL0::update(self, item, delta);
+    }
+}
+
+impl NormEstimate for RoughL0 {
+    /// Estimates `‖f‖₀` within `[L0, RATIO·L0]` (constant probability).
+    fn norm_estimate(&self) -> f64 {
+        self.estimate() as f64
+    }
+}
+
 impl SpaceUsage for RoughL0 {
     fn space(&self) -> SpaceReport {
         let mut rep = SpaceReport {
@@ -122,17 +137,14 @@ mod tests {
     use super::*;
     use bd_stream::gen::L0AlphaGen;
     use bd_stream::FrequencyVector;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn sandwich_on_turnstile_streams() {
         let mut ok = 0;
         let trials = 20;
         for seed in 0..trials {
-            let mut rng = StdRng::seed_from_u64(seed);
-            let stream = L0AlphaGen::new(1 << 20, 200 + 50 * seed, 2.0).generate(&mut rng);
-            let mut r = RoughL0::for_universe(&mut rng, stream.n);
+            let stream = L0AlphaGen::new(1 << 20, 200 + 50 * seed, 2.0).generate_seeded(seed);
+            let mut r = RoughL0::for_universe(seed, stream.n);
             for u in &stream {
                 r.update(u.item, u.delta);
             }
@@ -147,8 +159,7 @@ mod tests {
 
     #[test]
     fn tiny_l0_returns_floor() {
-        let mut rng = StdRng::seed_from_u64(5);
-        let mut r = RoughL0::for_universe(&mut rng, 1 << 16);
+        let mut r = RoughL0::for_universe(5, 1 << 16);
         r.update(3, 1);
         r.update(9, 2);
         let est = r.estimate();
@@ -157,8 +168,7 @@ mod tests {
 
     #[test]
     fn deletions_shrink_the_estimate() {
-        let mut rng = StdRng::seed_from_u64(6);
-        let mut r = RoughL0::for_universe(&mut rng, 1 << 16);
+        let mut r = RoughL0::for_universe(6, 1 << 16);
         for i in 0..5_000u64 {
             r.update(i, 1);
         }
@@ -167,6 +177,9 @@ mod tests {
             r.update(i, -1);
         }
         let small = r.estimate();
-        assert!(small < big, "estimate must track deletions: {small} vs {big}");
+        assert!(
+            small < big,
+            "estimate must track deletions: {small} vs {big}"
+        );
     }
 }

@@ -7,8 +7,9 @@
 //! `c = 8 log(n)/log log(n)` to cover the regime where the rough F0 tracker
 //! has no guarantee.
 
-use bd_stream::{SpaceReport, SpaceUsage};
-use rand::Rng;
+use bd_stream::{Sketch, SpaceReport, SpaceUsage};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
 use std::collections::HashMap;
 
 /// Outcome of the small-F0 counter.
@@ -32,16 +33,17 @@ pub struct SmallF0 {
 
 impl SmallF0 {
     /// Build with promise parameter `c` (`cap`).
-    pub fn new<R: Rng + ?Sized>(rng: &mut R, cap: usize) -> Self {
+    pub fn new(seed: u64, cap: usize) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
         let c = cap.max(1) as u64;
         // Pairwise hash into C = Θ(c²) keeps ≤ c identities collision-free
         // with probability 99/100 (scaling constant 100 as in the Lemma).
         let range = (100 * c * c).max(16);
         // Prime window [P, P^3], P = 100²·c·log(mM); mM ≤ 2^40 assumed.
-        let p = bd_hash::random_prime_window(rng, (100 * 100 * c * 40).max(64));
+        let p = bd_hash::random_prime_window(&mut rng, (100 * 100 * c * 40).max(64));
         SmallF0 {
             cap,
-            hash: bd_hash::KWiseHash::pairwise(rng, range),
+            hash: bd_hash::KWiseHash::pairwise(&mut rng, range),
             p,
             counters: HashMap::new(),
             large: false,
@@ -82,6 +84,12 @@ impl SmallF0 {
     }
 }
 
+impl Sketch for SmallF0 {
+    fn update(&mut self, item: u64, delta: i64) {
+        SmallF0::update(self, item, delta);
+    }
+}
+
 impl SpaceUsage for SmallF0 {
     fn space(&self) -> SpaceReport {
         // ≤ c identities of log(C) bits plus counters of log(p) bits.
@@ -100,13 +108,10 @@ impl SpaceUsage for SmallF0 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn exact_small_support() {
-        let mut rng = StdRng::seed_from_u64(1);
-        let mut s = SmallF0::new(&mut rng, 64);
+        let mut s = SmallF0::new(1, 64);
         for i in 0..30u64 {
             s.update(i * 101, 2);
         }
@@ -118,8 +123,7 @@ mod tests {
 
     #[test]
     fn large_is_certified_and_absorbing() {
-        let mut rng = StdRng::seed_from_u64(2);
-        let mut s = SmallF0::new(&mut rng, 8);
+        let mut s = SmallF0::new(2, 8);
         for i in 0..100u64 {
             s.update(i, 1);
         }
@@ -131,8 +135,7 @@ mod tests {
 
     #[test]
     fn repeated_identity_is_one_key() {
-        let mut rng = StdRng::seed_from_u64(3);
-        let mut s = SmallF0::new(&mut rng, 4);
+        let mut s = SmallF0::new(3, 4);
         for _ in 0..1000 {
             s.update(42, 1);
         }
@@ -141,8 +144,7 @@ mod tests {
 
     #[test]
     fn empty_is_zero() {
-        let mut rng = StdRng::seed_from_u64(4);
-        let s = SmallF0::new(&mut rng, 4);
+        let s = SmallF0::new(4, 4);
         assert_eq!(s.result(), SmallF0Result::Exact(0));
     }
 }

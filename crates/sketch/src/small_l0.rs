@@ -9,8 +9,9 @@
 //! `1 − η`. This is also the per-level detector inside the rough L0
 //! estimators (threshold "`L0(S_j) > 8`").
 
-use bd_stream::{SpaceReport, SpaceUsage};
-use rand::Rng;
+use bd_stream::{NormEstimate, Sketch, SpaceReport, SpaceUsage};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
 
 /// One exact-small-L0 structure.
 #[derive(Clone, Debug)]
@@ -25,30 +26,26 @@ pub struct SmallL0 {
 impl SmallL0 {
     /// Promise `L0 ≤ cap`, failure probability `η ≈ 2^-reps`; `c²` buckets
     /// per repetition (the Lemma's sizing).
-    pub fn new<R: Rng + ?Sized>(rng: &mut R, cap: usize, reps: usize) -> Self {
+    pub fn new(seed: u64, cap: usize, reps: usize) -> Self {
         let buckets = (cap * cap).max(4);
-        Self::with_buckets(rng, cap, reps, buckets)
+        Self::with_buckets(seed, cap, reps, buckets)
     }
 
     /// Explicit bucket count (practical configurations shrink `c²`; the
     /// count only ever errs low, so threshold tests stay sound).
-    pub fn with_buckets<R: Rng + ?Sized>(
-        rng: &mut R,
-        cap: usize,
-        reps: usize,
-        buckets: usize,
-    ) -> Self {
+    pub fn with_buckets(seed: u64, cap: usize, reps: usize, buckets: usize) -> Self {
         assert!(reps >= 1 && buckets >= 1);
+        let mut rng = SmallRng::seed_from_u64(seed);
         // Prime window [P, P^3] with P = 100·c·log2(mM); we take mM ≤ 2^40.
         let p_base = (100 * cap.max(2) as u64 * 40).max(64);
-        let p = bd_hash::random_prime_window(rng, p_base);
+        let p = bd_hash::random_prime_window(&mut rng, p_base);
         SmallL0 {
             cap,
             buckets,
             p,
             tables: vec![vec![0u64; buckets]; reps],
             hashes: (0..reps)
-                .map(|_| bd_hash::KWiseHash::pairwise(rng, buckets as u64))
+                .map(|_| bd_hash::KWiseHash::pairwise(&mut rng, buckets as u64))
                 .collect(),
         }
     }
@@ -90,6 +87,19 @@ impl SmallL0 {
     }
 }
 
+impl Sketch for SmallL0 {
+    fn update(&mut self, item: u64, delta: i64) {
+        SmallL0::update(self, item, delta);
+    }
+}
+
+impl NormEstimate for SmallL0 {
+    /// Estimates `‖f‖₀` (exact w.h.p. under the sparsity promise).
+    fn norm_estimate(&self) -> f64 {
+        self.estimate() as f64
+    }
+}
+
 impl SpaceUsage for SmallL0 {
     fn space(&self) -> SpaceReport {
         let cells = (self.tables.len() * self.buckets) as u64;
@@ -97,7 +107,11 @@ impl SpaceUsage for SmallL0 {
         SpaceReport {
             counters: cells,
             counter_bits: cells * width,
-            seed_bits: self.hashes.iter().map(|h| h.seed_bits() as u64).sum::<u64>()
+            seed_bits: self
+                .hashes
+                .iter()
+                .map(|h| h.seed_bits() as u64)
+                .sum::<u64>()
                 + bd_hash::width_unsigned(self.p) as u64,
             overhead_bits: 0,
         }
@@ -107,13 +121,10 @@ impl SpaceUsage for SmallL0 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn exact_within_promise() {
-        let mut rng = StdRng::seed_from_u64(1);
-        let mut s = SmallL0::new(&mut rng, 32, 4);
+        let mut s = SmallL0::new(1, 32, 4);
         for i in 0..20u64 {
             s.update(i * 7919, 3);
         }
@@ -122,8 +133,7 @@ mod tests {
 
     #[test]
     fn deletions_cancel() {
-        let mut rng = StdRng::seed_from_u64(2);
-        let mut s = SmallL0::new(&mut rng, 16, 4);
+        let mut s = SmallL0::new(2, 16, 4);
         for i in 0..10u64 {
             s.update(i, 2);
         }
@@ -135,9 +145,8 @@ mod tests {
 
     #[test]
     fn never_overcounts() {
-        let mut rng = StdRng::seed_from_u64(3);
         // Violate the promise badly; the count must still be <= true L0.
-        let mut s = SmallL0::with_buckets(&mut rng, 8, 3, 64);
+        let mut s = SmallL0::with_buckets(3, 8, 3, 64);
         for i in 0..500u64 {
             s.update(i, 1);
         }
@@ -147,8 +156,7 @@ mod tests {
 
     #[test]
     fn zero_stream() {
-        let mut rng = StdRng::seed_from_u64(4);
-        let s = SmallL0::new(&mut rng, 8, 2);
+        let s = SmallL0::new(4, 8, 2);
         assert_eq!(s.estimate(), 0);
         assert!(!s.exceeds(0));
     }
@@ -157,8 +165,7 @@ mod tests {
     fn repeated_trials_exact_with_high_rate() {
         let mut exact = 0;
         for seed in 0..40u64 {
-            let mut rng = StdRng::seed_from_u64(seed);
-            let mut s = SmallL0::new(&mut rng, 24, 4);
+            let mut s = SmallL0::new(seed, 24, 4);
             for i in 0..24u64 {
                 s.update(i * 1_000_003 + 5, (i as i64 % 7) - 3);
             }

@@ -13,8 +13,9 @@
 //! items are present. The support samplers (paper §7) are built on this.
 
 use bd_hash::{M61Elem, M61};
-use bd_stream::{MaxMag, SpaceReport, SpaceUsage};
-use rand::Rng;
+use bd_stream::{MaxMag, Mergeable, Sketch, SpaceReport, SpaceUsage};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 
 /// One bucket's linear measurements.
@@ -44,6 +45,7 @@ pub enum Recovery {
 /// The s-sparse recovery sketch.
 #[derive(Clone, Debug)]
 pub struct SparseRecovery {
+    seed: u64,
     universe: u64,
     sparsity: usize,
     depth: usize,
@@ -57,27 +59,29 @@ pub struct SparseRecovery {
 impl SparseRecovery {
     /// Sketch for vectors over `[0, universe)` recoverable up to sparsity
     /// `s`, with `d = 4` rows of `2s` buckets (q = 8s cells).
-    pub fn new<R: Rng + ?Sized>(rng: &mut R, universe: u64, sparsity: usize) -> Self {
-        Self::with_shape(rng, universe, sparsity, 4, 2 * sparsity.max(1))
+    pub fn new(seed: u64, universe: u64, sparsity: usize) -> Self {
+        Self::with_shape(seed, universe, sparsity, 4, 2 * sparsity.max(1))
     }
 
     /// Explicit shape (rows × buckets), for ablations.
-    pub fn with_shape<R: Rng + ?Sized>(
-        rng: &mut R,
+    pub fn with_shape(
+        seed: u64,
         universe: u64,
         sparsity: usize,
         depth: usize,
         width: usize,
     ) -> Self {
         assert!(depth >= 1 && width >= 1);
+        let mut rng = SmallRng::seed_from_u64(seed);
         SparseRecovery {
+            seed,
             universe,
             sparsity,
             depth,
             width,
             cells: vec![Cell::default(); depth * width],
             hashes: (0..depth)
-                .map(|_| bd_hash::KWiseHash::pairwise(rng, width as u64))
+                .map(|_| bd_hash::KWiseHash::pairwise(&mut rng, width as u64))
                 .collect(),
             base: M61Elem::new(rng.gen_range(2..M61)),
             max_mag: MaxMag::default(),
@@ -183,6 +187,31 @@ impl SparseRecovery {
     }
 }
 
+impl Sketch for SparseRecovery {
+    fn update(&mut self, item: u64, delta: i64) {
+        SparseRecovery::update(self, item, delta);
+    }
+}
+
+impl Mergeable for SparseRecovery {
+    /// Cell-wise addition (linearity): afterwards this sketch represents the
+    /// sum of both inputs. Requires identically seeded shapes.
+    fn merge_from(&mut self, other: &Self) {
+        assert!(
+            self.seed == other.seed
+                && self.cells.len() == other.cells.len()
+                && self.universe == other.universe,
+            "SparseRecovery merge requires identically seeded sketches"
+        );
+        for (a, b) in self.cells.iter_mut().zip(&other.cells) {
+            a.count += b.count;
+            a.idsum += b.idsum;
+            a.fp = a.fp.add(b.fp);
+            self.max_mag.observe(a.count);
+        }
+    }
+}
+
 impl SpaceUsage for SparseRecovery {
     fn space(&self) -> SpaceReport {
         let cells = (self.depth * self.width) as u64;
@@ -193,7 +222,12 @@ impl SpaceUsage for SparseRecovery {
         SpaceReport {
             counters: 3 * cells,
             counter_bits: cells * (count_bits + id_bits + 61),
-            seed_bits: self.hashes.iter().map(|h| h.seed_bits() as u64).sum::<u64>() + 61,
+            seed_bits: self
+                .hashes
+                .iter()
+                .map(|h| h.seed_bits() as u64)
+                .sum::<u64>()
+                + 61,
             overhead_bits: 0,
         }
     }
@@ -202,12 +236,9 @@ impl SpaceUsage for SparseRecovery {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn roundtrip(items: &[(u64, i64)], s: usize, seed: u64) -> Recovery {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut sk = SparseRecovery::new(&mut rng, 1 << 40, s);
+        let mut sk = SparseRecovery::new(seed, 1 << 40, s);
         for &(i, d) in items {
             sk.update(i, d);
         }
@@ -225,11 +256,7 @@ mod tests {
     #[test]
     fn exact_recovery_at_sparsity() {
         let items: Vec<(u64, i64)> = (0..16).map(|t| (t * 1_000_003 + 7, t as i64 - 8)).collect();
-        let nonzero: HashMap<u64, i64> = items
-            .iter()
-            .copied()
-            .filter(|&(_, d)| d != 0)
-            .collect();
+        let nonzero: HashMap<u64, i64> = items.iter().copied().filter(|&(_, d)| d != 0).collect();
         match roundtrip(&items, 16, 2) {
             Recovery::Sparse(m) => assert_eq!(m, nonzero),
             Recovery::Dense => panic!("16-sparse vector must decode"),
@@ -280,8 +307,7 @@ mod tests {
 
     #[test]
     fn subtract_gives_difference() {
-        let mut rng = StdRng::seed_from_u64(6);
-        let mut a = SparseRecovery::new(&mut rng, 1 << 20, 8);
+        let mut a = SparseRecovery::new(6, 1 << 20, 8);
         let mut b = a.clone();
         a.update(10, 4);
         a.update(11, 2);

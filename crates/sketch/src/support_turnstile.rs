@@ -9,8 +9,9 @@
 //! regime of \[41\].
 
 use crate::sparse_recovery::{Recovery, SparseRecovery};
-use bd_stream::{SpaceReport, SpaceUsage};
-use rand::Rng;
+use bd_stream::{Sketch, SpaceReport, SpaceUsage};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 
 /// The full-level-set support sampler.
@@ -25,13 +26,14 @@ pub struct SupportSamplerTurnstile {
 impl SupportSamplerTurnstile {
     /// Build for universe `n`, requesting at least `min(k, ‖f‖₀)` support
     /// items per query; recovery budget `s = Θ(k)` per level.
-    pub fn new<R: Rng + ?Sized>(rng: &mut R, n: u64, k: usize) -> Self {
+    pub fn new(seed: u64, n: u64, k: usize) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
         let log_n = bd_hash::log2_ceil(n.max(2)) as usize;
         let s = (4 * k).max(8);
         SupportSamplerTurnstile {
-            h: bd_hash::KWiseHash::pairwise(rng, bd_hash::next_pow2(n)),
+            h: bd_hash::KWiseHash::pairwise(&mut rng, bd_hash::next_pow2(n)),
             levels: (0..=log_n)
-                .map(|_| SparseRecovery::new(rng, n, s))
+                .map(|_| SparseRecovery::new(rng.gen(), n, s))
                 .collect(),
             log_n,
             k,
@@ -77,6 +79,12 @@ impl SupportSamplerTurnstile {
     }
 }
 
+impl Sketch for SupportSamplerTurnstile {
+    fn update(&mut self, item: u64, delta: i64) {
+        SupportSamplerTurnstile::update(self, item, delta);
+    }
+}
+
 impl SpaceUsage for SupportSamplerTurnstile {
     fn space(&self) -> SpaceReport {
         let mut rep = SpaceReport {
@@ -95,15 +103,12 @@ mod tests {
     use super::*;
     use bd_stream::gen::L0AlphaGen;
     use bd_stream::FrequencyVector;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn recovers_enough_support() {
-        let mut rng = StdRng::seed_from_u64(1);
-        let stream = L0AlphaGen::new(1 << 16, 400, 2.0).generate(&mut rng);
+        let stream = L0AlphaGen::new(1 << 16, 400, 2.0).generate_seeded(1);
         let truth = FrequencyVector::from_stream(&stream);
-        let mut s = SupportSamplerTurnstile::new(&mut rng, stream.n, 16);
+        let mut s = SupportSamplerTurnstile::new(1, stream.n, 16);
         for u in &stream {
             s.update(u.item, u.delta);
         }
@@ -117,8 +122,7 @@ mod tests {
 
     #[test]
     fn small_support_recovered_entirely() {
-        let mut rng = StdRng::seed_from_u64(2);
-        let mut s = SupportSamplerTurnstile::new(&mut rng, 1 << 20, 8);
+        let mut s = SupportSamplerTurnstile::new(2, 1 << 20, 8);
         for i in 0..5u64 {
             s.update(i * 99_991, (i + 1) as i64);
         }
@@ -128,8 +132,7 @@ mod tests {
 
     #[test]
     fn deleted_items_never_returned() {
-        let mut rng = StdRng::seed_from_u64(3);
-        let mut s = SupportSamplerTurnstile::new(&mut rng, 1 << 16, 8);
+        let mut s = SupportSamplerTurnstile::new(3, 1 << 16, 8);
         for i in 0..50u64 {
             s.update(i, 1);
         }
@@ -137,14 +140,16 @@ mod tests {
             s.update(i, -1);
         }
         let got = s.support();
-        assert!(got.iter().all(|&i| i >= 45), "deleted item returned: {got:?}");
+        assert!(
+            got.iter().all(|&i| i >= 45),
+            "deleted item returned: {got:?}"
+        );
         assert!(got.len() >= 5);
     }
 
     #[test]
     fn empty_stream_returns_nothing() {
-        let mut rng = StdRng::seed_from_u64(4);
-        let s = SupportSamplerTurnstile::new(&mut rng, 1 << 10, 4);
+        let s = SupportSamplerTurnstile::new(4, 1 << 10, 4);
         assert!(s.query().is_empty());
     }
 }

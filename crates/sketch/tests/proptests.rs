@@ -1,13 +1,16 @@
-//! Property-based tests for the baseline sketches.
+//! Property-style tests for the baseline sketches.
+//!
+//! The offline build has no `proptest`, so properties are checked over
+//! seeded pseudo-random case sweeps — deterministic and replayable.
 
 use bd_sketch::{
-    CountMin, CountSketch, MorrisCounter, Recovery, SmallF0, SmallF0Result, SmallL0,
-    SparseRecovery,
+    CountMin, CountSketch, MorrisCounter, Recovery, SmallF0, SmallF0Result, SmallL0, SparseRecovery,
 };
-use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
+
+const CASES: u64 = 64;
 
 fn exact_vector(items: &[(u64, i64)]) -> HashMap<u64, i64> {
     let mut m = HashMap::new();
@@ -18,104 +21,114 @@ fn exact_vector(items: &[(u64, i64)]) -> HashMap<u64, i64> {
     m
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn sparse_recovery_roundtrips_any_sparse_vector(
-        seed: u64,
-        items in prop::collection::vec((0u64..1 << 30, -50i64..50), 0..12),
-    ) {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut sk = SparseRecovery::new(&mut rng, 1 << 30, 12);
+#[test]
+fn sparse_recovery_roundtrips_any_sparse_vector() {
+    let mut rng = StdRng::seed_from_u64(1);
+    for case in 0..CASES {
+        let len = rng.gen_range(0usize..12);
+        let items: Vec<(u64, i64)> = (0..len)
+            .map(|_| (rng.gen_range(0u64..1 << 30), rng.gen_range(-50i64..50)))
+            .collect();
+        let mut sk = SparseRecovery::new(case, 1 << 30, 12);
         for &(i, d) in &items {
             sk.update(i, d);
         }
         let expect = exact_vector(&items);
         match sk.decode() {
-            Recovery::Sparse(m) => prop_assert_eq!(m, expect),
+            Recovery::Sparse(m) => assert_eq!(m, expect),
             Recovery::Dense => {
                 // Allowed only with tiny probability; treat repeated failure
                 // as a bug by bounding support size (peeling on ≤12 items
                 // with 4×24 cells virtually never stalls).
-                prop_assert!(expect.len() >= 8, "dense verdict on {} items", expect.len());
+                assert!(expect.len() >= 8, "dense verdict on {} items", expect.len());
             }
         }
     }
+}
 
-    #[test]
-    fn countsketch_is_linear_in_updates(seed: u64, a in -40i64..40, b in -40i64..40) {
-        // Applying (i, a) then (i, b) equals applying (i, a + b).
-        let mut rng = StdRng::seed_from_u64(seed);
-        let proto = CountSketch::<i64>::new(&mut rng, 5, 32);
+#[test]
+fn countsketch_is_linear_in_updates() {
+    // Applying (i, a) then (i, b) equals applying (i, a + b).
+    let mut rng = StdRng::seed_from_u64(2);
+    for case in 0..CASES {
+        let a = rng.gen_range(-40i64..40);
+        let b = rng.gen_range(-40i64..40);
+        let proto = CountSketch::<i64>::new(case, 5, 32);
         let mut one = proto.clone();
         let mut two = proto.clone();
         one.update(9, a);
         one.update(9, b);
         two.update(9, a + b);
         for row in 0..5 {
-            prop_assert_eq!(one.row_estimate(row, 9), two.row_estimate(row, 9));
+            assert_eq!(one.row_estimate(row, 9), two.row_estimate(row, 9));
         }
     }
+}
 
-    #[test]
-    fn countmin_never_underestimates_nonnegative_vectors(
-        seed: u64,
-        items in prop::collection::vec((0u64..64, 1i64..20), 1..40),
-    ) {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut cm = CountMin::new(&mut rng, 4, 16);
+#[test]
+fn countmin_never_underestimates_nonnegative_vectors() {
+    let mut rng = StdRng::seed_from_u64(3);
+    for case in 0..CASES {
+        let len = rng.gen_range(1usize..40);
+        let items: Vec<(u64, i64)> = (0..len)
+            .map(|_| (rng.gen_range(0u64..64), rng.gen_range(1i64..20)))
+            .collect();
+        let mut cm = CountMin::new(case, 4, 16);
         let mut exact = HashMap::new();
         for &(i, d) in &items {
             cm.update(i, d);
             *exact.entry(i).or_insert(0i64) += d;
         }
         for (&i, &f) in &exact {
-            prop_assert!(cm.estimate(i) >= f);
+            assert!(cm.estimate(i) >= f);
         }
     }
+}
 
-    #[test]
-    fn small_l0_never_exceeds_true_support(
-        seed: u64,
-        items in prop::collection::vec((0u64..1000, -5i64..5), 0..60),
-    ) {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut s = SmallL0::new(&mut rng, 16, 3);
+#[test]
+fn small_l0_never_exceeds_true_support() {
+    let mut rng = StdRng::seed_from_u64(4);
+    for case in 0..CASES {
+        let len = rng.gen_range(0usize..60);
+        let items: Vec<(u64, i64)> = (0..len)
+            .map(|_| (rng.gen_range(0u64..1000), rng.gen_range(-5i64..5)))
+            .collect();
+        let mut s = SmallL0::new(case, 16, 3);
         for &(i, d) in &items {
             s.update(i, d);
         }
         let true_l0 = exact_vector(&items).len() as u64;
-        prop_assert!(s.estimate() <= true_l0);
+        assert!(s.estimate() <= true_l0);
     }
+}
 
-    #[test]
-    fn small_f0_large_verdict_is_sound(
-        seed: u64,
-        distinct in 1usize..40,
-    ) {
-        let mut rng = StdRng::seed_from_u64(seed);
+#[test]
+fn small_f0_large_verdict_is_sound() {
+    let mut rng = StdRng::seed_from_u64(5);
+    for case in 0..CASES {
+        let distinct = rng.gen_range(1usize..40);
         let cap = 12usize;
-        let mut s = SmallF0::new(&mut rng, cap);
+        let mut s = SmallF0::new(case, cap);
         for i in 0..distinct as u64 {
             s.update(i * 7 + 1, 1);
         }
         match s.result() {
-            SmallF0Result::Large => prop_assert!(distinct > cap),
-            SmallF0Result::Exact(c) => prop_assert!(c <= distinct as u64),
+            SmallF0Result::Large => assert!(distinct > cap),
+            SmallF0Result::Exact(c) => assert!(c <= distinct as u64),
         }
     }
+}
 
-    #[test]
-    fn morris_estimate_bounded_by_extremes(seed: u64, ticks in 1u64..5000) {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut m = MorrisCounter::new();
-        for _ in 0..ticks {
-            m.tick(&mut rng);
-        }
+#[test]
+fn morris_estimate_bounded_by_extremes() {
+    let mut rng = StdRng::seed_from_u64(6);
+    for case in 0..CASES {
+        let ticks = rng.gen_range(1u64..5000);
+        let mut m = MorrisCounter::new(case);
+        m.tick_by(ticks);
         // v ≤ t always (can't increment more than once per tick) ⇒
         // estimate ≤ 2^t − 1; and the estimate is ≥ 1 after ≥1 tick.
-        prop_assert!(m.estimate() >= 1);
-        prop_assert!(u64::from(m.level()) <= ticks);
+        assert!(m.estimate() >= 1);
+        assert!(u64::from(m.level()) <= ticks);
     }
 }

@@ -295,9 +295,9 @@ mod tests {
             let f = FrequencyVector::from_stream(&inst.f);
             let g = FrequencyVector::from_stream(&inst.g);
             let ip = f.inner_product(&g);
-            let expect = if inst.bit { 2 } else { 1 } * 100i128
-                * 10i128.pow(inst.query_block as u32 + 1)
-                + 1;
+            let expect =
+                if inst.bit { 2 } else { 1 } * 100i128 * 10i128.pow(inst.query_block as u32 + 1)
+                    + 1;
             assert_eq!(ip, expect);
         }
     }

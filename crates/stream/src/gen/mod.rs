@@ -21,3 +21,33 @@ pub use hard::{
 pub use scenarios::{NetworkDiffGen, RdcGen, SensorGen};
 pub use turnstile::UnboundedDeletionGen;
 pub use zipf::Zipf;
+
+/// Add a `generate_seeded(seed)` convenience alongside each generator's
+/// `generate(&mut rng)`: benches, examples, and tests construct workloads
+/// from a bare `u64`, mirroring the seeded-constructor convention of the
+/// sketch layer.
+macro_rules! impl_generate_seeded {
+    ($($gen:ty => $out:ty),* $(,)?) => {$(
+        impl $gen {
+            /// Generate with a fresh `StdRng` seeded from `seed`
+            /// (deterministic: same seed, same stream).
+            pub fn generate_seeded(&self, seed: u64) -> $out {
+                use rand::SeedableRng;
+                self.generate(&mut rand::rngs::StdRng::seed_from_u64(seed))
+            }
+        }
+    )*};
+}
+
+impl_generate_seeded!(
+    BoundedDeletionGen => crate::update::StreamBatch,
+    StrongAlphaGen => crate::update::StreamBatch,
+    L0AlphaGen => crate::update::StreamBatch,
+    NetworkDiffGen => crate::update::StreamBatch,
+    RdcGen => crate::update::StreamBatch,
+    SensorGen => crate::update::StreamBatch,
+    UnboundedDeletionGen => crate::update::StreamBatch,
+    AugmentedIndexingHH => HardInstance,
+    SupportHard => HardInstance,
+    InnerProductHard => InnerProductInstance,
+);

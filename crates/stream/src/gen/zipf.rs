@@ -17,7 +17,10 @@ impl Zipf {
     /// Build the distribution over `n ≥ 1` ranks with exponent `s ≥ 0`.
     pub fn new(n: usize, s: f64) -> Self {
         assert!(n >= 1, "Zipf needs at least one rank");
-        assert!(s >= 0.0 && s.is_finite(), "exponent must be finite and >= 0");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "exponent must be finite and >= 0"
+        );
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0f64;
         for r in 1..=n {

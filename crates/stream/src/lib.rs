@@ -1,9 +1,28 @@
 //! # bd-stream
 //!
-//! Stream model, exact ground truth, workload generators, and space
+//! Stream model, the unified `Sketch` trait layer, the `StreamRunner`
+//! ingestion engine, exact ground truth, workload generators, and space
 //! accounting for the `bounded-deletions` workspace (a reproduction of
 //! *Data Streams with Bounded Deletions*, Jayaram & Woodruff, PODS 2018).
 //!
+//! ## The trait layer
+//!
+//! Every structure in the workspace — α-property algorithm or turnstile
+//! baseline — implements [`sketch::Sketch`]: seeded construction, owned RNG,
+//! `update(item, Δ)`, batched `update_batch(&[Update])`, and bit-level space
+//! via [`space::SpaceUsage`]. Capability traits ([`sketch::PointQuery`],
+//! [`sketch::NormEstimate`], [`sketch::SampleQuery`], [`sketch::Mergeable`])
+//! refine what each sketch can answer. [`runner::StreamRunner`] drives any
+//! sketch over a [`update::StreamBatch`] with timing and space accounting —
+//! the single ingestion loop all benches, examples, and integration tests
+//! share.
+//!
+//! ## Modules
+//!
+//! * [`sketch`] — the [`Sketch`](sketch::Sketch) trait family and batch
+//!   aggregation helpers;
+//! * [`runner`] — [`StreamRunner`](runner::StreamRunner) and
+//!   [`RunReport`](runner::RunReport);
 //! * [`update`] — items, updates `(i, Δ)`, and [`update::StreamBatch`];
 //! * [`vector`] — exact frequency vectors `f = I − D` with every statistic
 //!   the paper's guarantees are stated against (`‖f‖₀`, `‖f‖₁`, `F₀`,
@@ -14,10 +33,17 @@
 //!   measurement behind every Figure 1 comparison.
 
 pub mod gen;
+pub mod runner;
+pub mod sketch;
 pub mod space;
 pub mod update;
 pub mod vector;
 
+pub use runner::{RunReport, StreamRunner};
+pub use sketch::{
+    aggregate_net, aggregate_signed_mass, Mergeable, NormEstimate, PointQuery, SampleOutcome,
+    SampleQuery, Sketch,
+};
 pub use space::{MaxMag, SpaceReport, SpaceUsage};
 pub use update::{Item, StreamBatch, Update};
 pub use vector::FrequencyVector;

@@ -119,7 +119,7 @@ mod tests {
         assert_eq!(b.counters, 4);
         assert_eq!(b.total_bits(), 2 * (10 + 61 + 7));
         assert_eq!(a.repeat(3).counter_bits, 30);
-        assert_eq!(a.total_bytes(), (10 + 61 + 7 + 7) / 8);
+        assert_eq!(a.total_bytes(), (10u64 + 61 + 7).div_ceil(8));
     }
 
     #[test]

@@ -4,13 +4,11 @@
 //! an implicit frequency vector `f ∈ Z^n`. Items are `u64` indices into
 //! `[0, n)`; deltas are signed 64-bit integers.
 
-use serde::{Deserialize, Serialize};
-
 /// An item identifier in the universe `[0, n)`.
 pub type Item = u64;
 
 /// A single stream update `(i, Δ)`: `f_i ← f_i + Δ`.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Update {
     /// The item being updated.
     pub item: Item,
@@ -58,7 +56,7 @@ impl Update {
 
 /// A finite stream over a declared universe size, the unit the generators
 /// produce and the test/bench harnesses consume.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct StreamBatch {
     /// Universe size `n`; every update has `item < n`.
     pub n: u64,

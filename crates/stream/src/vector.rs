@@ -5,6 +5,8 @@
 //! entry-wise absolute value of the negative ones). Every experiment compares
 //! a sketch's answer against the statistics computed here.
 
+use crate::sketch::{PointQuery, Sketch};
+use crate::space::{SpaceReport, SpaceUsage};
 use crate::update::{Item, StreamBatch, Update};
 use std::collections::HashMap;
 
@@ -160,7 +162,11 @@ impl FrequencyVector {
             .filter(|(_, &f)| f != 0)
             .map(|(&i, &f)| (i, f))
             .collect();
-        v.sort_by(|a, b| b.1.unsigned_abs().cmp(&a.1.unsigned_abs()).then(a.0.cmp(&b.0)));
+        v.sort_by(|a, b| {
+            b.1.unsigned_abs()
+                .cmp(&a.1.unsigned_abs())
+                .then(a.0.cmp(&b.0))
+        });
         v
     }
 
@@ -238,6 +244,32 @@ impl FrequencyVector {
     /// prefix seen so far is consistent with a strict turnstile stream).
     pub fn is_nonnegative(&self) -> bool {
         self.f.values().all(|&v| v >= 0)
+    }
+}
+
+impl SpaceUsage for FrequencyVector {
+    fn space(&self) -> SpaceReport {
+        // Exact state: one (id, f, I, D) record per touched item. This is
+        // the Θ(F₀·log n) cost every sketch in the workspace undercuts.
+        let entries = self.f.len() as u64;
+        SpaceReport {
+            counters: entries,
+            counter_bits: entries * (64 + 3 * 64),
+            seed_bits: 0,
+            overhead_bits: 128, // n + mass
+        }
+    }
+}
+
+impl Sketch for FrequencyVector {
+    fn update(&mut self, item: Item, delta: i64) {
+        FrequencyVector::update(self, Update::new(item, delta));
+    }
+}
+
+impl PointQuery for FrequencyVector {
+    fn point(&self, item: Item) -> f64 {
+        self.get(item) as f64
     }
 }
 

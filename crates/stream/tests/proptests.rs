@@ -1,86 +1,120 @@
-//! Property-based tests for the stream substrate.
+//! Property-style tests for the stream substrate.
+//!
+//! The offline build has no `proptest`, so properties are checked over
+//! seeded pseudo-random case sweeps — deterministic and replayable.
 
 use bd_stream::gen::{BoundedDeletionGen, L0AlphaGen, StrongAlphaGen};
 use bd_stream::{FrequencyVector, StreamBatch, Update};
-use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
-fn arb_updates(n: u64, max_len: usize) -> impl Strategy<Value = Vec<Update>> {
-    prop::collection::vec((0..n, -20i64..20), 0..max_len)
-        .prop_map(|v| v.into_iter().map(|(i, d)| Update::new(i, d)).collect())
+const CASES: usize = 128;
+
+fn random_updates(rng: &mut StdRng, n: u64, max_len: usize) -> Vec<Update> {
+    let len = rng.gen_range(0..max_len);
+    (0..len)
+        .map(|_| Update::new(rng.gen_range(0..n), rng.gen_range(-20i64..20)))
+        .collect()
 }
 
-proptest! {
-    #[test]
-    fn f_equals_i_minus_d(updates in arb_updates(64, 200)) {
+#[test]
+fn f_equals_i_minus_d() {
+    let mut rng = StdRng::seed_from_u64(1);
+    for _ in 0..CASES {
+        let updates = random_updates(&mut rng, 64, 200);
         let v = FrequencyVector::from_stream(&StreamBatch::new(64, updates));
         for i in 0..64u64 {
-            prop_assert_eq!(v.get(i), v.inserted(i) as i64 - v.deleted(i) as i64);
+            assert_eq!(v.get(i), v.inserted(i) as i64 - v.deleted(i) as i64);
         }
     }
+}
 
-    #[test]
-    fn mass_dominates_l1(updates in arb_updates(64, 200)) {
+#[test]
+fn mass_dominates_l1() {
+    let mut rng = StdRng::seed_from_u64(2);
+    for _ in 0..CASES {
+        let updates = random_updates(&mut rng, 64, 200);
         let v = FrequencyVector::from_stream(&StreamBatch::new(64, updates));
-        prop_assert!(v.total_mass() >= v.l1());
-        prop_assert!(v.f0() >= v.l0());
+        assert!(v.total_mass() >= v.l1());
+        assert!(v.f0() >= v.l0());
         if v.l1() > 0 {
-            prop_assert!(v.alpha_l1() >= 1.0);
+            assert!(v.alpha_l1() >= 1.0);
         }
         if v.l0() > 0 {
-            prop_assert!(v.alpha_l0() >= 1.0);
+            assert!(v.alpha_l0() >= 1.0);
         }
     }
+}
 
-    #[test]
-    fn err_k_monotone_in_k(updates in arb_updates(32, 100)) {
+#[test]
+fn err_k_monotone_in_k() {
+    let mut rng = StdRng::seed_from_u64(3);
+    for _ in 0..CASES {
+        let updates = random_updates(&mut rng, 32, 100);
         let v = FrequencyVector::from_stream(&StreamBatch::new(32, updates));
         for k in 0..8usize {
-            prop_assert!(v.err_k(k, 1) + 1e-9 >= v.err_k(k + 1, 1));
-            prop_assert!(v.err_k(k, 2) + 1e-9 >= v.err_k(k + 1, 2));
+            assert!(v.err_k(k, 1) + 1e-9 >= v.err_k(k + 1, 1));
+            assert!(v.err_k(k, 2) + 1e-9 >= v.err_k(k + 1, 2));
         }
         // Err^0_1 is the full L1.
-        prop_assert!((v.err_k(0, 1) - v.l1() as f64).abs() < 1e-6);
+        assert!((v.err_k(0, 1) - v.l1() as f64).abs() < 1e-6);
     }
+}
 
-    #[test]
-    fn strong_alpha_dominates_l1_alpha_on_strict_streams(seed: u64, alpha in 1.0f64..8.0) {
-        // Strong α-property implies the L1 α-property (paper, after Def. 2).
-        let mut rng = StdRng::seed_from_u64(seed);
-        let s = StrongAlphaGen::new(1 << 10, 100, alpha).generate(&mut rng);
+#[test]
+fn strong_alpha_dominates_l1_alpha_on_strict_streams() {
+    // Strong α-property implies the L1 α-property (paper, after Def. 2).
+    let mut rng = StdRng::seed_from_u64(4);
+    for case in 0..CASES as u64 {
+        let alpha = rng.gen_range(1.0f64..8.0);
+        let s = StrongAlphaGen::new(1 << 10, 100, alpha).generate_seeded(case);
         let v = FrequencyVector::from_stream(&s);
-        prop_assert!(v.alpha_l1() <= v.alpha_strong() + 1e-9);
-        prop_assert!(v.alpha_strong() <= alpha + 1e-9);
+        assert!(v.alpha_l1() <= v.alpha_strong() + 1e-9);
+        assert!(v.alpha_strong() <= alpha + 1e-9, "α = {alpha}");
     }
+}
 
-    #[test]
-    fn bounded_gen_is_strict_turnstile(seed: u64, alpha in 1.0f64..16.0) {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let s = BoundedDeletionGen::new(1 << 10, 4_000, alpha).generate(&mut rng);
+#[test]
+fn bounded_gen_is_strict_turnstile() {
+    let mut rng = StdRng::seed_from_u64(5);
+    for case in 0..CASES as u64 {
+        let alpha = rng.gen_range(1.0f64..16.0);
+        let s = BoundedDeletionGen::new(1 << 10, 4_000, alpha).generate_seeded(case);
         let mut v = FrequencyVector::new(s.n);
         for u in &s {
-            v.update(*u);
+            FrequencyVector::update(&mut v, *u);
         }
-        prop_assert!(v.is_nonnegative());
+        assert!(v.is_nonnegative());
     }
+}
 
-    #[test]
-    fn l0_gen_exact_support(seed: u64, l0 in 1u64..200, alpha in 1.0f64..5.0) {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let s = L0AlphaGen::new(1 << 16, l0, alpha).generate(&mut rng);
+#[test]
+fn l0_gen_exact_support() {
+    let mut rng = StdRng::seed_from_u64(6);
+    for case in 0..CASES as u64 {
+        let l0 = rng.gen_range(1u64..200);
+        let alpha = rng.gen_range(1.0f64..5.0);
+        let s = L0AlphaGen::new(1 << 16, l0, alpha).generate_seeded(case);
         let v = FrequencyVector::from_stream(&s);
-        prop_assert_eq!(v.l0(), l0);
-        prop_assert_eq!(v.f0(), (l0 as f64 * alpha).ceil() as u64);
+        assert_eq!(v.l0(), l0);
+        assert_eq!(v.f0(), (l0 as f64 * alpha).ceil() as u64);
     }
+}
 
-    #[test]
-    fn inner_product_symmetry(a in arb_updates(32, 60), b in arb_updates(32, 60)) {
+#[test]
+fn inner_product_symmetry() {
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..CASES {
+        let a = random_updates(&mut rng, 32, 60);
+        let b = random_updates(&mut rng, 32, 60);
         let va = FrequencyVector::from_stream(&StreamBatch::new(32, a));
         let vb = FrequencyVector::from_stream(&StreamBatch::new(32, b));
-        prop_assert_eq!(va.inner_product(&vb), vb.inner_product(&va));
+        assert_eq!(va.inner_product(&vb), vb.inner_product(&va));
         // Cauchy–Schwarz-ish sanity: |<a,b>| <= ||a||_1 * max|b|.
-        let maxb = (0..32u64).map(|i| vb.get(i).unsigned_abs()).max().unwrap_or(0);
-        prop_assert!(va.inner_product(&vb).unsigned_abs() <= (va.l1() as u128) * maxb as u128);
+        let maxb = (0..32u64)
+            .map(|i| vb.get(i).unsigned_abs())
+            .max()
+            .unwrap_or(0);
+        assert!(va.inner_product(&vb).unsigned_abs() <= (va.l1() as u128) * maxb as u128);
     }
 }

@@ -6,21 +6,20 @@
 //! Pipeline: estimate how much of the file changed (strict-turnstile L1 on
 //! the block multiset sizes), count distinct changed signatures (L0), and
 //! recover actual changed-block identities (support sampling) so the sync
-//! protocol knows what to transfer.
+//! protocol knows what to transfer. One `StreamRunner` drives all three
+//! sketches.
 //!
 //! Run with: `cargo run --release --example database_sync`
 
 use bounded_deletions::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(77);
     let n = 1u64 << 40; // block-signature space
     println!("== remote differential compression ==\n");
+    let runner = StreamRunner::new();
 
-    for edit_fraction in [0.05, 0.25, 0.5] {
-        let stream = RdcGen::new(n, 50_000, edit_fraction).generate(&mut rng);
+    for (t, edit_fraction) in [0.05, 0.25, 0.5].into_iter().enumerate() {
+        let stream = RdcGen::new(n, 50_000, edit_fraction).generate_seeded(77 + t as u64);
         let truth = FrequencyVector::from_stream(&stream);
         let alpha = truth.alpha_l1().max(truth.alpha_l0());
         println!(
@@ -31,16 +30,15 @@ fn main() {
 
         let params = Params::practical(n, 0.1, alpha.max(1.0));
 
-        // One pass: difference mass, distinct differing signatures, and the
-        // signatures themselves.
-        let mut diff_mass = AlphaL1General::new(&mut rng, &params);
-        let mut distinct = AlphaL0Estimator::new(&mut rng, &params);
-        let mut which = AlphaSupportSamplerSet::new(&mut rng, &params, 16);
-        for u in &stream {
-            diff_mass.update(&mut rng, u.item, u.delta);
-            distinct.update(&mut rng, u.item, u.delta);
-            which.update(&mut rng, u.item, u.delta);
-        }
+        // One engine pass per sketch: difference mass, distinct differing
+        // signatures, and the signatures themselves.
+        let mut diff_mass = AlphaL1General::new(1, &params);
+        let mut distinct = AlphaL0Estimator::new(2, &params);
+        let mut which = AlphaSupportSamplerSet::new(3, &params, 16);
+        let reports = runner.run_each(
+            &mut [&mut diff_mass as &mut dyn Sketch, &mut distinct, &mut which],
+            &stream,
+        );
 
         println!(
             "    difference mass: est {:>8.0} vs true {:>7}",
@@ -59,9 +57,10 @@ fn main() {
             recovered.len(),
             valid
         );
+        let total_bits: u64 = reports.iter().map(|r| r.space_bits()).sum();
         println!(
             "    sketch space: {} KiB (vs {} KiB of raw signatures)\n",
-            (diff_mass.space_bits() + distinct.space_bits() + which.space_bits()) / 8 / 1024,
+            total_bits / 8 / 1024,
             50_000 * 64 / 8 / 1024
         );
     }

@@ -8,22 +8,21 @@
 //! the residual traffic — samples land on flows proportionally to their
 //! residual volume, giving a forensic view of *who* is hitting the victim —
 //! using the αL1Sampler (Figure 3), which needs the strong α-property.
+//! Every pass goes through the shared `StreamRunner`.
 //!
 //! Run with: `cargo run --release --example ddos_forensics`
 
 use bounded_deletions::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::collections::HashMap;
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(1337);
     let n = 1u64 << 12; // victim-side flow table
     println!("== ddos forensics ==\n");
+    let runner = StreamRunner::new();
 
     // Baseline flows with churn (strong α = 3), plus a planted attack: five
     // flows carrying 30% of residual volume.
-    let mut stream = StrongAlphaGen::new(n, 600, 3.0).generate(&mut rng);
+    let mut stream = StrongAlphaGen::new(n, 600, 3.0).generate_seeded(1337);
     let base_mass = FrequencyVector::from_stream(&stream).l1();
     let per_attacker = (base_mass as f64 * 0.06) as u64 + 1;
     for a in 0..5u64 {
@@ -42,28 +41,27 @@ fn main() {
     );
 
     let params = Params::practical(n, 0.05, alpha).with_delta(0.1);
-    let mut hh = AlphaHeavyHitters::new_strict(&mut rng, &params);
-    for u in &stream {
-        hh.update(&mut rng, u.item, u.delta);
-    }
-    println!("\nflagged attack targets (ε = 0.05 heavy hitters):");
+    let mut hh = AlphaHeavyHitters::new_strict(1, &params);
+    let report = runner.run(&mut hh, &stream);
+    println!(
+        "\nflagged attack targets (ε = 0.05 heavy hitters, {:.1} Mupd/s):",
+        report.updates_per_sec() / 1e6
+    );
     for (item, est) in hh.query().into_iter().take(6) {
         let tag = if item >= 4000 { "ATTACK" } else { "normal" };
         println!("  flow {item:>5}: volume ≈ {est:>8.0}  [{tag}]");
     }
 
-    // Forensic sampling: repeated L1 samples of the residual vector.
+    // Forensic sampling: repeated L1 samples of the residual vector, one
+    // seeded sampler per draw.
     let sample_params = Params::practical(n, 0.25, alpha).with_delta(0.3);
     println!("\nforensic L1 samples (αL1Sampler, 40 independent draws):");
     let mut hits: HashMap<u64, usize> = HashMap::new();
     let mut fails = 0;
     for seed in 0..40u64 {
-        let mut srng = StdRng::seed_from_u64(9000 + seed);
-        let mut sampler = AlphaL1Sampler::new(&mut srng, &sample_params);
-        for u in &stream {
-            sampler.update(&mut srng, u.item, u.delta);
-        }
-        match sampler.query() {
+        let mut sampler = AlphaL1Sampler::new(9000 + seed, &sample_params);
+        runner.run(&mut sampler, &stream);
+        match sampler.sample() {
             SampleOutcome::Sample { item, .. } => *hits.entry(item).or_insert(0) += 1,
             SampleOutcome::Fail => fails += 1,
         }

@@ -7,21 +7,18 @@
 //! Pipeline: find the flows whose rates changed the most (heavy hitters of
 //! the difference), estimate the total traffic drift (general-turnstile
 //! L1), and estimate the similarity of two routers' traffic (inner
-//! product).
+//! product). All ingestion goes through the shared `StreamRunner`.
 //!
 //! Run with: `cargo run --release --example network_monitor`
 
 use bounded_deletions::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(2024);
     let n = 1u64 << 24; // (src, dst) pair space
     println!("== network traffic differencing ==\n");
 
     // Two intervals of traffic; 10% of flows drift between them.
-    let diff_stream = NetworkDiffGen::new(n, 200_000, 0.10).generate(&mut rng);
+    let diff_stream = NetworkDiffGen::new(n, 200_000, 0.10).generate_seeded(2024);
     let truth = FrequencyVector::from_stream(&diff_stream);
     let alpha = truth.alpha_l1();
     println!(
@@ -32,15 +29,13 @@ fn main() {
     );
 
     let params = Params::practical(n, 0.05, alpha.max(1.0));
+    let runner = StreamRunner::new();
 
-    // Heavy hitters of the difference = flows with the largest rate change.
-    let mut hh = AlphaHeavyHitters::new_general(&mut rng, &params);
-    // Drift magnitude via the sampled Cauchy sketch (Theorem 8).
-    let mut drift = AlphaL1General::new(&mut rng, &params);
-    for u in &diff_stream {
-        hh.update(&mut rng, u.item, u.delta);
-        drift.update(&mut rng, u.item, u.delta);
-    }
+    // Heavy hitters of the difference = flows with the largest rate change;
+    // drift magnitude via the sampled Cauchy sketch (Theorem 8).
+    let mut hh = AlphaHeavyHitters::new_general(1, &params);
+    let mut drift = AlphaL1General::new(2, &params);
+    let reports = runner.run_each(&mut [&mut hh as &mut dyn Sketch, &mut drift], &diff_stream);
 
     println!("\nflows with the largest |rate change| (ε = 0.05 of total drift):");
     for (flow, est) in hh.query().into_iter().take(5) {
@@ -55,21 +50,22 @@ fn main() {
         truth.l1(),
         100.0 * (drift.estimate() - truth.l1() as f64) / truth.l1() as f64
     );
+    println!(
+        "ingest: heavy hitters {:.1} Mupd/s, drift sketch {:.1} Mupd/s",
+        reports[0].updates_per_sec() / 1e6,
+        reports[1].updates_per_sec() / 1e6
+    );
 
     // Router similarity: inner product between two routers' traffic vectors.
-    let router_a = NetworkDiffGen::new(n, 150_000, 0.25).generate(&mut rng);
-    let router_b = NetworkDiffGen::new(n, 150_000, 0.25).generate(&mut rng);
+    let router_a = NetworkDiffGen::new(n, 150_000, 0.25).generate_seeded(2025);
+    let router_b = NetworkDiffGen::new(n, 150_000, 0.25).generate_seeded(2026);
     let va = FrequencyVector::from_stream(&router_a);
     let vb = FrequencyVector::from_stream(&router_b);
     let ip_alpha = va.alpha_l1().max(vb.alpha_l1()).max(1.0);
     let ip_params = Params::practical(n, 0.02, ip_alpha);
-    let mut ip = AlphaInnerProduct::new(&mut rng, &ip_params);
-    for u in &router_a {
-        ip.update_f(&mut rng, u.item, u.delta);
-    }
-    for u in &router_b {
-        ip.update_g(&mut rng, u.item, u.delta);
-    }
+    let mut ip = AlphaInnerProduct::new(3, &ip_params);
+    runner.run(&mut ip.f, &router_a);
+    runner.run(&mut ip.g, &router_b);
     let est = ip.estimate();
     let exact = va.inner_product(&vb) as f64;
     println!("\nrouter similarity ⟨f,g⟩ (Theorem 2, ε = 0.02):");

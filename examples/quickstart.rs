@@ -2,17 +2,15 @@
 //!
 //! Generates a strict-turnstile stream with α = 4 (deletions cancel 60% of
 //! the inserted mass), then runs the paper's heavy hitters, L1 estimator,
-//! L0 estimator, and support sampler on a single pass, comparing every
-//! answer against exact ground truth.
+//! L0 estimator, and support sampler through the shared `StreamRunner`,
+//! comparing every answer against exact ground truth. Sketches are seeded —
+//! rerunning this binary reproduces every number bit-for-bit.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
 use bounded_deletions::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(42);
     let n = 1u64 << 16;
     let alpha = 4.0;
     let epsilon = 0.1;
@@ -25,7 +23,7 @@ fn main() {
     let mut gen = BoundedDeletionGen::new(n, 100_000, alpha);
     gen.distinct = 128;
     gen.zipf_s = 1.3;
-    let stream = gen.generate(&mut rng);
+    let stream = gen.generate_seeded(42);
     let truth = FrequencyVector::from_stream(&stream);
     println!(
         "stream: {} updates, ‖f‖₁ = {}, ‖f‖₀ = {}, realized α = {:.2}",
@@ -36,26 +34,23 @@ fn main() {
     );
 
     let params = Params::practical(n, epsilon, alpha);
+    let runner = StreamRunner::new();
 
-    // --- one pass over the stream for the L1 sketches ---
-    let mut hh = AlphaHeavyHitters::new_strict(&mut rng, &params);
-    let mut l1 = AlphaL1Estimator::new(&params);
-    for u in &stream {
-        hh.update(&mut rng, u.item, u.delta);
-        l1.update(&mut rng, u.item, u.delta);
-    }
+    // --- one engine drives the L1 sketches over the stream ---
+    let mut hh = AlphaHeavyHitters::new_strict(1, &params);
+    let mut l1 = AlphaL1Estimator::new(2, &params);
+    let hh_report = runner.run(&mut hh, &stream);
+    let l1_report = runner.run(&mut l1, &stream);
 
     // --- a second, support-style stream for the L0 sketches ---
     let n_l0 = 1u64 << 24;
-    let l0_stream = L0AlphaGen::new(n_l0, 2_000, alpha).generate(&mut rng);
+    let l0_stream = L0AlphaGen::new(n_l0, 2_000, alpha).generate_seeded(43);
     let l0_truth = FrequencyVector::from_stream(&l0_stream);
     let l0_params = Params::practical(n_l0, 0.15, alpha);
-    let mut l0 = AlphaL0Estimator::new(&mut rng, &l0_params);
-    let mut support = AlphaSupportSampler::new(&mut rng, &l0_params, 8);
-    for u in &l0_stream {
-        l0.update(&mut rng, u.item, u.delta);
-        support.update(&mut rng, u.item, u.delta);
-    }
+    let mut l0 = AlphaL0Estimator::new(3, &l0_params);
+    let mut support = AlphaSupportSampler::new(4, &l0_params, 8);
+    let l0_report = runner.run(&mut l0, &l0_stream);
+    let support_report = runner.run(&mut support, &l0_stream);
 
     // --- heavy hitters ---
     let found = hh.query();
@@ -72,9 +67,11 @@ fn main() {
         .filter(|i| found.iter().any(|(j, _)| j == *i))
         .count();
     println!(
-        "  recall {recall}/{} exact heavy hitters, space = {} bits",
+        "  recall {recall}/{} exact heavy hitters, space = {} bits, \
+         ingest {:.1} Mupd/s",
         exact_hh.len(),
-        hh.space_bits()
+        hh_report.space_bits(),
+        hh_report.updates_per_sec() / 1e6
     );
 
     // --- L1 estimation ---
@@ -84,11 +81,14 @@ fn main() {
         l1.estimate(),
         truth.l1(),
         100.0 * (l1.estimate() - truth.l1() as f64) / truth.l1() as f64,
-        l1.space_bits()
+        l1_report.space_bits()
     );
 
     // --- L0 estimation ---
-    println!("\nL0 estimation (Figure 7, windowed levels; occupancy stream, α_L0 = {:.1}):", l0_truth.alpha_l0());
+    println!(
+        "\nL0 estimation (Figure 7, windowed levels; occupancy stream, α_L0 = {:.1}):",
+        l0_truth.alpha_l0()
+    );
     println!(
         "  estimate {:.0} vs true {} ({:+.2}%), live rows {} of log n = {}",
         l0.estimate(),
@@ -97,6 +97,7 @@ fn main() {
         l0.peak_live_rows(),
         64 - (n_l0 - 1).leading_zeros()
     );
+    println!("  ingest {:.1} Mupd/s", l0_report.updates_per_sec() / 1e6);
 
     // --- support sampling ---
     let got = support.query();
@@ -106,6 +107,6 @@ fn main() {
         "  recovered {} support items ({} valid), space = {} bits",
         got.len(),
         valid,
-        support.space_bits()
+        support_report.space_bits()
     );
 }

@@ -3,35 +3,32 @@
 //! churn population visits and leaves, so the ratio `F₀/L₀` of
 //! ever-occupied to currently-occupied cells stays bounded. Estimating the
 //! occupied-cell count is L0 estimation under the L0 α-property.
+//! Ingestion goes through the shared `StreamRunner`.
 //!
 //! Run with: `cargo run --release --example sensor_coverage`
 
 use bounded_deletions::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(99);
     let n = 1u64 << 28; // grid cells
     println!("== sensor coverage monitoring ==\n");
     println!("cells ever occupied = F₀, still occupied = L₀, α = F₀/L₀\n");
+    let runner = StreamRunner::new();
 
-    for (core, transient) in [(4_000, 4_000), (2_000, 6_000), (1_000, 15_000)] {
-        let stream = SensorGen::new(n, core, transient).generate(&mut rng);
+    for (t, (core, transient)) in [(4_000, 4_000), (2_000, 6_000), (1_000, 15_000)]
+        .into_iter()
+        .enumerate()
+    {
+        let stream = SensorGen::new(n, core, transient).generate_seeded(99 + t as u64);
         let truth = FrequencyVector::from_stream(&stream);
         let alpha = truth.alpha_l0();
         let params = Params::practical(n, 0.1, alpha);
 
-        let mut l0 = AlphaL0Estimator::new(&mut rng, &params);
-        let mut tracker = AlphaRoughL0::new(&mut rng, n);
-        for u in &stream {
-            l0.update(&mut rng, u.item, u.delta);
-            tracker.update(u.item, u.delta);
-        }
+        let mut l0 = AlphaL0Estimator::new(1, &params);
+        let mut tracker = AlphaRoughL0::new(2, n);
+        let reports = runner.run_each(&mut [&mut l0 as &mut dyn Sketch, &mut tracker], &stream);
 
-        println!(
-            "core {core:>5} + transient {transient:>5}  (α = {alpha:.1}):"
-        );
+        println!("core {core:>5} + transient {transient:>5}  (α = {alpha:.1}):");
         println!(
             "    occupied cells: est {:>7.0} vs true {:>6} ({:+.1}%)",
             l0.estimate(),
@@ -47,6 +44,10 @@ fn main() {
             l0.peak_live_rows(),
             64 - (n - 1).leading_zeros()
         );
-        println!("    space: {} KiB\n", l0.space_bits() / 8 / 1024);
+        println!(
+            "    space: {} KiB, ingest {:.1} Mupd/s\n",
+            reports[0].space_bits() / 8 / 1024,
+            reports[0].updates_per_sec() / 1e6
+        );
     }
 }

@@ -9,35 +9,60 @@
 //! norm. Real deletion-heavy workloads (traffic differencing, database
 //! synchronization, sensor churn) satisfy this for small α, and every
 //! classic `log n` space factor of turnstile sketching then drops to
-//! `log α`. This crate bundles:
+//! `log α`.
+//!
+//! ## The unified sketch layer
+//!
+//! Every structure in the workspace — α-property algorithm or turnstile
+//! baseline — presents one interface, [`bd_stream::Sketch`]:
+//!
+//! * **seeded construction** — randomized sketches own their RNG and are
+//!   built from a `u64` seed; the same seed replays bit-for-bit, and no
+//!   update path takes an `&mut impl Rng` parameter;
+//! * **`update(item, Δ)` / `update_batch(&[Update])`** — hot structures
+//!   (CSSS, the heavy-hitter sketch, Countsketch, Count-Min) override the
+//!   batched path with pre-aggregating implementations that collapse
+//!   duplicate items and amortize k-wise hash evaluations;
+//! * **capability traits** — [`PointQuery`](bd_stream::PointQuery),
+//!   [`NormEstimate`](bd_stream::NormEstimate),
+//!   [`SampleQuery`](bd_stream::SampleQuery), and
+//!   [`Mergeable`](bd_stream::Mergeable) (identically seeded sketches merge,
+//!   the hook for sharded ingestion);
+//! * **[`StreamRunner`](bd_stream::StreamRunner)** — the single ingestion
+//!   engine all benches, examples, and tests drive sketches through, with
+//!   wall-clock timing and bit-level space reports.
+//!
+//! ## Crates
 //!
 //! * [`core`](bd_core) — the paper's α-property algorithms (CSSS, heavy
 //!   hitters, L1 sampler/estimators, inner products, L0 estimators, support
 //!   sampler);
 //! * [`sketch`](bd_sketch) — the unbounded-deletion baselines
 //!   (Countsketch, Count-Min, Cauchy L1, KNW L0, sparse recovery, ...);
-//! * [`stream`](bd_stream) — the stream model, exact ground truth,
-//!   workload generators, and bit-level space accounting;
+//! * [`stream`](bd_stream) — the stream model, the `Sketch` trait layer,
+//!   `StreamRunner`, exact ground truth, workload generators, and bit-level
+//!   space accounting;
 //! * [`hash`](bd_hash) — k-wise independent hashing and number theory.
 //!
 //! ## Quickstart
 //!
 //! ```
 //! use bounded_deletions::prelude::*;
-//! use rand::{rngs::StdRng, SeedableRng};
 //!
-//! let mut rng = StdRng::seed_from_u64(7);
 //! // A strict-turnstile stream with α = 4: deletions cancel 3/5 of mass.
-//! let stream = BoundedDeletionGen::new(1 << 12, 20_000, 4.0).generate(&mut rng);
+//! let stream = BoundedDeletionGen::new(1 << 12, 20_000, 4.0).generate_seeded(7);
 //!
+//! // Sketches are seeded (they own their RNGs): same seed, same sketch.
 //! let params = Params::practical(stream.n, 0.1, 4.0);
-//! let mut hh = AlphaHeavyHitters::new_strict(&mut rng, &params);
-//! for u in &stream {
-//!     hh.update(&mut rng, u.item, u.delta);
-//! }
+//! let mut hh = AlphaHeavyHitters::new_strict(42, &params);
+//!
+//! // One engine drives any sketch over any stream, in batched chunks.
+//! let report = StreamRunner::new().run(&mut hh, &stream);
+//!
 //! let heavy = hh.query(); // every |f_i| ≥ 0.1·‖f‖₁, nothing < 0.05·‖f‖₁
-//! let bits = hh.space_bits(); // counter widths scale with log α, not log n
-//! # let _ = (heavy, bits);
+//! let bits = report.space_bits(); // counter widths scale with log α, not log n
+//! assert!(report.updates == stream.len() && bits > 0);
+//! # let _ = heavy;
 //! ```
 
 pub use bd_core;
@@ -61,6 +86,7 @@ pub mod prelude {
         RdcGen, SensorGen, StrongAlphaGen, SupportHard, UnboundedDeletionGen, Zipf,
     };
     pub use bd_stream::{
-        FrequencyVector, Item, SpaceReport, SpaceUsage, StreamBatch, Update,
+        FrequencyVector, Item, Mergeable, NormEstimate, PointQuery, RunReport, SampleQuery, Sketch,
+        SpaceReport, SpaceUsage, StreamBatch, StreamRunner, Update,
     };
 }

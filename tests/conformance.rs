@@ -1,0 +1,408 @@
+//! Conformance suite for the unified `Sketch` trait layer.
+//!
+//! Every `Sketch` implementation in the workspace is run through the same
+//! generic checks:
+//!
+//! * **same-seed determinism** — constructing from one seed and replaying
+//!   one stream yields bit-identical probe outputs;
+//! * **`update_batch` ≡ sequential `update`** — sketches that keep the
+//!   default loop must match bit-for-bit (identical RNG consumption);
+//!   linear sketches with pre-aggregating overrides (Countsketch, Count-Min)
+//!   must also match bit-for-bit; the sampling overrides (CSSS, the heavy
+//!   hitters) have distribution-level checks in their own module tests and
+//!   an output-quality check here;
+//! * **linearity** — `update(i, a); update(i, b)` ≡ `update(i, a + b)` for
+//!   the linear structures (checked in CSSS's no-thinning regime, where its
+//!   sampling is degenerate and exact);
+//! * **`Mergeable` associativity** — `(a ⊕ b) ⊕ c ≡ a ⊕ (b ⊕ c)`, and both
+//!   equal the single-pass sketch, for the deterministic linear mergers.
+
+use bounded_deletions::prelude::*;
+
+fn stream(seed: u64) -> StreamBatch {
+    BoundedDeletionGen::new(1 << 10, 8_000, 3.0).generate_seeded(seed)
+}
+
+/// Same seed + same stream ⇒ bit-identical probe output, whether driven
+/// per-update or in chunks.
+fn check_determinism<S: Sketch>(name: &str, mk: impl Fn() -> S, probe: impl Fn(&S) -> Vec<u64>) {
+    let s = stream(0xD5);
+    let run = |runner: StreamRunner| {
+        let mut sk = mk();
+        runner.run(&mut sk, &s);
+        probe(&sk)
+    };
+    assert_eq!(
+        run(StreamRunner::unbatched()),
+        run(StreamRunner::unbatched()),
+        "{name}: same-seed replay diverged (per-update)"
+    );
+    assert_eq!(
+        run(StreamRunner::new()),
+        run(StreamRunner::new()),
+        "{name}: same-seed replay diverged (batched)"
+    );
+}
+
+/// Batched ingestion must be bit-identical to sequential ingestion (default
+/// loop impls and linear pre-aggregating overrides).
+fn check_batch_exact<S: Sketch>(name: &str, mk: impl Fn() -> S, probe: impl Fn(&S) -> Vec<u64>) {
+    let s = stream(0xB4);
+    let mut seq = mk();
+    let mut bat = mk();
+    StreamRunner::unbatched().run(&mut seq, &s);
+    StreamRunner::new().run(&mut bat, &s);
+    assert_eq!(
+        probe(&seq),
+        probe(&bat),
+        "{name}: update_batch diverged from sequential update"
+    );
+}
+
+/// `update(i, a); update(i, b)` ≡ `update(i, a + b)` under the probe.
+fn check_linearity<S: Sketch>(name: &str, mk: impl Fn() -> S, probe: impl Fn(&S) -> Vec<u64>) {
+    let pairs: &[(i64, i64)] = &[(3, 4), (10, -6), (-2, -5), (7, -7)];
+    let mut split = mk();
+    let mut joined = mk();
+    for (idx, &(a, b)) in pairs.iter().enumerate() {
+        let item = 37 * idx as u64 + 5;
+        split.update(item, a);
+        split.update(item, b);
+        joined.update(item, a + b);
+    }
+    assert_eq!(
+        probe(&split),
+        probe(&joined),
+        "{name}: update(i,a);update(i,b) != update(i,a+b)"
+    );
+}
+
+/// Merge associativity: shard a stream three ways; `(a ⊕ b) ⊕ c`,
+/// `a ⊕ (b ⊕ c)`, and the single-pass sketch must agree under the probe.
+fn check_merge_associative<S: Mergeable>(
+    name: &str,
+    mk: impl Fn() -> S,
+    probe: impl Fn(&S) -> Vec<u64>,
+) {
+    let s = stream(0x3A);
+    let third = s.len() / 3;
+    let shards = [
+        &s.updates[..third],
+        &s.updates[third..2 * third],
+        &s.updates[2 * third..],
+    ];
+    let sharded = |order_left: bool| {
+        let mut parts: Vec<S> = shards
+            .iter()
+            .map(|shard| {
+                let mut sk = mk();
+                sk.update_batch(shard);
+                sk
+            })
+            .collect();
+        let c = parts.pop().unwrap();
+        let mut b = parts.pop().unwrap();
+        let mut a = parts.pop().unwrap();
+        if order_left {
+            a.merge_from(&b);
+            a.merge_from(&c);
+            probe(&a)
+        } else {
+            b.merge_from(&c);
+            a.merge_from(&b);
+            probe(&a)
+        }
+    };
+    let left = sharded(true);
+    let right = sharded(false);
+    let mut whole = mk();
+    whole.update_batch(&s.updates);
+    assert_eq!(left, right, "{name}: merge is not associative");
+    assert_eq!(left, probe(&whole), "{name}: merge != single-pass sketch");
+}
+
+fn bits(vals: impl IntoIterator<Item = f64>) -> Vec<u64> {
+    vals.into_iter().map(f64::to_bits).collect()
+}
+
+const PROBE_ITEMS: u64 = 1024;
+
+// ---------------------------------------------------------------------------
+// bd-sketch baselines
+// ---------------------------------------------------------------------------
+
+#[test]
+fn countsketch_conformance() {
+    let mk = || CountSketch::<i64>::new(11, 7, 96);
+    let probe = |s: &CountSketch<i64>| bits((0..PROBE_ITEMS).map(|i| s.estimate(i)));
+    check_determinism("CountSketch", mk, probe);
+    check_batch_exact("CountSketch", mk, probe);
+    check_linearity("CountSketch", mk, probe);
+    check_merge_associative("CountSketch", mk, probe);
+}
+
+#[test]
+fn countmin_conformance() {
+    let mk = || CountMin::new(12, 5, 64);
+    let probe = |s: &CountMin| (0..PROBE_ITEMS).map(|i| s.estimate(i) as u64).collect();
+    check_determinism("CountMin", mk, probe);
+    check_batch_exact("CountMin", mk, probe);
+    check_linearity("CountMin", mk, probe);
+    check_merge_associative("CountMin", mk, probe);
+}
+
+#[test]
+fn ams_and_ip_families_conformance() {
+    let fam = bd_sketch::AmsFamily::new(13, 64);
+    let mk = move || fam.sketch();
+    let probe = |s: &bd_sketch::AmsSketch| bits([s.f2(8)]);
+    check_determinism("AmsSketch", &mk, probe);
+    check_batch_exact("AmsSketch", &mk, probe);
+    check_merge_associative("AmsSketch", &mk, probe);
+
+    let ipf = bd_sketch::IpFamily::new(14, 5, 48);
+    let mk = move || ipf.sketch();
+    let probe = |s: &bd_sketch::IpCountSketch| bits([s.inner_product(s)]);
+    check_determinism("IpCountSketch", &mk, probe);
+    check_batch_exact("IpCountSketch", &mk, probe);
+    check_merge_associative("IpCountSketch", &mk, probe);
+}
+
+#[test]
+fn cauchy_l1_conformance() {
+    let mk = || LogCosL1::with_rows(15, 64, 15, 4);
+    let probe = |s: &LogCosL1| bits([s.estimate()]);
+    check_determinism("LogCosL1", mk, probe);
+    check_batch_exact("LogCosL1", mk, probe);
+
+    let mk = || MedianL1::with_rows(16, 32);
+    let probe = |s: &MedianL1| bits([s.estimate()]);
+    check_determinism("MedianL1", mk, probe);
+    check_batch_exact("MedianL1", mk, probe);
+}
+
+#[test]
+fn l0_baselines_conformance() {
+    let mk = || L0Estimator::new(17, 1 << 10, 0.25);
+    let probe = |s: &L0Estimator| bits([s.estimate()]);
+    check_determinism("L0Estimator", mk, probe);
+    check_batch_exact("L0Estimator", mk, probe);
+
+    let mk = || bd_sketch::RoughL0::for_universe(18, 1 << 10);
+    let probe = |s: &bd_sketch::RoughL0| vec![s.estimate()];
+    check_determinism("RoughL0", mk, probe);
+    check_batch_exact("RoughL0", mk, probe);
+
+    let mk = || bd_sketch::RoughF0::new(19);
+    let probe = |s: &bd_sketch::RoughF0| vec![s.estimate()];
+    check_determinism("RoughF0", mk, probe);
+    check_batch_exact("RoughF0", mk, probe);
+
+    let mk = || bd_sketch::SmallL0::new(20, 24, 3);
+    let probe = |s: &bd_sketch::SmallL0| vec![s.estimate()];
+    check_determinism("SmallL0", mk, probe);
+    check_batch_exact("SmallL0", mk, probe);
+
+    let mk = || bd_sketch::SmallF0::new(21, 16);
+    let probe = |s: &bd_sketch::SmallF0| match s.result() {
+        bd_sketch::SmallF0Result::Exact(v) => vec![0, v],
+        bd_sketch::SmallF0Result::Large => vec![1],
+    };
+    check_determinism("SmallF0", mk, probe);
+    check_batch_exact("SmallF0", mk, probe);
+}
+
+#[test]
+fn sparse_recovery_conformance() {
+    let mk = || SparseRecovery::new(22, 1 << 10, 24);
+    let probe = |s: &SparseRecovery| match s.decode() {
+        Recovery::Sparse(m) => {
+            let mut v: Vec<(u64, i64)> = m.into_iter().collect();
+            v.sort_unstable();
+            v.into_iter().flat_map(|(i, f)| [i, f as u64]).collect()
+        }
+        Recovery::Dense => vec![u64::MAX],
+    };
+    check_determinism("SparseRecovery", mk, probe);
+    check_batch_exact("SparseRecovery", mk, probe);
+    check_linearity("SparseRecovery", mk, probe);
+    check_merge_associative("SparseRecovery", mk, probe);
+}
+
+#[test]
+fn support_and_sampler_baselines_conformance() {
+    let mk = || SupportSamplerTurnstile::new(23, 1 << 10, 8);
+    let probe = |s: &SupportSamplerTurnstile| s.support();
+    check_determinism("SupportSamplerTurnstile", mk, probe);
+    check_batch_exact("SupportSamplerTurnstile", mk, probe);
+
+    let mk = || L1SamplerTurnstile::new(24, 1 << 10, 0.25, 0.5);
+    let probe = |s: &L1SamplerTurnstile| match s.sample() {
+        SampleOutcome::Sample { item, estimate } => vec![item, estimate.to_bits()],
+        SampleOutcome::Fail => vec![u64::MAX],
+    };
+    check_determinism("L1SamplerTurnstile", mk, probe);
+    check_batch_exact("L1SamplerTurnstile", mk, probe);
+}
+
+#[test]
+fn morris_conformance() {
+    let mk = || MorrisCounter::new(25);
+    let probe = |s: &MorrisCounter| vec![s.estimate()];
+    check_determinism("MorrisCounter", mk, probe);
+    check_batch_exact("MorrisCounter", mk, probe);
+}
+
+// ---------------------------------------------------------------------------
+// bd-core α-property structures
+// ---------------------------------------------------------------------------
+
+#[test]
+fn csss_conformance() {
+    // Large budget ⇒ no thinning ⇒ CSSS's sampling is degenerate and the
+    // exact checks apply; the thinned regime is covered statistically in the
+    // csss module tests.
+    let mk = || Csss::new(26, 8, 5, 1 << 22);
+    let probe = |s: &Csss| bits((0..PROBE_ITEMS).map(|i| s.estimate(i)));
+    check_determinism("Csss", mk, probe);
+    check_batch_exact("Csss", mk, probe);
+    check_linearity("Csss", mk, probe);
+    check_merge_associative("Csss", mk, probe);
+}
+
+#[test]
+fn sampled_vector_conformance() {
+    let mk = || SampledVector::new(27, 1 << 22);
+    let probe = |s: &SampledVector| bits((0..PROBE_ITEMS).map(|i| s.estimate(i)));
+    check_determinism("SampledVector", mk, probe);
+    check_batch_exact("SampledVector", mk, probe);
+    check_linearity("SampledVector", mk, probe);
+    check_merge_associative("SampledVector", mk, probe);
+    // Determinism must also hold in the thinning regime, where halving
+    // consumes RNG draws per retained entry (the budget above is large
+    // enough that halve() never runs, so it can't catch iteration-order
+    // nondeterminism).
+    let mk = || SampledVector::new(28, 128);
+    check_determinism("SampledVector(thinned)", mk, probe);
+    check_batch_exact("SampledVector(thinned)", mk, probe);
+}
+
+#[test]
+fn alpha_heavy_hitters_conformance() {
+    let params = Params::practical(1 << 10, 0.1, 3.0);
+    let mk = || AlphaHeavyHitters::new_strict(28, &params);
+    let probe = |s: &AlphaHeavyHitters| {
+        let mut out: Vec<u64> = s
+            .query()
+            .into_iter()
+            .flat_map(|(i, e)| [i, e.to_bits()])
+            .collect();
+        out.push(s.norm_estimate().to_bits());
+        out
+    };
+    check_determinism("AlphaHeavyHitters(strict)", mk, probe);
+
+    let mk = || AlphaHeavyHitters::new_general(29, &params);
+    check_determinism("AlphaHeavyHitters(general)", mk, probe);
+}
+
+#[test]
+fn alpha_estimators_conformance() {
+    let params = Params::practical(1 << 10, 0.2, 3.0);
+
+    let mk = || AlphaL1Estimator::new(30, &params);
+    let probe = |s: &AlphaL1Estimator| bits([s.estimate()]);
+    check_determinism("AlphaL1Estimator", mk, probe);
+    check_batch_exact("AlphaL1Estimator", mk, probe);
+
+    let mk = || AlphaL1General::new(31, &params);
+    let probe = |s: &AlphaL1General| bits([s.estimate()]);
+    check_determinism("AlphaL1General", mk, probe);
+    check_batch_exact("AlphaL1General", mk, probe);
+
+    let mk = || AlphaL0Estimator::new(32, &params);
+    let probe = |s: &AlphaL0Estimator| bits([s.estimate()]);
+    check_determinism("AlphaL0Estimator", mk, probe);
+    check_batch_exact("AlphaL0Estimator", mk, probe);
+
+    let mk = || AlphaConstL0::new(33, &params);
+    let probe = |s: &AlphaConstL0| vec![s.estimate()];
+    check_determinism("AlphaConstL0", mk, probe);
+    check_batch_exact("AlphaConstL0", mk, probe);
+
+    let mk = || AlphaRoughL0::new(34, 1 << 10);
+    let probe = |s: &AlphaRoughL0| vec![s.estimate()];
+    check_determinism("AlphaRoughL0", mk, probe);
+    check_batch_exact("AlphaRoughL0", mk, probe);
+
+    let mk = || AlphaL2HeavyHitters::new(35, &params);
+    let probe = |s: &AlphaL2HeavyHitters| {
+        let mut out: Vec<u64> = s
+            .query()
+            .into_iter()
+            .flat_map(|(i, e)| [i, e.to_bits()])
+            .collect();
+        out.push(s.l2_estimate().to_bits());
+        out
+    };
+    check_determinism("AlphaL2HeavyHitters", mk, probe);
+    check_batch_exact("AlphaL2HeavyHitters", mk, probe);
+}
+
+#[test]
+fn alpha_samplers_conformance() {
+    let params = Params::practical(1 << 10, 0.25, 3.0).with_delta(0.5);
+
+    let mk = || AlphaL1Sampler::new(36, &params);
+    let probe = |s: &AlphaL1Sampler| match s.sample() {
+        SampleOutcome::Sample { item, estimate } => vec![item, estimate.to_bits()],
+        SampleOutcome::Fail => vec![u64::MAX],
+    };
+    check_determinism("AlphaL1Sampler", mk, probe);
+
+    let mk = || AlphaSupportSampler::new(37, &params, 8);
+    let probe = |s: &AlphaSupportSampler| s.query();
+    check_determinism("AlphaSupportSampler", mk, probe);
+    check_batch_exact("AlphaSupportSampler", mk, probe);
+
+    let mk = || AlphaSupportSamplerSet::new(38, &params, 8);
+    let probe = |s: &AlphaSupportSamplerSet| s.query();
+    check_determinism("AlphaSupportSamplerSet", mk, probe);
+    check_batch_exact("AlphaSupportSamplerSet", mk, probe);
+}
+
+#[test]
+fn alpha_ip_sketch_conformance() {
+    let params = Params::practical(1 << 10, 0.2, 3.0);
+    let family = bd_core::AlphaIpFamily::new(39, &params, 3);
+    let mk = move || family.sketch(40);
+    let probe = |s: &bd_core::AlphaIpSketch| bits([s.inner_product(s)]);
+    check_determinism("AlphaIpSketch", &mk, probe);
+}
+
+#[test]
+fn frequency_vector_is_the_reference_sketch() {
+    let mk = || FrequencyVector::new(1 << 10);
+    let probe = |s: &FrequencyVector| (0..PROBE_ITEMS).map(|i| s.get(i) as u64).collect();
+    check_determinism("FrequencyVector", mk, probe);
+    check_batch_exact("FrequencyVector", mk, probe);
+    check_linearity("FrequencyVector", mk, probe);
+}
+
+/// The batched heavy-hitter path must answer queries as well as the
+/// sequential one (the override is statistical, not bitwise).
+#[test]
+fn heavy_hitters_batched_quality_matches() {
+    let eps = 0.05;
+    let s = BoundedDeletionGen::new(1 << 12, 40_000, 4.0).generate_seeded(0x51);
+    let truth = FrequencyVector::from_stream(&s);
+    let params = Params::practical(s.n, eps, 4.0);
+    for runner in [StreamRunner::unbatched(), StreamRunner::new()] {
+        let mut hh = AlphaHeavyHitters::new_strict(99, &params);
+        runner.run(&mut hh, &s);
+        let got: Vec<u64> = hh.query().into_iter().map(|(i, _)| i).collect();
+        for i in truth.l1_heavy_hitters(eps) {
+            assert!(got.contains(&i), "missed {i} (chunk {})", runner.chunk());
+        }
+    }
+}

@@ -1,15 +1,13 @@
 //! Reproducibility tests: every structure in the workspace is a
-//! deterministic function of its RNG seeds. This is what makes the
-//! experiment suite (EXPERIMENTS.md) re-runnable bit-for-bit, so it is
-//! enforced here structure by structure.
+//! deterministic function of its construction seed. Sketches own their RNGs,
+//! so a `(seed, stream)` pair fully determines the final state — this is
+//! what makes the experiment suite re-runnable bit-for-bit, and it is
+//! enforced here structure by structure through the shared `StreamRunner`.
 
 use bounded_deletions::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn stream() -> StreamBatch {
-    let mut rng = StdRng::seed_from_u64(1234);
-    BoundedDeletionGen::new(1 << 12, 20_000, 4.0).generate(&mut rng)
+    BoundedDeletionGen::new(1 << 12, 20_000, 4.0).generate_seeded(1234)
 }
 
 #[test]
@@ -17,17 +15,21 @@ fn generators_are_seed_deterministic() {
     let a = stream();
     let b = stream();
     assert_eq!(a.updates, b.updates);
-    let mut r1 = StdRng::seed_from_u64(9);
-    let mut r2 = StdRng::seed_from_u64(9);
     assert_eq!(
-        NetworkDiffGen::new(1 << 16, 5_000, 0.2).generate(&mut r1).updates,
-        NetworkDiffGen::new(1 << 16, 5_000, 0.2).generate(&mut r2).updates,
+        NetworkDiffGen::new(1 << 16, 5_000, 0.2)
+            .generate_seeded(9)
+            .updates,
+        NetworkDiffGen::new(1 << 16, 5_000, 0.2)
+            .generate_seeded(9)
+            .updates,
     );
-    let mut r1 = StdRng::seed_from_u64(10);
-    let mut r2 = StdRng::seed_from_u64(10);
     assert_eq!(
-        L0AlphaGen::new(1 << 16, 100, 2.0).generate(&mut r1).updates,
-        L0AlphaGen::new(1 << 16, 100, 2.0).generate(&mut r2).updates,
+        L0AlphaGen::new(1 << 16, 100, 2.0)
+            .generate_seeded(10)
+            .updates,
+        L0AlphaGen::new(1 << 16, 100, 2.0)
+            .generate_seeded(10)
+            .updates,
     );
 }
 
@@ -36,12 +38,11 @@ fn csss_is_seed_deterministic() {
     let s = stream();
     let params = Params::practical(s.n, 0.1, 4.0);
     let run = || {
-        let mut rng = StdRng::seed_from_u64(77);
-        let mut c = bd_core::Csss::new(&mut rng, 8, 7, params.csss_sample_budget());
-        for u in &s {
-            c.update(&mut rng, u.item, u.delta);
-        }
-        (0..64u64).map(|i| c.estimate(i).to_bits()).collect::<Vec<_>>()
+        let mut c = bd_core::Csss::new(77, 8, 7, params.csss_sample_budget());
+        StreamRunner::new().run(&mut c, &s);
+        (0..64u64)
+            .map(|i| c.estimate(i).to_bits())
+            .collect::<Vec<_>>()
     };
     assert_eq!(run(), run());
 }
@@ -51,12 +52,9 @@ fn heavy_hitters_and_space_reports_are_deterministic() {
     let s = stream();
     let params = Params::practical(s.n, 0.1, 4.0);
     let run = || {
-        let mut rng = StdRng::seed_from_u64(5);
-        let mut hh = AlphaHeavyHitters::new_strict(&mut rng, &params);
-        for u in &s {
-            hh.update(&mut rng, u.item, u.delta);
-        }
-        (hh.query(), hh.space())
+        let mut hh = AlphaHeavyHitters::new_strict(5, &params);
+        let report = StreamRunner::new().run(&mut hh, &s);
+        (hh.query(), report.space)
     };
     let (q1, s1) = run();
     let (q2, s2) = run();
@@ -70,17 +68,14 @@ fn heavy_hitters_and_space_reports_are_deterministic() {
 
 #[test]
 fn l0_and_support_structures_are_deterministic() {
-    let mut gen_rng = StdRng::seed_from_u64(2);
-    let s = L0AlphaGen::new(1 << 18, 400, 2.0).generate(&mut gen_rng);
+    let s = L0AlphaGen::new(1 << 18, 400, 2.0).generate_seeded(2);
     let params = Params::practical(s.n, 0.2, 2.0);
     let run = || {
-        let mut rng = StdRng::seed_from_u64(3);
-        let mut l0 = AlphaL0Estimator::new(&mut rng, &params);
-        let mut sup = AlphaSupportSampler::new(&mut rng, &params, 8);
-        for u in &s {
-            l0.update(&mut rng, u.item, u.delta);
-            sup.update(&mut rng, u.item, u.delta);
-        }
+        let mut l0 = AlphaL0Estimator::new(3, &params);
+        let mut sup = AlphaSupportSampler::new(4, &params, 8);
+        let runner = StreamRunner::new();
+        runner.run(&mut l0, &s);
+        runner.run(&mut sup, &s);
         (l0.estimate().to_bits(), sup.query())
     };
     assert_eq!(run(), run());
@@ -90,17 +85,16 @@ fn l0_and_support_structures_are_deterministic() {
 fn baselines_are_deterministic() {
     let s = stream();
     let run = || {
-        let mut rng = StdRng::seed_from_u64(4);
-        let mut cs = CountSketch::<i64>::new(&mut rng, 5, 96);
-        let mut cm = CountMin::new(&mut rng, 5, 96);
-        let mut l1 = MedianL1::with_rows(&mut rng, 32);
-        let mut l0 = L0Estimator::new(&mut rng, s.n, 0.25);
-        for u in &s {
-            cs.update(u.item, u.delta);
-            cm.update(u.item, u.delta);
-            l1.update(u.item, u.delta);
-            l0.update(u.item, u.delta);
-        }
+        let mut cs = CountSketch::<i64>::new(4, 5, 96);
+        let mut cm = CountMin::new(5, 5, 96);
+        let mut l1 = MedianL1::with_rows(6, 32);
+        let mut l0 = L0Estimator::new(7, s.n, 0.25);
+        let runner = StreamRunner::new();
+        let reports = runner.run_each(
+            &mut [&mut cs as &mut dyn Sketch, &mut cm, &mut l1, &mut l0],
+            &s,
+        );
+        assert_eq!(reports.len(), 4);
         (
             cs.estimate(7).to_bits(),
             cm.estimate(7),
@@ -113,19 +107,31 @@ fn baselines_are_deterministic() {
 
 #[test]
 fn sampler_draws_are_deterministic() {
-    let mut gen_rng = StdRng::seed_from_u64(6);
-    let s = StrongAlphaGen::new(128, 50, 3.0).generate(&mut gen_rng);
+    let s = StrongAlphaGen::new(128, 50, 3.0).generate_seeded(6);
     let params = Params::practical(128, 0.25, 3.0).with_delta(0.5);
     let run = || {
-        let mut rng = StdRng::seed_from_u64(8);
-        let mut smp = AlphaL1Sampler::new(&mut rng, &params);
-        for u in &s {
-            smp.update(&mut rng, u.item, u.delta);
-        }
-        match smp.query() {
+        let mut smp = AlphaL1Sampler::new(8, &params);
+        StreamRunner::new().run(&mut smp, &s);
+        match smp.sample() {
             SampleOutcome::Sample { item, estimate } => (Some(item), estimate.to_bits()),
             SampleOutcome::Fail => (None, 0),
         }
     };
     assert_eq!(run(), run());
+}
+
+#[test]
+fn batched_and_unbatched_runners_agree_for_default_impls() {
+    // Sketches that keep the default update_batch loop must be bit-identical
+    // whichever way the runner drives them.
+    let s = stream();
+    let params = Params::practical(s.n, 0.2, 4.0);
+    let run = |runner: StreamRunner| {
+        let mut l1 = AlphaL1Estimator::new(9, &params);
+        let mut gen = AlphaL1General::new(10, &params);
+        runner.run(&mut l1, &s);
+        runner.run(&mut gen, &s);
+        (l1.estimate().to_bits(), gen.estimate().to_bits())
+    };
+    assert_eq!(run(StreamRunner::unbatched()), run(StreamRunner::new()));
 }

@@ -1,31 +1,25 @@
 //! End-to-end integration tests: every α-property algorithm against every
-//! relevant workload family, validated against exact ground truth.
+//! relevant workload family, ingested through the shared `StreamRunner`,
+//! validated against exact ground truth.
 
 use bounded_deletions::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-fn run_stream<F: FnMut(&Update)>(stream: &StreamBatch, mut f: F) {
-    for u in stream {
-        f(u);
-    }
-}
 
 #[test]
 fn heavy_hitters_across_workloads() {
     let eps = 0.05;
-    let mut rng = StdRng::seed_from_u64(1);
+    let runner = StreamRunner::new();
     let streams = vec![
-        BoundedDeletionGen::new(1 << 14, 50_000, 2.0).generate(&mut rng),
-        BoundedDeletionGen::new(1 << 14, 50_000, 16.0).generate(&mut rng),
-        StrongAlphaGen::new(1 << 14, 400, 4.0).generate(&mut rng),
+        BoundedDeletionGen::new(1 << 14, 50_000, 2.0).generate_seeded(11),
+        BoundedDeletionGen::new(1 << 14, 50_000, 16.0).generate_seeded(12),
+        StrongAlphaGen::new(1 << 14, 400, 4.0).generate_seeded(13),
     ];
-    for stream in streams {
+    for (t, stream) in streams.into_iter().enumerate() {
         let truth = FrequencyVector::from_stream(&stream);
         let alpha = truth.alpha_l1().max(1.0);
         let params = Params::practical(stream.n, eps, alpha);
-        let mut hh = AlphaHeavyHitters::new_strict(&mut rng, &params);
-        run_stream(&stream, |u| hh.update(&mut rng, u.item, u.delta));
+        let mut hh = AlphaHeavyHitters::new_strict(100 + t as u64, &params);
+        let report = runner.run(&mut hh, &stream);
+        assert_eq!(report.updates, stream.len());
         let got: Vec<u64> = hh.query().into_iter().map(|(i, _)| i).collect();
         for i in truth.l1_heavy_hitters(eps) {
             assert!(got.contains(&i), "missed heavy hitter {i} (α = {alpha:.1})");
@@ -42,17 +36,14 @@ fn heavy_hitters_across_workloads() {
 
 #[test]
 fn l1_estimation_strict_and_general_agree_with_truth() {
-    let mut rng = StdRng::seed_from_u64(2);
-    let stream = BoundedDeletionGen::new(1 << 12, 150_000, 6.0).generate(&mut rng);
+    let stream = BoundedDeletionGen::new(1 << 12, 150_000, 6.0).generate_seeded(2);
     let truth = FrequencyVector::from_stream(&stream).l1() as f64;
     let params = Params::practical(stream.n, 0.2, 6.0);
 
-    let mut strict = AlphaL1Estimator::new(&params);
-    let mut general = AlphaL1General::new(&mut rng, &params);
-    run_stream(&stream, |u| {
-        strict.update(&mut rng, u.item, u.delta);
-        general.update(&mut rng, u.item, u.delta);
-    });
+    let mut strict = AlphaL1Estimator::new(20, &params);
+    let mut general = AlphaL1General::new(21, &params);
+    let runner = StreamRunner::new();
+    runner.run_each(&mut [&mut strict as &mut dyn Sketch, &mut general], &stream);
     assert!(
         (strict.estimate() - truth).abs() / truth < 0.3,
         "strict estimate {} vs {truth}",
@@ -67,17 +58,17 @@ fn l1_estimation_strict_and_general_agree_with_truth() {
 
 #[test]
 fn l0_estimation_on_sensor_and_synthetic_streams() {
-    let mut rng = StdRng::seed_from_u64(3);
     let streams = vec![
-        L0AlphaGen::new(1 << 20, 2_500, 2.0).generate(&mut rng),
-        SensorGen::new(1 << 20, 1_500, 4_500).generate(&mut rng),
+        L0AlphaGen::new(1 << 20, 2_500, 2.0).generate_seeded(31),
+        SensorGen::new(1 << 20, 1_500, 4_500).generate_seeded(32),
     ];
-    for stream in streams {
+    let runner = StreamRunner::new();
+    for (t, stream) in streams.into_iter().enumerate() {
         let truth = FrequencyVector::from_stream(&stream);
         let alpha = truth.alpha_l0();
         let params = Params::practical(stream.n, 0.15, alpha);
-        let mut est = AlphaL0Estimator::new(&mut rng, &params);
-        run_stream(&stream, |u| est.update(&mut rng, u.item, u.delta));
+        let mut est = AlphaL0Estimator::new(300 + t as u64, &params);
+        runner.run(&mut est, &stream);
         let e = est.estimate();
         let t = truth.l0() as f64;
         assert!(
@@ -91,12 +82,11 @@ fn l0_estimation_on_sensor_and_synthetic_streams() {
 fn support_sampler_feeds_downstream_consumers() {
     // The classic dynamic-graph pattern: recover support items, then verify
     // their exact values with a second pass (here: against ground truth).
-    let mut rng = StdRng::seed_from_u64(4);
-    let stream = L0AlphaGen::new(1 << 16, 300, 3.0).generate(&mut rng);
+    let stream = L0AlphaGen::new(1 << 16, 300, 3.0).generate_seeded(4);
     let truth = FrequencyVector::from_stream(&stream);
     let params = Params::practical(stream.n, 0.25, 3.0);
-    let mut s = AlphaSupportSamplerSet::new(&mut rng, &params, 12);
-    run_stream(&stream, |u| s.update(&mut rng, u.item, u.delta));
+    let mut s = AlphaSupportSamplerSet::new(40, &params, 12);
+    StreamRunner::new().run(&mut s, &stream);
     let got = s.query();
     assert!(got.len() >= 12, "only {} recovered", got.len());
     for i in got {
@@ -106,18 +96,20 @@ fn support_sampler_feeds_downstream_consumers() {
 
 #[test]
 fn inner_product_on_rdc_pairs() {
-    // Compare two file versions' signature multisets.
-    let mut rng = StdRng::seed_from_u64(5);
-    let f = RdcGen::new(1 << 20, 8_000, 0.3).generate(&mut rng);
-    let g = RdcGen::new(1 << 20, 8_000, 0.3).generate(&mut rng);
+    // Compare two file versions' signature multisets. The inner-product pair
+    // is two sketches sharing a hash family; each side ingests its own
+    // stream through the runner.
+    let f = RdcGen::new(1 << 20, 8_000, 0.3).generate_seeded(51);
+    let g = RdcGen::new(1 << 20, 8_000, 0.3).generate_seeded(52);
     let vf = FrequencyVector::from_stream(&f);
     let vg = FrequencyVector::from_stream(&g);
     let eps = 0.05;
     let alpha = vf.alpha_l1().max(vg.alpha_l1()).max(1.0);
     let params = Params::practical(1 << 20, eps, alpha);
-    let mut ip = AlphaInnerProduct::new(&mut rng, &params);
-    run_stream(&f, |u| ip.update_f(&mut rng, u.item, u.delta));
-    run_stream(&g, |u| ip.update_g(&mut rng, u.item, u.delta));
+    let mut ip = AlphaInnerProduct::new(50, &params);
+    let runner = StreamRunner::new();
+    runner.run(&mut ip.f, &f);
+    runner.run(&mut ip.g, &g);
     let bound = eps * vf.l1() as f64 * vg.l1() as f64;
     let err = (ip.estimate() - vf.inner_product(&vg) as f64).abs();
     assert!(err <= 2.0 * bound, "error {err} vs bound {bound}");
@@ -127,16 +119,12 @@ fn inner_product_on_rdc_pairs() {
 fn alpha_one_matches_insertion_only_behaviour() {
     // α = 1 degenerates to the insertion-only model: everything should be
     // near-exact.
-    let mut rng = StdRng::seed_from_u64(6);
-    let stream = BoundedDeletionGen::new(1 << 10, 40_000, 1.0).generate(&mut rng);
+    let stream = BoundedDeletionGen::new(1 << 10, 40_000, 1.0).generate_seeded(6);
     let truth = FrequencyVector::from_stream(&stream);
     let params = Params::practical(stream.n, 0.1, 1.0);
-    let mut l1 = AlphaL1Estimator::new(&params);
-    let mut hh = AlphaHeavyHitters::new_strict(&mut rng, &params);
-    run_stream(&stream, |u| {
-        l1.update(&mut rng, u.item, u.delta);
-        hh.update(&mut rng, u.item, u.delta);
-    });
+    let mut l1 = AlphaL1Estimator::new(60, &params);
+    let mut hh = AlphaHeavyHitters::new_strict(61, &params);
+    StreamRunner::new().run_each(&mut [&mut l1 as &mut dyn Sketch, &mut hh], &stream);
     let t = truth.l1() as f64;
     assert!((l1.estimate() - t).abs() / t < 0.2);
     for i in truth.l1_heavy_hitters(0.1) {
@@ -148,22 +136,22 @@ fn alpha_one_matches_insertion_only_behaviour() {
 fn weighted_updates_match_unit_expansion_semantics() {
     // Feeding (i, 5) must behave like five unit updates in expectation:
     // compare CSSS estimates across the two encodings.
-    let mut rng = StdRng::seed_from_u64(7);
     let params = Params::practical(1 << 10, 0.1, 2.0);
-    let mut weighted = bd_core::Csss::new(&mut rng, 8, 13, params.csss_sample_budget());
-    let mut expanded = bd_core::Csss::new(&mut rng, 8, 13, params.csss_sample_budget());
+    let mut weighted = bd_core::Csss::new(70, 8, 13, params.csss_sample_budget());
+    let mut expanded = bd_core::Csss::new(71, 8, 13, params.csss_sample_budget());
     // Sparse support (8 items over 48 buckets/row, deep median) keeps
     // collision noise below the signal, so both encodings are near-exact.
+    let mut weighted_updates = Vec::new();
+    let mut expanded_updates = Vec::new();
     for i in 0..8u64 {
-        weighted.update(&mut rng, i, 50);
-        for _ in 0..50 {
-            expanded.update(&mut rng, i, 1);
-        }
-        weighted.update(&mut rng, i, -20);
-        for _ in 0..20 {
-            expanded.update(&mut rng, i, -1);
-        }
+        weighted_updates.push(Update::insert(i, 50));
+        weighted_updates.push(Update::delete(i, 20));
+        expanded_updates.extend((0..50).map(|_| Update::insert(i, 1)));
+        expanded_updates.extend((0..20).map(|_| Update::delete(i, 1)));
     }
+    let runner = StreamRunner::new();
+    runner.run(&mut weighted, &StreamBatch::new(1 << 10, weighted_updates));
+    runner.run(&mut expanded, &StreamBatch::new(1 << 10, expanded_updates));
     for i in 0..8u64 {
         let (w, e) = (weighted.estimate(i), expanded.estimate(i));
         assert!(
@@ -171,4 +159,51 @@ fn weighted_updates_match_unit_expansion_semantics() {
             "weighted {w} / expanded {e} should both track f_i = 30"
         );
     }
+}
+
+#[test]
+fn sharded_ingestion_via_merge_matches_single_pass() {
+    // The Mergeable path end to end: shard a stream across four workers,
+    // each with an identically seeded Csss, merge, and answer point queries
+    // as well as the single-pass sketch does.
+    let stream = BoundedDeletionGen::new(1 << 12, 80_000, 4.0).generate_seeded(80);
+    let truth = FrequencyVector::from_stream(&stream);
+    let params = Params::practical(stream.n, 0.1, 4.0);
+    let budget = params.csss_sample_budget();
+
+    let runner = StreamRunner::new();
+    let quarter = stream.len() / 4;
+    let mut merged: Option<bd_core::Csss> = None;
+    for w in 0..4 {
+        let lo = w * quarter;
+        let hi = if w == 3 {
+            stream.len()
+        } else {
+            (w + 1) * quarter
+        };
+        let shard = StreamBatch::new(stream.n, stream.updates[lo..hi].to_vec());
+        let mut sketch = bd_core::Csss::new(81, 16, 9, budget);
+        runner.run(&mut sketch, &shard);
+        merged = Some(match merged {
+            None => sketch,
+            Some(mut acc) => {
+                acc.merge_from(&sketch);
+                acc
+            }
+        });
+    }
+    let merged = merged.unwrap();
+    assert_eq!(merged.position(), stream.total_mass());
+
+    let bound = 2.0 * (truth.err_k(16, 2) / 4.0 + 0.1 * truth.l1() as f64);
+    let mut bad = 0usize;
+    for i in truth.support() {
+        if (merged.estimate(i) - truth.get(i) as f64).abs() > bound {
+            bad += 1;
+        }
+    }
+    assert!(
+        bad <= truth.l0() as usize / 25,
+        "{bad} merged-shard estimates outside the Theorem-1 envelope"
+    );
 }

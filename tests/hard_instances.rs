@@ -2,11 +2,10 @@
 //! constructions. These instances are hard for *space* (they encode
 //! communication problems) — a correct algorithm must still answer them,
 //! which is precisely what the reductions exploit. Each test also verifies
-//! the construction produces the promised α.
+//! the construction produces the promised α. Ingestion goes through the
+//! shared `StreamRunner`.
 
 use bounded_deletions::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 #[test]
 fn heavy_hitters_decode_augmented_indexing() {
@@ -15,37 +14,35 @@ fn heavy_hitters_decode_augmented_indexing() {
     let eps = 0.05;
     let alpha = 216.0;
     let mut ok = 0;
+    let runner = StreamRunner::new();
     for seed in 0..5u64 {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let inst = AugmentedIndexingHH::new(1 << 16, eps, alpha).generate(&mut rng);
+        let inst = AugmentedIndexingHH::new(1 << 16, eps, alpha).generate_seeded(seed);
         let truth = FrequencyVector::from_stream(&inst.stream);
         assert!(truth.alpha_strong() <= 3.0 * alpha * alpha);
 
         let params = Params::practical(inst.stream.n, eps, truth.alpha_l1().max(1.0));
-        let mut hh = AlphaHeavyHitters::new_strict(&mut rng, &params);
-        for u in &inst.stream {
-            hh.update(&mut rng, u.item, u.delta);
-        }
+        let mut hh = AlphaHeavyHitters::new_strict(1000 + seed, &params);
+        runner.run(&mut hh, &inst.stream);
         let got: Vec<u64> = hh.query().into_iter().map(|(i, _)| i).collect();
         if inst.planted.iter().all(|i| got.contains(i)) {
             ok += 1;
         }
     }
-    assert!(ok >= 4, "decoded the planted block in only {ok}/5 instances");
+    assert!(
+        ok >= 4,
+        "decoded the planted block in only {ok}/5 instances"
+    );
 }
 
 #[test]
 fn support_sampler_survives_block_instance() {
     // Theorem 20: the surviving block dominates the support; a correct
     // support sampler must return items from it.
-    let mut rng = StdRng::seed_from_u64(10);
-    let inst = SupportHard::new(1 << 20, 64).generate(&mut rng);
+    let inst = SupportHard::new(1 << 20, 64).generate_seeded(10);
     let truth = FrequencyVector::from_stream(&inst.stream);
     let params = Params::practical(inst.stream.n, 0.25, truth.alpha_l0().max(1.0));
-    let mut s = AlphaSupportSamplerSet::new(&mut rng, &params, 4);
-    for u in &inst.stream {
-        s.update(&mut rng, u.item, u.delta);
-    }
+    let mut s = AlphaSupportSamplerSet::new(10, &params, 4);
+    StreamRunner::new().run(&mut s, &inst.stream);
     let got = s.query();
     assert!(
         got.len() >= 4.min(truth.l0() as usize),
@@ -65,18 +62,14 @@ fn inner_product_decodes_planted_bit() {
     let eps = 0.05;
     let mut correct = 0;
     let trials = 8;
+    let runner = StreamRunner::new();
     for seed in 0..trials {
-        let mut rng = StdRng::seed_from_u64(20 + seed);
-        let inst = InnerProductHard::new(1 << 16, eps, alpha).generate(&mut rng);
+        let inst = InnerProductHard::new(1 << 16, eps, alpha).generate_seeded(20 + seed);
         let vf = FrequencyVector::from_stream(&inst.f);
         let params = Params::practical(1 << 16, 0.01, vf.alpha_strong().clamp(1.0, 1e6));
-        let mut ip = AlphaInnerProduct::new(&mut rng, &params);
-        for u in &inst.f {
-            ip.update_f(&mut rng, u.item, u.delta);
-        }
-        for u in &inst.g {
-            ip.update_g(&mut rng, u.item, u.delta);
-        }
+        let mut ip = AlphaInnerProduct::new(20 + seed, &params);
+        runner.run(&mut ip.f, &inst.f);
+        runner.run(&mut ip.g, &inst.g);
         let threshold = 1.5 * alpha as f64 * 10f64.powi(inst.query_block as i32 + 1);
         let decoded_bit = ip.estimate() >= threshold;
         if decoded_bit == inst.bit {
@@ -90,16 +83,13 @@ fn inner_product_decodes_planted_bit() {
 fn l1_estimator_on_geometric_block_stream() {
     // Theorem 16's instance shape: geometric weights α·10^i + 1 with the
     // suffix deleted. The strict L1 estimator must track the surviving mass.
-    let mut rng = StdRng::seed_from_u64(30);
     let alpha = 216.0;
-    let inst = AugmentedIndexingHH::new(1 << 14, 0.1, alpha).generate(&mut rng);
+    let inst = AugmentedIndexingHH::new(1 << 14, 0.1, alpha).generate_seeded(30);
     let truth = FrequencyVector::from_stream(&inst.stream);
     let realized = truth.alpha_l1();
     let params = Params::practical(inst.stream.n, 0.2, realized.max(1.0));
-    let mut est = AlphaL1Estimator::new(&params);
-    for u in &inst.stream {
-        est.update(&mut rng, u.item, u.delta);
-    }
+    let mut est = AlphaL1Estimator::new(30, &params);
+    StreamRunner::new().run(&mut est, &inst.stream);
     let t = truth.l1() as f64;
     assert!(
         (est.estimate() - t).abs() / t < 0.35,
@@ -113,17 +103,12 @@ fn unbounded_deletion_streams_break_the_alpha_window_gracefully() {
     // On a stream violating every α promise (α ≈ 20000), algorithms sized
     // for α = 4 may lose accuracy but must not panic or return garbage
     // like negative norms.
-    let mut rng = StdRng::seed_from_u64(40);
-    let stream = UnboundedDeletionGen::new(1 << 12, 100_000, 10).generate(&mut rng);
+    let stream = UnboundedDeletionGen::new(1 << 12, 100_000, 10).generate_seeded(40);
     let params = Params::practical(stream.n, 0.2, 4.0);
-    let mut l1 = AlphaL1Estimator::new(&params);
-    let mut l0 = AlphaL0Estimator::new(&mut rng, &params);
-    let mut hh = AlphaHeavyHitters::new_strict(&mut rng, &params);
-    for u in &stream {
-        l1.update(&mut rng, u.item, u.delta);
-        l0.update(&mut rng, u.item, u.delta);
-        hh.update(&mut rng, u.item, u.delta);
-    }
+    let mut l1 = AlphaL1Estimator::new(41, &params);
+    let mut l0 = AlphaL0Estimator::new(42, &params);
+    let mut hh = AlphaHeavyHitters::new_strict(43, &params);
+    StreamRunner::new().run_each(&mut [&mut l1 as &mut dyn Sketch, &mut l0, &mut hh], &stream);
     assert!(l1.estimate() >= 0.0);
     assert!(l0.estimate() >= 0.0);
     let _ = hh.query();

@@ -1,15 +1,19 @@
 //! Space-scaling integration tests (the Figure 1 shape, in miniature):
 //! α-property algorithms' counter footprints grow with `log α` and stay
 //! bounded as the stream grows, while turnstile baselines grow with the
-//! stream (i.e. with `log n`/`log m`).
+//! stream (i.e. with `log n`/`log m`). Space is read off the `RunReport`s
+//! the shared `StreamRunner` produces.
 
 use bounded_deletions::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Bits per counter for a space report.
 fn per_counter(rep: &SpaceReport) -> f64 {
     rep.counter_bits as f64 / rep.counters.max(1) as f64
+}
+
+/// A flat workload: `mass` unit insertions cycling over `width` items.
+fn cyclic(n: u64, width: u64, mass: u64) -> StreamBatch {
+    StreamBatch::new(n, (0..mass).map(|i| Update::insert(i % width, 1)).collect())
 }
 
 #[test]
@@ -17,16 +21,15 @@ fn csss_counter_width_tracks_alpha_not_stream_length() {
     // Budgets pinned to S = 256·α² so thinning is active for every α at
     // this stream length (the Params defaults keep α = 32 un-thinned until
     // m ≈ 2.5×10⁷, which is out of test budget).
+    let stream = cyclic(1 << 10, 512, 600_000);
+    let runner = StreamRunner::new();
     let mut widths = Vec::new();
     for alpha in [2.0f64, 8.0, 32.0] {
-        let mut rng = StdRng::seed_from_u64(1);
         let budget = (256.0 * alpha * alpha) as u64;
-        let mut c = bd_core::Csss::new(&mut rng, 8, 5, budget);
-        for i in 0..600_000u64 {
-            c.update(&mut rng, i % 512, 1);
-        }
+        let mut c = bd_core::Csss::new(1, 8, 5, budget);
+        let report = runner.run(&mut c, &stream);
         assert!(c.level() > 0, "thinning must be active at α = {alpha}");
-        widths.push(per_counter(&c.space()));
+        widths.push(per_counter(&report.space));
     }
     // Widths grow with log α...
     assert!(widths[0] < widths[1] && widths[1] < widths[2], "{widths:?}");
@@ -38,37 +41,42 @@ fn csss_counter_width_tracks_alpha_not_stream_length() {
 fn csss_counter_width_saturates_in_stream_length() {
     // Doubling the stream once thinning is active must NOT widen counters
     // (the log n factor is gone); the baseline Countsketch keeps growing.
-    let mut rng = StdRng::seed_from_u64(2);
     let params = Params::practical(1 << 20, 0.1, 4.0);
-    let mut short = bd_core::Csss::new(&mut rng, 8, 5, params.csss_sample_budget());
-    let mut long = bd_core::Csss::new(&mut rng, 8, 5, params.csss_sample_budget());
-    let mut cs_short = CountSketch::<i64>::new(&mut rng, 5, 48);
-    let mut cs_long = CountSketch::<i64>::new(&mut rng, 5, 48);
-    for i in 0..300_000u64 {
-        short.update(&mut rng, i % 64, 1);
-        cs_short.update(i % 64, 1);
-    }
-    for i in 0..2_400_000u64 {
-        long.update(&mut rng, i % 64, 1);
-        cs_long.update(i % 64, 1);
-    }
-    let (a, b) = (per_counter(&short.space()), per_counter(&long.space()));
+    let short_stream = cyclic(1 << 10, 64, 150_000);
+    let long_stream = cyclic(1 << 10, 64, 2_400_000);
+    let runner = StreamRunner::new();
+
+    let mut short = bd_core::Csss::new(2, 8, 5, params.csss_sample_budget());
+    let mut long = bd_core::Csss::new(3, 8, 5, params.csss_sample_budget());
+    let mut cs_short = CountSketch::<i64>::new(4, 5, 48);
+    let mut cs_long = CountSketch::<i64>::new(5, 5, 48);
+
+    let rep_short = runner.run(&mut short, &short_stream);
+    let rep_long = runner.run(&mut long, &long_stream);
+    let rep_cs_short = runner.run(&mut cs_short, &short_stream);
+    let rep_cs_long = runner.run(&mut cs_long, &long_stream);
+
+    let (a, b) = (per_counter(&rep_short.space), per_counter(&rep_long.space));
     assert!(b - a <= 2.0, "CSSS width grew {a} → {b} with stream length");
-    let (ca, cb) = (per_counter(&cs_short.space()), per_counter(&cs_long.space()));
-    assert!(cb - ca >= 2.5, "baseline width should grow ~log m: {ca} → {cb}");
+    let (ca, cb) = (
+        per_counter(&rep_cs_short.space),
+        per_counter(&rep_cs_long.space),
+    );
+    assert!(
+        cb - ca >= 2.5,
+        "baseline width should grow ~log m: {ca} → {cb}"
+    );
 }
 
 #[test]
 fn windowed_l0_rows_scale_with_alpha_while_baseline_scales_with_n() {
-    let mut rng = StdRng::seed_from_u64(3);
+    let runner = StreamRunner::new();
     for n_bits in [18u32, 24] {
         let n = 1u64 << n_bits;
-        let stream = L0AlphaGen::new(n, 3_000, 2.0).generate(&mut rng);
+        let stream = L0AlphaGen::new(n, 3_000, 2.0).generate_seeded(n_bits as u64);
         let params = Params::practical(n, 0.25, 2.0);
-        let mut windowed = AlphaL0Estimator::new(&mut rng, &params);
-        for u in &stream {
-            windowed.update(&mut rng, u.item, u.delta);
-        }
+        let mut windowed = AlphaL0Estimator::new(3, &params);
+        runner.run(&mut windowed, &stream);
         // Live rows are α-determined, essentially flat in n.
         assert!(
             windowed.peak_live_rows() <= 22,
@@ -80,18 +88,16 @@ fn windowed_l0_rows_scale_with_alpha_while_baseline_scales_with_n() {
 
 #[test]
 fn support_sampler_beats_baseline_space_on_large_universes() {
-    let mut rng = StdRng::seed_from_u64(4);
     let n = 1u64 << 30;
-    let stream = L0AlphaGen::new(n, 800, 2.0).generate(&mut rng);
+    let stream = L0AlphaGen::new(n, 800, 2.0).generate_seeded(4);
     let params = Params::practical(n, 0.25, 2.0);
     let k = 8;
-    let mut ours = bd_core::AlphaSupportSampler::new(&mut rng, &params, k);
-    let mut baseline = SupportSamplerTurnstile::new(&mut rng, n, k);
-    for u in &stream {
-        ours.update(&mut rng, u.item, u.delta);
-        baseline.update(u.item, u.delta);
-    }
-    let (a, b) = (ours.space_bits(), baseline.space_bits());
+    let mut ours = bd_core::AlphaSupportSampler::new(4, &params, k);
+    let mut baseline = SupportSamplerTurnstile::new(5, n, k);
+    let runner = StreamRunner::new();
+    let rep_ours = runner.run(&mut ours, &stream);
+    let rep_base = runner.run(&mut baseline, &stream);
+    let (a, b) = (rep_ours.space_bits(), rep_base.space_bits());
     assert!(
         a < b,
         "windowed sampler ({a} bits) should undercut the log-n-level baseline ({b} bits)"
@@ -105,16 +111,13 @@ fn support_sampler_beats_baseline_space_on_large_universes() {
 fn interval_sampling_counters_stay_narrow() {
     // Figure 4's counters hold ≤ poly(s) samples no matter how long the
     // stream runs.
-    let mut rng = StdRng::seed_from_u64(5);
-    let mut est = AlphaL1Estimator::with_budget(1 << 7);
-    for _ in 0..1_500_000u64 {
-        est.update(&mut rng, 3, 1);
-    }
-    let rep = est.space();
+    let stream = cyclic(1 << 10, 1, 1_500_000);
+    let mut est = AlphaL1Estimator::with_budget(5, 1 << 7);
+    let report = StreamRunner::new().run(&mut est, &stream);
     assert!(
-        per_counter(&rep) <= 30.0,
+        per_counter(&report.space) <= 30.0,
         "interval counters {} bits wide",
-        per_counter(&rep)
+        per_counter(&report.space)
     );
     assert!((est.estimate() - 1_500_000.0).abs() / 1_500_000.0 < 0.4);
 }
