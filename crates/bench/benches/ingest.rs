@@ -1,19 +1,23 @@
 //! Ingestion throughput: per-update `Sketch::update` versus batched
 //! `Sketch::update_batch` through the `StreamRunner`, on the structures with
 //! pre-aggregating batch overrides (Countsketch, Count-Min, CSSS, the
-//! α heavy hitters) plus one default-impl control (the exact frequency
-//! vector).
+//! α heavy hitters, the turnstile support sampler) plus one default-impl
+//! control (the exact frequency vector).
+//!
+//! Sketches are named by `SketchSpec` and built through the workspace
+//! registry, so adding a structure to the sweep is one spec line.
 //!
 //! Emits `BENCH_ingest.json` (median updates/sec per configuration) so later
-//! PRs have a throughput trajectory to compare against.
+//! PRs have a throughput trajectory to compare against;
+//! `scripts/bench_compare.sh` gates CI on >20% regressions against the
+//! committed baseline.
 //!
 //! Run: `cargo bench -p bd-bench --bench ingest`
 
 use bd_bench::micro::{self, Measurement};
-use bd_core::{AlphaHeavyHitters, Csss, Params};
-use bd_sketch::{CountMin, CountSketch};
+use bd_bench::registry;
 use bd_stream::gen::BoundedDeletionGen;
-use bd_stream::{FrequencyVector, Sketch, StreamBatch, StreamRunner};
+use bd_stream::{SketchFamily, SketchSpec, StreamBatch, StreamRunner};
 
 const N: u64 = 1 << 16;
 const MASS: u64 = 400_000;
@@ -29,23 +33,20 @@ fn workload() -> StreamBatch {
     gen.generate_seeded(7)
 }
 
-/// Time a full pass over `stream` on a fresh sketch per sample.
-fn ingest<S: Sketch, F: Fn(u64) -> S>(
-    name: &str,
-    stream: &StreamBatch,
-    runner: StreamRunner,
-    mk: F,
-) -> Measurement {
+/// Time a full pass over `stream` on a fresh registry-built sketch per
+/// sample.
+fn ingest(name: &str, stream: &StreamBatch, runner: StreamRunner, spec: SketchSpec) -> Measurement {
     micro::sample(name, stream.len() as u64, SAMPLES, WARMUP, |s| {
-        let mut sk = mk(s as u64);
-        runner.run(&mut sk, stream);
+        let mut sk = registry()
+            .build(&spec.with_seed(s as u64))
+            .expect("bench spec must be registered");
+        runner.run(&mut *sk, stream);
         std::hint::black_box(sk.space_bits());
     })
 }
 
 fn main() {
     let stream = workload();
-    let params = Params::practical(N, 0.1, 4.0);
     let per = StreamRunner::unbatched();
     let bat = StreamRunner::new();
     let mut results: Vec<Measurement> = Vec::new();
@@ -58,27 +59,45 @@ fn main() {
         StreamRunner::DEFAULT_CHUNK
     );
 
-    macro_rules! compare {
-        ($label:expr, $mk:expr) => {{
-            let a = ingest(&format!("{}/per_update", $label), &stream, per, $mk);
-            let b = ingest(&format!("{}/update_batch", $label), &stream, bat, $mk);
-            micro::report(&a);
-            micro::report(&b);
-            let speedup = b.ops_per_sec / a.ops_per_sec;
-            println!("  {:<44} {speedup:>10.2}x batched speedup\n", $label);
-            pairs.push(($label.to_string(), speedup));
-            results.push(a);
-            results.push(b);
-        }};
-    }
+    let mut compare = |label: &str, spec: SketchSpec| {
+        let a = ingest(&format!("{label}/per_update"), &stream, per, spec);
+        let b = ingest(&format!("{label}/update_batch"), &stream, bat, spec);
+        micro::report(&a);
+        micro::report(&b);
+        let speedup = b.ops_per_sec / a.ops_per_sec;
+        println!("  {label:<44} {speedup:>10.2}x batched speedup\n");
+        pairs.push((label.to_string(), speedup));
+        results.push(a);
+        results.push(b);
+    };
 
-    compare!("countsketch", |s| CountSketch::<i64>::new(s, 9, 480));
-    compare!("countmin", |s| CountMin::new(s, 5, 512));
-    compare!("csss", |s| Csss::new(s, 16, 9, params.csss_sample_budget()));
-    compare!("alpha_heavy_hitters", |s| AlphaHeavyHitters::new_strict(
-        s, &params
-    ));
-    compare!("frequency_vector(control)", |_s| FrequencyVector::new(N));
+    // All specs share (n, ε = 0.1, α = 4); the shapes these derive match the
+    // hand-built sketches of earlier trajectory entries (480-wide
+    // Countsketch, 5×512 Count-Min, budget = Params::csss_sample_budget()).
+    let base = SketchSpec::new(SketchFamily::CountSketch)
+        .with_n(N)
+        .with_epsilon(0.1)
+        .with_alpha(4.0);
+    compare("countsketch", base);
+    compare(
+        "countmin",
+        base.with_family(SketchFamily::CountMin)
+            .with_depth(5)
+            .with_width(512),
+    );
+    compare("csss", base.with_family(SketchFamily::Csss).with_k(16));
+    compare(
+        "alpha_heavy_hitters",
+        base.with_family(SketchFamily::AlphaHh),
+    );
+    compare(
+        "support_turnstile",
+        base.with_family(SketchFamily::SupportTurnstile).with_k(8),
+    );
+    compare(
+        "frequency_vector(control)",
+        base.with_family(SketchFamily::Exact),
+    );
 
     let json = micro::to_json(
         &[

@@ -3,18 +3,15 @@
 //! unbounded-deletion baselines, plus the hashing substrate and a CSSS
 //! sampling-budget ablation. Built on `bd_bench::micro` (criterion is
 //! unavailable in the offline build); ingestion passes go through the
-//! shared `StreamRunner`.
+//! shared `StreamRunner`, and every sketch is built from a `SketchSpec`
+//! through the workspace registry.
 //!
 //! Run: `cargo bench -p bd-bench --bench throughput`
 
-use bd_bench::micro;
-use bd_core::{
-    AlphaHeavyHitters, AlphaInnerProduct, AlphaL0Estimator, AlphaL1Estimator, AlphaL1General, Csss,
-    Params,
-};
-use bd_sketch::{CountMin, CountSketch, L0Estimator, LogCosL1, MorrisCounter};
+use bd_bench::{build, micro, registry};
+use bd_core::Csss;
 use bd_stream::gen::BoundedDeletionGen;
-use bd_stream::{Sketch, StreamBatch, StreamRunner};
+use bd_stream::{SketchFamily, SketchSpec, StreamBatch, StreamRunner};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -27,11 +24,13 @@ fn stream_for_bench(seed: u64) -> StreamBatch {
 }
 
 /// Median ns/update for a full `StreamRunner` pass on fresh sketches.
-fn bench_ingest<S: Sketch>(name: &str, stream: &StreamBatch, mk: impl Fn(u64) -> S) {
+fn bench_ingest(name: &str, stream: &StreamBatch, spec: SketchSpec) {
     let runner = StreamRunner::new();
     let m = micro::sample(name, stream.len() as u64, SAMPLES, WARMUP, |s| {
-        let mut sk = mk(s as u64);
-        runner.run(&mut sk, stream);
+        let mut sk = registry()
+            .build(&spec.with_seed(s as u64))
+            .expect("bench spec must be registered");
+        runner.run(&mut *sk, stream);
         std::hint::black_box(sk.space_bits());
     });
     micro::report(&m);
@@ -66,9 +65,9 @@ fn bench_hashing() {
     micro::report(&m);
 }
 
-fn bench_queries(stream: &StreamBatch, params: &Params) {
+fn bench_queries(stream: &StreamBatch, csss_spec: SketchSpec) {
     println!("\nquery latency:");
-    let mut cs = Csss::new(6, 16, 9, params.csss_sample_budget());
+    let mut cs: Csss = build(&csss_spec.with_seed(6));
     StreamRunner::new().run(&mut cs, stream);
     let m = micro::sample("csss_point_query", 1 << 12, SAMPLES, WARMUP, |_| {
         for i in 0..(1u64 << 12) {
@@ -80,44 +79,50 @@ fn bench_queries(stream: &StreamBatch, params: &Params) {
 
 fn main() {
     let stream = stream_for_bench(2);
-    let params = Params::practical(N, 0.1, 4.0);
+    let spec = SketchSpec::new(SketchFamily::CountSketch)
+        .with_n(N)
+        .with_epsilon(0.1)
+        .with_alpha(4.0);
+    let fam = |family: SketchFamily| spec.with_family(family);
+    let csss_spec = fam(SketchFamily::Csss).with_k(16);
 
     bench_hashing();
 
     println!("\ningestion (full StreamRunner pass, fresh sketch per sample):");
-    bench_ingest("countsketch", &stream, |s| {
-        CountSketch::<i64>::new(s, 9, 480)
-    });
-    bench_ingest("countmin", &stream, |s| CountMin::new(s, 5, 512));
-    bench_ingest("csss", &stream, |s| {
-        Csss::new(s, 16, 9, params.csss_sample_budget())
-    });
-    bench_ingest("alpha_heavy_hitters", &stream, |s| {
-        AlphaHeavyHitters::new_strict(s, &params)
-    });
-    let l1_params = Params::practical(N, 0.25, 4.0);
-    bench_ingest("alpha_l1_strict", &stream, |s| {
-        AlphaL1Estimator::new(s, &l1_params)
-    });
-    bench_ingest("alpha_l1_general", &stream, |s| {
-        AlphaL1General::new(s, &l1_params)
-    });
-    bench_ingest("logcos_l1_baseline", &stream, |s| LogCosL1::new(s, 0.25));
-    bench_ingest("alpha_l0", &stream, |s| {
-        AlphaL0Estimator::new(s, &l1_params)
-    });
-    bench_ingest("knw_l0_baseline", &stream, |s| L0Estimator::new(s, N, 0.25));
-    bench_ingest("alpha_ip(one side)", &stream, |s| {
-        AlphaInnerProduct::new(s, &params).f
-    });
-    bench_ingest("morris", &stream, MorrisCounter::new);
+    bench_ingest("countsketch", &stream, spec);
+    bench_ingest(
+        "countmin",
+        &stream,
+        fam(SketchFamily::CountMin).with_depth(5).with_width(512),
+    );
+    bench_ingest("csss", &stream, csss_spec);
+    bench_ingest("alpha_heavy_hitters", &stream, fam(SketchFamily::AlphaHh));
+    let eps25 = |family: SketchFamily| fam(family).with_epsilon(0.25);
+    bench_ingest("alpha_l1_strict", &stream, eps25(SketchFamily::AlphaL1));
+    bench_ingest(
+        "alpha_l1_general",
+        &stream,
+        eps25(SketchFamily::AlphaL1General),
+    );
+    bench_ingest("logcos_l1_baseline", &stream, eps25(SketchFamily::LogCosL1));
+    bench_ingest("alpha_l0", &stream, eps25(SketchFamily::AlphaL0));
+    bench_ingest("knw_l0_baseline", &stream, eps25(SketchFamily::L0Turnstile));
+    bench_ingest("alpha_ip(one side)", &stream, fam(SketchFamily::AlphaIp));
+    bench_ingest(
+        "support_turnstile_baseline",
+        &stream,
+        fam(SketchFamily::SupportTurnstile).with_k(8),
+    );
+    bench_ingest("morris", &stream, fam(SketchFamily::Morris));
 
     println!("\ncsss sample-budget ablation (the α²/ε³ knob):");
     for budget_log2 in [8u32, 12, 16] {
-        bench_ingest(&format!("csss/budget=2^{budget_log2}"), &stream, |s| {
-            Csss::new(s, 16, 7, 1u64 << budget_log2)
-        });
+        bench_ingest(
+            &format!("csss/budget=2^{budget_log2}"),
+            &stream,
+            csss_spec.with_depth(7).with_budget(1u64 << budget_log2),
+        );
     }
 
-    bench_queries(&stream, &params);
+    bench_queries(&stream, csss_spec);
 }

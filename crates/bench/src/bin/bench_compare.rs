@@ -1,0 +1,167 @@
+//! `bench_compare` — CI regression gate over `BENCH_ingest.json`.
+//!
+//! Compares a freshly-measured ingest trajectory against the committed
+//! baseline and fails (exit 1) when any benchmark's `updates_per_sec`
+//! regressed by more than the tolerance (default 20%, the ROADMAP "perf
+//! trajectory" threshold). Measurements are normalized by each run's
+//! `frequency_vector(control)` throughput before comparison, so the gate
+//! tracks code regressions rather than the hardware gap between the
+//! machine that committed the baseline and the CI runner. Benchmarks
+//! present on only one side are reported but never fail the gate, so
+//! adding a new structure to the bench doesn't break CI.
+//!
+//! ```text
+//! cargo run --release -p bd-bench --bin bench_compare -- \
+//!     BENCH_ingest.json target/BENCH_ingest.new.json [tolerance]
+//! ```
+//!
+//! The parser covers exactly the JSON `bd_bench::micro::to_json` emits (the
+//! offline build has no serde): one `benchmarks` array of flat objects with
+//! string `name` and numeric `updates_per_sec` fields.
+
+use std::process::ExitCode;
+
+/// Extract `(name, updates_per_sec)` pairs from a `micro::to_json` document.
+fn parse_measurements(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    // Objects never nest in this format: scan `{...}` spans after the
+    // `benchmarks` key and pull the two fields per span.
+    let Some(start) = json.find("\"benchmarks\"") else {
+        return out;
+    };
+    let mut rest = &json[start..];
+    while let Some(open) = rest.find('{') {
+        let Some(close) = rest[open..].find('}') else {
+            break;
+        };
+        let obj = &rest[open..open + close];
+        if let (Some(name), Some(ups)) = (field_str(obj, "name"), field_num(obj, "updates_per_sec"))
+        {
+            out.push((name, ups));
+        }
+        rest = &rest[open + close + 1..];
+    }
+    out
+}
+
+fn field_str(obj: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":");
+    let at = obj.find(&pat)? + pat.len();
+    let rest = obj[at..].trim_start();
+    let rest = rest.strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+fn field_num(obj: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = obj.find(&pat)? + pat.len();
+    let rest = obj[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (Some(base_path), Some(new_path)) = (args.first(), args.get(1)) else {
+        eprintln!("usage: bench_compare <baseline.json> <candidate.json> [tolerance=0.20]");
+        return ExitCode::FAILURE;
+    };
+    let tolerance: f64 = args.get(2).and_then(|t| t.parse().ok()).unwrap_or(0.20);
+    let read = |p: &str| {
+        std::fs::read_to_string(p).unwrap_or_else(|e| {
+            eprintln!("bench_compare: cannot read {p}: {e}");
+            std::process::exit(1);
+        })
+    };
+    let baseline = parse_measurements(&read(base_path));
+    let candidate = parse_measurements(&read(new_path));
+    if baseline.is_empty() || candidate.is_empty() {
+        eprintln!(
+            "bench_compare: no measurements parsed (baseline {}, candidate {})",
+            baseline.len(),
+            candidate.len()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    // The baseline may come from a different machine class than the
+    // candidate run (committed from a dev box, compared on a CI runner),
+    // so absolute updates/sec would gate on hardware, not code. The
+    // exact-frequency-vector control is a sketch-free pass through the
+    // same runner loop — dividing every measurement by its own run's
+    // control cancels the machine factor, and the gate compares the
+    // normalized ratios. (Uniform slowdowns that also hit the control —
+    // e.g. a StreamRunner regression — are deliberately not gated here;
+    // they show up in the printed control line.)
+    let control_of = |set: &[(String, f64)]| {
+        set.iter()
+            .find(|(n, _)| n == "frequency_vector(control)/per_update")
+            .map(|&(_, v)| v)
+    };
+    let norms = match (control_of(&baseline), control_of(&candidate)) {
+        (Some(b), Some(c)) if b > 0.0 && c > 0.0 => Some((b, c)),
+        _ => {
+            println!("bench_compare: control measurement missing — comparing absolute up/s\n");
+            None
+        }
+    };
+
+    println!(
+        "bench_compare: {} baseline vs {} candidate measurements, tolerance {:.0}%{}\n",
+        baseline.len(),
+        candidate.len(),
+        tolerance * 100.0,
+        if norms.is_some() {
+            " (normalized by the in-run control)"
+        } else {
+            ""
+        }
+    );
+    println!(
+        "{:<46} {:>14} {:>14} {:>9}",
+        "benchmark", "baseline up/s", "candidate up/s", "ratio"
+    );
+    let mut regressions = 0usize;
+    for (name, base_ups) in &baseline {
+        match candidate.iter().find(|(n, _)| n == name) {
+            Some((_, new_ups)) => {
+                let ratio = match norms {
+                    Some((bc, cc)) => (new_ups / cc) / (base_ups / bc),
+                    None => new_ups / base_ups,
+                };
+                let flag = if ratio < 1.0 - tolerance {
+                    regressions += 1;
+                    "  << REGRESSION"
+                } else {
+                    ""
+                };
+                println!("{name:<46} {base_ups:>14.0} {new_ups:>14.0} {ratio:>8.2}x{flag}");
+            }
+            None => println!(
+                "{name:<46} {base_ups:>14.0} {:>14} (dropped — not gated)",
+                "-"
+            ),
+        }
+    }
+    for (name, _) in &candidate {
+        if !baseline.iter().any(|(n, _)| n == name) {
+            println!("{name:<46} {:>14} (new — no baseline, not gated)", "-");
+        }
+    }
+
+    if regressions > 0 {
+        eprintln!(
+            "\nbench_compare: {regressions} benchmark(s) regressed by more than {:.0}%",
+            tolerance * 100.0
+        );
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "\nbench_compare: no regression beyond {:.0}%",
+            tolerance * 100.0
+        );
+        ExitCode::SUCCESS
+    }
+}

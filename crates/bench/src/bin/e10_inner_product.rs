@@ -5,10 +5,10 @@
 //! Run: `cargo run --release -p bd-bench --bin e10_inner_product`
 
 use bd_bench::{fmt_bits, run_trials, Table};
-use bd_core::{AlphaInnerProduct, Params};
+use bd_core::AlphaInnerProduct;
 use bd_sketch::IpFamily;
 use bd_stream::gen::BoundedDeletionGen;
-use bd_stream::{FrequencyVector, Sketch, SpaceUsage, StreamRunner};
+use bd_stream::{FrequencyVector, Sketch, SketchFamily, SketchSpec, SpaceUsage, StreamRunner};
 
 fn main() {
     let eps = 0.1;
@@ -33,13 +33,19 @@ fn main() {
         );
         let truth = vf.inner_product(&vg) as f64;
         let budget = eps * vf.l1() as f64 * vg.l1() as f64;
-        let mut params = Params::practical(1 << 20, eps, alpha);
-        params.sample_const = 4.0;
+        let ours_spec = SketchSpec::new(SketchFamily::AlphaIp)
+            .with_n(1 << 20)
+            .with_epsilon(eps)
+            .with_alpha(alpha)
+            .with_c(4.0);
+        let base_spec = SketchSpec::new(SketchFamily::IpCountSketch)
+            .with_n(1 << 20)
+            .with_epsilon(eps);
         let mut our_bits = 0u64;
         let mut base_bits = 0u64;
         let stats = run_trials(8, |seed| {
-            let mut ours = AlphaInnerProduct::new(40 + seed, &params);
-            let fam = IpFamily::new(140 + seed, 5, (2.0 / eps) as usize);
+            let mut ours = AlphaInnerProduct::from_spec(&ours_spec.with_seed(40 + seed));
+            let fam = IpFamily::from_spec(&base_spec.with_seed(140 + seed));
             let (mut bf, mut bg) = (fam.sketch(), fam.sketch());
             let runner = StreamRunner::new();
             runner.run_each(&mut [&mut ours.f as &mut dyn Sketch, &mut bf], &f);

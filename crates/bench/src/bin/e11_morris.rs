@@ -3,9 +3,9 @@
 //!
 //! Run: `cargo run --release -p bd-bench --bin e11_morris`
 
-use bd_bench::Table;
+use bd_bench::{build, Table};
 use bd_sketch::MorrisCounter;
-use bd_stream::SpaceUsage;
+use bd_stream::{SketchFamily, SketchSpec, SpaceUsage};
 
 fn main() {
     let m = 1u64 << 20;
@@ -27,7 +27,8 @@ fn main() {
         let mut probes = 0usize;
         let mut max_bits = 0u64;
         for seed in 0..50u64 {
-            let mut c = MorrisCounter::new(seed);
+            let mut c: MorrisCounter =
+                build(&SketchSpec::new(SketchFamily::Morris).with_seed(seed));
             for t in 1..=m {
                 c.tick();
                 if t.is_power_of_two() && t >= 64 {

@@ -4,10 +4,10 @@
 //!
 //! Run: `cargo run --release -p bd-bench --bin e12_hard_instances`
 
-use bd_bench::{run_trials, Table};
-use bd_core::{AlphaHeavyHitters, AlphaInnerProduct, AlphaSupportSamplerSet, Params};
+use bd_bench::{build, run_trials, Table};
+use bd_core::{AlphaHeavyHitters, AlphaInnerProduct, AlphaSupportSamplerSet};
 use bd_stream::gen::{AugmentedIndexingHH, InnerProductHard, SupportHard};
-use bd_stream::{FrequencyVector, StreamRunner};
+use bd_stream::{FrequencyVector, SketchFamily, SketchSpec, StreamRunner};
 
 fn main() {
     println!("E12 — the §8 hard instances, decoded by the upper-bound algorithms\n");
@@ -20,8 +20,13 @@ fn main() {
     let stats = run_trials(10, |seed| {
         let inst = AugmentedIndexingHH::new(1 << 16, 0.05, 216.0).generate_seeded(seed);
         let truth = FrequencyVector::from_stream(&inst.stream);
-        let params = Params::practical(inst.stream.n, 0.05, truth.alpha_l1().max(1.0));
-        let mut hh = AlphaHeavyHitters::new_strict(seed + 50, &params);
+        let mut hh: AlphaHeavyHitters = build(
+            &SketchSpec::new(SketchFamily::AlphaHh)
+                .with_n(inst.stream.n)
+                .with_epsilon(0.05)
+                .with_alpha(truth.alpha_l1().max(1.0))
+                .with_seed(seed + 50),
+        );
         StreamRunner::new().run(&mut hh, &inst.stream);
         let got: Vec<u64> = hh.query().into_iter().map(|(i, _)| i).collect();
         let ok = inst.planted.iter().all(|i| got.contains(i));
@@ -38,8 +43,14 @@ fn main() {
     let stats = run_trials(10, |seed| {
         let inst = SupportHard::new(1 << 20, 64).generate_seeded(100 + seed);
         let truth = FrequencyVector::from_stream(&inst.stream);
-        let params = Params::practical(inst.stream.n, 0.25, truth.alpha_l0().max(1.0));
-        let mut s = AlphaSupportSamplerSet::new(150 + seed, &params, 4);
+        let mut s: AlphaSupportSamplerSet = build(
+            &SketchSpec::new(SketchFamily::AlphaSupportSet)
+                .with_n(inst.stream.n)
+                .with_epsilon(0.25)
+                .with_alpha(truth.alpha_l0().max(1.0))
+                .with_k(4)
+                .with_seed(150 + seed),
+        );
         StreamRunner::new().run(&mut s, &inst.stream);
         let got = s.query();
         let ok = got.len() >= 4.min(truth.l0() as usize) && got.iter().all(|&i| truth.get(i) != 0);
@@ -56,8 +67,13 @@ fn main() {
     let stats = run_trials(10, |seed| {
         let inst = InnerProductHard::new(1 << 16, 0.05, 100).generate_seeded(200 + seed);
         let vf = FrequencyVector::from_stream(&inst.f);
-        let params = Params::practical(1 << 16, 0.01, vf.alpha_strong().clamp(1.0, 1e6));
-        let mut ip = AlphaInnerProduct::new(250 + seed, &params);
+        let mut ip = AlphaInnerProduct::from_spec(
+            &SketchSpec::new(SketchFamily::AlphaIp)
+                .with_n(1 << 16)
+                .with_epsilon(0.01)
+                .with_alpha(vf.alpha_strong().clamp(1.0, 1e6))
+                .with_seed(250 + seed),
+        );
         let runner = StreamRunner::new();
         runner.run(&mut ip.f, &inst.f);
         runner.run(&mut ip.g, &inst.g);

@@ -5,10 +5,10 @@
 //!
 //! Run: `cargo run --release -p bd-bench --bin e13_rough_l0`
 
-use bd_bench::{run_trials, Table};
-use bd_core::{AlphaConstL0, AlphaRoughL0, Params};
+use bd_bench::{build, run_trials, Table};
+use bd_core::{AlphaConstL0, AlphaRoughL0};
 use bd_stream::gen::L0AlphaGen;
-use bd_stream::{FrequencyVector, StreamRunner};
+use bd_stream::{FrequencyVector, SketchFamily, SketchSpec, StreamRunner};
 
 fn main() {
     println!("E13 — rough L0 trackers (Corollary 2 / Lemma 20), n = 2^28\n");
@@ -26,7 +26,11 @@ fn main() {
         let mut peak = 0usize;
         let tracker_stats = run_trials(20, |seed| {
             let stream = L0AlphaGen::new(1 << 28, l0, alpha).generate_seeded(seed);
-            let mut tr = AlphaRoughL0::new(seed + 30, stream.n);
+            let mut tr: AlphaRoughL0 = build(
+                &SketchSpec::new(SketchFamily::AlphaRoughL0)
+                    .with_n(stream.n)
+                    .with_seed(seed + 30),
+            );
             let mut prefix = FrequencyVector::new(stream.n);
             let mut good = true;
             // All-times guarantee: probe after each 2000-update window the
@@ -46,8 +50,13 @@ fn main() {
         });
         let const_stats = run_trials(20, |seed| {
             let stream = L0AlphaGen::new(1 << 28, l0, alpha).generate_seeded(1000 + seed);
-            let params = Params::practical(stream.n, 0.2, alpha);
-            let mut est = AlphaConstL0::new(1100 + seed, &params);
+            let mut est: AlphaConstL0 = build(
+                &SketchSpec::new(SketchFamily::AlphaConstL0)
+                    .with_n(stream.n)
+                    .with_epsilon(0.2)
+                    .with_alpha(alpha)
+                    .with_seed(1100 + seed),
+            );
             StreamRunner::new().run(&mut est, &stream);
             peak = peak.max(est.peak_live_levels());
             let r = est.estimate();

@@ -5,10 +5,10 @@
 //!
 //! Run: `cargo run --release -p bd-bench --bin e14_l2_hh`
 
-use bd_bench::{fmt_bits, Table};
-use bd_core::{AlphaL2HeavyHitters, Params};
+use bd_bench::{build, fmt_bits, Table};
+use bd_core::AlphaL2HeavyHitters;
 use bd_stream::gen::BoundedDeletionGen;
-use bd_stream::{FrequencyVector, SpaceUsage, StreamRunner};
+use bd_stream::{FrequencyVector, SketchFamily, SketchSpec, SpaceUsage, StreamRunner};
 
 fn main() {
     let eps = 0.25;
@@ -21,8 +21,13 @@ fn main() {
         let stream =
             BoundedDeletionGen::new(1 << 12, 200_000, alpha).generate_seeded(alpha as u64 + 77);
         let truth = FrequencyVector::from_stream(&stream);
-        let params = Params::practical(stream.n, eps, alpha);
-        let mut hh = AlphaL2HeavyHitters::new(alpha as u64 + 78, &params);
+        let mut hh: AlphaL2HeavyHitters = build(
+            &SketchSpec::new(SketchFamily::AlphaL2Hh)
+                .with_n(stream.n)
+                .with_epsilon(eps)
+                .with_alpha(alpha)
+                .with_seed(alpha as u64 + 78),
+        );
         StreamRunner::new().run(&mut hh, &stream);
         let got: Vec<u64> = hh.query().into_iter().map(|(i, _)| i).collect();
         let exact = truth.l2_heavy_hitters(eps);

@@ -8,30 +8,38 @@
 //! Absolute constants differ from the proofs (practical `Params`), but who
 //! wins and how the gap scales with α is the reproduction target.
 //!
+//! Every sketch is constructed through the workspace registry from a
+//! `SketchSpec` — the experiment names *what* to build (family, n, ε, α,
+//! seed, leading constant), never *how*.
+//!
 //! Run: `cargo run --release -p bd-bench --bin e1_figure1`
 
-use bd_bench::{fmt_bits, rel_err, Table};
+use bd_bench::{build, fmt_bits, rel_err, Table};
 use bd_core::{
     AlphaHeavyHitters, AlphaInnerProduct, AlphaL0Estimator, AlphaL1Estimator, AlphaL1General,
-    AlphaL1Sampler, AlphaSupportSampler, Params,
+    AlphaL1Sampler, AlphaSupportSampler,
 };
 use bd_sketch::{
     CountSketch, IpFamily, L0Estimator, L1SamplerTurnstile, LogCosL1, SampleOutcome,
     SupportSamplerTurnstile,
 };
 use bd_stream::gen::{BoundedDeletionGen, L0AlphaGen, StrongAlphaGen};
-use bd_stream::{FrequencyVector, Sketch, SpaceUsage, StreamRunner};
+use bd_stream::{FrequencyVector, Sketch, SketchFamily, SketchSpec, SpaceUsage, StreamRunner};
 
 const N: u64 = 1 << 20;
 const EPS: f64 = 0.25;
 const ALPHAS: [f64; 3] = [2.0, 8.0, 32.0];
 
-fn params_for(alpha: f64) -> Params {
-    let mut p = Params::practical(N, EPS, alpha);
-    // Smaller leading constant so thinning activates within the bench
-    // streams; the functional form is unchanged.
-    p.sample_const = 4.0;
-    p
+/// The α-side spec shared by most rows: smaller leading constant (`c = 4`)
+/// so thinning activates within the bench streams; the functional form is
+/// unchanged.
+fn alpha_spec(family: SketchFamily, alpha: f64, seed: u64) -> SketchSpec {
+    SketchSpec::new(family)
+        .with_n(N)
+        .with_epsilon(EPS)
+        .with_alpha(alpha)
+        .with_seed(seed)
+        .with_c(4.0)
 }
 
 fn heavy_hitters(table: &mut Table) {
@@ -42,12 +50,15 @@ fn heavy_hitters(table: &mut Table) {
         gen.zipf_s = 1.3;
         let stream = gen.generate_seeded(1 + alpha as u64);
         let truth = FrequencyVector::from_stream(&stream);
-        let mut params = params_for(alpha);
-        params.epsilon = eps;
 
-        let mut ours = AlphaHeavyHitters::new_strict(11 + alpha as u64, &params);
-        let mut base =
-            CountSketch::<i64>::new(12 + alpha as u64, params.depth, 6 * (8.0 / eps) as usize);
+        let mut ours: AlphaHeavyHitters =
+            build(&alpha_spec(SketchFamily::AlphaHh, alpha, 11 + alpha as u64).with_epsilon(eps));
+        let mut base: CountSketch<i64> = build(
+            &SketchSpec::new(SketchFamily::CountSketch)
+                .with_n(N)
+                .with_epsilon(eps)
+                .with_seed(12 + alpha as u64),
+        );
         StreamRunner::new().run_each(&mut [&mut ours as &mut dyn Sketch, &mut base], &stream);
         let got: Vec<u64> = ours.query().into_iter().map(|(i, _)| i).collect();
         let exact = truth.l1_heavy_hitters(eps);
@@ -72,10 +83,18 @@ fn inner_product(table: &mut Table) {
         );
         let truth = vf.inner_product(&vg) as f64;
         let budget = EPS * vf.l1() as f64 * vg.l1() as f64;
-        let params = params_for(alpha);
 
-        let mut ours = AlphaInnerProduct::new(21 + alpha as u64, &params);
-        let fam = IpFamily::new(22 + alpha as u64, 5, (2.0 / EPS) as usize);
+        let mut ours = AlphaInnerProduct::from_spec(&alpha_spec(
+            SketchFamily::AlphaIp,
+            alpha,
+            21 + alpha as u64,
+        ));
+        let fam = IpFamily::from_spec(
+            &SketchSpec::new(SketchFamily::IpCountSketch)
+                .with_n(N)
+                .with_epsilon(EPS)
+                .with_seed(22 + alpha as u64),
+        );
         let (mut bf, mut bg) = (fam.sketch(), fam.sketch());
         let runner = StreamRunner::new();
         runner.run_each(&mut [&mut ours.f as &mut dyn Sketch, &mut bf], &f);
@@ -96,7 +115,8 @@ fn l1_strict(table: &mut Table) {
     for alpha in ALPHAS {
         let stream = BoundedDeletionGen::new(N, 2_000_000, alpha).generate_seeded(4 + alpha as u64);
         let truth = FrequencyVector::from_stream(&stream).l1() as f64;
-        let mut ours = AlphaL1Estimator::new(31 + alpha as u64, &params_for(alpha));
+        let mut ours: AlphaL1Estimator =
+            build(&alpha_spec(SketchFamily::AlphaL1, alpha, 31 + alpha as u64));
         StreamRunner::new().run(&mut ours, &stream);
         // Strict-turnstile baseline: one exact log(mM)-bit net counter.
         let base_bits = bd_hash::width_unsigned(stream.total_mass()) as u64;
@@ -114,9 +134,17 @@ fn l1_general(table: &mut Table) {
     for alpha in ALPHAS {
         let stream = BoundedDeletionGen::new(N, 300_000, alpha).generate_seeded(5 + alpha as u64);
         let truth = FrequencyVector::from_stream(&stream).l1() as f64;
-        let params = params_for(alpha);
-        let mut ours = AlphaL1General::new(41 + alpha as u64, &params);
-        let mut base = LogCosL1::new(42 + alpha as u64, EPS);
+        let mut ours: AlphaL1General = build(&alpha_spec(
+            SketchFamily::AlphaL1General,
+            alpha,
+            41 + alpha as u64,
+        ));
+        let mut base: LogCosL1 = build(
+            &SketchSpec::new(SketchFamily::LogCosL1)
+                .with_n(N)
+                .with_epsilon(EPS)
+                .with_seed(42 + alpha as u64),
+        );
         StreamRunner::new().run_each(&mut [&mut ours as &mut dyn Sketch, &mut base], &stream);
         table.row(vec![
             "L1 Estimation (general)".into(),
@@ -137,10 +165,14 @@ fn l0_estimation(table: &mut Table) {
     for alpha in ALPHAS {
         let stream = L0AlphaGen::new(n, 4_000, alpha).generate_seeded(6 + alpha as u64);
         let truth = FrequencyVector::from_stream(&stream).l0() as f64;
-        let mut params = params_for(alpha);
-        params.n = n;
-        let mut ours = AlphaL0Estimator::new(51 + alpha as u64, &params);
-        let mut base = L0Estimator::new(52 + alpha as u64, n, EPS);
+        let mut ours: AlphaL0Estimator =
+            build(&alpha_spec(SketchFamily::AlphaL0, alpha, 51 + alpha as u64).with_n(n));
+        let mut base: L0Estimator = build(
+            &SketchSpec::new(SketchFamily::L0Turnstile)
+                .with_n(n)
+                .with_epsilon(EPS)
+                .with_seed(52 + alpha as u64),
+        );
         StreamRunner::new().run_each(&mut [&mut ours as &mut dyn Sketch, &mut base], &stream);
         table.row(vec![
             "L0 Estimation".into(),
@@ -161,18 +193,26 @@ fn l0_estimation(table: &mut Table) {
 fn l1_sampling(table: &mut Table) {
     for alpha in [2.0, 8.0] {
         let stream = StrongAlphaGen::new(1 << 10, 300, alpha).generate_seeded(6);
-        // Figure 3 sizes CSSS with sensitivity ε' = ε³/log²n; keep a larger
-        // leading constant here than the other rows so thinning noise stays
-        // below the recovery thresholds.
-        let mut params = params_for(alpha).with_delta(0.3);
-        params.sample_const = 64.0;
         let mut ours_ok = 0;
         let mut base_ok = 0;
         let mut ours_bits = 0;
         let mut base_bits = 0;
         for seed in 0..15u64 {
-            let mut ours = AlphaL1Sampler::new(600 + seed, &params);
-            let mut base = L1SamplerTurnstile::new(700 + seed, 1 << 10, EPS, 0.3);
+            // Figure 3 sizes CSSS with sensitivity ε' = ε³/log²n; keep a
+            // larger leading constant here than the other rows so thinning
+            // noise stays below the recovery thresholds.
+            let mut ours: AlphaL1Sampler = build(
+                &alpha_spec(SketchFamily::AlphaL1Sampler, alpha, 600 + seed)
+                    .with_delta(0.3)
+                    .with_c(64.0),
+            );
+            let mut base: L1SamplerTurnstile = build(
+                &SketchSpec::new(SketchFamily::L1SamplerTurnstile)
+                    .with_n(1 << 10)
+                    .with_epsilon(EPS)
+                    .with_delta(0.3)
+                    .with_seed(700 + seed),
+            );
             StreamRunner::new().run_each(&mut [&mut ours as &mut dyn Sketch, &mut base], &stream);
             ours_ok += i32::from(matches!(ours.query(), SampleOutcome::Sample { .. }));
             base_ok += i32::from(matches!(base.query(), SampleOutcome::Sample { .. }));
@@ -193,10 +233,23 @@ fn support_sampling(table: &mut Table) {
     for alpha in [2.0, 8.0] {
         let stream = L0AlphaGen::new(1 << 30, 1_000, alpha).generate_seeded(7 + alpha as u64);
         let truth = FrequencyVector::from_stream(&stream);
-        let params = Params::practical(1 << 30, EPS, alpha);
         let k = 8;
-        let mut ours = AlphaSupportSampler::new(71 + alpha as u64, &params, k);
-        let mut base = SupportSamplerTurnstile::new(72 + alpha as u64, 1 << 30, k);
+        // Default constants here (no `c` override): the support window is
+        // sized straight from the practical regime.
+        let mut ours: AlphaSupportSampler = build(
+            &SketchSpec::new(SketchFamily::AlphaSupport)
+                .with_n(1 << 30)
+                .with_epsilon(EPS)
+                .with_alpha(alpha)
+                .with_k(k)
+                .with_seed(71 + alpha as u64),
+        );
+        let mut base: SupportSamplerTurnstile = build(
+            &SketchSpec::new(SketchFamily::SupportTurnstile)
+                .with_n(1 << 30)
+                .with_k(k)
+                .with_seed(72 + alpha as u64),
+        );
         StreamRunner::new().run_each(&mut [&mut ours as &mut dyn Sketch, &mut base], &stream);
         let got = ours.query();
         let valid = got.iter().filter(|&&i| truth.get(i) != 0).count();
@@ -212,7 +265,8 @@ fn support_sampling(table: &mut Table) {
 
 fn main() {
     println!("E1 — Figure 1 regenerated: turnstile baselines vs α-property algorithms");
-    println!("n = 2^20, ε = {EPS}; space measured in bits via SpaceUsage\n");
+    println!("n = 2^20, ε = {EPS}; space measured in bits via SpaceUsage");
+    println!("all sketches built via the registry from SketchSpecs\n");
     let mut table = Table::new(
         "Figure 1 (measured)",
         &[

@@ -7,10 +7,10 @@
 //!
 //! Run: `cargo run --release -p bd-bench --bin e2_sampling_lemma`
 
-use bd_bench::{run_trials, Table};
+use bd_bench::{build, run_trials, Table};
 use bd_core::SampledVector;
 use bd_stream::gen::BoundedDeletionGen;
-use bd_stream::{FrequencyVector, StreamRunner};
+use bd_stream::{FrequencyVector, SketchFamily, SketchSpec, StreamRunner};
 
 fn main() {
     let alpha = 4.0f64;
@@ -37,7 +37,14 @@ fn main() {
         let budget = 1u64 << budget_pow;
         let mut max_sum_err = 0.0f64;
         let stats = run_trials(10, |seed| {
-            let mut s = SampledVector::new(100 + seed, budget);
+            let mut s: SampledVector = build(
+                &SketchSpec::new(SketchFamily::SampledVector)
+                    .with_n(1 << 12)
+                    .with_alpha(alpha)
+                    .with_epsilon(eps)
+                    .with_budget(budget)
+                    .with_seed(100 + seed),
+            );
             StreamRunner::new().run(&mut s, &stream);
             let worst = truth
                 .support()

@@ -4,10 +4,10 @@
 //!
 //! Run: `cargo run --release -p bd-bench --bin e3_csss_error`
 
-use bd_bench::Table;
-use bd_core::{Csss, Params};
+use bd_bench::{build, Table};
+use bd_core::Csss;
 use bd_stream::gen::BoundedDeletionGen;
-use bd_stream::{FrequencyVector, SpaceUsage, StreamRunner};
+use bd_stream::{FrequencyVector, SketchFamily, SketchSpec, SpaceUsage, StreamRunner};
 
 fn main() {
     let eps = 0.1f64;
@@ -30,8 +30,15 @@ fn main() {
         let truth = FrequencyVector::from_stream(&stream);
         let bound = 2.0 * (truth.err_k(k, 2) / (k as f64).sqrt() + eps * truth.l1() as f64);
 
-        let params = Params::practical(stream.n, eps, alpha);
-        let mut csss = Csss::new(17, k, params.depth, params.csss_sample_budget());
+        // Budget defaults to Params::csss_sample_budget() for (ε, α).
+        let mut csss: Csss = build(
+            &SketchSpec::new(SketchFamily::Csss)
+                .with_n(stream.n)
+                .with_epsilon(eps)
+                .with_alpha(alpha)
+                .with_k(k)
+                .with_seed(17),
+        );
         StreamRunner::new().run(&mut csss, &stream);
         let mut errs: Vec<f64> = truth
             .support()

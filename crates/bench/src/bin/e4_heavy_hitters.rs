@@ -3,11 +3,11 @@
 //!
 //! Run: `cargo run --release -p bd-bench --bin e4_heavy_hitters`
 
-use bd_bench::{fmt_bits, Table};
-use bd_core::{AlphaHeavyHitters, Params};
+use bd_bench::{build, fmt_bits, Table};
+use bd_core::AlphaHeavyHitters;
 use bd_sketch::CountSketch;
 use bd_stream::gen::BoundedDeletionGen;
-use bd_stream::{FrequencyVector, Sketch, SpaceUsage, StreamRunner};
+use bd_stream::{FrequencyVector, Sketch, SketchFamily, SketchSpec, SpaceUsage, StreamRunner};
 
 fn main() {
     println!("E4 — L1 ε-heavy hitters (Theorems 3–4), strict turnstile, m = 1M\n");
@@ -29,11 +29,21 @@ fn main() {
             let seed = (alpha as u64) << 8 | (100.0 * eps) as u64;
             let stream = BoundedDeletionGen::new(1 << 18, 1_000_000, alpha).generate_seeded(seed);
             let truth = FrequencyVector::from_stream(&stream);
-            let mut params = Params::practical(stream.n, eps, alpha);
-            params.sample_const = 4.0;
-            let mut hh = AlphaHeavyHitters::new_strict(seed + 1, &params);
-            let mut base =
-                CountSketch::<i64>::new(seed + 2, params.depth, 6 * (8.0 / eps) as usize);
+            // c = 4 keeps thinning active at bench scale (E1's convention).
+            let mut hh: AlphaHeavyHitters = build(
+                &SketchSpec::new(SketchFamily::AlphaHh)
+                    .with_n(stream.n)
+                    .with_epsilon(eps)
+                    .with_alpha(alpha)
+                    .with_c(4.0)
+                    .with_seed(seed + 1),
+            );
+            let mut base: CountSketch<i64> = build(
+                &SketchSpec::new(SketchFamily::CountSketch)
+                    .with_n(stream.n)
+                    .with_epsilon(eps)
+                    .with_seed(seed + 2),
+            );
             StreamRunner::new().run_each(&mut [&mut hh as &mut dyn Sketch, &mut base], &stream);
             let got: Vec<u64> = hh.query().into_iter().map(|(i, _)| i).collect();
             let exact = truth.l1_heavy_hitters(eps);

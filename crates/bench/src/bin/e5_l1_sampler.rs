@@ -4,10 +4,10 @@
 //!
 //! Run: `cargo run --release -p bd-bench --bin e5_l1_sampler`
 
-use bd_bench::Table;
-use bd_core::{AlphaL1Sampler, Params, SampleOutcome};
+use bd_bench::{build, Table};
+use bd_core::{AlphaL1Sampler, SampleOutcome};
 use bd_stream::gen::StrongAlphaGen;
-use bd_stream::{FrequencyVector, StreamRunner};
+use bd_stream::{FrequencyVector, SketchFamily, SketchSpec, StreamRunner};
 use std::collections::HashMap;
 
 fn main() {
@@ -20,14 +20,18 @@ fn main() {
         let stream = StrongAlphaGen::new(64, 40, alpha).generate_seeded(alpha as u64);
         let truth = FrequencyVector::from_stream(&stream);
         let l1 = truth.l1() as f64;
-        let params = Params::practical(64, 0.25, alpha).with_delta(0.5);
+        let spec = SketchSpec::new(SketchFamily::AlphaL1Sampler)
+            .with_n(64)
+            .with_epsilon(0.25)
+            .with_alpha(alpha)
+            .with_delta(0.5);
 
         let mut counts: HashMap<u64, usize> = HashMap::new();
         let mut draws = 0usize;
         let mut fails = 0usize;
         let mut worst_est = 0.0f64;
         for seed in 0..250u64 {
-            let mut s = AlphaL1Sampler::new(1000 + seed, &params);
+            let mut s: AlphaL1Sampler = build(&spec.with_seed(1000 + seed));
             StreamRunner::new().run(&mut s, &stream);
             match s.query() {
                 SampleOutcome::Sample { item, estimate } => {

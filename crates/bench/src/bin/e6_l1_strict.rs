@@ -3,10 +3,10 @@
 //!
 //! Run: `cargo run --release -p bd-bench --bin e6_l1_strict`
 
-use bd_bench::{rel_err, run_trials, Table};
+use bd_bench::{build, rel_err, run_trials, Table};
 use bd_core::{AlphaL1Estimator, Params};
 use bd_stream::gen::BoundedDeletionGen;
-use bd_stream::{FrequencyVector, SpaceUsage, StreamRunner};
+use bd_stream::{FrequencyVector, SketchFamily, SketchSpec, SpaceUsage, StreamRunner};
 
 fn main() {
     println!("E6 — strict-turnstile L1 (Figure 4 / Theorem 6), m = 1M\n");
@@ -24,10 +24,14 @@ fn main() {
         let stream =
             BoundedDeletionGen::new(1 << 14, 1_000_000, alpha).generate_seeded(alpha as u64 + 5);
         let truth = FrequencyVector::from_stream(&stream).l1() as f64;
-        let params = Params::practical(stream.n, 0.2, alpha);
+        let spec = SketchSpec::new(SketchFamily::AlphaL1)
+            .with_n(stream.n)
+            .with_epsilon(0.2)
+            .with_alpha(alpha);
+        let params = Params::from_spec(&spec);
         let mut bits = 0u64;
         let stats = run_trials(10, |seed| {
-            let mut e = AlphaL1Estimator::new(50 + seed, &params);
+            let mut e: AlphaL1Estimator = build(&spec.with_seed(50 + seed));
             StreamRunner::new().run(&mut e, &stream);
             bits = bits.max(e.space_bits());
             let err = rel_err(e.estimate(), truth);
@@ -53,7 +57,12 @@ fn main() {
     let truth = FrequencyVector::from_stream(&stream).l1() as f64;
     for budget_pow in [6u32, 8, 10] {
         let stats = run_trials(10, |seed| {
-            let mut e = AlphaL1Estimator::with_budget(200 + seed, 1 << budget_pow);
+            let mut e: AlphaL1Estimator = build(
+                &SketchSpec::new(SketchFamily::AlphaL1)
+                    .with_n(1 << 14)
+                    .with_budget(1 << budget_pow)
+                    .with_seed(200 + seed),
+            );
             StreamRunner::new().run(&mut e, &stream);
             let err = rel_err(e.estimate(), truth);
             (err, err < 0.5)

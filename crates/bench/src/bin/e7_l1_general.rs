@@ -4,11 +4,11 @@
 //!
 //! Run: `cargo run --release -p bd-bench --bin e7_l1_general`
 
-use bd_bench::{fmt_bits, rel_err, Table};
-use bd_core::{AlphaL1General, Params};
+use bd_bench::{build, fmt_bits, rel_err, Table};
+use bd_core::AlphaL1General;
 use bd_sketch::LogCosL1;
 use bd_stream::gen::NetworkDiffGen;
-use bd_stream::{FrequencyVector, Sketch, SpaceUsage, StreamRunner};
+use bd_stream::{FrequencyVector, Sketch, SketchFamily, SketchSpec, SpaceUsage, StreamRunner};
 
 fn main() {
     let eps = 0.2;
@@ -29,9 +29,19 @@ fn main() {
         let stream = NetworkDiffGen::new(1 << 20, 150_000, churn).generate_seeded(seed);
         let truth = FrequencyVector::from_stream(&stream);
         let alpha = truth.alpha_l1().max(1.0);
-        let params = Params::practical(stream.n, eps, alpha);
-        let mut ours = AlphaL1General::new(seed + 1, &params);
-        let mut base = LogCosL1::new(seed + 2, eps);
+        let mut ours: AlphaL1General = build(
+            &SketchSpec::new(SketchFamily::AlphaL1General)
+                .with_n(stream.n)
+                .with_epsilon(eps)
+                .with_alpha(alpha)
+                .with_seed(seed + 1),
+        );
+        let mut base: LogCosL1 = build(
+            &SketchSpec::new(SketchFamily::LogCosL1)
+                .with_n(stream.n)
+                .with_epsilon(eps)
+                .with_seed(seed + 2),
+        );
         StreamRunner::new().run_each(&mut [&mut ours as &mut dyn Sketch, &mut base], &stream);
         let t = truth.l1() as f64;
         table.row(vec![

@@ -3,11 +3,11 @@
 //!
 //! Run: `cargo run --release -p bd-bench --bin e8_l0`
 
-use bd_bench::{fmt_bits, rel_err, run_trials, Table};
-use bd_core::{AlphaL0Estimator, Params};
+use bd_bench::{build, fmt_bits, rel_err, run_trials, Table};
+use bd_core::AlphaL0Estimator;
 use bd_sketch::L0Estimator;
 use bd_stream::gen::L0AlphaGen;
-use bd_stream::{FrequencyVector, Sketch, SpaceUsage, StreamRunner};
+use bd_stream::{FrequencyVector, Sketch, SketchFamily, SketchSpec, SpaceUsage, StreamRunner};
 
 fn main() {
     let eps = 0.15;
@@ -28,14 +28,20 @@ fn main() {
     for alpha in [1.5f64, 4.0, 16.0] {
         let stream = L0AlphaGen::new(n, 3_000, alpha).generate_seeded(alpha as u64);
         let truth = FrequencyVector::from_stream(&stream).l0() as f64;
-        let params = Params::practical(n, eps, alpha);
+        let ours_spec = SketchSpec::new(SketchFamily::AlphaL0)
+            .with_n(n)
+            .with_epsilon(eps)
+            .with_alpha(alpha);
+        let base_spec = SketchSpec::new(SketchFamily::L0Turnstile)
+            .with_n(n)
+            .with_epsilon(eps);
         let mut rows = 0usize;
         let mut our_bits = 0u64;
         let mut base_bits = 0u64;
         let mut base_errs = 0.0f64;
         let stats = run_trials(8, |seed| {
-            let mut ours = AlphaL0Estimator::new(700 + seed, &params);
-            let mut base = L0Estimator::new(800 + seed, n, eps);
+            let mut ours: AlphaL0Estimator = build(&ours_spec.with_seed(700 + seed));
+            let mut base: L0Estimator = build(&base_spec.with_seed(800 + seed));
             StreamRunner::new().run_each(&mut [&mut ours as &mut dyn Sketch, &mut base], &stream);
             rows = rows.max(ours.peak_live_rows());
             our_bits = our_bits.max(ours.space_bits());

@@ -4,11 +4,11 @@
 //!
 //! Run: `cargo run --release -p bd-bench --bin e9_support`
 
-use bd_bench::{fmt_bits, run_trials, Table};
-use bd_core::{AlphaSupportSampler, Params};
+use bd_bench::{build, fmt_bits, run_trials, Table};
+use bd_core::AlphaSupportSampler;
 use bd_sketch::SupportSamplerTurnstile;
 use bd_stream::gen::L0AlphaGen;
-use bd_stream::{FrequencyVector, Sketch, SpaceUsage, StreamRunner};
+use bd_stream::{FrequencyVector, Sketch, SketchFamily, SketchSpec, SpaceUsage, StreamRunner};
 
 fn main() {
     let n = 1u64 << 28;
@@ -28,13 +28,20 @@ fn main() {
     for (alpha, l0) in [(2.0f64, 500u64), (8.0, 500), (2.0, 5_000)] {
         let stream = L0AlphaGen::new(n, l0, alpha).generate_seeded(l0 ^ alpha as u64);
         let truth = FrequencyVector::from_stream(&stream);
-        let params = Params::practical(n, 0.25, alpha);
+        let ours_spec = SketchSpec::new(SketchFamily::AlphaSupport)
+            .with_n(n)
+            .with_epsilon(0.25)
+            .with_alpha(alpha)
+            .with_k(k);
+        let base_spec = SketchSpec::new(SketchFamily::SupportTurnstile)
+            .with_n(n)
+            .with_k(k);
         let mut invalid = 0usize;
         let mut our_bits = 0u64;
         let mut base_bits = 0u64;
         let stats = run_trials(8, |seed| {
-            let mut ours = AlphaSupportSampler::new(3000 + seed, &params, k);
-            let mut base = SupportSamplerTurnstile::new(4000 + seed, n, k);
+            let mut ours: AlphaSupportSampler = build(&ours_spec.with_seed(3000 + seed));
+            let mut base: SupportSamplerTurnstile = build(&base_spec.with_seed(4000 + seed));
             StreamRunner::new().run_each(&mut [&mut ours as &mut dyn Sketch, &mut base], &stream);
             let got = ours.query();
             invalid += got.iter().filter(|&&i| truth.get(i) == 0).count();

@@ -1,0 +1,300 @@
+//! `sketchctl` — drive any sketch in the workspace catalog by spec string.
+//!
+//! ```text
+//! sketchctl families                      list every family + capabilities
+//! sketchctl workloads                     list the workload grammar
+//! sketchctl parse  <spec>                 normalize/validate a spec string
+//! sketchctl run    <spec> [workload]      build, ingest, query, score
+//! sketchctl shard  <spec> [workload] [w]  sharded ingest + merge (mergeable families)
+//! ```
+//!
+//! Examples:
+//!
+//! ```text
+//! cargo run --release -p bd-bench --bin sketchctl -- families
+//! cargo run --release -p bd-bench --bin sketchctl -- \
+//!     run csss:n=2^16,eps=0.05,alpha=8,seed=42 bounded:n=2^16,mass=400000,alpha=8
+//! cargo run --release -p bd-bench --bin sketchctl -- \
+//!     shard countsketch:n=2^16,eps=0.1 bounded:n=2^16,mass=400000,alpha=4 8
+//! ```
+//!
+//! `run` ingests the workload through the `StreamRunner`, then exercises
+//! every capability the family's registry descriptor advertises, scoring
+//! each answer against the exact `FrequencyVector` ground truth.
+
+use bd_bench::workload;
+use bd_bench::{fmt_bits, registry, Table};
+use bd_stream::{DynSketch, FrequencyVector, SampleOutcome, SketchSpec, StreamBatch, StreamRunner};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: sketchctl <families|workloads|parse <spec>|run <spec> [workload]|shard <spec> [workload] [shards]>"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("families") => families(),
+        Some("workloads") => workloads(),
+        Some("parse") => match args.get(1) {
+            Some(s) => parse(s),
+            None => usage(),
+        },
+        Some("run") => match args.get(1) {
+            Some(s) => run(s, args.get(2).map(String::as_str)),
+            None => usage(),
+        },
+        Some("shard") => match args.get(1) {
+            Some(s) => shard(
+                s,
+                args.get(2).map(String::as_str),
+                args.get(3).and_then(|w| w.parse().ok()).unwrap_or(4),
+            ),
+            None => usage(),
+        },
+        _ => usage(),
+    }
+}
+
+fn families() -> ExitCode {
+    let mut table = Table::new(
+        "sketch families (build any of these with `run <family>:key=val,...`)",
+        &["family", "capabilities", "space formula", "summary"],
+    );
+    for info in registry().families() {
+        table.row(vec![
+            info.family.to_string(),
+            info.caps.to_string(),
+            info.space.to_string(),
+            info.summary.to_string(),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nspec keys: n, eps, alpha, delta, seed, regime=practical|theory, \
+         k, budget, c, depth, width"
+    );
+    ExitCode::SUCCESS
+}
+
+fn workloads() -> ExitCode {
+    let mut table = Table::new("workload grammar", &["name", "description"]);
+    for (name, desc) in workload::WORKLOADS {
+        table.row(vec![name.to_string(), desc.to_string()]);
+    }
+    table.print();
+    ExitCode::SUCCESS
+}
+
+fn parse(s: &str) -> ExitCode {
+    match s.parse::<SketchSpec>() {
+        Ok(spec) => {
+            println!("{spec}");
+            match registry().info(spec.family) {
+                Some(info) => println!("caps: {} | space: {}", info.caps, info.space),
+                None => println!("(family not registered)"),
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn load(spec_str: &str, wl: Option<&str>) -> Result<(SketchSpec, StreamBatch), String> {
+    let spec: SketchSpec = spec_str.parse().map_err(|e| format!("{e}"))?;
+    // Default workload: a bounded-deletion stream matching the spec's own
+    // (n, α) promise.
+    let wl = wl.map(str::to_string).unwrap_or_else(|| {
+        format!(
+            "bounded:n={},mass=200000,alpha={},seed=1",
+            spec.n, spec.alpha
+        )
+    });
+    let stream = workload::generate(&wl).map_err(|e| format!("{e}"))?;
+    Ok((spec, stream))
+}
+
+/// Exercise every advertised capability against exact ground truth.
+fn score(sk: &dyn DynSketch, truth: &FrequencyVector, epsilon: f64) {
+    if let Some(p) = sk.as_point() {
+        let mut worst = 0.0f64;
+        let mut shown = 0;
+        println!("\npoint queries (top of true support):");
+        let mut support: Vec<u64> = truth.support();
+        support.sort_by_key(|&i| std::cmp::Reverse(truth.get(i).unsigned_abs()));
+        for &i in &support {
+            let (est, exact) = (p.point(i), truth.get(i) as f64);
+            worst = worst.max((est - exact).abs());
+            if shown < 5 {
+                println!("  item {i:>12}: estimate {est:>12.1}, true {exact:>10}");
+                shown += 1;
+            }
+        }
+        println!(
+            "  worst |est − true| over the support: {worst:.1} (ε·‖f‖₁ = {:.1})",
+            truth.l1() as f64 * epsilon
+        );
+    }
+    if let Some(nrm) = sk.as_norm() {
+        println!("\nnorm estimate: {:.1}", nrm.norm_estimate());
+        println!(
+            "  (exact ‖f‖₁ = {}, ‖f‖₀ = {}, ‖f‖₂ = {:.1}, F₀ = {} — which norm is \
+             the family's contract)",
+            truth.l1(),
+            truth.l0(),
+            truth.l2(),
+            truth.f0()
+        );
+    }
+    if let Some(s) = sk.as_sample() {
+        match s.sample() {
+            SampleOutcome::Sample { item, estimate } => println!(
+                "\nsample: item {item} (estimate {estimate:.1}, true {})",
+                truth.get(item)
+            ),
+            SampleOutcome::Fail => println!("\nsample: FAIL (allowed with probability δ)"),
+        }
+    }
+    if let Some(sp) = sk.as_support() {
+        let got = sp.support_query();
+        let valid = got.iter().filter(|&&i| truth.get(i) != 0).count();
+        println!(
+            "\nsupport recovery: {} items, {valid} valid (true ‖f‖₀ = {})",
+            got.len(),
+            truth.l0()
+        );
+    }
+}
+
+fn run(spec_str: &str, wl: Option<&str>) -> ExitCode {
+    let (spec, stream) = match load(spec_str, wl) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut sk = match registry().build(&spec) {
+        Ok(sk) => sk,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let truth = FrequencyVector::from_stream(&stream);
+    println!(
+        "spec     {spec}\nworkload {} updates over n = {}, realized α₁ = {:.2}",
+        stream.len(),
+        stream.n,
+        truth.alpha_l1()
+    );
+    let report = StreamRunner::new().run(&mut *sk, &stream);
+    println!(
+        "ingest   {:.2} M updates/s, space {}",
+        report.updates_per_sec() / 1e6,
+        fmt_bits(report.space_bits())
+    );
+    score(sk.as_ref(), &truth, spec.epsilon);
+    ExitCode::SUCCESS
+}
+
+/// Split the stream across `shards` identically-seeded copies, merge, and
+/// verify the merged sketch agrees with a single-pass build.
+fn shard(spec_str: &str, wl: Option<&str>, shards: usize) -> ExitCode {
+    let (spec, stream) = match load(spec_str, wl) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let reg = registry();
+    let merge_bitwise = match reg.info(spec.family) {
+        Some(info) if info.caps.mergeable => info.caps.merge_bitwise,
+        Some(info) => {
+            eprintln!(
+                "family `{}` is not mergeable (caps: {})",
+                info.family, info.caps
+            );
+            return ExitCode::FAILURE;
+        }
+        None => {
+            eprintln!("family `{}` is not registered", spec.family);
+            return ExitCode::FAILURE;
+        }
+    };
+    if stream.updates.is_empty() {
+        eprintln!("workload generated no updates — nothing to shard");
+        return ExitCode::FAILURE;
+    }
+    let shards = shards.clamp(1, 64);
+    let mut parts: Vec<Box<dyn DynSketch>> = (0..shards)
+        .map(|_| reg.build(&spec).expect("validated above"))
+        .collect();
+    let runner = StreamRunner::new();
+    let per = stream.updates.len().div_ceil(shards).max(1);
+    for (part, chunk) in parts.iter_mut().zip(stream.updates.chunks(per)) {
+        runner.run_updates(&mut **part, chunk);
+    }
+    let mut merged = parts.remove(0);
+    for part in &parts {
+        merged
+            .merge_dyn(part.as_ref())
+            .expect("same family, same spec");
+    }
+    let mut single = reg.build(&spec).expect("validated above");
+    runner.run(&mut *single, &stream);
+    let truth = FrequencyVector::from_stream(&stream);
+    println!(
+        "spec     {spec}\nsharded  {} ways over {} updates; merged space {}",
+        shards,
+        stream.len(),
+        fmt_bits(merged.space_bits())
+    );
+    // Bit-identity to the single-pass sketch only holds for deterministic
+    // mergers (the `merge_bitwise` capability); sampling mergers (CSSS,
+    // the sampled vector) consume RNG draws while thinning and are only
+    // distributionally equivalent, so they are scored against ground
+    // truth instead.
+    if merge_bitwise {
+        let probe = |sk: &dyn DynSketch| -> Vec<u64> {
+            let mut out = Vec::new();
+            if let Some(p) = sk.as_point() {
+                out.extend((0..1024u64.min(stream.n)).map(|i| p.point(i).to_bits()));
+            }
+            if let Some(nm) = sk.as_norm() {
+                out.push(nm.norm_estimate().to_bits());
+            }
+            if let Some(sp) = sk.as_support() {
+                out.extend(sp.support_query());
+            }
+            out
+        };
+        let agree = probe(merged.as_ref()) == probe(single.as_ref());
+        println!(
+            "merge ≡ single-pass on query probes: {}",
+            if agree {
+                "bit-identical ✓"
+            } else {
+                "MISMATCH ✗"
+            }
+        );
+        if !agree {
+            return ExitCode::FAILURE;
+        }
+    } else {
+        println!(
+            "merge is statistical for `{}` (thinning consumes RNG draws) — \
+             scoring the merged sketch against exact ground truth below",
+            spec.family
+        );
+    }
+    score(merged.as_ref(), &truth, spec.epsilon);
+    ExitCode::SUCCESS
+}

@@ -12,8 +12,16 @@
 //! `harness = false` binaries built on `micro`).
 
 pub mod micro;
+pub mod workload;
 
 use std::fmt::Display;
+
+/// The cached workspace sketch catalog and the typed spec-construction
+/// helper, shared with the facade crate: every experiment binary and bench
+/// constructs its sketches through these — specs in, sketches out — so a
+/// new family registered in its defining crate is immediately drivable
+/// here with no harness change.
+pub use bounded_deletions::{build_sketch as build, registry};
 
 /// A plain-text aligned table, printed in the style of the paper's Figure 1.
 #[derive(Clone, Debug, Default)]

@@ -1,0 +1,218 @@
+//! Compact workload strings for `sketchctl` and spec-driven drivers.
+//!
+//! The same `name:key=value,...` grammar as sketch specs, naming the stream
+//! generators in `bd_stream::gen`:
+//!
+//! ```text
+//! bounded:n=2^16,mass=100000,alpha=4,distinct=128,zipf=1.3,seed=7
+//! l0:n=2^28,l0=3000,alpha=4
+//! strong:n=1024,distinct=300,alpha=2
+//! network:n=2^24,mass=200000,churn=0.1
+//! rdc:n=2^40,blocks=50000,edit=0.25
+//! sensor:n=2^28,core=2000,transient=6000
+//! unbounded:n=2^16,mass=100000,survivors=100
+//! ```
+//!
+//! Omitted keys take the defaults shown by `sketchctl workloads`.
+
+use bd_stream::gen::{
+    BoundedDeletionGen, L0AlphaGen, NetworkDiffGen, RdcGen, SensorGen, StrongAlphaGen,
+    UnboundedDeletionGen,
+};
+use bd_stream::StreamBatch;
+
+/// A parse failure, with enough context to fix the string.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkloadError(pub String);
+
+impl std::fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bad workload: {}", self.0)
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+/// The workload grammar's catalog, for `sketchctl workloads`.
+pub const WORKLOADS: &[(&str, &str)] = &[
+    (
+        "bounded",
+        "Zipfian strict-turnstile stream with deletion bound alpha \
+         (n, mass, alpha, distinct, zipf, seed)",
+    ),
+    (
+        "l0",
+        "occupancy stream with final L0 support and F0/L0 = alpha (n, l0, alpha, seed)",
+    ),
+    (
+        "strong",
+        "strong-alpha-property churn stream (n, distinct, alpha, seed)",
+    ),
+    (
+        "network",
+        "traffic-differencing stream, fraction churn of flows drift (n, mass, churn, seed)",
+    ),
+    (
+        "rdc",
+        "remote-differential-compression block diff (n, blocks, edit, seed)",
+    ),
+    (
+        "sensor",
+        "clustered-sensor occupancy with transient churn (n, core, transient, seed)",
+    ),
+    (
+        "unbounded",
+        "adversarial turnstile stream: mass inserted, few survivors (n, mass, survivors, seed)",
+    ),
+];
+
+// Workload strings share the spec grammar's numeric parsers (`2^k`
+// powers, integral scientific floats, saturation guards) — one grammar,
+// defined once in `bd_stream::spec`.
+fn parse_u64(key: &'static str, v: &str) -> Result<u64, WorkloadError> {
+    bd_stream::spec::parse_u64(key, v).map_err(|e| WorkloadError(e.to_string()))
+}
+
+fn parse_f64(key: &'static str, v: &str) -> Result<f64, WorkloadError> {
+    bd_stream::spec::parse_f64(key, v).map_err(|e| WorkloadError(e.to_string()))
+}
+
+/// Parse and generate a workload stream from its compact string.
+pub fn generate(s: &str) -> Result<StreamBatch, WorkloadError> {
+    let s = s.trim();
+    let (name, rest) = match s.split_once(':') {
+        Some((n, r)) => (n.trim(), r),
+        None => (s, ""),
+    };
+    let mut kv: Vec<(String, String)> = Vec::new();
+    for pair in rest.split(',').filter(|p| !p.trim().is_empty()) {
+        let (k, v) = pair
+            .split_once('=')
+            .ok_or_else(|| WorkloadError(format!("`{pair}` is not key=value")))?;
+        kv.push((k.trim().to_string(), v.trim().to_string()));
+    }
+    let get = |key: &str| kv.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str());
+    let known = |keys: &[&str]| -> Result<(), WorkloadError> {
+        for (k, _) in &kv {
+            if !keys.contains(&k.as_str()) && k != "seed" {
+                return Err(WorkloadError(format!(
+                    "unknown key `{k}` for `{name}` (known: {}, seed)",
+                    keys.join(", ")
+                )));
+            }
+        }
+        Ok(())
+    };
+    let seed = match get("seed") {
+        Some(v) => parse_u64("seed", v)?,
+        None => 1,
+    };
+    let stream = match name {
+        "bounded" => {
+            known(&["n", "mass", "alpha", "distinct", "zipf"])?;
+            let n = parse_u64("n", get("n").unwrap_or("2^16"))?;
+            let mass = parse_u64("mass", get("mass").unwrap_or("100000"))?;
+            let alpha = parse_f64("alpha", get("alpha").unwrap_or("4"))?;
+            let mut g = BoundedDeletionGen::new(n, mass, alpha);
+            if let Some(d) = get("distinct") {
+                g.distinct = parse_u64("distinct", d)? as usize;
+            }
+            if let Some(z) = get("zipf") {
+                g.zipf_s = parse_f64("zipf", z)?;
+            }
+            g.generate_seeded(seed)
+        }
+        "l0" => {
+            known(&["n", "l0", "alpha"])?;
+            L0AlphaGen::new(
+                parse_u64("n", get("n").unwrap_or("2^28"))?,
+                parse_u64("l0", get("l0").unwrap_or("3000"))?,
+                parse_f64("alpha", get("alpha").unwrap_or("4"))?,
+            )
+            .generate_seeded(seed)
+        }
+        "strong" => {
+            known(&["n", "distinct", "alpha"])?;
+            StrongAlphaGen::new(
+                parse_u64("n", get("n").unwrap_or("1024"))?,
+                parse_u64("distinct", get("distinct").unwrap_or("300"))? as usize,
+                parse_f64("alpha", get("alpha").unwrap_or("3"))?,
+            )
+            .generate_seeded(seed)
+        }
+        "network" => {
+            known(&["n", "mass", "churn"])?;
+            NetworkDiffGen::new(
+                parse_u64("n", get("n").unwrap_or("2^24"))?,
+                parse_u64("mass", get("mass").unwrap_or("200000"))?,
+                parse_f64("churn", get("churn").unwrap_or("0.1"))?,
+            )
+            .generate_seeded(seed)
+        }
+        "rdc" => {
+            known(&["n", "blocks", "edit"])?;
+            RdcGen::new(
+                parse_u64("n", get("n").unwrap_or("2^40"))?,
+                parse_u64("blocks", get("blocks").unwrap_or("50000"))?,
+                parse_f64("edit", get("edit").unwrap_or("0.25"))?,
+            )
+            .generate_seeded(seed)
+        }
+        "sensor" => {
+            known(&["n", "core", "transient"])?;
+            SensorGen::new(
+                parse_u64("n", get("n").unwrap_or("2^28"))?,
+                parse_u64("core", get("core").unwrap_or("2000"))?,
+                parse_u64("transient", get("transient").unwrap_or("6000"))?,
+            )
+            .generate_seeded(seed)
+        }
+        "unbounded" => {
+            known(&["n", "mass", "survivors"])?;
+            UnboundedDeletionGen::new(
+                parse_u64("n", get("n").unwrap_or("2^16"))?,
+                parse_u64("mass", get("mass").unwrap_or("100000"))?,
+                parse_u64("survivors", get("survivors").unwrap_or("100"))?,
+            )
+            .generate_seeded(seed)
+        }
+        other => {
+            return Err(WorkloadError(format!(
+                "unknown workload `{other}` (known: {})",
+                WORKLOADS
+                    .iter()
+                    .map(|(n, _)| *n)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )))
+        }
+    };
+    Ok(stream)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_each_catalogued_workload() {
+        for (name, _) in WORKLOADS {
+            let s = generate(&format!("{name}:seed=3")).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(!s.updates.is_empty(), "{name} generated an empty stream");
+        }
+    }
+
+    #[test]
+    fn seeded_generation_is_deterministic() {
+        let a = generate("bounded:n=2^12,mass=5000,alpha=3,seed=9").unwrap();
+        let b = generate("bounded:n=2^12,mass=5000,alpha=3,seed=9").unwrap();
+        assert_eq!(a.updates, b.updates);
+    }
+
+    #[test]
+    fn rejects_unknown_names_and_keys() {
+        assert!(generate("frob:n=4").is_err());
+        assert!(generate("bounded:survivors=3").is_err());
+        assert!(generate("bounded:n").is_err());
+    }
+}

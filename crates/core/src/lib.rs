@@ -54,6 +54,7 @@ pub mod l1_sampler;
 pub mod l1_strict;
 pub mod l2_heavy_hitters;
 pub mod params;
+pub mod registry;
 pub mod sampling;
 pub mod support_sampler;
 
@@ -68,6 +69,7 @@ pub use l1_sampler::{AlphaL1Sampler, AlphaL1SamplerInstance};
 pub use l1_strict::AlphaL1Estimator;
 pub use l2_heavy_hitters::AlphaL2HeavyHitters;
 pub use params::Params;
+pub use registry::{register, registry};
 pub use sampling::SampledVector;
 pub use support_sampler::{AlphaSupportSampler, AlphaSupportSamplerSet};
 

@@ -13,8 +13,12 @@
 //! * [`Params::practical`] — tuned leading constants that make laptop-scale
 //!   streams informative (the default).
 //!
-//! DESIGN.md §3 documents this substitution; EXPERIMENTS.md reports the
-//! measured guarantees under it.
+//! The substitution is documented in `DESIGN.md §3` (repo root), and the
+//! experiment binaries in `bd-bench` (`e1`–`e14`, `DESIGN.md §5`) measure
+//! the guarantees that hold under it. In the spec layer, the two regimes
+//! are `regime=theory` / `regime=practical`, and
+//! [`Params::from_spec`](crate::registry) derives a `Params` from any
+//! [`bd_stream::SketchSpec`].
 
 /// Shared sizing inputs for the α-property algorithms.
 #[derive(Clone, Copy, Debug)]
@@ -69,7 +73,8 @@ impl Params {
     }
 
     /// The CSSS sample budget `S = Θ(α²/ε² · T²·log n)`; practically
-    /// `sample_const · α²/ε³` (one `T` power retained — see DESIGN.md §3).
+    /// `sample_const · α²/ε³` (one `T` power retained — see `DESIGN.md §3`
+    /// at the repo root for the substitution argument).
     pub fn csss_sample_budget(&self) -> u64 {
         let s = self.sample_const * self.alpha * self.alpha / self.epsilon.powi(3);
         (s.ceil() as u64).max(64)

@@ -38,6 +38,7 @@ pub mod l0_turnstile;
 pub mod l1_sampler_turnstile;
 pub mod l1_turnstile;
 pub mod morris;
+pub mod registry;
 pub mod rough_f0;
 pub mod rough_l0;
 pub mod small_f0;
@@ -54,6 +55,7 @@ pub use l0_turnstile::L0Estimator;
 pub use l1_sampler_turnstile::{L1SamplerTurnstile, PrecisionSamplerInstance, SampleOutcome};
 pub use l1_turnstile::{LogCosL1, MedianL1};
 pub use morris::MorrisCounter;
+pub use registry::register as register_baselines;
 pub use rough_f0::RoughF0;
 pub use rough_l0::{RoughL0, RoughL0Config};
 pub use small_f0::{SmallF0, SmallF0Result};

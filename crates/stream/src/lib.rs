@@ -21,6 +21,12 @@
 //!
 //! * [`sketch`] — the [`Sketch`](sketch::Sketch) trait family and batch
 //!   aggregation helpers;
+//! * [`spec`] — the declarative [`SketchSpec`](spec::SketchSpec)
+//!   construction currency (`"csss:n=1e6,eps=0.05,alpha=8,seed=42"`);
+//! * [`registry`] — the family → builder catalog
+//!   ([`Registry`](registry::Registry)) with per-family capability
+//!   descriptors and the object-safe [`DynSketch`](registry::DynSketch)
+//!   query surface;
 //! * [`runner`] — [`StreamRunner`](runner::StreamRunner) and
 //!   [`RunReport`](runner::RunReport);
 //! * [`update`] — items, updates `(i, Δ)`, and [`update::StreamBatch`];
@@ -33,17 +39,23 @@
 //!   measurement behind every Figure 1 comparison.
 
 pub mod gen;
+pub mod registry;
 pub mod runner;
 pub mod sketch;
 pub mod space;
+pub mod spec;
 pub mod update;
 pub mod vector;
 
+pub use registry::{
+    BuildFn, Capabilities, DynSketch, FamilyInfo, Registry, RegistryError, SpaceInputs,
+};
 pub use runner::{RunReport, StreamRunner};
 pub use sketch::{
     aggregate_net, aggregate_signed_mass, Mergeable, NormEstimate, PointQuery, SampleOutcome,
-    SampleQuery, Sketch,
+    SampleQuery, Sketch, SupportQuery,
 };
 pub use space::{MaxMag, SpaceReport, SpaceUsage};
+pub use spec::{Regime, SketchFamily, SketchSpec, SpecError};
 pub use update::{Item, StreamBatch, Update};
 pub use vector::FrequencyVector;

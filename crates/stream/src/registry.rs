@@ -1,0 +1,481 @@
+//! The sketch registry: one way to build every sketch.
+//!
+//! A [`Registry`] maps every [`SketchFamily`] to a builder
+//! `fn(&SketchSpec) -> Box<dyn DynSketch>` plus a [`FamilyInfo`] capability
+//! descriptor (which queries the family answers, whether it merges, which of
+//! `(n, ε, α, δ)` drive its space formula). Generic drivers — the
+//! conformance suite, the `sketchctl` CLI, benches, a future service layer —
+//! instantiate any structure by name through [`Registry::build`] /
+//! [`Registry::build_pair`] / [`Registry::build_str`] and never see a
+//! concrete constructor.
+//!
+//! This crate defines the mechanism and registers its own reference sketch
+//! (the exact [`FrequencyVector`]); `bd-sketch` and `bd-core` register their
+//! structures via their `register` functions, and `bd_core::registry()`
+//! assembles the full workspace catalog. Registration is explicit — the
+//! offline build has no inventory/linkme-style link-time collection — and
+//! `tests/spec.rs` asserts the catalog covers every `Sketch` impl in the
+//! workspace.
+//!
+//! [`DynSketch`] is the object-safe view a built sketch presents: ingestion
+//! via [`Sketch`], plus *optional* dynamic access to each capability trait
+//! ([`PointQuery`], [`NormEstimate`], [`SampleQuery`], [`SupportQuery`]) and
+//! type-checked dynamic merging. Defining crates wire it up with the
+//! [`impl_dyn_sketch!`](crate::impl_dyn_sketch) macro, naming exactly the
+//! capabilities the type implements.
+
+use std::any::Any;
+use std::fmt;
+
+use crate::sketch::{NormEstimate, PointQuery, SampleQuery, Sketch, SupportQuery};
+use crate::spec::{SketchFamily, SketchSpec, SpecError};
+use crate::vector::FrequencyVector;
+
+/// Object-safe view of a registry-built sketch: ingestion plus optional
+/// dynamic query capabilities.
+///
+/// Implement via [`impl_dyn_sketch!`](crate::impl_dyn_sketch); every
+/// accessor defaults to "capability absent".
+pub trait DynSketch: Sketch {
+    /// `&self` as `Any`, for capability-preserving downcasts.
+    fn as_any(&self) -> &dyn Any;
+
+    /// `Box<Self>` as `Box<dyn Any>`, for [`Registry::build_as`].
+    fn into_any(self: Box<Self>) -> Box<dyn Any>;
+
+    /// Point-query view, if the family answers per-item estimates.
+    fn as_point(&self) -> Option<&dyn PointQuery> {
+        None
+    }
+
+    /// Norm-estimate view, if the family answers a scalar statistic.
+    fn as_norm(&self) -> Option<&dyn NormEstimate> {
+        None
+    }
+
+    /// Sample-query view, if the family draws distributional samples.
+    fn as_sample(&self) -> Option<&dyn SampleQuery> {
+        None
+    }
+
+    /// Support-query view, if the family recovers explicit coordinates.
+    fn as_support(&self) -> Option<&dyn SupportQuery> {
+        None
+    }
+
+    /// Type-checked dynamic merge (`Mergeable::merge_from` behind `dyn`).
+    /// Errs for non-mergeable families or mismatched concrete types.
+    fn merge_dyn(&mut self, other: &dyn DynSketch) -> Result<(), RegistryError> {
+        let _ = other;
+        Err(RegistryError::NotMergeable)
+    }
+}
+
+/// Implement [`DynSketch`] for a sketch type, listing its capabilities.
+///
+/// ```ignore
+/// impl_dyn_sketch!(CountSketch<i64>, point, merge);
+/// impl_dyn_sketch!(MorrisCounter, norm);
+/// impl_dyn_sketch!(AlphaL1Sampler, sample);
+/// ```
+///
+/// Capabilities: `point`, `norm`, `sample`, `support`, `merge`. The listed
+/// set must match the type's actual trait impls (the registry's
+/// capability-consistency test builds each family and cross-checks).
+#[macro_export]
+macro_rules! impl_dyn_sketch {
+    ($ty:ty $(, $cap:ident)* $(,)?) => {
+        impl $crate::registry::DynSketch for $ty {
+            fn as_any(&self) -> &dyn ::std::any::Any {
+                self
+            }
+            fn into_any(self: ::std::boxed::Box<Self>) -> ::std::boxed::Box<dyn ::std::any::Any> {
+                self
+            }
+            $($crate::impl_dyn_sketch!(@cap $cap);)*
+        }
+    };
+    (@cap point) => {
+        fn as_point(&self) -> ::std::option::Option<&dyn $crate::PointQuery> {
+            ::std::option::Option::Some(self)
+        }
+    };
+    (@cap norm) => {
+        fn as_norm(&self) -> ::std::option::Option<&dyn $crate::NormEstimate> {
+            ::std::option::Option::Some(self)
+        }
+    };
+    (@cap sample) => {
+        fn as_sample(&self) -> ::std::option::Option<&dyn $crate::SampleQuery> {
+            ::std::option::Option::Some(self)
+        }
+    };
+    (@cap support) => {
+        fn as_support(&self) -> ::std::option::Option<&dyn $crate::SupportQuery> {
+            ::std::option::Option::Some(self)
+        }
+    };
+    (@cap merge) => {
+        fn merge_dyn(
+            &mut self,
+            other: &dyn $crate::registry::DynSketch,
+        ) -> ::std::result::Result<(), $crate::registry::RegistryError> {
+            match other.as_any().downcast_ref::<Self>() {
+                ::std::option::Option::Some(o) => {
+                    $crate::Mergeable::merge_from(self, o);
+                    ::std::result::Result::Ok(())
+                }
+                ::std::option::Option::None => {
+                    ::std::result::Result::Err($crate::registry::RegistryError::MergeTypeMismatch)
+                }
+            }
+        }
+    };
+}
+
+/// What a family can answer, and which contracts its ingestion honours.
+///
+/// `point`/`norm`/`sample`/`support`/`mergeable` mirror the capability
+/// traits. `batch_bitwise` asserts `update_batch` is bit-identical to the
+/// sequential loop under the family's conformance regime (false only for
+/// statistically-equivalent overrides); `linear` asserts
+/// `update(i,a); update(i,b) ≡ update(i,a+b)` under the same regime.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Capabilities {
+    /// Answers [`PointQuery`].
+    pub point: bool,
+    /// Answers [`NormEstimate`].
+    pub norm: bool,
+    /// Answers [`SampleQuery`].
+    pub sample: bool,
+    /// Answers [`SupportQuery`].
+    pub support: bool,
+    /// Implements [`Mergeable`](crate::Mergeable) (sharding hook).
+    pub mergeable: bool,
+    /// Merging is deterministic: merged shards are bit-identical to the
+    /// single-pass sketch in every regime. False for sampling mergers
+    /// (CSSS, the sampled vector), whose thinning-regime merges consume
+    /// RNG draws and are only distributionally equivalent.
+    pub merge_bitwise: bool,
+    /// `update_batch` ≡ sequential loop, bit for bit.
+    pub batch_bitwise: bool,
+    /// Updates compose additively per item.
+    pub linear: bool,
+}
+
+impl fmt::Display for Capabilities {
+    /// Compact tags, e.g. `point+merge+linear`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let tags: [(&str, bool); 5] = [
+            ("point", self.point),
+            ("norm", self.norm),
+            ("sample", self.sample),
+            ("support", self.support),
+            ("merge", self.mergeable),
+        ];
+        let mut first = true;
+        for (name, on) in tags {
+            if on {
+                if !first {
+                    f.write_str("+")?;
+                }
+                f.write_str(name)?;
+                first = false;
+            }
+        }
+        if first {
+            f.write_str("-")?;
+        }
+        Ok(())
+    }
+}
+
+/// Which of the spec's sizing fields the family's space formula reads.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpaceInputs {
+    /// Space depends on the universe size `n`.
+    pub n: bool,
+    /// Space depends on the accuracy `ε`.
+    pub epsilon: bool,
+    /// Space depends on the deletion bound `α`.
+    pub alpha: bool,
+    /// Space depends on the failure budget `δ`.
+    pub delta: bool,
+}
+
+/// The registry's capability descriptor for one family.
+#[derive(Clone, Copy, Debug)]
+pub struct FamilyInfo {
+    /// The family this entry describes.
+    pub family: SketchFamily,
+    /// One-line description for catalogs (`sketchctl families`, README).
+    pub summary: &'static str,
+    /// Query/merge/ingestion capabilities.
+    pub caps: Capabilities,
+    /// Which sizing fields drive the space formula.
+    pub inputs: SpaceInputs,
+    /// The space formula, human-readable (`"O(α²/ε³) cells of log(S) bits"`).
+    pub space: &'static str,
+    /// `std::any::type_name` of the concrete type the builder returns
+    /// (drives the registry-completeness test).
+    pub type_name: &'static str,
+}
+
+/// A family builder: a pure function of the spec. Determinism contract:
+/// equal specs must produce bit-identical sketches (all randomness derives
+/// from `spec.seed`).
+pub type BuildFn = fn(&SketchSpec) -> Box<dyn DynSketch>;
+
+/// Why a registry operation failed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RegistryError {
+    /// The spec's family has no registered builder.
+    Unregistered(SketchFamily),
+    /// The spec failed to parse or validate.
+    Spec(SpecError),
+    /// [`DynSketch::merge_dyn`] on a family without merge support.
+    NotMergeable,
+    /// [`DynSketch::merge_dyn`] across different concrete types.
+    MergeTypeMismatch,
+    /// [`Registry::build_as`] requested the wrong concrete type.
+    WrongType {
+        /// The type the caller asked for.
+        requested: &'static str,
+        /// The type the family actually builds.
+        built: &'static str,
+    },
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::Unregistered(fam) => write!(f, "family `{fam}` is not registered"),
+            RegistryError::Spec(e) => write!(f, "bad spec: {e}"),
+            RegistryError::NotMergeable => write!(f, "family does not support merging"),
+            RegistryError::MergeTypeMismatch => {
+                write!(f, "merge requires two sketches of the same family")
+            }
+            RegistryError::WrongType { requested, built } => {
+                write!(f, "family builds `{built}`, not `{requested}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+impl From<SpecError> for RegistryError {
+    fn from(e: SpecError) -> Self {
+        RegistryError::Spec(e)
+    }
+}
+
+/// The family → builder catalog.
+#[derive(Default)]
+pub struct Registry {
+    entries: Vec<(FamilyInfo, BuildFn)>,
+}
+
+impl Registry {
+    /// An empty registry. Most callers want the fully-populated workspace
+    /// catalog, `bd_core::registry()`.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Register a family. Panics on double registration — each family has
+    /// exactly one way to be built.
+    pub fn register(&mut self, info: FamilyInfo, build: BuildFn) {
+        assert!(
+            self.lookup(info.family).is_none(),
+            "family `{}` registered twice",
+            info.family
+        );
+        self.entries.push((info, build));
+    }
+
+    /// The registered families' descriptors, in registration order.
+    pub fn families(&self) -> impl Iterator<Item = &FamilyInfo> {
+        self.entries.iter().map(|(info, _)| info)
+    }
+
+    /// Number of registered families.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The descriptor for `family`, if registered.
+    pub fn info(&self, family: SketchFamily) -> Option<&FamilyInfo> {
+        self.lookup(family).map(|(info, _)| info)
+    }
+
+    fn lookup(&self, family: SketchFamily) -> Option<&(FamilyInfo, BuildFn)> {
+        self.entries.iter().find(|(info, _)| info.family == family)
+    }
+
+    /// Build the sketch a spec describes.
+    pub fn build(&self, spec: &SketchSpec) -> Result<Box<dyn DynSketch>, RegistryError> {
+        spec.validate()?;
+        let (_, build) = self
+            .lookup(spec.family)
+            .ok_or(RegistryError::Unregistered(spec.family))?;
+        Ok(build(spec))
+    }
+
+    /// Build two identically-seeded copies — the shard/merge configuration:
+    /// feed each copy a shard, then `a.merge_dyn(&b)`.
+    #[allow(clippy::type_complexity)]
+    pub fn build_pair(
+        &self,
+        spec: &SketchSpec,
+    ) -> Result<(Box<dyn DynSketch>, Box<dyn DynSketch>), RegistryError> {
+        Ok((self.build(spec)?, self.build(spec)?))
+    }
+
+    /// Parse a compact spec string and build it.
+    pub fn build_str(&self, s: &str) -> Result<(SketchSpec, Box<dyn DynSketch>), RegistryError> {
+        let spec: SketchSpec = s.parse()?;
+        let sketch = self.build(&spec)?;
+        Ok((spec, sketch))
+    }
+
+    /// Build and downcast to the family's concrete type — for drivers that
+    /// need a structure-specific query (`AlphaHeavyHitters::query`, ...)
+    /// while still constructing through the one spec path.
+    pub fn build_as<S: Any>(&self, spec: &SketchSpec) -> Result<Box<S>, RegistryError> {
+        let built = self
+            .info(spec.family)
+            .map(|i| i.type_name)
+            .unwrap_or("<unregistered>");
+        self.build(spec)?
+            .into_any()
+            .downcast::<S>()
+            .map_err(|_| RegistryError::WrongType {
+                requested: std::any::type_name::<S>(),
+                built,
+            })
+    }
+}
+
+impl fmt::Debug for Registry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Registry")
+            .field("families", &self.entries.len())
+            .finish()
+    }
+}
+
+// The reference sketch: exact frequencies, point queries, trivially linear.
+crate::impl_dyn_sketch!(FrequencyVector, point);
+
+/// Register this crate's reference family ([`SketchFamily::Exact`]).
+pub fn register_reference(reg: &mut Registry) {
+    reg.register(
+        FamilyInfo {
+            family: SketchFamily::Exact,
+            summary: "exact frequency vector (ground truth)",
+            caps: Capabilities {
+                point: true,
+                batch_bitwise: true,
+                linear: true,
+                ..Default::default()
+            },
+            inputs: SpaceInputs {
+                n: true,
+                ..Default::default()
+            },
+            space: "n counters of log(m) bits (dense ground truth)",
+            type_name: std::any::type_name::<FrequencyVector>(),
+        },
+        |spec| Box::new(FrequencyVector::new(spec.n)),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::update::Update;
+
+    fn reg() -> Registry {
+        let mut r = Registry::new();
+        register_reference(&mut r);
+        r
+    }
+
+    #[test]
+    fn builds_reference_family_from_string() {
+        let r = reg();
+        let (spec, mut sk) = r.build_str("exact:n=2^10,seed=7").unwrap();
+        assert_eq!(spec.n, 1 << 10);
+        sk.update(3, 5);
+        sk.update_batch(&[Update::new(3, -2), Update::new(9, 1)]);
+        let p = sk.as_point().expect("exact answers point queries");
+        assert_eq!(p.point(3), 3.0);
+        assert_eq!(p.point(9), 1.0);
+        assert!(sk.as_norm().is_none());
+        assert!(sk.as_sample().is_none());
+    }
+
+    #[test]
+    fn build_as_downcasts_and_rejects_wrong_type() {
+        let r = reg();
+        let spec = SketchSpec::new(SketchFamily::Exact).with_n(64);
+        let mut fv: Box<FrequencyVector> = r.build_as(&spec).unwrap();
+        Sketch::update(fv.as_mut(), 5, 2);
+        assert_eq!(fv.get(5), 2);
+        let err = r
+            .build_as::<crate::runner::StreamRunner>(&spec)
+            .unwrap_err();
+        assert!(matches!(err, RegistryError::WrongType { .. }));
+    }
+
+    #[test]
+    fn build_pair_is_bit_identical() {
+        let r = reg();
+        let spec = SketchSpec::new(SketchFamily::Exact)
+            .with_n(256)
+            .with_seed(9);
+        let (mut a, mut b) = r.build_pair(&spec).unwrap();
+        for u in [Update::new(1, 4), Update::new(7, -2)] {
+            a.update(u.item, u.delta);
+            b.update(u.item, u.delta);
+        }
+        let (pa, pb) = (a.as_point().unwrap(), b.as_point().unwrap());
+        for i in 0..256 {
+            assert_eq!(pa.point(i).to_bits(), pb.point(i).to_bits());
+        }
+    }
+
+    #[test]
+    fn unregistered_and_invalid_specs_error() {
+        let r = reg();
+        let spec = SketchSpec::new(SketchFamily::Morris);
+        assert!(matches!(
+            r.build(&spec),
+            Err(RegistryError::Unregistered(SketchFamily::Morris))
+        ));
+        let mut bad = SketchSpec::new(SketchFamily::Exact);
+        bad.epsilon = 2.0;
+        assert!(matches!(r.build(&bad), Err(RegistryError::Spec(_))));
+    }
+
+    #[test]
+    fn non_mergeable_merge_errs() {
+        let r = reg();
+        let spec = SketchSpec::new(SketchFamily::Exact).with_n(16);
+        let (mut a, b) = r.build_pair(&spec).unwrap();
+        assert_eq!(a.merge_dyn(b.as_ref()), Err(RegistryError::NotMergeable));
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn double_registration_panics() {
+        let mut r = reg();
+        register_reference(&mut r);
+    }
+}

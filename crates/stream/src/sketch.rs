@@ -95,6 +95,14 @@ pub trait SampleQuery: Sketch {
     fn sample(&self) -> SampleOutcome;
 }
 
+/// Sketches that recover explicit support coordinates (support samplers,
+/// sparse recovery): the query returns the recovered item identities, sorted
+/// and deduplicated, or empty when recovery declines.
+pub trait SupportQuery: Sketch {
+    /// The recovered support items.
+    fn support_query(&self) -> Vec<Item>;
+}
+
 /// Sketches that merge: `a.merge_from(&b)` leaves `a` equal to the sketch of
 /// the concatenation of the two input streams.
 ///

@@ -1,0 +1,607 @@
+//! Declarative sketch construction: [`SketchSpec`].
+//!
+//! The paper's thesis is that every α-property structure is the same kind of
+//! object — a linear summary sized by `(n, ε, α, δ)`. PR 1 made them all
+//! *ingest* identically ([`Sketch`](crate::Sketch)); this module makes them
+//! all *constructible* identically: a [`SketchSpec`] is a plain-data
+//! description of one sketch —
+//!
+//! ```text
+//! { family, n, epsilon, alpha, delta, seed, regime, + optional shape overrides }
+//! ```
+//!
+//! — that the [`registry`](crate::registry) turns into a live
+//! `Box<dyn DynSketch>`. Specs display as (and parse from) compact strings,
+//!
+//! ```text
+//! csss:n=1048576,eps=0.05,alpha=8,seed=42
+//! ```
+//!
+//! so benches, the `sketchctl` CLI, config files, and tests can all name any
+//! structure in the workspace the same way. `parse(display(spec)) == spec`
+//! holds for every spec (see the round-trip tests in `tests/spec.rs`).
+//!
+//! The optional fields (`k`, `budget`, `c`, `depth`, `width`) are the shape
+//! knobs the experiment binaries sweep (sample budgets, table shapes,
+//! leading constants). Omitted, every family derives its shape from the six
+//! core fields alone — that derivation is the "space formula" each family
+//! documents in its registry [`FamilyInfo`](crate::registry::FamilyInfo).
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Every constructible sketch family in the workspace: the α-property
+/// structures of `bd-core`, the turnstile baselines of `bd-sketch`, and the
+/// exact reference vector of `bd-stream`.
+///
+/// The enum is the *namespace*; what each family builds (and with which
+/// capabilities) is recorded in the registry by its defining crate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[non_exhaustive]
+pub enum SketchFamily {
+    // -- bd-stream reference --
+    /// Exact frequency vector (ground truth; `O(n)` space).
+    Exact,
+    // -- bd-sketch turnstile baselines --
+    /// Countsketch point-query table (§2.1, Lemma 2).
+    CountSketch,
+    /// Count-Min point-query table (§2.2).
+    CountMin,
+    /// AMS tug-of-war F2 / inner-product rows (§2.2).
+    Ams,
+    /// Countsketch-style inner-product table (Lemma 8 substrate).
+    IpCountSketch,
+    /// Log-cosine Cauchy L1 estimator (Figure 5).
+    LogCosL1,
+    /// Indyk median-of-Cauchy L1 estimator (Fact 1).
+    MedianL1,
+    /// KNW-style turnstile L0 estimator (Figure 6, Theorem 9).
+    L0Turnstile,
+    /// Constant-factor rough L0 (Lemma 14).
+    RoughL0,
+    /// Monotone rough F0 tracker (Lemma 18).
+    RoughF0,
+    /// Exact L0 under an `L0 ≤ cap` promise (Lemma 21).
+    SmallL0,
+    /// Exact F0 when F0 is small (Lemma 19).
+    SmallF0,
+    /// Exact s-sparse recovery (Lemma 22).
+    SparseRecovery,
+    /// Precision-sampling turnstile L1 sampler (§4).
+    L1SamplerTurnstile,
+    /// One precision-sampling instance (a component of the amplified
+    /// sampler, registered so the catalog covers every `Sketch` impl).
+    PrecisionSampler,
+    /// Full-level-set turnstile support sampler (§7).
+    SupportTurnstile,
+    /// Morris approximate counter (Lemma 11).
+    Morris,
+    // -- bd-core α-property structures --
+    /// CSSS sampled Countsketch (Figure 2, Theorem 1).
+    Csss,
+    /// Sampled frequency vector (Lemma 1 substrate).
+    SampledVector,
+    /// α heavy hitters, strict turnstile (Theorem 4).
+    AlphaHh,
+    /// α heavy hitters, general turnstile (Theorem 3).
+    AlphaHhGeneral,
+    /// α L1 sampler (Figure 3, Theorem 5).
+    AlphaL1Sampler,
+    /// One α L1 sampler instance (component of the amplified sampler).
+    AlphaL1SamplerInstance,
+    /// α L1 estimator, strict turnstile (Figure 4, Theorem 6).
+    AlphaL1,
+    /// α L1 estimator, general turnstile (§5.2, Theorem 8).
+    AlphaL1General,
+    /// One side of the α inner-product pair (§2.2, Theorem 2).
+    AlphaIp,
+    /// α L0 estimator (Figure 7, Theorem 10).
+    AlphaL0,
+    /// Constant-factor α L0 estimator (Lemma 20).
+    AlphaConstL0,
+    /// Rough all-times L0 tracker (Corollary 2).
+    AlphaRoughL0,
+    /// α support sampler, one instance (Figure 8).
+    AlphaSupport,
+    /// α support sampler, amplified set (Theorem 11).
+    AlphaSupportSet,
+    /// α L2 heavy hitters (Appendix A).
+    AlphaL2Hh,
+}
+
+impl SketchFamily {
+    /// Every family, in registry order.
+    pub const ALL: &'static [SketchFamily] = &[
+        SketchFamily::Exact,
+        SketchFamily::CountSketch,
+        SketchFamily::CountMin,
+        SketchFamily::Ams,
+        SketchFamily::IpCountSketch,
+        SketchFamily::LogCosL1,
+        SketchFamily::MedianL1,
+        SketchFamily::L0Turnstile,
+        SketchFamily::RoughL0,
+        SketchFamily::RoughF0,
+        SketchFamily::SmallL0,
+        SketchFamily::SmallF0,
+        SketchFamily::SparseRecovery,
+        SketchFamily::L1SamplerTurnstile,
+        SketchFamily::PrecisionSampler,
+        SketchFamily::SupportTurnstile,
+        SketchFamily::Morris,
+        SketchFamily::Csss,
+        SketchFamily::SampledVector,
+        SketchFamily::AlphaHh,
+        SketchFamily::AlphaHhGeneral,
+        SketchFamily::AlphaL1Sampler,
+        SketchFamily::AlphaL1SamplerInstance,
+        SketchFamily::AlphaL1,
+        SketchFamily::AlphaL1General,
+        SketchFamily::AlphaIp,
+        SketchFamily::AlphaL0,
+        SketchFamily::AlphaConstL0,
+        SketchFamily::AlphaRoughL0,
+        SketchFamily::AlphaSupport,
+        SketchFamily::AlphaSupportSet,
+        SketchFamily::AlphaL2Hh,
+    ];
+
+    /// The spec-string name (`csss`, `alpha_hh`, ...).
+    pub fn name(self) -> &'static str {
+        match self {
+            SketchFamily::Exact => "exact",
+            SketchFamily::CountSketch => "countsketch",
+            SketchFamily::CountMin => "countmin",
+            SketchFamily::Ams => "ams",
+            SketchFamily::IpCountSketch => "ip_countsketch",
+            SketchFamily::LogCosL1 => "logcos_l1",
+            SketchFamily::MedianL1 => "median_l1",
+            SketchFamily::L0Turnstile => "l0_turnstile",
+            SketchFamily::RoughL0 => "rough_l0",
+            SketchFamily::RoughF0 => "rough_f0",
+            SketchFamily::SmallL0 => "small_l0",
+            SketchFamily::SmallF0 => "small_f0",
+            SketchFamily::SparseRecovery => "sparse_recovery",
+            SketchFamily::L1SamplerTurnstile => "l1_sampler_turnstile",
+            SketchFamily::PrecisionSampler => "precision_sampler",
+            SketchFamily::SupportTurnstile => "support_turnstile",
+            SketchFamily::Morris => "morris",
+            SketchFamily::Csss => "csss",
+            SketchFamily::SampledVector => "sampled_vector",
+            SketchFamily::AlphaHh => "alpha_hh",
+            SketchFamily::AlphaHhGeneral => "alpha_hh_general",
+            SketchFamily::AlphaL1Sampler => "alpha_l1_sampler",
+            SketchFamily::AlphaL1SamplerInstance => "alpha_l1_sampler_instance",
+            SketchFamily::AlphaL1 => "alpha_l1",
+            SketchFamily::AlphaL1General => "alpha_l1_general",
+            SketchFamily::AlphaIp => "alpha_ip",
+            SketchFamily::AlphaL0 => "alpha_l0",
+            SketchFamily::AlphaConstL0 => "alpha_const_l0",
+            SketchFamily::AlphaRoughL0 => "alpha_rough_l0",
+            SketchFamily::AlphaSupport => "alpha_support",
+            SketchFamily::AlphaSupportSet => "alpha_support_set",
+            SketchFamily::AlphaL2Hh => "alpha_l2_hh",
+        }
+    }
+}
+
+impl fmt::Display for SketchFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for SketchFamily {
+    type Err = SpecError;
+
+    fn from_str(s: &str) -> Result<Self, SpecError> {
+        SketchFamily::ALL
+            .iter()
+            .copied()
+            .find(|f| f.name() == s)
+            .ok_or_else(|| SpecError::UnknownFamily(s.to_string()))
+    }
+}
+
+/// Which constant regime sizes the sketch (see `DESIGN.md §3`): the paper's
+/// proof constants (`theory`) or laptop-scale tuned constants (`practical`,
+/// the default).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum Regime {
+    /// Tuned leading constants (the default).
+    #[default]
+    Practical,
+    /// The paper's constant regime (larger budgets, deeper tables).
+    Theory,
+}
+
+impl Regime {
+    /// The spec-string name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Regime::Practical => "practical",
+            Regime::Theory => "theory",
+        }
+    }
+}
+
+impl fmt::Display for Regime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A declarative, hand-serializable description of one sketch: the single
+/// construction currency of the workspace.
+///
+/// Build one with [`SketchSpec::new`] plus the `with_*` setters, or parse a
+/// compact string (`"csss:n=1e6,eps=0.05,alpha=8,seed=42"`); hand it to
+/// [`Registry::build`](crate::registry::Registry::build) to get a live
+/// sketch. Identical specs build identically-seeded, bit-identical sketches
+/// — which is what makes [`build_pair`](crate::registry::Registry::build_pair)
+/// the sharding/merge hook.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SketchSpec {
+    /// Which structure to build.
+    pub family: SketchFamily,
+    /// Universe size `n`.
+    pub n: u64,
+    /// Accuracy `ε ∈ (0, 1)`.
+    pub epsilon: f64,
+    /// Deletion bound `α ≥ 1` the stream is promised to satisfy.
+    pub alpha: f64,
+    /// Failure budget `δ ∈ (0, 1)`.
+    pub delta: f64,
+    /// Construction seed (identical seeds ⇒ bit-identical sketches).
+    pub seed: u64,
+    /// Constant regime for derived shapes.
+    pub regime: Regime,
+    /// Optional request size `k` (support/recovery count, CSSS sensitivity,
+    /// small-L0 capacity): families that take a `k` read it from here.
+    pub k: Option<usize>,
+    /// Optional explicit sample budget `S` (overrides the `α²/ε`-derived
+    /// budget of the sampling structures — the E2/E6 ablation knob).
+    pub budget: Option<u64>,
+    /// Optional leading-constant override for sample budgets
+    /// (`Params::sample_const`).
+    pub c: Option<f64>,
+    /// Optional table depth / row-count override.
+    pub depth: Option<usize>,
+    /// Optional table width / bucket-count override.
+    pub width: Option<usize>,
+}
+
+/// Defaults: `n = 2^20`, `ε = 0.1`, `α = 4`, `δ = 0.05`, `seed = 1`,
+/// practical regime, no shape overrides.
+impl SketchSpec {
+    /// A spec for `family` with the default sizing fields.
+    pub fn new(family: SketchFamily) -> Self {
+        SketchSpec {
+            family,
+            n: 1 << 20,
+            epsilon: 0.1,
+            alpha: 4.0,
+            delta: 0.05,
+            seed: 1,
+            regime: Regime::Practical,
+            k: None,
+            budget: None,
+            c: None,
+            depth: None,
+            width: None,
+        }
+    }
+
+    /// Rebind the same sizing fields to another family (experiments build
+    /// several structures from one problem description).
+    pub fn with_family(mut self, family: SketchFamily) -> Self {
+        self.family = family;
+        self
+    }
+
+    /// Set the universe size.
+    pub fn with_n(mut self, n: u64) -> Self {
+        self.n = n;
+        self
+    }
+
+    /// Set the accuracy `ε`.
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Set the deletion bound `α`.
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Set the failure budget `δ`.
+    pub fn with_delta(mut self, delta: f64) -> Self {
+        self.delta = delta;
+        self
+    }
+
+    /// Set the construction seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the constant regime.
+    pub fn with_regime(mut self, regime: Regime) -> Self {
+        self.regime = regime;
+        self
+    }
+
+    /// Set the request size `k`.
+    pub fn with_k(mut self, k: usize) -> Self {
+        self.k = Some(k);
+        self
+    }
+
+    /// Set an explicit sample budget.
+    pub fn with_budget(mut self, budget: u64) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Set the sample-budget leading constant.
+    pub fn with_c(mut self, c: f64) -> Self {
+        self.c = Some(c);
+        self
+    }
+
+    /// Set a table depth / row count.
+    pub fn with_depth(mut self, depth: usize) -> Self {
+        self.depth = Some(depth);
+        self
+    }
+
+    /// Set a table width / bucket count.
+    pub fn with_width(mut self, width: usize) -> Self {
+        self.width = Some(width);
+        self
+    }
+
+    /// Validate the numeric fields (the checks every constructor repeats).
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.n < 1 {
+            return Err(SpecError::BadField("n", "must be ≥ 1".into()));
+        }
+        if !(self.epsilon > 0.0 && self.epsilon < 1.0) {
+            return Err(SpecError::BadField("eps", "must be in (0,1)".into()));
+        }
+        if self.alpha < 1.0 || self.alpha.is_nan() {
+            return Err(SpecError::BadField("alpha", "must be ≥ 1".into()));
+        }
+        if !(self.delta > 0.0 && self.delta < 1.0) {
+            return Err(SpecError::BadField("delta", "must be in (0,1)".into()));
+        }
+        // Zero-valued shape overrides would reach constructor asserts;
+        // reject them here so string input gets the clean error path.
+        let zero_overrides: [(&'static str, bool); 4] = [
+            ("k", self.k == Some(0)),
+            ("budget", self.budget == Some(0)),
+            ("depth", self.depth == Some(0)),
+            ("width", self.width == Some(0)),
+        ];
+        for (key, zero) in zero_overrides {
+            if zero {
+                return Err(SpecError::BadField(key, "must be ≥ 1 when set".into()));
+            }
+        }
+        if let Some(c) = self.c {
+            if c <= 0.0 || c.is_nan() {
+                return Err(SpecError::BadField("c", "must be > 0 when set".into()));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Why a spec string (or spec) was rejected.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SpecError {
+    /// The family name before `:` is not registered in [`SketchFamily`].
+    UnknownFamily(String),
+    /// A `key=value` pair used an unknown key.
+    UnknownKey(String),
+    /// A `key=value` pair was malformed or a field failed validation.
+    BadField(&'static str, String),
+    /// The spec string had no family segment.
+    Empty,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::UnknownFamily(s) => {
+                write!(f, "unknown sketch family `{s}` (see `sketchctl families`)")
+            }
+            SpecError::UnknownKey(s) => write!(
+                f,
+                "unknown spec key `{s}` (known: n, eps, alpha, delta, seed, regime, k, budget, c, depth, width)"
+            ),
+            SpecError::BadField(k, why) => write!(f, "bad value for `{k}`: {why}"),
+            SpecError::Empty => write!(f, "empty spec string"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// The shared integer grammar of spec and workload strings: plain
+/// integers, `2^k` powers, and integral scientific floats (`1e6`).
+pub fn parse_u64(key: &'static str, v: &str) -> Result<u64, SpecError> {
+    if let Some(exp) = v.strip_prefix("2^") {
+        let e: u32 = exp
+            .parse()
+            .map_err(|_| SpecError::BadField(key, format!("bad exponent `{exp}`")))?;
+        return 1u64
+            .checked_shl(e)
+            .ok_or_else(|| SpecError::BadField(key, format!("2^{e} overflows u64")));
+    }
+    if let Ok(x) = v.parse::<u64>() {
+        return Ok(x);
+    }
+    // Scientific / float forms (1e6, 1.5e3) — accepted when integral.
+    // Strict `<`: `u64::MAX as f64` rounds up to 2^64, which `as u64`
+    // would silently saturate.
+    match v.parse::<f64>() {
+        Ok(x) if x >= 0.0 && x.fract() == 0.0 && x < u64::MAX as f64 => Ok(x as u64),
+        _ => Err(SpecError::BadField(key, format!("bad integer `{v}`"))),
+    }
+}
+
+/// The shared float grammar of spec and workload strings.
+pub fn parse_f64(key: &'static str, v: &str) -> Result<f64, SpecError> {
+    v.parse::<f64>()
+        .map_err(|_| SpecError::BadField(key, format!("bad number `{v}`")))
+}
+
+fn parse_usize(key: &'static str, v: &str) -> Result<usize, SpecError> {
+    Ok(parse_u64(key, v)? as usize)
+}
+
+impl FromStr for SketchSpec {
+    type Err = SpecError;
+
+    /// Parse `family:key=val,key=val,...`; omitted keys take the
+    /// [`SketchSpec::new`] defaults. `family` alone (no `:`) is accepted.
+    fn from_str(s: &str) -> Result<Self, SpecError> {
+        let s = s.trim();
+        if s.is_empty() {
+            return Err(SpecError::Empty);
+        }
+        let (fam, rest) = match s.split_once(':') {
+            Some((f, r)) => (f, r),
+            None => (s, ""),
+        };
+        let mut spec = SketchSpec::new(fam.trim().parse()?);
+        for pair in rest.split(',').filter(|p| !p.trim().is_empty()) {
+            let (key, val) = pair
+                .split_once('=')
+                .ok_or_else(|| SpecError::BadField("spec", format!("`{pair}` is not key=value")))?;
+            let (key, val) = (key.trim(), val.trim());
+            match key {
+                "n" => spec.n = parse_u64("n", val)?,
+                "eps" | "epsilon" => spec.epsilon = parse_f64("eps", val)?,
+                "alpha" => spec.alpha = parse_f64("alpha", val)?,
+                "delta" => spec.delta = parse_f64("delta", val)?,
+                "seed" => spec.seed = parse_u64("seed", val)?,
+                "regime" => {
+                    spec.regime = match val {
+                        "practical" => Regime::Practical,
+                        "theory" => Regime::Theory,
+                        other => {
+                            return Err(SpecError::BadField(
+                                "regime",
+                                format!("`{other}` is not practical|theory"),
+                            ))
+                        }
+                    }
+                }
+                "k" => spec.k = Some(parse_usize("k", val)?),
+                "budget" => spec.budget = Some(parse_u64("budget", val)?),
+                "c" | "const" => spec.c = Some(parse_f64("c", val)?),
+                "depth" => spec.depth = Some(parse_usize("depth", val)?),
+                "width" => spec.width = Some(parse_usize("width", val)?),
+                other => return Err(SpecError::UnknownKey(other.to_string())),
+            }
+        }
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+impl fmt::Display for SketchSpec {
+    /// The compact form: core fields always, overrides only when set.
+    /// Floats print in Rust's shortest-roundtrip form, so
+    /// `parse(display(spec)) == spec` bit-for-bit.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:n={},eps={},alpha={},delta={},seed={},regime={}",
+            self.family, self.n, self.epsilon, self.alpha, self.delta, self.seed, self.regime
+        )?;
+        if let Some(k) = self.k {
+            write!(f, ",k={k}")?;
+        }
+        if let Some(b) = self.budget {
+            write!(f, ",budget={b}")?;
+        }
+        if let Some(c) = self.c {
+            write!(f, ",c={c}")?;
+        }
+        if let Some(d) = self.depth {
+            write!(f, ",depth={d}")?;
+        }
+        if let Some(w) = self.width {
+            write!(f, ",width={w}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_names_are_unique_and_roundtrip() {
+        for &fam in SketchFamily::ALL {
+            assert_eq!(fam.name().parse::<SketchFamily>().unwrap(), fam);
+            let dups = SketchFamily::ALL
+                .iter()
+                .filter(|f| f.name() == fam.name())
+                .count();
+            assert_eq!(dups, 1, "duplicate family name {}", fam.name());
+        }
+    }
+
+    #[test]
+    fn parses_issue_style_string() {
+        let spec: SketchSpec = "csss:n=1e6,eps=0.05,alpha=8,seed=42".parse().unwrap();
+        assert_eq!(spec.family, SketchFamily::Csss);
+        assert_eq!(spec.n, 1_000_000);
+        assert_eq!(spec.epsilon, 0.05);
+        assert_eq!(spec.alpha, 8.0);
+        assert_eq!(spec.seed, 42);
+        assert_eq!(spec.delta, 0.05); // default
+        assert_eq!(spec.regime, Regime::Practical); // default
+    }
+
+    #[test]
+    fn parses_power_of_two_and_bare_family() {
+        let spec: SketchSpec = "countmin:n=2^16".parse().unwrap();
+        assert_eq!(spec.n, 1 << 16);
+        let bare: SketchSpec = "morris".parse().unwrap();
+        assert_eq!(bare.family, SketchFamily::Morris);
+    }
+
+    #[test]
+    fn display_roundtrips_with_overrides() {
+        let spec = SketchSpec::new(SketchFamily::Csss)
+            .with_n(1 << 14)
+            .with_epsilon(0.07)
+            .with_alpha(3.5)
+            .with_seed(99)
+            .with_k(16)
+            .with_budget(1 << 20)
+            .with_c(4.0)
+            .with_regime(Regime::Theory);
+        let parsed: SketchSpec = spec.to_string().parse().unwrap();
+        assert_eq!(parsed, spec);
+    }
+
+    #[test]
+    fn rejects_bad_fields() {
+        assert!("csss:eps=1.5".parse::<SketchSpec>().is_err());
+        assert!("csss:alpha=0.5".parse::<SketchSpec>().is_err());
+        assert!("csss:frob=1".parse::<SketchSpec>().is_err());
+        assert!("frobnicator:n=4".parse::<SketchSpec>().is_err());
+        assert!("".parse::<SketchSpec>().is_err());
+    }
+}

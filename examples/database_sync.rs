@@ -28,13 +28,23 @@ fn main() {
             alpha
         );
 
-        let params = Params::practical(n, 0.1, alpha.max(1.0));
+        let spec = SketchSpec::new(SketchFamily::AlphaL1General)
+            .with_n(n)
+            .with_epsilon(0.1)
+            .with_alpha(alpha.max(1.0));
 
         // One engine pass per sketch: difference mass, distinct differing
-        // signatures, and the signatures themselves.
-        let mut diff_mass = AlphaL1General::new(1, &params);
-        let mut distinct = AlphaL0Estimator::new(2, &params);
-        let mut which = AlphaSupportSamplerSet::new(3, &params, 16);
+        // signatures, and the signatures themselves — one spec each,
+        // differing only in family (and the support request size k).
+        let mut diff_mass: AlphaL1General = build_sketch(&spec.with_seed(1));
+        let mut distinct: AlphaL0Estimator =
+            build_sketch(&spec.with_family(SketchFamily::AlphaL0).with_seed(2));
+        let mut which: AlphaSupportSamplerSet = build_sketch(
+            &spec
+                .with_family(SketchFamily::AlphaSupportSet)
+                .with_k(16)
+                .with_seed(3),
+        );
         let reports = runner.run_each(
             &mut [&mut diff_mass as &mut dyn Sketch, &mut distinct, &mut which],
             &stream,

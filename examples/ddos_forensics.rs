@@ -40,8 +40,14 @@ fn main() {
         alpha
     );
 
-    let params = Params::practical(n, 0.05, alpha).with_delta(0.1);
-    let mut hh = AlphaHeavyHitters::new_strict(1, &params);
+    let mut hh: AlphaHeavyHitters = build_sketch(
+        &SketchSpec::new(SketchFamily::AlphaHh)
+            .with_n(n)
+            .with_epsilon(0.05)
+            .with_alpha(alpha)
+            .with_delta(0.1)
+            .with_seed(1),
+    );
     let report = runner.run(&mut hh, &stream);
     println!(
         "\nflagged attack targets (ε = 0.05 heavy hitters, {:.1} Mupd/s):",
@@ -54,12 +60,16 @@ fn main() {
 
     // Forensic sampling: repeated L1 samples of the residual vector, one
     // seeded sampler per draw.
-    let sample_params = Params::practical(n, 0.25, alpha).with_delta(0.3);
+    let sample_spec = SketchSpec::new(SketchFamily::AlphaL1Sampler)
+        .with_n(n)
+        .with_epsilon(0.25)
+        .with_alpha(alpha)
+        .with_delta(0.3);
     println!("\nforensic L1 samples (αL1Sampler, 40 independent draws):");
     let mut hits: HashMap<u64, usize> = HashMap::new();
     let mut fails = 0;
     for seed in 0..40u64 {
-        let mut sampler = AlphaL1Sampler::new(9000 + seed, &sample_params);
+        let mut sampler: AlphaL1Sampler = build_sketch(&sample_spec.with_seed(9000 + seed));
         runner.run(&mut sampler, &stream);
         match sampler.sample() {
             SampleOutcome::Sample { item, .. } => *hits.entry(item).or_insert(0) += 1,

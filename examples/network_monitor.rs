@@ -28,13 +28,19 @@ fn main() {
         alpha
     );
 
-    let params = Params::practical(n, 0.05, alpha.max(1.0));
+    // Specs, not constructors: the registry builds both sketches from the
+    // same declarative description of the problem.
+    let spec = SketchSpec::new(SketchFamily::AlphaHhGeneral)
+        .with_n(n)
+        .with_epsilon(0.05)
+        .with_alpha(alpha.max(1.0));
     let runner = StreamRunner::new();
 
     // Heavy hitters of the difference = flows with the largest rate change;
     // drift magnitude via the sampled Cauchy sketch (Theorem 8).
-    let mut hh = AlphaHeavyHitters::new_general(1, &params);
-    let mut drift = AlphaL1General::new(2, &params);
+    let mut hh: AlphaHeavyHitters = build_sketch(&spec.with_seed(1));
+    let mut drift: AlphaL1General =
+        build_sketch(&spec.with_family(SketchFamily::AlphaL1General).with_seed(2));
     let reports = runner.run_each(&mut [&mut hh as &mut dyn Sketch, &mut drift], &diff_stream);
 
     println!("\nflows with the largest |rate change| (ε = 0.05 of total drift):");
@@ -62,8 +68,13 @@ fn main() {
     let va = FrequencyVector::from_stream(&router_a);
     let vb = FrequencyVector::from_stream(&router_b);
     let ip_alpha = va.alpha_l1().max(vb.alpha_l1()).max(1.0);
-    let ip_params = Params::practical(n, 0.02, ip_alpha);
-    let mut ip = AlphaInnerProduct::new(3, &ip_params);
+    let mut ip = AlphaInnerProduct::from_spec(
+        &SketchSpec::new(SketchFamily::AlphaIp)
+            .with_n(n)
+            .with_epsilon(0.02)
+            .with_alpha(ip_alpha)
+            .with_seed(3),
+    );
     runner.run(&mut ip.f, &router_a);
     runner.run(&mut ip.g, &router_b);
     let est = ip.estimate();

@@ -3,8 +3,10 @@
 //! Generates a strict-turnstile stream with α = 4 (deletions cancel 60% of
 //! the inserted mass), then runs the paper's heavy hitters, L1 estimator,
 //! L0 estimator, and support sampler through the shared `StreamRunner`,
-//! comparing every answer against exact ground truth. Sketches are seeded —
-//! rerunning this binary reproduces every number bit-for-bit.
+//! comparing every answer against exact ground truth. Every sketch is built
+//! from a declarative `SketchSpec` through the workspace registry — specs
+//! are seeded, so rerunning this binary reproduces every number
+//! bit-for-bit.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
@@ -33,12 +35,18 @@ fn main() {
         truth.alpha_l1()
     );
 
-    let params = Params::practical(n, epsilon, alpha);
+    // One way to build every sketch: a declarative spec (family + n, ε, α,
+    // seed) handed to the workspace registry.
+    let spec = SketchSpec::new(SketchFamily::AlphaHh)
+        .with_n(n)
+        .with_epsilon(epsilon)
+        .with_alpha(alpha);
     let runner = StreamRunner::new();
 
     // --- one engine drives the L1 sketches over the stream ---
-    let mut hh = AlphaHeavyHitters::new_strict(1, &params);
-    let mut l1 = AlphaL1Estimator::new(2, &params);
+    let mut hh: AlphaHeavyHitters = build_sketch(&spec.with_seed(1));
+    let mut l1: AlphaL1Estimator =
+        build_sketch(&spec.with_family(SketchFamily::AlphaL1).with_seed(2));
     let hh_report = runner.run(&mut hh, &stream);
     let l1_report = runner.run(&mut l1, &stream);
 
@@ -46,9 +54,15 @@ fn main() {
     let n_l0 = 1u64 << 24;
     let l0_stream = L0AlphaGen::new(n_l0, 2_000, alpha).generate_seeded(43);
     let l0_truth = FrequencyVector::from_stream(&l0_stream);
-    let l0_params = Params::practical(n_l0, 0.15, alpha);
-    let mut l0 = AlphaL0Estimator::new(3, &l0_params);
-    let mut support = AlphaSupportSampler::new(4, &l0_params, 8);
+    let l0_spec = spec.with_n(n_l0).with_epsilon(0.15);
+    let mut l0: AlphaL0Estimator =
+        build_sketch(&l0_spec.with_family(SketchFamily::AlphaL0).with_seed(3));
+    let mut support: AlphaSupportSampler = build_sketch(
+        &l0_spec
+            .with_family(SketchFamily::AlphaSupport)
+            .with_k(8)
+            .with_seed(4),
+    );
     let l0_report = runner.run(&mut l0, &l0_stream);
     let support_report = runner.run(&mut support, &l0_stream);
 

@@ -22,10 +22,14 @@ fn main() {
         let stream = SensorGen::new(n, core, transient).generate_seeded(99 + t as u64);
         let truth = FrequencyVector::from_stream(&stream);
         let alpha = truth.alpha_l0();
-        let params = Params::practical(n, 0.1, alpha);
+        let spec = SketchSpec::new(SketchFamily::AlphaL0)
+            .with_n(n)
+            .with_epsilon(0.1)
+            .with_alpha(alpha);
 
-        let mut l0 = AlphaL0Estimator::new(1, &params);
-        let mut tracker = AlphaRoughL0::new(2, n);
+        let mut l0: AlphaL0Estimator = build_sketch(&spec.with_seed(1));
+        let mut tracker: AlphaRoughL0 =
+            build_sketch(&spec.with_family(SketchFamily::AlphaRoughL0).with_seed(2));
         let reports = runner.run_each(&mut [&mut l0 as &mut dyn Sketch, &mut tracker], &stream);
 
         println!("core {core:>5} + transient {transient:>5}  (α = {alpha:.1}):");

@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# CI perf-trajectory gate: re-measure ingest throughput and fail on >20%
+# regression against the committed BENCH_ingest.json baseline.
+#
+# Usage: scripts/bench_compare.sh [tolerance]
+#   tolerance: allowed fractional regression (default 0.20)
+#
+# The bench overwrites BENCH_ingest.json in place, so the committed baseline
+# is snapshotted first and both files are handed to the bench_compare bin
+# (crates/bench/src/bin/bench_compare.rs).
+
+set -eu
+cd "$(dirname "$0")/.."
+TOLERANCE="${1:-0.20}"
+
+BASELINE="$(mktemp)"
+trap 'rm -f "$BASELINE"' EXIT
+cp BENCH_ingest.json "$BASELINE"
+
+cargo bench -p bd-bench --bench ingest
+
+cargo run --release -p bd-bench --bin bench_compare -- \
+    "$BASELINE" BENCH_ingest.json "$TOLERANCE"

@@ -44,6 +44,17 @@
 //!   space accounting;
 //! * [`hash`](bd_hash) — k-wise independent hashing and number theory.
 //!
+//! ## The spec layer
+//!
+//! Construction is declarative: a [`bd_stream::SketchSpec`] —
+//! `{family, n, ε, α, δ, seed, regime}`, parseable from a compact string —
+//! names any structure in the workspace, and the [`registry`] builds it.
+//! `registry().families()` enumerates the whole catalog with per-family
+//! capability descriptors; `build`/`build_pair` return live `dyn DynSketch`
+//! objects (identically-seeded pairs are the shard/merge hook), and
+//! [`build_sketch`] downcasts to the concrete type for structure-specific
+//! queries.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -52,9 +63,10 @@
 //! // A strict-turnstile stream with α = 4: deletions cancel 3/5 of mass.
 //! let stream = BoundedDeletionGen::new(1 << 12, 20_000, 4.0).generate_seeded(7);
 //!
-//! // Sketches are seeded (they own their RNGs): same seed, same sketch.
-//! let params = Params::practical(stream.n, 0.1, 4.0);
-//! let mut hh = AlphaHeavyHitters::new_strict(42, &params);
+//! // One way to build every sketch: a declarative, seeded spec string
+//! // through the workspace registry (same spec ⇒ bit-identical sketch).
+//! let spec: SketchSpec = "alpha_hh:n=2^12,eps=0.1,alpha=4,seed=42".parse().unwrap();
+//! let mut hh: AlphaHeavyHitters = build_sketch(&spec);
 //!
 //! // One engine drives any sketch over any stream, in batched chunks.
 //! let report = StreamRunner::new().run(&mut hh, &stream);
@@ -62,6 +74,11 @@
 //! let heavy = hh.query(); // every |f_i| ≥ 0.1·‖f‖₁, nothing < 0.05·‖f‖₁
 //! let bits = report.space_bits(); // counter widths scale with log α, not log n
 //! assert!(report.updates == stream.len() && bits > 0);
+//!
+//! // Or stay dynamic: build by family, query through capability views.
+//! let (spec2, mut dyn_hh) = registry().build_str("alpha_hh:n=2^12,seed=42").unwrap();
+//! StreamRunner::new().run(&mut *dyn_hh, &stream);
+//! assert!(dyn_hh.as_point().is_some() && spec2.family == SketchFamily::AlphaHh);
 //! # let _ = heavy;
 //! ```
 
@@ -70,8 +87,35 @@ pub use bd_hash;
 pub use bd_sketch;
 pub use bd_stream;
 
+/// The fully-populated workspace sketch catalog (built once, by
+/// [`bd_core::registry`], then cached): every α-property structure,
+/// turnstile baseline, and the exact reference vector, buildable from a
+/// [`bd_stream::SketchSpec`].
+pub fn registry() -> &'static bd_stream::Registry {
+    static REG: std::sync::OnceLock<bd_stream::Registry> = std::sync::OnceLock::new();
+    REG.get_or_init(bd_core::registry)
+}
+
+/// Build a concrete sketch from a spec through the workspace registry —
+/// the typed construction path for callers that use structure-specific
+/// queries. Panics on unregistered families or type mismatches.
+///
+/// ```
+/// use bounded_deletions::prelude::*;
+/// let spec: SketchSpec = "countmin:n=2^12,eps=0.1,seed=7".parse().unwrap();
+/// let mut cm: CountMin = build_sketch(&spec);
+/// Sketch::update(&mut cm, 3, 5);
+/// assert!(cm.estimate(3) >= 5);
+/// ```
+pub fn build_sketch<S: std::any::Any>(spec: &bd_stream::SketchSpec) -> S {
+    *registry()
+        .build_as::<S>(spec)
+        .unwrap_or_else(|e| panic!("registry build failed for `{spec}`: {e}"))
+}
+
 /// The commonly used types in one import.
 pub mod prelude {
+    pub use crate::{build_sketch, registry};
     pub use bd_core::{
         AlphaConstL0, AlphaHeavyHitters, AlphaInnerProduct, AlphaL0Estimator, AlphaL1Estimator,
         AlphaL1General, AlphaL1Sampler, AlphaL2HeavyHitters, AlphaRoughL0, AlphaSupportSampler,
@@ -85,6 +129,7 @@ pub mod prelude {
         AugmentedIndexingHH, BoundedDeletionGen, InnerProductHard, L0AlphaGen, NetworkDiffGen,
         RdcGen, SensorGen, StrongAlphaGen, SupportHard, UnboundedDeletionGen, Zipf,
     };
+    pub use bd_stream::{DynSketch, Regime, Registry, SketchFamily, SketchSpec, SupportQuery};
     pub use bd_stream::{
         FrequencyVector, Item, Mergeable, NormEstimate, PointQuery, RunReport, SampleQuery, Sketch,
         SpaceReport, SpaceUsage, StreamBatch, StreamRunner, Update,

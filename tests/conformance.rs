@@ -1,21 +1,29 @@
-//! Conformance suite for the unified `Sketch` trait layer.
+//! Conformance suite for the unified `Sketch` trait layer, driven by the
+//! workspace registry.
 //!
-//! Every `Sketch` implementation in the workspace is run through the same
-//! generic checks:
+//! The suite iterates `registry().families()` — it maintains **no
+//! hand-written list of structures**. Registering a new family in its
+//! defining crate automatically enrols it here, and each family's
+//! [`Capabilities`] descriptor declares which contracts apply:
 //!
-//! * **same-seed determinism** — constructing from one seed and replaying
-//!   one stream yields bit-identical probe outputs;
-//! * **`update_batch` ≡ sequential `update`** — sketches that keep the
-//!   default loop must match bit-for-bit (identical RNG consumption);
-//!   linear sketches with pre-aggregating overrides (Countsketch, Count-Min)
-//!   must also match bit-for-bit; the sampling overrides (CSSS, the heavy
-//!   hitters) have distribution-level checks in their own module tests and
-//!   an output-quality check here;
-//! * **linearity** — `update(i, a); update(i, b)` ≡ `update(i, a + b)` for
-//!   the linear structures (checked in CSSS's no-thinning regime, where its
-//!   sampling is degenerate and exact);
-//! * **`Mergeable` associativity** — `(a ⊕ b) ⊕ c ≡ a ⊕ (b ⊕ c)`, and both
-//!   equal the single-pass sketch, for the deterministic linear mergers.
+//! * **same-seed determinism** (every family) — building one spec twice and
+//!   replaying one stream yields bit-identical query probes, per-update and
+//!   batched;
+//! * **`update_batch` ≡ sequential `update`** (`caps.batch_bitwise`) —
+//!   bit-identical probes whether driven per-update or in chunks (families
+//!   with *statistical* batch overrides, like the α heavy hitters, opt out
+//!   and are covered by the quality check below);
+//! * **linearity** (`caps.linear`) — `update(i,a); update(i,b)` ≡
+//!   `update(i, a+b)`;
+//! * **`Mergeable` associativity** (`caps.mergeable`, via `merge_dyn`) —
+//!   `(a ⊕ b) ⊕ c ≡ a ⊕ (b ⊕ c)` ≡ the single-pass sketch;
+//! * **capability consistency** — the descriptor's query flags match the
+//!   built sketch's dynamic views.
+//!
+//! Sampling families run their exact checks in a degenerate (no-thinning)
+//! regime via a budget override in [`conformance_spec`]; their thinned
+//! regimes keep distribution-level checks in their module tests plus the
+//! extra thinned determinism case here.
 
 use bounded_deletions::prelude::*;
 
@@ -23,47 +31,102 @@ fn stream(seed: u64) -> StreamBatch {
     BoundedDeletionGen::new(1 << 10, 8_000, 3.0).generate_seeded(seed)
 }
 
-/// Same seed + same stream ⇒ bit-identical probe output, whether driven
+/// Deterministic per-family seed (stable across registry reordering).
+fn family_seed(family: SketchFamily) -> u64 {
+    family
+        .name()
+        .bytes()
+        .fold(11u64, |a, b| a.wrapping_mul(31).wrapping_add(b as u64))
+}
+
+/// The spec each family is checked under: small universe, fast shapes, and
+/// — for the sampling structures — regimes where the exact contracts hold.
+fn conformance_spec(family: SketchFamily) -> SketchSpec {
+    let spec = SketchSpec::new(family)
+        .with_n(1 << 10)
+        .with_epsilon(0.2)
+        .with_alpha(3.0)
+        .with_seed(family_seed(family));
+    match family {
+        // Budget larger than the stream mass ⇒ no thinning ⇒ sampling is
+        // degenerate and the bitwise/linearity contracts are exact.
+        SketchFamily::Csss | SketchFamily::SampledVector => spec.with_budget(1 << 22),
+        // Samplers: fewer amplification copies for test speed.
+        SketchFamily::AlphaL1Sampler | SketchFamily::L1SamplerTurnstile => {
+            spec.with_epsilon(0.25).with_delta(0.5)
+        }
+        SketchFamily::AlphaSupportSet => spec.with_delta(0.5).with_k(8),
+        SketchFamily::AlphaSupport | SketchFamily::SupportTurnstile => spec.with_k(8),
+        _ => spec,
+    }
+}
+
+/// Query probe over every capability the sketch exposes: the bit-level
+/// fingerprint the conformance checks compare. (Space is deliberately not
+/// probed: pre-aggregating batch paths may observe different counter peaks
+/// than the sequential replay while answering identically.)
+fn probe(sk: &dyn DynSketch) -> Vec<u64> {
+    let mut out = Vec::new();
+    if let Some(p) = sk.as_point() {
+        out.extend((0..1024u64).map(|i| p.point(i).to_bits()));
+    }
+    if let Some(nm) = sk.as_norm() {
+        out.push(nm.norm_estimate().to_bits());
+    }
+    if let Some(s) = sk.as_sample() {
+        match s.sample() {
+            SampleOutcome::Sample { item, estimate } => {
+                out.push(item);
+                out.push(estimate.to_bits());
+            }
+            SampleOutcome::Fail => out.push(u64::MAX),
+        }
+    }
+    if let Some(sp) = sk.as_support() {
+        out.push(u64::MAX - 1); // section marker
+        out.extend(sp.support_query());
+    }
+    out
+}
+
+/// Same spec + same stream ⇒ bit-identical probes, whether driven
 /// per-update or in chunks.
-fn check_determinism<S: Sketch>(name: &str, mk: impl Fn() -> S, probe: impl Fn(&S) -> Vec<u64>) {
+fn check_determinism(name: &str, spec: &SketchSpec) {
     let s = stream(0xD5);
     let run = |runner: StreamRunner| {
-        let mut sk = mk();
-        runner.run(&mut sk, &s);
-        probe(&sk)
+        let mut sk = registry().build(spec).unwrap();
+        runner.run(&mut *sk, &s);
+        probe(sk.as_ref())
     };
     assert_eq!(
         run(StreamRunner::unbatched()),
         run(StreamRunner::unbatched()),
-        "{name}: same-seed replay diverged (per-update)"
+        "{name}: same-spec replay diverged (per-update)"
     );
     assert_eq!(
         run(StreamRunner::new()),
         run(StreamRunner::new()),
-        "{name}: same-seed replay diverged (batched)"
+        "{name}: same-spec replay diverged (batched)"
     );
 }
 
-/// Batched ingestion must be bit-identical to sequential ingestion (default
-/// loop impls and linear pre-aggregating overrides).
-fn check_batch_exact<S: Sketch>(name: &str, mk: impl Fn() -> S, probe: impl Fn(&S) -> Vec<u64>) {
+/// Batched ingestion must be bit-identical to sequential ingestion.
+fn check_batch_exact(name: &str, spec: &SketchSpec) {
     let s = stream(0xB4);
-    let mut seq = mk();
-    let mut bat = mk();
-    StreamRunner::unbatched().run(&mut seq, &s);
-    StreamRunner::new().run(&mut bat, &s);
+    let (mut seq, mut bat) = registry().build_pair(spec).unwrap();
+    StreamRunner::unbatched().run(&mut *seq, &s);
+    StreamRunner::new().run(&mut *bat, &s);
     assert_eq!(
-        probe(&seq),
-        probe(&bat),
+        probe(seq.as_ref()),
+        probe(bat.as_ref()),
         "{name}: update_batch diverged from sequential update"
     );
 }
 
 /// `update(i, a); update(i, b)` ≡ `update(i, a + b)` under the probe.
-fn check_linearity<S: Sketch>(name: &str, mk: impl Fn() -> S, probe: impl Fn(&S) -> Vec<u64>) {
+fn check_linearity(name: &str, spec: &SketchSpec) {
     let pairs: &[(i64, i64)] = &[(3, 4), (10, -6), (-2, -5), (7, -7)];
-    let mut split = mk();
-    let mut joined = mk();
+    let (mut split, mut joined) = registry().build_pair(spec).unwrap();
     for (idx, &(a, b)) in pairs.iter().enumerate() {
         let item = 37 * idx as u64 + 5;
         split.update(item, a);
@@ -71,19 +134,15 @@ fn check_linearity<S: Sketch>(name: &str, mk: impl Fn() -> S, probe: impl Fn(&S)
         joined.update(item, a + b);
     }
     assert_eq!(
-        probe(&split),
-        probe(&joined),
+        probe(split.as_ref()),
+        probe(joined.as_ref()),
         "{name}: update(i,a);update(i,b) != update(i,a+b)"
     );
 }
 
-/// Merge associativity: shard a stream three ways; `(a ⊕ b) ⊕ c`,
-/// `a ⊕ (b ⊕ c)`, and the single-pass sketch must agree under the probe.
-fn check_merge_associative<S: Mergeable>(
-    name: &str,
-    mk: impl Fn() -> S,
-    probe: impl Fn(&S) -> Vec<u64>,
-) {
+/// Merge associativity through the dynamic merge hook: shard a stream three
+/// ways; `(a ⊕ b) ⊕ c`, `a ⊕ (b ⊕ c)`, and the single-pass sketch agree.
+fn check_merge_associative(name: &str, spec: &SketchSpec) {
     let s = stream(0x3A);
     let third = s.len() / 3;
     let shards = [
@@ -92,10 +151,10 @@ fn check_merge_associative<S: Mergeable>(
         &s.updates[2 * third..],
     ];
     let sharded = |order_left: bool| {
-        let mut parts: Vec<S> = shards
+        let mut parts: Vec<Box<dyn DynSketch>> = shards
             .iter()
             .map(|shard| {
-                let mut sk = mk();
+                let mut sk = registry().build(spec).unwrap();
                 sk.update_batch(shard);
                 sk
             })
@@ -104,305 +163,132 @@ fn check_merge_associative<S: Mergeable>(
         let mut b = parts.pop().unwrap();
         let mut a = parts.pop().unwrap();
         if order_left {
-            a.merge_from(&b);
-            a.merge_from(&c);
-            probe(&a)
+            a.merge_dyn(b.as_ref()).unwrap();
+            a.merge_dyn(c.as_ref()).unwrap();
+            probe(a.as_ref())
         } else {
-            b.merge_from(&c);
-            a.merge_from(&b);
-            probe(&a)
+            b.merge_dyn(c.as_ref()).unwrap();
+            a.merge_dyn(b.as_ref()).unwrap();
+            probe(a.as_ref())
         }
     };
     let left = sharded(true);
     let right = sharded(false);
-    let mut whole = mk();
+    let mut whole = registry().build(spec).unwrap();
     whole.update_batch(&s.updates);
     assert_eq!(left, right, "{name}: merge is not associative");
-    assert_eq!(left, probe(&whole), "{name}: merge != single-pass sketch");
-}
-
-fn bits(vals: impl IntoIterator<Item = f64>) -> Vec<u64> {
-    vals.into_iter().map(f64::to_bits).collect()
-}
-
-const PROBE_ITEMS: u64 = 1024;
-
-// ---------------------------------------------------------------------------
-// bd-sketch baselines
-// ---------------------------------------------------------------------------
-
-#[test]
-fn countsketch_conformance() {
-    let mk = || CountSketch::<i64>::new(11, 7, 96);
-    let probe = |s: &CountSketch<i64>| bits((0..PROBE_ITEMS).map(|i| s.estimate(i)));
-    check_determinism("CountSketch", mk, probe);
-    check_batch_exact("CountSketch", mk, probe);
-    check_linearity("CountSketch", mk, probe);
-    check_merge_associative("CountSketch", mk, probe);
+    assert_eq!(
+        left,
+        probe(whole.as_ref()),
+        "{name}: merge != single-pass sketch"
+    );
 }
 
 #[test]
-fn countmin_conformance() {
-    let mk = || CountMin::new(12, 5, 64);
-    let probe = |s: &CountMin| (0..PROBE_ITEMS).map(|i| s.estimate(i) as u64).collect();
-    check_determinism("CountMin", mk, probe);
-    check_batch_exact("CountMin", mk, probe);
-    check_linearity("CountMin", mk, probe);
-    check_merge_associative("CountMin", mk, probe);
+fn every_family_is_deterministic() {
+    for info in registry().families() {
+        check_determinism(info.family.name(), &conformance_spec(info.family));
+    }
 }
 
 #[test]
-fn ams_and_ip_families_conformance() {
-    let fam = bd_sketch::AmsFamily::new(13, 64);
-    let mk = move || fam.sketch();
-    let probe = |s: &bd_sketch::AmsSketch| bits([s.f2(8)]);
-    check_determinism("AmsSketch", &mk, probe);
-    check_batch_exact("AmsSketch", &mk, probe);
-    check_merge_associative("AmsSketch", &mk, probe);
-
-    let ipf = bd_sketch::IpFamily::new(14, 5, 48);
-    let mk = move || ipf.sketch();
-    let probe = |s: &bd_sketch::IpCountSketch| bits([s.inner_product(s)]);
-    check_determinism("IpCountSketch", &mk, probe);
-    check_batch_exact("IpCountSketch", &mk, probe);
-    check_merge_associative("IpCountSketch", &mk, probe);
-}
-
-#[test]
-fn cauchy_l1_conformance() {
-    let mk = || LogCosL1::with_rows(15, 64, 15, 4);
-    let probe = |s: &LogCosL1| bits([s.estimate()]);
-    check_determinism("LogCosL1", mk, probe);
-    check_batch_exact("LogCosL1", mk, probe);
-
-    let mk = || MedianL1::with_rows(16, 32);
-    let probe = |s: &MedianL1| bits([s.estimate()]);
-    check_determinism("MedianL1", mk, probe);
-    check_batch_exact("MedianL1", mk, probe);
-}
-
-#[test]
-fn l0_baselines_conformance() {
-    let mk = || L0Estimator::new(17, 1 << 10, 0.25);
-    let probe = |s: &L0Estimator| bits([s.estimate()]);
-    check_determinism("L0Estimator", mk, probe);
-    check_batch_exact("L0Estimator", mk, probe);
-
-    let mk = || bd_sketch::RoughL0::for_universe(18, 1 << 10);
-    let probe = |s: &bd_sketch::RoughL0| vec![s.estimate()];
-    check_determinism("RoughL0", mk, probe);
-    check_batch_exact("RoughL0", mk, probe);
-
-    let mk = || bd_sketch::RoughF0::new(19);
-    let probe = |s: &bd_sketch::RoughF0| vec![s.estimate()];
-    check_determinism("RoughF0", mk, probe);
-    check_batch_exact("RoughF0", mk, probe);
-
-    let mk = || bd_sketch::SmallL0::new(20, 24, 3);
-    let probe = |s: &bd_sketch::SmallL0| vec![s.estimate()];
-    check_determinism("SmallL0", mk, probe);
-    check_batch_exact("SmallL0", mk, probe);
-
-    let mk = || bd_sketch::SmallF0::new(21, 16);
-    let probe = |s: &bd_sketch::SmallF0| match s.result() {
-        bd_sketch::SmallF0Result::Exact(v) => vec![0, v],
-        bd_sketch::SmallF0Result::Large => vec![1],
-    };
-    check_determinism("SmallF0", mk, probe);
-    check_batch_exact("SmallF0", mk, probe);
-}
-
-#[test]
-fn sparse_recovery_conformance() {
-    let mk = || SparseRecovery::new(22, 1 << 10, 24);
-    let probe = |s: &SparseRecovery| match s.decode() {
-        Recovery::Sparse(m) => {
-            let mut v: Vec<(u64, i64)> = m.into_iter().collect();
-            v.sort_unstable();
-            v.into_iter().flat_map(|(i, f)| [i, f as u64]).collect()
+fn declared_batch_bitwise_families_match_sequential() {
+    for info in registry().families() {
+        if info.caps.batch_bitwise {
+            check_batch_exact(info.family.name(), &conformance_spec(info.family));
         }
-        Recovery::Dense => vec![u64::MAX],
-    };
-    check_determinism("SparseRecovery", mk, probe);
-    check_batch_exact("SparseRecovery", mk, probe);
-    check_linearity("SparseRecovery", mk, probe);
-    check_merge_associative("SparseRecovery", mk, probe);
+    }
 }
 
 #[test]
-fn support_and_sampler_baselines_conformance() {
-    let mk = || SupportSamplerTurnstile::new(23, 1 << 10, 8);
-    let probe = |s: &SupportSamplerTurnstile| s.support();
-    check_determinism("SupportSamplerTurnstile", mk, probe);
-    check_batch_exact("SupportSamplerTurnstile", mk, probe);
-
-    let mk = || L1SamplerTurnstile::new(24, 1 << 10, 0.25, 0.5);
-    let probe = |s: &L1SamplerTurnstile| match s.sample() {
-        SampleOutcome::Sample { item, estimate } => vec![item, estimate.to_bits()],
-        SampleOutcome::Fail => vec![u64::MAX],
-    };
-    check_determinism("L1SamplerTurnstile", mk, probe);
-    check_batch_exact("L1SamplerTurnstile", mk, probe);
+fn declared_linear_families_are_linear() {
+    for info in registry().families() {
+        if info.caps.linear {
+            check_linearity(info.family.name(), &conformance_spec(info.family));
+        }
+    }
 }
 
 #[test]
-fn morris_conformance() {
-    let mk = || MorrisCounter::new(25);
-    let probe = |s: &MorrisCounter| vec![s.estimate()];
-    check_determinism("MorrisCounter", mk, probe);
-    check_batch_exact("MorrisCounter", mk, probe);
+fn declared_mergeable_families_merge_associatively() {
+    for info in registry().families() {
+        if info.caps.mergeable {
+            check_merge_associative(info.family.name(), &conformance_spec(info.family));
+        }
+    }
 }
 
-// ---------------------------------------------------------------------------
-// bd-core α-property structures
-// ---------------------------------------------------------------------------
-
+/// The capability descriptor must match the built sketch's dynamic views,
+/// and every probe must observe at least one query capability — otherwise
+/// the determinism checks above would be vacuous for that family.
 #[test]
-fn csss_conformance() {
-    // Large budget ⇒ no thinning ⇒ CSSS's sampling is degenerate and the
-    // exact checks apply; the thinned regime is covered statistically in the
-    // csss module tests.
-    let mk = || Csss::new(26, 8, 5, 1 << 22);
-    let probe = |s: &Csss| bits((0..PROBE_ITEMS).map(|i| s.estimate(i)));
-    check_determinism("Csss", mk, probe);
-    check_batch_exact("Csss", mk, probe);
-    check_linearity("Csss", mk, probe);
-    check_merge_associative("Csss", mk, probe);
+fn capability_descriptors_match_built_sketches() {
+    for info in registry().families() {
+        let spec = conformance_spec(info.family);
+        let mut sk = registry().build(&spec).unwrap();
+        let name = info.family.name();
+        assert_eq!(sk.as_point().is_some(), info.caps.point, "{name}: point");
+        assert_eq!(sk.as_norm().is_some(), info.caps.norm, "{name}: norm");
+        assert_eq!(sk.as_sample().is_some(), info.caps.sample, "{name}: sample");
+        assert_eq!(
+            sk.as_support().is_some(),
+            info.caps.support,
+            "{name}: support"
+        );
+        assert!(
+            info.caps.point || info.caps.norm || info.caps.sample || info.caps.support,
+            "{name}: no query capability — conformance probes would be vacuous"
+        );
+        // merge_dyn agrees with the mergeable flag.
+        let other = registry().build(&spec).unwrap();
+        let merged = sk.merge_dyn(other.as_ref());
+        assert_eq!(merged.is_ok(), info.caps.mergeable, "{name}: mergeable");
+    }
 }
 
+/// Determinism must also hold in the *thinning* regime, where halving
+/// consumes RNG draws per retained entry (the degenerate budget above never
+/// thins, so it can't catch iteration-order nondeterminism).
 #[test]
-fn sampled_vector_conformance() {
-    let mk = || SampledVector::new(27, 1 << 22);
-    let probe = |s: &SampledVector| bits((0..PROBE_ITEMS).map(|i| s.estimate(i)));
-    check_determinism("SampledVector", mk, probe);
-    check_batch_exact("SampledVector", mk, probe);
-    check_linearity("SampledVector", mk, probe);
-    check_merge_associative("SampledVector", mk, probe);
-    // Determinism must also hold in the thinning regime, where halving
-    // consumes RNG draws per retained entry (the budget above is large
-    // enough that halve() never runs, so it can't catch iteration-order
-    // nondeterminism).
-    let mk = || SampledVector::new(28, 128);
-    check_determinism("SampledVector(thinned)", mk, probe);
-    check_batch_exact("SampledVector(thinned)", mk, probe);
+fn thinned_sampling_regime_stays_deterministic() {
+    for family in [SketchFamily::SampledVector, SketchFamily::Csss] {
+        let spec = conformance_spec(family).with_budget(128).with_seed(28);
+        check_determinism("thinned", &spec);
+    }
+    // SampledVector keeps the default sequential batch loop, so bitwise
+    // batch equality holds even while thinning; CSSS's pre-aggregating
+    // override is only statistical there (covered by its module tests).
+    let spec = conformance_spec(SketchFamily::SampledVector)
+        .with_budget(128)
+        .with_seed(28);
+    check_batch_exact("thinned(SampledVector)", &spec);
 }
 
-#[test]
-fn alpha_heavy_hitters_conformance() {
-    let params = Params::practical(1 << 10, 0.1, 3.0);
-    let mk = || AlphaHeavyHitters::new_strict(28, &params);
-    let probe = |s: &AlphaHeavyHitters| {
-        let mut out: Vec<u64> = s
-            .query()
-            .into_iter()
-            .flat_map(|(i, e)| [i, e.to_bits()])
-            .collect();
-        out.push(s.norm_estimate().to_bits());
-        out
-    };
-    check_determinism("AlphaHeavyHitters(strict)", mk, probe);
-
-    let mk = || AlphaHeavyHitters::new_general(29, &params);
-    check_determinism("AlphaHeavyHitters(general)", mk, probe);
-}
-
-#[test]
-fn alpha_estimators_conformance() {
-    let params = Params::practical(1 << 10, 0.2, 3.0);
-
-    let mk = || AlphaL1Estimator::new(30, &params);
-    let probe = |s: &AlphaL1Estimator| bits([s.estimate()]);
-    check_determinism("AlphaL1Estimator", mk, probe);
-    check_batch_exact("AlphaL1Estimator", mk, probe);
-
-    let mk = || AlphaL1General::new(31, &params);
-    let probe = |s: &AlphaL1General| bits([s.estimate()]);
-    check_determinism("AlphaL1General", mk, probe);
-    check_batch_exact("AlphaL1General", mk, probe);
-
-    let mk = || AlphaL0Estimator::new(32, &params);
-    let probe = |s: &AlphaL0Estimator| bits([s.estimate()]);
-    check_determinism("AlphaL0Estimator", mk, probe);
-    check_batch_exact("AlphaL0Estimator", mk, probe);
-
-    let mk = || AlphaConstL0::new(33, &params);
-    let probe = |s: &AlphaConstL0| vec![s.estimate()];
-    check_determinism("AlphaConstL0", mk, probe);
-    check_batch_exact("AlphaConstL0", mk, probe);
-
-    let mk = || AlphaRoughL0::new(34, 1 << 10);
-    let probe = |s: &AlphaRoughL0| vec![s.estimate()];
-    check_determinism("AlphaRoughL0", mk, probe);
-    check_batch_exact("AlphaRoughL0", mk, probe);
-
-    let mk = || AlphaL2HeavyHitters::new(35, &params);
-    let probe = |s: &AlphaL2HeavyHitters| {
-        let mut out: Vec<u64> = s
-            .query()
-            .into_iter()
-            .flat_map(|(i, e)| [i, e.to_bits()])
-            .collect();
-        out.push(s.l2_estimate().to_bits());
-        out
-    };
-    check_determinism("AlphaL2HeavyHitters", mk, probe);
-    check_batch_exact("AlphaL2HeavyHitters", mk, probe);
-}
-
-#[test]
-fn alpha_samplers_conformance() {
-    let params = Params::practical(1 << 10, 0.25, 3.0).with_delta(0.5);
-
-    let mk = || AlphaL1Sampler::new(36, &params);
-    let probe = |s: &AlphaL1Sampler| match s.sample() {
-        SampleOutcome::Sample { item, estimate } => vec![item, estimate.to_bits()],
-        SampleOutcome::Fail => vec![u64::MAX],
-    };
-    check_determinism("AlphaL1Sampler", mk, probe);
-
-    let mk = || AlphaSupportSampler::new(37, &params, 8);
-    let probe = |s: &AlphaSupportSampler| s.query();
-    check_determinism("AlphaSupportSampler", mk, probe);
-    check_batch_exact("AlphaSupportSampler", mk, probe);
-
-    let mk = || AlphaSupportSamplerSet::new(38, &params, 8);
-    let probe = |s: &AlphaSupportSamplerSet| s.query();
-    check_determinism("AlphaSupportSamplerSet", mk, probe);
-    check_batch_exact("AlphaSupportSamplerSet", mk, probe);
-}
-
-#[test]
-fn alpha_ip_sketch_conformance() {
-    let params = Params::practical(1 << 10, 0.2, 3.0);
-    let family = bd_core::AlphaIpFamily::new(39, &params, 3);
-    let mk = move || family.sketch(40);
-    let probe = |s: &bd_core::AlphaIpSketch| bits([s.inner_product(s)]);
-    check_determinism("AlphaIpSketch", &mk, probe);
-}
-
-#[test]
-fn frequency_vector_is_the_reference_sketch() {
-    let mk = || FrequencyVector::new(1 << 10);
-    let probe = |s: &FrequencyVector| (0..PROBE_ITEMS).map(|i| s.get(i) as u64).collect();
-    check_determinism("FrequencyVector", mk, probe);
-    check_batch_exact("FrequencyVector", mk, probe);
-    check_linearity("FrequencyVector", mk, probe);
-}
-
-/// The batched heavy-hitter path must answer queries as well as the
-/// sequential one (the override is statistical, not bitwise).
+/// The batched heavy-hitter paths must answer queries as well as the
+/// sequential ones (their overrides are statistical, not bitwise — the
+/// families that opt out of `batch_bitwise`, both heavy-hitter variants).
 #[test]
 fn heavy_hitters_batched_quality_matches() {
     let eps = 0.05;
     let s = BoundedDeletionGen::new(1 << 12, 40_000, 4.0).generate_seeded(0x51);
     let truth = FrequencyVector::from_stream(&s);
-    let params = Params::practical(s.n, eps, 4.0);
-    for runner in [StreamRunner::unbatched(), StreamRunner::new()] {
-        let mut hh = AlphaHeavyHitters::new_strict(99, &params);
-        runner.run(&mut hh, &s);
-        let got: Vec<u64> = hh.query().into_iter().map(|(i, _)| i).collect();
-        for i in truth.l1_heavy_hitters(eps) {
-            assert!(got.contains(&i), "missed {i} (chunk {})", runner.chunk());
+    for family in [SketchFamily::AlphaHh, SketchFamily::AlphaHhGeneral] {
+        let spec = SketchSpec::new(family)
+            .with_n(s.n)
+            .with_epsilon(eps)
+            .with_alpha(4.0)
+            .with_seed(99);
+        for runner in [StreamRunner::unbatched(), StreamRunner::new()] {
+            let mut hh: AlphaHeavyHitters = build_sketch(&spec);
+            runner.run(&mut hh, &s);
+            let got: Vec<u64> = hh.query().into_iter().map(|(i, _)| i).collect();
+            for i in truth.l1_heavy_hitters(eps) {
+                assert!(
+                    got.contains(&i),
+                    "{family}: missed {i} (chunk {})",
+                    runner.chunk()
+                );
+            }
         }
     }
 }

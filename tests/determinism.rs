@@ -36,9 +36,15 @@ fn generators_are_seed_deterministic() {
 #[test]
 fn csss_is_seed_deterministic() {
     let s = stream();
-    let params = Params::practical(s.n, 0.1, 4.0);
+    let spec = SketchSpec::new(SketchFamily::Csss)
+        .with_n(s.n)
+        .with_epsilon(0.1)
+        .with_alpha(4.0)
+        .with_k(8)
+        .with_depth(7)
+        .with_seed(77);
     let run = || {
-        let mut c = bd_core::Csss::new(77, 8, 7, params.csss_sample_budget());
+        let mut c: Csss = build_sketch(&spec);
         StreamRunner::new().run(&mut c, &s);
         (0..64u64)
             .map(|i| c.estimate(i).to_bits())
@@ -50,9 +56,13 @@ fn csss_is_seed_deterministic() {
 #[test]
 fn heavy_hitters_and_space_reports_are_deterministic() {
     let s = stream();
-    let params = Params::practical(s.n, 0.1, 4.0);
+    let spec = SketchSpec::new(SketchFamily::AlphaHh)
+        .with_n(s.n)
+        .with_epsilon(0.1)
+        .with_alpha(4.0)
+        .with_seed(5);
     let run = || {
-        let mut hh = AlphaHeavyHitters::new_strict(5, &params);
+        let mut hh: AlphaHeavyHitters = build_sketch(&spec);
         let report = StreamRunner::new().run(&mut hh, &s);
         (hh.query(), report.space)
     };
@@ -69,10 +79,18 @@ fn heavy_hitters_and_space_reports_are_deterministic() {
 #[test]
 fn l0_and_support_structures_are_deterministic() {
     let s = L0AlphaGen::new(1 << 18, 400, 2.0).generate_seeded(2);
-    let params = Params::practical(s.n, 0.2, 2.0);
+    let spec = SketchSpec::new(SketchFamily::AlphaL0)
+        .with_n(s.n)
+        .with_epsilon(0.2)
+        .with_alpha(2.0);
     let run = || {
-        let mut l0 = AlphaL0Estimator::new(3, &params);
-        let mut sup = AlphaSupportSampler::new(4, &params, 8);
+        let mut l0: AlphaL0Estimator = build_sketch(&spec.with_seed(3));
+        let mut sup: AlphaSupportSampler = build_sketch(
+            &spec
+                .with_family(SketchFamily::AlphaSupport)
+                .with_k(8)
+                .with_seed(4),
+        );
         let runner = StreamRunner::new();
         runner.run(&mut l0, &s);
         runner.run(&mut sup, &s);
@@ -84,11 +102,26 @@ fn l0_and_support_structures_are_deterministic() {
 #[test]
 fn baselines_are_deterministic() {
     let s = stream();
+    let spec = SketchSpec::new(SketchFamily::CountSketch)
+        .with_n(s.n)
+        .with_epsilon(0.25)
+        .with_depth(5)
+        .with_width(96);
     let run = || {
-        let mut cs = CountSketch::<i64>::new(4, 5, 96);
-        let mut cm = CountMin::new(5, 5, 96);
-        let mut l1 = MedianL1::with_rows(6, 32);
-        let mut l0 = L0Estimator::new(7, s.n, 0.25);
+        let mut cs: CountSketch<i64> = build_sketch(&spec.with_seed(4));
+        let mut cm: CountMin = build_sketch(&spec.with_family(SketchFamily::CountMin).with_seed(5));
+        let mut l1: MedianL1 = build_sketch(
+            &spec
+                .with_family(SketchFamily::MedianL1)
+                .with_depth(32)
+                .with_seed(6),
+        );
+        let mut l0: L0Estimator = build_sketch(
+            &SketchSpec::new(SketchFamily::L0Turnstile)
+                .with_n(s.n)
+                .with_epsilon(0.25)
+                .with_seed(7),
+        );
         let runner = StreamRunner::new();
         let reports = runner.run_each(
             &mut [&mut cs as &mut dyn Sketch, &mut cm, &mut l1, &mut l0],
@@ -108,9 +141,14 @@ fn baselines_are_deterministic() {
 #[test]
 fn sampler_draws_are_deterministic() {
     let s = StrongAlphaGen::new(128, 50, 3.0).generate_seeded(6);
-    let params = Params::practical(128, 0.25, 3.0).with_delta(0.5);
+    let spec = SketchSpec::new(SketchFamily::AlphaL1Sampler)
+        .with_n(128)
+        .with_epsilon(0.25)
+        .with_alpha(3.0)
+        .with_delta(0.5)
+        .with_seed(8);
     let run = || {
-        let mut smp = AlphaL1Sampler::new(8, &params);
+        let mut smp: AlphaL1Sampler = build_sketch(&spec);
         StreamRunner::new().run(&mut smp, &s);
         match smp.sample() {
             SampleOutcome::Sample { item, estimate } => (Some(item), estimate.to_bits()),
@@ -125,10 +163,14 @@ fn batched_and_unbatched_runners_agree_for_default_impls() {
     // Sketches that keep the default update_batch loop must be bit-identical
     // whichever way the runner drives them.
     let s = stream();
-    let params = Params::practical(s.n, 0.2, 4.0);
+    let spec = SketchSpec::new(SketchFamily::AlphaL1)
+        .with_n(s.n)
+        .with_epsilon(0.2)
+        .with_alpha(4.0);
     let run = |runner: StreamRunner| {
-        let mut l1 = AlphaL1Estimator::new(9, &params);
-        let mut gen = AlphaL1General::new(10, &params);
+        let mut l1: AlphaL1Estimator = build_sketch(&spec.with_seed(9));
+        let mut gen: AlphaL1General =
+            build_sketch(&spec.with_family(SketchFamily::AlphaL1General).with_seed(10));
         runner.run(&mut l1, &s);
         runner.run(&mut gen, &s);
         (l1.estimate().to_bits(), gen.estimate().to_bits())

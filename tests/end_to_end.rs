@@ -16,8 +16,13 @@ fn heavy_hitters_across_workloads() {
     for (t, stream) in streams.into_iter().enumerate() {
         let truth = FrequencyVector::from_stream(&stream);
         let alpha = truth.alpha_l1().max(1.0);
-        let params = Params::practical(stream.n, eps, alpha);
-        let mut hh = AlphaHeavyHitters::new_strict(100 + t as u64, &params);
+        let mut hh: AlphaHeavyHitters = build_sketch(
+            &SketchSpec::new(SketchFamily::AlphaHh)
+                .with_n(stream.n)
+                .with_epsilon(eps)
+                .with_alpha(alpha)
+                .with_seed(100 + t as u64),
+        );
         let report = runner.run(&mut hh, &stream);
         assert_eq!(report.updates, stream.len());
         let got: Vec<u64> = hh.query().into_iter().map(|(i, _)| i).collect();
@@ -38,10 +43,14 @@ fn heavy_hitters_across_workloads() {
 fn l1_estimation_strict_and_general_agree_with_truth() {
     let stream = BoundedDeletionGen::new(1 << 12, 150_000, 6.0).generate_seeded(2);
     let truth = FrequencyVector::from_stream(&stream).l1() as f64;
-    let params = Params::practical(stream.n, 0.2, 6.0);
+    let spec = SketchSpec::new(SketchFamily::AlphaL1)
+        .with_n(stream.n)
+        .with_epsilon(0.2)
+        .with_alpha(6.0);
 
-    let mut strict = AlphaL1Estimator::new(20, &params);
-    let mut general = AlphaL1General::new(21, &params);
+    let mut strict: AlphaL1Estimator = build_sketch(&spec.with_seed(20));
+    let mut general: AlphaL1General =
+        build_sketch(&spec.with_family(SketchFamily::AlphaL1General).with_seed(21));
     let runner = StreamRunner::new();
     runner.run_each(&mut [&mut strict as &mut dyn Sketch, &mut general], &stream);
     assert!(
@@ -66,8 +75,13 @@ fn l0_estimation_on_sensor_and_synthetic_streams() {
     for (t, stream) in streams.into_iter().enumerate() {
         let truth = FrequencyVector::from_stream(&stream);
         let alpha = truth.alpha_l0();
-        let params = Params::practical(stream.n, 0.15, alpha);
-        let mut est = AlphaL0Estimator::new(300 + t as u64, &params);
+        let mut est: AlphaL0Estimator = build_sketch(
+            &SketchSpec::new(SketchFamily::AlphaL0)
+                .with_n(stream.n)
+                .with_epsilon(0.15)
+                .with_alpha(alpha)
+                .with_seed(300 + t as u64),
+        );
         runner.run(&mut est, &stream);
         let e = est.estimate();
         let t = truth.l0() as f64;
@@ -84,8 +98,14 @@ fn support_sampler_feeds_downstream_consumers() {
     // their exact values with a second pass (here: against ground truth).
     let stream = L0AlphaGen::new(1 << 16, 300, 3.0).generate_seeded(4);
     let truth = FrequencyVector::from_stream(&stream);
-    let params = Params::practical(stream.n, 0.25, 3.0);
-    let mut s = AlphaSupportSamplerSet::new(40, &params, 12);
+    let mut s: AlphaSupportSamplerSet = build_sketch(
+        &SketchSpec::new(SketchFamily::AlphaSupportSet)
+            .with_n(stream.n)
+            .with_epsilon(0.25)
+            .with_alpha(3.0)
+            .with_k(12)
+            .with_seed(40),
+    );
     StreamRunner::new().run(&mut s, &stream);
     let got = s.query();
     assert!(got.len() >= 12, "only {} recovered", got.len());
@@ -105,8 +125,13 @@ fn inner_product_on_rdc_pairs() {
     let vg = FrequencyVector::from_stream(&g);
     let eps = 0.05;
     let alpha = vf.alpha_l1().max(vg.alpha_l1()).max(1.0);
-    let params = Params::practical(1 << 20, eps, alpha);
-    let mut ip = AlphaInnerProduct::new(50, &params);
+    let mut ip = AlphaInnerProduct::from_spec(
+        &SketchSpec::new(SketchFamily::AlphaIp)
+            .with_n(1 << 20)
+            .with_epsilon(eps)
+            .with_alpha(alpha)
+            .with_seed(50),
+    );
     let runner = StreamRunner::new();
     runner.run(&mut ip.f, &f);
     runner.run(&mut ip.g, &g);
@@ -121,9 +146,13 @@ fn alpha_one_matches_insertion_only_behaviour() {
     // near-exact.
     let stream = BoundedDeletionGen::new(1 << 10, 40_000, 1.0).generate_seeded(6);
     let truth = FrequencyVector::from_stream(&stream);
-    let params = Params::practical(stream.n, 0.1, 1.0);
-    let mut l1 = AlphaL1Estimator::new(60, &params);
-    let mut hh = AlphaHeavyHitters::new_strict(61, &params);
+    let spec = SketchSpec::new(SketchFamily::AlphaL1)
+        .with_n(stream.n)
+        .with_epsilon(0.1)
+        .with_alpha(1.0);
+    let mut l1: AlphaL1Estimator = build_sketch(&spec.with_seed(60));
+    let mut hh: AlphaHeavyHitters =
+        build_sketch(&spec.with_family(SketchFamily::AlphaHh).with_seed(61));
     StreamRunner::new().run_each(&mut [&mut l1 as &mut dyn Sketch, &mut hh], &stream);
     let t = truth.l1() as f64;
     assert!((l1.estimate() - t).abs() / t < 0.2);
@@ -136,9 +165,14 @@ fn alpha_one_matches_insertion_only_behaviour() {
 fn weighted_updates_match_unit_expansion_semantics() {
     // Feeding (i, 5) must behave like five unit updates in expectation:
     // compare CSSS estimates across the two encodings.
-    let params = Params::practical(1 << 10, 0.1, 2.0);
-    let mut weighted = bd_core::Csss::new(70, 8, 13, params.csss_sample_budget());
-    let mut expanded = bd_core::Csss::new(71, 8, 13, params.csss_sample_budget());
+    let spec = SketchSpec::new(SketchFamily::Csss)
+        .with_n(1 << 10)
+        .with_epsilon(0.1)
+        .with_alpha(2.0)
+        .with_k(8)
+        .with_depth(13);
+    let mut weighted: Csss = build_sketch(&spec.with_seed(70));
+    let mut expanded: Csss = build_sketch(&spec.with_seed(71));
     // Sparse support (8 items over 48 buckets/row, deep median) keeps
     // collision noise below the signal, so both encodings are near-exact.
     let mut weighted_updates = Vec::new();
@@ -168,12 +202,16 @@ fn sharded_ingestion_via_merge_matches_single_pass() {
     // as well as the single-pass sketch does.
     let stream = BoundedDeletionGen::new(1 << 12, 80_000, 4.0).generate_seeded(80);
     let truth = FrequencyVector::from_stream(&stream);
-    let params = Params::practical(stream.n, 0.1, 4.0);
-    let budget = params.csss_sample_budget();
+    let spec = SketchSpec::new(SketchFamily::Csss)
+        .with_n(stream.n)
+        .with_epsilon(0.1)
+        .with_alpha(4.0)
+        .with_k(16)
+        .with_seed(81);
 
     let runner = StreamRunner::new();
     let quarter = stream.len() / 4;
-    let mut merged: Option<bd_core::Csss> = None;
+    let mut merged: Option<Csss> = None;
     for w in 0..4 {
         let lo = w * quarter;
         let hi = if w == 3 {
@@ -182,7 +220,7 @@ fn sharded_ingestion_via_merge_matches_single_pass() {
             (w + 1) * quarter
         };
         let shard = StreamBatch::new(stream.n, stream.updates[lo..hi].to_vec());
-        let mut sketch = bd_core::Csss::new(81, 16, 9, budget);
+        let mut sketch: Csss = build_sketch(&spec);
         runner.run(&mut sketch, &shard);
         merged = Some(match merged {
             None => sketch,

@@ -20,8 +20,13 @@ fn heavy_hitters_decode_augmented_indexing() {
         let truth = FrequencyVector::from_stream(&inst.stream);
         assert!(truth.alpha_strong() <= 3.0 * alpha * alpha);
 
-        let params = Params::practical(inst.stream.n, eps, truth.alpha_l1().max(1.0));
-        let mut hh = AlphaHeavyHitters::new_strict(1000 + seed, &params);
+        let mut hh: AlphaHeavyHitters = build_sketch(
+            &SketchSpec::new(SketchFamily::AlphaHh)
+                .with_n(inst.stream.n)
+                .with_epsilon(eps)
+                .with_alpha(truth.alpha_l1().max(1.0))
+                .with_seed(1000 + seed),
+        );
         runner.run(&mut hh, &inst.stream);
         let got: Vec<u64> = hh.query().into_iter().map(|(i, _)| i).collect();
         if inst.planted.iter().all(|i| got.contains(i)) {
@@ -40,8 +45,14 @@ fn support_sampler_survives_block_instance() {
     // support sampler must return items from it.
     let inst = SupportHard::new(1 << 20, 64).generate_seeded(10);
     let truth = FrequencyVector::from_stream(&inst.stream);
-    let params = Params::practical(inst.stream.n, 0.25, truth.alpha_l0().max(1.0));
-    let mut s = AlphaSupportSamplerSet::new(10, &params, 4);
+    let mut s: AlphaSupportSamplerSet = build_sketch(
+        &SketchSpec::new(SketchFamily::AlphaSupportSet)
+            .with_n(inst.stream.n)
+            .with_epsilon(0.25)
+            .with_alpha(truth.alpha_l0().max(1.0))
+            .with_k(4)
+            .with_seed(10),
+    );
     StreamRunner::new().run(&mut s, &inst.stream);
     let got = s.query();
     assert!(
@@ -66,8 +77,13 @@ fn inner_product_decodes_planted_bit() {
     for seed in 0..trials {
         let inst = InnerProductHard::new(1 << 16, eps, alpha).generate_seeded(20 + seed);
         let vf = FrequencyVector::from_stream(&inst.f);
-        let params = Params::practical(1 << 16, 0.01, vf.alpha_strong().clamp(1.0, 1e6));
-        let mut ip = AlphaInnerProduct::new(20 + seed, &params);
+        let mut ip = AlphaInnerProduct::from_spec(
+            &SketchSpec::new(SketchFamily::AlphaIp)
+                .with_n(1 << 16)
+                .with_epsilon(0.01)
+                .with_alpha(vf.alpha_strong().clamp(1.0, 1e6))
+                .with_seed(20 + seed),
+        );
         runner.run(&mut ip.f, &inst.f);
         runner.run(&mut ip.g, &inst.g);
         let threshold = 1.5 * alpha as f64 * 10f64.powi(inst.query_block as i32 + 1);
@@ -87,8 +103,13 @@ fn l1_estimator_on_geometric_block_stream() {
     let inst = AugmentedIndexingHH::new(1 << 14, 0.1, alpha).generate_seeded(30);
     let truth = FrequencyVector::from_stream(&inst.stream);
     let realized = truth.alpha_l1();
-    let params = Params::practical(inst.stream.n, 0.2, realized.max(1.0));
-    let mut est = AlphaL1Estimator::new(30, &params);
+    let mut est: AlphaL1Estimator = build_sketch(
+        &SketchSpec::new(SketchFamily::AlphaL1)
+            .with_n(inst.stream.n)
+            .with_epsilon(0.2)
+            .with_alpha(realized.max(1.0))
+            .with_seed(30),
+    );
     StreamRunner::new().run(&mut est, &inst.stream);
     let t = truth.l1() as f64;
     assert!(
@@ -104,10 +125,15 @@ fn unbounded_deletion_streams_break_the_alpha_window_gracefully() {
     // for α = 4 may lose accuracy but must not panic or return garbage
     // like negative norms.
     let stream = UnboundedDeletionGen::new(1 << 12, 100_000, 10).generate_seeded(40);
-    let params = Params::practical(stream.n, 0.2, 4.0);
-    let mut l1 = AlphaL1Estimator::new(41, &params);
-    let mut l0 = AlphaL0Estimator::new(42, &params);
-    let mut hh = AlphaHeavyHitters::new_strict(43, &params);
+    let spec = SketchSpec::new(SketchFamily::AlphaL1)
+        .with_n(stream.n)
+        .with_epsilon(0.2)
+        .with_alpha(4.0);
+    let mut l1: AlphaL1Estimator = build_sketch(&spec.with_seed(41));
+    let mut l0: AlphaL0Estimator =
+        build_sketch(&spec.with_family(SketchFamily::AlphaL0).with_seed(42));
+    let mut hh: AlphaHeavyHitters =
+        build_sketch(&spec.with_family(SketchFamily::AlphaHh).with_seed(43));
     StreamRunner::new().run_each(&mut [&mut l1 as &mut dyn Sketch, &mut l0, &mut hh], &stream);
     assert!(l1.estimate() >= 0.0);
     assert!(l0.estimate() >= 0.0);

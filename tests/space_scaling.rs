@@ -25,8 +25,15 @@ fn csss_counter_width_tracks_alpha_not_stream_length() {
     let runner = StreamRunner::new();
     let mut widths = Vec::new();
     for alpha in [2.0f64, 8.0, 32.0] {
-        let budget = (256.0 * alpha * alpha) as u64;
-        let mut c = bd_core::Csss::new(1, 8, 5, budget);
+        let mut c: Csss = build_sketch(
+            &SketchSpec::new(SketchFamily::Csss)
+                .with_n(1 << 10)
+                .with_alpha(alpha)
+                .with_k(8)
+                .with_depth(5)
+                .with_budget((256.0 * alpha * alpha) as u64)
+                .with_seed(1),
+        );
         let report = runner.run(&mut c, &stream);
         assert!(c.level() > 0, "thinning must be active at α = {alpha}");
         widths.push(per_counter(&report.space));
@@ -41,15 +48,24 @@ fn csss_counter_width_tracks_alpha_not_stream_length() {
 fn csss_counter_width_saturates_in_stream_length() {
     // Doubling the stream once thinning is active must NOT widen counters
     // (the log n factor is gone); the baseline Countsketch keeps growing.
-    let params = Params::practical(1 << 20, 0.1, 4.0);
     let short_stream = cyclic(1 << 10, 64, 150_000);
     let long_stream = cyclic(1 << 10, 64, 2_400_000);
     let runner = StreamRunner::new();
 
-    let mut short = bd_core::Csss::new(2, 8, 5, params.csss_sample_budget());
-    let mut long = bd_core::Csss::new(3, 8, 5, params.csss_sample_budget());
-    let mut cs_short = CountSketch::<i64>::new(4, 5, 48);
-    let mut cs_long = CountSketch::<i64>::new(5, 5, 48);
+    let csss_spec = SketchSpec::new(SketchFamily::Csss)
+        .with_n(1 << 20)
+        .with_epsilon(0.1)
+        .with_alpha(4.0)
+        .with_k(8)
+        .with_depth(5);
+    let cs_spec = SketchSpec::new(SketchFamily::CountSketch)
+        .with_n(1 << 20)
+        .with_depth(5)
+        .with_width(48);
+    let mut short: Csss = build_sketch(&csss_spec.with_seed(2));
+    let mut long: Csss = build_sketch(&csss_spec.with_seed(3));
+    let mut cs_short: CountSketch<i64> = build_sketch(&cs_spec.with_seed(4));
+    let mut cs_long: CountSketch<i64> = build_sketch(&cs_spec.with_seed(5));
 
     let rep_short = runner.run(&mut short, &short_stream);
     let rep_long = runner.run(&mut long, &long_stream);
@@ -74,8 +90,13 @@ fn windowed_l0_rows_scale_with_alpha_while_baseline_scales_with_n() {
     for n_bits in [18u32, 24] {
         let n = 1u64 << n_bits;
         let stream = L0AlphaGen::new(n, 3_000, 2.0).generate_seeded(n_bits as u64);
-        let params = Params::practical(n, 0.25, 2.0);
-        let mut windowed = AlphaL0Estimator::new(3, &params);
+        let mut windowed: AlphaL0Estimator = build_sketch(
+            &SketchSpec::new(SketchFamily::AlphaL0)
+                .with_n(n)
+                .with_epsilon(0.25)
+                .with_alpha(2.0)
+                .with_seed(3),
+        );
         runner.run(&mut windowed, &stream);
         // Live rows are α-determined, essentially flat in n.
         assert!(
@@ -90,10 +111,18 @@ fn windowed_l0_rows_scale_with_alpha_while_baseline_scales_with_n() {
 fn support_sampler_beats_baseline_space_on_large_universes() {
     let n = 1u64 << 30;
     let stream = L0AlphaGen::new(n, 800, 2.0).generate_seeded(4);
-    let params = Params::practical(n, 0.25, 2.0);
     let k = 8;
-    let mut ours = bd_core::AlphaSupportSampler::new(4, &params, k);
-    let mut baseline = SupportSamplerTurnstile::new(5, n, k);
+    let spec = SketchSpec::new(SketchFamily::AlphaSupport)
+        .with_n(n)
+        .with_epsilon(0.25)
+        .with_alpha(2.0)
+        .with_k(k);
+    let mut ours: AlphaSupportSampler = build_sketch(&spec.with_seed(4));
+    let mut baseline: SupportSamplerTurnstile = build_sketch(
+        &spec
+            .with_family(SketchFamily::SupportTurnstile)
+            .with_seed(5),
+    );
     let runner = StreamRunner::new();
     let rep_ours = runner.run(&mut ours, &stream);
     let rep_base = runner.run(&mut baseline, &stream);
@@ -112,7 +141,12 @@ fn interval_sampling_counters_stay_narrow() {
     // Figure 4's counters hold ≤ poly(s) samples no matter how long the
     // stream runs.
     let stream = cyclic(1 << 10, 1, 1_500_000);
-    let mut est = AlphaL1Estimator::with_budget(5, 1 << 7);
+    let mut est: AlphaL1Estimator = build_sketch(
+        &SketchSpec::new(SketchFamily::AlphaL1)
+            .with_n(1 << 10)
+            .with_budget(1 << 7)
+            .with_seed(5),
+    );
     let report = StreamRunner::new().run(&mut est, &stream);
     assert!(
         per_counter(&report.space) <= 30.0,
