@@ -1,8 +1,10 @@
 //! Ingestion throughput: per-update `Sketch::update` versus batched
 //! `Sketch::update_batch` through the `StreamRunner`, on the structures with
 //! pre-aggregating batch overrides (Countsketch, Count-Min, CSSS, the
-//! α heavy hitters, the turnstile support sampler) plus one default-impl
-//! control (the exact frequency vector).
+//! α heavy hitters, the general α L1 estimator, the turnstile support
+//! sampler) plus one default-impl control (the exact frequency vector) —
+//! and the `ingest_sharded` section: the batched sequential pass versus the
+//! `ShardedRunner` at 4 worker threads on the mergeable hot families.
 //!
 //! Sketches are named by `SketchSpec` and built through the workspace
 //! registry, so adding a structure to the sweep is one spec line.
@@ -10,14 +12,16 @@
 //! Emits `BENCH_ingest.json` (median updates/sec per configuration) so later
 //! PRs have a throughput trajectory to compare against;
 //! `scripts/bench_compare.sh` gates CI on >20% regressions against the
-//! committed baseline.
+//! committed baseline. Sharded speedups are machine-dependent (they track
+//! available cores — `std::thread::available_parallelism` is recorded in the
+//! JSON context), so new measurements land ungated until a baseline exists.
 //!
 //! Run: `cargo bench -p bd-bench --bench ingest`
 
 use bd_bench::micro::{self, Measurement};
 use bd_bench::registry;
 use bd_stream::gen::BoundedDeletionGen;
-use bd_stream::{SketchFamily, SketchSpec, StreamBatch, StreamRunner};
+use bd_stream::{ShardedRunner, SketchFamily, SketchSpec, StreamBatch, StreamRunner};
 
 const N: u64 = 1 << 16;
 const MASS: u64 = 400_000;
@@ -42,6 +46,22 @@ fn ingest(name: &str, stream: &StreamBatch, runner: StreamRunner, spec: SketchSp
             .expect("bench spec must be registered");
         runner.run(&mut *sk, stream);
         std::hint::black_box(sk.space_bits());
+    })
+}
+
+/// Time a full `ShardedRunner` pass (shard, parallel ingest, merge) per
+/// sample.
+fn ingest_sharded(
+    name: &str,
+    stream: &StreamBatch,
+    threads: usize,
+    spec: SketchSpec,
+) -> Measurement {
+    micro::sample(name, stream.len() as u64, SAMPLES, WARMUP, |s| {
+        let run = ShardedRunner::new(threads)
+            .run(registry(), &spec.with_seed(s as u64), stream)
+            .expect("bench spec must be mergeable");
+        std::hint::black_box(run.report().space_bits());
     })
 }
 
@@ -95,8 +115,48 @@ fn main() {
         base.with_family(SketchFamily::SupportTurnstile).with_k(8),
     );
     compare(
+        "alpha_l1_general",
+        base.with_family(SketchFamily::AlphaL1General),
+    );
+    compare(
         "frequency_vector(control)",
         base.with_family(SketchFamily::Exact),
+    );
+
+    // Sharded ingestion: batched sequential pass vs the ShardedRunner at
+    // `SHARD_THREADS` workers, on mergeable families spanning the cost
+    // spectrum (cheap control, linear table, sampling compound).
+    const SHARD_THREADS: usize = 4;
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    println!(
+        "\nsharded ingestion — ShardedRunner at {SHARD_THREADS} threads \
+         ({cores} core(s) available)\n"
+    );
+    let mut shard_pairs: Vec<(String, f64)> = Vec::new();
+    let mut compare_sharded = |label: &str, spec: SketchSpec| {
+        let seq = ingest(&format!("ingest_sharded/{label}/seq"), &stream, bat, spec);
+        let shr = ingest_sharded(
+            &format!("ingest_sharded/{label}/t{SHARD_THREADS}"),
+            &stream,
+            SHARD_THREADS,
+            spec,
+        );
+        micro::report(&seq);
+        micro::report(&shr);
+        let speedup = shr.ops_per_sec / seq.ops_per_sec;
+        println!("  {label:<44} {speedup:>10.2}x sharded speedup\n");
+        shard_pairs.push((label.to_string(), speedup));
+        results.push(seq);
+        results.push(shr);
+    };
+    compare_sharded("exact", base.with_family(SketchFamily::Exact));
+    compare_sharded("countsketch", base);
+    compare_sharded("csss", base.with_family(SketchFamily::Csss).with_k(16));
+    compare_sharded(
+        "alpha_heavy_hitters",
+        base.with_family(SketchFamily::AlphaHh),
     );
 
     let json = micro::to_json(
@@ -104,9 +164,19 @@ fn main() {
             ("bench", "ingest".to_string()),
             ("updates", stream.len().to_string()),
             ("chunk", StreamRunner::DEFAULT_CHUNK.to_string()),
+            ("shard_threads", SHARD_THREADS.to_string()),
+            ("cores", cores.to_string()),
             (
                 "speedups",
                 pairs
+                    .iter()
+                    .map(|(n, s)| format!("{n}={s:.2}x"))
+                    .collect::<Vec<_>>()
+                    .join(","),
+            ),
+            (
+                "sharded_speedups",
+                shard_pairs
                     .iter()
                     .map(|(n, s)| format!("{n}={s:.2}x"))
                     .collect::<Vec<_>>()

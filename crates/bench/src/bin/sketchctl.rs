@@ -5,7 +5,9 @@
 //! sketchctl workloads                     list the workload grammar
 //! sketchctl parse  <spec>                 normalize/validate a spec string
 //! sketchctl run    <spec> [workload]      build, ingest, query, score
-//! sketchctl shard  <spec> [workload] [w]  sharded ingest + merge (mergeable families)
+//! sketchctl shard  [--threads N] <spec> [workload]
+//!                                         threaded sharded ingest + merge
+//!                                         (mergeable families; default N=4)
 //! ```
 //!
 //! Examples:
@@ -15,21 +17,30 @@
 //! cargo run --release -p bd-bench --bin sketchctl -- \
 //!     run csss:n=2^16,eps=0.05,alpha=8,seed=42 bounded:n=2^16,mass=400000,alpha=8
 //! cargo run --release -p bd-bench --bin sketchctl -- \
-//!     shard countsketch:n=2^16,eps=0.1 bounded:n=2^16,mass=400000,alpha=4 8
+//!     shard --threads 8 countsketch:n=2^16,eps=0.1 bounded:n=2^16,mass=400000,alpha=4
 //! ```
 //!
 //! `run` ingests the workload through the `StreamRunner`, then exercises
 //! every capability the family's registry descriptor advertises, scoring
 //! each answer against the exact `FrequencyVector` ground truth.
+//!
+//! `shard` drives the real parallel engine (`bd_stream::ShardedRunner`):
+//! one identically-seeded sketch per worker thread, contiguous stream
+//! shards, a `merge_dyn` fold — then verifies the merged sketch against a
+//! single-pass build (bit-identical for `merge_bitwise` families,
+//! ground-truth scored otherwise; `DESIGN.md §7` spells out the contract).
 
 use bd_bench::workload;
 use bd_bench::{fmt_bits, registry, Table};
-use bd_stream::{DynSketch, FrequencyVector, SampleOutcome, SketchSpec, StreamBatch, StreamRunner};
+use bd_stream::{
+    DynSketch, FrequencyVector, SampleOutcome, ShardedRunner, SketchSpec, StreamBatch, StreamRunner,
+};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: sketchctl <families|workloads|parse <spec>|run <spec> [workload]|shard <spec> [workload] [shards]>"
+        "usage: sketchctl <families|workloads|parse <spec>|run <spec> [workload]|\
+         shard [--threads N] <spec> [workload]>"
     );
     ExitCode::FAILURE
 }
@@ -47,14 +58,30 @@ fn main() -> ExitCode {
             Some(s) => run(s, args.get(2).map(String::as_str)),
             None => usage(),
         },
-        Some("shard") => match args.get(1) {
-            Some(s) => shard(
-                s,
-                args.get(2).map(String::as_str),
-                args.get(3).and_then(|w| w.parse().ok()).unwrap_or(4),
-            ),
-            None => usage(),
-        },
+        Some("shard") => {
+            // `--threads N` may appear anywhere after the subcommand; the
+            // remaining positionals are `<spec> [workload]`.
+            let mut threads = 4usize;
+            let mut positional: Vec<&str> = Vec::new();
+            let mut rest = args[1..].iter();
+            while let Some(arg) = rest.next() {
+                if arg == "--threads" || arg == "-t" {
+                    match rest.next().and_then(|v| v.parse::<usize>().ok()) {
+                        Some(t) if t >= 1 => threads = t,
+                        _ => {
+                            eprintln!("--threads expects a positive integer");
+                            return usage();
+                        }
+                    }
+                } else {
+                    positional.push(arg);
+                }
+            }
+            match positional.first() {
+                Some(s) => shard(s, positional.get(1).copied(), threads),
+                None => usage(),
+            }
+        }
         _ => usage(),
     }
 }
@@ -204,9 +231,10 @@ fn run(spec_str: &str, wl: Option<&str>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// Split the stream across `shards` identically-seeded copies, merge, and
-/// verify the merged sketch agrees with a single-pass build.
-fn shard(spec_str: &str, wl: Option<&str>, shards: usize) -> ExitCode {
+/// Drive the threaded `ShardedRunner` (one identically-seeded sketch per
+/// worker, contiguous shards, `merge_dyn` fold) and verify the merged
+/// sketch agrees with a single-pass build.
+fn shard(spec_str: &str, wl: Option<&str>, threads: usize) -> ExitCode {
     let (spec, stream) = match load(spec_str, wl) {
         Ok(x) => x,
         Err(e) => {
@@ -233,29 +261,33 @@ fn shard(spec_str: &str, wl: Option<&str>, shards: usize) -> ExitCode {
         eprintln!("workload generated no updates — nothing to shard");
         return ExitCode::FAILURE;
     }
-    let shards = shards.clamp(1, 64);
-    let mut parts: Vec<Box<dyn DynSketch>> = (0..shards)
-        .map(|_| reg.build(&spec).expect("validated above"))
-        .collect();
+    let threads = threads.clamp(1, 64);
+    let sharded = match ShardedRunner::new(threads).run(reg, &spec, &stream) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("sharded run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let runner = StreamRunner::new();
-    let per = stream.updates.len().div_ceil(shards).max(1);
-    for (part, chunk) in parts.iter_mut().zip(stream.updates.chunks(per)) {
-        runner.run_updates(&mut **part, chunk);
-    }
-    let mut merged = parts.remove(0);
-    for part in &parts {
-        merged
-            .merge_dyn(part.as_ref())
-            .expect("same family, same spec");
-    }
     let mut single = reg.build(&spec).expect("validated above");
-    runner.run(&mut *single, &stream);
+    let single_report = runner.run(&mut *single, &stream);
     let truth = FrequencyVector::from_stream(&stream);
+    let merged = &sharded.sketch;
+    let aggregate = sharded.report();
     println!(
-        "spec     {spec}\nsharded  {} ways over {} updates; merged space {}",
-        shards,
+        "spec     {spec}\nsharded  {} worker threads over {} updates; merged space {}",
+        sharded.shard_count(),
         stream.len(),
         fmt_bits(merged.space_bits())
+    );
+    println!(
+        "ingest   sharded {:.2} M updates/s wall ({:.1} ms, merge {:.2} ms) vs \
+         sequential {:.2} M updates/s",
+        aggregate.updates_per_sec() / 1e6,
+        sharded.elapsed.as_secs_f64() * 1e3,
+        sharded.merge_elapsed.as_secs_f64() * 1e3,
+        single_report.updates_per_sec() / 1e6
     );
     // Bit-identity to the single-pass sketch only holds for deterministic
     // mergers (the `merge_bitwise` capability); sampling mergers (CSSS,
@@ -290,7 +322,7 @@ fn shard(spec_str: &str, wl: Option<&str>, shards: usize) -> ExitCode {
         }
     } else {
         println!(
-            "merge is statistical for `{}` (thinning consumes RNG draws) — \
+            "merge is estimate-equal (not bitwise) for `{}` — see DESIGN.md §7; \
              scoring the merged sketch against exact ground truth below",
             spec.family
         );

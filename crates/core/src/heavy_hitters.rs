@@ -16,7 +16,8 @@ use crate::csss::Csss;
 use crate::params::Params;
 use bd_sketch::{CandidateSet, MedianL1};
 use bd_stream::{
-    aggregate_signed_mass, NormEstimate, PointQuery, Sketch, SpaceReport, SpaceUsage, Update,
+    aggregate_signed_mass, Mergeable, NormEstimate, PointQuery, Sketch, SpaceReport, SpaceUsage,
+    Update,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -166,6 +167,39 @@ impl PointQuery for AlphaHeavyHitters {
     }
 }
 
+impl Mergeable for AlphaHeavyHitters {
+    /// Fold a shard's sketch in: CSSS counters merge (thinning-aware), the
+    /// norm tracker merges (exact net addition for the strict variant,
+    /// row-wise Cauchy addition for the general one), and the shard's
+    /// candidate set is unioned in — each candidate re-offered against the
+    /// *merged* CSSS, so prune decisions use post-merge estimates. Both
+    /// sides must be identically seeded and the same variant.
+    fn merge_from(&mut self, other: &Self) {
+        assert!(
+            self.epsilon == other.epsilon && self.universe == other.universe,
+            "AlphaHeavyHitters merge requires identical shapes"
+        );
+        assert!(
+            matches!(
+                (&self.norm, &other.norm),
+                (NormTracker::Strict { .. }, NormTracker::Strict { .. })
+                    | (NormTracker::General(_), NormTracker::General(_))
+            ),
+            "AlphaHeavyHitters merge requires matching turnstile variants"
+        );
+        self.csss.merge_from(&other.csss);
+        match (&mut self.norm, &other.norm) {
+            (NormTracker::Strict { net }, NormTracker::Strict { net: o }) => *net += o,
+            (NormTracker::General(m), NormTracker::General(o)) => m.merge_from(o),
+            _ => unreachable!("variant match asserted above"),
+        }
+        let csss = &self.csss;
+        for item in other.candidates.iter() {
+            self.candidates.offer(item, |i| csss.estimate(i));
+        }
+    }
+}
+
 impl NormEstimate for AlphaHeavyHitters {
     /// The `R ≈ ‖f‖₁` used for thresholding.
     fn norm_estimate(&self) -> f64 {
@@ -257,6 +291,50 @@ mod tests {
         let params = Params::practical(1 << 10, 0.1, 2.0);
         let hh = AlphaHeavyHitters::new_strict(2, &params);
         assert!(hh.query().is_empty());
+    }
+
+    #[test]
+    fn sharded_merge_finds_the_same_heavy_hitters() {
+        let eps = 0.05;
+        let stream = BoundedDeletionGen::new(1 << 14, 60_000, 4.0).generate_seeded(70);
+        let truth = FrequencyVector::from_stream(&stream);
+        let params = Params::practical(stream.n, eps, 4.0);
+        for strict in [true, false] {
+            let build = |seed| {
+                if strict {
+                    AlphaHeavyHitters::new_strict(seed, &params)
+                } else {
+                    AlphaHeavyHitters::new_general(seed, &params)
+                }
+            };
+            let mut merged = build(71);
+            let mut shard_b = build(71);
+            let half = stream.len() / 2;
+            let runner = StreamRunner::new();
+            runner.run_updates(&mut merged, &stream.updates[..half]);
+            runner.run_updates(&mut shard_b, &stream.updates[half..]);
+            merged.merge_from(&shard_b);
+            let got: Vec<u64> = merged.query().into_iter().map(|(i, _)| i).collect();
+            for i in truth.l1_heavy_hitters(eps) {
+                assert!(got.contains(&i), "merged shards missed heavy hitter {i}");
+            }
+            let l1 = truth.l1() as f64;
+            for &i in &got {
+                assert!(
+                    truth.get(i).unsigned_abs() as f64 >= eps / 2.0 * l1,
+                    "merged shards returned sub-ε/2 item {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "matching turnstile variants")]
+    fn merge_rejects_variant_mismatch() {
+        let params = Params::practical(1 << 10, 0.1, 2.0);
+        let mut strict = AlphaHeavyHitters::new_strict(1, &params);
+        let general = AlphaHeavyHitters::new_general(1, &params);
+        strict.merge_from(&general);
     }
 
     #[test]

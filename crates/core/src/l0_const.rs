@@ -13,7 +13,7 @@
 use crate::l0_rough::AlphaRoughL0;
 use crate::params::Params;
 use bd_sketch::{RoughL0, SmallF0, SmallF0Result, SmallL0};
-use bd_stream::{NormEstimate, Sketch, SpaceReport, SpaceUsage};
+use bd_stream::{Mergeable, NormEstimate, Sketch, SpaceReport, SpaceUsage};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
@@ -30,9 +30,11 @@ pub struct AlphaConstL0 {
     /// Window margin above the tracker (covers late level starts).
     win_hi: u32,
     max_level: u32,
-    /// Deterministic seed stream for late-created detectors.
+    /// Base seed for detectors; a detector's seed derives from its *level*,
+    /// so identically-seeded copies agree on every detector's hashes no
+    /// matter which levels their (data-dependent) windows materialized — the
+    /// property level-wise merging rests on.
     spawn_seed: u64,
-    spawned: u64,
     /// Detector sizing.
     det_cap: usize,
     det_reps: usize,
@@ -60,7 +62,6 @@ impl AlphaConstL0 {
             win_hi: params.l0_window_suffix() as u32,
             max_level,
             spawn_seed: rng.gen(),
-            spawned: 0,
             det_cap: 132,
             det_reps: 2,
             det_buckets: 256,
@@ -76,6 +77,29 @@ impl AlphaConstL0 {
         (lo.min(hi), hi)
     }
 
+    /// A fresh detector for `level`, seeded by level (not spawn order) so
+    /// every identically-seeded copy builds the same detector for the same
+    /// level. Levels never re-enter the (monotone) window, so per-level
+    /// seeds are never reused within one sketch.
+    fn spawn_detector(&self, level: u32) -> SmallL0 {
+        let det_seed = self.spawn_seed ^ (level as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        SmallL0::with_buckets(det_seed, self.det_cap, self.det_reps, self.det_buckets)
+    }
+
+    /// Re-run the update path's window maintenance (drop below, spawn newly
+    /// covered levels) against the current tracker estimate.
+    fn refresh_window(&mut self) {
+        let (lo, hi) = self.live_window();
+        self.detectors.retain(|&j, _| j >= lo);
+        for j in lo..=hi {
+            if !self.detectors.contains_key(&j) {
+                let det = self.spawn_detector(j);
+                self.detectors.insert(j, det);
+            }
+        }
+        self.peak_live = self.peak_live.max(self.detectors.len());
+    }
+
     /// Apply an update.
     pub fn update(&mut self, item: u64, delta: i64) {
         if delta == 0 {
@@ -83,22 +107,10 @@ impl AlphaConstL0 {
         }
         self.tracker.update(item, delta);
         self.small_f0.update(item, delta);
-        let (lo, hi) = self.live_window();
-        // Drop detectors that fell below the (monotone) window...
-        self.detectors.retain(|&j, _| j >= lo);
-        // ...and create newly covered levels (they sketch the suffix;
-        // deterministic per-spawn seed keeps replays identical).
-        for j in lo..=hi {
-            if !self.detectors.contains_key(&j) {
-                let det_seed = self.spawn_seed ^ self.spawned;
-                self.spawned += 1;
-                self.detectors.insert(
-                    j,
-                    SmallL0::with_buckets(det_seed, self.det_cap, self.det_reps, self.det_buckets),
-                );
-            }
-        }
-        self.peak_live = self.peak_live.max(self.detectors.len());
+        // Drop detectors that fell below the (monotone) window and create
+        // newly covered levels (they sketch the suffix; deterministic
+        // per-level seeds keep replays and merges identical).
+        self.refresh_window();
         let lvl = bd_hash::lsb(self.level_hash.hash(item), self.max_level);
         if let Some(det) = self.detectors.get_mut(&lvl) {
             det.update(item, delta);
@@ -146,6 +158,42 @@ impl NormEstimate for AlphaConstL0 {
     /// The constant-factor estimate `R ∈ [L0, 100·L0]` (Lemma 20).
     fn norm_estimate(&self) -> f64 {
         self.estimate() as f64
+    }
+}
+
+impl Mergeable for AlphaConstL0 {
+    /// Level-wise merge: the tracker and the small-F0 counter merge exactly
+    /// (both are pure functions of the observed stream), each shared level's
+    /// detectors add mod p (same level ⇒ same per-level seed ⇒ same hashes),
+    /// levels present on one side only are adopted, and the window
+    /// maintenance is re-run against the merged tracker.
+    ///
+    /// Exact equivalence to a single pass holds whenever the shards' level
+    /// windows covered the same rows while their items arrived (always true
+    /// until `log(L̄0)` outgrows the window margins — the conformance regime);
+    /// past that point a shard's lagging window may have missed high levels
+    /// the single pass kept, and the merge is approximate in exactly the
+    /// `O(ε²)`-prefix sense the Lemma 20 windowing argument already pays.
+    fn merge_from(&mut self, other: &Self) {
+        assert!(
+            self.spawn_seed == other.spawn_seed
+                && self.det_cap == other.det_cap
+                && self.det_reps == other.det_reps
+                && self.det_buckets == other.det_buckets
+                && self.max_level == other.max_level,
+            "AlphaConstL0 merge requires identically seeded sketches"
+        );
+        self.tracker.merge_from(&other.tracker);
+        self.small_f0.merge_from(&other.small_f0);
+        for (&j, det) in &other.detectors {
+            if let Some(mine) = self.detectors.get_mut(&j) {
+                mine.merge_from(det);
+            } else {
+                self.detectors.insert(j, det.clone());
+            }
+        }
+        self.refresh_window();
+        self.peak_live = self.peak_live.max(other.peak_live);
     }
 }
 
@@ -198,6 +246,26 @@ mod tests {
             est.update(i * 31, 1);
         }
         assert_eq!(est.estimate(), 10);
+    }
+
+    #[test]
+    fn merge_equals_single_pass_while_windows_cover() {
+        // Universe small enough that the level window spans every level, so
+        // shard windows and the single-pass window are identical and the
+        // level-wise merge is exact.
+        let params = Params::practical(1 << 10, 0.2, 3.0);
+        let stream = L0AlphaGen::new(1 << 10, 300, 3.0).generate_seeded(8);
+        let mut whole = AlphaConstL0::new(42, &params);
+        let mut a = AlphaConstL0::new(42, &params);
+        let mut b = AlphaConstL0::new(42, &params);
+        let half = stream.len() / 2;
+        for (t, u) in stream.iter().enumerate() {
+            whole.update(u.item, u.delta);
+            if t < half { &mut a } else { &mut b }.update(u.item, u.delta);
+        }
+        a.merge_from(&b);
+        assert_eq!(a.estimate(), whole.estimate());
+        assert_eq!(a.live_levels(), whole.live_levels());
     }
 
     #[test]

@@ -14,7 +14,7 @@ use crate::l0_const::AlphaConstL0;
 use crate::l0_rough::AlphaRoughL0;
 use crate::params::Params;
 use bd_sketch::{L0Estimator, SmallL0};
-use bd_stream::{NormEstimate, Sketch, SpaceReport, SpaceUsage};
+use bd_stream::{Mergeable, NormEstimate, Sketch, SpaceReport, SpaceUsage};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
@@ -98,12 +98,7 @@ impl AlphaL0Estimator {
         self.const_est.update(item, delta);
         self.exact.update(item, delta);
 
-        let (lo, hi) = self.live_window();
-        self.rows.retain(|&j, _| j >= lo);
-        for j in lo..=hi {
-            self.rows.entry(j).or_insert_with(|| vec![0u64; self.k]);
-        }
-        self.peak_rows = self.peak_rows.max(self.rows.len());
+        self.refresh_window();
 
         let level = bd_hash::lsb(self.h1.hash(item), self.max_level);
         let id = self.h2.hash(item);
@@ -123,6 +118,18 @@ impl AlphaL0Estimator {
         }
         let col_small = (col * 2 + (self.h4.hash(id) as usize & 1)) % self.collapsed.len();
         apply(&mut self.collapsed[col_small]);
+    }
+
+    /// Re-run the update path's window maintenance (drop rows below the
+    /// window, materialize newly covered levels) against the current
+    /// tracker estimate.
+    fn refresh_window(&mut self) {
+        let (lo, hi) = self.live_window();
+        self.rows.retain(|&j, _| j >= lo);
+        for j in lo..=hi {
+            self.rows.entry(j).or_insert_with(|| vec![0u64; self.k]);
+        }
+        self.peak_rows = self.peak_rows.max(self.rows.len());
     }
 
     /// Non-zero bucket count of a stored row.
@@ -200,6 +207,45 @@ impl NormEstimate for AlphaL0Estimator {
     }
 }
 
+impl Mergeable for AlphaL0Estimator {
+    /// Level-wise merge: the rough tracker, constant-factor estimator, and
+    /// exact small-L0 path all merge exactly; the windowed fingerprint rows
+    /// and the collapsed row add bucket-wise mod `p` (identical seeds ⇒
+    /// identical hashes and `p`), with rows present on one side adopted
+    /// verbatim; finally the row window is re-derived from the merged
+    /// tracker. As with [`AlphaConstL0`], the merge is bit-exact while the
+    /// shards' windows covered the same levels (the small-universe regime),
+    /// and approximate in the Theorem 10 `O(ε²)`-prefix sense once a
+    /// shard's lagging window misses levels the single pass kept.
+    fn merge_from(&mut self, other: &Self) {
+        assert!(
+            self.k == other.k && self.p == other.p && self.max_level == other.max_level,
+            "AlphaL0Estimator merge requires identically seeded sketches"
+        );
+        self.tracker.merge_from(&other.tracker);
+        self.const_est.merge_from(&other.const_est);
+        self.exact.merge_from(&other.exact);
+        let p = self.p;
+        for (&j, row) in &other.rows {
+            match self.rows.get_mut(&j) {
+                Some(mine) => {
+                    for (a, b) in mine.iter_mut().zip(row) {
+                        *a = (*a + *b) % p;
+                    }
+                }
+                None => {
+                    self.rows.insert(j, row.clone());
+                }
+            }
+        }
+        for (a, b) in self.collapsed.iter_mut().zip(&other.collapsed) {
+            *a = (*a + *b) % p;
+        }
+        self.refresh_window();
+        self.peak_rows = self.peak_rows.max(other.peak_rows);
+    }
+}
+
 impl SpaceUsage for AlphaL0Estimator {
     fn space(&self) -> SpaceReport {
         let width = bd_hash::width_unsigned(self.p - 1) as u64;
@@ -269,6 +315,24 @@ mod tests {
         let truth = FrequencyVector::from_stream(&stream).l0() as f64;
         let e = est.estimate();
         assert!((e - truth).abs() / truth < 0.5, "estimate {e} vs {truth}");
+    }
+
+    #[test]
+    fn merge_equals_single_pass_while_windows_cover() {
+        let params = Params::practical(1 << 10, 0.2, 3.0);
+        let stream = L0AlphaGen::new(1 << 10, 400, 3.0).generate_seeded(21);
+        let mut whole = AlphaL0Estimator::new(22, &params);
+        let mut a = AlphaL0Estimator::new(22, &params);
+        let mut b = AlphaL0Estimator::new(22, &params);
+        let half = stream.len() / 2;
+        for (t, u) in stream.iter().enumerate() {
+            whole.update(u.item, u.delta);
+            if t < half { &mut a } else { &mut b }.update(u.item, u.delta);
+        }
+        a.merge_from(&b);
+        assert_eq!(a.estimate().to_bits(), whole.estimate().to_bits());
+        assert_eq!(a.rows, whole.rows);
+        assert_eq!(a.collapsed, whole.collapsed);
     }
 
     #[test]

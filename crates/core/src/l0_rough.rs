@@ -9,7 +9,7 @@
 //! callers floor the estimate at that threshold (Figure 7 step 2).
 
 use bd_sketch::RoughF0;
-use bd_stream::{NormEstimate, Sketch, SpaceReport, SpaceUsage};
+use bd_stream::{Mergeable, NormEstimate, Sketch, SpaceReport, SpaceUsage};
 
 /// The α-stream rough L0 tracker.
 #[derive(Clone, Debug)]
@@ -67,6 +67,19 @@ impl NormEstimate for AlphaRoughL0 {
     /// The floored monotone `L̄0^t` estimate (Corollary 2).
     fn norm_estimate(&self) -> f64 {
         self.estimate() as f64
+    }
+}
+
+impl Mergeable for AlphaRoughL0 {
+    /// Delegates to the underlying [`RoughF0`] set-union merge, whose final
+    /// state is a pure function of the observed identities — so the merged
+    /// tracker is bit-identical to a single pass in every regime.
+    fn merge_from(&mut self, other: &Self) {
+        assert_eq!(
+            self.floor, other.floor,
+            "AlphaRoughL0 merge requires matching universes"
+        );
+        self.rough.merge_from(&other.rough);
     }
 }
 

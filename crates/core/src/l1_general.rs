@@ -14,7 +14,7 @@
 
 use crate::binomial::{bin_half, bin_pow2};
 use crate::params::Params;
-use bd_stream::{NormEstimate, Sketch, SpaceReport, SpaceUsage};
+use bd_stream::{aggregate_signed_mass, NormEstimate, Sketch, SpaceReport, SpaceUsage, Update};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -153,6 +153,46 @@ impl Sketch for AlphaL1General {
     fn update(&mut self, item: u64, delta: i64) {
         AlphaL1General::update(self, item, delta);
     }
+
+    /// Batched ingestion with per-row weighted aggregation: the chunk is
+    /// collapsed to per-item `(inserted, deleted)` mass once, then each row
+    /// evaluates its Cauchy entry *once per distinct item* and feeds one
+    /// quantized weighted contribution per sign into the sampled counter
+    /// (one `Bin(w, 2^-level)` draw covers the item's whole chunk mass).
+    /// Total update mass — and therefore every counter's sampling-rate
+    /// schedule — is preserved, so this is the §1.3 weighted-update
+    /// semantics: statistically equivalent to the sequential loop, not
+    /// bit-identical (quantization rounds per aggregated weight and the RNG
+    /// draw order changes).
+    fn update_batch(&mut self, batch: &[Update]) {
+        let agg = aggregate_signed_mass(batch);
+        if agg.is_empty() {
+            return;
+        }
+        let (quant, budget) = (self.quant, self.budget);
+        let rng = &mut self.rng;
+        for &(item, pos, neg) in &agg {
+            self.mass += pos + neg;
+            for (row, ctr) in self
+                .main_rows
+                .iter()
+                .zip(self.main.iter_mut())
+                .chain(self.aux_rows.iter().zip(self.aux.iter_mut()))
+            {
+                let entry = row.entry(item);
+                if pos > 0 {
+                    let eta = pos as f64 * entry;
+                    let w = (eta.abs() / quant).round() as u64;
+                    ctr.add(rng, w, eta >= 0.0, budget);
+                }
+                if neg > 0 {
+                    let eta = -(neg as f64) * entry;
+                    let w = (eta.abs() / quant).round() as u64;
+                    ctr.add(rng, w, eta >= 0.0, budget);
+                }
+            }
+        }
+    }
 }
 
 impl NormEstimate for AlphaL1General {
@@ -237,6 +277,23 @@ mod tests {
             (est - truth).abs() / truth < 0.35,
             "estimate {est} vs {truth}"
         );
+    }
+
+    #[test]
+    fn batched_ingestion_matches_sequential_quality() {
+        let stream = BoundedDeletionGen::new(1 << 12, 60_000, 3.0).generate_seeded(6);
+        let truth = FrequencyVector::from_stream(&stream).l1() as f64;
+        let params = Params::practical(stream.n, 0.2, 3.0);
+        let mut seq = AlphaL1General::new(7, &params);
+        let mut bat = AlphaL1General::new(7, &params);
+        bd_stream::StreamRunner::unbatched().run(&mut seq, &stream);
+        bd_stream::StreamRunner::new().run(&mut bat, &stream);
+        for (label, est) in [("sequential", seq.estimate()), ("batched", bat.estimate())] {
+            assert!(
+                (est - truth).abs() / truth < 0.35,
+                "{label} estimate {est} vs {truth}"
+            );
+        }
     }
 
     #[test]

@@ -51,15 +51,15 @@ impl SupportQuery for AlphaSupportSamplerSet {
 
 impl_dyn_sketch!(Csss, point, merge);
 impl_dyn_sketch!(SampledVector, point, norm, merge);
-impl_dyn_sketch!(AlphaHeavyHitters, point, norm);
+impl_dyn_sketch!(AlphaHeavyHitters, point, norm, merge);
 impl_dyn_sketch!(AlphaL1Sampler, sample);
 impl_dyn_sketch!(AlphaL1SamplerInstance, sample);
 impl_dyn_sketch!(AlphaL1Estimator, norm);
 impl_dyn_sketch!(AlphaL1General, norm);
 impl_dyn_sketch!(AlphaIpSketch, norm);
-impl_dyn_sketch!(AlphaL0Estimator, norm);
-impl_dyn_sketch!(AlphaConstL0, norm);
-impl_dyn_sketch!(AlphaRoughL0, norm);
+impl_dyn_sketch!(AlphaL0Estimator, norm, merge);
+impl_dyn_sketch!(AlphaConstL0, norm, merge);
+impl_dyn_sketch!(AlphaRoughL0, norm, merge);
 impl_dyn_sketch!(AlphaSupportSampler, support);
 impl_dyn_sketch!(AlphaSupportSamplerSet, support);
 impl_dyn_sketch!(AlphaL2HeavyHitters, point, norm);
@@ -165,6 +165,9 @@ pub fn register(reg: &mut Registry) {
             caps: Capabilities {
                 point: true,
                 norm: true,
+                // CSSS merge + exact net-counter addition + candidate union
+                // (statistical in the thinning regime, like CSSS itself).
+                mergeable: true,
                 ..Default::default()
             },
             inputs: SpaceInputs {
@@ -190,6 +193,9 @@ pub fn register(reg: &mut Registry) {
             caps: Capabilities {
                 point: true,
                 norm: true,
+                // As the strict variant, plus the Cauchy L1 tracker's
+                // row-wise (estimate-equal) float merge.
+                mergeable: true,
                 ..Default::default()
             },
             inputs: SpaceInputs {
@@ -285,7 +291,8 @@ pub fn register(reg: &mut Registry) {
             summary: "α L1 estimator, general turnstile (§5.2, Theorem 8)",
             caps: Capabilities {
                 norm: true,
-                batch_bitwise: true,
+                // The pre-aggregating batch path re-quantizes per collapsed
+                // weight: statistically, not bitwise, equivalent.
                 ..Default::default()
             },
             inputs: SpaceInputs {
@@ -330,6 +337,9 @@ pub fn register(reg: &mut Registry) {
             summary: "α L0 estimator (Figure 7, Theorem 10)",
             caps: Capabilities {
                 norm: true,
+                // Level-wise merge; exact while shard windows coincide, the
+                // Theorem 10 O(ε²)-prefix approximation once they slide.
+                mergeable: true,
                 batch_bitwise: true,
                 ..Default::default()
             },
@@ -350,6 +360,9 @@ pub fn register(reg: &mut Registry) {
             summary: "constant-factor α L0 estimator (Lemma 20)",
             caps: Capabilities {
                 norm: true,
+                // Level-wise detector merge (per-level detector seeds);
+                // exact while shard windows coincide.
+                mergeable: true,
                 batch_bitwise: true,
                 ..Default::default()
             },
@@ -369,6 +382,11 @@ pub fn register(reg: &mut Registry) {
             summary: "rough all-times L0 tracker (Corollary 2)",
             caps: Capabilities {
                 norm: true,
+                // Set-union merge of the monotone F0 tracker: a pure
+                // function of the observed identities, bitwise in every
+                // regime.
+                mergeable: true,
+                merge_bitwise: true,
                 batch_bitwise: true,
                 ..Default::default()
             },

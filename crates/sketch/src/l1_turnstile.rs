@@ -13,7 +13,7 @@
 //! algorithm to get `R = (1 ± 1/8)‖f‖₁`.
 
 use crate::weight::median_f64;
-use bd_stream::{NormEstimate, Sketch, SpaceReport, SpaceUsage};
+use bd_stream::{Mergeable, NormEstimate, Sketch, SpaceReport, SpaceUsage};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -136,6 +136,7 @@ impl SpaceUsage for LogCosL1 {
 /// Indyk's median-of-Cauchy L1 estimator (paper Fact 1).
 #[derive(Clone, Debug)]
 pub struct MedianL1 {
+    seed: u64,
     rows: Vec<bd_hash::CauchyRow>,
     y: Vec<f64>,
     max_abs: f64,
@@ -153,6 +154,7 @@ impl MedianL1 {
     pub fn with_rows(seed: u64, rows: usize) -> Self {
         let mut rng = SmallRng::seed_from_u64(seed);
         MedianL1 {
+            seed,
             rows: (0..rows)
                 .map(|_| bd_hash::CauchyRow::new(&mut rng, 4))
                 .collect(),
@@ -189,6 +191,26 @@ impl NormEstimate for MedianL1 {
     /// Estimates `‖f‖₁` (Indyk's median estimator, Fact 1).
     fn norm_estimate(&self) -> f64 {
         self.estimate()
+    }
+}
+
+impl Mergeable for MedianL1 {
+    /// Row-wise addition: `y = A·f` is linear, so the merged rows are the
+    /// rows of the concatenated streams. Deterministic, but only
+    /// *estimate-equal* to a single pass: float addition re-associates
+    /// across the shard boundary, so the last ulps of each row may differ
+    /// from the sequentially accumulated sums.
+    fn merge_from(&mut self, other: &Self) {
+        assert!(
+            self.seed == other.seed && self.y.len() == other.y.len(),
+            "MedianL1 merge requires identically seeded sketches"
+        );
+        for (a, b) in self.y.iter_mut().zip(&other.y) {
+            *a += b;
+            self.max_abs = self.max_abs.max(a.abs());
+        }
+        self.max_abs = self.max_abs.max(other.max_abs);
+        self.mass += other.mass;
     }
 }
 
@@ -244,6 +266,33 @@ mod tests {
     fn empty_stream_estimates_zero() {
         let est = LogCosL1::new(3, 0.2);
         assert_eq!(est.estimate(), 0.0);
+    }
+
+    #[test]
+    fn median_merge_is_estimate_equal_to_single_pass() {
+        let stream = BoundedDeletionGen::new(1 << 12, 20_000, 4.0).generate_seeded(9);
+        let mut whole = MedianL1::with_rows(21, 64);
+        let mut a = MedianL1::with_rows(21, 64);
+        let mut b = MedianL1::with_rows(21, 64);
+        let half = stream.len() / 2;
+        for (t, u) in stream.iter().enumerate() {
+            whole.update(u.item, u.delta);
+            if t < half { &mut a } else { &mut b }.update(u.item, u.delta);
+        }
+        a.merge_from(&b);
+        let (merged, single) = (a.estimate(), whole.estimate());
+        assert!(
+            (merged - single).abs() <= 1e-6 * single.abs().max(1.0),
+            "merged {merged} vs single-pass {single}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "identically seeded")]
+    fn median_merge_rejects_different_seeds() {
+        let mut a = MedianL1::with_rows(1, 16);
+        let b = MedianL1::with_rows(2, 16);
+        a.merge_from(&b);
     }
 
     #[test]

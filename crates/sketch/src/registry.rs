@@ -84,12 +84,12 @@ impl_dyn_sketch!(CountMin, point, merge);
 impl_dyn_sketch!(AmsSketch, norm, merge);
 impl_dyn_sketch!(IpCountSketch, norm, merge);
 impl_dyn_sketch!(LogCosL1, norm);
-impl_dyn_sketch!(MedianL1, norm);
+impl_dyn_sketch!(MedianL1, norm, merge);
 impl_dyn_sketch!(L0Estimator, norm);
 impl_dyn_sketch!(RoughL0, norm);
-impl_dyn_sketch!(RoughF0, norm);
-impl_dyn_sketch!(SmallL0, norm);
-impl_dyn_sketch!(SmallF0, norm);
+impl_dyn_sketch!(RoughF0, norm, merge);
+impl_dyn_sketch!(SmallL0, norm, merge);
+impl_dyn_sketch!(SmallF0, norm, merge);
 impl_dyn_sketch!(SparseRecovery, support, merge);
 impl_dyn_sketch!(L1SamplerTurnstile, sample);
 impl_dyn_sketch!(PrecisionSamplerInstance, sample);
@@ -258,6 +258,9 @@ pub fn register(reg: &mut Registry) {
             summary: "Indyk median-of-Cauchy L1 estimator (Fact 1)",
             caps: Capabilities {
                 norm: true,
+                // Rows add, but float addition re-associates across the
+                // shard boundary — merges are estimate-equal, not bitwise.
+                mergeable: true,
                 batch_bitwise: true,
                 ..Default::default()
             },
@@ -317,6 +320,10 @@ pub fn register(reg: &mut Registry) {
             summary: "monotone rough F0 tracker (Lemma 18)",
             caps: Capabilities {
                 norm: true,
+                // Final state is a pure function of the observed item set,
+                // so set-union merging replays a single pass exactly.
+                mergeable: true,
+                merge_bitwise: true,
                 batch_bitwise: true,
                 ..Default::default()
             },
@@ -332,6 +339,8 @@ pub fn register(reg: &mut Registry) {
             summary: "exact L0 under an L0 ≤ k promise (Lemma 21)",
             caps: Capabilities {
                 norm: true,
+                mergeable: true,
+                merge_bitwise: true,
                 batch_bitwise: true,
                 ..Default::default()
             },
@@ -357,6 +366,8 @@ pub fn register(reg: &mut Registry) {
             summary: "exact F0 when F0 ≤ k (Lemma 19)",
             caps: Capabilities {
                 norm: true,
+                mergeable: true,
+                merge_bitwise: true,
                 batch_bitwise: true,
                 ..Default::default()
             },

@@ -13,7 +13,7 @@
 //! counting before any level saturates). Buckets at or below a saturated
 //! level are dropped, so the expected live fingerprint count stays `O(C0)`.
 
-use bd_stream::{NormEstimate, Sketch, SpaceReport, SpaceUsage};
+use bd_stream::{Mergeable, NormEstimate, Sketch, SpaceReport, SpaceUsage};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::collections::HashSet;
@@ -21,6 +21,7 @@ use std::collections::HashSet;
 /// The monotone rough-F0 estimator.
 #[derive(Clone, Debug)]
 pub struct RoughF0 {
+    seed: u64,
     level_hash: bd_hash::KWiseHash,
     print_hash: bd_hash::KWiseHash,
     /// Per-lsb fingerprint sets; levels `<= sat_level` are dropped (empty).
@@ -41,12 +42,18 @@ impl RoughF0 {
     pub fn new(seed: u64) -> Self {
         let mut rng = SmallRng::seed_from_u64(seed);
         RoughF0 {
+            seed,
             level_hash: bd_hash::KWiseHash::pairwise(&mut rng, 1u64 << 62),
             print_hash: bd_hash::KWiseHash::pairwise(&mut rng, 1u64 << 32),
             buckets: vec![HashSet::new(); Self::LEVELS + 1],
             sat_level: -1,
             best: 0,
         }
+    }
+
+    /// The construction seed (merge-identity check).
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
     /// Observe an update's *identity* (F0 ignores deltas; zero-deltas are
@@ -87,6 +94,47 @@ impl RoughF0 {
             exact.max(self.best)
         } else {
             self.best
+        }
+    }
+}
+
+impl Mergeable for RoughF0 {
+    /// Union the per-level fingerprint sets and re-run the saturation
+    /// frontier over the union.
+    ///
+    /// The tracker's final state is a pure function of the *set* of distinct
+    /// items observed: prints a shard dropped lie at levels at or below that
+    /// shard's frontier, and the merged frontier can only be at or above
+    /// `max` of the shard frontiers — so the suffix counts that decide the
+    /// merged frontier are computed from complete sets. The merge is
+    /// therefore equivalent to a single pass over the concatenation in every
+    /// regime (no RNG is consumed).
+    fn merge_from(&mut self, other: &Self) {
+        assert_eq!(
+            self.seed, other.seed,
+            "RoughF0 merge requires identically seeded trackers"
+        );
+        let base = self.sat_level.max(other.sat_level);
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            mine.extend(theirs);
+        }
+        // Deepest level whose live suffix count reaches C0 over the union.
+        let mut suffix = 0u64;
+        let mut new_sat = base;
+        for j in (0..=Self::LEVELS).rev() {
+            suffix += self.buckets[j].len() as u64;
+            if suffix >= Self::C0 {
+                new_sat = new_sat.max(j as i32);
+                break;
+            }
+        }
+        self.best = self.best.max(other.best);
+        if new_sat >= 0 {
+            self.sat_level = new_sat;
+            for j in 0..=new_sat as usize {
+                self.buckets[j] = HashSet::new();
+            }
+            self.best = self.best.max((4 * Self::C0) << new_sat as u32);
         }
     }
 }
@@ -165,6 +213,43 @@ mod tests {
             }
         }
         assert!(ok * 10 >= trials * 8, "sandwich held in only {ok}/{trials}");
+    }
+
+    #[test]
+    fn merge_equals_single_pass_across_regimes() {
+        // Below saturation (exact regime) and deep into it.
+        for (distinct, seed) in [(40u64, 11u64), (50_000u64, 12u64)] {
+            let mut whole = RoughF0::new(seed);
+            let mut a = RoughF0::new(seed);
+            let mut b = RoughF0::new(seed);
+            for i in 0..distinct {
+                let id = i * 0x9e37_79b9 + 1;
+                whole.observe(id);
+                if i % 3 == 0 { &mut a } else { &mut b }.observe(id);
+            }
+            a.merge_from(&b);
+            assert_eq!(a.estimate(), whole.estimate(), "distinct={distinct}");
+            assert_eq!(a.sat_level, whole.sat_level, "distinct={distinct}");
+            assert_eq!(a.buckets, whole.buckets, "distinct={distinct}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "identically seeded")]
+    fn merge_rejects_different_seeds() {
+        let mut a = RoughF0::new(1);
+        a.merge_from(&RoughF0::new(2));
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = RoughF0::new(13);
+        for i in 0..10_000u64 {
+            a.observe(i);
+        }
+        let before = (a.estimate(), a.sat_level, a.buckets.clone());
+        a.merge_from(&RoughF0::new(13));
+        assert_eq!((a.estimate(), a.sat_level, a.buckets), before);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! `c = 8 log(n)/log log(n)` to cover the regime where the rough F0 tracker
 //! has no guarantee.
 
-use bd_stream::{Sketch, SpaceReport, SpaceUsage};
+use bd_stream::{Mergeable, Sketch, SpaceReport, SpaceUsage};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
@@ -90,6 +90,36 @@ impl Sketch for SmallF0 {
     }
 }
 
+impl Mergeable for SmallF0 {
+    /// Union-add the per-identity counters mod `p`. The key set only ever
+    /// grows during a pass (counters stay in the map at zero), so "LARGE at
+    /// some point" ⇔ "more than `cap` identities in total" — which makes the
+    /// merged verdict, and the merged counters when small, bit-identical to
+    /// a single pass over the concatenation in every regime.
+    fn merge_from(&mut self, other: &Self) {
+        assert!(
+            self.p == other.p && self.cap == other.cap,
+            "SmallF0 merge requires identically seeded sketches"
+        );
+        if self.large {
+            return;
+        }
+        if other.large {
+            self.large = true;
+            self.counters = HashMap::new();
+            return;
+        }
+        for (&key, &val) in &other.counters {
+            let cell = self.counters.entry(key).or_insert(0);
+            *cell = (*cell + val) % self.p;
+        }
+        if self.counters.len() > self.cap {
+            self.large = true;
+            self.counters = HashMap::new();
+        }
+    }
+}
+
 impl SpaceUsage for SmallF0 {
     fn space(&self) -> SpaceReport {
         // ≤ c identities of log(C) bits plus counters of log(p) bits.
@@ -146,5 +176,33 @@ mod tests {
     fn empty_is_zero() {
         let s = SmallF0::new(4, 4);
         assert_eq!(s.result(), SmallF0Result::Exact(0));
+    }
+
+    #[test]
+    fn merge_equals_single_pass_and_detects_large() {
+        let mut whole = SmallF0::new(5, 16);
+        let mut a = SmallF0::new(5, 16);
+        let mut b = SmallF0::new(5, 16);
+        for i in 0..12u64 {
+            whole.update(i * 31, 2);
+            if i % 2 == 0 { &mut a } else { &mut b }.update(i * 31, 2);
+        }
+        // Delete one item entirely in the other shard.
+        whole.update(0, -2);
+        b.update(0, -2);
+        a.merge_from(&b);
+        assert_eq!(a.result(), whole.result());
+        assert_eq!(a.result(), SmallF0Result::Exact(11));
+
+        // The union crossing the cap certifies LARGE even when each shard
+        // stayed small.
+        let mut c = SmallF0::new(6, 8);
+        let mut d = SmallF0::new(6, 8);
+        for i in 0..6u64 {
+            c.update(i, 1);
+            d.update(100 + i, 1);
+        }
+        c.merge_from(&d);
+        assert_eq!(c.result(), SmallF0Result::Large);
     }
 }

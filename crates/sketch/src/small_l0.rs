@@ -9,7 +9,7 @@
 //! `1 − η`. This is also the per-level detector inside the rough L0
 //! estimators (threshold "`L0(S_j) > 8`").
 
-use bd_stream::{NormEstimate, Sketch, SpaceReport, SpaceUsage};
+use bd_stream::{Mergeable, NormEstimate, Sketch, SpaceReport, SpaceUsage};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -100,6 +100,25 @@ impl NormEstimate for SmallL0 {
     }
 }
 
+impl Mergeable for SmallL0 {
+    /// Bucket-wise addition mod `p`: the tables are linear in the stream, so
+    /// the merge is bit-identical to a single pass over the concatenation in
+    /// every regime (no RNG is consumed).
+    fn merge_from(&mut self, other: &Self) {
+        assert!(
+            self.p == other.p
+                && self.buckets == other.buckets
+                && self.tables.len() == other.tables.len(),
+            "SmallL0 merge requires identically seeded sketches"
+        );
+        for (mine, theirs) in self.tables.iter_mut().zip(&other.tables) {
+            for (a, b) in mine.iter_mut().zip(theirs) {
+                *a = (*a + *b) % self.p;
+            }
+        }
+    }
+}
+
 impl SpaceUsage for SmallL0 {
     fn space(&self) -> SpaceReport {
         let cells = (self.tables.len() * self.buckets) as u64;
@@ -159,6 +178,21 @@ mod tests {
         let s = SmallL0::new(4, 8, 2);
         assert_eq!(s.estimate(), 0);
         assert!(!s.exceeds(0));
+    }
+
+    #[test]
+    fn merge_equals_single_pass() {
+        let mut whole = SmallL0::new(9, 32, 4);
+        let mut a = SmallL0::new(9, 32, 4);
+        let mut b = SmallL0::new(9, 32, 4);
+        for i in 0..24u64 {
+            let (item, delta) = (i * 7919, (i as i64 % 5) - 2);
+            whole.update(item, delta);
+            if i < 12 { &mut a } else { &mut b }.update(item, delta);
+        }
+        a.merge_from(&b);
+        assert_eq!(a.estimate(), whole.estimate());
+        assert_eq!(a.tables, whole.tables);
     }
 
     #[test]

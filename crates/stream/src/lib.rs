@@ -29,6 +29,8 @@
 //!   query surface;
 //! * [`runner`] — [`StreamRunner`](runner::StreamRunner) and
 //!   [`RunReport`](runner::RunReport);
+//! * [`sharded`] — [`ShardedRunner`](sharded::ShardedRunner), the parallel
+//!   shard → sketch → merge ingestion engine over registry-built sketches;
 //! * [`update`] — items, updates `(i, Δ)`, and [`update::StreamBatch`];
 //! * [`vector`] — exact frequency vectors `f = I − D` with every statistic
 //!   the paper's guarantees are stated against (`‖f‖₀`, `‖f‖₁`, `F₀`,
@@ -41,6 +43,7 @@
 pub mod gen;
 pub mod registry;
 pub mod runner;
+pub mod sharded;
 pub mod sketch;
 pub mod space;
 pub mod spec;
@@ -51,6 +54,7 @@ pub use registry::{
     BuildFn, Capabilities, DynSketch, FamilyInfo, Registry, RegistryError, SpaceInputs,
 };
 pub use runner::{RunReport, StreamRunner};
+pub use sharded::{ShardedRun, ShardedRunner};
 pub use sketch::{
     aggregate_net, aggregate_signed_mass, Mergeable, NormEstimate, PointQuery, SampleOutcome,
     SampleQuery, Sketch, SupportQuery,

@@ -6,8 +6,10 @@
 //! `(n, ε, α, δ)` drive its space formula). Generic drivers — the
 //! conformance suite, the `sketchctl` CLI, benches, a future service layer —
 //! instantiate any structure by name through [`Registry::build`] /
-//! [`Registry::build_pair`] / [`Registry::build_str`] and never see a
-//! concrete constructor.
+//! [`Registry::build_n`] / [`Registry::build_str`] and never see a
+//! concrete constructor — `build_n` is how the
+//! [`ShardedRunner`](crate::sharded::ShardedRunner) gets one
+//! identically-seeded copy per shard worker.
 //!
 //! This crate defines the mechanism and registers its own reference sketch
 //! (the exact [`FrequencyVector`]); `bd-sketch` and `bd-core` register their
@@ -36,7 +38,13 @@ use crate::vector::FrequencyVector;
 ///
 /// Implement via [`impl_dyn_sketch!`](crate::impl_dyn_sketch); every
 /// accessor defaults to "capability absent".
-pub trait DynSketch: Sketch {
+///
+/// `Send` is a supertrait so built sketches can move into worker threads —
+/// the [`ShardedRunner`](crate::sharded::ShardedRunner) hands one
+/// identically-seeded copy to each shard worker. Every sketch in the
+/// workspace is plain owned data (counters, hash seeds, an owned RNG), so
+/// the bound is free.
+pub trait DynSketch: Sketch + Send {
     /// `&self` as `Any`, for capability-preserving downcasts.
     fn as_any(&self) -> &dyn Any;
 
@@ -154,8 +162,13 @@ pub struct Capabilities {
     pub mergeable: bool,
     /// Merging is deterministic: merged shards are bit-identical to the
     /// single-pass sketch in every regime. False for sampling mergers
-    /// (CSSS, the sampled vector), whose thinning-regime merges consume
-    /// RNG draws and are only distributionally equivalent.
+    /// (CSSS, the sampled vector, compounds built on them), whose
+    /// thinning-regime merges consume RNG draws; for float-row mergers
+    /// (the Cauchy L1 trackers), which re-associate addition across the
+    /// shard boundary; and for the windowed L0 family, whose level windows
+    /// can diverge between shards in large-universe regimes. The
+    /// estimate-equal contract these families satisfy instead is spelled
+    /// out in `DESIGN.md §7`.
     pub merge_bitwise: bool,
     /// `update_batch` ≡ sequential loop, bit for bit.
     pub batch_bitwise: bool,
@@ -327,14 +340,34 @@ impl Registry {
         Ok(build(spec))
     }
 
-    /// Build two identically-seeded copies — the shard/merge configuration:
-    /// feed each copy a shard, then `a.merge_dyn(&b)`.
+    /// Build `count` identically-seeded copies — the shard/merge
+    /// configuration: feed each copy one shard of the stream, then fold the
+    /// copies together with [`DynSketch::merge_dyn`]. Builders are pure
+    /// functions of the spec, so the copies are pairwise bit-identical (the
+    /// `build_n` sweep in `tests/spec.rs` asserts this for every family).
+    pub fn build_n(
+        &self,
+        spec: &SketchSpec,
+        count: usize,
+    ) -> Result<Vec<Box<dyn DynSketch>>, RegistryError> {
+        spec.validate()?;
+        let (_, build) = self
+            .lookup(spec.family)
+            .ok_or(RegistryError::Unregistered(spec.family))?;
+        Ok((0..count).map(|_| build(spec)).collect())
+    }
+
+    /// Build two identically-seeded copies ([`Registry::build_n`] with
+    /// `count = 2`): feed each copy a shard, then `a.merge_dyn(&b)`.
     #[allow(clippy::type_complexity)]
     pub fn build_pair(
         &self,
         spec: &SketchSpec,
     ) -> Result<(Box<dyn DynSketch>, Box<dyn DynSketch>), RegistryError> {
-        Ok((self.build(spec)?, self.build(spec)?))
+        let mut pair = self.build_n(spec, 2)?;
+        let b = pair.pop().expect("build_n(2) returns two sketches");
+        let a = pair.pop().expect("build_n(2) returns two sketches");
+        Ok((a, b))
     }
 
     /// Parse a compact spec string and build it.
@@ -370,8 +403,9 @@ impl fmt::Debug for Registry {
     }
 }
 
-// The reference sketch: exact frequencies, point queries, trivially linear.
-crate::impl_dyn_sketch!(FrequencyVector, point);
+// The reference sketch: exact frequencies, point queries, trivially linear,
+// and mergeable by coordinate-wise addition (the sharded control family).
+crate::impl_dyn_sketch!(FrequencyVector, point, merge);
 
 /// Register this crate's reference family ([`SketchFamily::Exact`]).
 pub fn register_reference(reg: &mut Registry) {
@@ -381,6 +415,8 @@ pub fn register_reference(reg: &mut Registry) {
             summary: "exact frequency vector (ground truth)",
             caps: Capabilities {
                 point: true,
+                mergeable: true,
+                merge_bitwise: true,
                 batch_bitwise: true,
                 linear: true,
                 ..Default::default()
@@ -465,11 +501,56 @@ mod tests {
     }
 
     #[test]
-    fn non_mergeable_merge_errs() {
+    fn reference_family_merges_exactly() {
         let r = reg();
         let spec = SketchSpec::new(SketchFamily::Exact).with_n(16);
-        let (mut a, b) = r.build_pair(&spec).unwrap();
-        assert_eq!(a.merge_dyn(b.as_ref()), Err(RegistryError::NotMergeable));
+        let (mut a, mut b) = r.build_pair(&spec).unwrap();
+        a.update(3, 5);
+        b.update(3, -2);
+        b.update(7, 4);
+        a.merge_dyn(b.as_ref()).unwrap();
+        let p = a.as_point().unwrap();
+        assert_eq!(p.point(3), 3.0);
+        assert_eq!(p.point(7), 4.0);
+    }
+
+    #[test]
+    fn non_mergeable_merge_errs() {
+        // A capability-free dummy: merge_dyn must take the default
+        // "NotMergeable" path.
+        struct NoMerge;
+        impl crate::space::SpaceUsage for NoMerge {
+            fn space(&self) -> crate::space::SpaceReport {
+                crate::space::SpaceReport::default()
+            }
+        }
+        impl Sketch for NoMerge {
+            fn update(&mut self, _item: u64, _delta: i64) {}
+        }
+        crate::impl_dyn_sketch!(NoMerge, point);
+        impl PointQuery for NoMerge {
+            fn point(&self, _item: u64) -> f64 {
+                0.0
+            }
+        }
+        let mut a = NoMerge;
+        let b = NoMerge;
+        assert_eq!(
+            DynSketch::merge_dyn(&mut a, &b),
+            Err(RegistryError::NotMergeable)
+        );
+    }
+
+    #[test]
+    fn build_n_returns_count_copies() {
+        let r = reg();
+        let spec = SketchSpec::new(SketchFamily::Exact).with_n(32).with_seed(4);
+        let copies = r.build_n(&spec, 5).unwrap();
+        assert_eq!(copies.len(), 5);
+        assert!(matches!(
+            r.build_n(&SketchSpec::new(SketchFamily::Morris), 2),
+            Err(RegistryError::Unregistered(SketchFamily::Morris))
+        ));
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! entry-wise absolute value of the negative ones). Every experiment compares
 //! a sketch's answer against the statistics computed here.
 
-use crate::sketch::{PointQuery, Sketch};
+use crate::sketch::{Mergeable, PointQuery, Sketch};
 use crate::space::{SpaceReport, SpaceUsage};
 use crate::update::{Item, StreamBatch, Update};
 use std::collections::HashMap;
@@ -270,6 +270,28 @@ impl Sketch for FrequencyVector {
 impl PointQuery for FrequencyVector {
     fn point(&self, item: Item) -> f64 {
         self.get(item) as f64
+    }
+}
+
+impl Mergeable for FrequencyVector {
+    /// Coordinate-wise addition of `f`, `I`, and `D`: exact state is linear,
+    /// so the merged vector is the vector of the concatenated streams, bit
+    /// for bit.
+    fn merge_from(&mut self, other: &Self) {
+        assert_eq!(
+            self.n, other.n,
+            "FrequencyVector merge requires matching universes"
+        );
+        for (&i, &d) in &other.f {
+            *self.f.entry(i).or_insert(0) += d;
+        }
+        for (&i, &m) in &other.ins {
+            *self.ins.entry(i).or_insert(0) += m;
+        }
+        for (&i, &m) in &other.del {
+            *self.del.entry(i).or_insert(0) += m;
+        }
+        self.mass += other.mass;
     }
 }
 

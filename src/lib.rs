@@ -30,7 +30,12 @@
 //!   the hook for sharded ingestion);
 //! * **[`StreamRunner`](bd_stream::StreamRunner)** — the single ingestion
 //!   engine all benches, examples, and tests drive sketches through, with
-//!   wall-clock timing and bit-level space reports.
+//!   wall-clock timing and bit-level space reports;
+//! * **[`ShardedRunner`](bd_stream::ShardedRunner)** — the parallel shape
+//!   of the same engine: contiguous stream shards, one identically-seeded
+//!   sketch per worker thread (`Registry::build_n`), a `merge_dyn` fold —
+//!   valid for every family whose descriptor reports `mergeable`
+//!   (`DESIGN.md §7` defines bit-identical vs estimate-equal merging).
 //!
 //! ## Crates
 //!
@@ -131,7 +136,8 @@ pub mod prelude {
     };
     pub use bd_stream::{DynSketch, Regime, Registry, SketchFamily, SketchSpec, SupportQuery};
     pub use bd_stream::{
-        FrequencyVector, Item, Mergeable, NormEstimate, PointQuery, RunReport, SampleQuery, Sketch,
-        SpaceReport, SpaceUsage, StreamBatch, StreamRunner, Update,
+        FrequencyVector, Item, Mergeable, NormEstimate, PointQuery, RunReport, SampleQuery,
+        ShardedRun, ShardedRunner, Sketch, SpaceReport, SpaceUsage, StreamBatch, StreamRunner,
+        Update,
     };
 }

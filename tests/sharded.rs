@@ -1,0 +1,168 @@
+//! Shard ≡ sequential conformance for the `ShardedRunner` parallel
+//! ingestion engine.
+//!
+//! For **every** family whose registry descriptor reports `mergeable` (the
+//! suite iterates `registry().families()` — no hand-maintained list), a
+//! `ShardedRunner` pass at k ∈ {1, 2, 4, 7} shards over a mixed
+//! insert/delete workload must agree with the sequential `StreamRunner`:
+//! bit-for-bit where the family claims `merge_bitwise`, estimate-equal
+//! (within the float-association tolerance) otherwise — the contract
+//! `DESIGN.md §7` documents. CI re-runs this suite with the
+//! `BD_SHARD_THREADS` knob set to 2 and 8 so thread-count-dependent bugs
+//! surface there too.
+
+mod common;
+
+use bd_stream::{RegistryError, ShardedRunner};
+use bounded_deletions::prelude::*;
+use common::{assert_probes_match, conformance_spec, probe, stream};
+
+/// The shard counts under test: the fixed {1, 2, 4, 7} sweep plus an
+/// optional `BD_SHARD_THREADS` entry (the CI thread-matrix knob).
+fn shard_counts() -> Vec<usize> {
+    let mut counts = vec![1, 2, 4, 7];
+    if let Some(extra) = std::env::var("BD_SHARD_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        if extra >= 1 && !counts.contains(&extra) {
+            counts.push(extra);
+        }
+    }
+    counts
+}
+
+/// The shard count a `ShardedRunner::new(threads)` pass actually uses:
+/// updates are cut into ⌈len/workers⌉-sized chunks, and the chunk count can
+/// undershoot the worker cap (5 updates across 4 workers ⇒ 3 chunks).
+fn expected_shards(len: usize, threads: usize) -> usize {
+    let per = len.div_ceil(threads.min(len).max(1)).max(1);
+    len.div_ceil(per).max(1)
+}
+
+/// The acceptance check: shard(k) ≡ sequential for every mergeable family.
+#[test]
+fn sharded_matches_sequential_for_every_mergeable_family() {
+    let s = stream(0x5A);
+    let mut covered = Vec::new();
+    for info in registry().families() {
+        if !info.caps.mergeable {
+            continue;
+        }
+        covered.push(info.family.name());
+        let spec = conformance_spec(info.family);
+        let mut seq = registry().build(&spec).unwrap();
+        StreamRunner::new().run(&mut *seq, &s);
+        let want = probe(seq.as_ref());
+        for k in shard_counts() {
+            let run = ShardedRunner::new(k)
+                .run(registry(), &spec, &s)
+                .unwrap_or_else(|e| panic!("{}: sharded run failed: {e}", info.family));
+            assert_eq!(run.shard_count(), expected_shards(s.len(), k));
+            assert_probes_match(
+                &format!("{} (shards = {k})", info.family),
+                &want,
+                &probe(run.sketch.as_ref()),
+                info.caps.merge_bitwise,
+            );
+            let report = run.report();
+            assert_eq!(report.updates, s.len(), "{}: lost updates", info.family);
+            assert_eq!(report.mass, s.total_mass(), "{}: lost mass", info.family);
+        }
+    }
+    assert!(
+        covered.len() >= 12,
+        "mergeable catalog shrank unexpectedly: {covered:?}"
+    );
+}
+
+/// One shard is a plain sequential pass and must be valid (and bit-exact)
+/// for every family, mergeable or not.
+#[test]
+fn single_shard_matches_sequential_for_every_family() {
+    let s = stream(0x15);
+    for info in registry().families() {
+        let spec = conformance_spec(info.family);
+        let mut seq = registry().build(&spec).unwrap();
+        StreamRunner::new().run(&mut *seq, &s);
+        let run = ShardedRunner::new(1)
+            .run(registry(), &spec, &s)
+            .unwrap_or_else(|e| panic!("{}: single-shard run failed: {e}", info.family));
+        assert_probes_match(
+            &format!("{} (single shard)", info.family),
+            &probe(seq.as_ref()),
+            &probe(run.sketch.as_ref()),
+            true,
+        );
+    }
+}
+
+/// Two sharded runs with the same seed and thread count replay identically —
+/// including in the *thinning* regime, where merging consumes RNG draws.
+#[test]
+fn sharded_runs_replay_identically() {
+    let s = stream(0xDE);
+    let thinned = [
+        conformance_spec(SketchFamily::Csss).with_budget(128),
+        conformance_spec(SketchFamily::SampledVector).with_budget(128),
+    ];
+    let exact_regime = [
+        conformance_spec(SketchFamily::AlphaHh),
+        conformance_spec(SketchFamily::AlphaL0),
+    ];
+    for spec in thinned.iter().chain(&exact_regime) {
+        for k in [2, 4, 7] {
+            let run_once = || {
+                let run = ShardedRunner::new(k).run(registry(), spec, &s).unwrap();
+                probe(run.sketch.as_ref())
+            };
+            assert_probes_match(
+                &format!("{} (determinism, shards = {k})", spec.family),
+                &run_once(),
+                &run_once(),
+                true,
+            );
+        }
+    }
+}
+
+/// Multi-shard runs on non-mergeable families are rejected up front.
+#[test]
+fn non_mergeable_families_error_beyond_one_shard() {
+    let s = stream(0x91);
+    let mut rejected = 0;
+    for info in registry().families() {
+        if info.caps.mergeable {
+            continue;
+        }
+        rejected += 1;
+        let spec = conformance_spec(info.family);
+        assert!(
+            matches!(
+                ShardedRunner::new(4).run(registry(), &spec, &s),
+                Err(RegistryError::NotMergeable)
+            ),
+            "{}: expected NotMergeable",
+            info.family
+        );
+    }
+    assert!(rejected > 0, "no non-mergeable families left to reject?");
+}
+
+/// Per-shard accounting: the shard reports partition the stream, and the
+/// summary report's wall clock covers the merge.
+#[test]
+fn shard_reports_partition_the_stream() {
+    let s = stream(0x33);
+    let spec = conformance_spec(SketchFamily::Exact);
+    let run = ShardedRunner::new(4).run(registry(), &spec, &s).unwrap();
+    assert_eq!(run.shards.len(), 4);
+    assert_eq!(run.shards.iter().map(|r| r.updates).sum::<usize>(), s.len());
+    let per = s.len().div_ceil(4);
+    for (i, rep) in run.shards.iter().enumerate() {
+        let expect = per.min(s.len() - i * per);
+        assert_eq!(rep.updates, expect, "shard {i} size");
+    }
+    assert!(run.elapsed >= run.merge_elapsed);
+    assert!(run.report().updates_per_sec() > 0.0);
+}
