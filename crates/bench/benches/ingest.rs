@@ -4,7 +4,11 @@
 //! α heavy hitters, the general α L1 estimator, the turnstile support
 //! sampler) plus one default-impl control (the exact frequency vector) —
 //! and the `ingest_sharded` section: the batched sequential pass versus the
-//! `ShardedRunner` at 4 worker threads on the mergeable hot families.
+//! `ShardedRunner` at 4 worker threads on the mergeable hot families —
+//! and the `ingest_service` section: the same stream through the
+//! `StreamService` (4 workers, 4 epoch snapshots) versus the raw
+//! `ShardedRunner`, measuring the overhead of epoch cuts (clone + merge +
+//! report) over one-shot sharded ingestion.
 //!
 //! Sketches are named by `SketchSpec` and built through the workspace
 //! registry, so adding a structure to the sweep is one spec line.
@@ -21,7 +25,10 @@
 use bd_bench::micro::{self, Measurement};
 use bd_bench::registry;
 use bd_stream::gen::BoundedDeletionGen;
-use bd_stream::{ShardedRunner, SketchFamily, SketchSpec, StreamBatch, StreamRunner};
+use bd_stream::{
+    ServiceConfig, ShardedRunner, SketchFamily, SketchSpec, StreamBatch, StreamRunner,
+    StreamService,
+};
 
 const N: u64 = 1 << 16;
 const MASS: u64 = 400_000;
@@ -62,6 +69,24 @@ fn ingest_sharded(
             .run(registry(), &spec.with_seed(s as u64), stream)
             .expect("bench spec must be mergeable");
         std::hint::black_box(run.report().space_bits());
+    })
+}
+
+/// Time a full `StreamService` pass (round-robin dispatch, epoch cuts with
+/// clone + merge snapshots, final cut) per sample.
+fn ingest_service(
+    name: &str,
+    stream: &StreamBatch,
+    cfg: ServiceConfig,
+    spec: SketchSpec,
+) -> Measurement {
+    micro::sample(name, stream.len() as u64, SAMPLES, WARMUP, |s| {
+        let mut svc = StreamService::start(registry(), &spec.with_seed(s as u64), cfg)
+            .expect("bench spec must be servable");
+        let mut snaps = svc.ingest(&stream.updates);
+        snaps.extend(svc.finish());
+        assert!(snaps.len() >= 4, "expected ≥4 epoch snapshots");
+        std::hint::black_box(snaps.iter().map(|sn| sn.report.space_bits()).sum::<u64>());
     })
 }
 
@@ -159,6 +184,46 @@ fn main() {
         base.with_family(SketchFamily::AlphaHh),
     );
 
+    // Service ingestion: the StreamService (4 workers, epoch snapshots with
+    // clone + merge every quarter of the stream) vs the raw ShardedRunner
+    // one-shot pass — the ratio is the *snapshot overhead* of serving.
+    let service_cfg = ServiceConfig::default()
+        .with_epoch(stream.len() as u64 / 4)
+        .with_threads(SHARD_THREADS);
+    println!(
+        "\nservice ingestion — StreamService at {SHARD_THREADS} workers, \
+         epoch = {} updates (4 scheduled snapshots)\n",
+        service_cfg.epoch
+    );
+    let mut service_pairs: Vec<(String, f64)> = Vec::new();
+    let mut compare_service = |label: &str, spec: SketchSpec| {
+        let raw = ingest_sharded(
+            &format!("ingest_service/{label}/shard_t{SHARD_THREADS}"),
+            &stream,
+            SHARD_THREADS,
+            spec,
+        );
+        let svc = ingest_service(
+            &format!("ingest_service/{label}/service_t{SHARD_THREADS}"),
+            &stream,
+            service_cfg,
+            spec,
+        );
+        micro::report(&raw);
+        micro::report(&svc);
+        let overhead = raw.ops_per_sec / svc.ops_per_sec;
+        println!("  {label:<44} {overhead:>10.2}x snapshot overhead\n");
+        service_pairs.push((label.to_string(), overhead));
+        results.push(raw);
+        results.push(svc);
+    };
+    compare_service("exact", base.with_family(SketchFamily::Exact));
+    compare_service("csss", base.with_family(SketchFamily::Csss).with_k(16));
+    compare_service(
+        "alpha_heavy_hitters",
+        base.with_family(SketchFamily::AlphaHh),
+    );
+
     let json = micro::to_json(
         &[
             ("bench", "ingest".to_string()),
@@ -177,6 +242,14 @@ fn main() {
             (
                 "sharded_speedups",
                 shard_pairs
+                    .iter()
+                    .map(|(n, s)| format!("{n}={s:.2}x"))
+                    .collect::<Vec<_>>()
+                    .join(","),
+            ),
+            (
+                "service_overheads",
+                service_pairs
                     .iter()
                     .map(|(n, s)| format!("{n}={s:.2}x"))
                     .collect::<Vec<_>>()

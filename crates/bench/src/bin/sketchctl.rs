@@ -8,6 +8,12 @@
 //! sketchctl shard  [--threads N] <spec> [workload]
 //!                                         threaded sharded ingest + merge
 //!                                         (mergeable families; default N=4)
+//! sketchctl serve  --spec <spec> [--epoch N] [--threads N] [--chunk N]
+//!                  [--service service:epoch=..,threads=..] [workload]
+//!                                         long-lived StreamService: epoch
+//!                                         snapshots while ingestion runs,
+//!                                         each verified against a
+//!                                         sequential run of its prefix
 //! ```
 //!
 //! Examples:
@@ -18,6 +24,8 @@
 //!     run csss:n=2^16,eps=0.05,alpha=8,seed=42 bounded:n=2^16,mass=400000,alpha=8
 //! cargo run --release -p bd-bench --bin sketchctl -- \
 //!     shard --threads 8 countsketch:n=2^16,eps=0.1 bounded:n=2^16,mass=400000,alpha=4
+//! cargo run --release -p bd-bench --bin sketchctl -- \
+//!     serve --spec csss:n=1e6,eps=0.05,alpha=8,seed=42 --epoch 100000 --threads 4
 //! ```
 //!
 //! `run` ingests the workload through the `StreamRunner`, then exercises
@@ -29,18 +37,28 @@
 //! shards, a `merge_dyn` fold — then verifies the merged sketch against a
 //! single-pass build (bit-identical for `merge_bitwise` families,
 //! ground-truth scored otherwise; `DESIGN.md §7` spells out the contract).
+//!
+//! `serve` drives the serving engine (`bd_stream::StreamService`): worker
+//! threads fed round-robin from the generated workload, an immutable merged
+//! snapshot + `EpochReport` every epoch — and verifies each snapshot's
+//! point/norm answers against a sequential one-shot run over the same
+//! stream prefix (bit-identical for `merge_bitwise` families, within the
+//! float-association tolerance otherwise; `DESIGN.md §8`).
 
 use bd_bench::workload;
 use bd_bench::{fmt_bits, registry, Table};
 use bd_stream::{
-    DynSketch, FrequencyVector, SampleOutcome, ShardedRunner, SketchSpec, StreamBatch, StreamRunner,
+    DynSketch, EpochReport, FrequencyVector, SampleOutcome, ServiceConfig, ShardedRunner,
+    SketchSpec, StreamBatch, StreamRunner, StreamService,
 };
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: sketchctl <families|workloads|parse <spec>|run <spec> [workload]|\
-         shard [--threads N] <spec> [workload]>"
+         shard [--threads N] <spec> [workload]|\
+         serve --spec <spec> [--epoch N] [--threads N] [--chunk N] \
+         [--service <cfg>] [workload]>"
     );
     ExitCode::FAILURE
 }
@@ -81,6 +99,65 @@ fn main() -> ExitCode {
                 Some(s) => shard(s, positional.get(1).copied(), threads),
                 None => usage(),
             }
+        }
+        Some("serve") => {
+            // `--service` carries the spec-grammar config string; the
+            // individual flags override its fields regardless of argument
+            // order (flags are collected first, applied after the base
+            // config is known). Remaining positionals are `[workload]`
+            // (plus `--spec <spec>` / a bare spec).
+            let mut cfg = ServiceConfig::default();
+            let (mut epoch, mut threads, mut chunk) = (None, None, None);
+            let mut spec_str: Option<&str> = None;
+            let mut positional: Vec<&str> = Vec::new();
+            let mut rest = args[1..].iter();
+            let parse_flag = |flag: &str, v: Option<&String>| -> Option<u64> {
+                match v.and_then(|v| v.parse::<u64>().ok()) {
+                    Some(x) if x >= 1 => Some(x),
+                    _ => {
+                        eprintln!("{flag} expects a positive integer");
+                        None
+                    }
+                }
+            };
+            while let Some(arg) = rest.next() {
+                match arg.as_str() {
+                    "--service" => match rest.next().map(|s| s.parse::<ServiceConfig>()) {
+                        Some(Ok(parsed)) => cfg = parsed,
+                        _ => {
+                            eprintln!("--service expects service:epoch=..,threads=..,chunk=..");
+                            return usage();
+                        }
+                    },
+                    "--spec" => match rest.next() {
+                        Some(s) => spec_str = Some(s),
+                        None => return usage(),
+                    },
+                    "--epoch" | "-e" => match parse_flag("--epoch", rest.next()) {
+                        Some(x) => epoch = Some(x),
+                        None => return usage(),
+                    },
+                    "--threads" | "-t" => match parse_flag("--threads", rest.next()) {
+                        Some(x) => threads = Some(x as usize),
+                        None => return usage(),
+                    },
+                    "--chunk" => match parse_flag("--chunk", rest.next()) {
+                        Some(x) => chunk = Some(x as usize),
+                        None => return usage(),
+                    },
+                    _ => positional.push(arg),
+                }
+            }
+            cfg.epoch = epoch.unwrap_or(cfg.epoch);
+            cfg.threads = threads.unwrap_or(cfg.threads);
+            cfg.chunk = chunk.unwrap_or(cfg.chunk);
+            // A bare positional spec is accepted when --spec is absent.
+            let (spec, wl) = match (spec_str, positional.as_slice()) {
+                (Some(s), rest) => (s, rest.first().copied()),
+                (None, [s, rest @ ..]) => (*s, rest.first().copied()),
+                (None, []) => return usage(),
+            };
+            serve(spec, wl, cfg)
         }
         _ => usage(),
     }
@@ -328,5 +405,169 @@ fn shard(spec_str: &str, wl: Option<&str>, threads: usize) -> ExitCode {
         );
     }
     score(merged.as_ref(), &truth, spec.epsilon);
+    ExitCode::SUCCESS
+}
+
+/// One answer probed for prefix verification: item identities compare
+/// exactly, estimates bitwise or within the float-association tolerance.
+enum Answer {
+    Item(u64),
+    Estimate(f64),
+}
+
+/// Every query answer a snapshot exposes — point, norm, sample, support —
+/// so prefix verification is never vacuous (every registered family has at
+/// least one query capability).
+fn answer_probe(sk: &dyn DynSketch, n: u64) -> Vec<Answer> {
+    let mut out = Vec::new();
+    if let Some(p) = sk.as_point() {
+        out.extend((0..1024u64.min(n)).map(|i| Answer::Estimate(p.point(i))));
+    }
+    if let Some(nm) = sk.as_norm() {
+        out.push(Answer::Estimate(nm.norm_estimate()));
+    }
+    if let Some(s) = sk.as_sample() {
+        match s.sample() {
+            SampleOutcome::Sample { item, estimate } => {
+                out.push(Answer::Item(item));
+                out.push(Answer::Estimate(estimate));
+            }
+            SampleOutcome::Fail => out.push(Answer::Item(u64::MAX)),
+        }
+    }
+    if let Some(sp) = sk.as_support() {
+        out.extend(sp.support_query().into_iter().map(Answer::Item));
+    }
+    out
+}
+
+/// Whether two probes agree: bitwise on estimates when `bitwise`, within
+/// the 1e-6-relative tolerance otherwise; item identities always exact.
+fn answers_agree(got: &[Answer], want: &[Answer], bitwise: bool) -> bool {
+    got.len() == want.len()
+        && got.iter().zip(want).all(|(g, w)| match (g, w) {
+            (Answer::Item(a), Answer::Item(b)) => a == b,
+            (Answer::Estimate(a), Answer::Estimate(b)) => {
+                if bitwise {
+                    a.to_bits() == b.to_bits()
+                } else {
+                    (a - b).abs() <= 1e-6 * a.abs().max(b.abs()).max(1.0)
+                }
+            }
+            _ => false,
+        })
+}
+
+/// Drive the long-lived `StreamService` over a generated workload, print
+/// each epoch snapshot's report, and verify every snapshot's point/norm
+/// answers against a sequential one-shot run over the same stream prefix.
+fn serve(spec_str: &str, wl: Option<&str>, cfg: ServiceConfig) -> ExitCode {
+    let spec: SketchSpec = match spec_str.parse() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Default workload: a bounded-deletion stream matching the spec's own
+    // (n, α) promise, sized to cover several epochs.
+    let wl = wl.map(str::to_string).unwrap_or_else(|| {
+        format!(
+            "bounded:n={},mass={},alpha={},seed=1",
+            spec.n,
+            200_000u64.max(3 * cfg.epoch),
+            spec.alpha
+        )
+    });
+    let stream = match workload::generate(&wl) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let reg = registry();
+    let merge_bitwise = match reg.info(spec.family) {
+        Some(info) => info.caps.merge_bitwise,
+        None => {
+            eprintln!("family `{}` is not registered", spec.family);
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut svc = match StreamService::start(reg, &spec, cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("service failed to start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "spec     {spec}\nservice  {cfg}\nworkload {} updates over n = {} \
+         (epoch boundary every {} updates)\n",
+        stream.len(),
+        stream.n,
+        cfg.epoch
+    );
+    // The unbounded-source shape: feed the stream through the iterator
+    // driver, then cut the final partial epoch.
+    let mut snaps = svc.run(stream.updates.iter().copied());
+    snaps.extend(svc.finish());
+
+    let mut ok = true;
+    for snap in &snaps {
+        let rep = &snap.report;
+        println!(
+            "epoch {:>3}  {:>9} updates ({:>9} total)  {:>7.2} M up/s  \
+             merge {:>6.2} ms  space {}",
+            rep.epoch,
+            rep.updates,
+            rep.total_updates,
+            rep.updates_per_sec() / 1e6,
+            rep.merge_elapsed.as_secs_f64() * 1e3,
+            fmt_bits(rep.space_bits())
+        );
+        println!(
+            "           deletion fraction {:.3} (α-cap {:.3})  α floor {:.2} vs \
+             configured {:.0} — {}",
+            rep.deletion_fraction(),
+            EpochReport::deletion_cap(rep.alpha_configured),
+            rep.alpha_observed(),
+            rep.alpha_configured,
+            if rep.within_alpha() {
+                "within α promise"
+            } else {
+                "prefix exceeds α promise"
+            }
+        );
+        // Snapshot ≡ replay: a fresh sequential run over the same prefix.
+        let mut seq = reg.build(&spec).expect("spec built once already");
+        StreamRunner::new().run_updates(&mut *seq, &stream.updates[..rep.total_updates]);
+        let (got, want) = (
+            answer_probe(snap.sketch.as_ref(), stream.n),
+            answer_probe(seq.as_ref(), stream.n),
+        );
+        let agree = answers_agree(&got, &want, merge_bitwise);
+        println!(
+            "           snapshot ≡ sequential prefix: {}",
+            if agree {
+                if merge_bitwise {
+                    "bit-identical ✓"
+                } else {
+                    "estimate-equal ✓"
+                }
+            } else {
+                ok = false;
+                "MISMATCH ✗"
+            }
+        );
+    }
+    println!("\n{} epoch snapshot(s) emitted", snaps.len());
+    if snaps.len() < 2 {
+        eprintln!("workload too small for the epoch length — fewer than 2 snapshots");
+        return ExitCode::FAILURE;
+    }
+    if !ok {
+        return ExitCode::FAILURE;
+    }
     ExitCode::SUCCESS
 }

@@ -19,7 +19,7 @@
 
 use crate::binomial::bin_pow2;
 use crate::params::Params;
-use bd_stream::{Sketch, SpaceReport, SpaceUsage};
+use bd_stream::{Mergeable, Sketch, SpaceReport, SpaceUsage};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -196,6 +196,52 @@ impl Sketch for AlphaIpSketch {
     }
 }
 
+impl Mergeable for AlphaIpSketch {
+    /// Level-wise window merge: tables at the same interval level add
+    /// cell-wise (both sides share `(h, σ)` rows and the reduction prime,
+    /// so cells are commensurable), positions add, and the live window set
+    /// is re-derived from the combined position exactly as
+    /// [`AlphaIpSketch::update`] maintains it. The merge is exact while
+    /// every shard's live windows coincide — always true until the combined
+    /// position outgrows `s` (interval sampling never fired; the
+    /// conformance regime) — and once the windows slide it is approximate
+    /// in the same `±ε‖f‖₁‖g‖₁` interval-sampling sense Lemma 6 already
+    /// pays (the `alpha_l0` windowed-merge contract, `DESIGN.md §7`).
+    fn merge_from(&mut self, other: &Self) {
+        assert!(
+            self.family.p == other.family.p
+                && self.family.k == other.family.k
+                && self.family.s == other.family.s
+                && self.family.rows.len() == other.family.rows.len(),
+            "AlphaIpSketch merge requires identically seeded sketches"
+        );
+        self.position += other.position;
+        for w in &other.windows {
+            match self.windows.iter_mut().find(|mine| mine.j == w.j) {
+                Some(mine) => {
+                    for (a, b) in mine.table.iter_mut().zip(&w.table) {
+                        *a += b;
+                        self.max_counter = self.max_counter.max(a.unsigned_abs());
+                    }
+                }
+                None => self.windows.push(w.clone()),
+            }
+        }
+        self.max_counter = self.max_counter.max(other.max_counter);
+        // Re-derive the live window set for the combined position.
+        let hi = self.j_hi();
+        let lo = hi.saturating_sub(1);
+        let cells = self.family.rows.len() * self.family.k;
+        self.windows.retain(|w| w.j >= lo);
+        for j in lo..=hi {
+            if !self.windows.iter().any(|w| w.j == j) {
+                self.windows.push(IpWindow::new(j, cells));
+            }
+        }
+        self.windows.sort_by_key(|w| w.j);
+    }
+}
+
 impl SpaceUsage for AlphaIpSketch {
     fn space(&self) -> SpaceReport {
         let cells: u64 = self.windows.iter().map(|w| w.table.len() as u64).sum();
@@ -321,6 +367,62 @@ mod tests {
         // <f,g> = 100 · 100 = 10_000; ‖f‖₁‖g‖₁ = 1e6, ε = 0.05 ⇒ ±5e4.
         let est = ip.estimate();
         assert!((est - 10_000.0).abs() <= 50_000.0, "estimate {est}");
+    }
+
+    #[test]
+    fn merge_matches_single_pass_below_the_interval_budget() {
+        // Combined position < s ⇒ window 0 is the only live window on both
+        // shards and the merge is a pure table addition — bit-exact.
+        let params = Params::practical(1 << 12, 0.1, 2.0);
+        let family = AlphaIpFamily::new(9, &params, 3);
+        let mut whole = family.sketch(10);
+        let mut a = family.sketch(10);
+        let mut b = family.sketch(10);
+        for i in 0..300u64 {
+            let (item, delta) = (i % 97, if i % 5 == 0 { -2 } else { 3 });
+            whole.update(item, delta);
+            if i < 150 { &mut a } else { &mut b }.update(item, delta);
+        }
+        assert!(whole.position() < params.interval_budget());
+        a.merge_from(&b);
+        assert_eq!(a.position(), whole.position());
+        assert_eq!(
+            a.inner_product(&a).to_bits(),
+            whole.inner_product(&whole).to_bits(),
+            "window-0 merge must replay the single pass exactly"
+        );
+    }
+
+    #[test]
+    fn merge_past_the_budget_keeps_estimates_sane() {
+        // Past s the windows slide; the merged sketch is the Lemma 6
+        // approximation, so only sandwich the self-IP estimate loosely.
+        let params = Params::practical(1 << 12, 0.2, 2.0);
+        let family = AlphaIpFamily::new(21, &params, 5);
+        let mut a = family.sketch(22);
+        let mut b = family.sketch(22);
+        for i in 0..400_000u64 {
+            (if i % 2 == 0 { &mut a } else { &mut b }).update(i % 500, 1);
+        }
+        a.merge_from(&b);
+        assert_eq!(a.position(), 400_000);
+        // true F2 = 500 · 800² = 3.2e8; ε‖f‖₁² slack = 0.2·(4e5)² = 3.2e10.
+        let est = a.inner_product(&a);
+        assert!(
+            (est - 3.2e8).abs() <= 3.2e10,
+            "merged self-IP {est} outside the additive envelope"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "identically seeded")]
+    fn merge_rejects_different_families() {
+        let params = Params::practical(1 << 10, 0.1, 2.0);
+        let fa = AlphaIpFamily::new(1, &params, 3);
+        let fb = AlphaIpFamily::new(2, &params, 3);
+        let mut a = fa.sketch(5);
+        let b = fb.sketch(5);
+        a.merge_from(&b);
     }
 
     #[test]

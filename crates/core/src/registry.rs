@@ -52,11 +52,11 @@ impl SupportQuery for AlphaSupportSamplerSet {
 impl_dyn_sketch!(Csss, point, merge);
 impl_dyn_sketch!(SampledVector, point, norm, merge);
 impl_dyn_sketch!(AlphaHeavyHitters, point, norm, merge);
-impl_dyn_sketch!(AlphaL1Sampler, sample);
-impl_dyn_sketch!(AlphaL1SamplerInstance, sample);
+impl_dyn_sketch!(AlphaL1Sampler, sample, merge);
+impl_dyn_sketch!(AlphaL1SamplerInstance, sample, merge);
 impl_dyn_sketch!(AlphaL1Estimator, norm);
 impl_dyn_sketch!(AlphaL1General, norm);
-impl_dyn_sketch!(AlphaIpSketch, norm);
+impl_dyn_sketch!(AlphaIpSketch, norm, merge);
 impl_dyn_sketch!(AlphaL0Estimator, norm, merge);
 impl_dyn_sketch!(AlphaConstL0, norm, merge);
 impl_dyn_sketch!(AlphaRoughL0, norm, merge);
@@ -220,7 +220,12 @@ pub fn register(reg: &mut Registry) {
             summary: "α L1 sampler (Figure 3, Theorem 5)",
             caps: Capabilities {
                 sample: true,
-                batch_bitwise: true,
+                // Instance-wise CSSS merge (statistical in the thinning
+                // regime, like CSSS itself). The batch override keeps the
+                // per-update weight quantization but offers candidates only
+                // after the chunk settles (and sums thinning draws), so it
+                // is statistical, not bitwise.
+                mergeable: true,
                 ..Default::default()
             },
             inputs: SpaceInputs {
@@ -240,7 +245,10 @@ pub fn register(reg: &mut Registry) {
             summary: "one α L1 sampler instance (Figure 3 component)",
             caps: Capabilities {
                 sample: true,
-                batch_bitwise: true,
+                // As the amplified sampler: CSSS-wise merge; statistical
+                // batch override (1/t_i memoized per chunk item, candidate
+                // offers deferred to the end of the chunk).
+                mergeable: true,
                 ..Default::default()
             },
             inputs: SpaceInputs {
@@ -312,6 +320,9 @@ pub fn register(reg: &mut Registry) {
             summary: "one side of the α inner-product pair (Theorem 2)",
             caps: Capabilities {
                 norm: true,
+                // Level-wise window merge; exact while shard windows
+                // coincide (combined position below the interval budget).
+                mergeable: true,
                 batch_bitwise: true,
                 ..Default::default()
             },

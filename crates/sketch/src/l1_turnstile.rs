@@ -20,6 +20,7 @@ use rand::SeedableRng;
 /// The Figure 5 log-cosine L1 estimator.
 #[derive(Clone, Debug)]
 pub struct LogCosL1 {
+    seed: u64,
     main_rows: Vec<bd_hash::CauchyRow>,
     aux_rows: Vec<bd_hash::CauchyRow>,
     y: Vec<f64>,
@@ -42,6 +43,7 @@ impl LogCosL1 {
     pub fn with_rows(seed: u64, main: usize, aux: usize, k: usize) -> Self {
         let mut rng = SmallRng::seed_from_u64(seed);
         LogCosL1 {
+            seed,
             main_rows: (0..main)
                 .map(|_| bd_hash::CauchyRow::new(&mut rng, k))
                 .collect(),
@@ -108,6 +110,33 @@ impl NormEstimate for LogCosL1 {
     /// Estimates `‖f‖₁` to `(1±ε)` (probability 3/4 per instance).
     fn norm_estimate(&self) -> f64 {
         self.estimate()
+    }
+}
+
+impl Mergeable for LogCosL1 {
+    /// Row-wise addition on both the main and auxiliary Cauchy rows:
+    /// `y = A·f` is linear, so the merged rows are the rows of the
+    /// concatenated streams. Deterministic, but only *estimate-equal* to a
+    /// single pass — float addition re-associates across the shard boundary
+    /// (the [`MedianL1`] contract, `DESIGN.md §7`).
+    fn merge_from(&mut self, other: &Self) {
+        assert!(
+            self.seed == other.seed
+                && self.y.len() == other.y.len()
+                && self.y_aux.len() == other.y_aux.len(),
+            "LogCosL1 merge requires identically seeded sketches"
+        );
+        for (a, b) in self
+            .y
+            .iter_mut()
+            .zip(&other.y)
+            .chain(self.y_aux.iter_mut().zip(&other.y_aux))
+        {
+            *a += b;
+            self.max_abs = self.max_abs.max(a.abs());
+        }
+        self.max_abs = self.max_abs.max(other.max_abs);
+        self.mass += other.mass;
     }
 }
 
@@ -285,6 +314,33 @@ mod tests {
             (merged - single).abs() <= 1e-6 * single.abs().max(1.0),
             "merged {merged} vs single-pass {single}"
         );
+    }
+
+    #[test]
+    fn logcos_merge_is_estimate_equal_to_single_pass() {
+        let stream = NetworkDiffGen::new(1 << 12, 20_000, 0.3).generate_seeded(14);
+        let mut whole = LogCosL1::with_rows(33, 128, 31, 4);
+        let mut a = LogCosL1::with_rows(33, 128, 31, 4);
+        let mut b = LogCosL1::with_rows(33, 128, 31, 4);
+        let half = stream.len() / 2;
+        for (t, u) in stream.iter().enumerate() {
+            whole.update(u.item, u.delta);
+            if t < half { &mut a } else { &mut b }.update(u.item, u.delta);
+        }
+        a.merge_from(&b);
+        let (merged, single) = (a.estimate(), whole.estimate());
+        assert!(
+            (merged - single).abs() <= 1e-6 * single.abs().max(1.0),
+            "merged {merged} vs single-pass {single}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "identically seeded")]
+    fn logcos_merge_rejects_different_seeds() {
+        let mut a = LogCosL1::with_rows(1, 16, 7, 4);
+        let b = LogCosL1::with_rows(2, 16, 7, 4);
+        a.merge_from(&b);
     }
 
     #[test]

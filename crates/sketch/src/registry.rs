@@ -83,7 +83,7 @@ impl_dyn_sketch!(CountSketch<i64>, point, merge);
 impl_dyn_sketch!(CountMin, point, merge);
 impl_dyn_sketch!(AmsSketch, norm, merge);
 impl_dyn_sketch!(IpCountSketch, norm, merge);
-impl_dyn_sketch!(LogCosL1, norm);
+impl_dyn_sketch!(LogCosL1, norm, merge);
 impl_dyn_sketch!(MedianL1, norm, merge);
 impl_dyn_sketch!(L0Estimator, norm);
 impl_dyn_sketch!(RoughL0, norm);
@@ -237,6 +237,9 @@ pub fn register(reg: &mut Registry) {
             summary: "log-cosine Cauchy L1 estimator (Figure 5)",
             caps: Capabilities {
                 norm: true,
+                // Rows add like MedianL1: deterministic but estimate-equal
+                // (float re-association across the shard boundary).
+                mergeable: true,
                 batch_bitwise: true,
                 ..Default::default()
             },

@@ -31,6 +31,10 @@
 //!   [`RunReport`](runner::RunReport);
 //! * [`sharded`] — [`ShardedRunner`](sharded::ShardedRunner), the parallel
 //!   shard → sketch → merge ingestion engine over registry-built sketches;
+//! * [`service`] — [`StreamService`](service::StreamService), the long-lived
+//!   epoch-snapshot serving engine over an unbounded update source (worker
+//!   threads fed round-robin, immutable merged [`Snapshot`](service::Snapshot)s
+//!   every epoch while ingestion continues);
 //! * [`update`] — items, updates `(i, Δ)`, and [`update::StreamBatch`];
 //! * [`vector`] — exact frequency vectors `f = I − D` with every statistic
 //!   the paper's guarantees are stated against (`‖f‖₀`, `‖f‖₁`, `F₀`,
@@ -43,6 +47,7 @@
 pub mod gen;
 pub mod registry;
 pub mod runner;
+pub mod service;
 pub mod sharded;
 pub mod sketch;
 pub mod space;
@@ -54,6 +59,7 @@ pub use registry::{
     BuildFn, Capabilities, DynSketch, FamilyInfo, Registry, RegistryError, SpaceInputs,
 };
 pub use runner::{RunReport, StreamRunner};
+pub use service::{EpochReport, ServiceConfig, Snapshot, StreamService};
 pub use sharded::{ShardedRun, ShardedRunner};
 pub use sketch::{
     aggregate_net, aggregate_signed_mass, Mergeable, NormEstimate, PointQuery, SampleOutcome,

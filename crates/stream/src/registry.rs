@@ -51,6 +51,16 @@ pub trait DynSketch: Sketch + Send {
     /// `Box<Self>` as `Box<dyn Any>`, for [`Registry::build_as`].
     fn into_any(self: Box<Self>) -> Box<dyn Any>;
 
+    /// A deep copy behind the trait object (`Clone` behind `dyn`).
+    ///
+    /// This is the epoch-snapshot hook: the
+    /// [`StreamService`](crate::service::StreamService) clones each shard
+    /// worker's sketch at an epoch boundary and merges the clones into an
+    /// immutable snapshot while the originals keep ingesting. Cloning copies
+    /// the owned RNG state too, so a clone is a faithful freeze of the
+    /// sketch at the moment of the cut.
+    fn clone_dyn(&self) -> Box<dyn DynSketch>;
+
     /// Point-query view, if the family answers per-item estimates.
     fn as_point(&self) -> Option<&dyn PointQuery> {
         None
@@ -89,7 +99,9 @@ pub trait DynSketch: Sketch + Send {
 ///
 /// Capabilities: `point`, `norm`, `sample`, `support`, `merge`. The listed
 /// set must match the type's actual trait impls (the registry's
-/// capability-consistency test builds each family and cross-checks).
+/// capability-consistency test builds each family and cross-checks). The
+/// type must also be `Clone` — the macro wires [`DynSketch::clone_dyn`],
+/// the epoch-snapshot hook, for every sketch.
 #[macro_export]
 macro_rules! impl_dyn_sketch {
     ($ty:ty $(, $cap:ident)* $(,)?) => {
@@ -99,6 +111,9 @@ macro_rules! impl_dyn_sketch {
             }
             fn into_any(self: ::std::boxed::Box<Self>) -> ::std::boxed::Box<dyn ::std::any::Any> {
                 self
+            }
+            fn clone_dyn(&self) -> ::std::boxed::Box<dyn $crate::registry::DynSketch> {
+                ::std::boxed::Box::new(::std::clone::Clone::clone(self))
             }
             $($crate::impl_dyn_sketch!(@cap $cap);)*
         }
@@ -518,6 +533,7 @@ mod tests {
     fn non_mergeable_merge_errs() {
         // A capability-free dummy: merge_dyn must take the default
         // "NotMergeable" path.
+        #[derive(Clone)]
         struct NoMerge;
         impl crate::space::SpaceUsage for NoMerge {
             fn space(&self) -> crate::space::SpaceReport {
@@ -539,6 +555,19 @@ mod tests {
             DynSketch::merge_dyn(&mut a, &b),
             Err(RegistryError::NotMergeable)
         );
+    }
+
+    #[test]
+    fn clone_dyn_freezes_state() {
+        let r = reg();
+        let (_, mut sk) = r.build_str("exact:n=64").unwrap();
+        sk.update(3, 5);
+        let frozen = sk.clone_dyn();
+        sk.update(3, 2);
+        assert_eq!(frozen.as_point().unwrap().point(3), 5.0, "clone mutated");
+        assert_eq!(sk.as_point().unwrap().point(3), 7.0);
+        // The clone keeps the full capability surface.
+        assert!(frozen.as_norm().is_none() && frozen.as_sample().is_none());
     }
 
     #[test]

@@ -1,0 +1,857 @@
+//! The `StreamService` epoch-snapshot serving engine.
+//!
+//! The paper's sketches are one-shot: ingest a bounded-deletion stream,
+//! query once. A serving system faces the opposite shape — an *unbounded*
+//! update source that never stops, with queries arriving while ingestion
+//! continues. [`StreamService`] is that deployment shape, written once over
+//! the registry:
+//!
+//! 1. [`Registry::build_n`] builds one identically-seeded sketch per shard
+//!    worker (the [`ShardedRunner`](crate::sharded::ShardedRunner)
+//!    construction, long-lived);
+//! 2. each worker is a thread owning its sketch and an mpsc command queue;
+//!    the service dispatches incoming update batches round-robin in
+//!    [`ServiceConfig::chunk`]-sized slices, so every update lands on a
+//!    deterministic worker regardless of call-boundary shapes;
+//! 3. every [`ServiceConfig::epoch`] updates (or on demand) the service
+//!    *cuts an epoch*: it enqueues a snapshot command behind each worker's
+//!    pending batches, collects one [`DynSketch::clone_dyn`] per worker, and
+//!    folds the clones with [`DynSketch::merge_dyn`] in worker order into an
+//!    immutable [`Snapshot`] — while the workers' own sketches keep
+//!    ingesting the next epoch's batches.
+//!
+//! **Why snapshot ≡ replay holds.** A worker's clone is a faithful freeze of
+//! its sketch after exactly the updates dispatched before the cut (channel
+//! ordering), so the merged clones form the sketch of the concatenation of
+//! the workers' subsequences — a fixed interleaving of the stream prefix.
+//! For every mergeable family that interleaving is equivalent to the
+//! sequential prefix under the same per-family contract the
+//! `ShardedRunner` already obeys (`DESIGN.md §7`–`§8`): bit-identical for
+//! `merge_bitwise` families, estimate-equal otherwise. `tests/service.rs`
+//! pins snapshot-at-epoch-k ≡ a sequential one-shot run over the same
+//! prefix for every mergeable family in the registry.
+//!
+//! Everything is spec-driven: the sketch comes from a
+//! [`SketchSpec`](crate::spec::SketchSpec) string, the service shape from a
+//! [`ServiceConfig`] string (`service:epoch=1e5,threads=4`), so any
+//! mergeable family is servable by name (`sketchctl serve`). Each
+//! [`EpochReport`] carries the deletion-fraction / α accounting and the
+//! space watermark of the merged snapshot.
+
+use crate::registry::{DynSketch, Registry, RegistryError};
+use crate::runner::StreamRunner;
+use crate::space::SpaceReport;
+use crate::spec::{parse_u64, SketchSpec, SpecError};
+use crate::update::Update;
+use std::fmt;
+use std::str::FromStr;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Service shape: epoch length, shard workers, dispatch granularity.
+///
+/// Parses from (and displays as) a compact string in the spec grammar,
+/// `service:epoch=1e5,threads=4,chunk=4096` (the `service:` prefix and any
+/// subset of keys are optional).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Updates per epoch: a snapshot is cut every `epoch` dispatched
+    /// updates.
+    pub epoch: u64,
+    /// Shard workers (threads); clamped to ≥ 1. More than one requires a
+    /// `mergeable` family.
+    pub threads: usize,
+    /// Updates per dispatched batch — the round-robin granularity. Smaller
+    /// chunks interleave the workers' subsequences more finely; the default
+    /// matches [`StreamRunner::DEFAULT_CHUNK`] so each dispatch is one
+    /// batched ingestion call.
+    pub chunk: usize,
+}
+
+impl Default for ServiceConfig {
+    /// `epoch = 100_000`, `threads = 4`, `chunk = 4096`.
+    fn default() -> Self {
+        ServiceConfig {
+            epoch: 100_000,
+            threads: 4,
+            chunk: StreamRunner::DEFAULT_CHUNK,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Set the epoch length.
+    pub fn with_epoch(mut self, epoch: u64) -> Self {
+        self.epoch = epoch;
+        self
+    }
+
+    /// Set the worker count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Set the dispatch chunk size.
+    pub fn with_chunk(mut self, chunk: usize) -> Self {
+        self.chunk = chunk;
+        self
+    }
+
+    /// Validate the fields (zero values would deadlock the dispatch loop).
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.epoch == 0 {
+            return Err(SpecError::BadField("epoch", "must be ≥ 1".into()));
+        }
+        if self.threads == 0 {
+            return Err(SpecError::BadField("threads", "must be ≥ 1".into()));
+        }
+        if self.chunk == 0 {
+            return Err(SpecError::BadField("chunk", "must be ≥ 1".into()));
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for ServiceConfig {
+    type Err = SpecError;
+
+    /// Parse `service:key=val,...` (or bare `key=val,...`); omitted keys
+    /// take the defaults.
+    fn from_str(s: &str) -> Result<Self, SpecError> {
+        let s = s.trim();
+        let rest = match s.split_once(':') {
+            Some(("service", r)) => r,
+            Some((other, _)) => {
+                return Err(SpecError::BadField(
+                    "service",
+                    format!("`{other}:` is not the service config prefix"),
+                ))
+            }
+            None if s == "service" || s.is_empty() => "",
+            None => s,
+        };
+        let mut cfg = ServiceConfig::default();
+        for pair in rest.split(',').filter(|p| !p.trim().is_empty()) {
+            let (key, val) = pair.split_once('=').ok_or_else(|| {
+                SpecError::BadField("service", format!("`{pair}` is not key=value"))
+            })?;
+            match key.trim() {
+                "epoch" => cfg.epoch = parse_u64("epoch", val.trim())?,
+                "threads" => cfg.threads = parse_u64("threads", val.trim())? as usize,
+                "chunk" => cfg.chunk = parse_u64("chunk", val.trim())? as usize,
+                other => return Err(SpecError::UnknownKey(other.to_string())),
+            }
+        }
+        cfg.validate()?;
+        Ok(cfg)
+    }
+}
+
+impl fmt::Display for ServiceConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "service:epoch={},threads={},chunk={}",
+            self.epoch, self.threads, self.chunk
+        )
+    }
+}
+
+/// Accounting attached to one epoch snapshot: what this epoch ingested,
+/// running totals, the deletion-fraction / α regime observed, the merged
+/// snapshot's space watermark, and timing.
+#[derive(Clone, Copy, Debug)]
+pub struct EpochReport {
+    /// 1-based index of the cut (on-demand snapshots repeat the upcoming
+    /// index without consuming it).
+    pub epoch: usize,
+    /// Updates ingested since the previous cut.
+    pub updates: usize,
+    /// Updates ingested since the service started (the prefix length this
+    /// snapshot covers).
+    pub total_updates: usize,
+    /// Inserted mass `Σ Δ_t` over `Δ_t > 0` since the previous cut.
+    pub inserted_mass: u64,
+    /// Deleted mass `Σ |Δ_t|` over `Δ_t < 0` since the previous cut.
+    pub deleted_mass: u64,
+    /// Inserted mass since the service started.
+    pub total_inserted: u64,
+    /// Deleted mass since the service started.
+    pub total_deleted: u64,
+    /// The α the spec promised (the bound the observed regime is judged
+    /// against).
+    pub alpha_configured: f64,
+    /// Space watermark of the merged snapshot sketch.
+    pub space: SpaceReport,
+    /// Wall clock from the previous cut to this one (dispatch side).
+    pub elapsed: Duration,
+    /// Wall clock of the clone-collect + merge fold alone.
+    pub merge_elapsed: Duration,
+    /// Worker count the snapshot was merged from.
+    pub threads: usize,
+}
+
+impl EpochReport {
+    /// Update mass `Σ|Δ|` of this epoch.
+    pub fn mass(&self) -> u64 {
+        self.inserted_mass + self.deleted_mass
+    }
+
+    /// Update mass `Σ|Δ|` of the whole prefix.
+    pub fn total_mass(&self) -> u64 {
+        self.total_inserted + self.total_deleted
+    }
+
+    /// Observed deletion fraction `D / (I + D)` over the whole prefix
+    /// (0 for an empty prefix).
+    pub fn deletion_fraction(&self) -> f64 {
+        let mass = self.total_mass();
+        if mass == 0 {
+            0.0
+        } else {
+            self.total_deleted as f64 / mass as f64
+        }
+    }
+
+    /// The largest deletion fraction an L1 α-property stream can exhibit:
+    /// `I + D ≤ α‖f‖₁ ≤ α(I − D)` forces `D/(I+D) ≤ (α−1)/(2α)`.
+    pub fn deletion_cap(alpha: f64) -> f64 {
+        (alpha - 1.0) / (2.0 * alpha)
+    }
+
+    /// A lower bound on the realized α₁ of the prefix, from mass accounting
+    /// alone: `‖f‖₁ ≥ I − D`, so `α₁ = (I+D)/‖f‖₁ ≥ (I+D)/(I−D)`. Infinite
+    /// when deletions meet or exceed insertions (no α-property holds).
+    pub fn alpha_observed(&self) -> f64 {
+        let (i, d) = (self.total_inserted, self.total_deleted);
+        if i + d == 0 {
+            1.0
+        } else if i <= d {
+            f64::INFINITY
+        } else {
+            (i + d) as f64 / (i - d) as f64
+        }
+    }
+
+    /// Whether the observed regime is still consistent with the configured
+    /// α (a necessary condition — the true α₁ needs `‖f‖₁` exactly).
+    pub fn within_alpha(&self) -> bool {
+        self.alpha_observed() <= self.alpha_configured
+    }
+
+    /// Epoch ingestion throughput in updates per second.
+    pub fn updates_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.updates as f64 / secs
+        }
+    }
+
+    /// Snapshot space watermark in bits.
+    pub fn space_bits(&self) -> u64 {
+        self.space.total_bits()
+    }
+}
+
+/// One immutable epoch snapshot: the merged sketch of the stream prefix the
+/// cut covered, plus its accounting.
+pub struct Snapshot {
+    /// The merged sketch (worker 0's clone after folding every other
+    /// worker's clone in). Queries only — the live sketches stay with the
+    /// workers.
+    pub sketch: Box<dyn DynSketch>,
+    /// The epoch's accounting.
+    pub report: EpochReport,
+}
+
+impl fmt::Debug for Snapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Snapshot")
+            .field("report", &self.report)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A worker command: a batch to ingest, or a request to reply with a clone
+/// of the worker's sketch. Channel ordering is the synchronization: a
+/// snapshot command enqueued after an epoch's batches observes exactly
+/// those batches.
+enum Cmd {
+    Batch(Vec<Update>),
+    Snapshot(Sender<Box<dyn DynSketch>>),
+}
+
+/// Accounting counters frozen at an epoch cut, waiting for the workers'
+/// clones (which may still be draining their queues while the next epoch's
+/// batches are dispatched behind the snapshot command).
+struct PendingCut {
+    replies: Vec<Receiver<Box<dyn DynSketch>>>,
+    report: EpochReport,
+}
+
+/// The long-lived epoch-snapshot serving engine.
+pub struct StreamService {
+    config: ServiceConfig,
+    alpha_configured: f64,
+    senders: Vec<Sender<Cmd>>,
+    handles: Vec<JoinHandle<()>>,
+    /// Updates accepted but not yet dispatched: the partially-filled cell
+    /// of the global chunk grid. Holding them back makes every dispatched
+    /// batch a full grid cell (or a schedule-determined epoch split), so
+    /// replay is independent of how callers slice the source into `ingest`
+    /// calls.
+    buf: Vec<Update>,
+    /// Updates dispatched since the last cut.
+    in_epoch: u64,
+    epochs_cut: usize,
+    total_updates: usize,
+    inserted: u64,
+    deleted: u64,
+    total_inserted: u64,
+    total_deleted: u64,
+    epoch_start: Instant,
+    pending: Vec<PendingCut>,
+}
+
+impl StreamService {
+    /// Build the per-worker sketches from `spec` and start the worker
+    /// threads. More than one thread requires the family to be `mergeable`
+    /// (one thread degrades to a sequential service, valid for every
+    /// family) — the same rule as the
+    /// [`ShardedRunner`](crate::sharded::ShardedRunner).
+    pub fn start(
+        registry: &Registry,
+        spec: &SketchSpec,
+        config: ServiceConfig,
+    ) -> Result<Self, RegistryError> {
+        config.validate()?;
+        let info = registry
+            .info(spec.family)
+            .ok_or(RegistryError::Unregistered(spec.family))?;
+        let threads = config.threads.max(1);
+        if threads > 1 && !info.caps.mergeable {
+            return Err(RegistryError::NotMergeable);
+        }
+        let sketches = registry.build_n(spec, threads)?;
+        let runner = StreamRunner::new();
+        let mut senders = Vec::with_capacity(threads);
+        let mut handles = Vec::with_capacity(threads);
+        for mut sk in sketches {
+            let (tx, rx) = channel::<Cmd>();
+            senders.push(tx);
+            handles.push(std::thread::spawn(move || {
+                while let Ok(cmd) = rx.recv() {
+                    match cmd {
+                        Cmd::Batch(batch) => runner.run_updates(&mut *sk, &batch).updates,
+                        Cmd::Snapshot(reply) => {
+                            // A dropped reply receiver (service dropped
+                            // mid-cut) is not a worker error.
+                            let _ = reply.send(sk.clone_dyn());
+                            0
+                        }
+                    };
+                }
+            }));
+        }
+        Ok(StreamService {
+            config: ServiceConfig { threads, ..config },
+            alpha_configured: spec.alpha,
+            senders,
+            handles,
+            buf: Vec::with_capacity(config.chunk),
+            in_epoch: 0,
+            epochs_cut: 0,
+            total_updates: 0,
+            inserted: 0,
+            deleted: 0,
+            total_inserted: 0,
+            total_deleted: 0,
+            epoch_start: Instant::now(),
+            pending: Vec::new(),
+        })
+    }
+
+    /// The service shape in effect.
+    pub fn config(&self) -> ServiceConfig {
+        self.config
+    }
+
+    /// Updates ingested since the service started (dispatched + buffered).
+    pub fn total_updates(&self) -> usize {
+        self.total_updates + self.buf.len()
+    }
+
+    /// Epochs cut so far (scheduled or [`StreamService::finish`]-final;
+    /// on-demand snapshots don't count).
+    pub fn epochs_cut(&self) -> usize {
+        self.epochs_cut
+    }
+
+    /// Dispatch the buffered batch to its worker and tally the accounting.
+    /// The target is a pure function of the stream position — update `t`
+    /// belongs to worker `(t / chunk) mod threads` — so the update → worker
+    /// assignment (and therefore every snapshot) is independent of how the
+    /// caller slices the source into `ingest` calls. The buffer never spans
+    /// a cell of that grid.
+    fn flush(&mut self) {
+        if self.buf.is_empty() {
+            return;
+        }
+        let batch = std::mem::replace(&mut self.buf, Vec::with_capacity(self.config.chunk));
+        for u in &batch {
+            if u.delta > 0 {
+                self.inserted += u.delta as u64;
+            } else {
+                self.deleted += u.delta.unsigned_abs();
+            }
+        }
+        let w = (self.total_updates / self.config.chunk) % self.senders.len();
+        self.in_epoch += batch.len() as u64;
+        self.total_updates += batch.len();
+        self.senders[w]
+            .send(Cmd::Batch(batch))
+            .expect("service worker hung up");
+    }
+
+    /// Freeze the current accounting into an [`EpochReport`] shell (space
+    /// and merge timing are filled in when the clones arrive).
+    fn freeze_report(&mut self, epoch: usize) -> EpochReport {
+        self.total_inserted += self.inserted;
+        self.total_deleted += self.deleted;
+        let report = EpochReport {
+            epoch,
+            updates: self.in_epoch as usize,
+            total_updates: self.total_updates,
+            inserted_mass: self.inserted,
+            deleted_mass: self.deleted,
+            total_inserted: self.total_inserted,
+            total_deleted: self.total_deleted,
+            alpha_configured: self.alpha_configured,
+            space: SpaceReport::default(),
+            elapsed: self.epoch_start.elapsed(),
+            merge_elapsed: Duration::ZERO,
+            threads: self.config.threads,
+        };
+        self.inserted = 0;
+        self.deleted = 0;
+        self.in_epoch = 0;
+        self.epoch_start = Instant::now();
+        report
+    }
+
+    /// Cut an epoch: enqueue a snapshot command behind every worker's
+    /// pending batches and freeze the accounting. The workers' clones are
+    /// collected later ([`StreamService::resolve`]), so ingestion of the
+    /// next epoch proceeds while the cut is in flight.
+    fn cut(&mut self) {
+        self.epochs_cut += 1;
+        let report = self.freeze_report(self.epochs_cut);
+        let replies = self
+            .senders
+            .iter()
+            .map(|tx| {
+                let (reply_tx, reply_rx) = channel();
+                tx.send(Cmd::Snapshot(reply_tx))
+                    .expect("service worker hung up");
+                reply_rx
+            })
+            .collect();
+        self.pending.push(PendingCut { replies, report });
+    }
+
+    /// Collect one pending cut's clones and fold them into a snapshot.
+    fn resolve(&self, cut: PendingCut) -> Snapshot {
+        let mut clones: Vec<Box<dyn DynSketch>> = cut
+            .replies
+            .into_iter()
+            .map(|rx| rx.recv().expect("service worker dropped a snapshot"))
+            .collect();
+        let merge_start = Instant::now();
+        let mut merged = clones.remove(0);
+        for part in &clones {
+            merged
+                .merge_dyn(part.as_ref())
+                .expect("identically-built worker sketches must merge");
+        }
+        let mut report = cut.report;
+        report.merge_elapsed = merge_start.elapsed();
+        report.space = merged.space();
+        Snapshot {
+            sketch: merged,
+            report,
+        }
+    }
+
+    /// Resolve every in-flight cut, in cut order.
+    fn drain_pending(&mut self, out: &mut Vec<Snapshot>) {
+        for cut in std::mem::take(&mut self.pending) {
+            out.push(self.resolve(cut));
+        }
+    }
+
+    /// Ingest a slice of the unbounded source. Updates are dispatched
+    /// round-robin in [`ServiceConfig::chunk`]-sized batches; every
+    /// [`ServiceConfig::epoch`] updates an epoch is cut *exactly at the
+    /// boundary* (mid-slice if needed). Returns the snapshots of every
+    /// epoch completed by this call.
+    pub fn ingest(&mut self, updates: &[Update]) -> Vec<Snapshot> {
+        let mut out = Vec::new();
+        let mut rest = updates;
+        while !rest.is_empty() {
+            let held = self.buf.len();
+            let epoch_room = (self.config.epoch - self.in_epoch) as usize - held;
+            let cell_room = self.config.chunk - (self.total_updates + held) % self.config.chunk;
+            let take = epoch_room.min(cell_room).min(rest.len());
+            let (piece, tail) = rest.split_at(take);
+            self.buf.extend_from_slice(piece);
+            rest = tail;
+            // Dispatch only at grid-cell or epoch boundaries; a partial
+            // cell stays buffered across calls so batch shapes (and any
+            // RNG they drive) replay identically for any call slicing.
+            if take == cell_room || take == epoch_room {
+                self.flush();
+            }
+            if take == epoch_room {
+                self.cut();
+            }
+        }
+        self.drain_pending(&mut out);
+        out
+    }
+
+    /// Drive the service over an update iterator (the unbounded-source
+    /// shape), returning every epoch snapshot the stream produced.
+    pub fn run<I: IntoIterator<Item = Update>>(&mut self, source: I) -> Vec<Snapshot> {
+        let mut out = Vec::new();
+        let mut buf: Vec<Update> = Vec::with_capacity(self.config.chunk);
+        for u in source {
+            buf.push(u);
+            if buf.len() == self.config.chunk {
+                out.extend(self.ingest(&buf));
+                buf.clear();
+            }
+        }
+        if !buf.is_empty() {
+            out.extend(self.ingest(&buf));
+        }
+        out
+    }
+
+    /// Drive the service from an mpsc channel of update batches until the
+    /// sending side hangs up.
+    pub fn run_channel(&mut self, source: Receiver<Vec<Update>>) -> Vec<Snapshot> {
+        let mut out = Vec::new();
+        while let Ok(batch) = source.recv() {
+            out.extend(self.ingest(&batch));
+        }
+        out
+    }
+
+    /// An on-demand snapshot of everything ingested so far, *without*
+    /// disturbing the epoch schedule: the workers' sketches and the
+    /// scheduled cut positions are untouched. The one observable side
+    /// effect is the early flush of the partial dispatch cell, which splits
+    /// one batch in two on its worker — scheduled snapshots are unchanged
+    /// bit-for-bit wherever batched ingestion is grouping-insensitive
+    /// (everywhere outside CSSS-style *thinning* regimes, whose per-batch
+    /// binomial draws depend on batch shapes; there the scheduled snapshots
+    /// stay correct but can differ in their sampling noise). Pinned for the
+    /// grouping-insensitive regimes by `tests/service.rs`. The report
+    /// covers the partial epoch since the last cut and reuses the upcoming
+    /// epoch index; epoch tallies continue accumulating (totals stay
+    /// monotone).
+    pub fn snapshot(&mut self) -> Snapshot {
+        // The clone must cover everything ingested, so the partial cell is
+        // dispatched early. This splits one batch in two on the target
+        // worker — harmless for the scheduled snapshots (assignment and cut
+        // positions are unchanged, and batched ingestion is
+        // grouping-insensitive outside thinning regimes) but it is the one
+        // observable side effect of an on-demand snapshot.
+        self.flush();
+        // Totals must not double-count when the scheduled cut arrives, so
+        // freeze a copy of the accounting instead of consuming it.
+        let report = EpochReport {
+            epoch: self.epochs_cut + 1,
+            updates: self.in_epoch as usize,
+            total_updates: self.total_updates,
+            inserted_mass: self.inserted,
+            deleted_mass: self.deleted,
+            total_inserted: self.total_inserted + self.inserted,
+            total_deleted: self.total_deleted + self.deleted,
+            alpha_configured: self.alpha_configured,
+            space: SpaceReport::default(),
+            elapsed: self.epoch_start.elapsed(),
+            merge_elapsed: Duration::ZERO,
+            threads: self.config.threads,
+        };
+        let replies: Vec<Receiver<Box<dyn DynSketch>>> = self
+            .senders
+            .iter()
+            .map(|tx| {
+                let (reply_tx, reply_rx) = channel();
+                tx.send(Cmd::Snapshot(reply_tx))
+                    .expect("service worker hung up");
+                reply_rx
+            })
+            .collect();
+        self.resolve(PendingCut { replies, report })
+    }
+
+    /// Stop the service: cut a final (possibly partial) epoch if any
+    /// updates arrived since the last cut, join the workers, and return the
+    /// final snapshot (`None` when nothing was pending and no updates
+    /// arrived since the last cut).
+    pub fn finish(mut self) -> Option<Snapshot> {
+        let mut out = Vec::new();
+        self.flush();
+        if self.in_epoch > 0 {
+            self.cut();
+        }
+        self.drain_pending(&mut out);
+        // Dropping the senders ends the worker loops; join for a clean stop.
+        self.senders.clear();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+        out.pop()
+    }
+}
+
+impl Drop for StreamService {
+    /// Close the command queues so worker threads exit even when the
+    /// service is dropped without [`StreamService::finish`].
+    fn drop(&mut self) {
+        self.senders.clear();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl fmt::Debug for StreamService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StreamService")
+            .field("config", &self.config)
+            .field("total_updates", &self.total_updates)
+            .field("epochs_cut", &self.epochs_cut)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::register_reference;
+    use crate::spec::SketchFamily;
+    use crate::update::StreamBatch;
+
+    fn reg() -> Registry {
+        let mut r = Registry::new();
+        register_reference(&mut r);
+        r
+    }
+
+    fn stream() -> StreamBatch {
+        StreamBatch::new(
+            64,
+            (0..1000u64)
+                .map(|t| Update::new(t % 13, if t % 3 == 0 { -1 } else { 2 }))
+                .collect(),
+        )
+    }
+
+    fn spec() -> SketchSpec {
+        SketchSpec::new(SketchFamily::Exact).with_n(64).with_seed(3)
+    }
+
+    #[test]
+    fn config_string_roundtrips() {
+        let cfg: ServiceConfig = "service:epoch=1e5,threads=4".parse().unwrap();
+        assert_eq!(cfg.epoch, 100_000);
+        assert_eq!(cfg.threads, 4);
+        assert_eq!(cfg.chunk, StreamRunner::DEFAULT_CHUNK);
+        let redisplayed: ServiceConfig = cfg.to_string().parse().unwrap();
+        assert_eq!(redisplayed, cfg);
+        // Bare key=value form and defaults.
+        let bare: ServiceConfig = "epoch=2^10".parse().unwrap();
+        assert_eq!(bare.epoch, 1024);
+        assert_eq!(
+            "service".parse::<ServiceConfig>(),
+            Ok(ServiceConfig::default())
+        );
+        assert!("service:epoch=0".parse::<ServiceConfig>().is_err());
+        assert!("service:frob=1".parse::<ServiceConfig>().is_err());
+        assert!("shard:epoch=1".parse::<ServiceConfig>().is_err());
+    }
+
+    #[test]
+    fn epochs_cut_at_exact_boundaries() {
+        let r = reg();
+        let s = stream();
+        let cfg = ServiceConfig::default()
+            .with_epoch(300)
+            .with_threads(3)
+            .with_chunk(64);
+        let mut svc = StreamService::start(&r, &spec(), cfg).unwrap();
+        let mut snaps = Vec::new();
+        // Feed in awkward slice sizes; boundaries must land at 300/600/900.
+        for piece in s.updates.chunks(171) {
+            snaps.extend(svc.ingest(piece));
+        }
+        let last = svc.finish().expect("partial final epoch");
+        assert_eq!(snaps.len(), 3);
+        for (i, snap) in snaps.iter().enumerate() {
+            assert_eq!(snap.report.epoch, i + 1);
+            assert_eq!(snap.report.updates, 300);
+            assert_eq!(snap.report.total_updates, 300 * (i + 1));
+        }
+        assert_eq!(last.report.epoch, 4);
+        assert_eq!(last.report.updates, 100);
+        assert_eq!(last.report.total_updates, 1000);
+        assert_eq!(last.report.total_mass(), s.total_mass());
+    }
+
+    #[test]
+    fn snapshots_match_sequential_prefix() {
+        let r = reg();
+        let s = stream();
+        let cfg = ServiceConfig::default()
+            .with_epoch(250)
+            .with_threads(4)
+            .with_chunk(32);
+        let mut svc = StreamService::start(&r, &spec(), cfg).unwrap();
+        let snaps = svc.ingest(&s.updates);
+        assert_eq!(snaps.len(), 4);
+        for snap in &snaps {
+            let mut seq = r.build(&spec()).unwrap();
+            seq.update_batch(&s.updates[..snap.report.total_updates]);
+            let (p, q) = (snap.sketch.as_point().unwrap(), seq.as_point().unwrap());
+            for i in 0..64 {
+                assert_eq!(
+                    p.point(i).to_bits(),
+                    q.point(i).to_bits(),
+                    "epoch {} item {i}",
+                    snap.report.epoch
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn on_demand_snapshot_leaves_schedule_untouched() {
+        let r = reg();
+        let s = stream();
+        let cfg = ServiceConfig::default()
+            .with_epoch(400)
+            .with_threads(2)
+            .with_chunk(64);
+        let run = |poke: bool| {
+            let mut svc = StreamService::start(&r, &spec(), cfg).unwrap();
+            let mut snaps = Vec::new();
+            for (k, piece) in s.updates.chunks(100).enumerate() {
+                snaps.extend(svc.ingest(piece));
+                if poke && k % 2 == 0 {
+                    let mid = svc.snapshot();
+                    assert_eq!(mid.report.total_updates, (k + 1) * 100);
+                }
+            }
+            let fin = svc.finish().unwrap();
+            (snaps.len(), fin.report.total_updates, {
+                let p = fin.sketch.as_point().unwrap();
+                (0..64).map(|i| p.point(i).to_bits()).collect::<Vec<_>>()
+            })
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn accounting_tracks_deletion_regime() {
+        let r = reg();
+        // 20 insertions of 3, then 10 deletions of 2: I = 60, D = 20.
+        let ups: Vec<Update> = (0..20)
+            .map(|i| Update::new(i % 8, 3))
+            .chain((0..10).map(|i| Update::new(i % 8, -2)))
+            .collect();
+        let mut svc = StreamService::start(
+            &r,
+            &spec().with_alpha(4.0),
+            ServiceConfig::default().with_epoch(1000).with_threads(2),
+        )
+        .unwrap();
+        svc.ingest(&ups);
+        let snap = svc.finish().unwrap();
+        let rep = snap.report;
+        assert_eq!(rep.total_inserted, 60);
+        assert_eq!(rep.total_deleted, 20);
+        assert_eq!(rep.total_mass(), 80);
+        assert!((rep.deletion_fraction() - 0.25).abs() < 1e-12);
+        // α floor: (I+D)/(I−D) = 2 ≤ configured 4.
+        assert!((rep.alpha_observed() - 2.0).abs() < 1e-12);
+        assert!(rep.within_alpha());
+        assert!(rep.deletion_fraction() <= EpochReport::deletion_cap(rep.alpha_configured));
+        assert!(rep.space_bits() > 0);
+    }
+
+    #[test]
+    fn multi_thread_requires_mergeable() {
+        // A registry whose only family advertises no merge capability.
+        let mut r = Registry::new();
+        r.register(
+            crate::registry::FamilyInfo {
+                family: SketchFamily::Morris,
+                summary: "test stub",
+                caps: crate::registry::Capabilities {
+                    point: true,
+                    ..Default::default()
+                },
+                inputs: Default::default(),
+                space: "n/a",
+                type_name: "stub",
+            },
+            |spec| Box::new(crate::vector::FrequencyVector::new(spec.n)),
+        );
+        let spec = SketchSpec::new(SketchFamily::Morris).with_n(64);
+        let cfg = ServiceConfig::default().with_threads(4);
+        assert!(matches!(
+            StreamService::start(&r, &spec, cfg),
+            Err(RegistryError::NotMergeable)
+        ));
+        // One thread is a sequential service — valid for any family.
+        let mut svc = StreamService::start(&r, &spec, cfg.with_threads(1).with_epoch(10)).unwrap();
+        let snaps = svc.ingest(&stream().updates[..25]);
+        assert_eq!(snaps.len(), 2);
+        assert!(svc.finish().is_some());
+    }
+
+    #[test]
+    fn run_channel_consumes_batches() {
+        let r = reg();
+        let s = stream();
+        let (tx, rx) = channel();
+        for piece in s.updates.chunks(90) {
+            tx.send(piece.to_vec()).unwrap();
+        }
+        drop(tx);
+        let mut svc = StreamService::start(
+            &r,
+            &spec(),
+            ServiceConfig::default().with_epoch(500).with_threads(2),
+        )
+        .unwrap();
+        let snaps = svc.run_channel(rx);
+        assert_eq!(snaps.len(), 2);
+        assert_eq!(svc.total_updates(), 1000);
+        assert!(svc.finish().is_none(), "no partial epoch left");
+    }
+
+    #[test]
+    fn finish_without_updates_is_none() {
+        let r = reg();
+        let svc = StreamService::start(&r, &spec(), ServiceConfig::default()).unwrap();
+        assert!(svc.finish().is_none());
+    }
+}

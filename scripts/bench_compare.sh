@@ -7,7 +7,11 @@
 #
 # The bench overwrites BENCH_ingest.json in place, so the committed baseline
 # is snapshotted first and both files are handed to the bench_compare bin
-# (crates/bench/src/bin/bench_compare.rs).
+# (crates/bench/src/bin/bench_compare.rs). Measurements present in both
+# files are gated — that includes the `ingest_service` section, so a >20%
+# snapshot-overhead regression in the StreamService fails here. Dropped
+# measurements are never gated by the bin, so additionally assert the
+# service section cannot silently vanish from the bench.
 
 set -eu
 cd "$(dirname "$0")/.."
@@ -18,6 +22,11 @@ trap 'rm -f "$BASELINE"' EXIT
 cp BENCH_ingest.json "$BASELINE"
 
 cargo bench -p bd-bench --bench ingest
+
+if ! grep -q '"ingest_service/' BENCH_ingest.json; then
+    echo "bench_compare.sh: ingest_service section missing from BENCH_ingest.json" >&2
+    exit 1
+fi
 
 cargo run --release -p bd-bench --bin bench_compare -- \
     "$BASELINE" BENCH_ingest.json "$TOLERANCE"

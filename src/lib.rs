@@ -35,7 +35,12 @@
 //!   of the same engine: contiguous stream shards, one identically-seeded
 //!   sketch per worker thread (`Registry::build_n`), a `merge_dyn` fold —
 //!   valid for every family whose descriptor reports `mergeable`
-//!   (`DESIGN.md §7` defines bit-identical vs estimate-equal merging).
+//!   (`DESIGN.md §7` defines bit-identical vs estimate-equal merging);
+//! * **[`StreamService`](bd_stream::StreamService)** — the serving shape:
+//!   a long-lived engine over an unbounded update source that fans batches
+//!   out to per-shard worker threads and cuts an immutable merged
+//!   [`Snapshot`](bd_stream::Snapshot) (sketch + `EpochReport` accounting)
+//!   every epoch while ingestion continues (`DESIGN.md §8`).
 //!
 //! ## Crates
 //!
@@ -136,8 +141,8 @@ pub mod prelude {
     };
     pub use bd_stream::{DynSketch, Regime, Registry, SketchFamily, SketchSpec, SupportQuery};
     pub use bd_stream::{
-        FrequencyVector, Item, Mergeable, NormEstimate, PointQuery, RunReport, SampleQuery,
-        ShardedRun, ShardedRunner, Sketch, SpaceReport, SpaceUsage, StreamBatch, StreamRunner,
-        Update,
+        EpochReport, FrequencyVector, Item, Mergeable, NormEstimate, PointQuery, RunReport,
+        SampleQuery, ServiceConfig, ShardedRun, ShardedRunner, Sketch, Snapshot, SpaceReport,
+        SpaceUsage, StreamBatch, StreamRunner, StreamService, Update,
     };
 }

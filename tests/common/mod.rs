@@ -40,10 +40,17 @@ pub fn conformance_spec(family: SketchFamily) -> SketchSpec {
         // Budget larger than the stream mass ⇒ no thinning ⇒ sampling is
         // degenerate and the bitwise/linearity contracts are exact.
         SketchFamily::Csss | SketchFamily::SampledVector => spec.with_budget(1 << 22),
-        // Samplers: fewer amplification copies for test speed.
-        SketchFamily::AlphaL1Sampler | SketchFamily::L1SamplerTurnstile => {
-            spec.with_epsilon(0.25).with_delta(0.5)
-        }
+        // α L1 samplers: fewer amplification copies for test speed, and a
+        // `c` large enough that the inner CSSS budget `c·α²/ε³` towers over
+        // the scaled mass `‖z‖₁` (`1/t_i` is heavy-tailed) — no thinning, so
+        // the merge/batch contracts are exact (DESIGN.md §7, cause 1).
+        SketchFamily::AlphaL1Sampler => spec.with_epsilon(0.25).with_delta(0.5).with_c(1e8),
+        SketchFamily::AlphaL1SamplerInstance => spec.with_epsilon(0.25).with_c(1e8),
+        SketchFamily::L1SamplerTurnstile => spec.with_epsilon(0.25).with_delta(0.5),
+        // α inner product: an interval budget `c·α²/ε²` above the stream
+        // mass keeps window 0 the only live window (no interval sampling),
+        // so level-wise merges are exact adds (DESIGN.md §7, cause 3).
+        SketchFamily::AlphaIp => spec.with_c(256.0),
         SketchFamily::AlphaSupportSet => spec.with_delta(0.5).with_k(8),
         SketchFamily::AlphaSupport | SketchFamily::SupportTurnstile => spec.with_k(8),
         _ => spec,

@@ -136,6 +136,36 @@ fn check_merge_associative(name: &str, spec: &SketchSpec, bitwise: bool) {
     );
 }
 
+/// The interleaved-merge law — the property epoch snapshots actually rely
+/// on: a sketch that has been merged *keeps ingesting* correctly, and
+/// merging commutes with ingestion. `merge(a, b)` then ingest `c` must
+/// agree with ingest `c` then `merge(·, b)` (the service's workers are
+/// merged mid-stream as clones while the originals ingest on).
+fn check_merge_interleaved(name: &str, spec: &SketchSpec, bitwise: bool) {
+    let s = stream(0x1E);
+    let third = s.len() / 3;
+    let (s1, s2, s3) = (
+        &s.updates[..third],
+        &s.updates[third..2 * third],
+        &s.updates[2 * third..],
+    );
+    let b = shard_sketch(spec, s2);
+    // merge first, ingest after …
+    let mut merged_then_fed = shard_sketch(spec, s1);
+    merged_then_fed.merge_dyn(b.as_ref()).unwrap();
+    merged_then_fed.update_batch(s3);
+    // … versus ingest first, merge after.
+    let mut fed_then_merged = shard_sketch(spec, s1);
+    fed_then_merged.update_batch(s3);
+    fed_then_merged.merge_dyn(b.as_ref()).unwrap();
+    assert_probes_match(
+        &format!("{name} (merge·ingest interleaving)"),
+        &probe(merged_then_fed.as_ref()),
+        &probe(fed_then_merged.as_ref()),
+        bitwise,
+    );
+}
+
 /// Merge commutativity: `a ⊕ b ≡ b ⊕ a` on a two-way shard split.
 fn check_merge_commutative(name: &str, spec: &SketchSpec, bitwise: bool) {
     let s = stream(0xC0);
@@ -222,6 +252,19 @@ fn declared_mergeable_families_merge_commutatively() {
     for info in registry().families() {
         if info.caps.mergeable {
             check_merge_commutative(
+                info.family.name(),
+                &conformance_spec(info.family),
+                info.caps.merge_bitwise,
+            );
+        }
+    }
+}
+
+#[test]
+fn merging_interleaves_with_ingestion() {
+    for info in registry().families() {
+        if info.caps.mergeable {
+            check_merge_interleaved(
                 info.family.name(),
                 &conformance_spec(info.family),
                 info.caps.merge_bitwise,
@@ -345,6 +388,71 @@ fn l1_general_batched_quality_matches() {
             runner.chunk()
         );
     }
+}
+
+/// The deletion-fraction (α-regime) accounting the service's `EpochReport`
+/// is built on: on the shared conformance workload, the mass-accounting α
+/// floor `(I+D)/(I−D)` must lower-bound the realized α₁ = (I+D)/‖f‖₁
+/// exactly, the deletion fraction must respect the α-property cap
+/// `(α−1)/(2α)`, and a deletion-heavy stream must be flagged as violating
+/// a too-tight configured α.
+#[test]
+fn epoch_report_alpha_accounting_matches_ground_truth() {
+    let s = stream(0xA1);
+    let truth = FrequencyVector::from_stream(&s);
+    let mut svc = StreamService::start(
+        registry(),
+        &conformance_spec(SketchFamily::Exact), // α = 3 configured
+        ServiceConfig::default().with_epoch(1 << 20).with_threads(2),
+    )
+    .unwrap();
+    svc.ingest(&s.updates);
+    let rep = svc.finish().expect("one final epoch").report;
+    // Exact mass accounting against the stream.
+    let del: u64 = s
+        .updates
+        .iter()
+        .filter(|u| u.delta < 0)
+        .map(|u| u.delta.unsigned_abs())
+        .sum();
+    assert_eq!(rep.total_mass(), s.total_mass());
+    assert_eq!(rep.total_deleted, del);
+    // The α floor bounds (and here, with every coordinate non-negative at
+    // the end of a BoundedDeletionGen stream, nearly matches) realized α₁.
+    assert!(rep.alpha_observed() <= truth.alpha_l1() + 1e-9);
+    assert!(
+        rep.alpha_observed() > 1.0,
+        "mixed stream must observe α > 1"
+    );
+    // The workload honours its α = 3 promise, and the report agrees.
+    assert!(
+        rep.within_alpha(),
+        "α floor {} vs configured 3",
+        rep.alpha_observed()
+    );
+    assert!(rep.deletion_fraction() <= EpochReport::deletion_cap(rep.alpha_configured));
+    // A deletion-heavy epoch must trip the flag against a tight α.
+    let heavy: Vec<Update> = (0..600)
+        .map(|i| Update::new(i % 64, 2))
+        .chain((0..500).map(|i| Update::new(i % 64, -2)))
+        .collect();
+    let mut tight = StreamService::start(
+        registry(),
+        &conformance_spec(SketchFamily::Exact).with_alpha(2.0),
+        ServiceConfig::default().with_epoch(1 << 20).with_threads(2),
+    )
+    .unwrap();
+    tight.ingest(&heavy);
+    let rep = tight.finish().unwrap().report;
+    assert!(
+        (rep.alpha_observed() - 11.0).abs() < 1e-9,
+        "I=1200, D=1000 ⇒ floor 11"
+    );
+    assert!(
+        !rep.within_alpha(),
+        "α floor 11 must violate configured α = 2"
+    );
+    assert!(rep.deletion_fraction() > EpochReport::deletion_cap(2.0));
 }
 
 /// `ProbeVal` is part of the shared test-helper contract; pin the kinds so

@@ -1,0 +1,290 @@
+//! Snapshot ≡ replay conformance for the `StreamService` epoch-snapshot
+//! serving engine.
+//!
+//! For **every** family whose registry descriptor reports `mergeable` (the
+//! suite iterates `registry().families()` — no hand-maintained list), a
+//! `StreamService` run over the shared workload must emit, at every epoch
+//! cut, a snapshot that agrees with a sequential one-shot `StreamRunner`
+//! pass over the same stream *prefix*: bit-for-bit where the family claims
+//! `merge_bitwise`, estimate-equal (within the float-association tolerance)
+//! otherwise — the `tests/sharded.rs` contract, lifted from one merged pass
+//! to a ladder of epoch prefixes (`DESIGN.md §8`). CI re-runs this suite
+//! with the `BD_SHARD_THREADS` knob set to 2 and 8 so thread-count-dependent
+//! bugs surface there too.
+
+mod common;
+
+use bd_stream::{RegistryError, ServiceConfig, Snapshot, StreamService};
+use bounded_deletions::prelude::*;
+use common::{assert_probes_match, conformance_spec, probe, stream};
+
+/// The worker counts under test: a fixed sweep plus an optional
+/// `BD_SHARD_THREADS` entry (the CI thread-matrix knob).
+fn thread_counts() -> Vec<usize> {
+    let mut counts = vec![1, 3];
+    if let Some(extra) = std::env::var("BD_SHARD_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        if extra >= 1 && !counts.contains(&extra) {
+            counts.push(extra);
+        }
+    }
+    counts
+}
+
+/// Service shape used across the suite: epoch = a third of the stream (so
+/// every run cuts ≥ 3 scheduled epochs), fine dispatch chunks (so batches
+/// interleave across workers well below epoch granularity).
+fn service_config(stream_len: usize, threads: usize) -> ServiceConfig {
+    ServiceConfig::default()
+        .with_epoch((stream_len as u64) / 3)
+        .with_threads(threads)
+        .with_chunk(512)
+}
+
+/// Drive a full service run over the stream: scheduled snapshots plus the
+/// final (partial-epoch) cut from `finish`.
+fn serve(spec: &SketchSpec, s: &StreamBatch, cfg: ServiceConfig) -> Vec<Snapshot> {
+    let mut svc = StreamService::start(registry(), spec, cfg)
+        .unwrap_or_else(|e| panic!("{}: service failed to start: {e}", spec.family));
+    let mut snaps = svc.ingest(&s.updates);
+    snaps.extend(svc.finish());
+    snaps
+}
+
+/// The acceptance check: snapshot-at-epoch-k ≡ a sequential one-shot run
+/// over the same stream prefix, for every mergeable family.
+#[test]
+fn snapshots_match_sequential_prefix_for_every_mergeable_family() {
+    let s = stream(0x5E);
+    let mut covered = Vec::new();
+    for info in registry().families() {
+        if !info.caps.mergeable {
+            continue;
+        }
+        covered.push(info.family.name());
+        let spec = conformance_spec(info.family);
+        for threads in thread_counts() {
+            let snaps = serve(&spec, &s, service_config(s.len(), threads));
+            assert!(
+                snaps.len() >= 3,
+                "{}: expected ≥3 epochs, got {}",
+                info.family,
+                snaps.len()
+            );
+            for snap in &snaps {
+                let prefix = &s.updates[..snap.report.total_updates];
+                let mut seq = registry().build(&spec).unwrap();
+                StreamRunner::new().run_updates(&mut *seq, prefix);
+                assert_probes_match(
+                    &format!(
+                        "{} (epoch {} of {}, threads = {threads})",
+                        info.family,
+                        snap.report.epoch,
+                        snaps.len()
+                    ),
+                    &probe(seq.as_ref()),
+                    &probe(snap.sketch.as_ref()),
+                    info.caps.merge_bitwise,
+                );
+            }
+            let last = snaps.last().unwrap().report;
+            assert_eq!(last.total_updates, s.len(), "{}: lost updates", info.family);
+            assert_eq!(
+                last.total_mass(),
+                s.total_mass(),
+                "{}: lost mass",
+                info.family
+            );
+        }
+    }
+    assert!(
+        covered.len() >= 20,
+        "mergeable catalog shrank unexpectedly: {covered:?}"
+    );
+}
+
+/// Epoch accounting is monotone and partitions the stream: indices are
+/// sequential, per-epoch updates/mass sum to the running totals, and the
+/// deletion-fraction / α-floor accounting agrees with exact ground truth.
+#[test]
+fn multi_epoch_accounting_is_monotone_and_exact() {
+    let s = stream(0xAC);
+    let truth = FrequencyVector::from_stream(&s);
+    let spec = conformance_spec(SketchFamily::Exact);
+    let snaps = serve(&spec, &s, service_config(s.len(), 3));
+    let mut prev_total = 0usize;
+    let (mut sum_updates, mut sum_ins, mut sum_del) = (0usize, 0u64, 0u64);
+    for (i, snap) in snaps.iter().enumerate() {
+        let rep = snap.report;
+        assert_eq!(rep.epoch, i + 1, "epoch indices must be sequential");
+        assert!(rep.total_updates > prev_total, "totals must grow");
+        prev_total = rep.total_updates;
+        sum_updates += rep.updates;
+        sum_ins += rep.inserted_mass;
+        sum_del += rep.deleted_mass;
+        assert_eq!(rep.total_updates, sum_updates, "update totals drifted");
+        assert_eq!(rep.total_inserted, sum_ins, "insert totals drifted");
+        assert_eq!(rep.total_deleted, sum_del, "delete totals drifted");
+        assert!(rep.space_bits() > 0, "missing space watermark");
+    }
+    let last = snaps.last().unwrap().report;
+    let (ins, del): (u64, u64) = s.updates.iter().fold((0, 0), |(i, d), u| {
+        if u.delta > 0 {
+            (i + u.delta as u64, d)
+        } else {
+            (i, d + u.delta.unsigned_abs())
+        }
+    });
+    assert_eq!((last.total_inserted, last.total_deleted), (ins, del));
+    // The mass-accounting α floor can never exceed the realized α₁ (which
+    // divides by the true ‖f‖₁ ≤ net mass), and the workload was generated
+    // to satisfy its α promise with slack.
+    assert!(last.alpha_observed() <= truth.alpha_l1() + 1e-9);
+    assert!(last.deletion_fraction() < 1.0);
+}
+
+/// On-demand snapshots anywhere in the stream are safe: they answer for
+/// exactly the ingested prefix, and they leave the workers' sketches and
+/// the scheduled cuts completely untouched.
+#[test]
+fn snapshot_while_ingesting_is_safe_and_invisible() {
+    let s = stream(0x51);
+    for family in [SketchFamily::Csss, SketchFamily::AlphaHh] {
+        let spec = conformance_spec(family);
+        let cfg = service_config(s.len(), 3);
+        let caps = registry().info(family).unwrap().caps;
+
+        // Interleave on-demand snapshots between ingest slices; each must
+        // match the sequential prefix, like a scheduled cut.
+        let mut svc = StreamService::start(registry(), &spec, cfg).unwrap();
+        let mut snaps = Vec::new();
+        for piece in s.updates.chunks(s.len() / 4 + 1) {
+            snaps.extend(svc.ingest(piece));
+            let mid = svc.snapshot();
+            let mut seq = registry().build(&spec).unwrap();
+            StreamRunner::new().run_updates(&mut *seq, &s.updates[..mid.report.total_updates]);
+            assert_probes_match(
+                &format!("{family} (on-demand @ {})", mid.report.total_updates),
+                &probe(seq.as_ref()),
+                &probe(mid.sketch.as_ref()),
+                caps.merge_bitwise,
+            );
+        }
+        snaps.extend(svc.finish());
+
+        // The scheduled snapshots must be bit-identical to a run that never
+        // took an on-demand snapshot (cloning never perturbs the workers).
+        let undisturbed = serve(&spec, &s, cfg);
+        assert_eq!(snaps.len(), undisturbed.len());
+        for (a, b) in snaps.iter().zip(&undisturbed) {
+            assert_eq!(a.report.total_updates, b.report.total_updates);
+            assert_probes_match(
+                &format!("{family} (poked vs undisturbed run)"),
+                &probe(b.sketch.as_ref()),
+                &probe(a.sketch.as_ref()),
+                true,
+            );
+        }
+    }
+}
+
+/// Two service runs with the same (spec, stream, config) replay
+/// identically — including in the thinning regime, where merging consumes
+/// RNG draws — regardless of how the source is sliced into ingest calls.
+#[test]
+fn service_runs_replay_identically() {
+    let s = stream(0xDF);
+    let thinned = conformance_spec(SketchFamily::Csss).with_budget(128);
+    let exact = conformance_spec(SketchFamily::AlphaL0);
+    for spec in [thinned, exact] {
+        for threads in thread_counts() {
+            let cfg = service_config(s.len(), threads);
+            let run = |slice: usize| {
+                let mut svc = StreamService::start(registry(), &spec, cfg).unwrap();
+                let mut snaps = Vec::new();
+                for piece in s.updates.chunks(slice) {
+                    snaps.extend(svc.ingest(piece));
+                }
+                snaps.extend(svc.finish());
+                snaps
+                    .iter()
+                    .flat_map(|sn| probe(sn.sketch.as_ref()))
+                    .collect::<Vec<_>>()
+            };
+            // Different ingest-call shapes must not change the dispatch.
+            assert_probes_match(
+                &format!("{} (replay, threads = {threads})", spec.family),
+                &run(997),
+                &run(4096),
+                true,
+            );
+        }
+    }
+}
+
+/// The iterator and channel drivers are the same engine as slice ingestion.
+#[test]
+fn iterator_and_channel_sources_match_slices() {
+    let s = stream(0x17);
+    let spec = conformance_spec(SketchFamily::CountSketch);
+    let cfg = service_config(s.len(), 2);
+    let baseline: Vec<_> = serve(&spec, &s, cfg)
+        .iter()
+        .flat_map(|sn| probe(sn.sketch.as_ref()))
+        .collect();
+
+    let mut svc = StreamService::start(registry(), &spec, cfg).unwrap();
+    let mut snaps = svc.run(s.updates.iter().copied());
+    snaps.extend(svc.finish());
+    let from_iter: Vec<_> = snaps
+        .iter()
+        .flat_map(|sn| probe(sn.sketch.as_ref()))
+        .collect();
+    assert_probes_match("iterator source", &baseline, &from_iter, true);
+
+    let (tx, rx) = std::sync::mpsc::channel();
+    for piece in s.updates.chunks(777) {
+        tx.send(piece.to_vec()).unwrap();
+    }
+    drop(tx);
+    let mut svc = StreamService::start(registry(), &spec, cfg).unwrap();
+    let mut snaps = svc.run_channel(rx);
+    snaps.extend(svc.finish());
+    let from_chan: Vec<_> = snaps
+        .iter()
+        .flat_map(|sn| probe(sn.sketch.as_ref()))
+        .collect();
+    assert_probes_match("channel source", &baseline, &from_chan, true);
+}
+
+/// Multi-worker services on non-mergeable families are rejected up front;
+/// a single worker serves any family.
+#[test]
+fn non_mergeable_families_error_beyond_one_worker() {
+    let s = stream(0x92);
+    let mut rejected = 0;
+    for info in registry().families() {
+        if info.caps.mergeable {
+            continue;
+        }
+        rejected += 1;
+        let spec = conformance_spec(info.family);
+        assert!(
+            matches!(
+                StreamService::start(registry(), &spec, service_config(s.len(), 4)),
+                Err(RegistryError::NotMergeable)
+            ),
+            "{}: expected NotMergeable",
+            info.family
+        );
+        let snaps = serve(&spec, &s, service_config(s.len(), 1));
+        assert!(
+            snaps.len() >= 3,
+            "{}: single-worker service failed",
+            info.family
+        );
+    }
+    assert!(rejected > 0, "no non-mergeable families left to reject?");
+}

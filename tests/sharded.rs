@@ -71,7 +71,7 @@ fn sharded_matches_sequential_for_every_mergeable_family() {
         }
     }
     assert!(
-        covered.len() >= 12,
+        covered.len() >= 20,
         "mergeable catalog shrank unexpectedly: {covered:?}"
     );
 }
