@@ -8,7 +8,11 @@
 //! and the `ingest_service` section: the same stream through the
 //! `StreamService` (4 workers, 4 epoch snapshots) versus the raw
 //! `ShardedRunner`, measuring the overhead of epoch cuts (clone + merge +
-//! report) over one-shot sharded ingestion.
+//! report) over one-shot sharded ingestion —
+//! and the `hash` section: the batched hash engine's kernels in isolation
+//! (scalar vs chunk-at-a-time polynomial evaluation, Lemire vs modulus
+//! range reduction), gated by `scripts/bench_compare.sh` so the section
+//! cannot silently disappear.
 //!
 //! Sketches are named by `SketchSpec` and built through the workspace
 //! registry, so adding a structure to the sweep is one spec line.
@@ -29,6 +33,8 @@ use bd_stream::{
     ServiceConfig, ShardedRunner, SketchFamily, SketchSpec, StreamBatch, StreamRunner,
     StreamService,
 };
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
 const N: u64 = 1 << 16;
 const MASS: u64 = 400_000;
@@ -223,6 +229,100 @@ fn main() {
         "alpha_heavy_hitters",
         base.with_family(SketchFamily::AlphaHh),
     );
+
+    // Hash engine microsection: scalar vs chunk-at-a-time polynomial
+    // evaluation (the 4-chain interleaved Horner kernel) and the two range
+    // reduction variants (Lemire multiply-shift vs integer modulus) on one
+    // chunk of distinct items. `scripts/bench_compare.sh` asserts this
+    // section exists — hot-path coverage must not silently vanish.
+    println!("\nhash engine — scalar vs batched k-wise evaluation, reduction variants\n");
+    let mut hrng = SmallRng::seed_from_u64(99);
+    let hash_items: Vec<u64> = (0..4096u64).map(|_| hrng.gen()).collect();
+    let h4 = bd_hash::KWiseHash::new(&mut hrng, 4, 480);
+    let rows: Vec<(bd_hash::KWiseHash, bd_hash::SignHash)> = (0..9)
+        .map(|_| {
+            (
+                bd_hash::KWiseHash::new(&mut hrng, 4, 480),
+                bd_hash::SignHash::new(&mut hrng),
+            )
+        })
+        .collect();
+    let evals: Vec<u64> = hash_items.iter().map(|&x| h4.eval_field(x)).collect();
+    let n_items = hash_items.len() as u64;
+    let mut hash_bench = |m: Measurement| {
+        micro::report(&m);
+        results.push(m);
+    };
+    hash_bench(micro::sample(
+        "hash/scalar_eval_k4",
+        n_items,
+        SAMPLES,
+        WARMUP,
+        |_| {
+            let mut acc = 0u64;
+            for &x in &hash_items {
+                acc = acc.wrapping_add(h4.hash(x));
+            }
+            std::hint::black_box(acc);
+        },
+    ));
+    let mut batch_out: Vec<u64> = Vec::new();
+    hash_bench(micro::sample(
+        "hash/batch_eval_k4",
+        n_items,
+        SAMPLES,
+        WARMUP,
+        |_| {
+            h4.hash_batch(&hash_items, &mut batch_out);
+            std::hint::black_box(batch_out.last().copied());
+        },
+    ));
+    let mut plan = bd_hash::RowHashes::new();
+    let (mut pb, mut ps): (Vec<u64>, Vec<bool>) = (Vec::new(), Vec::new());
+    hash_bench(micro::sample(
+        "hash/row_plan_d9_k4",
+        n_items * rows.len() as u64,
+        SAMPLES,
+        WARMUP,
+        |_| {
+            plan.load(hash_items.iter().copied());
+            pb.clear();
+            ps.clear();
+            for (h, g) in &rows {
+                plan.append_buckets(h, &mut pb);
+                plan.append_signs(g, &mut ps);
+            }
+            std::hint::black_box((pb.last().copied(), ps.last().copied()));
+        },
+    ));
+    hash_bench(micro::sample(
+        "hash/reduce_lemire",
+        n_items,
+        SAMPLES,
+        WARMUP,
+        |_| {
+            let range = std::hint::black_box(480u64);
+            let mut acc = 0u64;
+            for &v in &evals {
+                acc = acc.wrapping_add(bd_hash::reduce_range(v, range));
+            }
+            std::hint::black_box(acc);
+        },
+    ));
+    hash_bench(micro::sample(
+        "hash/reduce_modulus",
+        n_items,
+        SAMPLES,
+        WARMUP,
+        |_| {
+            let range = std::hint::black_box(480u64);
+            let mut acc = 0u64;
+            for &v in &evals {
+                acc = acc.wrapping_add(v % range);
+            }
+            std::hint::black_box(acc);
+        },
+    ));
 
     let json = micro::to_json(
         &[

@@ -17,11 +17,22 @@
 //! uses; the figure's `t = 2^r log S + 1` appears to be a typo).
 
 use crate::binomial::{bin_half, bin_pow2};
-use bd_stream::{
-    aggregate_signed_mass, Mergeable, PointQuery, Sketch, SpaceReport, SpaceUsage, Update,
-};
+use bd_hash::RowHashes;
+use bd_stream::{BatchScratch, Mergeable, PointQuery, Sketch, SpaceReport, SpaceUsage, Update};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+
+/// Reusable batched-ingest scratch: hash plan plus flat row-major bucket /
+/// sign buffers (no sketch state).
+#[derive(Clone, Debug, Default)]
+struct IngestScratch {
+    agg: BatchScratch,
+    plan: RowHashes,
+    buckets: Vec<u64>,
+    signs: Vec<bool>,
+    /// Per-item row estimates for the multi-point query path.
+    ests: Vec<f64>,
+}
 
 /// One row: an independent Countsketch row over an independent sample.
 #[derive(Clone, Debug)]
@@ -56,6 +67,7 @@ pub struct Csss {
     rows: Vec<CsssRow>,
     max_counter: u64,
     rng: SmallRng,
+    scratch: IngestScratch,
 }
 
 impl Csss {
@@ -83,6 +95,7 @@ impl Csss {
                 .collect(),
             max_counter: 0,
             rng,
+            scratch: IngestScratch::default(),
         }
     }
 
@@ -159,6 +172,75 @@ impl Csss {
         }
     }
 
+    /// Ingest a pre-aggregated chunk of per-item `(item, inserted mass,
+    /// deleted mass)` rows (the `aggregate_signed_mass` shape, first-touch
+    /// ordered) through the batched hash engine: the chunk's items are
+    /// canonicalized once, every row's bucket and sign polynomials are
+    /// evaluated over the whole chunk in an interleaved-Horner pass into
+    /// reusable row-major buffers, and then each item's weighted updates
+    /// replay in chunk order with the usual thinning schedule. Identical
+    /// output distribution to per-item [`Csss::update_weighted`] calls (the
+    /// RNG draw order per counter is unchanged); shared with the compounds
+    /// that aggregate once and feed several structures.
+    pub fn update_aggregated(&mut self, agg: &[(u64, u64, u64)]) {
+        if agg.is_empty() {
+            return;
+        }
+        let Self {
+            budget,
+            level,
+            position,
+            rows,
+            max_counter,
+            rng,
+            scratch,
+            ..
+        } = self;
+        let IngestScratch {
+            plan,
+            buckets,
+            signs,
+            ..
+        } = scratch;
+        plan.load(agg.iter().map(|&(item, _, _)| item));
+        buckets.clear();
+        signs.clear();
+        for row in rows.iter() {
+            plan.append_buckets(&row.h, buckets);
+            plan.append_signs(&row.g, signs);
+        }
+        let m = plan.len();
+        for (idx, &(_, pos, neg)) in agg.iter().enumerate() {
+            for (weight, positive) in [(pos, true), (neg, false)] {
+                if weight == 0 {
+                    continue;
+                }
+                *position += weight;
+                while *position > *budget << *level {
+                    *level += 1;
+                    for row in rows.iter_mut() {
+                        row.thin(rng);
+                    }
+                }
+                for (r, row) in rows.iter_mut().enumerate() {
+                    // Per-row independent sample of Bin(weight, 2^-p) units.
+                    let kept = bin_pow2(rng, weight, *level);
+                    if kept == 0 {
+                        continue;
+                    }
+                    let b = buckets[r * m + idx] as usize;
+                    let cell = if signs[r * m + idx] == positive {
+                        &mut row.pos[b]
+                    } else {
+                        &mut row.neg[b]
+                    };
+                    *cell += kept;
+                    *max_counter = (*max_counter).max(*cell);
+                }
+            }
+        }
+    }
+
     /// One row's scaled estimate `2^p·g_i(j)·(a⁺ − a⁻)`.
     #[inline]
     pub fn row_estimate(&self, row: usize, item: u64) -> f64 {
@@ -175,6 +257,49 @@ impl Csss {
             .map(|r| self.row_estimate(r, item))
             .collect();
         bd_sketch::median_f64(&mut ests)
+    }
+
+    /// Point estimates for a whole set of items in one batched hash pass:
+    /// every row's bucket and sign polynomials are evaluated over all of
+    /// `items` through the chunk engine, then each item's median-of-rows is
+    /// taken from a reused buffer. `out` is cleared and filled positionally.
+    /// Bit-identical per item to [`Csss::estimate`] (same float operations
+    /// in the same order); `&mut self` only for the reusable scratch.
+    pub fn estimate_many(&mut self, items: &[u64], out: &mut Vec<f64>) {
+        let Self {
+            rows,
+            scratch,
+            level,
+            ..
+        } = self;
+        let IngestScratch {
+            plan,
+            buckets,
+            signs,
+            ests,
+            ..
+        } = scratch;
+        plan.load(items.iter().copied());
+        buckets.clear();
+        signs.clear();
+        for row in rows.iter() {
+            plan.append_buckets(&row.h, buckets);
+            plan.append_signs(&row.g, signs);
+        }
+        let m = items.len();
+        let scale = (*level as f64).exp2();
+        out.clear();
+        out.reserve(m);
+        for idx in 0..m {
+            ests.clear();
+            for (r, row) in rows.iter().enumerate() {
+                let b = buckets[r * m + idx] as usize;
+                let raw = row.pos[b] as f64 - row.neg[b] as f64;
+                let signed = if signs[r * m + idx] { raw } else { -raw };
+                ests.push(signed * scale);
+            }
+            out.push(bd_sketch::median_f64(ests));
+        }
     }
 
     /// `‖row residual‖₂` after subtracting a sparse vector `yhat` from the
@@ -225,21 +350,18 @@ impl Sketch for Csss {
     }
 
     /// Batched ingestion: aggregate the chunk into per-item
-    /// `(inserted, deleted)` mass first, then apply one weighted update per
-    /// item and sign. Duplicate items pay the per-row hash and sign
-    /// evaluations once, and each `Bin(w, 2^-p)` draw covers a whole item's
-    /// chunk mass instead of one update. Total update mass (and therefore
-    /// the sampling-rate schedule) is preserved, so the output distribution
-    /// is the one the §1.3 weighted-update semantics already define.
+    /// `(inserted, deleted)` mass first (reusable table, zero steady-state
+    /// allocations), then run the chunk through
+    /// [`Csss::update_aggregated`]'s batched hash pass. Duplicate items pay
+    /// the per-row hash and sign evaluations once, and each `Bin(w, 2^-p)`
+    /// draw covers a whole item's chunk mass instead of one update. Total
+    /// update mass (and therefore the sampling-rate schedule) is preserved,
+    /// so the output distribution is the one the §1.3 weighted-update
+    /// semantics already define.
     fn update_batch(&mut self, batch: &[Update]) {
-        for (item, pos, neg) in aggregate_signed_mass(batch) {
-            if pos > 0 {
-                self.update_weighted(item, pos, true);
-            }
-            if neg > 0 {
-                self.update_weighted(item, neg, false);
-            }
-        }
+        let mut agg = std::mem::take(&mut self.scratch.agg);
+        self.update_aggregated(agg.aggregate_signed_mass(batch));
+        self.scratch.agg = agg;
     }
 }
 

@@ -16,8 +16,7 @@ use crate::csss::Csss;
 use crate::params::Params;
 use bd_sketch::{CandidateSet, MedianL1};
 use bd_stream::{
-    aggregate_signed_mass, Mergeable, NormEstimate, PointQuery, Sketch, SpaceReport, SpaceUsage,
-    Update,
+    BatchScratch, Mergeable, NormEstimate, PointQuery, Sketch, SpaceReport, SpaceUsage, Update,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -39,6 +38,8 @@ pub struct AlphaHeavyHitters {
     norm: NormTracker,
     epsilon: f64,
     universe: u64,
+    /// Reusable chunk-aggregation scratch (no sketch state).
+    agg: BatchScratch,
 }
 
 impl AlphaHeavyHitters {
@@ -65,6 +66,7 @@ impl AlphaHeavyHitters {
             norm,
             epsilon: params.epsilon,
             universe: params.n,
+            agg: BatchScratch::default(),
         }
     }
 
@@ -120,24 +122,23 @@ impl Sketch for AlphaHeavyHitters {
     }
 
     /// Batched ingestion: the chunk is aggregated into per-item signed mass
-    /// once, then (1) CSSS absorbs one weighted update per item and sign,
-    /// (2) the norm tracker absorbs per-item net deltas (it is linear),
-    /// (3) the candidate set is offered each distinct item once, after the
-    /// counters settle — identical candidate-set semantics, a fraction of
-    /// the point-query evaluations.
+    /// once (reusable table — the same aggregation feeds all three
+    /// components), then (1) CSSS absorbs the whole chunk through its
+    /// batched hash pass ([`Csss::update_aggregated`]), (2) the norm
+    /// tracker absorbs per-item net deltas (it is linear), (3) the
+    /// candidate set is offered each distinct item once, after the counters
+    /// settle — prune passes trigger exactly as under per-item offers, but
+    /// each pass scores the whole set through one
+    /// [`Csss::estimate_many`] batched hash pass instead of `2·cap` scalar
+    /// point queries.
     fn update_batch(&mut self, batch: &[Update]) {
-        let agg = aggregate_signed_mass(batch);
+        let mut scratch = std::mem::take(&mut self.agg);
+        let agg = scratch.aggregate_signed_mass(batch);
         if agg.is_empty() {
+            self.agg = scratch;
             return;
         }
-        for &(item, pos, neg) in &agg {
-            if pos > 0 {
-                self.csss.update_weighted(item, pos, true);
-            }
-            if neg > 0 {
-                self.csss.update_weighted(item, neg, false);
-            }
-        }
+        self.csss.update_aggregated(agg);
         match &mut self.norm {
             NormTracker::Strict { net } => {
                 *net += agg
@@ -146,7 +147,7 @@ impl Sketch for AlphaHeavyHitters {
                     .sum::<i64>();
             }
             NormTracker::General(m) => {
-                for &(item, pos, neg) in &agg {
+                for &(item, pos, neg) in agg {
                     let net = pos as i64 - neg as i64;
                     if net != 0 {
                         m.update(item, net);
@@ -154,10 +155,12 @@ impl Sketch for AlphaHeavyHitters {
                 }
             }
         }
-        let csss = &self.csss;
-        for &(item, _, _) in &agg {
-            self.candidates.offer(item, |i| csss.estimate(i));
-        }
+        let csss = &mut self.csss;
+        self.candidates
+            .offer_chunk(agg.iter().map(|&(item, _, _)| item), |items, out| {
+                csss.estimate_many(items, out)
+            });
+        self.agg = scratch;
     }
 }
 

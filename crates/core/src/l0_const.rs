@@ -54,7 +54,7 @@ impl AlphaConstL0 {
         let logn = bd_hash::log2_ceil(params.n.max(4)) as f64;
         let f0_cap = ((8.0 * logn / logn.log2().max(1.0)).ceil() as usize).max(8);
         AlphaConstL0 {
-            level_hash: bd_hash::KWiseHash::pairwise(&mut rng, 1u64 << 62),
+            level_hash: bd_hash::KWiseHash::pairwise(&mut rng, 1u64 << 61),
             detectors: BTreeMap::new(),
             tracker: AlphaRoughL0::new(rng.gen(), params.n),
             small_f0: SmallF0::new(rng.gen(), f0_cap),

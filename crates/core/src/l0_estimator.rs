@@ -54,7 +54,7 @@ impl AlphaL0Estimator {
         AlphaL0Estimator {
             k,
             p,
-            h1: bd_hash::KWiseHash::pairwise(&mut rng, 1u64 << 62),
+            h1: bd_hash::KWiseHash::pairwise(&mut rng, 1u64 << 61),
             h2: bd_hash::KWiseHash::pairwise(&mut rng, k3),
             h3: bd_hash::KWiseHash::new(&mut rng, kind, k as u64),
             h4: bd_hash::KWiseHash::pairwise(&mut rng, k as u64),

@@ -14,9 +14,19 @@
 
 use crate::binomial::{bin_half, bin_pow2};
 use crate::params::Params;
-use bd_stream::{aggregate_signed_mass, NormEstimate, Sketch, SpaceReport, SpaceUsage, Update};
+use bd_hash::RowHashes;
+use bd_stream::{BatchScratch, NormEstimate, Sketch, SpaceReport, SpaceUsage, Update};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+
+/// Reusable batched-ingest scratch: aggregation table, hash plan, and the
+/// per-row Cauchy-entry buffer (no sketch state).
+#[derive(Clone, Debug, Default)]
+struct IngestScratch {
+    agg: BatchScratch,
+    plan: RowHashes,
+    entries: Vec<f64>,
+}
 
 /// A sampled, dyadically thinned signed counter (one per Cauchy row).
 #[derive(Clone, Copy, Debug, Default)]
@@ -71,6 +81,7 @@ pub struct AlphaL1General {
     budget: u64,
     mass: u64,
     rng: SmallRng,
+    scratch: IngestScratch,
 }
 
 impl AlphaL1General {
@@ -100,6 +111,7 @@ impl AlphaL1General {
             budget: budget.max(256),
             mass: 0,
             rng,
+            scratch: IngestScratch::default(),
         }
     }
 
@@ -155,40 +167,59 @@ impl Sketch for AlphaL1General {
     }
 
     /// Batched ingestion with per-row weighted aggregation: the chunk is
-    /// collapsed to per-item `(inserted, deleted)` mass once, then each row
-    /// evaluates its Cauchy entry *once per distinct item* and feeds one
-    /// quantized weighted contribution per sign into the sampled counter
-    /// (one `Bin(w, 2^-level)` draw covers the item's whole chunk mass).
-    /// Total update mass — and therefore every counter's sampling-rate
-    /// schedule — is preserved, so this is the §1.3 weighted-update
-    /// semantics: statistically equivalent to the sequential loop, not
-    /// bit-identical (quantization rounds per aggregated weight and the RNG
-    /// draw order changes).
+    /// collapsed to per-item `(inserted, deleted)` mass once (reusable
+    /// aggregation table), then each row evaluates its Cauchy entries over
+    /// the *whole chunk* in one batched-Horner pass and feeds one quantized
+    /// weighted contribution per sign into the sampled counter (one
+    /// `Bin(w, 2^-level)` draw covers the item's whole chunk mass).
+    /// Contributions whose quantized weight is zero are skipped outright —
+    /// no counter movement and no RNG draw, exactly what the scalar path's
+    /// zero-weight no-op add did. Total update mass — and therefore every
+    /// counter's sampling-rate schedule — is preserved, so this is the §1.3
+    /// weighted-update semantics: statistically equivalent to the
+    /// sequential loop, not bit-identical (quantization rounds per
+    /// aggregated weight and the RNG draw order changes).
     fn update_batch(&mut self, batch: &[Update]) {
-        let agg = aggregate_signed_mass(batch);
+        let Self {
+            main_rows,
+            aux_rows,
+            main,
+            aux,
+            quant,
+            budget,
+            mass,
+            rng,
+            scratch,
+        } = self;
+        let IngestScratch { agg, plan, entries } = scratch;
+        let agg = agg.aggregate_signed_mass(batch);
         if agg.is_empty() {
             return;
         }
-        let (quant, budget) = (self.quant, self.budget);
-        let rng = &mut self.rng;
-        for &(item, pos, neg) in &agg {
-            self.mass += pos + neg;
-            for (row, ctr) in self
-                .main_rows
-                .iter()
-                .zip(self.main.iter_mut())
-                .chain(self.aux_rows.iter().zip(self.aux.iter_mut()))
-            {
-                let entry = row.entry(item);
+        *mass += agg.iter().map(|&(_, pos, neg)| pos + neg).sum::<u64>();
+        plan.load(agg.iter().map(|&(item, _, _)| item));
+        for (row, ctr) in main_rows
+            .iter()
+            .zip(main.iter_mut())
+            .chain(aux_rows.iter().zip(aux.iter_mut()))
+        {
+            entries.clear();
+            row.append_entries(plan, entries);
+            for (idx, &(_, pos, neg)) in agg.iter().enumerate() {
+                let entry = entries[idx];
                 if pos > 0 {
                     let eta = pos as f64 * entry;
-                    let w = (eta.abs() / quant).round() as u64;
-                    ctr.add(rng, w, eta >= 0.0, budget);
+                    let w = (eta.abs() / *quant).round() as u64;
+                    if w > 0 {
+                        ctr.add(rng, w, eta >= 0.0, *budget);
+                    }
                 }
                 if neg > 0 {
                     let eta = -(neg as f64) * entry;
-                    let w = (eta.abs() / quant).round() as u64;
-                    ctr.add(rng, w, eta >= 0.0, budget);
+                    let w = (eta.abs() / *quant).round() as u64;
+                    if w > 0 {
+                        ctr.add(rng, w, eta >= 0.0, *budget);
+                    }
                 }
             }
         }

@@ -135,6 +135,22 @@ pub fn poly_eval(coeffs: &[M61Elem], x: M61Elem) -> M61Elem {
     acc
 }
 
+/// Evaluate the polynomial at four points at once, with four independent
+/// Horner chains. The chains share coefficients but have no data dependence
+/// on each other, so the `mul → add` latency of one chain overlaps with the
+/// other three (the chunk-at-a-time ILP the batched hash engine is built on).
+#[inline]
+pub fn poly_eval4(coeffs: &[M61Elem], x: [M61Elem; 4]) -> [M61Elem; 4] {
+    let mut acc = [M61Elem::ZERO; 4];
+    for &c in coeffs.iter().rev() {
+        acc[0] = acc[0].mul(x[0]).add(c);
+        acc[1] = acc[1].mul(x[1]).add(c);
+        acc[2] = acc[2].mul(x[2]).add(c);
+        acc[3] = acc[3].mul(x[3]).add(c);
+    }
+    acc
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,6 +192,21 @@ mod tests {
     fn fermat_holds_for_small_elements() {
         for v in 1..200u64 {
             assert_eq!(M61Elem::new(v).pow(M61 - 1), M61Elem::ONE);
+        }
+    }
+
+    #[test]
+    fn poly_eval4_matches_scalar() {
+        let coeffs: Vec<M61Elem> = (1..=7u64).map(|c| M61Elem::new(c * 104_729)).collect();
+        let xs = [
+            M61Elem::new(0),
+            M61Elem::new(12_345),
+            M61Elem::new(u64::MAX),
+            M61Elem::new(M61 - 1),
+        ];
+        let batch = poly_eval4(&coeffs, xs);
+        for (i, &x) in xs.iter().enumerate() {
+            assert_eq!(batch[i], poly_eval(&coeffs, x));
         }
     }
 

@@ -8,7 +8,11 @@
 //!
 //! * [`field`] — the Mersenne-61 field the Carter–Wegman polynomials live in;
 //! * [`kwise`] — k-wise independent hash families `H_k(U, V)` and ±1 sign
-//!   hashes (Countsketch's `h_i`, `g_i`);
+//!   hashes (Countsketch's `h_i`, `g_i`), with division-free (Lemire
+//!   multiply-shift) range reduction;
+//! * [`batch`] — the chunk-at-a-time evaluation engine: [`RowHashes`] plans
+//!   canonicalize a chunk once and evaluate every row's polynomial over it
+//!   with interleaved Horner chains (the batched-ingest hot path);
 //! * [`prime`] — exact Miller–Rabin and random primes in `[D, D^3]`
 //!   (fingerprints of Figure 6, universe reduction of Theorem 2);
 //! * [`bits`] — `lsb`, logarithms, and bit-width accounting used by the L0
@@ -21,6 +25,7 @@
 //! All generators are seeded through [`rand::Rng`], so every structure in the
 //! workspace is reproducible from explicit seeds.
 
+pub mod batch;
 pub mod bits;
 pub mod field;
 pub mod kwise;
@@ -29,9 +34,10 @@ pub mod prime;
 pub mod stable;
 pub mod uniform;
 
+pub use batch::RowHashes;
 pub use bits::{div_ceil, log2_ceil, log2_floor, lsb, next_pow2, width_signed, width_unsigned};
 pub use field::{M61Elem, M61};
-pub use kwise::{KWiseHash, SignHash};
+pub use kwise::{reduce_range, KWiseHash, SignHash};
 pub use modred::{mod_streaming, mod_streaming_limbs, StreamingMod};
 pub use prime::{is_prime, random_prime_in, random_prime_window};
 pub use stable::CauchyRow;

@@ -20,9 +20,11 @@ pub struct StreamingMod {
 }
 
 impl StreamingMod {
-    /// Start a reduction modulo `p >= 2`.
+    /// Start a reduction modulo `2 <= p < 2^63` (the bound that lets
+    /// [`StreamingMod::push_bit`] double and fold without overflow).
     pub fn new(p: u64) -> Self {
         assert!(p >= 2);
+        assert!(p < 1 << 63, "modulus must fit in 63 bits");
         StreamingMod {
             p,
             acc: 0,
@@ -32,13 +34,18 @@ impl StreamingMod {
     }
 
     /// Feed the next bit (LSB-first). Mirrors the `c ← c + y_t (mod p)` loop
-    /// of Lemma 7.
+    /// of Lemma 7, division-free: both invariants `acc < p` and `pow < p`
+    /// make each step's value `< 2p`, so one conditional subtract replaces
+    /// each `% p` — the accumulator add folds once, and the power-of-two
+    /// doubling is a shift plus conditional subtract.
     #[inline]
     pub fn push_bit(&mut self, bit: bool) {
         if bit {
-            self.acc = (self.acc + self.pow) % self.p;
+            let s = self.acc + self.pow; // both < p < 2^63 ⇒ no overflow
+            self.acc = if s >= self.p { s - self.p } else { s };
         }
-        self.pow = self.pow.wrapping_mul(2) % self.p; // pow < p <= 2^63 ⇒ no overflow for p < 2^63
+        let d = self.pow << 1; // pow < p < 2^63 ⇒ no overflow
+        self.pow = if d >= self.p { d - self.p } else { d };
         self.bit_index += 1;
     }
 

@@ -38,6 +38,18 @@ impl CauchyRow {
         (std::f64::consts::PI * (u - 0.5)).tan()
     }
 
+    /// The row's entries over a whole pre-loaded chunk, appended to `out`
+    /// (positionally aligned with the plan). Bit-identical to
+    /// [`CauchyRow::entry`] per item; the polynomial evaluation runs through
+    /// the batched four-chain pass.
+    pub fn append_entries(&self, plan: &crate::batch::RowHashes, out: &mut Vec<f64>) {
+        let res = self.resolution;
+        plan.append_mapped(&self.hash, out, |b| {
+            let u = (b as f64 + 0.5) * res;
+            (std::f64::consts::PI * (u - 0.5)).tan()
+        });
+    }
+
     /// Bits needed to store the row seed.
     pub fn seed_bits(&self) -> usize {
         self.hash.seed_bits()

@@ -28,7 +28,7 @@ impl KWiseUniform {
 
     /// Draw a fresh family with independence `k` on a `2^resolution` grid.
     pub fn with_resolution<R: Rng + ?Sized>(rng: &mut R, k: usize, resolution: u32) -> Self {
-        assert!((1..=62).contains(&resolution));
+        assert!((1..=61).contains(&resolution));
         KWiseUniform {
             hash: KWiseHash::new(rng, k, 1u64 << resolution),
             scale: 1.0 / (1u64 << resolution) as f64,

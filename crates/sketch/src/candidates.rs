@@ -13,6 +13,10 @@ use std::collections::HashSet;
 pub struct CandidateSet {
     cap: usize,
     items: HashSet<u64>,
+    /// Reusable prune-pass buffers (no semantic state).
+    keys: Vec<u64>,
+    scored: Vec<(u64, f64)>,
+    scores: Vec<f64>,
 }
 
 impl CandidateSet {
@@ -21,6 +25,9 @@ impl CandidateSet {
         CandidateSet {
             cap: cap.max(1),
             items: HashSet::new(),
+            keys: Vec::new(),
+            scored: Vec::new(),
+            scores: Vec::new(),
         }
     }
 
@@ -31,12 +38,50 @@ impl CandidateSet {
     pub fn offer<F: Fn(u64) -> f64>(&mut self, item: u64, score: F) {
         self.items.insert(item);
         if self.items.len() > 2 * self.cap {
-            let mut scored: Vec<(u64, f64)> =
-                self.items.iter().map(|&i| (i, score(i).abs())).collect();
-            scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
-            scored.truncate(self.cap);
-            self.items = scored.into_iter().map(|(i, _)| i).collect();
+            self.prune(|items, out| out.extend(items.iter().map(|&i| score(i))));
         }
+    }
+
+    /// Offer a whole chunk of items with a *batched* scorer: prune passes
+    /// trigger exactly as under per-item [`CandidateSet::offer`] (the set
+    /// never exceeds `2·cap`), but each pass scores the entire set through
+    /// one `score_many(items, out)` call — the hook the batched ingest
+    /// paths use to evaluate all candidates in one multi-row hash pass
+    /// instead of `2·cap` scalar point queries.
+    pub fn offer_chunk<I, F>(&mut self, items: I, mut score_many: F)
+    where
+        I: IntoIterator<Item = u64>,
+        F: FnMut(&[u64], &mut Vec<f64>),
+    {
+        for item in items {
+            self.items.insert(item);
+            if self.items.len() > 2 * self.cap {
+                self.prune(&mut score_many);
+            }
+        }
+    }
+
+    /// One prune pass: re-score everything, keep the top `cap` by `|score|`.
+    /// All buffers are reused across passes — zero steady-state allocations.
+    fn prune<F: FnMut(&[u64], &mut Vec<f64>)>(&mut self, mut score_many: F) {
+        self.keys.clear();
+        self.keys.extend(self.items.iter().copied());
+        // Deterministic scoring order regardless of HashSet iteration.
+        self.keys.sort_unstable();
+        self.scores.clear();
+        score_many(&self.keys, &mut self.scores);
+        self.scored.clear();
+        self.scored.extend(
+            self.keys
+                .iter()
+                .copied()
+                .zip(self.scores.iter().map(|s| s.abs())),
+        );
+        self.scored
+            .sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        self.scored.truncate(self.cap);
+        self.items.clear();
+        self.items.extend(self.scored.iter().map(|&(i, _)| i));
     }
 
     /// The current candidates (unordered).

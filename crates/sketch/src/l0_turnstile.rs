@@ -56,7 +56,7 @@ impl L0Estimator {
             p,
             b: vec![vec![0u64; k]; levels + 1],
             b_small: vec![0u64; 2 * k],
-            h1: bd_hash::KWiseHash::pairwise(&mut rng, 1u64 << 62),
+            h1: bd_hash::KWiseHash::pairwise(&mut rng, 1u64 << 61),
             h2: bd_hash::KWiseHash::pairwise(&mut rng, k3),
             h3: bd_hash::KWiseHash::new(&mut rng, kind, k as u64),
             h4: bd_hash::KWiseHash::pairwise(&mut rng, k as u64),

@@ -43,7 +43,7 @@ impl RoughF0 {
         let mut rng = SmallRng::seed_from_u64(seed);
         RoughF0 {
             seed,
-            level_hash: bd_hash::KWiseHash::pairwise(&mut rng, 1u64 << 62),
+            level_hash: bd_hash::KWiseHash::pairwise(&mut rng, 1u64 << 61),
             print_hash: bd_hash::KWiseHash::pairwise(&mut rng, 1u64 << 32),
             buckets: vec![HashSet::new(); Self::LEVELS + 1],
             sat_level: -1,

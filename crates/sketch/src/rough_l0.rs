@@ -71,7 +71,7 @@ impl RoughL0 {
     pub fn new(seed: u64, cfg: RoughL0Config) -> Self {
         let mut rng = SmallRng::seed_from_u64(seed);
         RoughL0 {
-            level_hash: bd_hash::KWiseHash::pairwise(&mut rng, 1u64 << 62),
+            level_hash: bd_hash::KWiseHash::pairwise(&mut rng, 1u64 << 61),
             detectors: (0..=cfg.levels)
                 .map(|_| SmallL0::with_buckets(rng.gen(), cfg.cap, cfg.reps, cfg.buckets))
                 .collect(),

@@ -9,10 +9,19 @@
 //! regime of \[41\].
 
 use crate::sparse_recovery::{Recovery, SparseRecovery};
-use bd_stream::{aggregate_net, Sketch, SpaceReport, SpaceUsage, Update};
+use bd_hash::RowHashes;
+use bd_stream::{BatchScratch, Sketch, SpaceReport, SpaceUsage, Update};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
+
+/// Reusable batched-ingest scratch (no sketch state).
+#[derive(Clone, Debug, Default)]
+struct IngestScratch {
+    agg: BatchScratch,
+    plan: RowHashes,
+    hashes: Vec<u64>,
+}
 
 /// The full-level-set support sampler.
 #[derive(Clone, Debug)]
@@ -21,6 +30,7 @@ pub struct SupportSamplerTurnstile {
     levels: Vec<SparseRecovery>,
     log_n: usize,
     k: usize,
+    scratch: IngestScratch,
 }
 
 impl SupportSamplerTurnstile {
@@ -37,6 +47,7 @@ impl SupportSamplerTurnstile {
                 .collect(),
             log_n,
             k,
+            scratch: IngestScratch::default(),
         }
     }
 
@@ -85,15 +96,35 @@ impl Sketch for SupportSamplerTurnstile {
     }
 
     /// Batched ingestion: collapse each chunk to per-item net deltas before
-    /// touching the levels. Every level sketch is linear, so applying the
-    /// net delta once is state-identical to replaying the duplicates — but
-    /// pays one universe hash and one `O(log n)`-level walk (each with its
-    /// own per-row recovery hashing) per *distinct* item instead of per
-    /// update. On Zipfian chunks this is most of the ingest cost.
+    /// touching the levels (reusable aggregation table + chunk-batched
+    /// universe hash — zero steady-state allocations). Every level sketch is
+    /// linear, so applying the net delta once is state-identical to
+    /// replaying the duplicates — but pays one universe hash and one
+    /// `O(log n)`-level walk (each with its own per-row recovery hashing)
+    /// per *distinct* item instead of per update. On Zipfian chunks this is
+    /// most of the ingest cost.
     fn update_batch(&mut self, batch: &[Update]) {
-        for (item, delta) in aggregate_net(batch) {
-            if delta != 0 {
-                SupportSamplerTurnstile::update(self, item, delta);
+        let Self {
+            h,
+            levels,
+            log_n,
+            scratch,
+            ..
+        } = self;
+        let IngestScratch { agg, plan, hashes } = scratch;
+        let agg = agg.aggregate_net(batch);
+        let live = || agg.iter().filter(|&&(_, net)| net != 0);
+        plan.load(live().map(|&(item, _)| item));
+        plan.eval_buckets(h, hashes);
+        for (idx, &(item, delta)) in live().enumerate() {
+            let hv = hashes[idx];
+            let first = if hv == 0 {
+                0
+            } else {
+                (bd_hash::log2_floor(hv) + 1) as usize
+            };
+            for lvl in &mut levels[first..=*log_n] {
+                lvl.update(item, delta);
             }
         }
     }

@@ -62,8 +62,8 @@ pub use runner::{RunReport, StreamRunner};
 pub use service::{EpochReport, ServiceConfig, Snapshot, StreamService};
 pub use sharded::{ShardedRun, ShardedRunner};
 pub use sketch::{
-    aggregate_net, aggregate_signed_mass, Mergeable, NormEstimate, PointQuery, SampleOutcome,
-    SampleQuery, Sketch, SupportQuery,
+    aggregate_net, aggregate_signed_mass, BatchScratch, Mergeable, NormEstimate, PointQuery,
+    SampleOutcome, SampleQuery, Sketch, SupportQuery,
 };
 pub use space::{MaxMag, SpaceReport, SpaceUsage};
 pub use spec::{Regime, SketchFamily, SketchSpec, SpecError};

@@ -171,6 +171,109 @@ pub fn aggregate_signed_mass(batch: &[Update]) -> Vec<(Item, u64, u64)> {
     order
 }
 
+/// Reusable, allocation-free chunk aggregation — the scratch the batched
+/// `update_batch` hot paths thread through their steady state.
+///
+/// [`aggregate_net`] and [`aggregate_signed_mass`] allocate a fresh
+/// `HashMap` (SipHash-keyed) and output vector per chunk; on Zipfian chunks
+/// that is a measurable slice of total ingest cost. `BatchScratch` keeps an
+/// open-addressing table (power-of-two capacity, multiply-shift hashed,
+/// generation-stamped so clearing is O(1)) plus the output vectors alive
+/// across calls: after warm-up, aggregation performs **zero** heap
+/// allocations per chunk. Semantics are identical to the free functions,
+/// including first-touch ordering.
+#[derive(Clone, Debug, Default)]
+pub struct BatchScratch {
+    /// Open-addressing slots: `(generation, key, index into the out vec)`.
+    slots: Vec<(u64, Item, u32)>,
+    /// Current generation; slots whose stamp differs are free.
+    generation: u64,
+    net: Vec<(Item, i64)>,
+    signed: Vec<(Item, u64, u64)>,
+}
+
+impl BatchScratch {
+    /// Fibonacci multiply-shift over the slot-count mask.
+    #[inline]
+    fn slot_hash(key: Item, mask: usize) -> usize {
+        (key.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) as usize & mask
+    }
+
+    /// Start a fresh aggregation sized for `len` updates: bump the
+    /// generation (O(1) clear) and grow the table only if the chunk is
+    /// bigger than anything seen before.
+    fn reset(&mut self, len: usize) {
+        let want = (len.max(8) * 2).next_power_of_two();
+        if self.slots.len() < want {
+            self.slots = vec![(0, 0, 0); want];
+            self.generation = 0;
+        }
+        self.generation += 1;
+    }
+
+    /// Find `key`'s slot: `Ok(idx)` for an existing entry (value = index of
+    /// its output row), `Err(slot)` for the free slot to claim.
+    #[inline]
+    fn probe(&self, key: Item) -> Result<u32, usize> {
+        let mask = self.slots.len() - 1;
+        let mut s = Self::slot_hash(key, mask);
+        loop {
+            let (gen, k, idx) = self.slots[s];
+            if gen != self.generation {
+                return Err(s);
+            }
+            if k == key {
+                return Ok(idx);
+            }
+            s = (s + 1) & mask;
+        }
+    }
+
+    /// [`aggregate_net`], reusing this scratch's buffers. The returned slice
+    /// lives in the scratch and is overwritten by the next aggregation.
+    pub fn aggregate_net(&mut self, batch: &[Update]) -> &[(Item, i64)] {
+        self.reset(batch.len());
+        self.net.clear();
+        for u in batch {
+            match self.probe(u.item) {
+                Ok(idx) => self.net[idx as usize].1 += u.delta,
+                Err(slot) => {
+                    self.slots[slot] = (self.generation, u.item, self.net.len() as u32);
+                    self.net.push((u.item, u.delta));
+                }
+            }
+        }
+        &self.net
+    }
+
+    /// [`aggregate_signed_mass`], reusing this scratch's buffers. The
+    /// returned slice lives in the scratch and is overwritten by the next
+    /// aggregation.
+    pub fn aggregate_signed_mass(&mut self, batch: &[Update]) -> &[(Item, u64, u64)] {
+        self.reset(batch.len());
+        self.signed.clear();
+        for u in batch {
+            if u.delta == 0 {
+                continue;
+            }
+            let idx = match self.probe(u.item) {
+                Ok(idx) => idx as usize,
+                Err(slot) => {
+                    self.slots[slot] = (self.generation, u.item, self.signed.len() as u32);
+                    self.signed.push((u.item, 0, 0));
+                    self.signed.len() - 1
+                }
+            };
+            if u.delta > 0 {
+                self.signed[idx].1 += u.delta as u64;
+            } else {
+                self.signed[idx].2 += u.delta.unsigned_abs();
+            }
+        }
+        &self.signed
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -250,6 +353,36 @@ mod tests {
         assert_eq!(agg, vec![(5, 4, 3), (6, 0, 1)]);
         let mass: u64 = agg.iter().map(|&(_, p, n)| p + n).sum();
         assert_eq!(mass, batch.iter().map(|u| u.magnitude()).sum::<u64>());
+    }
+
+    #[test]
+    fn scratch_aggregation_matches_free_functions() {
+        let mut rng_state = 0x1234_5678_u64;
+        let mut next = move || {
+            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            rng_state
+        };
+        let mut scratch = BatchScratch::default();
+        for round in 0..5 {
+            let batch: Vec<Update> = (0..(500 + round * 100))
+                .map(|_| {
+                    let r = next();
+                    Update::new(r % 37, ((r >> 8) % 9) as i64 - 4)
+                })
+                .collect();
+            assert_eq!(scratch.aggregate_net(&batch), &aggregate_net(&batch)[..]);
+            assert_eq!(
+                scratch.aggregate_signed_mass(&batch),
+                &aggregate_signed_mass(&batch)[..]
+            );
+        }
+        // Shrinking chunks keep working (table stays at peak capacity).
+        let small = vec![Update::new(1, 2), Update::new(1, -2), Update::new(9, 0)];
+        assert_eq!(scratch.aggregate_net(&small), &aggregate_net(&small)[..]);
+        assert_eq!(
+            scratch.aggregate_signed_mass(&small),
+            &aggregate_signed_mass(&small)[..]
+        );
     }
 
     #[test]

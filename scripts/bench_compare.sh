@@ -11,7 +11,7 @@
 # files are gated — that includes the `ingest_service` section, so a >20%
 # snapshot-overhead regression in the StreamService fails here. Dropped
 # measurements are never gated by the bin, so additionally assert the
-# service section cannot silently vanish from the bench.
+# service and hash sections cannot silently vanish from the bench.
 
 set -eu
 cd "$(dirname "$0")/.."
@@ -25,6 +25,11 @@ cargo bench -p bd-bench --bench ingest
 
 if ! grep -q '"ingest_service/' BENCH_ingest.json; then
     echo "bench_compare.sh: ingest_service section missing from BENCH_ingest.json" >&2
+    exit 1
+fi
+
+if ! grep -q '"hash/' BENCH_ingest.json; then
+    echo "bench_compare.sh: hash section missing from BENCH_ingest.json" >&2
     exit 1
 fi
 
