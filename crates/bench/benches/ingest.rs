@@ -28,10 +28,11 @@
 
 use bd_bench::micro::{self, Measurement};
 use bd_bench::registry;
+use bd_hash::{simd, M61Elem};
 use bd_stream::gen::BoundedDeletionGen;
 use bd_stream::{
-    ServiceConfig, ShardedRunner, SketchFamily, SketchSpec, StreamBatch, StreamRunner,
-    StreamService,
+    merge_tree, DynSketch, ServiceConfig, ShardedRunner, SketchFamily, SketchSpec, StreamBatch,
+    StreamRunner, StreamService,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -295,6 +296,44 @@ fn main() {
             std::hint::black_box((pb.last().copied(), ps.last().copied()));
         },
     ));
+    // Per-kernel SIMD rows: the same degree-4 Horner evaluation through
+    // every kernel this machine offers (scalar reference, portable lanes,
+    // AVX2 where detected), on pre-canonicalized points — isolating the
+    // field arithmetic itself. The dispatched kernel is whichever of these
+    // `active_level()` picked; the ratio against `hash/simd_scalar_eval_k4`
+    // is the measured vectorization speedup.
+    let canon_items: Vec<M61Elem> = hash_items.iter().map(|&x| M61Elem::new(x)).collect();
+    let coeffs_k4: Vec<M61Elem> = (0..4).map(|_| M61Elem::new(hrng.gen::<u64>())).collect();
+    let mut kernel_rates: Vec<(&'static str, f64)> = Vec::new();
+    for (kname, kernel) in simd::kernels() {
+        let m = micro::sample(
+            &format!("hash/simd_{kname}_eval_k4"),
+            n_items,
+            SAMPLES,
+            WARMUP,
+            |_| {
+                let mut acc = 0u64;
+                for eight in canon_items.chunks_exact(simd::KERNEL_WIDTH) {
+                    let x: [M61Elem; simd::KERNEL_WIDTH] = std::array::from_fn(|i| eight[i]);
+                    let out = kernel(&coeffs_k4, &x);
+                    acc = acc.wrapping_add(out[simd::KERNEL_WIDTH - 1].value());
+                }
+                std::hint::black_box(acc);
+            },
+        );
+        kernel_rates.push((kname, m.ops_per_sec));
+        hash_bench(m);
+    }
+    let simd_speedups: Vec<String> = kernel_rates
+        .iter()
+        .skip(1)
+        .map(|(n, r)| format!("{n}={:.2}x", r / kernel_rates[0].1))
+        .collect();
+    println!(
+        "  simd kernel speedup vs scalar: {} (active = {})\n",
+        simd_speedups.join(", "),
+        simd::active_level().name()
+    );
     hash_bench(micro::sample(
         "hash/reduce_lemire",
         n_items,
@@ -324,6 +363,61 @@ fn main() {
         },
     ));
 
+    // Merge fold microsection: the serial left-to-right `merge_dyn` fold vs
+    // the pairwise tree fold both engines now run, over identically-built
+    // ingested parts (cloned per sample, so each row is clone + fold — the
+    // clone cost is common to both). Tree gains track available cores; the
+    // rows exist so fold cost is a measured quantity on any machine.
+    const MERGE_PARTS: usize = 8;
+    println!(
+        "\nmerge — serial fold vs pairwise tree fold, {MERGE_PARTS} countsketch parts \
+         (clone + fold per sample)\n"
+    );
+    let merge_parts: Vec<Box<dyn DynSketch>> = {
+        let mut parts = registry()
+            .build_n(&base.with_seed(11), MERGE_PARTS)
+            .unwrap();
+        let per = stream.len().div_ceil(MERGE_PARTS);
+        for (part, chunk) in parts.iter_mut().zip(stream.updates.chunks(per)) {
+            StreamRunner::new().run_updates(&mut **part, chunk);
+        }
+        parts
+    };
+    let n_merges = (MERGE_PARTS - 1) as u64;
+    let m_serial = micro::sample(
+        &format!("merge/countsketch_w{MERGE_PARTS}/serial"),
+        n_merges,
+        SAMPLES,
+        WARMUP,
+        |_| {
+            let mut clones: Vec<Box<dyn DynSketch>> =
+                merge_parts.iter().map(|p| p.clone_dyn()).collect();
+            let mut acc = clones.remove(0);
+            for p in &clones {
+                acc.merge_dyn(p.as_ref()).unwrap();
+            }
+            std::hint::black_box(acc.space_bits());
+        },
+    );
+    let m_tree = micro::sample(
+        &format!("merge/countsketch_w{MERGE_PARTS}/tree"),
+        n_merges,
+        SAMPLES,
+        WARMUP,
+        |_| {
+            let clones: Vec<Box<dyn DynSketch>> =
+                merge_parts.iter().map(|p| p.clone_dyn()).collect();
+            let (merged, rep) = merge_tree(clones).unwrap();
+            std::hint::black_box((merged.space_bits(), rep.depth));
+        },
+    );
+    micro::report(&m_serial);
+    micro::report(&m_tree);
+    let merge_speedup = m_tree.ops_per_sec / m_serial.ops_per_sec;
+    println!("  tree fold vs serial fold: {merge_speedup:.2}x\n");
+    results.push(m_serial);
+    results.push(m_tree);
+
     let json = micro::to_json(
         &[
             ("bench", "ingest".to_string()),
@@ -331,6 +425,12 @@ fn main() {
             ("chunk", StreamRunner::DEFAULT_CHUNK.to_string()),
             ("shard_threads", SHARD_THREADS.to_string()),
             ("cores", cores.to_string()),
+            ("simd_level", simd::active_level().name().to_string()),
+            ("lane_width", simd::LANES.to_string()),
+            ("kernel_width", simd::KERNEL_WIDTH.to_string()),
+            ("target_features", simd::detected_features()),
+            ("simd_kernel_speedups", simd_speedups.join(",")),
+            ("merge_tree_speedup", format!("{merge_speedup:.2}x")),
             (
                 "speedups",
                 pairs

@@ -7,16 +7,19 @@
 //! field multiplier sits idle most of the time. [`RowHashes`] fixes both for
 //! the batched ingest paths: a chunk of pre-aggregated distinct items is
 //! canonicalized **once**, and each row's polynomial is then evaluated over
-//! the whole chunk with four interleaved independent Horner chains
-//! ([`poly_eval4`]) — a structure-of-arrays pass whose outputs land in
-//! caller-owned reusable buffers, so steady-state ingest allocates nothing.
+//! the whole chunk eight points at a time through the dispatched vector
+//! kernel ([`simd::active_kernel`] — AVX2 lanes where the CPU has them, the
+//! interleaved-scalar Horner reference otherwise) — a structure-of-arrays
+//! pass whose outputs land in caller-owned reusable buffers, so steady-state
+//! ingest allocates nothing.
 //!
 //! Range reduction is division-free ([`reduce_range`]); sign hashes reuse
 //! the same pass and take the low bit of the field value, exactly like
 //! [`SignHash::sign`].
 
-use crate::field::{poly_eval, poly_eval4, M61Elem};
+use crate::field::{poly_eval, M61Elem};
 use crate::kwise::{reduce_range, KWiseHash, SignHash};
+use crate::simd;
 
 /// A reusable evaluation plan over one chunk of items.
 ///
@@ -57,13 +60,19 @@ impl RowHashes {
     }
 
     /// Evaluate `h`'s raw polynomial over the chunk and append `f(value)`
-    /// per item to `out` — the shared core of every row evaluation.
+    /// per item to `out` — the shared core of every row evaluation. The
+    /// polynomial runs [`simd::KERNEL_WIDTH`] points at a time on the
+    /// process's active vector kernel (AVX2 / portable lanes / interleaved
+    /// scalar — [`simd::active_kernel`]), with a scalar Horner tail;
+    /// bit-identical to per-item evaluation at every dispatch level.
     fn append_map<T>(&self, h: &KWiseHash, out: &mut Vec<T>, f: impl Fn(u64) -> T) {
         let coeffs = h.coeffs();
         out.reserve(self.canon.len());
-        let mut chunks = self.canon.chunks_exact(4);
-        for four in &mut chunks {
-            let a = poly_eval4(coeffs, [four[0], four[1], four[2], four[3]]);
+        let kernel = simd::active_kernel();
+        let mut chunks = self.canon.chunks_exact(simd::KERNEL_WIDTH);
+        for eight in &mut chunks {
+            let x: [M61Elem; simd::KERNEL_WIDTH] = std::array::from_fn(|i| eight[i]);
+            let a = kernel(coeffs, &x);
             out.extend(a.iter().map(|e| f(e.value())));
         }
         out.extend(

@@ -32,6 +32,14 @@ impl M61Elem {
         M61Elem(reduce_u128(x))
     }
 
+    /// Wrap a value already known to be canonical (`< 2^61 - 1`) without
+    /// re-reducing — the SIMD kernels' lane-extraction path.
+    #[inline]
+    pub(crate) fn from_canonical(x: u64) -> Self {
+        debug_assert!(x < M61, "non-canonical value {x}");
+        M61Elem(x)
+    }
+
     /// The canonical representative in `[0, 2^61 - 1)`.
     #[inline]
     pub fn value(self) -> u64 {
@@ -139,6 +147,9 @@ pub fn poly_eval(coeffs: &[M61Elem], x: M61Elem) -> M61Elem {
 /// Horner chains. The chains share coefficients but have no data dependence
 /// on each other, so the `mul → add` latency of one chain overlaps with the
 /// other three (the chunk-at-a-time ILP the batched hash engine is built on).
+/// This is also the *scalar reference kernel* of the vectorized engine: the
+/// [`simd`](crate::simd) dispatch tiers are all bit-identical to it, and
+/// `BD_SIMD=scalar` forces it end to end.
 #[inline]
 pub fn poly_eval4(coeffs: &[M61Elem], x: [M61Elem; 4]) -> [M61Elem; 4] {
     let mut acc = [M61Elem::ZERO; 4];

@@ -8,7 +8,8 @@
 //! bias `b/2^61` is the same class as the old final-modulus bias — far below
 //! every failure probability in the paper.
 
-use crate::field::{poly_eval, poly_eval4, M61Elem, M61};
+use crate::field::{poly_eval, M61Elem, M61};
+use crate::simd;
 use rand::Rng;
 
 /// Division-free range reduction of a field value `v ∈ [0, 2^61 − 1)` into
@@ -73,21 +74,19 @@ impl KWiseHash {
     }
 
     /// Evaluate the hash over a whole chunk of inputs into `out` (cleared
-    /// first), four independent Horner chains at a time. Bit-identical to
-    /// mapping [`KWiseHash::hash`] over `xs`; roughly 2× faster on long
-    /// polynomials because the chains' field multiplies overlap.
+    /// first), [`simd::KERNEL_WIDTH`] Horner chains at a time through the
+    /// process's active vector kernel ([`simd::active_kernel`] — AVX2 where
+    /// the CPU has it, the interleaved-scalar reference otherwise, forcible
+    /// via `BD_SIMD`). Bit-identical to mapping [`KWiseHash::hash`] over
+    /// `xs` at every dispatch level.
     pub fn hash_batch(&self, xs: &[u64], out: &mut Vec<u64>) {
         out.clear();
         out.reserve(xs.len());
-        let mut chunks = xs.chunks_exact(4);
-        for four in &mut chunks {
-            let x = [
-                M61Elem::new(four[0]),
-                M61Elem::new(four[1]),
-                M61Elem::new(four[2]),
-                M61Elem::new(four[3]),
-            ];
-            let a = poly_eval4(&self.coeffs, x);
+        let kernel = simd::active_kernel();
+        let mut chunks = xs.chunks_exact(simd::KERNEL_WIDTH);
+        for eight in &mut chunks {
+            let x: [M61Elem; simd::KERNEL_WIDTH] = std::array::from_fn(|i| M61Elem::new(eight[i]));
+            let a = kernel(&self.coeffs, &x);
             out.extend(a.iter().map(|e| reduce_range(e.value(), self.range)));
         }
         out.extend(chunks.remainder().iter().map(|&x| self.hash(x)));

@@ -4,7 +4,8 @@
 //! uses, and the Lemire reduction must agree with its own definition
 //! (`⌊v·range/2^61⌋`) while covering the full output support.
 
-use bd_hash::{reduce_range, KWiseHash, RowHashes, SignHash, M61};
+use bd_hash::field::poly_eval;
+use bd_hash::{reduce_range, simd, KWiseHash, M61Elem, RowHashes, SignHash, M61};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -68,6 +69,69 @@ fn row_plan_is_bit_identical_to_scalar() {
                         assert_eq!(buckets[r * m + idx], h.hash(x), "bucket k={k}");
                         assert_eq!(signs[r * m + idx], g.sign(x) >= 0, "sign k={k}");
                     }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn every_simd_kernel_matches_scalar_and_definition() {
+    // SIMD ≡ scalar ≡ definition: every kernel this machine offers (scalar,
+    // portable, AVX2 where detected) must agree bit-for-bit with the Horner
+    // definition, for every independence class the workspace uses, with
+    // adversarial (≥ 2^61, u64::MAX) points visiting every lane position —
+    // the sweep windows slide by one, so each value crosses every `÷ 4`
+    // lane remainder of both 4-lane groups.
+    let mut rng = StdRng::seed_from_u64(0x513d);
+    let raw: Vec<u64> = {
+        let mut v: Vec<u64> = vec![0, 1, M61 - 1, M61, M61 + 1, u64::MAX - 1, u64::MAX];
+        v.extend((0..61).map(|b| 1u64 << b));
+        v.extend((0..32).map(|_| rng.gen::<u64>()));
+        v
+    };
+    for k in [1usize, 2, 4, 8] {
+        let coeffs: Vec<M61Elem> = (0..k).map(|_| M61Elem::new(rng.gen())).collect();
+        for w in raw.windows(simd::KERNEL_WIDTH) {
+            let x: [M61Elem; simd::KERNEL_WIDTH] = std::array::from_fn(|i| M61Elem::new(w[i]));
+            let want: [M61Elem; simd::KERNEL_WIDTH] =
+                std::array::from_fn(|i| poly_eval(&coeffs, x[i]));
+            assert_eq!(
+                simd::poly_eval8_scalar(&coeffs, &x),
+                want,
+                "scalar kernel ≠ definition, k={k}"
+            );
+            for (name, kernel) in simd::kernels() {
+                assert_eq!(kernel(&coeffs, &x), want, "kernel={name} k={k}");
+            }
+        }
+    }
+}
+
+#[test]
+fn hash_batch_covers_every_kernel_tail_remainder() {
+    // Chunk lengths 0..=2·KERNEL_WIDTH+1 hit every `len % 8` (hence every
+    // `len % 4`) remainder, with adversarial values landing both in the
+    // vector body and in the scalar tail; ranges include 1 and
+    // non-powers-of-two.
+    let mut rng = StdRng::seed_from_u64(0x7a11);
+    let adversarial = [0u64, M61 - 1, M61, M61 + 1, u64::MAX];
+    for k in [1usize, 2, 4, 8] {
+        for range in [1u64, 13, 99_991, 1 << 40] {
+            let h = KWiseHash::new(&mut rng, k, range);
+            let mut out = Vec::new();
+            for len in 0..=(2 * simd::KERNEL_WIDTH + 1) {
+                let items: Vec<u64> = (0..len)
+                    .map(|i| adversarial[i % adversarial.len()].wrapping_sub(i as u64))
+                    .collect();
+                h.hash_batch(&items, &mut out);
+                assert_eq!(out.len(), len);
+                for (idx, &x) in items.iter().enumerate() {
+                    assert_eq!(
+                        out[idx],
+                        h.hash(x),
+                        "k={k} range={range} len={len} idx={idx}"
+                    );
                 }
             }
         }

@@ -29,6 +29,10 @@
 //!   query surface;
 //! * [`runner`] — [`StreamRunner`](runner::StreamRunner) and
 //!   [`RunReport`](runner::RunReport);
+//! * [`merge`] — [`merge_tree`](merge::merge_tree), the deterministic
+//!   pairwise parallel fold both engines use to combine worker sketches
+//!   (`⌈log₂ W⌉` rounds instead of `W − 1` serial merges), with per-round
+//!   accounting in [`MergeReport`](merge::MergeReport);
 //! * [`sharded`] — [`ShardedRunner`](sharded::ShardedRunner), the parallel
 //!   shard → sketch → merge ingestion engine over registry-built sketches;
 //! * [`service`] — [`StreamService`](service::StreamService), the long-lived
@@ -45,6 +49,7 @@
 //!   measurement behind every Figure 1 comparison.
 
 pub mod gen;
+pub mod merge;
 pub mod registry;
 pub mod runner;
 pub mod service;
@@ -55,6 +60,7 @@ pub mod spec;
 pub mod update;
 pub mod vector;
 
+pub use merge::{merge_tree, MergeReport};
 pub use registry::{
     BuildFn, Capabilities, DynSketch, FamilyInfo, Registry, RegistryError, SpaceInputs,
 };

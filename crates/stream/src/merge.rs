@@ -1,0 +1,191 @@
+//! Parallel tree-structured merge folds — the epoch-path half of scaling
+//! with the hardware.
+//!
+//! Both the [`ShardedRunner`](crate::sharded::ShardedRunner) and the
+//! [`StreamService`](crate::service::StreamService) used to fold their
+//! worker sketches with a *serial* left-to-right
+//! [`merge_dyn`](crate::registry::DynSketch::merge_dyn) loop — `W − 1`
+//! sequential merges, the bottleneck of the epoch path once worker counts
+//! grow. [`merge_tree`] replaces the fold with pairwise rounds: round `r`
+//! merges survivor `2i+1` into survivor `2i` (an odd last survivor passes
+//! through), every pair on its own [`std::thread::scope`] thread, so a
+//! `W`-way fold takes `⌈log₂ W⌉` rounds of concurrent merges instead of
+//! `W − 1` serial ones.
+//!
+//! **Why the result is unchanged.** The tree *shape* is a pure function of
+//! the part indices — no work stealing, no completion-order dependence — so
+//! a fold over the same parts is deterministic regardless of thread
+//! scheduling. For `merge_bitwise` families the merge is an associative
+//! counter/row add (integer-valued, so even `f64`-backed tables re-associate
+//! exactly), which makes the tree fold bit-identical to the left-to-right
+//! fold; sampling mergers (CSSS-style thinning) consume RNG draws per merge,
+//! so the tree reaches a different — but deterministic and distributionally
+//! equivalent — state, exactly the per-family contract `DESIGN.md §7`/`§10`
+//! documents and `tests/sharded.rs` pins (tree ≡ serial: bitwise under
+//! `merge_bitwise`, estimate-equal otherwise).
+//!
+//! Each fold reports its depth and per-round wall clock in a [`MergeReport`]
+//! (carried on [`ShardedRun`](crate::sharded::ShardedRun) and
+//! [`EpochReport`](crate::service::EpochReport)), so merge scaling is a
+//! measured quantity, not a guess.
+
+use crate::registry::{DynSketch, RegistryError};
+use std::time::{Duration, Instant};
+
+/// Per-round timing slots: 32 rounds cover a 2³²-way fold, far beyond any
+/// real worker count, while keeping the report `Copy`.
+const MAX_ROUNDS: usize = 32;
+
+/// Accounting for one tree fold: fan-in, depth, total and per-round wall
+/// clock. `Copy`, so the epoch reports that embed it stay `Copy`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MergeReport {
+    /// Number of parts folded (1 ⇒ nothing to merge, depth 0).
+    pub parts: usize,
+    /// Pairwise rounds run: `⌈log₂ parts⌉`.
+    pub depth: usize,
+    /// Wall clock of the whole fold.
+    pub elapsed: Duration,
+    rounds: [Duration; MAX_ROUNDS],
+}
+
+impl MergeReport {
+    /// Per-round wall clock, in round order (first round = widest).
+    pub fn rounds(&self) -> &[Duration] {
+        &self.rounds[..self.depth.min(MAX_ROUNDS)]
+    }
+
+    /// Total merge operations performed (`parts − 1` for a non-empty fold).
+    pub fn merges(&self) -> usize {
+        self.parts.saturating_sub(1)
+    }
+}
+
+/// Fold `parts` into one sketch with a deterministic pairwise tree.
+///
+/// Round structure: parts `(0,1), (2,3), …` merge concurrently (right into
+/// left); an unpaired last part survives to the next round unchanged;
+/// repeat until one sketch remains. Part 0's sketch is always the final
+/// survivor — the same identity the serial fold produced. Threads are only
+/// an execution vehicle: single-pair rounds run inline (no spawn for the
+/// last round of every fold, or for 2-way folds at all), and on machines
+/// without parallelism to offer (`available_parallelism() == 1`) every
+/// round runs inline — same tree, same merges, same result, no spawn cost.
+///
+/// # Panics
+/// Panics if `parts` is empty, or if a merge worker panics.
+pub fn merge_tree(
+    mut parts: Vec<Box<dyn DynSketch>>,
+) -> Result<(Box<dyn DynSketch>, MergeReport), RegistryError> {
+    assert!(!parts.is_empty(), "merge_tree needs at least one part");
+    let parallel = std::thread::available_parallelism()
+        .map(|p| p.get() > 1)
+        .unwrap_or(false);
+    let mut report = MergeReport {
+        parts: parts.len(),
+        ..Default::default()
+    };
+    let start = Instant::now();
+    while parts.len() > 1 {
+        let round_start = Instant::now();
+        let mut pairs: Vec<(Box<dyn DynSketch>, Box<dyn DynSketch>)> =
+            Vec::with_capacity(parts.len() / 2);
+        let mut odd = None;
+        let mut it = parts.drain(..);
+        while let Some(left) = it.next() {
+            match it.next() {
+                Some(right) => pairs.push((left, right)),
+                None => odd = Some(left),
+            }
+        }
+        drop(it);
+        let merged: Vec<Result<Box<dyn DynSketch>, RegistryError>> =
+            if pairs.len() == 1 || !parallel {
+                pairs
+                    .into_iter()
+                    .map(|(mut a, b)| a.merge_dyn(b.as_ref()).map(|()| a))
+                    .collect()
+            } else {
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = pairs
+                        .into_iter()
+                        .map(|(mut a, b)| scope.spawn(move || a.merge_dyn(b.as_ref()).map(|()| a)))
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("merge worker panicked"))
+                        .collect()
+                })
+            };
+        for m in merged {
+            parts.push(m?);
+        }
+        parts.extend(odd);
+        if report.depth < MAX_ROUNDS {
+            report.rounds[report.depth] = round_start.elapsed();
+        }
+        report.depth += 1;
+    }
+    report.elapsed = start.elapsed();
+    Ok((parts.pop().expect("one survivor"), report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{register_reference, Registry};
+    use crate::runner::StreamRunner;
+    use crate::spec::{SketchFamily, SketchSpec};
+    use crate::update::Update;
+
+    fn parts(n: usize) -> Vec<Box<dyn DynSketch>> {
+        let mut r = Registry::new();
+        register_reference(&mut r);
+        let spec = SketchSpec::new(SketchFamily::Exact).with_n(64).with_seed(9);
+        let mut sketches = r.build_n(&spec, n).unwrap();
+        for (i, sk) in sketches.iter_mut().enumerate() {
+            let ups: Vec<Update> = (0..10u64).map(|t| Update::new(t, 1 + i as i64)).collect();
+            StreamRunner::new().run_updates(&mut **sk, &ups);
+        }
+        sketches
+    }
+
+    fn serial_fold(mut ps: Vec<Box<dyn DynSketch>>) -> Box<dyn DynSketch> {
+        let mut acc = ps.remove(0);
+        for p in &ps {
+            acc.merge_dyn(p.as_ref()).unwrap();
+        }
+        acc
+    }
+
+    #[test]
+    fn tree_matches_serial_at_every_fanin() {
+        for n in [1usize, 2, 3, 4, 5, 7, 8, 13, 16] {
+            let want = serial_fold(parts(n));
+            let (got, rep) = merge_tree(parts(n)).unwrap();
+            assert_eq!(rep.parts, n);
+            assert_eq!(rep.depth, (n.max(1) as f64).log2().ceil() as usize);
+            assert_eq!(rep.merges(), n - 1);
+            assert_eq!(rep.rounds().len(), rep.depth);
+            let (p, q) = (got.as_point().unwrap(), want.as_point().unwrap());
+            for i in 0..64 {
+                assert_eq!(p.point(i).to_bits(), q.point(i).to_bits(), "n={n} item {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn depth_zero_for_single_part() {
+        let (got, rep) = merge_tree(parts(1)).unwrap();
+        assert_eq!(rep.depth, 0);
+        assert_eq!(rep.merges(), 0);
+        assert!(rep.rounds().is_empty());
+        assert_eq!(got.as_point().unwrap().point(3), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one part")]
+    fn empty_fold_panics() {
+        let _ = merge_tree(Vec::new());
+    }
+}

@@ -31,6 +31,10 @@ pub struct RunReport {
     pub elapsed: Duration,
     /// The sketch's space report after ingestion.
     pub space: SpaceReport,
+    /// Tree-fold depth of the merge that produced the reported sketch:
+    /// `⌈log₂ shards⌉` for a sharded pass, `0` for a plain sequential run
+    /// (nothing was merged).
+    pub merge_depth: usize,
 }
 
 impl RunReport {
@@ -61,6 +65,7 @@ impl RunReport {
             mass: self.mass + other.mass,
             elapsed: self.elapsed + other.elapsed,
             space: self.space.merge(other.space),
+            merge_depth: self.merge_depth.max(other.merge_depth),
         }
     }
 }
@@ -130,6 +135,7 @@ impl StreamRunner {
             mass: updates.iter().map(|u| u.magnitude()).sum(),
             elapsed,
             space: sketch.space(),
+            merge_depth: 0,
         }
     }
 

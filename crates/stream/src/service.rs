@@ -16,9 +16,12 @@
 //! 3. every [`ServiceConfig::epoch`] updates (or on demand) the service
 //!    *cuts an epoch*: it enqueues a snapshot command behind each worker's
 //!    pending batches, collects one [`DynSketch::clone_dyn`] per worker, and
-//!    folds the clones with [`DynSketch::merge_dyn`] in worker order into an
-//!    immutable [`Snapshot`] — while the workers' own sketches keep
-//!    ingesting the next epoch's batches.
+//!    folds the clones with the deterministic pairwise tree
+//!    ([`merge_tree`](crate::merge::merge_tree), `⌈log₂ W⌉` concurrent
+//!    rounds; shape fixed by worker index) into an immutable [`Snapshot`] —
+//!    while the workers' own sketches keep ingesting the next epoch's
+//!    batches. Fold depth and per-round timing land in
+//!    [`EpochReport::merge`].
 //!
 //! **Why snapshot ≡ replay holds.** A worker's clone is a faithful freeze of
 //! its sketch after exactly the updates dispatched before the cut (channel
@@ -38,6 +41,7 @@
 //! [`EpochReport`] carries the deletion-fraction / α accounting and the
 //! space watermark of the merged snapshot.
 
+use crate::merge::{merge_tree, MergeReport};
 use crate::registry::{DynSketch, Registry, RegistryError};
 use crate::runner::StreamRunner;
 use crate::space::SpaceReport;
@@ -189,6 +193,9 @@ pub struct EpochReport {
     pub elapsed: Duration,
     /// Wall clock of the clone-collect + merge fold alone.
     pub merge_elapsed: Duration,
+    /// The tree fold's accounting: fan-in, depth (`⌈log₂ threads⌉`), and
+    /// per-round wall clock.
+    pub merge: MergeReport,
     /// Worker count the snapshot was merged from.
     pub threads: usize,
 }
@@ -434,6 +441,7 @@ impl StreamService {
             space: SpaceReport::default(),
             elapsed: self.epoch_start.elapsed(),
             merge_elapsed: Duration::ZERO,
+            merge: MergeReport::default(),
             threads: self.config.threads,
         };
         self.inserted = 0;
@@ -463,22 +471,20 @@ impl StreamService {
         self.pending.push(PendingCut { replies, report });
     }
 
-    /// Collect one pending cut's clones and fold them into a snapshot.
+    /// Collect one pending cut's clones and fold them into a snapshot with
+    /// the deterministic pairwise tree (worker 0's clone is the survivor,
+    /// the same identity the serial fold produced).
     fn resolve(&self, cut: PendingCut) -> Snapshot {
-        let mut clones: Vec<Box<dyn DynSketch>> = cut
+        let clones: Vec<Box<dyn DynSketch>> = cut
             .replies
             .into_iter()
             .map(|rx| rx.recv().expect("service worker dropped a snapshot"))
             .collect();
-        let merge_start = Instant::now();
-        let mut merged = clones.remove(0);
-        for part in &clones {
-            merged
-                .merge_dyn(part.as_ref())
-                .expect("identically-built worker sketches must merge");
-        }
+        let (merged, merge) =
+            merge_tree(clones).expect("identically-built worker sketches must merge");
         let mut report = cut.report;
-        report.merge_elapsed = merge_start.elapsed();
+        report.merge_elapsed = merge.elapsed;
+        report.merge = merge;
         report.space = merged.space();
         Snapshot {
             sketch: merged,
@@ -586,6 +592,7 @@ impl StreamService {
             space: SpaceReport::default(),
             elapsed: self.epoch_start.elapsed(),
             merge_elapsed: Duration::ZERO,
+            merge: MergeReport::default(),
             threads: self.config.threads,
         };
         let replies: Vec<Receiver<Box<dyn DynSketch>>> = self

@@ -14,10 +14,13 @@
 //!    drives its copy over its contiguous chunk of the stream through the
 //!    shared [`StreamRunner`] (so per-shard ingestion gets the same batched
 //!    `update_batch` path as sequential ingestion);
-//! 3. the workers' sketches are folded left-to-right with
-//!    [`DynSketch::merge_dyn`]. The fold order is fixed by shard index, so a
-//!    sharded run is deterministic for a given `(spec, stream, threads)`
-//!    triple regardless of thread scheduling.
+//! 3. the workers' sketches are folded with a deterministic pairwise
+//!    *tree* ([`merge_tree`](crate::merge::merge_tree)): `⌈log₂ shards⌉`
+//!    rounds of concurrent [`DynSketch::merge_dyn`] pair merges instead of
+//!    `shards − 1` serial ones. The tree shape is fixed by shard index, so
+//!    a sharded run is deterministic for a given `(spec, stream, threads)`
+//!    triple regardless of thread scheduling; fold depth and per-round
+//!    timing land in [`ShardedRun::merge`].
 //!
 //! What "the merged sketch equals the sequential sketch" means is per-family
 //! (see `DESIGN.md §7`): families whose descriptor sets
@@ -33,6 +36,7 @@
 //! capability fails with [`RegistryError::NotMergeable`]; one shard degrades
 //! to a plain sequential run and is valid for every family.
 
+use crate::merge::{merge_tree, MergeReport};
 use crate::registry::{DynSketch, Registry, RegistryError};
 use crate::runner::{RunReport, StreamRunner};
 use crate::spec::SketchSpec;
@@ -52,6 +56,9 @@ pub struct ShardedRun {
     pub elapsed: Duration,
     /// Wall-clock time of the merge fold alone.
     pub merge_elapsed: Duration,
+    /// The tree fold's accounting: fan-in, depth (`⌈log₂ shards⌉`), and
+    /// per-round wall clock.
+    pub merge: MergeReport,
 }
 
 impl std::fmt::Debug for ShardedRun {
@@ -60,6 +67,7 @@ impl std::fmt::Debug for ShardedRun {
             .field("shards", &self.shards)
             .field("elapsed", &self.elapsed)
             .field("merge_elapsed", &self.merge_elapsed)
+            .field("merge", &self.merge)
             .finish_non_exhaustive()
     }
 }
@@ -82,6 +90,7 @@ impl ShardedRun {
             mass: self.shards.iter().map(|r| r.mass).sum(),
             elapsed: self.elapsed,
             space: self.sketch.space(),
+            merge_depth: self.merge.depth,
         }
     }
 }
@@ -158,7 +167,7 @@ impl ShardedRunner {
         let runner = self.runner;
 
         let start = Instant::now();
-        let mut results: Vec<(Box<dyn DynSketch>, RunReport)> = if shards == 1 {
+        let results: Vec<(Box<dyn DynSketch>, RunReport)> = if shards == 1 {
             let mut sk = sketches.pop().expect("build_n(1) returns one sketch");
             let report = runner.run_updates(&mut *sk, updates);
             vec![(sk, report)]
@@ -181,21 +190,16 @@ impl ShardedRunner {
             })
         };
 
-        let merge_start = Instant::now();
-        let (mut merged, first_report) = results.remove(0);
-        let mut shard_reports = vec![first_report];
-        for (part, report) in results {
-            merged.merge_dyn(part.as_ref())?;
-            shard_reports.push(report);
-        }
-        let merge_elapsed = merge_start.elapsed();
+        let (parts, shard_reports): (Vec<_>, Vec<_>) = results.into_iter().unzip();
+        let (merged, merge) = merge_tree(parts)?;
         let elapsed = start.elapsed();
 
         Ok(ShardedRun {
             sketch: merged,
             shards: shard_reports,
             elapsed,
-            merge_elapsed,
+            merge_elapsed: merge.elapsed,
+            merge,
         })
     }
 }

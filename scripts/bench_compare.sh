@@ -11,7 +11,8 @@
 # files are gated — that includes the `ingest_service` section, so a >20%
 # snapshot-overhead regression in the StreamService fails here. Dropped
 # measurements are never gated by the bin, so additionally assert the
-# service and hash sections cannot silently vanish from the bench.
+# sharded, service, hash (including the per-kernel SIMD rows), and merge
+# sections cannot silently vanish from the bench.
 
 set -eu
 cd "$(dirname "$0")/.."
@@ -23,15 +24,12 @@ cp BENCH_ingest.json "$BASELINE"
 
 cargo bench -p bd-bench --bench ingest
 
-if ! grep -q '"ingest_service/' BENCH_ingest.json; then
-    echo "bench_compare.sh: ingest_service section missing from BENCH_ingest.json" >&2
-    exit 1
-fi
-
-if ! grep -q '"hash/' BENCH_ingest.json; then
-    echo "bench_compare.sh: hash section missing from BENCH_ingest.json" >&2
-    exit 1
-fi
+for section in '"ingest_sharded/' '"ingest_service/' '"hash/' '"hash/simd_' '"merge/'; do
+    if ! grep -q "$section" BENCH_ingest.json; then
+        echo "bench_compare.sh: $section section missing from BENCH_ingest.json" >&2
+        exit 1
+    fi
+done
 
 cargo run --release -p bd-bench --bin bench_compare -- \
     "$BASELINE" BENCH_ingest.json "$TOLERANCE"

@@ -13,7 +13,7 @@
 
 mod common;
 
-use bd_stream::{RegistryError, ShardedRunner};
+use bd_stream::{merge_tree, RegistryError, ShardedRunner};
 use bounded_deletions::prelude::*;
 use common::{assert_probes_match, conformance_spec, probe, stream};
 
@@ -121,6 +121,54 @@ fn sharded_runs_replay_identically() {
                 &run_once(),
                 &run_once(),
                 true,
+            );
+        }
+    }
+}
+
+/// The tree fold both engines now use must agree with the serial
+/// left-to-right `merge_dyn` fold it replaced, for **every** mergeable
+/// family — bit-for-bit where the family claims `merge_bitwise`,
+/// estimate-equal otherwise — at fan-ins covering balanced trees, odd
+/// survivors, and the inline single-pair case.
+#[test]
+fn tree_fold_matches_serial_fold_for_every_mergeable_family() {
+    let s = stream(0x7E);
+    for info in registry().families() {
+        if !info.caps.mergeable {
+            continue;
+        }
+        let spec = conformance_spec(info.family);
+        for n in [2usize, 3, 5, 8] {
+            let build_parts = || {
+                let mut parts = registry().build_n(&spec, n).unwrap();
+                let per = s.len().div_ceil(n);
+                for (part, chunk) in parts.iter_mut().zip(s.updates.chunks(per)) {
+                    StreamRunner::new().run_updates(&mut **part, chunk);
+                }
+                parts
+            };
+            let mut serial = build_parts();
+            let mut acc = serial.remove(0);
+            for part in &serial {
+                acc.merge_dyn(part.as_ref())
+                    .unwrap_or_else(|e| panic!("{}: serial merge failed: {e}", info.family));
+            }
+            let (tree, rep) = merge_tree(build_parts())
+                .unwrap_or_else(|e| panic!("{}: tree merge failed: {e}", info.family));
+            assert_eq!(rep.parts, n, "{}: fan-in", info.family);
+            assert_eq!(
+                rep.depth,
+                (n as f64).log2().ceil() as usize,
+                "{}: tree depth at n={n}",
+                info.family
+            );
+            assert_eq!(rep.merges(), n - 1, "{}: merge count", info.family);
+            assert_probes_match(
+                &format!("{} (tree vs serial fold, n = {n})", info.family),
+                &probe(acc.as_ref()),
+                &probe(tree.as_ref()),
+                info.caps.merge_bitwise,
             );
         }
     }
