@@ -31,11 +31,14 @@ use bd_bench::registry;
 use bd_hash::{simd, M61Elem};
 use bd_stream::gen::BoundedDeletionGen;
 use bd_stream::{
-    merge_tree, DynSketch, ServiceConfig, ShardedRunner, SketchFamily, SketchSpec, StreamBatch,
-    StreamRunner, StreamService,
+    merge_tree, DynSketch, QueryClient, QueryServer, QueryView, Request, ServiceConfig,
+    ShardedRunner, SketchFamily, SketchSpec, StreamBatch, StreamRunner, StreamService,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 const N: u64 = 1 << 16;
 const MASS: u64 = 400_000;
@@ -418,6 +421,178 @@ fn main() {
     results.push(m_serial);
     results.push(m_tree);
 
+    // Query engine microsection: scalar vs batched point queries through a
+    // `QueryEngine` over a published epoch snapshot (the read side of
+    // `DESIGN.md §11`), plus the wait-free `SnapshotHandle::latest` clone
+    // itself. `scripts/bench_compare.sh` asserts the section exists.
+    const QUERY_K: usize = 1024;
+    println!("\nquery — scalar vs batched point queries on a published snapshot, k = {QUERY_K}\n");
+    let query_items: Vec<u64> = (0..QUERY_K as u64).map(|i| (i * 2654435761) % N).collect();
+    let mut query_pairs: Vec<(String, f64)> = Vec::new();
+    let mut final_handle = None;
+    let mut compare_query = |label: &str, spec: SketchSpec| {
+        let mut svc =
+            StreamService::start(registry(), &spec.with_seed(5), service_cfg).expect("servable");
+        let handle = svc.handle();
+        let mut snaps = svc.ingest(&stream.updates);
+        snaps.extend(svc.finish());
+        let engine = QueryView::from_snapshot(Arc::clone(snaps.last().expect("epochs"))).engine();
+        let scalar = micro::sample(
+            &format!("query/{label}/point_scalar_k{QUERY_K}"),
+            QUERY_K as u64,
+            SAMPLES,
+            WARMUP,
+            |_| {
+                let mut acc = 0u64;
+                for &i in &query_items {
+                    acc = acc.wrapping_add(engine.point(i).expect("point cap").to_bits());
+                }
+                std::hint::black_box(acc);
+            },
+        );
+        let mut out: Vec<f64> = Vec::new();
+        let batched = micro::sample(
+            &format!("query/{label}/point_batched_k{QUERY_K}"),
+            QUERY_K as u64,
+            SAMPLES,
+            WARMUP,
+            |_| {
+                engine
+                    .point_many(&query_items, &mut out)
+                    .expect("point cap");
+                std::hint::black_box(out.last().copied());
+            },
+        );
+        micro::report(&scalar);
+        micro::report(&batched);
+        let speedup = batched.ops_per_sec / scalar.ops_per_sec;
+        println!("  {label:<44} {speedup:>10.2}x batched query speedup\n");
+        query_pairs.push((label.to_string(), speedup));
+        results.push(scalar);
+        results.push(batched);
+        final_handle = Some(handle);
+    };
+    compare_query("countsketch", base);
+    compare_query("csss", base.with_family(SketchFamily::Csss).with_k(16));
+    // The publication read path in isolation: one wait-free `latest()` —
+    // two SeqCst RMWs, one load, one Arc strong-count bump — per op.
+    let handle = final_handle.expect("at least one query family ran");
+    let m_latest = micro::sample("query/latest_clone", 1 << 16, SAMPLES, WARMUP, |_| {
+        for _ in 0..(1 << 16) {
+            std::hint::black_box(handle.latest().expect("published").stamp());
+        }
+    });
+    micro::report(&m_latest);
+    println!();
+    results.push(m_latest);
+
+    // Serve microsection: the TCP front-end under load while ingestion
+    // runs. A background service replays the workload continuously (epoch
+    // cuts keep publishing); one reader measures request latency, then
+    // `SERVE_READERS` concurrent readers measure aggregate QPS, with
+    // per-request latency percentiles recorded from the timed samples.
+    const SERVE_READERS: usize = 4;
+    const SERVE_REQS: usize = 100;
+    const SERVE_BATCH: usize = 16;
+    println!(
+        "\nserve — TCP point queries during live ingestion \
+         ({SERVE_READERS} readers x {SERVE_REQS} requests, batch {SERVE_BATCH})\n"
+    );
+    let serve_stop = Arc::new(AtomicBool::new(false));
+    let (serve_addr, ingest_thread) = {
+        let mut svc = StreamService::start(registry(), &base.with_seed(9), service_cfg)
+            .expect("servable spec");
+        let server_handle = svc.handle();
+        let server = QueryServer::bind("127.0.0.1:0", server_handle.clone()).expect("bind");
+        let addr = server.local_addr();
+        let stop = Arc::clone(&serve_stop);
+        let updates = stream.updates.clone();
+        let t = std::thread::spawn(move || {
+            'replay: loop {
+                for chunk in updates.chunks(service_cfg.chunk.max(1)) {
+                    if stop.load(SeqCst) {
+                        break 'replay;
+                    }
+                    std::hint::black_box(svc.ingest(chunk).len());
+                }
+            }
+            svc.finish();
+            server.join();
+        });
+        // Wait for the first published epoch so every timed request below
+        // races live ingestion rather than the empty hub.
+        while server_handle.latest().is_none() {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        (addr, t)
+    };
+    let mut client = QueryClient::connect(serve_addr).expect("connect");
+    let m_serve_1 = micro::sample(
+        "serve/point_roundtrip_r1",
+        SERVE_REQS as u64,
+        SAMPLES,
+        WARMUP,
+        |_| {
+            for &i in query_items.iter().take(SERVE_REQS) {
+                std::hint::black_box(client.request(&Request::Point { item: i }).expect("answer"));
+            }
+        },
+    );
+    micro::report(&m_serve_1);
+    results.push(m_serve_1);
+    let serve_lat_ns: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+    let m_serve_n = micro::sample(
+        &format!("serve/point_batch_roundtrip_r{SERVE_READERS}"),
+        (SERVE_READERS * SERVE_REQS) as u64,
+        SAMPLES,
+        WARMUP,
+        |s| {
+            std::thread::scope(|scope| {
+                for r in 0..SERVE_READERS {
+                    let (items, lat_sink) = (&query_items, &serve_lat_ns);
+                    scope.spawn(move || {
+                        let mut c = QueryClient::connect(serve_addr).expect("connect");
+                        let mut lats = Vec::with_capacity(SERVE_REQS);
+                        for j in 0..SERVE_REQS {
+                            let at = (r * SERVE_REQS + j * 7) % (items.len() - SERVE_BATCH);
+                            let req = Request::PointBatch {
+                                items: items[at..at + SERVE_BATCH].to_vec(),
+                            };
+                            let t0 = Instant::now();
+                            std::hint::black_box(c.request(&req).expect("answer"));
+                            lats.push(t0.elapsed().as_nanos() as u64);
+                        }
+                        // Percentiles come from timed samples only.
+                        if s >= WARMUP {
+                            lat_sink.lock().unwrap().extend(lats);
+                        }
+                    });
+                }
+            });
+        },
+    );
+    micro::report(&m_serve_n);
+    results.push(m_serve_n);
+    drop(client);
+    serve_stop.store(true, SeqCst);
+    ingest_thread.join().expect("serve ingest thread");
+    let serve_latency_us = {
+        let mut lat = serve_lat_ns.into_inner().unwrap();
+        lat.sort_unstable();
+        let pct = |q: f64| lat[((lat.len() - 1) as f64 * q).round() as usize] as f64 / 1e3;
+        format!(
+            "p50={:.1},p95={:.1},p99={:.1}",
+            pct(0.50),
+            pct(0.95),
+            pct(0.99)
+        )
+    };
+    println!(
+        "  concurrent batched-read latency (us): {serve_latency_us} \
+         at {:.0} req/s aggregate\n",
+        results.last().unwrap().ops_per_sec
+    );
+
     let json = micro::to_json(
         &[
             ("bench", "ingest".to_string()),
@@ -455,6 +630,16 @@ fn main() {
                     .collect::<Vec<_>>()
                     .join(","),
             ),
+            (
+                "query_batch_speedups",
+                query_pairs
+                    .iter()
+                    .map(|(n, s)| format!("{n}={s:.2}x"))
+                    .collect::<Vec<_>>()
+                    .join(","),
+            ),
+            ("serve_readers", SERVE_READERS.to_string()),
+            ("serve_latency_us", serve_latency_us),
         ],
         &results,
     );

@@ -21,6 +21,13 @@
 
 use std::process::ExitCode;
 
+/// Sections reported but never throughput-gated: TCP round-trip rows
+/// measure wall-clock socket latency while ingestion and epoch merges run
+/// concurrently, so run-to-run medians swing far beyond the code-change
+/// tolerance on the same binary. `scripts/bench_compare.sh` still asserts
+/// the section exists, so serve coverage cannot silently vanish.
+const UNGATED_PREFIXES: &[&str] = &["serve/"];
+
 /// Extract `(name, updates_per_sec)` pairs from a `micro::to_json` document.
 fn parse_measurements(json: &str) -> Vec<(String, f64)> {
     let mut out = Vec::new();
@@ -131,7 +138,10 @@ fn main() -> ExitCode {
                     Some((bc, cc)) => (new_ups / cc) / (base_ups / bc),
                     None => new_ups / base_ups,
                 };
-                let flag = if ratio < 1.0 - tolerance {
+                let ungated = UNGATED_PREFIXES.iter().any(|p| name.starts_with(p));
+                let flag = if ungated {
+                    "  (latency row — not gated)"
+                } else if ratio < 1.0 - tolerance {
                     regressions += 1;
                     "  << REGRESSION"
                 } else {

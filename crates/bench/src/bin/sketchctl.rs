@@ -9,11 +9,23 @@
 //!                                         threaded sharded ingest + merge
 //!                                         (mergeable families; default N=4)
 //! sketchctl serve  --spec <spec> [--epoch N] [--threads N] [--chunk N]
-//!                  [--service service:epoch=..,threads=..] [workload]
+//!                  [--service service:epoch=..,threads=..]
+//!                  [--listen ADDR] [workload]
 //!                                         long-lived StreamService: epoch
 //!                                         snapshots while ingestion runs,
 //!                                         each verified against a
-//!                                         sequential run of its prefix
+//!                                         sequential run of its prefix;
+//!                                         with --listen, a TCP query
+//!                                         front-end serves the published
+//!                                         snapshots while the workload
+//!                                         replays until a client sends
+//!                                         Shutdown
+//! sketchctl loadgen --addr ADDR [--readers N] [--requests N] [--batch K]
+//!                  [--universe N] [--shutdown]
+//!                                         concurrent wire-protocol readers
+//!                                         against a serve --listen server:
+//!                                         QPS, p50/p95/p99 latency, and
+//!                                         batch ≡ scalar verification
 //! ```
 //!
 //! Examples:
@@ -44,21 +56,40 @@
 //! point/norm answers against a sequential one-shot run over the same
 //! stream prefix (bit-identical for `merge_bitwise` families, within the
 //! float-association tolerance otherwise; `DESIGN.md §8`).
+//!
+//! `serve --listen ADDR` swaps prefix verification for a live TCP query
+//! front-end (`bd_stream::QueryServer`, `DESIGN.md §11`): every epoch cut
+//! is published through the lock-free `SnapshotHub` and the workload
+//! replays continuously (replaying a bounded-deletion stream preserves its
+//! realized α) so readers always race live ingestion. The process prints
+//! `listening on <addr>` (ephemeral ports resolve here) and runs until a
+//! client sends `Shutdown` — `loadgen --shutdown` does.
+//!
+//! `loadgen` is the matching client: N reader threads, each with its own
+//! connection, cycling point / batched-point / heavy-hitters / report
+//! requests, measuring per-request latency and verifying that batched
+//! answers match scalar answers bit-for-bit whenever both responses carry
+//! the same epoch stamp.
 
 use bd_bench::workload;
 use bd_bench::{fmt_bits, registry, Table};
 use bd_stream::{
-    DynSketch, EpochReport, FrequencyVector, SampleOutcome, ServiceConfig, ShardedRunner,
-    SketchSpec, StreamBatch, StreamRunner, StreamService,
+    DynSketch, EpochReport, ErrorCode, FrequencyVector, QueryClient, QueryServer, Request,
+    Response, SampleOutcome, ServiceConfig, ShardedRunner, SketchSpec, StreamBatch, StreamRunner,
+    StreamService,
 };
+use std::io::Write as _;
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: sketchctl <families|workloads|parse <spec>|run <spec> [workload]|\
          shard [--threads N] <spec> [workload]|\
          serve --spec <spec> [--epoch N] [--threads N] [--chunk N] \
-         [--service <cfg>] [workload]>"
+         [--service <cfg>] [--listen ADDR] [workload]|\
+         loadgen --addr ADDR [--readers N] [--requests N] [--batch K] \
+         [--universe N] [--shutdown]>"
     );
     ExitCode::FAILURE
 }
@@ -109,6 +140,7 @@ fn main() -> ExitCode {
             let mut cfg = ServiceConfig::default();
             let (mut epoch, mut threads, mut chunk) = (None, None, None);
             let mut spec_str: Option<&str> = None;
+            let mut listen: Option<&str> = None;
             let mut positional: Vec<&str> = Vec::new();
             let mut rest = args[1..].iter();
             let parse_flag = |flag: &str, v: Option<&String>| -> Option<u64> {
@@ -131,6 +163,10 @@ fn main() -> ExitCode {
                     },
                     "--spec" => match rest.next() {
                         Some(s) => spec_str = Some(s),
+                        None => return usage(),
+                    },
+                    "--listen" => match rest.next() {
+                        Some(s) => listen = Some(s),
                         None => return usage(),
                     },
                     "--epoch" | "-e" => match parse_flag("--epoch", rest.next()) {
@@ -157,7 +193,66 @@ fn main() -> ExitCode {
                 (None, [s, rest @ ..]) => (*s, rest.first().copied()),
                 (None, []) => return usage(),
             };
-            serve(spec, wl, cfg)
+            match listen {
+                Some(addr) => serve_listen(spec, wl, cfg, addr),
+                None => serve(spec, wl, cfg),
+            }
+        }
+        Some("loadgen") => {
+            let mut addr: Option<&str> = None;
+            let (mut readers, mut requests, mut batch) = (4usize, 400usize, 16usize);
+            let mut universe = 1u64 << 16;
+            let mut shutdown = false;
+            let mut rest = args[1..].iter();
+            let parse_flag = |flag: &str, v: Option<&String>| -> Option<u64> {
+                match v.and_then(|v| v.parse::<u64>().ok()) {
+                    Some(x) if x >= 1 => Some(x),
+                    _ => {
+                        eprintln!("{flag} expects a positive integer");
+                        None
+                    }
+                }
+            };
+            while let Some(arg) = rest.next() {
+                match arg.as_str() {
+                    "--addr" | "-a" => match rest.next() {
+                        Some(s) => addr = Some(s),
+                        None => return usage(),
+                    },
+                    "--readers" | "-r" => match parse_flag("--readers", rest.next()) {
+                        Some(x) => readers = x as usize,
+                        None => return usage(),
+                    },
+                    "--requests" | "-n" => match parse_flag("--requests", rest.next()) {
+                        Some(x) => requests = x as usize,
+                        None => return usage(),
+                    },
+                    "--batch" | "-b" => match parse_flag("--batch", rest.next()) {
+                        Some(x) => batch = x as usize,
+                        None => return usage(),
+                    },
+                    "--universe" | "-u" => match parse_flag("--universe", rest.next()) {
+                        Some(x) => universe = x,
+                        None => return usage(),
+                    },
+                    "--shutdown" => shutdown = true,
+                    _ => return usage(),
+                }
+            }
+            match addr {
+                Some(a) => loadgen(
+                    a,
+                    readers.clamp(1, 256),
+                    requests,
+                    batch,
+                    universe,
+                    shutdown,
+                ),
+                None => {
+                    eprintln!("loadgen requires --addr HOST:PORT");
+                    usage()
+                }
+            }
         }
         _ => usage(),
     }
@@ -569,5 +664,278 @@ fn serve(spec_str: &str, wl: Option<&str>, cfg: ServiceConfig) -> ExitCode {
     if !ok {
         return ExitCode::FAILURE;
     }
+    ExitCode::SUCCESS
+}
+
+/// `serve --listen`: the same `StreamService` ingestion loop with a TCP
+/// query front-end attached. Every epoch cut is published through the
+/// service's `SnapshotHub`; the generated workload replays continuously
+/// (replaying a bounded-deletion stream scales `f`, `I`, and `D` by the
+/// same factor, so the realized α is preserved) until a client sends
+/// `Shutdown`. Prints `listening on <addr>` so scripts binding port 0 can
+/// learn the resolved address.
+fn serve_listen(spec_str: &str, wl: Option<&str>, cfg: ServiceConfig, addr: &str) -> ExitCode {
+    let spec: SketchSpec = match spec_str.parse() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let wl = wl.map(str::to_string).unwrap_or_else(|| {
+        format!(
+            "bounded:n={},mass={},alpha={},seed=1",
+            spec.n,
+            200_000u64.max(3 * cfg.epoch),
+            spec.alpha
+        )
+    });
+    let stream = match workload::generate(&wl) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if stream.updates.is_empty() {
+        eprintln!("workload generated no updates — nothing to serve");
+        return ExitCode::FAILURE;
+    }
+    let mut svc = match StreamService::start(registry(), &spec, cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("service failed to start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let server = match QueryServer::bind(addr, svc.handle()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("failed to bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "spec     {spec}\nservice  {cfg}\nworkload {} updates over n = {} per pass \
+         (epoch boundary every {} updates)",
+        stream.len(),
+        stream.n,
+        cfg.epoch
+    );
+    println!("listening on {}", server.local_addr());
+    let _ = std::io::stdout().flush();
+    let chunk = cfg.chunk.max(1);
+    let (mut passes, mut epochs, mut total) = (0u64, 0usize, 0u64);
+    'ingest: loop {
+        for batch in stream.updates.chunks(chunk) {
+            if server.stop_requested() {
+                break 'ingest;
+            }
+            epochs += svc.ingest(batch).len();
+            total += batch.len() as u64;
+        }
+        passes += 1;
+    }
+    if svc.finish().is_some() {
+        epochs += 1;
+    }
+    server.join();
+    println!(
+        "shutdown after {passes} full workload pass(es): {total} updates ingested, \
+         {epochs} epoch snapshot(s) published"
+    );
+    ExitCode::SUCCESS
+}
+
+/// Xorshift-style step for loadgen's query-item choice — cheap, seeded per
+/// reader, and deliberately not a crate dependency.
+fn lcg_next(state: &mut u64, m: u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    (*state >> 11) % m.max(1)
+}
+
+/// Per-reader loadgen outcome: request latencies plus how many batched
+/// answers were verified bit-for-bit against a same-stamp scalar answer.
+struct ReaderStats {
+    latencies: Vec<Duration>,
+    verified: usize,
+}
+
+/// One loadgen reader: its own connection, cycling point / batched-point /
+/// heavy-hitters / report requests. Every response must be well-formed;
+/// `Unsupported` errors are legitimate (family capabilities differ), a
+/// `NoSnapshot` after the warm-up barrier is not (publication is monotone).
+fn loadgen_reader(
+    addr: &str,
+    id: usize,
+    requests: usize,
+    batch: usize,
+    universe: u64,
+) -> Result<ReaderStats, String> {
+    let err = |stage: &str, e: std::io::Error| format!("reader {id}: {stage}: {e}");
+    let mut client = QueryClient::connect(addr).map_err(|e| err("connect", e))?;
+    // Warm-up barrier: wait until the service has published its first
+    // epoch so every timed request below races live ingestion, not the
+    // empty hub.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match client
+            .request(&Request::Report)
+            .map_err(|e| err("warm-up report", e))?
+        {
+            Response::Report(_) => break,
+            Response::Error {
+                code: ErrorCode::NoSnapshot,
+                ..
+            } => {
+                if Instant::now() > deadline {
+                    return Err(format!("reader {id}: no snapshot published within 10s"));
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            other => return Err(format!("reader {id}: unexpected warm-up answer {other:?}")),
+        }
+    }
+    let mut state = 0x9E3779B97F4A7C15u64 ^ (id as u64).wrapping_mul(0xA24BAED4963EE407);
+    let mut latencies = Vec::with_capacity(requests);
+    let mut verified = 0usize;
+    for r in 0..requests {
+        let req = match r % 8 {
+            7 => Request::Report,
+            6 => Request::HeavyHitters { threshold: 1.0 },
+            k if k % 2 == 0 => Request::PointBatch {
+                items: (0..batch.max(1))
+                    .map(|_| lcg_next(&mut state, universe))
+                    .collect(),
+            },
+            _ => Request::Point {
+                item: lcg_next(&mut state, universe),
+            },
+        };
+        let t0 = Instant::now();
+        let resp = client.request(&req).map_err(|e| err("request", e))?;
+        latencies.push(t0.elapsed());
+        if let Response::Error { code, message } = &resp {
+            if *code == ErrorCode::NoSnapshot {
+                return Err(format!(
+                    "reader {id}: NoSnapshot after warm-up — publication went backwards \
+                     ({message})"
+                ));
+            }
+            continue; // Unsupported et al.: legitimate per-family answers.
+        }
+        // Batched ≡ scalar spot check: re-ask for the batch's first item
+        // through the scalar path (untimed) and compare bit-for-bit when
+        // both answers come from the same epoch.
+        if let (Request::PointBatch { items }, Response::Points { stamp, estimates }) =
+            (&req, &resp)
+        {
+            let follow = client
+                .request(&Request::Point { item: items[0] })
+                .map_err(|e| err("verify point", e))?;
+            if let Response::Point {
+                stamp: s2,
+                estimate,
+            } = follow
+            {
+                if *stamp == s2 {
+                    if estimates[0].to_bits() != estimate.to_bits() {
+                        return Err(format!(
+                            "reader {id}: batch/scalar mismatch on item {} at stamp {stamp}: \
+                             {} vs {estimate}",
+                            items[0], estimates[0]
+                        ));
+                    }
+                    verified += 1;
+                }
+            }
+        }
+    }
+    Ok(ReaderStats {
+        latencies,
+        verified,
+    })
+}
+
+/// Sorted-latency percentile (nearest-rank on the rounded index).
+fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+/// Drive `--readers` concurrent wire-protocol readers against a
+/// `serve --listen` server and report QPS + latency percentiles; with
+/// `--shutdown`, finish by asking the server to stop.
+fn loadgen(
+    addr: &str,
+    readers: usize,
+    requests: usize,
+    batch: usize,
+    universe: u64,
+    shutdown: bool,
+) -> ExitCode {
+    println!(
+        "loadgen  {readers} reader(s) x {requests} requests against {addr} \
+         (batch {batch}, universe {universe})"
+    );
+    let t0 = Instant::now();
+    let outcomes: Vec<Result<ReaderStats, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..readers)
+            .map(|id| scope.spawn(move || loadgen_reader(addr, id, requests, batch, universe)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("loadgen reader panicked"))
+            .collect()
+    });
+    let wall = t0.elapsed();
+    let mut latencies = Vec::new();
+    let mut verified = 0usize;
+    let mut failed = false;
+    for outcome in outcomes {
+        match outcome {
+            Ok(stats) => {
+                latencies.extend(stats.latencies);
+                verified += stats.verified;
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                failed = true;
+            }
+        }
+    }
+    if shutdown {
+        match QueryClient::connect(addr).and_then(|mut c| c.request(&Request::Shutdown)) {
+            Ok(Response::ShutdownAck) => println!("server acknowledged shutdown"),
+            Ok(other) => {
+                eprintln!("unexpected shutdown answer {other:?}");
+                failed = true;
+            }
+            Err(e) => {
+                eprintln!("shutdown request failed: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        return ExitCode::FAILURE;
+    }
+    latencies.sort_unstable();
+    let total = latencies.len();
+    println!(
+        "served   {total} timed requests in {:.2} s  ->  {:.0} req/s aggregate",
+        wall.as_secs_f64(),
+        total as f64 / wall.as_secs_f64()
+    );
+    println!(
+        "latency  p50 {:>7.1} us  p95 {:>7.1} us  p99 {:>7.1} us  max {:>7.1} us",
+        percentile(&latencies, 0.50).as_secs_f64() * 1e6,
+        percentile(&latencies, 0.95).as_secs_f64() * 1e6,
+        percentile(&latencies, 0.99).as_secs_f64() * 1e6,
+        latencies[total - 1].as_secs_f64() * 1e6
+    );
+    println!("verified {verified} batched answer(s) bit-identical to same-stamp scalar answers");
     ExitCode::SUCCESS
 }

@@ -18,7 +18,9 @@
 
 use crate::binomial::{bin_half, bin_pow2};
 use bd_hash::RowHashes;
-use bd_stream::{BatchScratch, Mergeable, PointQuery, Sketch, SpaceReport, SpaceUsage, Update};
+use bd_stream::{
+    BatchScratch, Mergeable, PointQuery, PointQueryBatch, Sketch, SpaceReport, SpaceUsage, Update,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -302,6 +304,37 @@ impl Csss {
         }
     }
 
+    /// [`Csss::estimate_many`] without the sketch-resident scratch: the hash
+    /// plan and row buffers are call-local, so the receiver is shared
+    /// (`&self`) and any number of reader threads can batch-query one
+    /// snapshot concurrently. Appends to `out` (does not clear it); each
+    /// appended value is bit-identical to the corresponding
+    /// [`Csss::estimate`] call.
+    pub fn estimate_many_shared(&self, items: &[u64], out: &mut Vec<f64>) {
+        let mut plan = RowHashes::default();
+        plan.load(items.iter().copied());
+        let mut buckets = Vec::new();
+        let mut signs = Vec::new();
+        for row in self.rows.iter() {
+            plan.append_buckets(&row.h, &mut buckets);
+            plan.append_signs(&row.g, &mut signs);
+        }
+        let m = items.len();
+        let scale = self.scale();
+        let mut ests = Vec::with_capacity(self.rows.len());
+        out.reserve(m);
+        for idx in 0..m {
+            ests.clear();
+            for (r, row) in self.rows.iter().enumerate() {
+                let b = buckets[r * m + idx] as usize;
+                let raw = row.pos[b] as f64 - row.neg[b] as f64;
+                let signed = if signs[r * m + idx] { raw } else { -raw };
+                ests.push(signed * scale);
+            }
+            out.push(bd_sketch::median_f64(&mut ests));
+        }
+    }
+
     /// `‖row residual‖₂` after subtracting a sparse vector `yhat` from the
     /// row's scaled sketch — the "feed `−ŷ` into CSSS₂" step of Lemma 5,
     /// computed without mutating the structure.
@@ -368,6 +401,12 @@ impl Sketch for Csss {
 impl PointQuery for Csss {
     fn point(&self, item: u64) -> f64 {
         self.estimate(item)
+    }
+}
+
+impl PointQueryBatch for Csss {
+    fn point_many(&self, items: &[u64], out: &mut Vec<f64>) {
+        self.estimate_many_shared(items, out);
     }
 }
 

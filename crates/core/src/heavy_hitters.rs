@@ -16,7 +16,8 @@ use crate::csss::Csss;
 use crate::params::Params;
 use bd_sketch::{CandidateSet, MedianL1};
 use bd_stream::{
-    BatchScratch, Mergeable, NormEstimate, PointQuery, Sketch, SpaceReport, SpaceUsage, Update,
+    BatchScratch, Mergeable, NormEstimate, PointQuery, PointQueryBatch, Sketch, SpaceReport,
+    SpaceUsage, Update,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -167,6 +168,14 @@ impl Sketch for AlphaHeavyHitters {
 impl PointQuery for AlphaHeavyHitters {
     fn point(&self, item: u64) -> f64 {
         self.estimate(item)
+    }
+}
+
+impl PointQueryBatch for AlphaHeavyHitters {
+    /// Point queries go straight to the CSSS core, so the batch path is its
+    /// shared (call-local scratch) batched hash pass.
+    fn point_many(&self, items: &[u64], out: &mut Vec<f64>) {
+        self.csss.estimate_many_shared(items, out);
     }
 }
 

@@ -49,9 +49,9 @@ impl SupportQuery for AlphaSupportSamplerSet {
     }
 }
 
-impl_dyn_sketch!(Csss, point, merge);
+impl_dyn_sketch!(Csss, point, point_batch, merge);
 impl_dyn_sketch!(SampledVector, point, norm, merge);
-impl_dyn_sketch!(AlphaHeavyHitters, point, norm, merge);
+impl_dyn_sketch!(AlphaHeavyHitters, point, point_batch, norm, merge);
 impl_dyn_sketch!(AlphaL1Sampler, sample, merge);
 impl_dyn_sketch!(AlphaL1SamplerInstance, sample, merge);
 impl_dyn_sketch!(AlphaL1Estimator, norm);
@@ -110,6 +110,7 @@ pub fn register(reg: &mut Registry) {
             summary: "CSSS sampled Countsketch (Figure 2, Theorem 1)",
             caps: Capabilities {
                 point: true,
+                point_batch: true,
                 mergeable: true,
                 batch_bitwise: true,
                 linear: true,
@@ -164,6 +165,7 @@ pub fn register(reg: &mut Registry) {
             summary: "α heavy hitters, strict turnstile (Theorem 4)",
             caps: Capabilities {
                 point: true,
+                point_batch: true,
                 norm: true,
                 // CSSS merge + exact net-counter addition + candidate union
                 // (statistical in the thinning regime, like CSSS itself).
@@ -192,6 +194,7 @@ pub fn register(reg: &mut Registry) {
             summary: "α heavy hitters, general turnstile (Theorem 3)",
             caps: Capabilities {
                 point: true,
+                point_batch: true,
                 norm: true,
                 // As the strict variant, plus the Cauchy L1 tracker's
                 // row-wise (estimate-equal) float merge.

@@ -8,7 +8,8 @@
 
 use bd_hash::RowHashes;
 use bd_stream::{
-    BatchScratch, MaxMag, Mergeable, PointQuery, Sketch, SpaceReport, SpaceUsage, Update,
+    BatchScratch, MaxMag, Mergeable, PointQuery, PointQueryBatch, Sketch, SpaceReport, SpaceUsage,
+    Update,
 };
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -140,6 +141,30 @@ impl Sketch for CountMin {
 impl PointQuery for CountMin {
     fn point(&self, item: u64) -> f64 {
         self.estimate(item) as f64
+    }
+}
+
+impl PointQueryBatch for CountMin {
+    /// Every row's pairwise polynomial is evaluated over the whole query set
+    /// in one interleaved-Horner pass (call-local plan, receiver stays
+    /// shared), then each item takes its min over rows. Bit-identical per
+    /// item to [`CountMin::estimate`] (`min` over `i64` is order-free).
+    fn point_many(&self, items: &[u64], out: &mut Vec<f64>) {
+        let mut plan = RowHashes::default();
+        plan.load(items.iter().copied());
+        let mut buckets = Vec::new();
+        for r in 0..self.depth {
+            plan.append_buckets(&self.hashes[r], &mut buckets);
+        }
+        let m = items.len();
+        out.reserve(m);
+        for idx in 0..m {
+            let est = (0..self.depth)
+                .map(|r| self.table[r * self.width + buckets[r * m + idx] as usize])
+                .min()
+                .expect("depth >= 1");
+            out.push(est as f64);
+        }
     }
 }
 

@@ -11,7 +11,8 @@
 use crate::weight::{median_f64, Weight};
 use bd_hash::RowHashes;
 use bd_stream::{
-    BatchScratch, MaxMag, Mergeable, PointQuery, Sketch, SpaceReport, SpaceUsage, Update,
+    BatchScratch, MaxMag, Mergeable, PointQuery, PointQueryBatch, Sketch, SpaceReport, SpaceUsage,
+    Update,
 };
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -195,6 +196,35 @@ impl<W: Weight> Sketch for CountSketch<W> {
 impl<W: Weight> PointQuery for CountSketch<W> {
     fn point(&self, item: u64) -> f64 {
         self.estimate(item)
+    }
+}
+
+impl<W: Weight> PointQueryBatch for CountSketch<W> {
+    /// Every row's bucket and sign polynomials are evaluated over the whole
+    /// query set in one interleaved-Horner pass (call-local plan, so the
+    /// receiver stays shared); each item's median-of-rows is then read out
+    /// of the row-major buffers. Bit-identical per item to
+    /// [`CountSketch::estimate`].
+    fn point_many(&self, items: &[u64], out: &mut Vec<f64>) {
+        let mut plan = RowHashes::default();
+        plan.load(items.iter().copied());
+        let mut buckets = Vec::new();
+        let mut signs = Vec::new();
+        for r in 0..self.depth {
+            plan.append_buckets(&self.bucket_hashes[r], &mut buckets);
+            plan.append_signs(&self.sign_hashes[r], &mut signs);
+        }
+        let m = items.len();
+        let mut ests = Vec::with_capacity(self.depth);
+        out.reserve(m);
+        for idx in 0..m {
+            ests.clear();
+            for r in 0..self.depth {
+                let v = self.table[r * self.width + buckets[r * m + idx] as usize].to_f64();
+                ests.push(if signs[r * m + idx] { v } else { -v });
+            }
+            out.push(median_f64(&mut ests));
+        }
     }
 }
 

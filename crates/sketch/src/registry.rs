@@ -79,8 +79,8 @@ impl SupportQuery for SparseRecovery {
     }
 }
 
-impl_dyn_sketch!(CountSketch<i64>, point, merge);
-impl_dyn_sketch!(CountMin, point, merge);
+impl_dyn_sketch!(CountSketch<i64>, point, point_batch, merge);
+impl_dyn_sketch!(CountMin, point, point_batch, merge);
 impl_dyn_sketch!(AmsSketch, norm, merge);
 impl_dyn_sketch!(IpCountSketch, norm, merge);
 impl_dyn_sketch!(LogCosL1, norm, merge);
@@ -135,6 +135,7 @@ pub fn register(reg: &mut Registry) {
             summary: "Countsketch point-query table (§2.1)",
             caps: Capabilities {
                 point: true,
+                point_batch: true,
                 mergeable: true,
                 merge_bitwise: true,
                 batch_bitwise: true,
@@ -163,6 +164,7 @@ pub fn register(reg: &mut Registry) {
             summary: "Count-Min point-query table (§2.2)",
             caps: Capabilities {
                 point: true,
+                point_batch: true,
                 mergeable: true,
                 merge_bitwise: true,
                 batch_bitwise: true,

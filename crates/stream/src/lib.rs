@@ -39,6 +39,17 @@
 //!   epoch-snapshot serving engine over an unbounded update source (worker
 //!   threads fed round-robin, immutable merged [`Snapshot`](service::Snapshot)s
 //!   every epoch while ingestion continues);
+//! * [`query`] — the concurrent read side: lock-free snapshot publication
+//!   ([`SnapshotHub`](query::SnapshotHub) /
+//!   [`SnapshotHandle`](query::SnapshotHandle), wait-free
+//!   [`latest`](query::SnapshotHandle::latest)) and the batched
+//!   [`QueryEngine`](query::QueryEngine) over a pinned epoch
+//!   [`QueryView`](query::QueryView);
+//! * [`wire`] — the `sketchctl serve` protocol: length-prefixed binary
+//!   frames, strict decoding, bit-exact floats;
+//! * [`net`] — the std-only TCP front-end ([`QueryServer`](net::QueryServer)
+//!   / [`QueryClient`](net::QueryClient)) serving the wire protocol from a
+//!   [`SnapshotHandle`](query::SnapshotHandle);
 //! * [`update`] — items, updates `(i, Δ)`, and [`update::StreamBatch`];
 //! * [`vector`] — exact frequency vectors `f = I − D` with every statistic
 //!   the paper's guarantees are stated against (`‖f‖₀`, `‖f‖₁`, `F₀`,
@@ -50,6 +61,8 @@
 
 pub mod gen;
 pub mod merge;
+pub mod net;
+pub mod query;
 pub mod registry;
 pub mod runner;
 pub mod service;
@@ -59,8 +72,11 @@ pub mod space;
 pub mod spec;
 pub mod update;
 pub mod vector;
+pub mod wire;
 
 pub use merge::{merge_tree, MergeReport};
+pub use net::{QueryClient, QueryServer};
+pub use query::{QueryEngine, QueryError, QueryView, SnapshotHandle, SnapshotHub};
 pub use registry::{
     BuildFn, Capabilities, DynSketch, FamilyInfo, Registry, RegistryError, SpaceInputs,
 };
@@ -69,9 +85,10 @@ pub use service::{EpochReport, ServiceConfig, Snapshot, StreamService};
 pub use sharded::{ShardedRun, ShardedRunner};
 pub use sketch::{
     aggregate_net, aggregate_signed_mass, BatchScratch, Mergeable, NormEstimate, PointQuery,
-    SampleOutcome, SampleQuery, Sketch, SupportQuery,
+    PointQueryBatch, SampleOutcome, SampleQuery, Sketch, SupportQuery,
 };
 pub use space::{MaxMag, SpaceReport, SpaceUsage};
 pub use spec::{Regime, SketchFamily, SketchSpec, SpecError};
 pub use update::{Item, StreamBatch, Update};
 pub use vector::FrequencyVector;
+pub use wire::{ErrorCode, Request, Response, WireError, WireReport, MAX_FRAME};

@@ -29,7 +29,7 @@
 use std::any::Any;
 use std::fmt;
 
-use crate::sketch::{NormEstimate, PointQuery, SampleQuery, Sketch, SupportQuery};
+use crate::sketch::{NormEstimate, PointQuery, PointQueryBatch, SampleQuery, Sketch, SupportQuery};
 use crate::spec::{SketchFamily, SketchSpec, SpecError};
 use crate::vector::FrequencyVector;
 
@@ -39,12 +39,15 @@ use crate::vector::FrequencyVector;
 /// Implement via [`impl_dyn_sketch!`](crate::impl_dyn_sketch); every
 /// accessor defaults to "capability absent".
 ///
-/// `Send` is a supertrait so built sketches can move into worker threads —
-/// the [`ShardedRunner`](crate::sharded::ShardedRunner) hands one
-/// identically-seeded copy to each shard worker. Every sketch in the
-/// workspace is plain owned data (counters, hash seeds, an owned RNG), so
-/// the bound is free.
-pub trait DynSketch: Sketch + Send {
+/// `Send + Sync` are supertraits so built sketches can move into worker
+/// threads — the [`ShardedRunner`](crate::sharded::ShardedRunner) hands one
+/// identically-seeded copy to each shard worker — and so immutable
+/// [`Snapshot`](crate::service::Snapshot)s behind an `Arc` can be queried
+/// from any number of reader threads at once (the
+/// [`query`](crate::query) front-end). Every sketch in the workspace is
+/// plain owned data (counters, hash seeds, an owned RNG; no interior
+/// mutability anywhere), so both bounds are free.
+pub trait DynSketch: Sketch + Send + Sync {
     /// `&self` as `Any`, for capability-preserving downcasts.
     fn as_any(&self) -> &dyn Any;
 
@@ -63,6 +66,12 @@ pub trait DynSketch: Sketch + Send {
 
     /// Point-query view, if the family answers per-item estimates.
     fn as_point(&self) -> Option<&dyn PointQuery> {
+        None
+    }
+
+    /// Batched point-query view, if the family answers k point queries
+    /// through one amortized hash pass ([`PointQueryBatch`]).
+    fn as_point_batch(&self) -> Option<&dyn PointQueryBatch> {
         None
     }
 
@@ -97,7 +106,8 @@ pub trait DynSketch: Sketch + Send {
 /// impl_dyn_sketch!(AlphaL1Sampler, sample);
 /// ```
 ///
-/// Capabilities: `point`, `norm`, `sample`, `support`, `merge`. The listed
+/// Capabilities: `point`, `point_batch`, `norm`, `sample`, `support`,
+/// `merge`. The listed
 /// set must match the type's actual trait impls (the registry's
 /// capability-consistency test builds each family and cross-checks). The
 /// type must also be `Clone` — the macro wires [`DynSketch::clone_dyn`],
@@ -120,6 +130,11 @@ macro_rules! impl_dyn_sketch {
     };
     (@cap point) => {
         fn as_point(&self) -> ::std::option::Option<&dyn $crate::PointQuery> {
+            ::std::option::Option::Some(self)
+        }
+    };
+    (@cap point_batch) => {
+        fn as_point_batch(&self) -> ::std::option::Option<&dyn $crate::PointQueryBatch> {
             ::std::option::Option::Some(self)
         }
     };
@@ -167,6 +182,10 @@ macro_rules! impl_dyn_sketch {
 pub struct Capabilities {
     /// Answers [`PointQuery`].
     pub point: bool,
+    /// Answers [`PointQueryBatch`]: k point queries through one amortized
+    /// hash pass, bit-identical per item to the scalar path. Implies
+    /// `point`.
+    pub point_batch: bool,
     /// Answers [`NormEstimate`].
     pub norm: bool,
     /// Answers [`SampleQuery`].

@@ -21,7 +21,14 @@
 //!    rounds; shape fixed by worker index) into an immutable [`Snapshot`] —
 //!    while the workers' own sketches keep ingesting the next epoch's
 //!    batches. Fold depth and per-round timing land in
-//!    [`EpochReport::merge`].
+//!    [`EpochReport::merge`];
+//! 4. each resolved scheduled cut is *published*: atomically swapped into
+//!    the service's lock-free [`SnapshotHub`] cell, so any number of reader
+//!    threads holding [`SnapshotHandle`]s ([`StreamService::handle`]) see
+//!    the newest **complete** epoch — never a partial merge — through
+//!    wait-free [`QueryView`](crate::query::QueryView) loads while
+//!    ingestion continues. The [`crate::query`] module docs state the
+//!    publication contract.
 //!
 //! **Why snapshot ≡ replay holds.** A worker's clone is a faithful freeze of
 //! its sketch after exactly the updates dispatched before the cut (channel
@@ -42,6 +49,7 @@
 //! space watermark of the merged snapshot.
 
 use crate::merge::{merge_tree, MergeReport};
+use crate::query::{QueryView, SnapshotHandle, SnapshotHub};
 use crate::registry::{DynSketch, Registry, RegistryError};
 use crate::runner::StreamRunner;
 use crate::space::SpaceReport;
@@ -50,6 +58,7 @@ use crate::update::Update;
 use std::fmt;
 use std::str::FromStr;
 use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -265,8 +274,17 @@ impl EpochReport {
 }
 
 /// One immutable epoch snapshot: the merged sketch of the stream prefix the
-/// cut covered, plus its accounting.
+/// cut covered, plus its accounting. Snapshots travel as `Arc<Snapshot>` —
+/// the same allocation the service returns from [`StreamService::ingest`] is
+/// the one concurrent readers see through
+/// [`StreamService::latest`]/[`SnapshotHandle`], so "served answer ≡ direct
+/// answer" is provable by pointer identity.
 pub struct Snapshot {
+    /// The spec the service's sketches were built from (universe size,
+    /// seed, α, ...) — what the
+    /// [`QueryEngine`](crate::query::QueryEngine) needs to interpret the
+    /// sketch (e.g. the universe bound of a dense heavy-hitters scan).
+    pub spec: SketchSpec,
     /// The merged sketch (worker 0's clone after folding every other
     /// worker's clone in). Queries only — the live sketches stay with the
     /// workers.
@@ -303,7 +321,12 @@ struct PendingCut {
 /// The long-lived epoch-snapshot serving engine.
 pub struct StreamService {
     config: ServiceConfig,
+    spec: SketchSpec,
     alpha_configured: f64,
+    /// Publication point for scheduled (and final) epoch snapshots: every
+    /// resolved cut is atomically swapped in here, so reader threads holding
+    /// a [`SnapshotHandle`] always see the newest *complete* epoch.
+    hub: SnapshotHub,
     senders: Vec<Sender<Cmd>>,
     handles: Vec<JoinHandle<()>>,
     /// Updates accepted but not yet dispatched: the partially-filled cell
@@ -366,7 +389,9 @@ impl StreamService {
         }
         Ok(StreamService {
             config: ServiceConfig { threads, ..config },
+            spec: *spec,
             alpha_configured: spec.alpha,
+            hub: SnapshotHub::new(),
             senders,
             handles,
             buf: Vec::with_capacity(config.chunk),
@@ -396,6 +421,24 @@ impl StreamService {
     /// on-demand snapshots don't count).
     pub fn epochs_cut(&self) -> usize {
         self.epochs_cut
+    }
+
+    /// A cheaply-cloneable reader handle onto this service's publication
+    /// hub. Hand one to each reader thread;
+    /// [`latest`](SnapshotHandle::latest) is wait-free and always returns
+    /// the newest *complete* epoch snapshot (never a partial merge) while
+    /// the service keeps ingesting. Handles stay valid after the service is
+    /// finished or dropped — they keep serving the last published epoch.
+    pub fn handle(&self) -> SnapshotHandle {
+        self.hub.handle()
+    }
+
+    /// The latest published epoch snapshot as a [`QueryView`], or `None`
+    /// before the first scheduled cut resolves. Takes `&self` — this is the
+    /// concurrent query path (unlike [`StreamService::snapshot`], which
+    /// stalls the ingest thread to force a fresh cut).
+    pub fn latest(&self) -> Option<QueryView> {
+        self.hub.handle().latest()
     }
 
     /// Dispatch the buffered batch to its worker and tally the accounting.
@@ -474,7 +517,7 @@ impl StreamService {
     /// Collect one pending cut's clones and fold them into a snapshot with
     /// the deterministic pairwise tree (worker 0's clone is the survivor,
     /// the same identity the serial fold produced).
-    fn resolve(&self, cut: PendingCut) -> Snapshot {
+    fn resolve(&self, cut: PendingCut) -> Arc<Snapshot> {
         let clones: Vec<Box<dyn DynSketch>> = cut
             .replies
             .into_iter()
@@ -486,16 +529,21 @@ impl StreamService {
         report.merge_elapsed = merge.elapsed;
         report.merge = merge;
         report.space = merged.space();
-        Snapshot {
+        Arc::new(Snapshot {
+            spec: self.spec,
             sketch: merged,
             report,
-        }
+        })
     }
 
-    /// Resolve every in-flight cut, in cut order.
-    fn drain_pending(&mut self, out: &mut Vec<Snapshot>) {
+    /// Resolve every in-flight cut, in cut order, publishing each to the
+    /// hub as it completes (the last one resolved is the one
+    /// [`StreamService::latest`] serves).
+    fn drain_pending(&mut self, out: &mut Vec<Arc<Snapshot>>) {
         for cut in std::mem::take(&mut self.pending) {
-            out.push(self.resolve(cut));
+            let snap = self.resolve(cut);
+            self.hub.publish(Arc::clone(&snap));
+            out.push(snap);
         }
     }
 
@@ -504,7 +552,7 @@ impl StreamService {
     /// [`ServiceConfig::epoch`] updates an epoch is cut *exactly at the
     /// boundary* (mid-slice if needed). Returns the snapshots of every
     /// epoch completed by this call.
-    pub fn ingest(&mut self, updates: &[Update]) -> Vec<Snapshot> {
+    pub fn ingest(&mut self, updates: &[Update]) -> Vec<Arc<Snapshot>> {
         let mut out = Vec::new();
         let mut rest = updates;
         while !rest.is_empty() {
@@ -531,7 +579,7 @@ impl StreamService {
 
     /// Drive the service over an update iterator (the unbounded-source
     /// shape), returning every epoch snapshot the stream produced.
-    pub fn run<I: IntoIterator<Item = Update>>(&mut self, source: I) -> Vec<Snapshot> {
+    pub fn run<I: IntoIterator<Item = Update>>(&mut self, source: I) -> Vec<Arc<Snapshot>> {
         let mut out = Vec::new();
         let mut buf: Vec<Update> = Vec::with_capacity(self.config.chunk);
         for u in source {
@@ -549,7 +597,7 @@ impl StreamService {
 
     /// Drive the service from an mpsc channel of update batches until the
     /// sending side hangs up.
-    pub fn run_channel(&mut self, source: Receiver<Vec<Update>>) -> Vec<Snapshot> {
+    pub fn run_channel(&mut self, source: Receiver<Vec<Update>>) -> Vec<Arc<Snapshot>> {
         let mut out = Vec::new();
         while let Ok(batch) = source.recv() {
             out.extend(self.ingest(&batch));
@@ -570,7 +618,16 @@ impl StreamService {
     /// covers the partial epoch since the last cut and reuses the upcoming
     /// epoch index; epoch tallies continue accumulating (totals stay
     /// monotone).
-    pub fn snapshot(&mut self) -> Snapshot {
+    ///
+    /// **Prefer [`StreamService::latest`] / [`StreamService::handle`] for
+    /// serving.** This method needs `&mut self`, stalls the ingest thread
+    /// until every worker replies with a clone, and — because it captures
+    /// mid-epoch state — is deliberately *not* published to the hub:
+    /// concurrent readers only ever observe complete scheduled epochs. It
+    /// remains the right tool for one-thread-in-total deployments that want
+    /// a synchronous point-in-time cut (e.g. `sketchctl serve`'s final
+    /// verification), not for concurrent query serving.
+    pub fn snapshot(&mut self) -> Arc<Snapshot> {
         // The clone must cover everything ingested, so the partial cell is
         // dispatched early. This splits one batch in two on the target
         // worker — harmless for the scheduled snapshots (assignment and cut
@@ -611,8 +668,10 @@ impl StreamService {
     /// Stop the service: cut a final (possibly partial) epoch if any
     /// updates arrived since the last cut, join the workers, and return the
     /// final snapshot (`None` when nothing was pending and no updates
-    /// arrived since the last cut).
-    pub fn finish(mut self) -> Option<Snapshot> {
+    /// arrived since the last cut). The final snapshot is published to the
+    /// hub like any scheduled cut, so surviving [`SnapshotHandle`]s serve
+    /// the complete stream after the service is gone.
+    pub fn finish(mut self) -> Option<Arc<Snapshot>> {
         let mut out = Vec::new();
         self.flush();
         if self.in_epoch > 0 {

@@ -82,6 +82,21 @@ pub trait PointQuery: Sketch {
     fn point(&self, item: Item) -> f64;
 }
 
+/// Sketches that answer many point queries through one batched hash pass.
+///
+/// Contract: `point_many(items, out)` appends one estimate per item to `out`
+/// and each appended value is **bit-identical** to the corresponding
+/// [`PointQuery::point`] call on the same state. The batch exists purely to
+/// amortize hash evaluation (chunk-at-a-time `RowHashes` plans instead of k
+/// scalar lookups); it must not change the arithmetic. Implementations take
+/// `&self` so concurrent readers can share one snapshot — any scratch is
+/// call-local.
+pub trait PointQueryBatch: PointQuery {
+    /// Append the point estimate of every item in `items` to `out`, in
+    /// order. Does not clear `out`.
+    fn point_many(&self, items: &[Item], out: &mut Vec<f64>);
+}
+
 /// Sketches that estimate a scalar statistic of the stream (`‖f‖₁`, `‖f‖₀`,
 /// `‖f‖₂`, ... — which one is part of the implementing type's contract).
 pub trait NormEstimate: Sketch {

@@ -11,8 +11,10 @@
 # files are gated — that includes the `ingest_service` section, so a >20%
 # snapshot-overhead regression in the StreamService fails here. Dropped
 # measurements are never gated by the bin, so additionally assert the
-# sharded, service, hash (including the per-kernel SIMD rows), and merge
-# sections cannot silently vanish from the bench.
+# sharded, service, hash (including the per-kernel SIMD rows), merge,
+# query (batched vs scalar point queries on a published snapshot), and
+# serve (TCP round-trips under concurrent readers) sections cannot
+# silently vanish from the bench.
 
 set -eu
 cd "$(dirname "$0")/.."
@@ -24,7 +26,8 @@ cp BENCH_ingest.json "$BASELINE"
 
 cargo bench -p bd-bench --bench ingest
 
-for section in '"ingest_sharded/' '"ingest_service/' '"hash/' '"hash/simd_' '"merge/'; do
+for section in '"ingest_sharded/' '"ingest_service/' '"hash/' '"hash/simd_' '"merge/' \
+    '"query/' '"serve/'; do
     if ! grep -q "$section" BENCH_ingest.json; then
         echo "bench_compare.sh: $section section missing from BENCH_ingest.json" >&2
         exit 1

@@ -141,8 +141,12 @@ pub mod prelude {
     };
     pub use bd_stream::{DynSketch, Regime, Registry, SketchFamily, SketchSpec, SupportQuery};
     pub use bd_stream::{
-        EpochReport, FrequencyVector, Item, Mergeable, NormEstimate, PointQuery, RunReport,
-        SampleQuery, ServiceConfig, ShardedRun, ShardedRunner, Sketch, Snapshot, SpaceReport,
-        SpaceUsage, StreamBatch, StreamRunner, StreamService, Update,
+        EpochReport, FrequencyVector, Item, Mergeable, NormEstimate, PointQuery, PointQueryBatch,
+        RunReport, SampleQuery, ServiceConfig, ShardedRun, ShardedRunner, Sketch, Snapshot,
+        SpaceReport, SpaceUsage, StreamBatch, StreamRunner, StreamService, Update,
+    };
+    pub use bd_stream::{
+        ErrorCode, QueryClient, QueryEngine, QueryError, QueryServer, QueryView, Request, Response,
+        SnapshotHandle, SnapshotHub, WireReport,
     };
 }

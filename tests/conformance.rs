@@ -296,6 +296,15 @@ fn capability_descriptors_match_built_sketches() {
         let mut sk = registry().build(&spec).unwrap();
         let name = info.family.name();
         assert_eq!(sk.as_point().is_some(), info.caps.point, "{name}: point");
+        assert_eq!(
+            sk.as_point_batch().is_some(),
+            info.caps.point_batch,
+            "{name}: point_batch"
+        );
+        assert!(
+            info.caps.point || !info.caps.point_batch,
+            "{name}: point_batch without point"
+        );
         assert_eq!(sk.as_norm().is_some(), info.caps.norm, "{name}: norm");
         assert_eq!(sk.as_sample().is_some(), info.caps.sample, "{name}: sample");
         assert_eq!(
@@ -453,6 +462,48 @@ fn epoch_report_alpha_accounting_matches_ground_truth() {
         "α floor 11 must violate configured α = 2"
     );
     assert!(rep.deletion_fraction() > EpochReport::deletion_cap(2.0));
+}
+
+/// The [`PointQueryBatch`] law: for every family that advertises the
+/// batched point path, `point_many` over an arbitrary query set (duplicates
+/// included) must be **bit-identical**, item by item, to the scalar
+/// `point` calls on the same state — the batch only amortizes hashing, it
+/// must not change the arithmetic. This is what lets the query engine and
+/// the TCP front-end route through the batch unconditionally.
+#[test]
+fn batched_point_queries_match_scalar_bit_for_bit() {
+    let s = stream(0xBA);
+    let mut covered = 0;
+    for info in registry().families() {
+        if !info.caps.point_batch {
+            continue;
+        }
+        covered += 1;
+        let name = info.family.name();
+        let mut sk = registry().build(&conformance_spec(info.family)).unwrap();
+        StreamRunner::new().run(&mut *sk, &s);
+        // Dense prefix, strided sweep, and deliberate duplicates.
+        let items: Vec<u64> = (0..256u64)
+            .chain((0..64).map(|i| i * 13 % 1024))
+            .chain([3, 3, 3])
+            .collect();
+        let batch = sk.as_point_batch().unwrap();
+        let point = sk.as_point().unwrap();
+        let mut out = Vec::new();
+        batch.point_many(&items, &mut out);
+        assert_eq!(out.len(), items.len(), "{name}: wrong batch length");
+        for (&i, &est) in items.iter().zip(&out) {
+            assert_eq!(
+                est.to_bits(),
+                point.point(i).to_bits(),
+                "{name}: batched point of {i} diverged"
+            );
+        }
+        // Contract: append, don't clear.
+        batch.point_many(&items[..4], &mut out);
+        assert_eq!(out.len(), items.len() + 4, "{name}: batch must append");
+    }
+    assert!(covered >= 5, "batched-point catalog shrank: {covered}");
 }
 
 /// `ProbeVal` is part of the shared test-helper contract; pin the kinds so

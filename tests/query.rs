@@ -1,0 +1,346 @@
+//! The concurrent query front-end's acceptance suite.
+//!
+//! Three layers, each pinned against the one below it:
+//!
+//! 1. **Publication** — for *every* mergeable family (the suite iterates
+//!    `registry().families()`, no hand list), reader threads polling
+//!    `SnapshotHandle::latest` while the service ingests must only ever
+//!    observe the *same immutable snapshot objects* the service returned
+//!    from `ingest`/`finish` — pointer identity, the strongest possible
+//!    "bit-identical to the same epoch's snapshot" statement — with stamps
+//!    that move monotonically and end at the final cut.
+//! 2. **Engine** — answers through `QueryEngine` (batched point path
+//!    included) match the scalar capability views bit for bit.
+//! 3. **Wire** — answers served over a real TCP socket while ingestion
+//!    runs are bit-identical to direct `QueryEngine` answers on the
+//!    snapshot with the same stamp, and malformed/truncated/oversized
+//!    frames close only their own connection.
+
+mod common;
+
+use bounded_deletions::prelude::*;
+use common::{conformance_spec, stream};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
+use std::sync::Arc;
+
+/// Service shape shared by the suite: ≥ 3 scheduled epochs per run, fine
+/// dispatch chunks, 3 workers.
+fn service_config(stream_len: usize) -> ServiceConfig {
+    ServiceConfig::default()
+        .with_epoch((stream_len as u64) / 3)
+        .with_threads(3)
+        .with_chunk(512)
+}
+
+/// Layer 1: concurrent readers only ever see complete published epochs,
+/// and each observed view IS the snapshot the service returned for that
+/// stamp (pointer identity), for every mergeable family.
+#[test]
+fn concurrent_views_are_the_published_snapshots_for_every_mergeable_family() {
+    let s = stream(0x7E);
+    let mut covered = 0;
+    for info in registry().families() {
+        if !info.caps.mergeable {
+            continue;
+        }
+        covered += 1;
+        let spec = conformance_spec(info.family);
+        let mut svc = StreamService::start(registry(), &spec, service_config(s.len())).unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let handle = svc.handle();
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut seen: Vec<QueryView> = Vec::new();
+                    let mut done = false;
+                    while !done {
+                        // Read the flag *before* the load: once `stop` is
+                        // observed, one more load still runs, so the final
+                        // published epoch is always captured.
+                        done = stop.load(SeqCst);
+                        if let Some(view) = handle.latest() {
+                            match seen.last() {
+                                Some(prev) => {
+                                    assert!(
+                                        prev.stamp() <= view.stamp(),
+                                        "stamps went backwards: {} → {}",
+                                        prev.stamp(),
+                                        view.stamp()
+                                    );
+                                    if prev.stamp() != view.stamp() {
+                                        seen.push(view);
+                                    }
+                                }
+                                None => seen.push(view),
+                            }
+                        }
+                        std::thread::yield_now();
+                    }
+                    seen
+                })
+            })
+            .collect();
+        let mut snaps = Vec::new();
+        for piece in s.updates.chunks(313) {
+            snaps.extend(svc.ingest(piece));
+        }
+        snaps.extend(svc.finish());
+        stop.store(true, SeqCst);
+        assert!(snaps.len() >= 3, "{}: too few epochs", info.family);
+        for r in readers {
+            let seen = r.join().unwrap();
+            assert!(!seen.is_empty(), "{}: reader saw nothing", info.family);
+            for view in &seen {
+                let snap = snaps
+                    .iter()
+                    .find(|sn| sn.report.total_updates as u64 == view.stamp())
+                    .unwrap_or_else(|| {
+                        panic!(
+                            "{}: observed stamp {} is not a scheduled epoch",
+                            info.family,
+                            view.stamp()
+                        )
+                    });
+                // The published object and the returned object are one.
+                assert!(
+                    std::ptr::eq(view.snapshot(), snap.as_ref()),
+                    "{}: view at stamp {} is a different object than the returned snapshot",
+                    info.family,
+                    view.stamp()
+                );
+            }
+            assert_eq!(
+                seen.last().unwrap().stamp() as usize,
+                s.len(),
+                "{}: reader missed the final epoch",
+                info.family
+            );
+        }
+    }
+    assert!(covered >= 20, "mergeable catalog shrank: {covered}");
+}
+
+/// Layer 2: the engine's batched point path answers exactly like the
+/// scalar capability view on the same published snapshot, for every
+/// point-capable mergeable family (batch-capable or fallback alike).
+#[test]
+fn engine_batched_points_match_scalar_on_published_snapshots() {
+    let s = stream(0x9E);
+    for info in registry().families() {
+        if !info.caps.mergeable || !info.caps.point {
+            continue;
+        }
+        let spec = conformance_spec(info.family);
+        let mut svc = StreamService::start(registry(), &spec, service_config(s.len())).unwrap();
+        let mut snaps = svc.ingest(&s.updates);
+        snaps.extend(svc.finish());
+        let snap = snaps.last().expect("at least one epoch");
+        let view = svc_view(snap);
+        let engine = view.engine();
+        let items: Vec<u64> = (0..128u64).chain([7, 7, 1023]).collect();
+        let mut batched = Vec::new();
+        engine.point_many(&items, &mut batched).unwrap();
+        for (&i, &est) in items.iter().zip(&batched) {
+            assert_eq!(
+                est.to_bits(),
+                engine.point(i).unwrap().to_bits(),
+                "{}: batched point of {i} diverged on a published snapshot",
+                info.family
+            );
+        }
+    }
+}
+
+/// A view pinned directly on a returned snapshot (what `QueryView` calls
+/// the loopback-comparison path).
+fn svc_view(snap: &Arc<Snapshot>) -> QueryView {
+    QueryView::from_snapshot(Arc::clone(snap))
+}
+
+/// Layer 3: answers served over TCP while ingestion runs are bit-identical
+/// to direct `QueryEngine` answers on the same-stamp snapshot.
+#[test]
+fn serve_over_tcp_matches_direct_engine_bit_for_bit() {
+    let s = stream(0x4E);
+    for family in [
+        SketchFamily::Exact,
+        SketchFamily::Csss,
+        SketchFamily::AlphaHh,
+    ] {
+        let caps = registry().info(family).unwrap().caps;
+        let spec = conformance_spec(family);
+        let mut svc = StreamService::start(registry(), &spec, service_config(s.len())).unwrap();
+        let server = QueryServer::bind("127.0.0.1:0", svc.handle()).unwrap();
+        let addr = server.local_addr();
+        let updates = s.updates.clone();
+        let ingest = std::thread::spawn(move || {
+            let mut snaps = Vec::new();
+            for piece in updates.chunks(97) {
+                snaps.extend(svc.ingest(piece));
+            }
+            snaps.extend(svc.finish());
+            snaps
+        });
+
+        // Query concurrently with ingestion; verify after, against the
+        // same-stamp snapshots the ingest thread returns.
+        let mut client = QueryClient::connect(addr).unwrap();
+        // Wait for the first epoch cut to land so the query rounds exercise
+        // real answers even for slow-ingesting families.
+        while let Response::Error {
+            code: ErrorCode::NoSnapshot,
+            ..
+        } = client.request(&Request::Report).unwrap()
+        {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let items: Vec<u64> = (0..64).collect();
+        let mut observed: Vec<(Request, Response)> = Vec::new();
+        for round in 0..40u64 {
+            for req in [
+                Request::Point { item: round % 64 },
+                Request::PointBatch {
+                    items: items.clone(),
+                },
+                Request::Norm,
+                Request::HeavyHitters { threshold: 4.0 },
+                Request::Report,
+            ] {
+                let resp = client.request(&req).unwrap();
+                observed.push((req, resp));
+            }
+        }
+        let snaps = ingest.join().unwrap();
+        let by_stamp: HashMap<u64, &Arc<Snapshot>> = snaps
+            .iter()
+            .map(|sn| (sn.report.total_updates as u64, sn))
+            .collect();
+        let mut verified = 0usize;
+        for (req, resp) in &observed {
+            match resp {
+                Response::Error { code, .. } => match code {
+                    // Queries raced ahead of the first cut: legitimate.
+                    ErrorCode::NoSnapshot => {}
+                    // Only allowed where the family truly lacks the view.
+                    ErrorCode::Unsupported => {
+                        assert!(
+                            matches!(req, Request::Norm) && !caps.norm,
+                            "{family}: spurious Unsupported for {req:?}"
+                        );
+                    }
+                    other => panic!("{family}: unexpected error {other:?} for {req:?}"),
+                },
+                Response::Point { stamp, estimate } => {
+                    let engine = svc_view(by_stamp[stamp]).engine();
+                    let Request::Point { item } = req else {
+                        panic!("{family}: kind mismatch")
+                    };
+                    assert_eq!(estimate.to_bits(), engine.point(*item).unwrap().to_bits());
+                    verified += 1;
+                }
+                Response::Points { stamp, estimates } => {
+                    let engine = svc_view(by_stamp[stamp]).engine();
+                    let mut direct = Vec::new();
+                    engine.point_many(&items, &mut direct).unwrap();
+                    assert_eq!(
+                        estimates.iter().map(|e| e.to_bits()).collect::<Vec<_>>(),
+                        direct.iter().map(|e| e.to_bits()).collect::<Vec<_>>(),
+                        "{family}: served batch diverged at stamp {stamp}"
+                    );
+                    verified += 1;
+                }
+                Response::Norm { stamp, estimate } => {
+                    let engine = svc_view(by_stamp[stamp]).engine();
+                    assert_eq!(estimate.to_bits(), engine.norm().unwrap().to_bits());
+                    verified += 1;
+                }
+                Response::HeavyHitters { stamp, hitters } => {
+                    let engine = svc_view(by_stamp[stamp]).engine();
+                    let direct = engine.heavy_hitters(4.0).unwrap();
+                    assert_eq!(hitters.len(), direct.len());
+                    for ((gi, ge), (di, de)) in hitters.iter().zip(&direct) {
+                        assert_eq!((gi, ge.to_bits()), (di, de.to_bits()));
+                    }
+                    verified += 1;
+                }
+                Response::Report(rep) => {
+                    let snap = by_stamp[&rep.total_updates];
+                    assert_eq!(rep.epoch, snap.report.epoch as u64);
+                    assert_eq!(
+                        rep.alpha_observed.to_bits(),
+                        snap.report.alpha_observed().to_bits()
+                    );
+                    assert_eq!(rep.space_bits, snap.report.space_bits());
+                    assert_eq!(rep.threads, snap.report.threads as u32);
+                    verified += 1;
+                }
+                other => panic!("{family}: unexpected response {other:?}"),
+            }
+        }
+        assert!(
+            verified >= 40,
+            "{family}: too few verified answers ({verified})"
+        );
+
+        // Graceful shutdown through the protocol.
+        assert_eq!(
+            client.request(&Request::Shutdown).unwrap(),
+            Response::ShutdownAck
+        );
+        server.join();
+    }
+}
+
+/// Malformed, truncated, and oversized frames close their own connection —
+/// no panic, no effect on a well-behaved client of the same live server.
+#[test]
+fn broken_frames_close_cleanly_without_disturbing_the_server() {
+    let s = stream(0x88);
+    let spec = conformance_spec(SketchFamily::Exact);
+    let mut svc = StreamService::start(registry(), &spec, service_config(s.len())).unwrap();
+    let server = QueryServer::bind("127.0.0.1:0", svc.handle()).unwrap();
+    svc.ingest(&s.updates);
+    let addr = server.local_addr();
+
+    let expect_close = |mut sock: TcpStream| {
+        let mut sink = Vec::new();
+        match sock.read_to_end(&mut sink) {
+            Ok(n) => assert_eq!(n, 0, "expected close, got {n} bytes"),
+            Err(e) => assert!(
+                matches!(
+                    e.kind(),
+                    std::io::ErrorKind::ConnectionReset | std::io::ErrorKind::ConnectionAborted
+                ),
+                "expected close, got {e}"
+            ),
+        }
+    };
+
+    // Oversized length prefix.
+    let mut sock = TcpStream::connect(addr).unwrap();
+    sock.write_all(&u32::MAX.to_le_bytes()).unwrap();
+    expect_close(sock);
+    // Truncated frame: the prefix promises more than ever arrives.
+    let mut sock = TcpStream::connect(addr).unwrap();
+    sock.write_all(&64u32.to_le_bytes()).unwrap();
+    sock.write_all(&[0x01, 0x02]).unwrap();
+    sock.shutdown(std::net::Shutdown::Write).unwrap();
+    expect_close(sock);
+    // Well-formed frame, garbage kind.
+    let mut sock = TcpStream::connect(addr).unwrap();
+    sock.write_all(&4u32.to_le_bytes()).unwrap();
+    sock.write_all(&[0x42, 0, 0, 0]).unwrap();
+    expect_close(sock);
+
+    // The server is unharmed: a real client still gets stamped answers.
+    let mut client = QueryClient::connect(addr).unwrap();
+    match client.request(&Request::Point { item: 5 }).unwrap() {
+        Response::Point { stamp, .. } => assert!(stamp > 0),
+        other => panic!("unexpected response {other:?}"),
+    }
+    server.join();
+}

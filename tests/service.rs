@@ -17,6 +17,7 @@ mod common;
 use bd_stream::{RegistryError, ServiceConfig, Snapshot, StreamService};
 use bounded_deletions::prelude::*;
 use common::{assert_probes_match, conformance_spec, probe, stream};
+use std::sync::Arc;
 
 /// The worker counts under test: a fixed sweep plus an optional
 /// `BD_SHARD_THREADS` entry (the CI thread-matrix knob).
@@ -45,7 +46,7 @@ fn service_config(stream_len: usize, threads: usize) -> ServiceConfig {
 
 /// Drive a full service run over the stream: scheduled snapshots plus the
 /// final (partial-epoch) cut from `finish`.
-fn serve(spec: &SketchSpec, s: &StreamBatch, cfg: ServiceConfig) -> Vec<Snapshot> {
+fn serve(spec: &SketchSpec, s: &StreamBatch, cfg: ServiceConfig) -> Vec<Arc<Snapshot>> {
     let mut svc = StreamService::start(registry(), spec, cfg)
         .unwrap_or_else(|e| panic!("{}: service failed to start: {e}", spec.family));
     let mut snaps = svc.ingest(&s.updates);
