@@ -31,8 +31,9 @@ use bd_bench::registry;
 use bd_hash::{simd, M61Elem};
 use bd_stream::gen::BoundedDeletionGen;
 use bd_stream::{
-    merge_tree, DynSketch, QueryClient, QueryServer, QueryView, Request, ServiceConfig,
-    ShardedRunner, SketchFamily, SketchSpec, StreamBatch, StreamRunner, StreamService,
+    merge_tree, DynSketch, OverflowPolicy, QueryClient, QueryServer, QueryView, Request,
+    ServiceConfig, ShardedRunner, SketchFamily, SketchSpec, StreamBatch, StreamRunner,
+    StreamService,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -52,6 +53,15 @@ fn workload() -> StreamBatch {
     let mut gen = BoundedDeletionGen::new(N, MASS, 4.0);
     gen.distinct = 1024;
     gen.generate_seeded(7)
+}
+
+/// Resident-set size in bytes from `/proc/self/statm` (Linux; `None`
+/// elsewhere) — the overload section's bounded-memory assertion reads it
+/// before and after saturating the service queues.
+fn rss_bytes() -> Option<u64> {
+    let statm = std::fs::read_to_string("/proc/self/statm").ok()?;
+    let resident_pages: u64 = statm.split_whitespace().nth(1)?.parse().ok()?;
+    Some(resident_pages * 4096)
 }
 
 /// Time a full pass over `stream` on a fresh registry-built sketch per
@@ -93,8 +103,8 @@ fn ingest_service(
     micro::sample(name, stream.len() as u64, SAMPLES, WARMUP, |s| {
         let mut svc = StreamService::start(registry(), &spec.with_seed(s as u64), cfg)
             .expect("bench spec must be servable");
-        let mut snaps = svc.ingest(&stream.updates);
-        snaps.extend(svc.finish());
+        let mut snaps = svc.ingest(&stream.updates).expect("service ingest");
+        snaps.extend(svc.finish().expect("final cut"));
         assert!(snaps.len() >= 4, "expected ≥4 epoch snapshots");
         std::hint::black_box(snaps.iter().map(|sn| sn.report.space_bits()).sum::<u64>());
     })
@@ -434,8 +444,8 @@ fn main() {
         let mut svc =
             StreamService::start(registry(), &spec.with_seed(5), service_cfg).expect("servable");
         let handle = svc.handle();
-        let mut snaps = svc.ingest(&stream.updates);
-        snaps.extend(svc.finish());
+        let mut snaps = svc.ingest(&stream.updates).expect("service ingest");
+        snaps.extend(svc.finish().expect("final cut"));
         let engine = QueryView::from_snapshot(Arc::clone(snaps.last().expect("epochs"))).engine();
         let scalar = micro::sample(
             &format!("query/{label}/point_scalar_k{QUERY_K}"),
@@ -513,10 +523,10 @@ fn main() {
                     if stop.load(SeqCst) {
                         break 'replay;
                     }
-                    std::hint::black_box(svc.ingest(chunk).len());
+                    std::hint::black_box(svc.ingest(chunk).expect("serve ingest").len());
                 }
             }
-            svc.finish();
+            svc.finish().expect("final cut");
             server.join();
         });
         // Wait for the first published epoch so every timed request below
@@ -593,6 +603,97 @@ fn main() {
         results.last().unwrap().ops_per_sec
     );
 
+    // Overload microsection: a bursty time-shaped stream through bounded
+    // worker queues (`DESIGN.md §12`) under both overflow policies. The
+    // assertions are the point as much as the timings: the queue-depth
+    // watermark stays within the structural `depth × threads` cap, `block`
+    // loses nothing, `drop` accounts exactly for what it sheds, and RSS
+    // stays bounded across the whole section (the regression this section
+    // pins down is the old unbounded channel absorbing the backlog into
+    // memory). `scripts/bench_compare.sh` asserts the section exists.
+    const OVERLOAD_DEPTH: usize = 64;
+    println!(
+        "\nservice_overload — burst workload through bounded queues \
+         (depth = {OVERLOAD_DEPTH}, {SHARD_THREADS} workers)\n"
+    );
+    let burst = bd_stream::gen::BurstGen::new(N, 6, 40_000, 10_000).generate_seeded(0xB5);
+    let overload_cfg = ServiceConfig::default()
+        .with_epoch((burst.len() as u64) / 4)
+        .with_threads(SHARD_THREADS)
+        .with_chunk(512)
+        .with_depth(OVERLOAD_DEPTH);
+    let rss_before = rss_bytes();
+    let mut overload_stats: Vec<String> = Vec::new();
+    for policy in [OverflowPolicy::Block, OverflowPolicy::Drop] {
+        let cfg = overload_cfg.with_overflow(policy);
+        let cap = cfg.depth * cfg.threads;
+        let last_report = Mutex::new(None);
+        let m = micro::sample(
+            &format!("service_overload/burst_{policy}_d{OVERLOAD_DEPTH}"),
+            burst.len() as u64,
+            SAMPLES,
+            WARMUP,
+            |s| {
+                let mut svc = StreamService::start(registry(), &base.with_seed(s as u64), cfg)
+                    .expect("servable spec");
+                let mut snaps = svc.ingest(&burst.updates).expect("overload ingest");
+                snaps.extend(svc.finish().expect("final cut"));
+                let last = snaps.last().expect("epochs").report;
+                for sn in &snaps {
+                    assert!(
+                        sn.report.queue_peak <= cap,
+                        "queue peak {} exceeds depth × threads = {cap}",
+                        sn.report.queue_peak
+                    );
+                }
+                match policy {
+                    OverflowPolicy::Block => {
+                        assert_eq!(last.total_dropped_updates, 0, "block must not shed");
+                        assert_eq!(last.total_updates, burst.len(), "block lost updates");
+                    }
+                    OverflowPolicy::Drop => assert_eq!(
+                        last.total_updates + last.total_dropped_updates,
+                        burst.len(),
+                        "drop accounting must reconcile"
+                    ),
+                }
+                *last_report.lock().unwrap() = Some(last);
+                std::hint::black_box(last.queue_peak);
+            },
+        );
+        micro::report(&m);
+        let last = last_report.into_inner().unwrap().expect("one pass ran");
+        println!(
+            "  {policy}: queue peak {} / cap {cap}, blocked {:.2} ms, \
+             dropped {} updates ({:.1}% of offered)\n",
+            last.queue_peak,
+            last.blocked.as_secs_f64() * 1e3,
+            last.total_dropped_updates,
+            100.0 * last.total_dropped_updates as f64 / last.total_offered_updates() as f64
+        );
+        overload_stats.push(format!(
+            "{policy}:peak={}/{cap},dropped={}",
+            last.queue_peak, last.total_dropped_updates
+        ));
+        results.push(m);
+    }
+    // Bounded-RSS acceptance: back-pressure (not memory) absorbs overload.
+    // The bound is generous — the old unbounded channels buffered the whole
+    // backlog (tens of MiB of `Cmd`s and their batch copies per pass and
+    // growing with stream length); bounded queues hold it near-flat.
+    if let (Some(before), Some(after)) = (rss_before, rss_bytes()) {
+        let growth = after.saturating_sub(before);
+        assert!(
+            growth < 256 << 20,
+            "overload section grew RSS by {growth} bytes — queues are not bounding memory"
+        );
+        let growth_mib = growth as f64 / (1u64 << 20) as f64;
+        println!("  RSS growth across overload section: {growth_mib:.1} MiB (bound 256 MiB)\n");
+        overload_stats.push(format!("rss_growth_mib={growth_mib:.1}"));
+    } else {
+        println!("  RSS not measurable on this platform (/proc/self/statm missing)\n");
+    }
+
     let json = micro::to_json(
         &[
             ("bench", "ingest".to_string()),
@@ -640,6 +741,7 @@ fn main() {
             ),
             ("serve_readers", SERVE_READERS.to_string()),
             ("serve_latency_us", serve_latency_us),
+            ("service_overload", overload_stats.join(",")),
         ],
         &results,
     );

@@ -9,7 +9,8 @@
 //!                                         threaded sharded ingest + merge
 //!                                         (mergeable families; default N=4)
 //! sketchctl serve  --spec <spec> [--epoch N] [--threads N] [--chunk N]
-//!                  [--service service:epoch=..,threads=..]
+//!                  [--depth N] [--overflow block|drop]
+//!                  [--service service:epoch=..,threads=..,depth=..,overflow=..]
 //!                  [--listen ADDR] [workload]
 //!                                         long-lived StreamService: epoch
 //!                                         snapshots while ingestion runs,
@@ -74,9 +75,9 @@
 use bd_bench::workload;
 use bd_bench::{fmt_bits, registry, Table};
 use bd_stream::{
-    DynSketch, EpochReport, ErrorCode, FrequencyVector, QueryClient, QueryServer, Request,
-    Response, SampleOutcome, ServiceConfig, ShardedRunner, SketchSpec, StreamBatch, StreamRunner,
-    StreamService,
+    DynSketch, EpochReport, ErrorCode, FrequencyVector, OverflowPolicy, QueryClient, QueryServer,
+    Request, Response, SampleOutcome, ServiceConfig, ShardedRunner, SketchSpec, StreamBatch,
+    StreamRunner, StreamService,
 };
 use std::io::Write as _;
 use std::process::ExitCode;
@@ -87,7 +88,7 @@ fn usage() -> ExitCode {
         "usage: sketchctl <families|workloads|parse <spec>|run <spec> [workload]|\
          shard [--threads N] <spec> [workload]|\
          serve --spec <spec> [--epoch N] [--threads N] [--chunk N] \
-         [--service <cfg>] [--listen ADDR] [workload]|\
+         [--depth N] [--overflow block|drop] [--service <cfg>] [--listen ADDR] [workload]|\
          loadgen --addr ADDR [--readers N] [--requests N] [--batch K] \
          [--universe N] [--shutdown]>"
     );
@@ -138,7 +139,8 @@ fn main() -> ExitCode {
             // config is known). Remaining positionals are `[workload]`
             // (plus `--spec <spec>` / a bare spec).
             let mut cfg = ServiceConfig::default();
-            let (mut epoch, mut threads, mut chunk) = (None, None, None);
+            let (mut epoch, mut threads, mut chunk, mut depth) = (None, None, None, None);
+            let mut overflow: Option<OverflowPolicy> = None;
             let mut spec_str: Option<&str> = None;
             let mut listen: Option<&str> = None;
             let mut positional: Vec<&str> = Vec::new();
@@ -157,7 +159,10 @@ fn main() -> ExitCode {
                     "--service" => match rest.next().map(|s| s.parse::<ServiceConfig>()) {
                         Some(Ok(parsed)) => cfg = parsed,
                         _ => {
-                            eprintln!("--service expects service:epoch=..,threads=..,chunk=..");
+                            eprintln!(
+                                "--service expects \
+                                 service:epoch=..,threads=..,chunk=..,depth=..,overflow=.."
+                            );
                             return usage();
                         }
                     },
@@ -181,12 +186,25 @@ fn main() -> ExitCode {
                         Some(x) => chunk = Some(x as usize),
                         None => return usage(),
                     },
+                    "--depth" => match parse_flag("--depth", rest.next()) {
+                        Some(x) => depth = Some(x as usize),
+                        None => return usage(),
+                    },
+                    "--overflow" => match rest.next().map(|s| s.parse::<OverflowPolicy>()) {
+                        Some(Ok(p)) => overflow = Some(p),
+                        _ => {
+                            eprintln!("--overflow expects `block` or `drop`");
+                            return usage();
+                        }
+                    },
                     _ => positional.push(arg),
                 }
             }
             cfg.epoch = epoch.unwrap_or(cfg.epoch);
             cfg.threads = threads.unwrap_or(cfg.threads);
             cfg.chunk = chunk.unwrap_or(cfg.chunk);
+            cfg.depth = depth.unwrap_or(cfg.depth);
+            cfg.overflow = overflow.unwrap_or(cfg.overflow);
             // A bare positional spec is accepted when --spec is absent.
             let (spec, wl) = match (spec_str, positional.as_slice()) {
                 (Some(s), rest) => (s, rest.first().copied()),
@@ -605,8 +623,20 @@ fn serve(spec_str: &str, wl: Option<&str>, cfg: ServiceConfig) -> ExitCode {
     );
     // The unbounded-source shape: feed the stream through the iterator
     // driver, then cut the final partial epoch.
-    let mut snaps = svc.run(stream.updates.iter().copied());
-    snaps.extend(svc.finish());
+    let mut snaps = match svc.run(stream.updates.iter().copied()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("service failed mid-stream: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match svc.finish() {
+        Ok(last) => snaps.extend(last),
+        Err(e) => {
+            eprintln!("service failed during the final cut: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
 
     let mut ok = true;
     for snap in &snaps {
@@ -622,6 +652,16 @@ fn serve(spec_str: &str, wl: Option<&str>, cfg: ServiceConfig) -> ExitCode {
             fmt_bits(rep.space_bits())
         );
         println!(
+            "           queue peak {:>4} (cap {} = depth x threads)  blocked {:>7.2} ms  \
+             dropped {} updates / {} mass ({:.1}% of offered)",
+            rep.queue_peak,
+            cfg.depth * cfg.threads,
+            rep.blocked.as_secs_f64() * 1e3,
+            rep.dropped_updates,
+            rep.dropped_mass,
+            rep.drop_fraction() * 100.0
+        );
+        println!(
             "           deletion fraction {:.3} (α-cap {:.3})  α floor {:.2} vs \
              configured {:.0} — {}",
             rep.deletion_fraction(),
@@ -635,6 +675,14 @@ fn serve(spec_str: &str, wl: Option<&str>, cfg: ServiceConfig) -> ExitCode {
             }
         );
         // Snapshot ≡ replay: a fresh sequential run over the same prefix.
+        // Under the drop policy the ingested stream is a policy-chosen
+        // subsequence, not a prefix — `stream.updates[..total_updates]` is
+        // the wrong reference, so the law is not checkable from here (the
+        // exact-accounting reconciliation in tests/service.rs covers it).
+        if rep.total_dropped_updates > 0 {
+            println!("           snapshot ≡ sequential prefix: skipped (drop policy shed updates)");
+            continue;
+        }
         let mut seq = reg.build(&spec).expect("spec built once already");
         StreamRunner::new().run_updates(&mut *seq, &stream.updates[..rep.total_updates]);
         let (got, want) = (
@@ -731,13 +779,21 @@ fn serve_listen(spec_str: &str, wl: Option<&str>, cfg: ServiceConfig, addr: &str
             if server.stop_requested() {
                 break 'ingest;
             }
-            epochs += svc.ingest(batch).len();
+            match svc.ingest(batch) {
+                Ok(snaps) => epochs += snaps.len(),
+                Err(e) => {
+                    eprintln!("service failed mid-stream: {e}");
+                    break 'ingest;
+                }
+            }
             total += batch.len() as u64;
         }
         passes += 1;
     }
-    if svc.finish().is_some() {
-        epochs += 1;
+    match svc.finish() {
+        Ok(Some(_)) => epochs += 1,
+        Ok(None) => {}
+        Err(e) => eprintln!("service failed during the final cut: {e}"),
     }
     server.join();
     println!(
@@ -859,10 +915,13 @@ fn loadgen_reader(
     })
 }
 
-/// Sorted-latency percentile (nearest-rank on the rounded index).
-fn percentile(sorted: &[Duration], q: f64) -> Duration {
-    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
-    sorted[idx]
+/// Sorted-latency percentile (nearest-rank on the rounded index), or
+/// `None` on an empty sample — a loadgen run whose every request failed
+/// (or that sent zero) has no latency distribution to index into.
+fn percentile(sorted: &[Duration], q: f64) -> Option<Duration> {
+    let last = sorted.len().checked_sub(1)?;
+    let idx = (last as f64 * q).round() as usize;
+    Some(sorted[idx])
 }
 
 /// Drive `--readers` concurrent wire-protocol readers against a
@@ -929,13 +988,44 @@ fn loadgen(
         wall.as_secs_f64(),
         total as f64 / wall.as_secs_f64()
     );
-    println!(
-        "latency  p50 {:>7.1} us  p95 {:>7.1} us  p99 {:>7.1} us  max {:>7.1} us",
-        percentile(&latencies, 0.50).as_secs_f64() * 1e6,
-        percentile(&latencies, 0.95).as_secs_f64() * 1e6,
-        percentile(&latencies, 0.99).as_secs_f64() * 1e6,
-        latencies[total - 1].as_secs_f64() * 1e6
-    );
+    match (
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.95),
+        percentile(&latencies, 0.99),
+        latencies.last(),
+    ) {
+        (Some(p50), Some(p95), Some(p99), Some(max)) => println!(
+            "latency  p50 {:>7.1} us  p95 {:>7.1} us  p99 {:>7.1} us  max {:>7.1} us",
+            p50.as_secs_f64() * 1e6,
+            p95.as_secs_f64() * 1e6,
+            p99.as_secs_f64() * 1e6,
+            max.as_secs_f64() * 1e6
+        ),
+        _ => println!("latency  n=0 — no requests completed, no percentiles to report"),
+    }
     println!("verified {verified} batched answer(s) bit-identical to same-stamp scalar answers");
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_of_empty_slice_is_none() {
+        // Regression: this used to compute `0 - 1` on usize and panic,
+        // taking down a loadgen run whose requests all failed.
+        assert_eq!(percentile(&[], 0.50), None);
+        assert_eq!(percentile(&[], 0.99), None);
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let ms: Vec<Duration> = (1..=10).map(Duration::from_millis).collect();
+        assert_eq!(percentile(&ms, 0.0), Some(Duration::from_millis(1)));
+        assert_eq!(percentile(&ms, 0.50), Some(Duration::from_millis(6)));
+        assert_eq!(percentile(&ms, 1.0), Some(Duration::from_millis(10)));
+        let one = [Duration::from_millis(7)];
+        assert_eq!(percentile(&one, 0.99), Some(Duration::from_millis(7)));
+    }
 }

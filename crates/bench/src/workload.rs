@@ -11,13 +11,16 @@
 //! rdc:n=2^40,blocks=50000,edit=0.25
 //! sensor:n=2^28,core=2000,transient=6000
 //! unbounded:n=2^16,mass=100000,survivors=100
+//! burst:n=2^16,phases=8,burst=20000,quiet=5000,hot=8,del=0.1
+//! skew-flip:n=2^20,len=200000,flips=4,support=64,del=0.1
+//! deletion-storm:n=2^16,inserts=150000,alpha=3,load=0.9
 //! ```
 //!
 //! Omitted keys take the defaults shown by `sketchctl workloads`.
 
 use bd_stream::gen::{
-    BoundedDeletionGen, L0AlphaGen, NetworkDiffGen, RdcGen, SensorGen, StrongAlphaGen,
-    UnboundedDeletionGen,
+    BoundedDeletionGen, BurstGen, DeletionStormGen, L0AlphaGen, NetworkDiffGen, RdcGen, SensorGen,
+    SkewFlipGen, StrongAlphaGen, UnboundedDeletionGen,
 };
 use bd_stream::StreamBatch;
 
@@ -63,6 +66,21 @@ pub const WORKLOADS: &[(&str, &str)] = &[
     (
         "unbounded",
         "adversarial turnstile stream: mass inserted, few survivors (n, mass, survivors, seed)",
+    ),
+    (
+        "burst",
+        "overload: alternating hot bursts and quiet diverse phases \
+         (n, phases, burst, quiet, hot, del, seed)",
+    ),
+    (
+        "skew-flip",
+        "overload: Zipfian stream whose head permutes mid-stream \
+         (n, len, flips, support, del, seed)",
+    ),
+    (
+        "deletion-storm",
+        "overload: insert build-up then a concentrated deletion storm near the \
+         alpha-cap (n, inserts, alpha, load, seed)",
     ),
 ];
 
@@ -175,6 +193,49 @@ pub fn generate(s: &str) -> Result<StreamBatch, WorkloadError> {
                 parse_u64("survivors", get("survivors").unwrap_or("100"))?,
             )
             .generate_seeded(seed)
+        }
+        "burst" => {
+            known(&["n", "phases", "burst", "quiet", "hot", "del"])?;
+            let mut g = BurstGen::new(
+                parse_u64("n", get("n").unwrap_or("2^16"))?,
+                parse_u64("phases", get("phases").unwrap_or("8"))? as usize,
+                parse_u64("burst", get("burst").unwrap_or("20000"))? as usize,
+                parse_u64("quiet", get("quiet").unwrap_or("5000"))? as usize,
+            );
+            if let Some(h) = get("hot") {
+                g.hot = parse_u64("hot", h)? as usize;
+            }
+            if let Some(d) = get("del") {
+                g.deletion_fraction = parse_f64("del", d)?;
+            }
+            g.generate_seeded(seed)
+        }
+        "skew-flip" => {
+            known(&["n", "len", "flips", "support", "del"])?;
+            let mut g = SkewFlipGen::new(
+                parse_u64("n", get("n").unwrap_or("2^20"))?,
+                parse_u64("len", get("len").unwrap_or("200000"))? as usize,
+                parse_u64("flips", get("flips").unwrap_or("4"))? as usize,
+            );
+            if let Some(s) = get("support") {
+                g.support = parse_u64("support", s)? as usize;
+            }
+            if let Some(d) = get("del") {
+                g.deletion_fraction = parse_f64("del", d)?;
+            }
+            g.generate_seeded(seed)
+        }
+        "deletion-storm" => {
+            known(&["n", "inserts", "alpha", "load"])?;
+            let mut g = DeletionStormGen::new(
+                parse_u64("n", get("n").unwrap_or("2^16"))?,
+                parse_u64("inserts", get("inserts").unwrap_or("150000"))? as usize,
+                parse_f64("alpha", get("alpha").unwrap_or("3"))?,
+            );
+            if let Some(l) = get("load") {
+                g.load = parse_f64("load", l)?;
+            }
+            g.generate_seeded(seed)
         }
         other => {
             return Err(WorkloadError(format!(

@@ -6,10 +6,13 @@
 //!   differences, Remote Differential Compression, clustered sensors);
 //! * [`hard`] — the §8 lower-bound constructions as stress workloads;
 //! * [`turnstile`] — unbounded-deletion adversarial streams (the regime the
-//!   paper's Ω(log n) bounds live in), for baseline comparisons.
+//!   paper's Ω(log n) bounds live in), for baseline comparisons;
+//! * [`overload`] — time-shaped saturation workloads (bursts, skew flips,
+//!   deletion storms) for the bounded-queue serving layer.
 
 pub mod bounded;
 pub mod hard;
+pub mod overload;
 pub mod scenarios;
 pub mod turnstile;
 pub mod zipf;
@@ -18,6 +21,7 @@ pub use bounded::{BoundedDeletionGen, L0AlphaGen, StrongAlphaGen};
 pub use hard::{
     AugmentedIndexingHH, HardInstance, InnerProductHard, InnerProductInstance, SupportHard,
 };
+pub use overload::{BurstGen, DeletionStormGen, SkewFlipGen};
 pub use scenarios::{NetworkDiffGen, RdcGen, SensorGen};
 pub use turnstile::UnboundedDeletionGen;
 pub use zipf::Zipf;
@@ -47,6 +51,9 @@ impl_generate_seeded!(
     RdcGen => crate::update::StreamBatch,
     SensorGen => crate::update::StreamBatch,
     UnboundedDeletionGen => crate::update::StreamBatch,
+    BurstGen => crate::update::StreamBatch,
+    SkewFlipGen => crate::update::StreamBatch,
+    DeletionStormGen => crate::update::StreamBatch,
     AugmentedIndexingHH => HardInstance,
     SupportHard => HardInstance,
     InnerProductHard => InnerProductInstance,

@@ -81,7 +81,9 @@ pub use registry::{
     BuildFn, Capabilities, DynSketch, FamilyInfo, Registry, RegistryError, SpaceInputs,
 };
 pub use runner::{RunReport, StreamRunner};
-pub use service::{EpochReport, ServiceConfig, Snapshot, StreamService};
+pub use service::{
+    EpochReport, OverflowPolicy, ServiceConfig, ServiceError, Snapshot, StreamService,
+};
 pub use sharded::{ShardedRun, ShardedRunner};
 pub use sketch::{
     aggregate_net, aggregate_signed_mass, BatchScratch, Mergeable, NormEstimate, PointQuery,

@@ -77,9 +77,12 @@ impl QueryServer {
                                 // stalled drain) closes that connection only.
                                 let _ = serve_connection(sock, handle, stop);
                             });
-                            conns.lock().expect("connection list poisoned").push(t);
+                            let mut conns = conns.lock().expect("connection list poisoned");
+                            reap_finished(&mut conns);
+                            conns.push(t);
                         }
                         Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            reap_finished(&mut conns.lock().expect("connection list poisoned"));
                             std::thread::sleep(ACCEPT_TICK);
                         }
                         // Listener died (fd pressure, ...): stop serving.
@@ -99,6 +102,15 @@ impl QueryServer {
     /// The bound address (the resolved port when binding port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// Connection threads currently tracked (live, plus any finished since
+    /// the accept loop's last reaping tick). Bounded by the number of
+    /// *concurrent* connections the server has seen — finished handles are
+    /// joined and discarded on every accept tick, so a long-running server
+    /// with short-lived clients does not accumulate them.
+    pub fn active_connections(&self) -> usize {
+        self.conns.lock().expect("connection list poisoned").len()
     }
 
     /// Whether shutdown has been requested — by [`QueryServer::stop`] or by
@@ -145,6 +157,21 @@ impl std::fmt::Debug for QueryServer {
             .field("local_addr", &self.local_addr)
             .field("stop_requested", &self.stop_requested())
             .finish_non_exhaustive()
+    }
+}
+
+/// Join and discard the connection threads that have already exited. Called
+/// with the list lock held on every accept-loop tick, so the list tracks
+/// concurrent connections instead of growing by one handle per connection
+/// ever served.
+fn reap_finished(conns: &mut Vec<JoinHandle<()>>) {
+    let mut i = 0;
+    while i < conns.len() {
+        if conns[i].is_finished() {
+            let _ = conns.swap_remove(i).join();
+        } else {
+            i += 1;
+        }
     }
 }
 
@@ -300,6 +327,10 @@ fn answer(req: &Request, handle: &SnapshotHandle, scratch: &mut Vec<f64>) -> Res
                 alpha_observed: rep.alpha_observed(),
                 space_bits: rep.space_bits(),
                 threads: rep.threads as u32,
+                total_dropped_updates: rep.total_dropped_updates as u64,
+                total_dropped_mass: rep.total_dropped_mass,
+                queue_peak: rep.queue_peak as u64,
+                blocked_us: rep.blocked.as_micros() as u64,
             }))
         }
         Request::Shutdown => unreachable!("handled by the connection loop"),
@@ -386,6 +417,12 @@ mod tests {
                 total_inserted: 90,
                 total_deleted: 30,
                 alpha_configured: 2.0,
+                dropped_updates: 0,
+                dropped_mass: 0,
+                total_dropped_updates: 0,
+                total_dropped_mass: 0,
+                queue_peak: 0,
+                blocked: Duration::ZERO,
                 space: SpaceReport::default(),
                 elapsed: Duration::ZERO,
                 merge_elapsed: Duration::ZERO,
@@ -509,6 +546,38 @@ mod tests {
             Response::Point { estimate, .. } => assert_eq!(estimate, 5.0),
             other => panic!("wrong response: {other:?}"),
         }
+        server.join();
+    }
+
+    #[test]
+    fn finished_connections_are_reaped() {
+        let hub = hub_with_values(10, &[(1, 5)]);
+        let server = QueryServer::bind("127.0.0.1:0", hub.handle()).unwrap();
+        // Many sequential short-lived clients: each one's thread finishes
+        // when the client disconnects, so the tracked-handle count must stay
+        // near the *concurrent* connection count (1), not grow to 32.
+        for _ in 0..32 {
+            let mut client = QueryClient::connect(server.local_addr()).unwrap();
+            match client.request(&Request::Point { item: 1 }).unwrap() {
+                Response::Point { estimate, .. } => assert_eq!(estimate, 5.0),
+                other => panic!("wrong response: {other:?}"),
+            }
+            drop(client);
+        }
+        // Give the last connection thread time to notice the close and the
+        // accept loop a few ticks to reap.
+        let mut tracked = usize::MAX;
+        for _ in 0..100 {
+            tracked = server.active_connections();
+            if tracked <= 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(
+            tracked <= 1,
+            "{tracked} finished connection handles were never reaped"
+        );
         server.join();
     }
 

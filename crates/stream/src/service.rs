@@ -9,10 +9,15 @@
 //! 1. [`Registry::build_n`] builds one identically-seeded sketch per shard
 //!    worker (the [`ShardedRunner`](crate::sharded::ShardedRunner)
 //!    construction, long-lived);
-//! 2. each worker is a thread owning its sketch and an mpsc command queue;
-//!    the service dispatches incoming update batches round-robin in
-//!    [`ServiceConfig::chunk`]-sized slices, so every update lands on a
-//!    deterministic worker regardless of call-boundary shapes;
+//! 2. each worker is a thread owning its sketch and a **bounded** command
+//!    queue ([`ServiceConfig::depth`] commands); the service dispatches
+//!    incoming update batches round-robin in [`ServiceConfig::chunk`]-sized
+//!    slices, so every update lands on a deterministic worker regardless of
+//!    call-boundary shapes. A producer faster than the slowest worker meets
+//!    the configured [`OverflowPolicy`] — back-pressure (`block`, default)
+//!    or counted load-shedding (`drop`) — instead of growing an unbounded
+//!    backlog, so the service's footprint stays
+//!    `O(threads × depth × chunk)` updates in flight (DESIGN.md §12);
 //! 3. every [`ServiceConfig::epoch`] updates (or on demand) the service
 //!    *cuts an epoch*: it enqueues a snapshot command behind each worker's
 //!    pending batches, collects one [`DynSketch::clone_dyn`] per worker, and
@@ -57,16 +62,88 @@ use crate::spec::{parse_u64, SketchSpec, SpecError};
 use crate::update::Update;
 use std::fmt;
 use std::str::FromStr;
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::atomic::{AtomicIsize, Ordering};
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// Service shape: epoch length, shard workers, dispatch granularity.
+/// What the dispatcher does when a worker's bounded command queue is full.
+///
+/// Parses from (and displays as) `block` / `drop` — the `overflow=` value in
+/// the [`ServiceConfig`] grammar.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OverflowPolicy {
+    /// Back-pressure: the producer blocks until the worker drains a slot.
+    /// Dispatch order is unchanged, so the snapshot ≡ replay laws hold
+    /// verbatim; the cost is producer latency, surfaced as
+    /// [`EpochReport::blocked`]. The default.
+    #[default]
+    Block,
+    /// Load-shedding: the full dispatch cell is dropped on the floor and
+    /// counted ([`EpochReport::dropped_updates`] /
+    /// [`EpochReport::dropped_mass`]). Accounting stays exact over what was
+    /// actually ingested — α and the mass tallies describe the sketched
+    /// stream, never the shed mass. Snapshot commands are never dropped.
+    Drop,
+}
+
+impl fmt::Display for OverflowPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            OverflowPolicy::Block => "block",
+            OverflowPolicy::Drop => "drop",
+        })
+    }
+}
+
+impl FromStr for OverflowPolicy {
+    type Err = SpecError;
+
+    fn from_str(s: &str) -> Result<Self, SpecError> {
+        match s.trim() {
+            "block" => Ok(OverflowPolicy::Block),
+            "drop" => Ok(OverflowPolicy::Drop),
+            other => Err(SpecError::BadField(
+                "overflow",
+                format!("`{other}` is not `block` or `drop`"),
+            )),
+        }
+    }
+}
+
+/// A runtime service failure: the typed form of what used to be a panic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServiceError {
+    /// A shard worker's thread is gone (its sketch panicked mid-update, or
+    /// the thread was killed), so its command queue is disconnected. The
+    /// index identifies which worker died; the service cannot make further
+    /// progress and should be dropped (its `Drop` joins the surviving
+    /// workers cleanly).
+    WorkerDied {
+        /// Index of the dead worker in `0..threads`.
+        worker: usize,
+    },
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::WorkerDied { worker } => {
+                write!(f, "service worker {worker} died (its thread is gone)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// Service shape: epoch length, shard workers, dispatch granularity, and
+/// the bounded-queue overload contract.
 ///
 /// Parses from (and displays as) a compact string in the spec grammar,
-/// `service:epoch=1e5,threads=4,chunk=4096` (the `service:` prefix and any
-/// subset of keys are optional).
+/// `service:epoch=1e5,threads=4,chunk=4096,depth=64,overflow=block` (the
+/// `service:` prefix and any subset of keys are optional).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ServiceConfig {
     /// Updates per epoch: a snapshot is cut every `epoch` dispatched
@@ -80,15 +157,27 @@ pub struct ServiceConfig {
     /// matches [`StreamRunner::DEFAULT_CHUNK`] so each dispatch is one
     /// batched ingestion call.
     pub chunk: usize,
+    /// Bound on each worker's command queue (in commands, i.e. dispatch
+    /// cells — not updates). The service's memory footprint is then
+    /// `O(threads × depth × chunk)` updates in flight, never `O(backlog)`:
+    /// saturation engages the [`ServiceConfig::overflow`] policy instead of
+    /// growing a queue without limit.
+    pub depth: usize,
+    /// What a full worker queue does to the producer: `block`
+    /// (back-pressure, the default) or `drop` (shed the cell, counted).
+    pub overflow: OverflowPolicy,
 }
 
 impl Default for ServiceConfig {
-    /// `epoch = 100_000`, `threads = 4`, `chunk = 4096`.
+    /// `epoch = 100_000`, `threads = 4`, `chunk = 4096`, `depth = 64`,
+    /// `overflow = block`.
     fn default() -> Self {
         ServiceConfig {
             epoch: 100_000,
             threads: 4,
             chunk: StreamRunner::DEFAULT_CHUNK,
+            depth: 64,
+            overflow: OverflowPolicy::Block,
         }
     }
 }
@@ -112,16 +201,40 @@ impl ServiceConfig {
         self
     }
 
+    /// Set the per-worker queue depth.
+    pub fn with_depth(mut self, depth: usize) -> Self {
+        self.depth = depth;
+        self
+    }
+
+    /// Set the overflow policy.
+    pub fn with_overflow(mut self, overflow: OverflowPolicy) -> Self {
+        self.overflow = overflow;
+        self
+    }
+
     /// Validate the fields (zero values would deadlock the dispatch loop).
     pub fn validate(&self) -> Result<(), SpecError> {
         if self.epoch == 0 {
             return Err(SpecError::BadField("epoch", "must be ≥ 1".into()));
+        }
+        if usize::try_from(self.epoch).is_err() {
+            return Err(SpecError::BadField(
+                "epoch",
+                format!(
+                    "{} is not representable as usize on this target",
+                    self.epoch
+                ),
+            ));
         }
         if self.threads == 0 {
             return Err(SpecError::BadField("threads", "must be ≥ 1".into()));
         }
         if self.chunk == 0 {
             return Err(SpecError::BadField("chunk", "must be ≥ 1".into()));
+        }
+        if self.depth == 0 {
+            return Err(SpecError::BadField("depth", "must be ≥ 1".into()));
         }
         Ok(())
     }
@@ -154,6 +267,8 @@ impl FromStr for ServiceConfig {
                 "epoch" => cfg.epoch = parse_u64("epoch", val.trim())?,
                 "threads" => cfg.threads = parse_u64("threads", val.trim())? as usize,
                 "chunk" => cfg.chunk = parse_u64("chunk", val.trim())? as usize,
+                "depth" => cfg.depth = parse_u64("depth", val.trim())? as usize,
+                "overflow" => cfg.overflow = val.trim().parse()?,
                 other => return Err(SpecError::UnknownKey(other.to_string())),
             }
         }
@@ -166,8 +281,8 @@ impl fmt::Display for ServiceConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "service:epoch={},threads={},chunk={}",
-            self.epoch, self.threads, self.chunk
+            "service:epoch={},threads={},chunk={},depth={},overflow={}",
+            self.epoch, self.threads, self.chunk, self.depth, self.overflow
         )
     }
 }
@@ -196,6 +311,26 @@ pub struct EpochReport {
     /// The α the spec promised (the bound the observed regime is judged
     /// against).
     pub alpha_configured: f64,
+    /// Updates shed by the `drop` overflow policy since the previous cut
+    /// (whole dispatch cells whose target worker's queue was full). Always
+    /// zero under `block`.
+    pub dropped_updates: usize,
+    /// Mass `Σ|Δ|` of the shed updates since the previous cut. Shed mass is
+    /// *not* part of the ingested tallies — the α accounting describes the
+    /// sketched stream exactly.
+    pub dropped_mass: u64,
+    /// Updates shed since the service started.
+    pub total_dropped_updates: usize,
+    /// Shed mass since the service started.
+    pub total_dropped_mass: u64,
+    /// High-watermark of commands queued across all workers during this
+    /// epoch, sampled after every dispatch. Structurally bounded by
+    /// `depth × threads`.
+    pub queue_peak: usize,
+    /// Producer wall clock spent blocked on full worker queues this epoch
+    /// (back-pressure under `block`; snapshot enqueueing under either
+    /// policy).
+    pub blocked: Duration,
     /// Space watermark of the merged snapshot sketch.
     pub space: SpaceReport,
     /// Wall clock from the previous cut to this one (dispatch side).
@@ -213,6 +348,27 @@ impl EpochReport {
     /// Update mass `Σ|Δ|` of this epoch.
     pub fn mass(&self) -> u64 {
         self.inserted_mass + self.deleted_mass
+    }
+
+    /// Updates *offered* to the service this epoch: ingested + shed. Under
+    /// `block` this equals [`EpochReport::updates`].
+    pub fn offered_updates(&self) -> usize {
+        self.updates + self.dropped_updates
+    }
+
+    /// Updates offered since the service started: ingested + shed.
+    pub fn total_offered_updates(&self) -> usize {
+        self.total_updates + self.total_dropped_updates
+    }
+
+    /// Fraction of offered updates shed this epoch (0 for an idle epoch).
+    pub fn drop_fraction(&self) -> f64 {
+        let offered = self.offered_updates();
+        if offered == 0 {
+            0.0
+        } else {
+            self.dropped_updates as f64 / offered as f64
+        }
     }
 
     /// Update mass `Σ|Δ|` of the whole prefix.
@@ -327,22 +483,45 @@ pub struct StreamService {
     /// resolved cut is atomically swapped in here, so reader threads holding
     /// a [`SnapshotHandle`] always see the newest *complete* epoch.
     hub: SnapshotHub,
-    senders: Vec<Sender<Cmd>>,
+    senders: Vec<SyncSender<Cmd>>,
     handles: Vec<JoinHandle<()>>,
+    /// Per-worker count of commands sent but not yet received, kept by the
+    /// dispatcher (increment after a successful send) and the worker
+    /// (decrement on recv). `isize` because the decrement can race ahead of
+    /// the increment; the watermark sample clamps at 0. Each counter is
+    /// bounded by the channel capacity, so the summed watermark is
+    /// structurally ≤ `depth × threads`.
+    pending_cmds: Vec<Arc<AtomicIsize>>,
     /// Updates accepted but not yet dispatched: the partially-filled cell
     /// of the global chunk grid. Holding them back makes every dispatched
     /// batch a full grid cell (or a schedule-determined epoch split), so
     /// replay is independent of how callers slice the source into `ingest`
     /// calls.
     buf: Vec<Update>,
-    /// Updates dispatched since the last cut.
+    /// Updates *offered* (dispatched or shed) since the last cut — the
+    /// epoch schedule counts offered updates, so cut geometry is
+    /// independent of the overflow policy.
     in_epoch: u64,
+    /// Updates offered since the service started: drives the chunk-grid
+    /// position, so the update → worker assignment is a pure function of
+    /// the offered stream.
+    offered: usize,
     epochs_cut: usize,
+    /// Updates actually ingested (dispatched to a worker) since the service
+    /// started — the prefix length a snapshot covers.
     total_updates: usize,
+    /// Updates ingested since the last cut.
+    ingested_in_epoch: usize,
     inserted: u64,
     deleted: u64,
     total_inserted: u64,
     total_deleted: u64,
+    dropped_updates: usize,
+    dropped_mass: u64,
+    total_dropped_updates: usize,
+    total_dropped_mass: u64,
+    queue_peak: usize,
+    blocked: Duration,
     epoch_start: Instant,
     pending: Vec<PendingCut>,
 }
@@ -370,11 +549,17 @@ impl StreamService {
         let runner = StreamRunner::new();
         let mut senders = Vec::with_capacity(threads);
         let mut handles = Vec::with_capacity(threads);
+        let mut pending_cmds = Vec::with_capacity(threads);
         for mut sk in sketches {
-            let (tx, rx) = channel::<Cmd>();
+            // Bounded: a producer faster than the slowest worker meets the
+            // overflow policy instead of growing an unbounded backlog.
+            let (tx, rx) = sync_channel::<Cmd>(config.depth);
+            let queued = Arc::new(AtomicIsize::new(0));
             senders.push(tx);
+            pending_cmds.push(Arc::clone(&queued));
             handles.push(std::thread::spawn(move || {
                 while let Ok(cmd) = rx.recv() {
+                    queued.fetch_sub(1, Ordering::Relaxed);
                     match cmd {
                         Cmd::Batch(batch) => runner.run_updates(&mut *sk, &batch).updates,
                         Cmd::Snapshot(reply) => {
@@ -394,14 +579,23 @@ impl StreamService {
             hub: SnapshotHub::new(),
             senders,
             handles,
+            pending_cmds,
             buf: Vec::with_capacity(config.chunk),
             in_epoch: 0,
+            offered: 0,
             epochs_cut: 0,
             total_updates: 0,
+            ingested_in_epoch: 0,
             inserted: 0,
             deleted: 0,
             total_inserted: 0,
             total_deleted: 0,
+            dropped_updates: 0,
+            dropped_mass: 0,
+            total_dropped_updates: 0,
+            total_dropped_mass: 0,
+            queue_peak: 0,
+            blocked: Duration::ZERO,
             epoch_start: Instant::now(),
             pending: Vec::new(),
         })
@@ -413,8 +607,16 @@ impl StreamService {
     }
 
     /// Updates ingested since the service started (dispatched + buffered).
+    /// Under the `drop` overflow policy, shed updates are *not* counted
+    /// here — see [`StreamService::total_dropped_updates`].
     pub fn total_updates(&self) -> usize {
         self.total_updates + self.buf.len()
+    }
+
+    /// Updates shed by the `drop` overflow policy since the service started
+    /// (always 0 under `block`).
+    pub fn total_dropped_updates(&self) -> usize {
+        self.total_dropped_updates + self.dropped_updates
     }
 
     /// Epochs cut so far (scheduled or [`StreamService::finish`]-final;
@@ -441,30 +643,86 @@ impl StreamService {
         self.hub.handle().latest()
     }
 
-    /// Dispatch the buffered batch to its worker and tally the accounting.
-    /// The target is a pure function of the stream position — update `t`
-    /// belongs to worker `(t / chunk) mod threads` — so the update → worker
-    /// assignment (and therefore every snapshot) is independent of how the
-    /// caller slices the source into `ingest` calls. The buffer never spans
-    /// a cell of that grid.
-    fn flush(&mut self) {
-        if self.buf.is_empty() {
-            return;
-        }
-        let batch = std::mem::replace(&mut self.buf, Vec::with_capacity(self.config.chunk));
-        for u in &batch {
-            if u.delta > 0 {
-                self.inserted += u.delta as u64;
-            } else {
-                self.deleted += u.delta.unsigned_abs();
+    /// Record the current summed queue occupancy into the epoch's
+    /// high-watermark. Counters race the workers on both edges — a
+    /// decrement can land before our increment (transient −1), and a
+    /// worker that has popped a command decrements only after `recv`
+    /// returns (transient `depth + 1`) — but physical channel occupancy
+    /// is always within `[0, depth]`, so clamp each sample to that range.
+    /// The watermark then respects `queue_peak ≤ depth × threads` by
+    /// construction.
+    fn sample_queue_depth(&mut self) {
+        let depth = self.config.depth as isize;
+        let queued: isize = self
+            .pending_cmds
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed).clamp(0, depth))
+            .sum();
+        self.queue_peak = self.queue_peak.max(queued as usize);
+    }
+
+    /// Deliver one command to worker `w` under the overflow contract:
+    /// try-send first; on a full queue either shed (`drop` policy, and only
+    /// when `droppable` — snapshot commands never are) or fall back to a
+    /// timed blocking send (`block`). Returns `Ok(false)` iff the command
+    /// was shed. A disconnected queue means the worker thread is gone.
+    fn send_cmd(&mut self, w: usize, cmd: Cmd, droppable: bool) -> Result<bool, ServiceError> {
+        match self.senders[w].try_send(cmd) {
+            Ok(()) => {}
+            Err(TrySendError::Disconnected(_)) => {
+                return Err(ServiceError::WorkerDied { worker: w })
+            }
+            Err(TrySendError::Full(cmd)) => {
+                if droppable && self.config.overflow == OverflowPolicy::Drop {
+                    return Ok(false);
+                }
+                let stall = Instant::now();
+                self.senders[w]
+                    .send(cmd)
+                    .map_err(|_| ServiceError::WorkerDied { worker: w })?;
+                self.blocked += stall.elapsed();
             }
         }
-        let w = (self.total_updates / self.config.chunk) % self.senders.len();
-        self.in_epoch += batch.len() as u64;
-        self.total_updates += batch.len();
-        self.senders[w]
-            .send(Cmd::Batch(batch))
-            .expect("service worker hung up");
+        self.pending_cmds[w].fetch_add(1, Ordering::Relaxed);
+        self.sample_queue_depth();
+        Ok(true)
+    }
+
+    /// Dispatch the buffered batch to its worker and tally the accounting.
+    /// The target is a pure function of the stream position — update `t`
+    /// belongs to worker `(t / chunk) mod threads` over the *offered*
+    /// stream — so the update → worker assignment (and therefore every
+    /// snapshot) is independent of how the caller slices the source into
+    /// `ingest` calls. The buffer never spans a cell of that grid. Mass is
+    /// tallied only for updates that actually reach a worker; a shed cell
+    /// lands in the dropped counters instead.
+    fn flush(&mut self) -> Result<(), ServiceError> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        let batch = std::mem::replace(&mut self.buf, Vec::with_capacity(self.config.chunk));
+        let (mut ins, mut del) = (0u64, 0u64);
+        for u in &batch {
+            if u.delta > 0 {
+                ins += u.delta as u64;
+            } else {
+                del += u.delta.unsigned_abs();
+            }
+        }
+        let w = (self.offered / self.config.chunk) % self.senders.len();
+        let len = batch.len();
+        self.offered += len;
+        self.in_epoch += len as u64;
+        if self.send_cmd(w, Cmd::Batch(batch), true)? {
+            self.inserted += ins;
+            self.deleted += del;
+            self.total_updates += len;
+            self.ingested_in_epoch += len;
+        } else {
+            self.dropped_updates += len;
+            self.dropped_mass += ins + del;
+        }
+        Ok(())
     }
 
     /// Freeze the current accounting into an [`EpochReport`] shell (space
@@ -472,15 +730,23 @@ impl StreamService {
     fn freeze_report(&mut self, epoch: usize) -> EpochReport {
         self.total_inserted += self.inserted;
         self.total_deleted += self.deleted;
+        self.total_dropped_updates += self.dropped_updates;
+        self.total_dropped_mass += self.dropped_mass;
         let report = EpochReport {
             epoch,
-            updates: self.in_epoch as usize,
+            updates: self.ingested_in_epoch,
             total_updates: self.total_updates,
             inserted_mass: self.inserted,
             deleted_mass: self.deleted,
             total_inserted: self.total_inserted,
             total_deleted: self.total_deleted,
             alpha_configured: self.alpha_configured,
+            dropped_updates: self.dropped_updates,
+            dropped_mass: self.dropped_mass,
+            total_dropped_updates: self.total_dropped_updates,
+            total_dropped_mass: self.total_dropped_mass,
+            queue_peak: self.queue_peak,
+            blocked: self.blocked,
             space: SpaceReport::default(),
             elapsed: self.epoch_start.elapsed(),
             merge_elapsed: Duration::ZERO,
@@ -490,6 +756,11 @@ impl StreamService {
         self.inserted = 0;
         self.deleted = 0;
         self.in_epoch = 0;
+        self.ingested_in_epoch = 0;
+        self.dropped_updates = 0;
+        self.dropped_mass = 0;
+        self.queue_peak = 0;
+        self.blocked = Duration::ZERO;
         self.epoch_start = Instant::now();
         report
     }
@@ -498,111 +769,126 @@ impl StreamService {
     /// pending batches and freeze the accounting. The workers' clones are
     /// collected later ([`StreamService::resolve`]), so ingestion of the
     /// next epoch proceeds while the cut is in flight.
-    fn cut(&mut self) {
+    fn cut(&mut self) -> Result<(), ServiceError> {
         self.epochs_cut += 1;
         let report = self.freeze_report(self.epochs_cut);
-        let replies = self
-            .senders
-            .iter()
-            .map(|tx| {
-                let (reply_tx, reply_rx) = channel();
-                tx.send(Cmd::Snapshot(reply_tx))
-                    .expect("service worker hung up");
-                reply_rx
-            })
-            .collect();
+        let mut replies = Vec::with_capacity(self.senders.len());
+        for w in 0..self.senders.len() {
+            let (reply_tx, reply_rx) = channel();
+            // Snapshot commands are never shed — a full queue blocks here
+            // under either policy (the cut must observe exactly the batches
+            // dispatched before it).
+            self.send_cmd(w, Cmd::Snapshot(reply_tx), false)?;
+            replies.push(reply_rx);
+        }
         self.pending.push(PendingCut { replies, report });
+        Ok(())
     }
 
     /// Collect one pending cut's clones and fold them into a snapshot with
     /// the deterministic pairwise tree (worker 0's clone is the survivor,
     /// the same identity the serial fold produced).
-    fn resolve(&self, cut: PendingCut) -> Arc<Snapshot> {
-        let clones: Vec<Box<dyn DynSketch>> = cut
-            .replies
-            .into_iter()
-            .map(|rx| rx.recv().expect("service worker dropped a snapshot"))
-            .collect();
+    fn resolve(&self, cut: PendingCut) -> Result<Arc<Snapshot>, ServiceError> {
+        let mut clones: Vec<Box<dyn DynSketch>> = Vec::with_capacity(cut.replies.len());
+        for (worker, rx) in cut.replies.into_iter().enumerate() {
+            // A worker that panicked between accepting the snapshot command
+            // and replying drops its end of the reply channel.
+            clones.push(rx.recv().map_err(|_| ServiceError::WorkerDied { worker })?);
+        }
         let (merged, merge) =
             merge_tree(clones).expect("identically-built worker sketches must merge");
         let mut report = cut.report;
         report.merge_elapsed = merge.elapsed;
         report.merge = merge;
         report.space = merged.space();
-        Arc::new(Snapshot {
+        Ok(Arc::new(Snapshot {
             spec: self.spec,
             sketch: merged,
             report,
-        })
+        }))
     }
 
     /// Resolve every in-flight cut, in cut order, publishing each to the
     /// hub as it completes (the last one resolved is the one
     /// [`StreamService::latest`] serves).
-    fn drain_pending(&mut self, out: &mut Vec<Arc<Snapshot>>) {
+    fn drain_pending(&mut self, out: &mut Vec<Arc<Snapshot>>) -> Result<(), ServiceError> {
         for cut in std::mem::take(&mut self.pending) {
-            let snap = self.resolve(cut);
+            let snap = self.resolve(cut)?;
             self.hub.publish(Arc::clone(&snap));
             out.push(snap);
         }
+        Ok(())
     }
 
     /// Ingest a slice of the unbounded source. Updates are dispatched
     /// round-robin in [`ServiceConfig::chunk`]-sized batches; every
     /// [`ServiceConfig::epoch`] updates an epoch is cut *exactly at the
     /// boundary* (mid-slice if needed). Returns the snapshots of every
-    /// epoch completed by this call.
-    pub fn ingest(&mut self, updates: &[Update]) -> Vec<Arc<Snapshot>> {
+    /// epoch completed by this call, or [`ServiceError::WorkerDied`] once a
+    /// worker thread is gone.
+    pub fn ingest(&mut self, updates: &[Update]) -> Result<Vec<Arc<Snapshot>>, ServiceError> {
         let mut out = Vec::new();
         let mut rest = updates;
         while !rest.is_empty() {
-            let held = self.buf.len();
-            let epoch_room = (self.config.epoch - self.in_epoch) as usize - held;
-            let cell_room = self.config.chunk - (self.total_updates + held) % self.config.chunk;
-            let take = epoch_room.min(cell_room).min(rest.len());
-            let (piece, tail) = rest.split_at(take);
+            // Room is computed in u64: `epoch` may exceed usize::MAX on
+            // 32-bit targets (validate() rejects those before start), and
+            // the subtraction cannot underflow because `in_epoch + held <
+            // epoch` is a loop invariant — boundaries flush-and-cut
+            // immediately below.
+            let held = self.buf.len() as u64;
+            let chunk = self.config.chunk as u64;
+            let epoch_room = self.config.epoch - self.in_epoch - held;
+            let cell_room = chunk - (self.offered as u64 + held) % chunk;
+            let take = epoch_room.min(cell_room).min(rest.len() as u64);
+            let (piece, tail) = rest.split_at(take as usize);
             self.buf.extend_from_slice(piece);
             rest = tail;
             // Dispatch only at grid-cell or epoch boundaries; a partial
             // cell stays buffered across calls so batch shapes (and any
             // RNG they drive) replay identically for any call slicing.
             if take == cell_room || take == epoch_room {
-                self.flush();
+                self.flush()?;
             }
             if take == epoch_room {
-                self.cut();
+                self.cut()?;
             }
         }
-        self.drain_pending(&mut out);
-        out
+        self.drain_pending(&mut out)?;
+        Ok(out)
     }
 
     /// Drive the service over an update iterator (the unbounded-source
     /// shape), returning every epoch snapshot the stream produced.
-    pub fn run<I: IntoIterator<Item = Update>>(&mut self, source: I) -> Vec<Arc<Snapshot>> {
+    pub fn run<I: IntoIterator<Item = Update>>(
+        &mut self,
+        source: I,
+    ) -> Result<Vec<Arc<Snapshot>>, ServiceError> {
         let mut out = Vec::new();
         let mut buf: Vec<Update> = Vec::with_capacity(self.config.chunk);
         for u in source {
             buf.push(u);
             if buf.len() == self.config.chunk {
-                out.extend(self.ingest(&buf));
+                out.extend(self.ingest(&buf)?);
                 buf.clear();
             }
         }
         if !buf.is_empty() {
-            out.extend(self.ingest(&buf));
+            out.extend(self.ingest(&buf)?);
         }
-        out
+        Ok(out)
     }
 
     /// Drive the service from an mpsc channel of update batches until the
     /// sending side hangs up.
-    pub fn run_channel(&mut self, source: Receiver<Vec<Update>>) -> Vec<Arc<Snapshot>> {
+    pub fn run_channel(
+        &mut self,
+        source: Receiver<Vec<Update>>,
+    ) -> Result<Vec<Arc<Snapshot>>, ServiceError> {
         let mut out = Vec::new();
         while let Ok(batch) = source.recv() {
-            out.extend(self.ingest(&batch));
+            out.extend(self.ingest(&batch)?);
         }
-        out
+        Ok(out)
     }
 
     /// An on-demand snapshot of everything ingested so far, *without*
@@ -627,41 +913,43 @@ impl StreamService {
     /// remains the right tool for one-thread-in-total deployments that want
     /// a synchronous point-in-time cut (e.g. `sketchctl serve`'s final
     /// verification), not for concurrent query serving.
-    pub fn snapshot(&mut self) -> Arc<Snapshot> {
+    pub fn snapshot(&mut self) -> Result<Arc<Snapshot>, ServiceError> {
         // The clone must cover everything ingested, so the partial cell is
         // dispatched early. This splits one batch in two on the target
         // worker — harmless for the scheduled snapshots (assignment and cut
         // positions are unchanged, and batched ingestion is
         // grouping-insensitive outside thinning regimes) but it is the one
         // observable side effect of an on-demand snapshot.
-        self.flush();
+        self.flush()?;
         // Totals must not double-count when the scheduled cut arrives, so
         // freeze a copy of the accounting instead of consuming it.
         let report = EpochReport {
             epoch: self.epochs_cut + 1,
-            updates: self.in_epoch as usize,
+            updates: self.ingested_in_epoch,
             total_updates: self.total_updates,
             inserted_mass: self.inserted,
             deleted_mass: self.deleted,
             total_inserted: self.total_inserted + self.inserted,
             total_deleted: self.total_deleted + self.deleted,
             alpha_configured: self.alpha_configured,
+            dropped_updates: self.dropped_updates,
+            dropped_mass: self.dropped_mass,
+            total_dropped_updates: self.total_dropped_updates + self.dropped_updates,
+            total_dropped_mass: self.total_dropped_mass + self.dropped_mass,
+            queue_peak: self.queue_peak,
+            blocked: self.blocked,
             space: SpaceReport::default(),
             elapsed: self.epoch_start.elapsed(),
             merge_elapsed: Duration::ZERO,
             merge: MergeReport::default(),
             threads: self.config.threads,
         };
-        let replies: Vec<Receiver<Box<dyn DynSketch>>> = self
-            .senders
-            .iter()
-            .map(|tx| {
-                let (reply_tx, reply_rx) = channel();
-                tx.send(Cmd::Snapshot(reply_tx))
-                    .expect("service worker hung up");
-                reply_rx
-            })
-            .collect();
+        let mut replies = Vec::with_capacity(self.senders.len());
+        for w in 0..self.senders.len() {
+            let (reply_tx, reply_rx) = channel();
+            self.send_cmd(w, Cmd::Snapshot(reply_tx), false)?;
+            replies.push(reply_rx);
+        }
         self.resolve(PendingCut { replies, report })
     }
 
@@ -671,19 +959,27 @@ impl StreamService {
     /// arrived since the last cut). The final snapshot is published to the
     /// hub like any scheduled cut, so surviving [`SnapshotHandle`]s serve
     /// the complete stream after the service is gone.
-    pub fn finish(mut self) -> Option<Arc<Snapshot>> {
+    ///
+    /// Resilient to a dead worker: the surviving workers are always joined
+    /// cleanly before the error is returned (no panic, no leaked threads).
+    pub fn finish(mut self) -> Result<Option<Arc<Snapshot>>, ServiceError> {
         let mut out = Vec::new();
-        self.flush();
-        if self.in_epoch > 0 {
-            self.cut();
-        }
-        self.drain_pending(&mut out);
-        // Dropping the senders ends the worker loops; join for a clean stop.
+        let result = self.finish_cut(&mut out);
+        // Dropping the senders ends the worker loops; join for a clean stop
+        // whether or not the final cut succeeded.
         self.senders.clear();
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
-        out.pop()
+        result.map(|()| out.pop())
+    }
+
+    fn finish_cut(&mut self, out: &mut Vec<Arc<Snapshot>>) -> Result<(), ServiceError> {
+        self.flush()?;
+        if self.in_epoch > 0 {
+            self.cut()?;
+        }
+        self.drain_pending(out)
     }
 }
 
@@ -740,8 +1036,15 @@ mod tests {
         assert_eq!(cfg.epoch, 100_000);
         assert_eq!(cfg.threads, 4);
         assert_eq!(cfg.chunk, StreamRunner::DEFAULT_CHUNK);
+        assert_eq!(cfg.depth, 64);
+        assert_eq!(cfg.overflow, OverflowPolicy::Block);
         let redisplayed: ServiceConfig = cfg.to_string().parse().unwrap();
         assert_eq!(redisplayed, cfg);
+        // The overload knobs parse and round-trip.
+        let shed: ServiceConfig = "service:depth=8,overflow=drop".parse().unwrap();
+        assert_eq!(shed.depth, 8);
+        assert_eq!(shed.overflow, OverflowPolicy::Drop);
+        assert_eq!(shed.to_string().parse::<ServiceConfig>(), Ok(shed));
         // Bare key=value form and defaults.
         let bare: ServiceConfig = "epoch=2^10".parse().unwrap();
         assert_eq!(bare.epoch, 1024);
@@ -750,6 +1053,10 @@ mod tests {
             Ok(ServiceConfig::default())
         );
         assert!("service:epoch=0".parse::<ServiceConfig>().is_err());
+        assert!("service:depth=0".parse::<ServiceConfig>().is_err());
+        assert!("service:overflow=sometimes"
+            .parse::<ServiceConfig>()
+            .is_err());
         assert!("service:frob=1".parse::<ServiceConfig>().is_err());
         assert!("shard:epoch=1".parse::<ServiceConfig>().is_err());
     }
@@ -766,14 +1073,18 @@ mod tests {
         let mut snaps = Vec::new();
         // Feed in awkward slice sizes; boundaries must land at 300/600/900.
         for piece in s.updates.chunks(171) {
-            snaps.extend(svc.ingest(piece));
+            snaps.extend(svc.ingest(piece).unwrap());
         }
-        let last = svc.finish().expect("partial final epoch");
+        let last = svc.finish().unwrap().expect("partial final epoch");
         assert_eq!(snaps.len(), 3);
         for (i, snap) in snaps.iter().enumerate() {
             assert_eq!(snap.report.epoch, i + 1);
             assert_eq!(snap.report.updates, 300);
             assert_eq!(snap.report.total_updates, 300 * (i + 1));
+            // Block policy: nothing shed, queues bounded by depth × threads.
+            assert_eq!(snap.report.dropped_updates, 0);
+            assert_eq!(snap.report.offered_updates(), snap.report.updates);
+            assert!(snap.report.queue_peak <= cfg.depth * cfg.threads);
         }
         assert_eq!(last.report.epoch, 4);
         assert_eq!(last.report.updates, 100);
@@ -790,7 +1101,7 @@ mod tests {
             .with_threads(4)
             .with_chunk(32);
         let mut svc = StreamService::start(&r, &spec(), cfg).unwrap();
-        let snaps = svc.ingest(&s.updates);
+        let snaps = svc.ingest(&s.updates).unwrap();
         assert_eq!(snaps.len(), 4);
         for snap in &snaps {
             let mut seq = r.build(&spec()).unwrap();
@@ -819,13 +1130,13 @@ mod tests {
             let mut svc = StreamService::start(&r, &spec(), cfg).unwrap();
             let mut snaps = Vec::new();
             for (k, piece) in s.updates.chunks(100).enumerate() {
-                snaps.extend(svc.ingest(piece));
+                snaps.extend(svc.ingest(piece).unwrap());
                 if poke && k % 2 == 0 {
-                    let mid = svc.snapshot();
+                    let mid = svc.snapshot().unwrap();
                     assert_eq!(mid.report.total_updates, (k + 1) * 100);
                 }
             }
-            let fin = svc.finish().unwrap();
+            let fin = svc.finish().unwrap().unwrap();
             (snaps.len(), fin.report.total_updates, {
                 let p = fin.sketch.as_point().unwrap();
                 (0..64).map(|i| p.point(i).to_bits()).collect::<Vec<_>>()
@@ -848,8 +1159,8 @@ mod tests {
             ServiceConfig::default().with_epoch(1000).with_threads(2),
         )
         .unwrap();
-        svc.ingest(&ups);
-        let snap = svc.finish().unwrap();
+        svc.ingest(&ups).unwrap();
+        let snap = svc.finish().unwrap().unwrap();
         let rep = snap.report;
         assert_eq!(rep.total_inserted, 60);
         assert_eq!(rep.total_deleted, 20);
@@ -888,9 +1199,9 @@ mod tests {
         ));
         // One thread is a sequential service — valid for any family.
         let mut svc = StreamService::start(&r, &spec, cfg.with_threads(1).with_epoch(10)).unwrap();
-        let snaps = svc.ingest(&stream().updates[..25]);
+        let snaps = svc.ingest(&stream().updates[..25]).unwrap();
         assert_eq!(snaps.len(), 2);
-        assert!(svc.finish().is_some());
+        assert!(svc.finish().unwrap().is_some());
     }
 
     #[test]
@@ -908,16 +1219,42 @@ mod tests {
             ServiceConfig::default().with_epoch(500).with_threads(2),
         )
         .unwrap();
-        let snaps = svc.run_channel(rx);
+        let snaps = svc.run_channel(rx).unwrap();
         assert_eq!(snaps.len(), 2);
         assert_eq!(svc.total_updates(), 1000);
-        assert!(svc.finish().is_none(), "no partial epoch left");
+        assert!(svc.finish().unwrap().is_none(), "no partial epoch left");
     }
 
     #[test]
     fn finish_without_updates_is_none() {
         let r = reg();
         let svc = StreamService::start(&r, &spec(), ServiceConfig::default()).unwrap();
-        assert!(svc.finish().is_none());
+        assert!(svc.finish().unwrap().is_none());
+    }
+
+    #[test]
+    fn block_policy_back_pressure_is_invisible_to_snapshots() {
+        let r = reg();
+        let s = stream();
+        let run = |depth: usize| {
+            let cfg = ServiceConfig::default()
+                .with_epoch(250)
+                .with_threads(2)
+                .with_chunk(16)
+                .with_depth(depth);
+            let mut svc = StreamService::start(&r, &spec(), cfg).unwrap();
+            let snaps = svc.ingest(&s.updates).unwrap();
+            svc.finish().unwrap();
+            snaps
+                .iter()
+                .map(|snap| {
+                    let p = snap.sketch.as_point().unwrap();
+                    (0..64).map(|i| p.point(i).to_bits()).collect::<Vec<_>>()
+                })
+                .collect::<Vec<_>>()
+        };
+        // depth=1 forces constant back-pressure (16-update cells, tiny
+        // queues); the snapshots must be bit-identical to a deep queue's.
+        assert_eq!(run(1), run(1 << 14));
     }
 }

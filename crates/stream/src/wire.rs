@@ -123,6 +123,17 @@ pub struct WireReport {
     pub space_bits: u64,
     /// Worker count the snapshot was merged from.
     pub threads: u32,
+    /// Updates shed by the `drop` overflow policy since the service started
+    /// (0 under `block`).
+    pub total_dropped_updates: u64,
+    /// Mass `Σ|Δ|` of the shed updates since the service started.
+    pub total_dropped_mass: u64,
+    /// High-watermark of commands queued across all workers during the
+    /// serving epoch (≤ depth × threads).
+    pub queue_peak: u64,
+    /// Producer microseconds spent blocked on full worker queues during the
+    /// serving epoch.
+    pub blocked_us: u64,
 }
 
 /// Why a query failed, as a wire-stable discriminant.
@@ -340,6 +351,10 @@ impl Response {
                 buf.extend_from_slice(&rep.alpha_observed.to_bits().to_le_bytes());
                 buf.extend_from_slice(&rep.space_bits.to_le_bytes());
                 buf.extend_from_slice(&rep.threads.to_le_bytes());
+                buf.extend_from_slice(&rep.total_dropped_updates.to_le_bytes());
+                buf.extend_from_slice(&rep.total_dropped_mass.to_le_bytes());
+                buf.extend_from_slice(&rep.queue_peak.to_le_bytes());
+                buf.extend_from_slice(&rep.blocked_us.to_le_bytes());
             }
             Response::ShutdownAck => buf.push(0x86),
             Response::Error { code, message } => {
@@ -392,6 +407,10 @@ impl Response {
                 alpha_observed: r.f64()?,
                 space_bits: r.u64()?,
                 threads: r.u32()?,
+                total_dropped_updates: r.u64()?,
+                total_dropped_mass: r.u64()?,
+                queue_peak: r.u64()?,
+                blocked_us: r.u64()?,
             }),
             0x86 => Response::ShutdownAck,
             0xEE => {
@@ -518,6 +537,10 @@ mod tests {
             alpha_observed: f64::INFINITY,
             space_bits: 1 << 20,
             threads: 4,
+            total_dropped_updates: 512,
+            total_dropped_mass: 1024,
+            queue_peak: 256,
+            blocked_us: 17,
         }));
         response_roundtrip(Response::ShutdownAck);
         response_roundtrip(Response::Error {

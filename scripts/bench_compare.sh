@@ -12,9 +12,10 @@
 # snapshot-overhead regression in the StreamService fails here. Dropped
 # measurements are never gated by the bin, so additionally assert the
 # sharded, service, hash (including the per-kernel SIMD rows), merge,
-# query (batched vs scalar point queries on a published snapshot), and
-# serve (TCP round-trips under concurrent readers) sections cannot
-# silently vanish from the bench.
+# query (batched vs scalar point queries on a published snapshot), serve
+# (TCP round-trips under concurrent readers), and service_overload (burst
+# ingestion through bounded queues, with the bounded-RSS assertion)
+# sections cannot silently vanish from the bench.
 
 set -eu
 cd "$(dirname "$0")/.."
@@ -27,7 +28,7 @@ cp BENCH_ingest.json "$BASELINE"
 cargo bench -p bd-bench --bench ingest
 
 for section in '"ingest_sharded/' '"ingest_service/' '"hash/' '"hash/simd_' '"merge/' \
-    '"query/' '"serve/'; do
+    '"query/' '"serve/' '"service_overload/'; do
     if ! grep -q "$section" BENCH_ingest.json; then
         echo "bench_compare.sh: $section section missing from BENCH_ingest.json" >&2
         exit 1

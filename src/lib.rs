@@ -136,14 +136,16 @@ pub mod prelude {
         Recovery, SparseRecovery, SupportSamplerTurnstile,
     };
     pub use bd_stream::gen::{
-        AugmentedIndexingHH, BoundedDeletionGen, InnerProductHard, L0AlphaGen, NetworkDiffGen,
-        RdcGen, SensorGen, StrongAlphaGen, SupportHard, UnboundedDeletionGen, Zipf,
+        AugmentedIndexingHH, BoundedDeletionGen, BurstGen, DeletionStormGen, InnerProductHard,
+        L0AlphaGen, NetworkDiffGen, RdcGen, SensorGen, SkewFlipGen, StrongAlphaGen, SupportHard,
+        UnboundedDeletionGen, Zipf,
     };
     pub use bd_stream::{DynSketch, Regime, Registry, SketchFamily, SketchSpec, SupportQuery};
     pub use bd_stream::{
-        EpochReport, FrequencyVector, Item, Mergeable, NormEstimate, PointQuery, PointQueryBatch,
-        RunReport, SampleQuery, ServiceConfig, ShardedRun, ShardedRunner, Sketch, Snapshot,
-        SpaceReport, SpaceUsage, StreamBatch, StreamRunner, StreamService, Update,
+        EpochReport, FrequencyVector, Item, Mergeable, NormEstimate, OverflowPolicy, PointQuery,
+        PointQueryBatch, RunReport, SampleQuery, ServiceConfig, ServiceError, ShardedRun,
+        ShardedRunner, Sketch, Snapshot, SpaceReport, SpaceUsage, StreamBatch, StreamRunner,
+        StreamService, Update,
     };
     pub use bd_stream::{
         ErrorCode, QueryClient, QueryEngine, QueryError, QueryServer, QueryView, Request, Response,

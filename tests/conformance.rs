@@ -415,8 +415,8 @@ fn epoch_report_alpha_accounting_matches_ground_truth() {
         ServiceConfig::default().with_epoch(1 << 20).with_threads(2),
     )
     .unwrap();
-    svc.ingest(&s.updates);
-    let rep = svc.finish().expect("one final epoch").report;
+    svc.ingest(&s.updates).unwrap();
+    let rep = svc.finish().unwrap().expect("one final epoch").report;
     // Exact mass accounting against the stream.
     let del: u64 = s
         .updates
@@ -451,8 +451,8 @@ fn epoch_report_alpha_accounting_matches_ground_truth() {
         ServiceConfig::default().with_epoch(1 << 20).with_threads(2),
     )
     .unwrap();
-    tight.ingest(&heavy);
-    let rep = tight.finish().unwrap().report;
+    tight.ingest(&heavy).unwrap();
+    let rep = tight.finish().unwrap().unwrap().report;
     assert!(
         (rep.alpha_observed() - 11.0).abs() < 1e-9,
         "I=1200, D=1000 ⇒ floor 11"

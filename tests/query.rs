@@ -86,9 +86,9 @@ fn concurrent_views_are_the_published_snapshots_for_every_mergeable_family() {
             .collect();
         let mut snaps = Vec::new();
         for piece in s.updates.chunks(313) {
-            snaps.extend(svc.ingest(piece));
+            snaps.extend(svc.ingest(piece).unwrap());
         }
-        snaps.extend(svc.finish());
+        snaps.extend(svc.finish().unwrap());
         stop.store(true, SeqCst);
         assert!(snaps.len() >= 3, "{}: too few epochs", info.family);
         for r in readers {
@@ -136,8 +136,8 @@ fn engine_batched_points_match_scalar_on_published_snapshots() {
         }
         let spec = conformance_spec(info.family);
         let mut svc = StreamService::start(registry(), &spec, service_config(s.len())).unwrap();
-        let mut snaps = svc.ingest(&s.updates);
-        snaps.extend(svc.finish());
+        let mut snaps = svc.ingest(&s.updates).unwrap();
+        snaps.extend(svc.finish().unwrap());
         let snap = snaps.last().expect("at least one epoch");
         let view = svc_view(snap);
         let engine = view.engine();
@@ -180,9 +180,9 @@ fn serve_over_tcp_matches_direct_engine_bit_for_bit() {
         let ingest = std::thread::spawn(move || {
             let mut snaps = Vec::new();
             for piece in updates.chunks(97) {
-                snaps.extend(svc.ingest(piece));
+                snaps.extend(svc.ingest(piece).unwrap());
             }
-            snaps.extend(svc.finish());
+            snaps.extend(svc.finish().unwrap());
             snaps
         });
 
@@ -303,7 +303,7 @@ fn broken_frames_close_cleanly_without_disturbing_the_server() {
     let spec = conformance_spec(SketchFamily::Exact);
     let mut svc = StreamService::start(registry(), &spec, service_config(s.len())).unwrap();
     let server = QueryServer::bind("127.0.0.1:0", svc.handle()).unwrap();
-    svc.ingest(&s.updates);
+    svc.ingest(&s.updates).unwrap();
     let addr = server.local_addr();
 
     let expect_close = |mut sock: TcpStream| {

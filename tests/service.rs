@@ -14,7 +14,9 @@
 
 mod common;
 
-use bd_stream::{RegistryError, ServiceConfig, Snapshot, StreamService};
+use bd_stream::{
+    Capabilities, FamilyInfo, RegistryError, ServiceConfig, Snapshot, SpaceInputs, StreamService,
+};
 use bounded_deletions::prelude::*;
 use common::{assert_probes_match, conformance_spec, probe, stream};
 use std::sync::Arc;
@@ -49,8 +51,8 @@ fn service_config(stream_len: usize, threads: usize) -> ServiceConfig {
 fn serve(spec: &SketchSpec, s: &StreamBatch, cfg: ServiceConfig) -> Vec<Arc<Snapshot>> {
     let mut svc = StreamService::start(registry(), spec, cfg)
         .unwrap_or_else(|e| panic!("{}: service failed to start: {e}", spec.family));
-    let mut snaps = svc.ingest(&s.updates);
-    snaps.extend(svc.finish());
+    let mut snaps = svc.ingest(&s.updates).unwrap();
+    snaps.extend(svc.finish().unwrap());
     snaps
 }
 
@@ -162,8 +164,8 @@ fn snapshot_while_ingesting_is_safe_and_invisible() {
         let mut svc = StreamService::start(registry(), &spec, cfg).unwrap();
         let mut snaps = Vec::new();
         for piece in s.updates.chunks(s.len() / 4 + 1) {
-            snaps.extend(svc.ingest(piece));
-            let mid = svc.snapshot();
+            snaps.extend(svc.ingest(piece).unwrap());
+            let mid = svc.snapshot().unwrap();
             let mut seq = registry().build(&spec).unwrap();
             StreamRunner::new().run_updates(&mut *seq, &s.updates[..mid.report.total_updates]);
             assert_probes_match(
@@ -173,7 +175,7 @@ fn snapshot_while_ingesting_is_safe_and_invisible() {
                 caps.merge_bitwise,
             );
         }
-        snaps.extend(svc.finish());
+        snaps.extend(svc.finish().unwrap());
 
         // The scheduled snapshots must be bit-identical to a run that never
         // took an on-demand snapshot (cloning never perturbs the workers).
@@ -206,9 +208,9 @@ fn service_runs_replay_identically() {
                 let mut svc = StreamService::start(registry(), &spec, cfg).unwrap();
                 let mut snaps = Vec::new();
                 for piece in s.updates.chunks(slice) {
-                    snaps.extend(svc.ingest(piece));
+                    snaps.extend(svc.ingest(piece).unwrap());
                 }
-                snaps.extend(svc.finish());
+                snaps.extend(svc.finish().unwrap());
                 snaps
                     .iter()
                     .flat_map(|sn| probe(sn.sketch.as_ref()))
@@ -237,8 +239,8 @@ fn iterator_and_channel_sources_match_slices() {
         .collect();
 
     let mut svc = StreamService::start(registry(), &spec, cfg).unwrap();
-    let mut snaps = svc.run(s.updates.iter().copied());
-    snaps.extend(svc.finish());
+    let mut snaps = svc.run(s.updates.iter().copied()).unwrap();
+    snaps.extend(svc.finish().unwrap());
     let from_iter: Vec<_> = snaps
         .iter()
         .flat_map(|sn| probe(sn.sketch.as_ref()))
@@ -251,13 +253,332 @@ fn iterator_and_channel_sources_match_slices() {
     }
     drop(tx);
     let mut svc = StreamService::start(registry(), &spec, cfg).unwrap();
-    let mut snaps = svc.run_channel(rx);
-    snaps.extend(svc.finish());
+    let mut snaps = svc.run_channel(rx).unwrap();
+    snaps.extend(svc.finish().unwrap());
     let from_chan: Vec<_> = snaps
         .iter()
         .flat_map(|sn| probe(sn.sketch.as_ref()))
         .collect();
     assert_probes_match("channel source", &baseline, &from_chan, true);
+}
+
+// ---------------------------------------------------------------------------
+// Bounded queues and overload behavior (DESIGN.md §12)
+// ---------------------------------------------------------------------------
+
+/// Tiny bounded `block` queues are invisible: for every mergeable family,
+/// a depth-2 service over a bursty time-shaped stream emits snapshots
+/// bit-identical to an effectively-unbounded (huge-depth) run — the
+/// dispatch sequence is depth-independent, back-pressure only delays it.
+#[test]
+fn block_policy_matches_unbounded_for_every_mergeable_family() {
+    let s = BurstGen::new(1 << 10, 3, 1200, 600).generate_seeded(0xB10C);
+    let mut covered = 0;
+    for info in registry().families() {
+        if !info.caps.mergeable {
+            continue;
+        }
+        covered += 1;
+        let spec = conformance_spec(info.family);
+        let tight = service_config(s.len(), 2).with_depth(2);
+        let bounded = serve(&spec, &s, tight);
+        let unbounded = serve(&spec, &s, tight.with_depth(1 << 16));
+        assert_eq!(
+            bounded.len(),
+            unbounded.len(),
+            "{}: epoch count",
+            info.family
+        );
+        for (b, u) in bounded.iter().zip(&unbounded) {
+            assert_eq!(b.report.total_updates, u.report.total_updates);
+            assert_eq!(
+                b.report.total_dropped_updates, 0,
+                "{}: block never sheds",
+                info.family
+            );
+            assert!(
+                b.report.queue_peak <= tight.depth * tight.threads,
+                "{}: queue peak {} exceeds depth × threads = {}",
+                info.family,
+                b.report.queue_peak,
+                tight.depth * tight.threads
+            );
+            assert_probes_match(
+                &format!("{} (depth 2 vs unbounded)", info.family),
+                &probe(u.sketch.as_ref()),
+                &probe(b.sketch.as_ref()),
+                true,
+            );
+        }
+    }
+    assert!(covered >= 20, "mergeable catalog shrank unexpectedly");
+}
+
+/// The acceptance-criteria shape: a burst workload through
+/// `depth=64,overflow=block` holds the queue-depth watermark within the
+/// structural bound `depth × threads` and loses nothing.
+#[test]
+fn burst_overload_respects_the_depth_bound() {
+    let s = BurstGen::new(1 << 12, 4, 4000, 1000).generate_seeded(0xBE);
+    let spec = conformance_spec(SketchFamily::CountSketch);
+    let cfg = ServiceConfig::default()
+        .with_epoch((s.len() as u64) / 4)
+        .with_threads(3)
+        .with_chunk(128)
+        .with_depth(64)
+        .with_overflow(OverflowPolicy::Block);
+    let snaps = serve(&spec, &s, cfg);
+    assert!(snaps.len() >= 4);
+    let last = snaps.last().unwrap().report;
+    assert_eq!(last.total_updates, s.len());
+    assert_eq!(last.total_dropped_updates, 0);
+    for snap in &snaps {
+        assert!(
+            snap.report.queue_peak <= cfg.depth * cfg.threads,
+            "queue peak {} exceeds cap {}",
+            snap.report.queue_peak,
+            cfg.depth * cfg.threads
+        );
+    }
+}
+
+/// A deliberately slow test double: an exact vector whose batched ingest
+/// sleeps, so a tiny `drop`-policy queue is guaranteed to overflow.
+#[derive(Clone)]
+struct SlowSketch(FrequencyVector);
+
+impl SpaceUsage for SlowSketch {
+    fn space(&self) -> SpaceReport {
+        self.0.space()
+    }
+}
+
+impl Sketch for SlowSketch {
+    fn update(&mut self, item: Item, delta: i64) {
+        Sketch::update(&mut self.0, item, delta);
+    }
+    fn update_batch(&mut self, batch: &[Update]) {
+        std::thread::sleep(std::time::Duration::from_micros(1500));
+        Sketch::update_batch(&mut self.0, batch);
+    }
+}
+
+impl PointQuery for SlowSketch {
+    fn point(&self, item: Item) -> f64 {
+        self.0.point(item)
+    }
+}
+
+impl Mergeable for SlowSketch {
+    fn merge_from(&mut self, other: &Self) {
+        self.0.merge_from(&other.0);
+    }
+}
+
+bd_stream::impl_dyn_sketch!(SlowSketch, point, merge);
+
+/// A fresh registry serving [`SlowSketch`] under the `exact` family name.
+fn slow_registry() -> Registry {
+    let mut reg = Registry::new();
+    reg.register(
+        FamilyInfo {
+            family: SketchFamily::Exact,
+            summary: "deliberately slow exact vector (overload test double)",
+            caps: Capabilities {
+                point: true,
+                mergeable: true,
+                merge_bitwise: true,
+                batch_bitwise: true,
+                linear: true,
+                ..Default::default()
+            },
+            inputs: SpaceInputs {
+                n: true,
+                ..Default::default()
+            },
+            space: "O(n)",
+            type_name: std::any::type_name::<SlowSketch>(),
+        },
+        |spec| Box::new(SlowSketch(FrequencyVector::new(spec.n))),
+    );
+    reg
+}
+
+/// Drop-policy accounting is exact: what the service answered for is
+/// exactly what it ingested, and offered = ingested + dropped at every
+/// granularity (per epoch, in the running totals, and in update mass).
+#[test]
+fn drop_policy_accounting_reconciles_exactly() {
+    let s = stream(0xD0);
+    let reg = slow_registry();
+    let spec = SketchSpec::new(SketchFamily::Exact)
+        .with_n(1 << 10)
+        .with_alpha(3.0);
+    let cfg = ServiceConfig::default()
+        .with_epoch(512)
+        .with_threads(2)
+        .with_chunk(64)
+        .with_depth(1)
+        .with_overflow(OverflowPolicy::Drop);
+    let mut svc = StreamService::start(&reg, &spec, cfg).unwrap();
+    let mut snaps = svc.ingest(&s.updates).unwrap();
+    snaps.extend(svc.finish().unwrap());
+
+    let last = snaps.last().unwrap().report;
+    assert!(
+        last.total_dropped_updates > 0,
+        "queue never overflowed — the slow sketch is not slow enough"
+    );
+    // Offered = ingested + dropped, in updates and in mass.
+    assert_eq!(last.total_updates + last.total_dropped_updates, s.len());
+    assert_eq!(last.total_offered_updates(), s.len());
+    assert_eq!(last.total_mass() + last.total_dropped_mass, s.total_mass());
+
+    // The same reconciliation holds per epoch, and every scheduled epoch
+    // is cut at exactly `epoch` offered updates.
+    let (mut sum_ing, mut sum_drop) = (0usize, 0usize);
+    for (i, snap) in snaps.iter().enumerate() {
+        let rep = snap.report;
+        sum_ing += rep.updates;
+        sum_drop += rep.dropped_updates;
+        if i + 1 < snaps.len() {
+            assert_eq!(
+                rep.offered_updates(),
+                512,
+                "epoch geometry must count offered"
+            );
+        }
+    }
+    assert_eq!(sum_ing, last.total_updates);
+    assert_eq!(sum_drop, last.total_dropped_updates);
+
+    // The sketch state agrees with the ingest counters: the exact vector's
+    // net mass is exactly inserted − deleted over delivered updates.
+    let p = snaps
+        .last()
+        .unwrap()
+        .sketch
+        .as_point()
+        .expect("SlowSketch answers point queries");
+    let net: f64 = (0..1 << 10).map(|i| p.point(i)).sum();
+    assert_eq!(
+        net as i64,
+        last.total_inserted as i64 - last.total_deleted as i64
+    );
+}
+
+/// Item that [`PanickySketch`] refuses to ingest, killing its worker.
+const POISON: u64 = 0xDEAD;
+
+/// A test double whose worker dies mid-stream: ingesting the poison item
+/// panics the worker thread, which must surface as a typed
+/// [`ServiceError::WorkerDied`] — not a dispatcher panic.
+#[derive(Clone)]
+struct PanickySketch(FrequencyVector);
+
+impl SpaceUsage for PanickySketch {
+    fn space(&self) -> SpaceReport {
+        self.0.space()
+    }
+}
+
+impl Sketch for PanickySketch {
+    fn update(&mut self, item: Item, delta: i64) {
+        assert_ne!(item, POISON, "poison pill ingested");
+        Sketch::update(&mut self.0, item, delta);
+    }
+}
+
+impl PointQuery for PanickySketch {
+    fn point(&self, item: Item) -> f64 {
+        self.0.point(item)
+    }
+}
+
+impl Mergeable for PanickySketch {
+    fn merge_from(&mut self, other: &Self) {
+        self.0.merge_from(&other.0);
+    }
+}
+
+bd_stream::impl_dyn_sketch!(PanickySketch, point, merge);
+
+fn panicky_registry() -> Registry {
+    let mut reg = Registry::new();
+    reg.register(
+        FamilyInfo {
+            family: SketchFamily::Exact,
+            summary: "panics on the poison item (worker-death test double)",
+            caps: Capabilities {
+                point: true,
+                mergeable: true,
+                merge_bitwise: true,
+                batch_bitwise: true,
+                linear: true,
+                ..Default::default()
+            },
+            inputs: SpaceInputs {
+                n: true,
+                ..Default::default()
+            },
+            space: "O(n)",
+            type_name: std::any::type_name::<PanickySketch>(),
+        },
+        |spec| Box::new(PanickySketch(FrequencyVector::new(spec.n))),
+    );
+    reg
+}
+
+/// A worker death is a typed, attributed error — and the service stays
+/// safe to poke and to drop afterwards. Regression for the old
+/// `.expect("service worker hung up")` dispatcher panic.
+#[test]
+fn worker_death_is_a_typed_error_not_a_panic() {
+    let reg = panicky_registry();
+    let spec = SketchSpec::new(SketchFamily::Exact).with_n(1 << 10);
+    let cfg = ServiceConfig::default()
+        .with_epoch(1 << 20)
+        .with_threads(2)
+        .with_chunk(32)
+        .with_depth(4);
+    let mut svc = StreamService::start(&reg, &spec, cfg).unwrap();
+
+    // The poison lands in the first dispatch cell → worker 0 dies. The
+    // dispatcher notices on a later send; keep feeding (bounded by a
+    // deadline) until the typed error surfaces.
+    let mut batch = vec![Update::insert(1, 1); cfg.chunk];
+    batch[0] = Update::insert(POISON, 1);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    let died = loop {
+        match svc.ingest(&batch) {
+            Ok(_) => {
+                batch.fill(Update::insert(1, 1)); // only poison once
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "worker death never surfaced as an error"
+                );
+            }
+            Err(e) => break e,
+        }
+    };
+    assert_eq!(died, ServiceError::WorkerDied { worker: 0 });
+
+    // A poisoned service keeps failing loudly instead of panicking…
+    assert!(svc.snapshot().is_err());
+    assert!(svc.finish().is_err());
+
+    // …and one dropped without `finish` shuts down cleanly.
+    let mut svc2 = StreamService::start(&reg, &spec, cfg).unwrap();
+    let mut poison = vec![Update::insert(1, 1); cfg.chunk];
+    poison[0] = Update::insert(POISON, 1);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while svc2.ingest(&poison).is_ok() {
+        poison.fill(Update::insert(1, 1));
+        if std::time::Instant::now() >= deadline {
+            break;
+        }
+    }
+    drop(svc2);
 }
 
 /// Multi-worker services on non-mergeable families are rejected up front;
