@@ -11,8 +11,11 @@
 //! report) over one-shot sharded ingestion —
 //! and the `hash` section: the batched hash engine's kernels in isolation
 //! (scalar vs chunk-at-a-time polynomial evaluation, Lemire vs modulus
-//! range reduction), gated by `scripts/bench_compare.sh` so the section
-//! cannot silently disappear.
+//! range reduction) —
+//! and the `persist` section: versioned snapshot encode/decode latency per
+//! family plus the `StreamService::recover` cold-start path from an on-disk
+//! `SnapshotStore` — all gated by `scripts/bench_compare.sh` so no section
+//! can silently disappear.
 //!
 //! Sketches are named by `SketchSpec` and built through the workspace
 //! registry, so adding a structure to the sweep is one spec line.
@@ -31,9 +34,9 @@ use bd_bench::registry;
 use bd_hash::{simd, M61Elem};
 use bd_stream::gen::BoundedDeletionGen;
 use bd_stream::{
-    merge_tree, DynSketch, OverflowPolicy, QueryClient, QueryServer, QueryView, Request,
-    ServiceConfig, ShardedRunner, SketchFamily, SketchSpec, StreamBatch, StreamRunner,
-    StreamService,
+    merge_tree, sketch_from_bytes, sketch_to_bytes, DynSketch, OverflowPolicy, QueryClient,
+    QueryServer, QueryView, Request, ServiceConfig, ShardedRunner, SketchFamily, SketchSpec,
+    SnapshotStore, StreamBatch, StreamRunner, StreamService,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -694,6 +697,108 @@ fn main() {
         println!("  RSS not measurable on this platform (/proc/self/statm missing)\n");
     }
 
+    // Persist microsection: the versioned snapshot encoding (`DESIGN.md
+    // §13`) on warm, full-stream sketches — encode and decode latency per
+    // family plus the blob size — and the cold-start path: one full-epoch
+    // snapshot saved through a `SnapshotStore`, then `StreamService::recover`
+    // timed end to end (scan + decode + stamp checks + registry rebuild +
+    // worker respawn + snapshot republication). `scripts/bench_compare.sh`
+    // asserts the section exists.
+    const PERSIST_REPS: u64 = 8;
+    println!("\npersist — snapshot encode/decode per family, cold-start recovery\n");
+    let mut persist_stats: Vec<String> = Vec::new();
+    for (label, spec) in [
+        ("exact", base.with_family(SketchFamily::Exact)),
+        ("countsketch", base),
+        ("csss", base.with_family(SketchFamily::Csss).with_k(16)),
+        (
+            "alpha_heavy_hitters",
+            base.with_family(SketchFamily::AlphaHh),
+        ),
+    ] {
+        let spec = spec.with_seed(42);
+        let mut sk = registry()
+            .build(&spec)
+            .expect("bench spec must be registered");
+        bat.run(&mut *sk, &stream);
+        let blob = sketch_to_bytes(&spec, sk.as_ref()).expect("bench family must persist");
+        let enc = micro::sample(
+            &format!("persist/{label}/encode"),
+            PERSIST_REPS,
+            SAMPLES,
+            WARMUP,
+            |_| {
+                for _ in 0..PERSIST_REPS {
+                    let bytes = sketch_to_bytes(&spec, sk.as_ref()).expect("encode");
+                    std::hint::black_box(bytes.len());
+                }
+            },
+        );
+        let dec = micro::sample(
+            &format!("persist/{label}/decode"),
+            PERSIST_REPS,
+            SAMPLES,
+            WARMUP,
+            |_| {
+                for _ in 0..PERSIST_REPS {
+                    let (dspec, dsk) = sketch_from_bytes(registry(), &blob).expect("decode");
+                    assert_eq!(dspec.seed, spec.seed, "stamp must survive the round trip");
+                    std::hint::black_box(dsk.space_bits());
+                }
+            },
+        );
+        micro::report(&enc);
+        micro::report(&dec);
+        println!("  {label:<44} {:>10} snapshot bytes\n", blob.len());
+        persist_stats.push(format!("{label}:bytes={}", blob.len()));
+        results.push(enc);
+        results.push(dec);
+    }
+
+    // Cold start: persist one full-epoch service snapshot to a scratch
+    // store, then time recovery from disk per sample.
+    let cold_dir = std::env::temp_dir().join(format!("bd-bench-persist-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cold_dir);
+    let cold_spec = base
+        .with_family(SketchFamily::Csss)
+        .with_k(16)
+        .with_seed(42);
+    let cold_cfg = ServiceConfig::default()
+        .with_epoch(stream.len() as u64)
+        .with_threads(SHARD_THREADS);
+    {
+        let store = SnapshotStore::open(&cold_dir).expect("scratch store dir");
+        let mut svc =
+            StreamService::start(registry(), &cold_spec, cold_cfg).expect("servable spec");
+        svc.persist_to(store);
+        let mut snaps = svc.ingest(&stream.updates).expect("persist ingest");
+        snaps.extend(svc.finish().expect("final cut"));
+        assert!(!snaps.is_empty(), "expected a persisted epoch");
+    }
+    let cold = micro::sample(
+        "persist/cold_start/recover_csss",
+        1,
+        SAMPLES,
+        WARMUP,
+        |_| {
+            let store = SnapshotStore::open(&cold_dir).expect("scratch store dir");
+            let svc = StreamService::recover(registry(), &cold_spec, cold_cfg, store)
+                .expect("recover from the persisted epoch");
+            assert_eq!(
+                svc.replay_from(),
+                stream.len(),
+                "must resume past the epoch"
+            );
+            std::hint::black_box(svc.replay_from());
+        },
+    );
+    micro::report(&cold);
+    let cold_ms = cold.ns_per_op / 1e6;
+    println!("  cold start (scan + decode + rebuild + respawn): {cold_ms:.2} ms\n");
+    persist_stats.push(format!("cold_start_ms={cold_ms:.2}"));
+    results.push(cold);
+    let _ = std::fs::remove_dir_all(&cold_dir);
+
     let json = micro::to_json(
         &[
             ("bench", "ingest".to_string()),
@@ -742,6 +847,7 @@ fn main() {
             ("serve_readers", SERVE_READERS.to_string()),
             ("serve_latency_us", serve_latency_us),
             ("service_overload", overload_stats.join(",")),
+            ("persist", persist_stats.join(",")),
         ],
         &results,
     );

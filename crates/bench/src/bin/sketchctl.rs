@@ -11,12 +11,17 @@
 //! sketchctl serve  --spec <spec> [--epoch N] [--threads N] [--chunk N]
 //!                  [--depth N] [--overflow block|drop]
 //!                  [--service service:epoch=..,threads=..,depth=..,overflow=..]
-//!                  [--listen ADDR] [workload]
+//!                  [--persist DIR] [--recover] [--listen ADDR] [workload]
 //!                                         long-lived StreamService: epoch
 //!                                         snapshots while ingestion runs,
 //!                                         each verified against a
 //!                                         sequential run of its prefix;
-//!                                         with --listen, a TCP query
+//!                                         with --persist, every epoch cut
+//!                                         is also written durably to DIR,
+//!                                         and --recover cold-starts from
+//!                                         the newest valid snapshot there
+//!                                         and replays only the workload
+//!                                         tail; with --listen, a TCP query
 //!                                         front-end serves the published
 //!                                         snapshots while the workload
 //!                                         replays until a client sends
@@ -76,8 +81,8 @@ use bd_bench::workload;
 use bd_bench::{fmt_bits, registry, Table};
 use bd_stream::{
     DynSketch, EpochReport, ErrorCode, FrequencyVector, OverflowPolicy, QueryClient, QueryServer,
-    Request, Response, SampleOutcome, ServiceConfig, ShardedRunner, SketchSpec, StreamBatch,
-    StreamRunner, StreamService,
+    Request, Response, SampleOutcome, ServiceConfig, ShardedRunner, SketchSpec, SnapshotStore,
+    StreamBatch, StreamRunner, StreamService,
 };
 use std::io::Write as _;
 use std::process::ExitCode;
@@ -88,7 +93,8 @@ fn usage() -> ExitCode {
         "usage: sketchctl <families|workloads|parse <spec>|run <spec> [workload]|\
          shard [--threads N] <spec> [workload]|\
          serve --spec <spec> [--epoch N] [--threads N] [--chunk N] \
-         [--depth N] [--overflow block|drop] [--service <cfg>] [--listen ADDR] [workload]|\
+         [--depth N] [--overflow block|drop] [--service <cfg>] \
+         [--persist DIR] [--recover] [--listen ADDR] [workload]|\
          loadgen --addr ADDR [--readers N] [--requests N] [--batch K] \
          [--universe N] [--shutdown]>"
     );
@@ -143,6 +149,8 @@ fn main() -> ExitCode {
             let mut overflow: Option<OverflowPolicy> = None;
             let mut spec_str: Option<&str> = None;
             let mut listen: Option<&str> = None;
+            let mut persist: Option<&str> = None;
+            let mut recover = false;
             let mut positional: Vec<&str> = Vec::new();
             let mut rest = args[1..].iter();
             let parse_flag = |flag: &str, v: Option<&String>| -> Option<u64> {
@@ -174,6 +182,11 @@ fn main() -> ExitCode {
                         Some(s) => listen = Some(s),
                         None => return usage(),
                     },
+                    "--persist" => match rest.next() {
+                        Some(s) => persist = Some(s),
+                        None => return usage(),
+                    },
+                    "--recover" => recover = true,
                     "--epoch" | "-e" => match parse_flag("--epoch", rest.next()) {
                         Some(x) => epoch = Some(x),
                         None => return usage(),
@@ -211,9 +224,13 @@ fn main() -> ExitCode {
                 (None, [s, rest @ ..]) => (*s, rest.first().copied()),
                 (None, []) => return usage(),
             };
+            if recover && persist.is_none() {
+                eprintln!("--recover requires --persist DIR (the snapshot directory)");
+                return usage();
+            }
             match listen {
-                Some(addr) => serve_listen(spec, wl, cfg, addr),
-                None => serve(spec, wl, cfg),
+                Some(addr) => serve_listen(spec, wl, cfg, addr, persist, recover),
+                None => serve(spec, wl, cfg, persist, recover),
             }
         }
         Some("loadgen") => {
@@ -571,10 +588,47 @@ fn answers_agree(got: &[Answer], want: &[Answer], bitwise: bool) -> bool {
         })
 }
 
+/// Start a `StreamService`, optionally durable (`--persist DIR` attaches a
+/// `SnapshotStore`) and optionally cold-started from the newest valid
+/// snapshot in that directory (`--recover`).
+fn start_service(
+    spec: &SketchSpec,
+    cfg: ServiceConfig,
+    persist: Option<&str>,
+    recover: bool,
+) -> Result<StreamService, String> {
+    let reg = registry();
+    match persist {
+        Some(dir) => {
+            let store = SnapshotStore::open(dir)
+                .map_err(|e| format!("failed to open snapshot dir `{dir}`: {e}"))?;
+            if recover {
+                StreamService::recover(reg, spec, cfg, store)
+                    .map_err(|e| format!("recovery failed: {e}"))
+            } else {
+                let mut svc = StreamService::start(reg, spec, cfg)
+                    .map_err(|e| format!("service failed to start: {e}"))?;
+                svc.persist_to(store);
+                Ok(svc)
+            }
+        }
+        None => StreamService::start(reg, spec, cfg)
+            .map_err(|e| format!("service failed to start: {e}")),
+    }
+}
+
 /// Drive the long-lived `StreamService` over a generated workload, print
 /// each epoch snapshot's report, and verify every snapshot's point/norm
 /// answers against a sequential one-shot run over the same stream prefix.
-fn serve(spec_str: &str, wl: Option<&str>, cfg: ServiceConfig) -> ExitCode {
+/// With `--recover` the service resumes from the newest snapshot and only
+/// the workload tail after its offered-stream stamp is replayed.
+fn serve(
+    spec_str: &str,
+    wl: Option<&str>,
+    cfg: ServiceConfig,
+    persist: Option<&str>,
+    recover: bool,
+) -> ExitCode {
     let spec: SketchSpec = match spec_str.parse() {
         Ok(s) => s,
         Err(e) => {
@@ -607,10 +661,10 @@ fn serve(spec_str: &str, wl: Option<&str>, cfg: ServiceConfig) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let mut svc = match StreamService::start(reg, &spec, cfg) {
+    let mut svc = match start_service(&spec, cfg, persist, recover) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("service failed to start: {e}");
+            eprintln!("{e}");
             return ExitCode::FAILURE;
         }
     };
@@ -621,9 +675,18 @@ fn serve(spec_str: &str, wl: Option<&str>, cfg: ServiceConfig) -> ExitCode {
         stream.n,
         cfg.epoch
     );
-    // The unbounded-source shape: feed the stream through the iterator
-    // driver, then cut the final partial epoch.
-    let mut snaps = match svc.run(stream.updates.iter().copied()) {
+    let skip = svc.replay_from();
+    if skip > 0 {
+        println!(
+            "recovered epoch {} from `{}` — replaying the workload tail from update {skip}\n",
+            svc.epochs_cut(),
+            persist.unwrap_or_default()
+        );
+    }
+    // The unbounded-source shape: feed the stream (or, after recovery,
+    // only its unseen tail) through the iterator driver, then cut the
+    // final partial epoch.
+    let mut snaps = match svc.run(stream.updates.iter().skip(skip).copied()) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("service failed mid-stream: {e}");
@@ -705,7 +768,7 @@ fn serve(spec_str: &str, wl: Option<&str>, cfg: ServiceConfig) -> ExitCode {
         );
     }
     println!("\n{} epoch snapshot(s) emitted", snaps.len());
-    if snaps.len() < 2 {
+    if snaps.len() < 2 && skip == 0 {
         eprintln!("workload too small for the epoch length — fewer than 2 snapshots");
         return ExitCode::FAILURE;
     }
@@ -722,7 +785,14 @@ fn serve(spec_str: &str, wl: Option<&str>, cfg: ServiceConfig) -> ExitCode {
 /// same factor, so the realized α is preserved) until a client sends
 /// `Shutdown`. Prints `listening on <addr>` so scripts binding port 0 can
 /// learn the resolved address.
-fn serve_listen(spec_str: &str, wl: Option<&str>, cfg: ServiceConfig, addr: &str) -> ExitCode {
+fn serve_listen(
+    spec_str: &str,
+    wl: Option<&str>,
+    cfg: ServiceConfig,
+    addr: &str,
+    persist: Option<&str>,
+    recover: bool,
+) -> ExitCode {
     let spec: SketchSpec = match spec_str.parse() {
         Ok(s) => s,
         Err(e) => {
@@ -749,10 +819,10 @@ fn serve_listen(spec_str: &str, wl: Option<&str>, cfg: ServiceConfig, addr: &str
         eprintln!("workload generated no updates — nothing to serve");
         return ExitCode::FAILURE;
     }
-    let mut svc = match StreamService::start(registry(), &spec, cfg) {
+    let mut svc = match start_service(&spec, cfg, persist, recover) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("service failed to start: {e}");
+            eprintln!("{e}");
             return ExitCode::FAILURE;
         }
     };
@@ -774,8 +844,17 @@ fn serve_listen(spec_str: &str, wl: Option<&str>, cfg: ServiceConfig, addr: &str
     let _ = std::io::stdout().flush();
     let chunk = cfg.chunk.max(1);
     let (mut passes, mut epochs, mut total) = (0u64, 0usize, 0u64);
+    // A recovered service resumes mid-pass: the workload replays
+    // cyclically, so the tail begins at the replay cursor modulo one pass.
+    let mut start = svc.replay_from() % stream.updates.len();
+    if svc.replay_from() > 0 {
+        println!(
+            "recovered epoch {} — resuming at update {start} of the workload pass",
+            svc.epochs_cut()
+        );
+    }
     'ingest: loop {
-        for batch in stream.updates.chunks(chunk) {
+        for batch in stream.updates[start..].chunks(chunk) {
             if server.stop_requested() {
                 break 'ingest;
             }
@@ -788,6 +867,7 @@ fn serve_listen(spec_str: &str, wl: Option<&str>, cfg: ServiceConfig, addr: &str
             }
             total += batch.len() as u64;
         }
+        start = 0;
         passes += 1;
     }
     match svc.finish() {

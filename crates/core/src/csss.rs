@@ -19,7 +19,8 @@
 use crate::binomial::{bin_half, bin_pow2};
 use bd_hash::RowHashes;
 use bd_stream::{
-    BatchScratch, Mergeable, PointQuery, PointQueryBatch, Sketch, SpaceReport, SpaceUsage, Update,
+    BatchScratch, Mergeable, PointQuery, PointQueryBatch, Sketch, SketchState, SpaceReport,
+    SpaceUsage, StateError, StateReader, StateWriter, Update,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -462,6 +463,51 @@ impl Mergeable for Csss {
                 row.thin(rng);
             }
         }
+    }
+}
+
+impl SketchState for Csss {
+    /// Mutable state: sampling level, position cursor, counter-width
+    /// watermark, the sampling RNG (so replay after restore continues the
+    /// exact thinning sequence), and every row's pos/neg counter tables.
+    /// Hashes and sizing rebuild from the spec seed.
+    fn save_state(&self, w: &mut StateWriter) {
+        w.u32(self.level);
+        w.u64(self.position);
+        w.u64(self.max_counter);
+        for s in self.rng.state() {
+            w.u64(s);
+        }
+        w.seq(self.rows.len());
+        for row in &self.rows {
+            w.u64_seq(row.pos.iter().copied());
+            w.u64_seq(row.neg.iter().copied());
+        }
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        self.level = r.u32()?;
+        self.position = r.u64()?;
+        self.max_counter = r.u64()?;
+        let mut state = [0u64; 4];
+        for s in state.iter_mut() {
+            *s = r.u64()?;
+        }
+        self.rng = SmallRng::from_state(state);
+        if r.seq(16)? != self.rows.len() {
+            return Err(StateError::Corrupt("csss row count"));
+        }
+        for row in self.rows.iter_mut() {
+            for cells in [&mut row.pos, &mut row.neg] {
+                if r.seq(8)? != cells.len() {
+                    return Err(StateError::Corrupt("csss table length"));
+                }
+                for c in cells.iter_mut() {
+                    *c = r.u64()?;
+                }
+            }
+        }
+        Ok(())
     }
 }
 

@@ -16,8 +16,8 @@ use crate::csss::Csss;
 use crate::params::Params;
 use bd_sketch::{CandidateSet, MedianL1};
 use bd_stream::{
-    BatchScratch, Mergeable, NormEstimate, PointQuery, PointQueryBatch, Sketch, SpaceReport,
-    SpaceUsage, Update,
+    BatchScratch, Mergeable, NormEstimate, PointQuery, PointQueryBatch, Sketch, SketchState,
+    SpaceReport, SpaceUsage, StateError, StateReader, StateWriter, Update,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -216,6 +216,36 @@ impl NormEstimate for AlphaHeavyHitters {
     /// The `R ≈ ‖f‖₁` used for thresholding.
     fn norm_estimate(&self) -> f64 {
         AlphaHeavyHitters::norm_estimate(self)
+    }
+}
+
+impl SketchState for AlphaHeavyHitters {
+    /// Mutable state: the CSSS core, the norm tracker (tagged by variant —
+    /// the tag is validated against the spec-built variant on load), and the
+    /// candidate set.
+    fn save_state(&self, w: &mut StateWriter) {
+        self.csss.save_state(w);
+        match &self.norm {
+            NormTracker::Strict { net } => {
+                w.u8(0);
+                w.i64(*net);
+            }
+            NormTracker::General(m) => {
+                w.u8(1);
+                m.save_state(w);
+            }
+        }
+        self.candidates.save_state(w);
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        self.csss.load_state(r)?;
+        match (r.u8()?, &mut self.norm) {
+            (0, NormTracker::Strict { net }) => *net = r.i64()?,
+            (1, NormTracker::General(m)) => m.load_state(r)?,
+            _ => return Err(StateError::Corrupt("heavy-hitters turnstile variant")),
+        }
+        self.candidates.load_state(r)
     }
 }
 

@@ -19,7 +19,9 @@
 
 use crate::binomial::bin_pow2;
 use crate::params::Params;
-use bd_stream::{Mergeable, Sketch, SpaceReport, SpaceUsage};
+use bd_stream::{
+    Mergeable, Sketch, SketchState, SpaceReport, SpaceUsage, StateError, StateReader, StateWriter,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -239,6 +241,52 @@ impl Mergeable for AlphaIpSketch {
             }
         }
         self.windows.sort_by_key(|w| w.j);
+    }
+}
+
+impl SketchState for AlphaIpSketch {
+    /// Mutable state: position cursor, counter-width watermark, the sampling
+    /// RNG, and each live window's level index plus its `rows × k` table.
+    /// The family (prime, hashes, sizing) rebuilds from the spec seed.
+    fn save_state(&self, w: &mut StateWriter) {
+        w.u64(self.position);
+        w.u64(self.max_counter);
+        for s in self.rng.state() {
+            w.u64(s);
+        }
+        w.seq(self.windows.len());
+        for win in &self.windows {
+            w.u32(win.j);
+            w.i64_slice(&win.table);
+        }
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        self.position = r.u64()?;
+        self.max_counter = r.u64()?;
+        let mut state = [0u64; 4];
+        for s in state.iter_mut() {
+            *s = r.u64()?;
+        }
+        self.rng = SmallRng::from_state(state);
+        let n = r.seq(16)?;
+        if n == 0 || n > 3 {
+            return Err(StateError::Corrupt("ip window count"));
+        }
+        let cells = self.family.rows.len() * self.family.k;
+        self.windows.clear();
+        let mut last_j: Option<u32> = None;
+        for _ in 0..n {
+            let j = r.u32()?;
+            if last_j.is_some_and(|prev| j <= prev) {
+                return Err(StateError::Corrupt("ip window order"));
+            }
+            last_j = Some(j);
+            let mut win = IpWindow::new(j, cells);
+            r.i64_slice_into(&mut win.table)?;
+            self.windows.push(win);
+        }
+        Ok(())
     }
 }
 

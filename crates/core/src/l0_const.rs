@@ -13,7 +13,10 @@
 use crate::l0_rough::AlphaRoughL0;
 use crate::params::Params;
 use bd_sketch::{RoughL0, SmallF0, SmallF0Result, SmallL0};
-use bd_stream::{Mergeable, NormEstimate, Sketch, SpaceReport, SpaceUsage};
+use bd_stream::{
+    Mergeable, NormEstimate, Sketch, SketchState, SpaceReport, SpaceUsage, StateError, StateReader,
+    StateWriter,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
@@ -194,6 +197,42 @@ impl Mergeable for AlphaConstL0 {
         }
         self.refresh_window();
         self.peak_live = self.peak_live.max(other.peak_live);
+    }
+}
+
+impl SketchState for AlphaConstL0 {
+    /// Mutable state: the tracker, the exact small-F0 path, the live
+    /// detectors (level + table state — the detector itself respawns from
+    /// its deterministic per-level seed), and the peak-level watermark.
+    fn save_state(&self, w: &mut StateWriter) {
+        self.tracker.save_state(w);
+        self.small_f0.save_state(w);
+        w.seq(self.detectors.len());
+        for (&j, det) in &self.detectors {
+            w.u32(j);
+            det.save_state(w);
+        }
+        w.u64(self.peak_live as u64);
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        self.tracker.load_state(r)?;
+        self.small_f0.load_state(r)?;
+        let n = r.seq(8)?;
+        self.detectors.clear();
+        let mut last_j: Option<u32> = None;
+        for _ in 0..n {
+            let j = r.u32()?;
+            if last_j.is_some_and(|prev| j <= prev) || j > self.max_level {
+                return Err(StateError::Corrupt("constl0 detector level"));
+            }
+            last_j = Some(j);
+            let mut det = self.spawn_detector(j);
+            det.load_state(r)?;
+            self.detectors.insert(j, det);
+        }
+        self.peak_live = r.u64()? as usize;
+        Ok(())
     }
 }
 

@@ -14,7 +14,10 @@ use crate::l0_const::AlphaConstL0;
 use crate::l0_rough::AlphaRoughL0;
 use crate::params::Params;
 use bd_sketch::{L0Estimator, SmallL0};
-use bd_stream::{Mergeable, NormEstimate, Sketch, SpaceReport, SpaceUsage};
+use bd_stream::{
+    Mergeable, NormEstimate, Sketch, SketchState, SpaceReport, SpaceUsage, StateError, StateReader,
+    StateWriter,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
@@ -243,6 +246,59 @@ impl Mergeable for AlphaL0Estimator {
         }
         self.refresh_window();
         self.peak_rows = self.peak_rows.max(other.peak_rows);
+    }
+}
+
+impl SketchState for AlphaL0Estimator {
+    /// Mutable state: the three component sketches, the windowed fingerprint
+    /// rows (level + `K` mod-`p` counters each), the collapsed row, and the
+    /// peak-row watermark. Hashes, `u` scalars, and sizing rebuild from the
+    /// spec seed; the row *window* is a function of the restored tracker.
+    fn save_state(&self, w: &mut StateWriter) {
+        self.tracker.save_state(w);
+        self.const_est.save_state(w);
+        self.exact.save_state(w);
+        w.seq(self.rows.len());
+        for (&j, row) in &self.rows {
+            w.u32(j);
+            w.u64_seq(row.iter().copied());
+        }
+        w.u64_seq(self.collapsed.iter().copied());
+        w.u64(self.peak_rows as u64);
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        self.tracker.load_state(r)?;
+        self.const_est.load_state(r)?;
+        self.exact.load_state(r)?;
+        let n = r.seq(8)?;
+        self.rows.clear();
+        let mut last_j: Option<u32> = None;
+        for _ in 0..n {
+            let j = r.u32()?;
+            if last_j.is_some_and(|prev| j <= prev) || j > self.max_level {
+                return Err(StateError::Corrupt("l0 estimator row level"));
+            }
+            last_j = Some(j);
+            let row = r.u64_seq()?;
+            if row.len() != self.k {
+                return Err(StateError::Corrupt("l0 estimator row length"));
+            }
+            if row.iter().any(|&c| c >= self.p) {
+                return Err(StateError::Corrupt("l0 estimator counter out of field"));
+            }
+            self.rows.insert(j, row);
+        }
+        let collapsed = r.u64_seq()?;
+        if collapsed.len() != self.collapsed.len() {
+            return Err(StateError::Corrupt("l0 estimator collapsed row length"));
+        }
+        if collapsed.iter().any(|&c| c >= self.p) {
+            return Err(StateError::Corrupt("l0 estimator counter out of field"));
+        }
+        self.collapsed = collapsed;
+        self.peak_rows = r.u64()? as usize;
+        Ok(())
     }
 }
 

@@ -9,7 +9,10 @@
 //! callers floor the estimate at that threshold (Figure 7 step 2).
 
 use bd_sketch::RoughF0;
-use bd_stream::{Mergeable, NormEstimate, Sketch, SpaceReport, SpaceUsage};
+use bd_stream::{
+    Mergeable, NormEstimate, Sketch, SketchState, SpaceReport, SpaceUsage, StateError, StateReader,
+    StateWriter,
+};
 
 /// The α-stream rough L0 tracker.
 #[derive(Clone, Debug)]
@@ -80,6 +83,18 @@ impl Mergeable for AlphaRoughL0 {
             "AlphaRoughL0 merge requires matching universes"
         );
         self.rough.merge_from(&other.rough);
+    }
+}
+
+impl SketchState for AlphaRoughL0 {
+    /// Pure delegation: the floor is structural (a function of `n`), so the
+    /// tracker's only mutable state is the inner [`RoughF0`].
+    fn save_state(&self, w: &mut StateWriter) {
+        self.rough.save_state(w);
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        self.rough.load_state(r)
     }
 }
 

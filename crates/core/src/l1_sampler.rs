@@ -14,7 +14,10 @@
 use crate::csss::Csss;
 use crate::params::Params;
 use bd_sketch::{CandidateSet, SampleOutcome};
-use bd_stream::{Mergeable, SampleQuery, Sketch, SpaceReport, SpaceUsage, Update};
+use bd_stream::{
+    Mergeable, SampleQuery, Sketch, SketchState, SpaceReport, SpaceUsage, StateError, StateReader,
+    StateWriter, Update,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -214,6 +217,28 @@ impl Mergeable for AlphaL1SamplerInstance {
     }
 }
 
+impl SketchState for AlphaL1SamplerInstance {
+    /// Mutable state: both CSSS substrates, the candidate set, and the exact
+    /// `r = ‖f‖₁` / `q = ‖z‖₁` registers. Scaling hashes rebuild from the
+    /// spec seed.
+    fn save_state(&self, w: &mut StateWriter) {
+        self.cs1.save_state(w);
+        self.cs2.save_state(w);
+        self.candidates.save_state(w);
+        w.i64(self.r);
+        w.u64(self.q);
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        self.cs1.load_state(r)?;
+        self.cs2.load_state(r)?;
+        self.candidates.load_state(r)?;
+        self.r = r.i64()?;
+        self.q = r.u64()?;
+        Ok(())
+    }
+}
+
 impl SpaceUsage for AlphaL1SamplerInstance {
     fn space(&self) -> SpaceReport {
         let mut rep = self.cs1.space().merge(self.cs2.space());
@@ -300,6 +325,26 @@ impl Mergeable for AlphaL1Sampler {
         for (a, b) in self.instances.iter_mut().zip(&other.instances) {
             a.merge_from(b);
         }
+    }
+}
+
+impl SketchState for AlphaL1Sampler {
+    /// Instance-wise: each copy's state in order (copy count is structural).
+    fn save_state(&self, w: &mut StateWriter) {
+        w.seq(self.instances.len());
+        for inst in &self.instances {
+            inst.save_state(w);
+        }
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        if r.seq(8)? != self.instances.len() {
+            return Err(StateError::Corrupt("l1 sampler instance count"));
+        }
+        for inst in self.instances.iter_mut() {
+            inst.load_state(r)?;
+        }
+        Ok(())
     }
 }
 

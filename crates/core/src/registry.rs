@@ -49,17 +49,17 @@ impl SupportQuery for AlphaSupportSamplerSet {
     }
 }
 
-impl_dyn_sketch!(Csss, point, point_batch, merge);
-impl_dyn_sketch!(SampledVector, point, norm, merge);
-impl_dyn_sketch!(AlphaHeavyHitters, point, point_batch, norm, merge);
-impl_dyn_sketch!(AlphaL1Sampler, sample, merge);
-impl_dyn_sketch!(AlphaL1SamplerInstance, sample, merge);
+impl_dyn_sketch!(Csss, point, point_batch, merge, persist);
+impl_dyn_sketch!(SampledVector, point, norm, merge, persist);
+impl_dyn_sketch!(AlphaHeavyHitters, point, point_batch, norm, merge, persist);
+impl_dyn_sketch!(AlphaL1Sampler, sample, merge, persist);
+impl_dyn_sketch!(AlphaL1SamplerInstance, sample, merge, persist);
 impl_dyn_sketch!(AlphaL1Estimator, norm);
 impl_dyn_sketch!(AlphaL1General, norm);
-impl_dyn_sketch!(AlphaIpSketch, norm, merge);
-impl_dyn_sketch!(AlphaL0Estimator, norm, merge);
-impl_dyn_sketch!(AlphaConstL0, norm, merge);
-impl_dyn_sketch!(AlphaRoughL0, norm, merge);
+impl_dyn_sketch!(AlphaIpSketch, norm, merge, persist);
+impl_dyn_sketch!(AlphaL0Estimator, norm, merge, persist);
+impl_dyn_sketch!(AlphaConstL0, norm, merge, persist);
+impl_dyn_sketch!(AlphaRoughL0, norm, merge, persist);
 impl_dyn_sketch!(AlphaSupportSampler, support);
 impl_dyn_sketch!(AlphaSupportSamplerSet, support);
 impl_dyn_sketch!(AlphaL2HeavyHitters, point, norm);
@@ -114,6 +114,7 @@ pub fn register(reg: &mut Registry) {
                 mergeable: true,
                 batch_bitwise: true,
                 linear: true,
+                persist: true,
                 ..Default::default()
             },
             inputs: SpaceInputs {
@@ -143,6 +144,7 @@ pub fn register(reg: &mut Registry) {
                 mergeable: true,
                 batch_bitwise: true,
                 linear: true,
+                persist: true,
                 ..Default::default()
             },
             inputs: SpaceInputs {
@@ -170,6 +172,7 @@ pub fn register(reg: &mut Registry) {
                 // CSSS merge + exact net-counter addition + candidate union
                 // (statistical in the thinning regime, like CSSS itself).
                 mergeable: true,
+                persist: true,
                 ..Default::default()
             },
             inputs: SpaceInputs {
@@ -199,6 +202,7 @@ pub fn register(reg: &mut Registry) {
                 // As the strict variant, plus the Cauchy L1 tracker's
                 // row-wise (estimate-equal) float merge.
                 mergeable: true,
+                persist: true,
                 ..Default::default()
             },
             inputs: SpaceInputs {
@@ -229,6 +233,7 @@ pub fn register(reg: &mut Registry) {
                 // after the chunk settles (and sums thinning draws), so it
                 // is statistical, not bitwise.
                 mergeable: true,
+                persist: true,
                 ..Default::default()
             },
             inputs: SpaceInputs {
@@ -252,6 +257,7 @@ pub fn register(reg: &mut Registry) {
                 // batch override (1/t_i memoized per chunk item, candidate
                 // offers deferred to the end of the chunk).
                 mergeable: true,
+                persist: true,
                 ..Default::default()
             },
             inputs: SpaceInputs {
@@ -327,6 +333,7 @@ pub fn register(reg: &mut Registry) {
                 // coincide (combined position below the interval budget).
                 mergeable: true,
                 batch_bitwise: true,
+                persist: true,
                 ..Default::default()
             },
             inputs: SpaceInputs {
@@ -355,6 +362,7 @@ pub fn register(reg: &mut Registry) {
                 // Theorem 10 O(ε²)-prefix approximation once they slide.
                 mergeable: true,
                 batch_bitwise: true,
+                persist: true,
                 ..Default::default()
             },
             inputs: SpaceInputs {
@@ -378,6 +386,7 @@ pub fn register(reg: &mut Registry) {
                 // exact while shard windows coincide.
                 mergeable: true,
                 batch_bitwise: true,
+                persist: true,
                 ..Default::default()
             },
             inputs: SpaceInputs {
@@ -402,6 +411,7 @@ pub fn register(reg: &mut Registry) {
                 mergeable: true,
                 merge_bitwise: true,
                 batch_bitwise: true,
+                persist: true,
                 ..Default::default()
             },
             inputs: SpaceInputs {

@@ -9,7 +9,10 @@
 //! is distributed exactly as a fresh `2^{-level}` sample of the prefix.
 
 use crate::binomial::{bin_half, bin_pow2};
-use bd_stream::{Mergeable, NormEstimate, PointQuery, Sketch, SpaceReport, SpaceUsage};
+use bd_stream::{
+    Mergeable, NormEstimate, PointQuery, Sketch, SketchState, SpaceReport, SpaceUsage, StateError,
+    StateReader, StateWriter,
+};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
@@ -177,6 +180,49 @@ impl Mergeable for SampledVector {
         while self.position > self.budget << self.level {
             self.halve();
         }
+    }
+}
+
+impl SketchState for SampledVector {
+    /// Mutable state: level, position, the sampling RNG, and the retained
+    /// per-item (insert, delete) unit counts, encoded sorted by item.
+    fn save_state(&self, w: &mut StateWriter) {
+        w.u32(self.level);
+        w.u64(self.position);
+        for s in self.rng.state() {
+            w.u64(s);
+        }
+        let mut entries: Vec<(u64, (u64, u64))> =
+            self.counts.iter().map(|(&i, &c)| (i, c)).collect();
+        entries.sort_unstable_by_key(|&(i, _)| i);
+        w.seq(entries.len());
+        for (item, (pos, neg)) in entries {
+            w.u64(item);
+            w.u64(pos);
+            w.u64(neg);
+        }
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        self.level = r.u32()?;
+        self.position = r.u64()?;
+        let mut state = [0u64; 4];
+        for s in state.iter_mut() {
+            *s = r.u64()?;
+        }
+        self.rng = SmallRng::from_state(state);
+        let n = r.seq(24)?;
+        self.counts.clear();
+        for _ in 0..n {
+            let item = r.u64()?;
+            let pos = r.u64()?;
+            let neg = r.u64()?;
+            if pos == 0 && neg == 0 {
+                return Err(StateError::Corrupt("sampledvector empty entry"));
+            }
+            self.counts.insert(item, (pos, neg));
+        }
+        Ok(())
     }
 }
 

@@ -15,7 +15,10 @@
 //! constructed in pairs (or families) from a shared seed object.
 
 use crate::weight::median_f64;
-use bd_stream::{MaxMag, Mergeable, Sketch, SpaceReport, SpaceUsage};
+use bd_stream::{
+    MaxMag, Mergeable, Sketch, SketchState, SpaceReport, SpaceUsage, StateError, StateReader,
+    StateWriter,
+};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -124,6 +127,22 @@ impl Mergeable for AmsSketch {
     }
 }
 
+impl SketchState for AmsSketch {
+    /// Mutable state is the signed-sum rows plus the width watermark; the
+    /// family's sign hashes rebuild from the spec.
+    fn save_state(&self, w: &mut StateWriter) {
+        w.u64(self.max_mag.max());
+        w.i64_slice(&self.z);
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        let mut mag = MaxMag::default();
+        mag.observe_mag(r.u64()?);
+        self.max_mag = mag;
+        r.i64_slice_into(&mut self.z)
+    }
+}
+
 impl SpaceUsage for AmsSketch {
     fn space(&self) -> SpaceReport {
         SpaceReport {
@@ -224,6 +243,21 @@ impl Mergeable for IpCountSketch {
             *a += *b;
             self.max_mag.observe(*a);
         }
+    }
+}
+
+impl SketchState for IpCountSketch {
+    /// Mutable state is the counter table plus the width watermark.
+    fn save_state(&self, w: &mut StateWriter) {
+        w.u64(self.max_mag.max());
+        w.i64_slice(&self.table);
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        let mut mag = MaxMag::default();
+        mag.observe_mag(r.u64()?);
+        self.max_mag = mag;
+        r.i64_slice_into(&mut self.table)
     }
 }
 

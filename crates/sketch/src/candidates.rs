@@ -6,6 +6,7 @@
 //! re-estimates the touched item and the set evicts its weakest member when
 //! over capacity. The set's size is charged to the reported space.
 
+use bd_stream::{SketchState, StateError, StateReader, StateWriter};
 use std::collections::HashSet;
 
 /// A capped set of candidate items, evicted by a caller-supplied score.
@@ -129,6 +130,27 @@ impl CandidateSet {
     /// `2·cap` items between prune passes).
     pub fn space_bits(&self, universe: u64) -> u64 {
         2 * self.cap as u64 * bd_hash::width_unsigned(universe.max(2) - 1) as u64
+    }
+}
+
+impl SketchState for CandidateSet {
+    /// Mutable state: the candidate items, encoded sorted (the prune buffers
+    /// are scratch). Restoring inserts without a prune pass, so the set is
+    /// reinstated exactly as saved — including mid-growth sizes above `cap`.
+    fn save_state(&self, w: &mut StateWriter) {
+        let mut items: Vec<u64> = self.items.iter().copied().collect();
+        items.sort_unstable();
+        w.u64_seq(items.iter().copied());
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        let items = r.u64_seq()?;
+        if items.len() > 2 * self.cap {
+            return Err(StateError::Corrupt("candidate set above 2·cap"));
+        }
+        self.items.clear();
+        self.items.extend(items);
+        Ok(())
     }
 }
 

@@ -8,8 +8,8 @@
 
 use bd_hash::RowHashes;
 use bd_stream::{
-    BatchScratch, MaxMag, Mergeable, PointQuery, PointQueryBatch, Sketch, SpaceReport, SpaceUsage,
-    Update,
+    BatchScratch, MaxMag, Mergeable, PointQuery, PointQueryBatch, Sketch, SketchState, SpaceReport,
+    SpaceUsage, StateError, StateReader, StateWriter, Update,
 };
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -178,6 +178,21 @@ impl Mergeable for CountMin {
             *a += *b;
             self.max_mag.observe(*a);
         }
+    }
+}
+
+impl SketchState for CountMin {
+    /// Mutable state is the counter table plus the width watermark.
+    fn save_state(&self, w: &mut StateWriter) {
+        w.u64(self.max_mag.max());
+        w.i64_slice(&self.table);
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        let mut mag = MaxMag::default();
+        mag.observe_mag(r.u64()?);
+        self.max_mag = mag;
+        r.i64_slice_into(&mut self.table)
     }
 }
 

@@ -11,8 +11,8 @@
 use crate::weight::{median_f64, Weight};
 use bd_hash::RowHashes;
 use bd_stream::{
-    BatchScratch, MaxMag, Mergeable, PointQuery, PointQueryBatch, Sketch, SpaceReport, SpaceUsage,
-    Update,
+    BatchScratch, MaxMag, Mergeable, PointQuery, PointQueryBatch, Sketch, SketchState, SpaceReport,
+    SpaceUsage, StateError, StateReader, StateWriter, Update,
 };
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -238,6 +238,29 @@ impl<W: Weight> Mergeable for CountSketch<W> {
             a.add_assign(*b);
             self.max_mag.observe_mag(a.abs_f64() as u64);
         }
+    }
+}
+
+impl<W: Weight> SketchState for CountSketch<W> {
+    /// Mutable state is the counter table plus the width watermark; hashes
+    /// and shapes rebuild from the spec.
+    fn save_state(&self, w: &mut StateWriter) {
+        w.u64(self.max_mag.max());
+        w.u64_seq(self.table.iter().map(|c| c.to_bits64()));
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        let mut mag = MaxMag::default();
+        mag.observe_mag(r.u64()?);
+        self.max_mag = mag;
+        let n = r.seq(8)?;
+        if n != self.table.len() {
+            return Err(StateError::Corrupt("countsketch table length"));
+        }
+        for cell in self.table.iter_mut() {
+            *cell = W::from_bits64(r.u64()?);
+        }
+        Ok(())
     }
 }
 

@@ -13,7 +13,10 @@
 //! algorithm to get `R = (1 ± 1/8)‖f‖₁`.
 
 use crate::weight::median_f64;
-use bd_stream::{Mergeable, NormEstimate, Sketch, SpaceReport, SpaceUsage};
+use bd_stream::{
+    Mergeable, NormEstimate, Sketch, SketchState, SpaceReport, SpaceUsage, StateError, StateReader,
+    StateWriter,
+};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -140,6 +143,25 @@ impl Mergeable for LogCosL1 {
     }
 }
 
+impl SketchState for LogCosL1 {
+    /// Mutable state: the main and auxiliary row accumulators plus the
+    /// magnitude watermark and ingested mass (rows rebuild from the seed).
+    fn save_state(&self, w: &mut StateWriter) {
+        w.f64_slice(&self.y);
+        w.f64_slice(&self.y_aux);
+        w.f64(self.max_abs);
+        w.u64(self.mass);
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        r.f64_slice_into(&mut self.y)?;
+        r.f64_slice_into(&mut self.y_aux)?;
+        self.max_abs = r.f64()?;
+        self.mass = r.u64()?;
+        Ok(())
+    }
+}
+
 impl SpaceUsage for LogCosL1 {
     fn space(&self) -> SpaceReport {
         // Counters are maintained to precision δ = Θ(ε/m) (paper Lemma 12 /
@@ -240,6 +262,23 @@ impl Mergeable for MedianL1 {
         }
         self.max_abs = self.max_abs.max(other.max_abs);
         self.mass += other.mass;
+    }
+}
+
+impl SketchState for MedianL1 {
+    /// Mutable state: the row accumulators plus the magnitude watermark and
+    /// ingested mass (Cauchy rows rebuild from the seed).
+    fn save_state(&self, w: &mut StateWriter) {
+        w.f64_slice(&self.y);
+        w.f64(self.max_abs);
+        w.u64(self.mass);
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        r.f64_slice_into(&mut self.y)?;
+        self.max_abs = r.f64()?;
+        self.mass = r.u64()?;
+        Ok(())
     }
 }
 

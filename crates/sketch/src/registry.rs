@@ -79,18 +79,18 @@ impl SupportQuery for SparseRecovery {
     }
 }
 
-impl_dyn_sketch!(CountSketch<i64>, point, point_batch, merge);
-impl_dyn_sketch!(CountMin, point, point_batch, merge);
-impl_dyn_sketch!(AmsSketch, norm, merge);
-impl_dyn_sketch!(IpCountSketch, norm, merge);
-impl_dyn_sketch!(LogCosL1, norm, merge);
-impl_dyn_sketch!(MedianL1, norm, merge);
+impl_dyn_sketch!(CountSketch<i64>, point, point_batch, merge, persist);
+impl_dyn_sketch!(CountMin, point, point_batch, merge, persist);
+impl_dyn_sketch!(AmsSketch, norm, merge, persist);
+impl_dyn_sketch!(IpCountSketch, norm, merge, persist);
+impl_dyn_sketch!(LogCosL1, norm, merge, persist);
+impl_dyn_sketch!(MedianL1, norm, merge, persist);
 impl_dyn_sketch!(L0Estimator, norm);
 impl_dyn_sketch!(RoughL0, norm);
-impl_dyn_sketch!(RoughF0, norm, merge);
-impl_dyn_sketch!(SmallL0, norm, merge);
-impl_dyn_sketch!(SmallF0, norm, merge);
-impl_dyn_sketch!(SparseRecovery, support, merge);
+impl_dyn_sketch!(RoughF0, norm, merge, persist);
+impl_dyn_sketch!(SmallL0, norm, merge, persist);
+impl_dyn_sketch!(SmallF0, norm, merge, persist);
+impl_dyn_sketch!(SparseRecovery, support, merge, persist);
 impl_dyn_sketch!(L1SamplerTurnstile, sample);
 impl_dyn_sketch!(PrecisionSamplerInstance, sample);
 impl_dyn_sketch!(SupportSamplerTurnstile, support);
@@ -140,6 +140,7 @@ pub fn register(reg: &mut Registry) {
                 merge_bitwise: true,
                 batch_bitwise: true,
                 linear: true,
+                persist: true,
                 ..Default::default()
             },
             inputs: SpaceInputs {
@@ -169,6 +170,7 @@ pub fn register(reg: &mut Registry) {
                 merge_bitwise: true,
                 batch_bitwise: true,
                 linear: true,
+                persist: true,
                 ..Default::default()
             },
             inputs: SpaceInputs {
@@ -201,6 +203,7 @@ pub fn register(reg: &mut Registry) {
                 merge_bitwise: true,
                 batch_bitwise: true,
                 linear: true,
+                persist: true,
                 ..Default::default()
             },
             inputs: SpaceInputs {
@@ -222,6 +225,7 @@ pub fn register(reg: &mut Registry) {
                 merge_bitwise: true,
                 batch_bitwise: true,
                 linear: true,
+                persist: true,
                 ..Default::default()
             },
             inputs: SpaceInputs {
@@ -243,6 +247,7 @@ pub fn register(reg: &mut Registry) {
                 // (float re-association across the shard boundary).
                 mergeable: true,
                 batch_bitwise: true,
+                persist: true,
                 ..Default::default()
             },
             inputs: SpaceInputs {
@@ -267,6 +272,7 @@ pub fn register(reg: &mut Registry) {
                 // shard boundary — merges are estimate-equal, not bitwise.
                 mergeable: true,
                 batch_bitwise: true,
+                persist: true,
                 ..Default::default()
             },
             inputs: SpaceInputs {
@@ -330,6 +336,7 @@ pub fn register(reg: &mut Registry) {
                 mergeable: true,
                 merge_bitwise: true,
                 batch_bitwise: true,
+                persist: true,
                 ..Default::default()
             },
             inputs: SpaceInputs::default(),
@@ -347,6 +354,7 @@ pub fn register(reg: &mut Registry) {
                 mergeable: true,
                 merge_bitwise: true,
                 batch_bitwise: true,
+                persist: true,
                 ..Default::default()
             },
             inputs: SpaceInputs {
@@ -374,6 +382,7 @@ pub fn register(reg: &mut Registry) {
                 mergeable: true,
                 merge_bitwise: true,
                 batch_bitwise: true,
+                persist: true,
                 ..Default::default()
             },
             inputs: SpaceInputs {
@@ -395,6 +404,7 @@ pub fn register(reg: &mut Registry) {
                 merge_bitwise: true,
                 batch_bitwise: true,
                 linear: true,
+                persist: true,
                 ..Default::default()
             },
             inputs: SpaceInputs {

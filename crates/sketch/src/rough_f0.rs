@@ -13,7 +13,10 @@
 //! counting before any level saturates). Buckets at or below a saturated
 //! level are dropped, so the expected live fingerprint count stays `O(C0)`.
 
-use bd_stream::{Mergeable, NormEstimate, Sketch, SpaceReport, SpaceUsage};
+use bd_stream::{
+    Mergeable, NormEstimate, Sketch, SketchState, SpaceReport, SpaceUsage, StateError, StateReader,
+    StateWriter,
+};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::collections::HashSet;
@@ -152,6 +155,45 @@ impl NormEstimate for RoughF0 {
     /// Estimates `F₀` within `[F₀, RATIO·F₀]`.
     fn norm_estimate(&self) -> f64 {
         self.estimate() as f64
+    }
+}
+
+impl SketchState for RoughF0 {
+    /// Mutable state: the saturation frontier, best estimate, and per-level
+    /// fingerprint sets (encoded sorted for a deterministic byte stream).
+    fn save_state(&self, w: &mut StateWriter) {
+        w.u64(self.best);
+        w.i64(self.sat_level as i64);
+        w.seq(self.buckets.len());
+        for bucket in &self.buckets {
+            let mut prints: Vec<u32> = bucket.iter().copied().collect();
+            prints.sort_unstable();
+            w.seq(prints.len());
+            for p in prints {
+                w.u32(p);
+            }
+        }
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        self.best = r.u64()?;
+        let sat = r.i64()?;
+        if sat < -1 || sat > Self::LEVELS as i64 {
+            return Err(StateError::Corrupt("roughf0 frontier out of range"));
+        }
+        self.sat_level = sat as i32;
+        let levels = r.seq(4)?;
+        if levels != self.buckets.len() {
+            return Err(StateError::Corrupt("roughf0 level count"));
+        }
+        for bucket in self.buckets.iter_mut() {
+            bucket.clear();
+            let n = r.seq(4)?;
+            for _ in 0..n {
+                bucket.insert(r.u32()?);
+            }
+        }
+        Ok(())
     }
 }
 

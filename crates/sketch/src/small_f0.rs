@@ -7,7 +7,9 @@
 //! `c = 8 log(n)/log log(n)` to cover the regime where the rough F0 tracker
 //! has no guarantee.
 
-use bd_stream::{Mergeable, Sketch, SpaceReport, SpaceUsage};
+use bd_stream::{
+    Mergeable, Sketch, SketchState, SpaceReport, SpaceUsage, StateError, StateReader, StateWriter,
+};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
@@ -117,6 +119,44 @@ impl Mergeable for SmallF0 {
             self.large = true;
             self.counters = HashMap::new();
         }
+    }
+}
+
+impl SketchState for SmallF0 {
+    /// Mutable state: the LARGE verdict plus the per-identity mod-`p`
+    /// counters (encoded sorted by hashed key for determinism).
+    fn save_state(&self, w: &mut StateWriter) {
+        w.u8(self.large as u8);
+        let mut entries: Vec<(u64, u64)> = self.counters.iter().map(|(&k, &v)| (k, v)).collect();
+        entries.sort_unstable();
+        w.seq(entries.len());
+        for (k, v) in entries {
+            w.u64(k);
+            w.u64(v);
+        }
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        let large = match r.u8()? {
+            0 => false,
+            1 => true,
+            _ => return Err(StateError::Corrupt("smallf0 verdict flag")),
+        };
+        let n = r.seq(16)?;
+        if large && n != 0 {
+            return Err(StateError::Corrupt("smallf0 LARGE keeps no counters"));
+        }
+        self.large = large;
+        self.counters.clear();
+        for _ in 0..n {
+            let key = r.u64()?;
+            let val = r.u64()?;
+            if val >= self.p {
+                return Err(StateError::Corrupt("smallf0 counter out of field"));
+            }
+            self.counters.insert(key, val);
+        }
+        Ok(())
     }
 }
 

@@ -9,7 +9,10 @@
 //! `1 − η`. This is also the per-level detector inside the rough L0
 //! estimators (threshold "`L0(S_j) > 8`").
 
-use bd_stream::{Mergeable, NormEstimate, Sketch, SpaceReport, SpaceUsage};
+use bd_stream::{
+    Mergeable, NormEstimate, Sketch, SketchState, SpaceReport, SpaceUsage, StateError, StateReader,
+    StateWriter,
+};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -116,6 +119,38 @@ impl Mergeable for SmallL0 {
                 *a = (*a + *b) % self.p;
             }
         }
+    }
+}
+
+impl SketchState for SmallL0 {
+    /// Mutable state: the per-repetition mod-`p` bucket tables (prime and
+    /// hashes rebuild from the seed).
+    fn save_state(&self, w: &mut StateWriter) {
+        w.seq(self.tables.len());
+        for table in &self.tables {
+            w.u64_seq(table.iter().copied());
+        }
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        let reps = r.seq(4)?;
+        if reps != self.tables.len() {
+            return Err(StateError::Corrupt("smalll0 repetition count"));
+        }
+        for table in self.tables.iter_mut() {
+            let n = r.seq(8)?;
+            if n != table.len() {
+                return Err(StateError::Corrupt("smalll0 table length"));
+            }
+            for cell in table.iter_mut() {
+                let v = r.u64()?;
+                if v >= self.p {
+                    return Err(StateError::Corrupt("smalll0 counter out of field"));
+                }
+                *cell = v;
+            }
+        }
+        Ok(())
     }
 }
 

@@ -13,7 +13,10 @@
 //! items are present. The support samplers (paper §7) are built on this.
 
 use bd_hash::{M61Elem, M61};
-use bd_stream::{MaxMag, Mergeable, Sketch, SpaceReport, SpaceUsage};
+use bd_stream::{
+    MaxMag, Mergeable, Sketch, SketchState, SpaceReport, SpaceUsage, StateError, StateReader,
+    StateWriter,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -209,6 +212,43 @@ impl Mergeable for SparseRecovery {
             a.fp = a.fp.add(b.fp);
             self.max_mag.observe(a.count);
         }
+    }
+}
+
+impl SketchState for SparseRecovery {
+    /// Mutable state: the `(count, idsum, fingerprint)` cell triples plus the
+    /// counter-width watermark (hashes and the Karp–Rabin base rebuild from
+    /// the seed).
+    fn save_state(&self, w: &mut StateWriter) {
+        w.u64(self.max_mag.max());
+        w.seq(self.cells.len());
+        for cell in &self.cells {
+            w.i64(cell.count);
+            w.i128(cell.idsum);
+            w.u64(cell.fp.value());
+        }
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        let mut mag = MaxMag::default();
+        mag.observe_mag(r.u64()?);
+        self.max_mag = mag;
+        let n = r.seq(32)?;
+        if n != self.cells.len() {
+            return Err(StateError::Corrupt("sparserecovery cell count"));
+        }
+        for cell in self.cells.iter_mut() {
+            cell.count = r.i64()?;
+            cell.idsum = r.i128()?;
+            let fp = r.u64()?;
+            if fp >= M61 {
+                return Err(StateError::Corrupt(
+                    "sparserecovery fingerprint out of field",
+                ));
+            }
+            cell.fp = M61Elem::new(fp);
+        }
+        Ok(())
     }
 }
 

@@ -20,6 +20,12 @@ pub trait Weight: Copy + Default + PartialEq + std::fmt::Debug + 'static {
     fn to_f64(self) -> f64;
     /// Build from an `i64` stream delta.
     fn from_i64(v: i64) -> Self;
+    /// The cell as a stable 64-bit pattern for persistence
+    /// (two's-complement for integers, IEEE-754 bits for floats):
+    /// `from_bits64(to_bits64(w)) == w` bit for bit.
+    fn to_bits64(self) -> u64;
+    /// Rebuild a cell from [`Weight::to_bits64`].
+    fn from_bits64(bits: u64) -> Self;
 }
 
 impl Weight for i64 {
@@ -47,6 +53,14 @@ impl Weight for i64 {
     fn from_i64(v: i64) -> Self {
         v
     }
+    #[inline]
+    fn to_bits64(self) -> u64 {
+        self as u64
+    }
+    #[inline]
+    fn from_bits64(bits: u64) -> Self {
+        bits as i64
+    }
 }
 
 impl Weight for f64 {
@@ -73,6 +87,14 @@ impl Weight for f64 {
     #[inline]
     fn from_i64(v: i64) -> Self {
         v as f64
+    }
+    #[inline]
+    fn to_bits64(self) -> u64 {
+        self.to_bits()
+    }
+    #[inline]
+    fn from_bits64(bits: u64) -> Self {
+        f64::from_bits(bits)
     }
 }
 

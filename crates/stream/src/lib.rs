@@ -62,6 +62,7 @@
 pub mod gen;
 pub mod merge;
 pub mod net;
+pub mod persist;
 pub mod query;
 pub mod registry;
 pub mod runner;
@@ -70,12 +71,17 @@ pub mod sharded;
 pub mod sketch;
 pub mod space;
 pub mod spec;
+pub mod state;
 pub mod update;
 pub mod vector;
 pub mod wire;
 
 pub use merge::{merge_tree, MergeReport};
 pub use net::{QueryClient, QueryServer};
+pub use persist::{
+    decode_snapshot, encode_snapshot, sketch_from_bytes, sketch_to_bytes, PersistError,
+    SnapshotRecord, SnapshotStore, MAX_SNAPSHOT, PERSIST_VERSION,
+};
 pub use query::{QueryEngine, QueryError, QueryView, SnapshotHandle, SnapshotHub};
 pub use registry::{
     BuildFn, Capabilities, DynSketch, FamilyInfo, Registry, RegistryError, SpaceInputs,
@@ -91,6 +97,7 @@ pub use sketch::{
 };
 pub use space::{MaxMag, SpaceReport, SpaceUsage};
 pub use spec::{Regime, SketchFamily, SketchSpec, SpecError};
+pub use state::{SketchState, StateError, StateReader, StateWriter, MAX_STATE};
 pub use update::{Item, StreamBatch, Update};
 pub use vector::FrequencyVector;
 pub use wire::{ErrorCode, Request, Response, WireError, WireReport, MAX_FRAME};

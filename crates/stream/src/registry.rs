@@ -31,6 +31,7 @@ use std::fmt;
 
 use crate::sketch::{NormEstimate, PointQuery, PointQueryBatch, SampleQuery, Sketch, SupportQuery};
 use crate::spec::{SketchFamily, SketchSpec, SpecError};
+use crate::state::SketchState;
 use crate::vector::FrequencyVector;
 
 /// Object-safe view of a registry-built sketch: ingestion plus optional
@@ -96,6 +97,21 @@ pub trait DynSketch: Sketch + Send + Sync {
         let _ = other;
         Err(RegistryError::NotMergeable)
     }
+
+    /// Persistence view, if the family can encode its mutable state
+    /// ([`SketchState`]). This is the durability hook beside
+    /// [`clone_dyn`](DynSketch::clone_dyn): `bd_stream::persist` saves the
+    /// state of a snapshot through this accessor and restores it onto a
+    /// fresh same-spec build on cold start.
+    fn persist_state(&self) -> Option<&dyn SketchState> {
+        None
+    }
+
+    /// Mutable persistence view ([`DynSketch::persist_state`] for the
+    /// decode direction).
+    fn persist_state_mut(&mut self) -> Option<&mut dyn SketchState> {
+        None
+    }
 }
 
 /// Implement [`DynSketch`] for a sketch type, listing its capabilities.
@@ -107,7 +123,7 @@ pub trait DynSketch: Sketch + Send + Sync {
 /// ```
 ///
 /// Capabilities: `point`, `point_batch`, `norm`, `sample`, `support`,
-/// `merge`. The listed
+/// `merge`, `persist`. The listed
 /// set must match the type's actual trait impls (the registry's
 /// capability-consistency test builds each family and cross-checks). The
 /// type must also be `Clone` — the macro wires [`DynSketch::clone_dyn`],
@@ -150,6 +166,16 @@ macro_rules! impl_dyn_sketch {
     };
     (@cap support) => {
         fn as_support(&self) -> ::std::option::Option<&dyn $crate::SupportQuery> {
+            ::std::option::Option::Some(self)
+        }
+    };
+    (@cap persist) => {
+        fn persist_state(&self) -> ::std::option::Option<&dyn $crate::state::SketchState> {
+            ::std::option::Option::Some(self)
+        }
+        fn persist_state_mut(
+            &mut self,
+        ) -> ::std::option::Option<&mut dyn $crate::state::SketchState> {
             ::std::option::Option::Some(self)
         }
     };
@@ -208,17 +234,24 @@ pub struct Capabilities {
     pub batch_bitwise: bool,
     /// Updates compose additively per item.
     pub linear: bool,
+    /// Implements [`SketchState`]: the mutable state round-trips through
+    /// the versioned binary encoding (`save_state`/`load_state`), the
+    /// durability hook `bd_stream::persist` builds on. The round-trip is
+    /// bit-identical for every family that advertises it — decode rebuilds
+    /// from the stamped spec and overwrites only mutated state.
+    pub persist: bool,
 }
 
 impl fmt::Display for Capabilities {
     /// Compact tags, e.g. `point+merge+linear`.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let tags: [(&str, bool); 5] = [
+        let tags: [(&str, bool); 6] = [
             ("point", self.point),
             ("norm", self.norm),
             ("sample", self.sample),
             ("support", self.support),
             ("merge", self.mergeable),
+            ("persist", self.persist),
         ];
         let mut first = true;
         for (name, on) in tags {
@@ -439,7 +472,7 @@ impl fmt::Debug for Registry {
 
 // The reference sketch: exact frequencies, point queries, trivially linear,
 // and mergeable by coordinate-wise addition (the sharded control family).
-crate::impl_dyn_sketch!(FrequencyVector, point, merge);
+crate::impl_dyn_sketch!(FrequencyVector, point, merge, persist);
 
 /// Register this crate's reference family ([`SketchFamily::Exact`]).
 pub fn register_reference(reg: &mut Registry) {
@@ -453,6 +486,7 @@ pub fn register_reference(reg: &mut Registry) {
                 merge_bitwise: true,
                 batch_bitwise: true,
                 linear: true,
+                persist: true,
                 ..Default::default()
             },
             inputs: SpaceInputs {

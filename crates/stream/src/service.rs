@@ -54,6 +54,7 @@
 //! space watermark of the merged snapshot.
 
 use crate::merge::{merge_tree, MergeReport};
+use crate::persist::{PersistError, SnapshotStore};
 use crate::query::{QueryView, SnapshotHandle, SnapshotHub};
 use crate::registry::{DynSketch, Registry, RegistryError};
 use crate::runner::StreamRunner;
@@ -113,7 +114,7 @@ impl FromStr for OverflowPolicy {
 }
 
 /// A runtime service failure: the typed form of what used to be a panic.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum ServiceError {
     /// A shard worker's thread is gone (its sketch panicked mid-update, or
     /// the thread was killed), so its command queue is disconnected. The
@@ -124,6 +125,10 @@ pub enum ServiceError {
         /// Index of the dead worker in `0..threads`.
         worker: usize,
     },
+    /// Snapshot persistence or recovery failed — writing an epoch cut to
+    /// the attached [`SnapshotStore`], or loading/validating one during
+    /// [`StreamService::recover`].
+    Persist(PersistError),
 }
 
 impl fmt::Display for ServiceError {
@@ -132,11 +137,18 @@ impl fmt::Display for ServiceError {
             ServiceError::WorkerDied { worker } => {
                 write!(f, "service worker {worker} died (its thread is gone)")
             }
+            ServiceError::Persist(e) => write!(f, "snapshot persistence failed: {e}"),
         }
     }
 }
 
 impl std::error::Error for ServiceError {}
+
+impl From<PersistError> for ServiceError {
+    fn from(e: PersistError) -> Self {
+        ServiceError::Persist(e)
+    }
+}
 
 /// Service shape: epoch length, shard workers, dispatch granularity, and
 /// the bounded-queue overload contract.
@@ -524,6 +536,13 @@ pub struct StreamService {
     blocked: Duration,
     epoch_start: Instant,
     pending: Vec<PendingCut>,
+    /// When attached ([`StreamService::persist_to`] /
+    /// [`StreamService::recover`]), every resolved scheduled cut is also
+    /// written to disk, making the epoch durable.
+    store: Option<SnapshotStore>,
+    /// The offered-stream position this service resumed from (0 for a
+    /// fresh start): replay the source from this offset to catch up.
+    recovered_from: usize,
 }
 
 impl StreamService {
@@ -546,7 +565,24 @@ impl StreamService {
             return Err(RegistryError::NotMergeable);
         }
         let sketches = registry.build_n(spec, threads)?;
+        Ok(Self::assemble(
+            spec,
+            ServiceConfig { threads, ..config },
+            sketches,
+        ))
+    }
+
+    /// Spawn one worker thread per pre-built sketch and wire the service
+    /// around them. Factored out of [`StreamService::start`] so
+    /// [`StreamService::recover`] can seed worker 0 with a
+    /// snapshot-restored sketch instead of a fresh one.
+    fn assemble(
+        spec: &SketchSpec,
+        config: ServiceConfig,
+        sketches: Vec<Box<dyn DynSketch>>,
+    ) -> Self {
         let runner = StreamRunner::new();
+        let threads = sketches.len();
         let mut senders = Vec::with_capacity(threads);
         let mut handles = Vec::with_capacity(threads);
         let mut pending_cmds = Vec::with_capacity(threads);
@@ -572,8 +608,8 @@ impl StreamService {
                 }
             }));
         }
-        Ok(StreamService {
-            config: ServiceConfig { threads, ..config },
+        StreamService {
+            config,
             spec: *spec,
             alpha_configured: spec.alpha,
             hub: SnapshotHub::new(),
@@ -598,7 +634,105 @@ impl StreamService {
             blocked: Duration::ZERO,
             epoch_start: Instant::now(),
             pending: Vec::new(),
-        })
+            store: None,
+            recovered_from: 0,
+        }
+    }
+
+    /// Attach a [`SnapshotStore`]: every scheduled (and final) epoch cut
+    /// resolved from now on is also written to disk, atomically, one file
+    /// per epoch. On-demand [`StreamService::snapshot`] calls are *not*
+    /// persisted — they capture mid-epoch state and reuse the upcoming
+    /// epoch index, so only complete scheduled epochs become durable.
+    pub fn persist_to(&mut self, store: SnapshotStore) {
+        self.store = Some(store);
+    }
+
+    /// Cold-start from the newest valid snapshot in `store`, then keep
+    /// persisting into it.
+    ///
+    /// The snapshot's spec and service-config stamps must match the
+    /// caller's exactly (`[PersistError::SpecMismatch]` /
+    /// [`PersistError::ConfigMismatch`] otherwise — the spec embeds the
+    /// seed, and the dispatch geometry must continue identically for
+    /// replay to be faithful). Worker 0 is seeded with the restored merged
+    /// sketch, workers `1..threads` start fresh, and the stream cursor and
+    /// cumulative accounting resume from the snapshot's stamps; the
+    /// recovered epoch is republished to the hub so
+    /// [`StreamService::latest`] serves it immediately. The caller then
+    /// replays the source from [`StreamService::replay_from`]: because the
+    /// update → worker assignment is a pure function of the offered
+    /// position, every tail update lands on the worker it would have
+    /// reached in the uninterrupted run, so the continuation's snapshots
+    /// obey the same law as sharding itself — bit-identical to the
+    /// uninterrupted run for `merge_bitwise` families, estimate-equal for
+    /// the rest (pinned by `tests/recovery.rs`).
+    ///
+    /// An empty (or wholly-invalid) store is not an error: the service
+    /// starts fresh with the store attached and `replay_from() == 0`.
+    pub fn recover(
+        registry: &Registry,
+        spec: &SketchSpec,
+        config: ServiceConfig,
+        store: SnapshotStore,
+    ) -> Result<Self, ServiceError> {
+        let rec = store.load_latest(registry).map_err(ServiceError::Persist)?;
+        let mut svc = StreamService::start(registry, spec, config)
+            .map_err(|e| ServiceError::Persist(PersistError::Registry(e)))?;
+        let Some(rec) = rec else {
+            svc.store = Some(store);
+            return Ok(svc);
+        };
+        if rec.spec != *spec {
+            return Err(PersistError::SpecMismatch {
+                expected: spec.to_string(),
+                found: rec.spec.to_string(),
+            }
+            .into());
+        }
+        if rec.config != svc.config.to_string() {
+            return Err(PersistError::ConfigMismatch {
+                expected: svc.config.to_string(),
+                found: rec.config,
+            }
+            .into());
+        }
+        let offered =
+            usize::try_from(rec.offered).map_err(|_| PersistError::Oversized(rec.offered))?;
+        // Re-assemble with worker 0 seeded by the restored merged sketch
+        // (the same identity the merge fold preserves: worker 0's clone is
+        // always the fold survivor). The fresh `svc` above already proved
+        // the spec is buildable and mergeable at this thread count.
+        let mut sketches = registry
+            .build_n(spec, svc.config.threads)
+            .map_err(|e| ServiceError::Persist(PersistError::Registry(e)))?;
+        sketches[0] = rec.sketch.clone_dyn();
+        let mut svc = Self::assemble(spec, svc.config, sketches);
+        svc.store = Some(store);
+        // Resume the stream cursor and the cumulative accounting exactly
+        // where the snapshot froze them; per-epoch tallies start at zero
+        // (the cut was an epoch boundary).
+        svc.offered = offered;
+        svc.recovered_from = offered;
+        svc.epochs_cut = rec.report.epoch;
+        svc.total_updates = rec.report.total_updates;
+        svc.total_inserted = rec.report.total_inserted;
+        svc.total_deleted = rec.report.total_deleted;
+        svc.total_dropped_updates = rec.report.total_dropped_updates;
+        svc.total_dropped_mass = rec.report.total_dropped_mass;
+        svc.hub.publish(Arc::new(Snapshot {
+            spec: *spec,
+            sketch: rec.sketch,
+            report: rec.report,
+        }));
+        Ok(svc)
+    }
+
+    /// The offered-stream position this service resumed from — replay the
+    /// source from this offset after [`StreamService::recover`]. Always 0
+    /// for a service that started fresh.
+    pub fn replay_from(&self) -> usize {
+        self.recovered_from
     }
 
     /// The service shape in effect.
@@ -810,10 +944,22 @@ impl StreamService {
 
     /// Resolve every in-flight cut, in cut order, publishing each to the
     /// hub as it completes (the last one resolved is the one
-    /// [`StreamService::latest`] serves).
+    /// [`StreamService::latest`] serves) and — when a store is attached —
+    /// writing it durably to disk before it is handed to the caller.
     fn drain_pending(&mut self, out: &mut Vec<Arc<Snapshot>>) -> Result<(), ServiceError> {
         for cut in std::mem::take(&mut self.pending) {
             let snap = self.resolve(cut)?;
+            if let Some(store) = &self.store {
+                // The offered stamp is the replay cursor: where the stream
+                // cursor stood at the cut, shed cells included.
+                store.save(
+                    &self.spec,
+                    &self.config.to_string(),
+                    &snap.report,
+                    snap.report.total_offered_updates() as u64,
+                    snap.sketch.as_ref(),
+                )?;
+            }
             self.hub.publish(Arc::clone(&snap));
             out.push(snap);
         }

@@ -7,6 +7,7 @@
 
 use crate::sketch::{Mergeable, PointQuery, Sketch};
 use crate::space::{SpaceReport, SpaceUsage};
+use crate::state::{SketchState, StateError, StateReader, StateWriter};
 use crate::update::{Item, StreamBatch, Update};
 use std::collections::HashMap;
 
@@ -292,6 +293,51 @@ impl Mergeable for FrequencyVector {
             *self.del.entry(i).or_insert(0) += m;
         }
         self.mass += other.mass;
+    }
+}
+
+impl SketchState for FrequencyVector {
+    /// Mutable state is the three sparse maps plus the mass counter; each
+    /// map is written in sorted item order so the encoding is a
+    /// deterministic function of the logical state.
+    fn save_state(&self, w: &mut StateWriter) {
+        w.u64(self.mass);
+        let mut f: Vec<(Item, i64)> = self.f.iter().map(|(&i, &v)| (i, v)).collect();
+        f.sort_unstable_by_key(|&(i, _)| i);
+        w.seq(f.len());
+        for (i, v) in f {
+            w.u64(i);
+            w.i64(v);
+        }
+        for map in [&self.ins, &self.del] {
+            let mut m: Vec<(Item, u64)> = map.iter().map(|(&i, &v)| (i, v)).collect();
+            m.sort_unstable_by_key(|&(i, _)| i);
+            w.seq(m.len());
+            for (i, v) in m {
+                w.u64(i);
+                w.u64(v);
+            }
+        }
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        self.mass = r.u64()?;
+        self.f.clear();
+        for _ in 0..r.seq(16)? {
+            let i = r.u64()?;
+            if i >= self.n {
+                return Err(StateError::Corrupt("frequency item out of universe"));
+            }
+            self.f.insert(i, r.i64()?);
+        }
+        for map in [&mut self.ins, &mut self.del] {
+            map.clear();
+            for _ in 0..r.seq(16)? {
+                let i = r.u64()?;
+                map.insert(i, r.u64()?);
+            }
+        }
+        Ok(())
     }
 }
 

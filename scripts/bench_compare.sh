@@ -13,9 +13,10 @@
 # measurements are never gated by the bin, so additionally assert the
 # sharded, service, hash (including the per-kernel SIMD rows), merge,
 # query (batched vs scalar point queries on a published snapshot), serve
-# (TCP round-trips under concurrent readers), and service_overload (burst
-# ingestion through bounded queues, with the bounded-RSS assertion)
-# sections cannot silently vanish from the bench.
+# (TCP round-trips under concurrent readers), service_overload (burst
+# ingestion through bounded queues, with the bounded-RSS assertion), and
+# persist (snapshot encode/decode per family plus the cold-start recovery
+# path) sections cannot silently vanish from the bench.
 
 set -eu
 cd "$(dirname "$0")/.."
@@ -28,7 +29,7 @@ cp BENCH_ingest.json "$BASELINE"
 cargo bench -p bd-bench --bench ingest
 
 for section in '"ingest_sharded/' '"ingest_service/' '"hash/' '"hash/simd_' '"merge/' \
-    '"query/' '"serve/' '"service_overload/'; do
+    '"query/' '"serve/' '"service_overload/' '"persist/'; do
     if ! grep -q "$section" BENCH_ingest.json; then
         echo "bench_compare.sh: $section section missing from BENCH_ingest.json" >&2
         exit 1

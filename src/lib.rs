@@ -140,6 +140,11 @@ pub mod prelude {
         L0AlphaGen, NetworkDiffGen, RdcGen, SensorGen, SkewFlipGen, StrongAlphaGen, SupportHard,
         UnboundedDeletionGen, Zipf,
     };
+    pub use bd_stream::{
+        decode_snapshot, encode_snapshot, sketch_from_bytes, sketch_to_bytes, PersistError,
+        SketchState, SnapshotRecord, SnapshotStore, StateError, StateReader, StateWriter,
+        PERSIST_VERSION,
+    };
     pub use bd_stream::{DynSketch, Regime, Registry, SketchFamily, SketchSpec, SupportQuery};
     pub use bd_stream::{
         EpochReport, FrequencyVector, Item, Mergeable, NormEstimate, OverflowPolicy, PointQuery,

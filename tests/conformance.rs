@@ -518,3 +518,164 @@ fn probe_distinguishes_items_from_scalars() {
         .iter()
         .any(|v| matches!(v, ProbeVal::Scalar(x) if *x == 7.0)));
 }
+
+/// The persist round-trip law: for every family advertising the persist
+/// capability, `from_bytes(to_bytes(s))` restores the **full** mutable
+/// state — probes bit-identical, re-encoding deterministic, and (the
+/// property recovery actually relies on) continued ingestion after the
+/// round trip bit-identical to never having been encoded at all. Families
+/// without the capability must refuse with the typed error, and the
+/// descriptor flag must agree with the built sketch's dynamic accessor.
+#[test]
+fn persistable_families_roundtrip_bit_for_bit() {
+    let s = stream(0x5A);
+    let half = s.len() / 2;
+    let (prefix, tail) = (&s.updates[..half], &s.updates[half..]);
+    let mut covered = 0;
+    for info in registry().families() {
+        let name = info.family.name();
+        let spec = conformance_spec(info.family);
+        let mut sk = registry().build(&spec).unwrap();
+        assert_eq!(
+            sk.persist_state().is_some(),
+            info.caps.persist,
+            "{name}: persist capability flag disagrees with the state accessor"
+        );
+        if !info.caps.persist {
+            assert_eq!(
+                sketch_to_bytes(&spec, sk.as_ref()).map(|_| ()),
+                Err(PersistError::NotPersistable),
+                "{name}: encoding without the capability must be the typed refusal"
+            );
+            continue;
+        }
+        covered += 1;
+        sk.update_batch(prefix);
+        let bytes = sketch_to_bytes(&spec, sk.as_ref()).unwrap();
+        let (decoded_spec, mut restored) = sketch_from_bytes(registry(), &bytes)
+            .unwrap_or_else(|e| panic!("{name}: round-trip decode failed: {e}"));
+        assert_eq!(decoded_spec, spec, "{name}: spec stamp drifted");
+        assert_probes_match(
+            &format!("{name} (persist round-trip)"),
+            &probe(sk.as_ref()),
+            &probe(restored.as_ref()),
+            true,
+        );
+        assert_eq!(
+            bytes,
+            sketch_to_bytes(&decoded_spec, restored.as_ref()).unwrap(),
+            "{name}: re-encoding the restored sketch is not deterministic"
+        );
+        // Restart ≡ uninterrupted: both continue over the tail.
+        sk.update_batch(tail);
+        restored.update_batch(tail);
+        assert_probes_match(
+            &format!("{name} (ingestion after restore)"),
+            &probe(sk.as_ref()),
+            &probe(restored.as_ref()),
+            true,
+        );
+    }
+    assert!(
+        covered >= 20,
+        "persistable catalog shrank unexpectedly: {covered} families"
+    );
+}
+
+/// Adversarial snapshot decoding: truncations at every boundary, a
+/// deterministic bit-flip sweep, wrong versions, bad magic, and oversized
+/// length headers all land on typed [`PersistError`]s — never a panic,
+/// never an unbounded allocation.
+#[test]
+fn adversarial_snapshot_decodes_are_typed_errors() {
+    let s = stream(0xAD);
+    let spec = conformance_spec(SketchFamily::Exact);
+    let mut sk = registry().build(&spec).unwrap();
+    sk.update_batch(&s.updates);
+    let blob = sketch_to_bytes(&spec, sk.as_ref()).unwrap();
+
+    // Sketch blob: every truncation length decodes to a typed error.
+    for cut in 0..blob.len() {
+        let err = sketch_from_bytes(registry(), &blob[..cut])
+            .map(|_| ())
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                PersistError::BadMagic
+                    | PersistError::State(_)
+                    | PersistError::UnsupportedVersion(_)
+            ),
+            "blob truncated at {cut}: unexpected {err:?}"
+        );
+    }
+
+    // Snapshot file image around the blob.
+    let mut svc = StreamService::start(
+        registry(),
+        &spec,
+        ServiceConfig::default()
+            .with_epoch(s.len() as u64)
+            .with_threads(1),
+    )
+    .unwrap();
+    let mut snaps = svc.ingest(&s.updates).unwrap();
+    snaps.extend(svc.finish().unwrap());
+    let snap = snaps.pop().expect("one full epoch");
+    let file = encode_snapshot(
+        &spec,
+        "service:test",
+        &snap.report,
+        snap.report.total_updates as u64,
+        snap.sketch.as_ref(),
+    )
+    .unwrap();
+    assert!(decode_snapshot(registry(), &file).is_ok());
+
+    // Truncation sweep: every prefix fails with a typed error.
+    for cut in 0..file.len() {
+        assert!(
+            decode_snapshot(registry(), &file[..cut]).is_err(),
+            "file truncated at {cut} decoded"
+        );
+    }
+    // Deterministic bit-flip sweep: a stride relatively prime to 8 visits
+    // both header and payload bits; the CRC (or an envelope check before
+    // it) must reject every single-bit corruption.
+    let total_bits = file.len() * 8;
+    let mut flipped_checked = 0usize;
+    let mut bit = 0usize;
+    while bit < total_bits {
+        let mut bad = file.clone();
+        bad[bit / 8] ^= 1 << (bit % 8);
+        assert!(
+            decode_snapshot(registry(), &bad).is_err(),
+            "bit flip at {bit} decoded"
+        );
+        flipped_checked += 1;
+        bit += 131;
+    }
+    assert!(flipped_checked > 50, "bit-flip sweep degenerated");
+
+    // Wrong version (newer than this build) is its own typed error.
+    let mut newer = file.clone();
+    newer[4..6].copy_from_slice(&(PERSIST_VERSION + 1).to_le_bytes());
+    assert_eq!(
+        decode_snapshot(registry(), &newer).unwrap_err(),
+        PersistError::UnsupportedVersion(PERSIST_VERSION + 1)
+    );
+    // Wrong magic.
+    let mut magic = file.clone();
+    magic[..4].copy_from_slice(b"NOPE");
+    assert_eq!(
+        decode_snapshot(registry(), &magic).unwrap_err(),
+        PersistError::BadMagic
+    );
+    // An oversized length header is rejected before any allocation.
+    let mut huge = file.clone();
+    huge[6..10].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert_eq!(
+        decode_snapshot(registry(), &huge).unwrap_err(),
+        PersistError::Oversized(u32::MAX as u64)
+    );
+}
