@@ -82,7 +82,7 @@ use bd_bench::{fmt_bits, registry, Table};
 use bd_stream::{
     DynSketch, EpochReport, ErrorCode, FrequencyVector, OverflowPolicy, QueryClient, QueryServer,
     Request, Response, SampleOutcome, ServiceConfig, ShardedRunner, SketchSpec, SnapshotStore,
-    StreamBatch, StreamRunner, StreamService,
+    StreamBatch, StreamRunner, StreamService, WalPolicy,
 };
 use std::io::Write as _;
 use std::process::ExitCode;
@@ -94,7 +94,8 @@ fn usage() -> ExitCode {
          shard [--threads N] <spec> [workload]|\
          serve --spec <spec> [--epoch N] [--threads N] [--chunk N] \
          [--depth N] [--overflow block|drop] [--service <cfg>] \
-         [--persist DIR] [--recover] [--listen ADDR] [workload]|\
+         [--persist DIR] [--recover] [--wal off|batch|epoch] [--retain N] \
+         [--listen ADDR] [workload]|\
          loadgen --addr ADDR [--readers N] [--requests N] [--batch K] \
          [--universe N] [--shutdown]>"
     );
@@ -147,6 +148,8 @@ fn main() -> ExitCode {
             let mut cfg = ServiceConfig::default();
             let (mut epoch, mut threads, mut chunk, mut depth) = (None, None, None, None);
             let mut overflow: Option<OverflowPolicy> = None;
+            let mut wal: Option<WalPolicy> = None;
+            let mut retain: Option<usize> = None;
             let mut spec_str: Option<&str> = None;
             let mut listen: Option<&str> = None;
             let mut persist: Option<&str> = None;
@@ -169,7 +172,8 @@ fn main() -> ExitCode {
                         _ => {
                             eprintln!(
                                 "--service expects \
-                                 service:epoch=..,threads=..,chunk=..,depth=..,overflow=.."
+                                 service:epoch=..,threads=..,chunk=..,depth=..,\
+                                 overflow=..,wal=..,retain=.."
                             );
                             return usage();
                         }
@@ -210,6 +214,20 @@ fn main() -> ExitCode {
                             return usage();
                         }
                     },
+                    "--wal" => match rest.next().map(|s| s.parse::<WalPolicy>()) {
+                        Some(Ok(p)) => wal = Some(p),
+                        _ => {
+                            eprintln!("--wal expects `off`, `batch`, or `epoch`");
+                            return usage();
+                        }
+                    },
+                    "--retain" => match rest.next().and_then(|v| v.parse::<usize>().ok()) {
+                        Some(n) => retain = Some(n),
+                        None => {
+                            eprintln!("--retain expects an integer (0 keeps every epoch)");
+                            return usage();
+                        }
+                    },
                     _ => positional.push(arg),
                 }
             }
@@ -218,6 +236,15 @@ fn main() -> ExitCode {
             cfg.chunk = chunk.unwrap_or(cfg.chunk);
             cfg.depth = depth.unwrap_or(cfg.depth);
             cfg.overflow = overflow.unwrap_or(cfg.overflow);
+            cfg.wal = wal.unwrap_or(cfg.wal);
+            cfg.retain = retain.unwrap_or(cfg.retain);
+            if cfg.wal != WalPolicy::Off && persist.is_none() {
+                eprintln!(
+                    "--wal {} requires --persist DIR (the log lives there)",
+                    cfg.wal
+                );
+                return usage();
+            }
             // A bare positional spec is accepted when --spec is absent.
             let (spec, wl) = match (spec_str, positional.as_slice()) {
                 (Some(s), rest) => (s, rest.first().copied()),
@@ -608,7 +635,8 @@ fn start_service(
             } else {
                 let mut svc = StreamService::start(reg, spec, cfg)
                     .map_err(|e| format!("service failed to start: {e}"))?;
-                svc.persist_to(store);
+                svc.persist_to(store)
+                    .map_err(|e| format!("attaching persistence failed: {e}"))?;
                 Ok(svc)
             }
         }
@@ -724,6 +752,12 @@ fn serve(
             rep.dropped_mass,
             rep.drop_fraction() * 100.0
         );
+        if cfg.wal != WalPolicy::Off {
+            println!(
+                "           wal {} records / {} bytes appended this epoch",
+                rep.wal_records, rep.wal_bytes
+            );
+        }
         println!(
             "           deletion fraction {:.3} (α-cap {:.3})  α floor {:.2} vs \
              configured {:.0} — {}",

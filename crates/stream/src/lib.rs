@@ -74,13 +74,14 @@ pub mod spec;
 pub mod state;
 pub mod update;
 pub mod vector;
+pub mod wal;
 pub mod wire;
 
 pub use merge::{merge_tree, MergeReport};
 pub use net::{QueryClient, QueryServer};
 pub use persist::{
-    decode_snapshot, encode_snapshot, sketch_from_bytes, sketch_to_bytes, PersistError,
-    SnapshotRecord, SnapshotStore, MAX_SNAPSHOT, PERSIST_VERSION,
+    decode_snapshot, encode_snapshot, fault, sketch_from_bytes, sketch_to_bytes, sync_dir,
+    PersistError, SnapshotRecord, SnapshotStore, MAX_SNAPSHOT, PERSIST_VERSION,
 };
 pub use query::{QueryEngine, QueryError, QueryView, SnapshotHandle, SnapshotHub};
 pub use registry::{
@@ -100,4 +101,9 @@ pub use spec::{Regime, SketchFamily, SketchSpec, SpecError};
 pub use state::{SketchState, StateError, StateReader, StateWriter, MAX_STATE};
 pub use update::{Item, StreamBatch, Update};
 pub use vector::FrequencyVector;
+pub use wal::{
+    read_segment, truncate_segment, wal_segments, SegmentHeader, SegmentScan, WalCell, WalDamage,
+    WalLogger, WalPolicy, WalRecord, WalTruncation, WalWriter, MAX_WAL_RECORD, WAL_MAGIC,
+    WAL_VERSION,
+};
 pub use wire::{ErrorCode, Request, Response, WireError, WireReport, MAX_FRAME};

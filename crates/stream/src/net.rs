@@ -331,6 +331,8 @@ fn answer(req: &Request, handle: &SnapshotHandle, scratch: &mut Vec<f64>) -> Res
                 total_dropped_mass: rep.total_dropped_mass,
                 queue_peak: rep.queue_peak as u64,
                 blocked_us: rep.blocked.as_micros() as u64,
+                wal_records: rep.wal_records as u64,
+                wal_bytes: rep.wal_bytes,
             }))
         }
         Request::Shutdown => unreachable!("handled by the connection loop"),
@@ -428,6 +430,8 @@ mod tests {
                 merge_elapsed: Duration::ZERO,
                 merge: MergeReport::default(),
                 threads: 2,
+                wal_records: 0,
+                wal_bytes: 0,
             },
         }));
         hub

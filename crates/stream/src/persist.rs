@@ -43,7 +43,175 @@ use std::fmt;
 use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Duration;
+
+/// Crash-point fault injection for the durability tests.
+///
+/// A "crash" in-process: an armed [`FaultInjector`] makes the durable
+/// write path stop — or tear — at a chosen point, then poisons every
+/// further persistence operation with
+/// [`PersistError::FaultInjected`], so dropping the service afterwards
+/// models a process that died at exactly that instant. What recovery
+/// then observes on disk is precisely what a real crash at that point
+/// would have left behind (`tests/wal.rs` drives the sweep per
+/// mergeable family).
+pub mod fault {
+    use super::PersistError;
+    use std::fmt;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    /// Where the injected crash lands relative to a WAL append and the
+    /// epoch-cut snapshot save that follows it.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum FaultPoint {
+        /// Die before the Nth append writes anything: the dispatched
+        /// cell is lost (exactly what a crash between dispatch and
+        /// append loses).
+        BeforeAppend,
+        /// Die mid-write of the Nth append: the segment ends in a torn
+        /// frame early in the record.
+        MidAppend,
+        /// Die after the Nth append is fully durable but before the next
+        /// snapshot save: the WAL tail alone carries the epoch.
+        AfterAppend,
+        /// Die leaving the Nth append torn just short of its checksum —
+        /// the adversarial torn-final-record shape.
+        TornTail,
+    }
+
+    impl fmt::Display for FaultPoint {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(match self {
+                FaultPoint::BeforeAppend => "before-append",
+                FaultPoint::MidAppend => "mid-append",
+                FaultPoint::AfterAppend => "after-append",
+                FaultPoint::TornTail => "torn-tail",
+            })
+        }
+    }
+
+    impl std::str::FromStr for FaultPoint {
+        type Err = String;
+
+        fn from_str(s: &str) -> Result<Self, String> {
+            match s.trim() {
+                "before-append" => Ok(FaultPoint::BeforeAppend),
+                "mid-append" => Ok(FaultPoint::MidAppend),
+                "after-append" => Ok(FaultPoint::AfterAppend),
+                "torn-tail" => Ok(FaultPoint::TornTail),
+                other => Err(format!("`{other}` is not a fault point")),
+            }
+        }
+    }
+
+    /// Every injectable crash point, in sweep order.
+    pub const ALL_POINTS: [FaultPoint; 4] = [
+        FaultPoint::BeforeAppend,
+        FaultPoint::MidAppend,
+        FaultPoint::AfterAppend,
+        FaultPoint::TornTail,
+    ];
+
+    /// A crash plan: fire `point` on append number `after_appends`
+    /// (0-based count of appends completed before the trigger).
+    #[derive(Clone, Copy, Debug)]
+    pub struct FaultPlan {
+        /// Where the crash lands.
+        pub point: FaultPoint,
+        /// How many appends complete normally before it fires.
+        pub after_appends: usize,
+    }
+
+    /// What the writer must do with the frame it is about to append.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum AppendAction {
+        /// Append normally.
+        WriteAll,
+        /// Write only the first `n` frame bytes durably, then die.
+        WritePrefix(usize),
+        /// Append (and sync) the whole frame, then die before anything
+        /// else becomes durable.
+        WriteAllThenDie,
+        /// Die without writing.
+        Die,
+    }
+
+    /// Shared crash switch: armed once, consulted by the
+    /// [`WalWriter`](crate::wal::WalWriter) on every append and by the
+    /// [`SnapshotStore`](super::SnapshotStore) on every save. Once
+    /// fired, the injector stays dead — like the process it models.
+    #[derive(Debug)]
+    pub struct FaultInjector {
+        plan: FaultPlan,
+        appends: AtomicUsize,
+        dead: AtomicBool,
+    }
+
+    impl FaultInjector {
+        /// Arm a crash plan, shared between the service's store and WAL
+        /// writer.
+        pub fn arm(plan: FaultPlan) -> Arc<Self> {
+            Arc::new(FaultInjector {
+                plan,
+                appends: AtomicUsize::new(0),
+                dead: AtomicBool::new(false),
+            })
+        }
+
+        /// The crash point this injector models.
+        pub fn point(&self) -> FaultPoint {
+            self.plan.point
+        }
+
+        /// Whether the crash has fired.
+        pub fn fired(&self) -> bool {
+            self.dead.load(Ordering::SeqCst)
+        }
+
+        /// `Err(FaultInjected)` once the crash has fired — the poisoned
+        /// state every later persistence call observes.
+        pub fn ensure_alive(&self) -> Result<(), PersistError> {
+            if self.fired() {
+                Err(PersistError::FaultInjected(self.plan.point))
+            } else {
+                Ok(())
+            }
+        }
+
+        /// Decide the fate of the next append (frame of `frame_len`
+        /// bytes). Counts calls; fires the plan on the configured one.
+        pub fn on_append(&self, frame_len: usize) -> AppendAction {
+            if self.fired() {
+                return AppendAction::Die;
+            }
+            let n = self.appends.fetch_add(1, Ordering::SeqCst);
+            if n != self.plan.after_appends {
+                return AppendAction::WriteAll;
+            }
+            self.dead.store(true, Ordering::SeqCst);
+            match self.plan.point {
+                FaultPoint::BeforeAppend => AppendAction::Die,
+                // Tear early: the length prefix itself is cut short.
+                FaultPoint::MidAppend => {
+                    AppendAction::WritePrefix(frame_len.saturating_sub(1).min(3))
+                }
+                FaultPoint::AfterAppend => AppendAction::WriteAllThenDie,
+                // Tear late: everything but the tail of the checksum.
+                FaultPoint::TornTail => AppendAction::WritePrefix(frame_len.saturating_sub(2)),
+            }
+        }
+    }
+}
+
+/// Fsync a directory, making renames/creates/unlinks inside it durable.
+/// A rename is only crash-safe once the *directory entry* reaches disk —
+/// fsyncing the file alone leaves the name itself volatile.
+pub fn sync_dir(dir: impl AsRef<Path>) -> Result<(), PersistError> {
+    fs::File::open(dir.as_ref())?.sync_all()?;
+    Ok(())
+}
 
 /// Magic tag opening a sketch blob.
 pub const SKETCH_MAGIC: [u8; 4] = *b"BDSK";
@@ -101,6 +269,10 @@ pub enum PersistError {
     },
     /// The family doesn't advertise the persist capability.
     NotPersistable,
+    /// An armed [`fault::FaultInjector`] fired: the modeled process died
+    /// at this crash point (testing only — never produced in normal
+    /// operation).
+    FaultInjected(fault::FaultPoint),
     /// The state blob inside the envelope is malformed.
     State(StateError),
     /// Rebuilding the sketch from the stamped spec failed.
@@ -129,6 +301,9 @@ impl fmt::Display for PersistError {
             PersistError::NotPersistable => {
                 write!(f, "family does not support state persistence")
             }
+            PersistError::FaultInjected(p) => {
+                write!(f, "injected crash fired at the {p} fault point")
+            }
             PersistError::State(e) => write!(f, "snapshot state blob: {e}"),
             PersistError::Registry(e) => write!(f, "snapshot rebuild failed: {e}"),
         }
@@ -155,17 +330,108 @@ impl From<std::io::Error> for PersistError {
     }
 }
 
-/// CRC-32 (IEEE 802.3, the zlib/PNG polynomial), bitwise — the store
-/// checksums one snapshot per epoch, so a lookup table isn't worth its
-/// cache lines.
+/// Slicing-by-8 lookup tables for a reflected CRC-32 with polynomial
+/// `poly`, built at compile time. `t[0]` is the classic byte-at-a-time
+/// table; `t[j]` advances a byte through `j` further zero bytes, letting
+/// the hot loop fold eight input bytes per iteration.
+const fn crc_tables(poly: u32) -> [[u32; 256]; 8] {
+    let mut t = [[0u32; 256]; 8];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (poly & mask);
+            k += 1;
+        }
+        t[0][i] = crc;
+        i += 1;
+    }
+    let mut j = 1;
+    while j < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = t[j - 1][i];
+            t[j][i] = (prev >> 8) ^ t[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        j += 1;
+    }
+    t
+}
+
+const CRC32_TABLE: [[u32; 256]; 8] = crc_tables(0xEDB8_8320); // IEEE 802.3
+const CRC32C_TABLE: [[u32; 256]; 8] = crc_tables(0x82F6_3B78); // Castagnoli
+
+/// One slicing-by-8 step over the `chunks_exact(8)` stream.
+#[inline]
+fn crc_slice8(t: &[[u32; 256]; 8], crc: u32, c: &[u8]) -> u32 {
+    let lo = u32::from_le_bytes([c[0], c[1], c[2], c[3]]) ^ crc;
+    let hi = u32::from_le_bytes([c[4], c[5], c[6], c[7]]);
+    t[7][(lo & 0xFF) as usize]
+        ^ t[6][((lo >> 8) & 0xFF) as usize]
+        ^ t[5][((lo >> 16) & 0xFF) as usize]
+        ^ t[4][(lo >> 24) as usize]
+        ^ t[3][(hi & 0xFF) as usize]
+        ^ t[2][((hi >> 8) & 0xFF) as usize]
+        ^ t[1][((hi >> 16) & 0xFF) as usize]
+        ^ t[0][(hi >> 24) as usize]
+}
+
+/// CRC-32 (IEEE 802.3, the zlib/PNG polynomial), slicing-by-8 — the
+/// `.bdsnap` snapshot checksum (one blob per epoch, format fixed since
+/// it first shipped).
 pub fn crc32(bytes: &[u8]) -> u32 {
     let mut crc = 0xFFFF_FFFFu32;
-    for &b in bytes {
-        crc ^= b as u32;
-        for _ in 0..8 {
-            let mask = (crc & 1).wrapping_neg();
-            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
-        }
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        crc = crc_slice8(&CRC32_TABLE, crc, c);
+    }
+    for &b in chunks.remainder() {
+        crc = (crc >> 8) ^ CRC32_TABLE[0][((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// CRC-32C (Castagnoli) — the WAL frame checksum. The log checksums
+/// every dispatched cell on the ingest hot path, so the polynomial is
+/// chosen for the x86 `crc32` instruction (SSE4.2, ~5× the table loop on
+/// the machines this serves); elsewhere it falls back to the same
+/// slicing-by-8 scheme as [`crc32`].
+pub fn crc32c(bytes: &[u8]) -> u32 {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("sse4.2") {
+        // SAFETY: guarded by the sse4.2 runtime check.
+        return unsafe { crc32c_sse42(bytes) };
+    }
+    crc32c_sw(bytes)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse4.2")]
+unsafe fn crc32c_sse42(bytes: &[u8]) -> u32 {
+    use std::arch::x86_64::{_mm_crc32_u64, _mm_crc32_u8};
+    let mut crc = !0u32 as u64;
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        crc = _mm_crc32_u64(crc, u64::from_le_bytes(c.try_into().unwrap()));
+    }
+    let mut crc = crc as u32;
+    for &b in chunks.remainder() {
+        crc = _mm_crc32_u8(crc, b);
+    }
+    !crc
+}
+
+fn crc32c_sw(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        crc = crc_slice8(&CRC32C_TABLE, crc, c);
+    }
+    for &b in chunks.remainder() {
+        crc = (crc >> 8) ^ CRC32C_TABLE[0][((crc ^ b as u32) & 0xFF) as usize];
     }
     !crc
 }
@@ -404,6 +670,9 @@ pub fn decode_snapshot(registry: &Registry, bytes: &[u8]) -> Result<SnapshotReco
         merge_elapsed,
         merge: crate::merge::MergeReport::default(),
         threads,
+        // WAL accounting is live-only: a recovered report carries zeros.
+        wal_records: 0,
+        wal_bytes: 0,
     };
     Ok(SnapshotRecord {
         spec,
@@ -423,6 +692,7 @@ pub fn decode_snapshot(registry: &Registry, bytes: &[u8]) -> Result<SnapshotReco
 #[derive(Clone, Debug)]
 pub struct SnapshotStore {
     dir: PathBuf,
+    fault: Option<Arc<fault::FaultInjector>>,
 }
 
 impl SnapshotStore {
@@ -430,7 +700,14 @@ impl SnapshotStore {
     pub fn open(dir: impl AsRef<Path>) -> Result<Self, PersistError> {
         let dir = dir.as_ref().to_path_buf();
         fs::create_dir_all(&dir)?;
-        Ok(SnapshotStore { dir })
+        Ok(SnapshotStore { dir, fault: None })
+    }
+
+    /// Attach a fault injector (crash-point testing only): once it
+    /// fires, every save fails with [`PersistError::FaultInjected`] —
+    /// the store behaves like one whose process is gone.
+    pub fn set_fault(&mut self, fault: Arc<fault::FaultInjector>) {
+        self.fault = Some(fault);
     }
 
     /// The directory this store writes into.
@@ -453,6 +730,9 @@ impl SnapshotStore {
         offered: u64,
         sketch: &dyn DynSketch,
     ) -> Result<PathBuf, PersistError> {
+        if let Some(fault) = &self.fault {
+            fault.ensure_alive()?;
+        }
         let bytes = encode_snapshot(spec, config, report, offered, sketch)?;
         let path = self.path_for(report.epoch);
         let tmp = self.dir.join(format!("epoch-{:08}.tmp", report.epoch));
@@ -462,7 +742,32 @@ impl SnapshotStore {
             f.sync_all()?;
         }
         fs::rename(&tmp, &path)?;
+        // The rename is only durable once the directory entry is — fsync
+        // the directory so a power loss can't resurrect the old name.
+        sync_dir(&self.dir)?;
         Ok(path)
+    }
+
+    /// Prune old snapshots, keeping the newest `retain` epochs (`0`
+    /// disables pruning). Meant to run right after a successful
+    /// [`SnapshotStore::save`], so the newest file — the one just
+    /// written — is valid and is never deleted. Unlinks are made durable
+    /// with a directory fsync; returns the epochs removed.
+    pub fn prune(&self, retain: usize) -> Result<Vec<usize>, PersistError> {
+        if retain == 0 {
+            return Ok(Vec::new());
+        }
+        let epochs = self.epochs()?;
+        if epochs.len() <= retain {
+            return Ok(Vec::new());
+        }
+        let cut = epochs.len() - retain;
+        let doomed = epochs[..cut].to_vec();
+        for &epoch in &doomed {
+            fs::remove_file(self.path_for(epoch))?;
+        }
+        sync_dir(&self.dir)?;
+        Ok(doomed)
     }
 
     /// Every epoch with a snapshot file present, ascending.
@@ -538,6 +843,19 @@ mod tests {
     }
 
     #[test]
+    fn crc32c_known_vector_and_fallback_equivalence() {
+        // The canonical check value for CRC-32C/Castagnoli.
+        assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+        assert_eq!(crc32c(b""), 0);
+        // The dispatched (possibly hardware) path must agree with the
+        // table fallback on every length mod 8 and on longer runs.
+        let data: Vec<u8> = (0..1021u32).map(|i| (i * 131 + 7) as u8).collect();
+        for len in [0, 1, 7, 8, 9, 63, 64, 65, 1021] {
+            assert_eq!(crc32c(&data[..len]), crc32c_sw(&data[..len]), "len {len}");
+        }
+    }
+
+    #[test]
     fn sketch_blob_roundtrips_bit_for_bit() {
         let (spec, sk) = built();
         let bytes = sketch_to_bytes(&spec, sk.as_ref()).unwrap();
@@ -601,6 +919,8 @@ mod tests {
             merge_elapsed: Duration::ZERO,
             merge: Default::default(),
             threads: 2,
+            wal_records: 7,
+            wal_bytes: 512,
         };
         let bytes = encode_snapshot(&spec, "service:epoch=100", &report, 300, sk.as_ref()).unwrap();
         let rec = decode_snapshot(&r, &bytes).unwrap();
@@ -666,6 +986,8 @@ mod tests {
             merge_elapsed: Duration::ZERO,
             merge: Default::default(),
             threads: 1,
+            wal_records: 0,
+            wal_bytes: 0,
         };
         store.save(&spec, "cfg", &report, 10, sk.as_ref()).unwrap();
         report.epoch = 2;

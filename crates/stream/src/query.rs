@@ -469,6 +469,8 @@ mod tests {
                 merge_elapsed: Duration::ZERO,
                 merge: MergeReport::default(),
                 threads: 1,
+                wal_records: 0,
+                wal_bytes: 0,
             },
         })
     }

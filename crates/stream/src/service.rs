@@ -54,13 +54,14 @@
 //! space watermark of the merged snapshot.
 
 use crate::merge::{merge_tree, MergeReport};
-use crate::persist::{PersistError, SnapshotStore};
+use crate::persist::{fault::FaultInjector, PersistError, SnapshotStore};
 use crate::query::{QueryView, SnapshotHandle, SnapshotHub};
 use crate::registry::{DynSketch, Registry, RegistryError};
 use crate::runner::StreamRunner;
 use crate::space::SpaceReport;
 use crate::spec::{parse_u64, SketchSpec, SpecError};
 use crate::update::Update;
+use crate::wal::{self, SealedSegment, WalCell, WalLogger, WalPolicy, WalRecord, WalWriter};
 use std::fmt;
 use std::str::FromStr;
 use std::sync::atomic::{AtomicIsize, Ordering};
@@ -178,11 +179,22 @@ pub struct ServiceConfig {
     /// What a full worker queue does to the producer: `block`
     /// (back-pressure, the default) or `drop` (shed the cell, counted).
     pub overflow: OverflowPolicy,
+    /// When the write-ahead log reaches disk: `off` (no log, the
+    /// default), `batch` (fsync every appended record), or `epoch`
+    /// (fsync at segment roll). Active only while a snapshot store is
+    /// attached ([`StreamService::persist_to`] /
+    /// [`StreamService::recover`]) — the log lives in the store's
+    /// directory.
+    pub wal: WalPolicy,
+    /// How many snapshot files to keep after each successful save
+    /// (`retain=N`); `0` (the default) keeps every epoch. The newest
+    /// snapshot is never pruned.
+    pub retain: usize,
 }
 
 impl Default for ServiceConfig {
     /// `epoch = 100_000`, `threads = 4`, `chunk = 4096`, `depth = 64`,
-    /// `overflow = block`.
+    /// `overflow = block`, `wal = off`, `retain = 0`.
     fn default() -> Self {
         ServiceConfig {
             epoch: 100_000,
@@ -190,6 +202,8 @@ impl Default for ServiceConfig {
             chunk: StreamRunner::DEFAULT_CHUNK,
             depth: 64,
             overflow: OverflowPolicy::Block,
+            wal: WalPolicy::Off,
+            retain: 0,
         }
     }
 }
@@ -223,6 +237,31 @@ impl ServiceConfig {
     pub fn with_overflow(mut self, overflow: OverflowPolicy) -> Self {
         self.overflow = overflow;
         self
+    }
+
+    /// Set the write-ahead-log fsync policy.
+    pub fn with_wal(mut self, wal: WalPolicy) -> Self {
+        self.wal = wal;
+        self
+    }
+
+    /// Set the snapshot retention count (`0` keeps every epoch).
+    pub fn with_retain(mut self, retain: usize) -> Self {
+        self.retain = retain;
+        self
+    }
+
+    /// The dispatch-geometry stamp written into snapshots and WAL
+    /// segment headers: `epoch`/`threads`/`chunk`/`depth`/`overflow` —
+    /// exactly the knobs replay fidelity depends on. The durability
+    /// knobs (`wal=`, `retain=`) are deliberately excluded so they may
+    /// change across restarts; the format equals the full `Display` of
+    /// pre-WAL versions, so older snapshot stamps keep validating.
+    pub fn geometry_string(&self) -> String {
+        format!(
+            "service:epoch={},threads={},chunk={},depth={},overflow={}",
+            self.epoch, self.threads, self.chunk, self.depth, self.overflow
+        )
     }
 
     /// Validate the fields (zero values would deadlock the dispatch loop).
@@ -281,6 +320,8 @@ impl FromStr for ServiceConfig {
                 "chunk" => cfg.chunk = parse_u64("chunk", val.trim())? as usize,
                 "depth" => cfg.depth = parse_u64("depth", val.trim())? as usize,
                 "overflow" => cfg.overflow = val.trim().parse()?,
+                "wal" => cfg.wal = val.trim().parse()?,
+                "retain" => cfg.retain = parse_u64("retain", val.trim())? as usize,
                 other => return Err(SpecError::UnknownKey(other.to_string())),
             }
         }
@@ -293,8 +334,10 @@ impl fmt::Display for ServiceConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "service:epoch={},threads={},chunk={},depth={},overflow={}",
-            self.epoch, self.threads, self.chunk, self.depth, self.overflow
+            "{},wal={},retain={}",
+            self.geometry_string(),
+            self.wal,
+            self.retain
         )
     }
 }
@@ -354,6 +397,12 @@ pub struct EpochReport {
     pub merge: MergeReport,
     /// Worker count the snapshot was merged from.
     pub threads: usize,
+    /// Write-ahead-log records appended during this epoch (0 with
+    /// `wal=off` or no store attached). Not persisted — a recovered
+    /// report carries zeros.
+    pub wal_records: usize,
+    /// Write-ahead-log frame bytes appended during this epoch.
+    pub wal_bytes: u64,
 }
 
 impl EpochReport {
@@ -474,7 +523,7 @@ impl fmt::Debug for Snapshot {
 /// snapshot command enqueued after an epoch's batches observes exactly
 /// those batches.
 enum Cmd {
-    Batch(Vec<Update>),
+    Batch(Arc<Vec<Update>>),
     Snapshot(Sender<Box<dyn DynSketch>>),
 }
 
@@ -540,9 +589,96 @@ pub struct StreamService {
     /// [`StreamService::recover`]), every resolved scheduled cut is also
     /// written to disk, making the epoch durable.
     store: Option<SnapshotStore>,
+    /// The write-ahead log (open iff a store is attached and
+    /// [`ServiceConfig::wal`] is not `off`): one record per dispatched
+    /// cell, appended *after* dispatch, segments rolled at each cut and
+    /// deleted once a persisted snapshot covers them. Under `batch`
+    /// policy the writer is inline (the fsync-per-append rendezvous IS
+    /// the contract); under `epoch` it lives on a [`WalLogger`] thread
+    /// so encode/checksum/write/fsync stay off the dispatch hot path.
+    wal: Option<WalSink>,
+    /// True while [`StreamService::recover`] re-dispatches the WAL tail:
+    /// suppresses re-logging (the records are already durable) and makes
+    /// every replayed batch undroppable (the logged outcome is replayed,
+    /// never re-decided).
+    replaying: bool,
+    /// WAL records / frame bytes appended since the last cut (the
+    /// [`EpochReport::wal_records`] / [`EpochReport::wal_bytes`] feed).
+    wal_records_epoch: usize,
+    wal_bytes_epoch: u64,
+    /// Offered position of the newest snapshot known durable — the WAL
+    /// truncation horizon.
+    last_persisted_offered: u64,
+    /// Armed crash injector (tests only), propagated to the store and
+    /// the WAL writer.
+    fault: Option<Arc<FaultInjector>>,
     /// The offered-stream position this service resumed from (0 for a
     /// fresh start): replay the source from this offset to catch up.
     recovered_from: usize,
+}
+
+/// How the service reaches its write-ahead log: inline for
+/// [`WalPolicy::Batch`] (durable-per-append is a rendezvous), through the
+/// [`WalLogger`] thread for [`WalPolicy::Epoch`] (appends and segment
+/// operations are pipelined; errors surface on the next logged
+/// operation).
+enum WalSink {
+    Inline(WalWriter),
+    Piped(WalLogger),
+}
+
+impl WalSink {
+    /// Wrap a configured writer per the policy it was opened with.
+    fn attach(writer: WalWriter, policy: WalPolicy) -> WalSink {
+        match policy {
+            WalPolicy::Epoch => WalSink::Piped(WalLogger::spawn(writer)),
+            _ => WalSink::Inline(writer),
+        }
+    }
+
+    /// Log one record; returns the frame bytes appended (or enqueued).
+    fn append(&mut self, rec: WalRecord) -> Result<u64, PersistError> {
+        match self {
+            WalSink::Inline(w) => w.append(&rec),
+            WalSink::Piped(l) => l.append(rec),
+        }
+    }
+
+    /// Roll the segment at an epoch cut.
+    fn roll(&mut self, offered: u64) -> Result<(), PersistError> {
+        match self {
+            WalSink::Inline(w) => w.roll(offered),
+            WalSink::Piped(l) => l.roll(offered),
+        }
+    }
+
+    /// Delete sealed segments covered by a durable snapshot at `offered`.
+    fn truncate_through(&mut self, offered: u64) -> Result<(), PersistError> {
+        match self {
+            WalSink::Inline(w) => w.truncate_through(offered).map(|_| ()),
+            WalSink::Piped(l) => l.truncate_through(offered),
+        }
+    }
+
+    /// Forward a crash-point injector. A piped logger that already failed
+    /// reports that on the next logged operation instead.
+    fn set_fault(&mut self, fault: Arc<FaultInjector>) {
+        match self {
+            WalSink::Inline(w) => w.set_fault(fault),
+            WalSink::Piped(l) => {
+                let _ = l.set_fault(fault);
+            }
+        }
+    }
+
+    /// Block until every enqueued operation is applied and surface any
+    /// pending asynchronous error (no-op inline).
+    fn sync(&mut self) -> Result<(), PersistError> {
+        match self {
+            WalSink::Inline(_) => Ok(()),
+            WalSink::Piped(l) => l.sync(),
+        }
+    }
 }
 
 impl StreamService {
@@ -635,6 +771,12 @@ impl StreamService {
             epoch_start: Instant::now(),
             pending: Vec::new(),
             store: None,
+            wal: None,
+            replaying: false,
+            wal_records_epoch: 0,
+            wal_bytes_epoch: 0,
+            last_persisted_offered: 0,
+            fault: None,
             recovered_from: 0,
         }
     }
@@ -644,8 +786,53 @@ impl StreamService {
     /// per epoch. On-demand [`StreamService::snapshot`] calls are *not*
     /// persisted — they capture mid-epoch state and reuse the upcoming
     /// epoch index, so only complete scheduled epochs become durable.
-    pub fn persist_to(&mut self, store: SnapshotStore) {
+    ///
+    /// With [`ServiceConfig::wal`] set to `batch` or `epoch`, this also
+    /// opens the write-ahead log in the store's directory (continuing
+    /// after any segments already present), making the *between-cut*
+    /// tail durable too — the only fallible part of attaching.
+    pub fn persist_to(&mut self, store: SnapshotStore) -> Result<(), ServiceError> {
+        let mut store = store;
+        if let Some(fault) = &self.fault {
+            store.set_fault(Arc::clone(fault));
+        }
+        if self.config.wal != WalPolicy::Off {
+            let next_seq = wal::wal_segments(store.dir())
+                .map_err(ServiceError::Persist)?
+                .last()
+                .map(|(seq, _)| seq + 1)
+                .unwrap_or(0);
+            let mut writer = WalWriter::open(
+                store.dir(),
+                &self.spec.to_string(),
+                &self.config.geometry_string(),
+                self.config.wal,
+                next_seq,
+                self.offered as u64,
+            )
+            .map_err(ServiceError::Persist)?;
+            if let Some(fault) = &self.fault {
+                writer.set_fault(Arc::clone(fault));
+            }
+            self.wal = Some(WalSink::attach(writer, self.config.wal));
+        }
         self.store = Some(store);
+        Ok(())
+    }
+
+    /// Arm a crash-point [`FaultInjector`] (testing only): the snapshot
+    /// store and the WAL writer consult it, and once it fires every
+    /// persistence operation fails with
+    /// [`PersistError::FaultInjected`] — dropping the service then
+    /// models a process that died at exactly that point.
+    pub fn arm_fault(&mut self, fault: Arc<FaultInjector>) {
+        if let Some(store) = &mut self.store {
+            store.set_fault(Arc::clone(&fault));
+        }
+        if let Some(sink) = &mut self.wal {
+            sink.set_fault(Arc::clone(&fault));
+        }
+        self.fault = Some(fault);
     }
 
     /// Cold-start from the newest valid snapshot in `store`, then keep
@@ -679,53 +866,192 @@ impl StreamService {
         let rec = store.load_latest(registry).map_err(ServiceError::Persist)?;
         let mut svc = StreamService::start(registry, spec, config)
             .map_err(|e| ServiceError::Persist(PersistError::Registry(e)))?;
-        let Some(rec) = rec else {
-            svc.store = Some(store);
-            return Ok(svc);
-        };
-        if rec.spec != *spec {
-            return Err(PersistError::SpecMismatch {
-                expected: spec.to_string(),
-                found: rec.spec.to_string(),
+        if let Some(rec) = rec {
+            if rec.spec != *spec {
+                return Err(PersistError::SpecMismatch {
+                    expected: spec.to_string(),
+                    found: rec.spec.to_string(),
+                }
+                .into());
             }
-            .into());
-        }
-        if rec.config != svc.config.to_string() {
-            return Err(PersistError::ConfigMismatch {
-                expected: svc.config.to_string(),
-                found: rec.config,
+            if rec.config != svc.config.geometry_string() {
+                return Err(PersistError::ConfigMismatch {
+                    expected: svc.config.geometry_string(),
+                    found: rec.config,
+                }
+                .into());
             }
-            .into());
+            let offered =
+                usize::try_from(rec.offered).map_err(|_| PersistError::Oversized(rec.offered))?;
+            // Re-assemble with worker 0 seeded by the restored merged sketch
+            // (the same identity the merge fold preserves: worker 0's clone is
+            // always the fold survivor). The fresh `svc` above already proved
+            // the spec is buildable and mergeable at this thread count.
+            let mut sketches = registry
+                .build_n(spec, svc.config.threads)
+                .map_err(|e| ServiceError::Persist(PersistError::Registry(e)))?;
+            sketches[0] = rec.sketch.clone_dyn();
+            svc = Self::assemble(spec, svc.config, sketches);
+            // Resume the stream cursor and the cumulative accounting exactly
+            // where the snapshot froze them; per-epoch tallies start at zero
+            // (the cut was an epoch boundary).
+            svc.offered = offered;
+            svc.epochs_cut = rec.report.epoch;
+            svc.total_updates = rec.report.total_updates;
+            svc.total_inserted = rec.report.total_inserted;
+            svc.total_deleted = rec.report.total_deleted;
+            svc.total_dropped_updates = rec.report.total_dropped_updates;
+            svc.total_dropped_mass = rec.report.total_dropped_mass;
+            svc.last_persisted_offered = rec.offered;
+            svc.hub.publish(Arc::new(Snapshot {
+                spec: *spec,
+                sketch: rec.sketch,
+                report: rec.report,
+            }));
         }
-        let offered =
-            usize::try_from(rec.offered).map_err(|_| PersistError::Oversized(rec.offered))?;
-        // Re-assemble with worker 0 seeded by the restored merged sketch
-        // (the same identity the merge fold preserves: worker 0's clone is
-        // always the fold survivor). The fresh `svc` above already proved
-        // the spec is buildable and mergeable at this thread count.
-        let mut sketches = registry
-            .build_n(spec, svc.config.threads)
-            .map_err(|e| ServiceError::Persist(PersistError::Registry(e)))?;
-        sketches[0] = rec.sketch.clone_dyn();
-        let mut svc = Self::assemble(spec, svc.config, sketches);
+        let dir = store.dir().to_path_buf();
         svc.store = Some(store);
-        // Resume the stream cursor and the cumulative accounting exactly
-        // where the snapshot froze them; per-epoch tallies start at zero
-        // (the cut was an epoch boundary).
-        svc.offered = offered;
-        svc.recovered_from = offered;
-        svc.epochs_cut = rec.report.epoch;
-        svc.total_updates = rec.report.total_updates;
-        svc.total_inserted = rec.report.total_inserted;
-        svc.total_deleted = rec.report.total_deleted;
-        svc.total_dropped_updates = rec.report.total_dropped_updates;
-        svc.total_dropped_mass = rec.report.total_dropped_mass;
-        svc.hub.publish(Arc::new(Snapshot {
-            spec: *spec,
-            sketch: rec.sketch,
-            report: rec.report,
-        }));
+        // Replay the WAL tail beyond the snapshot cursor through the
+        // normal dispatch path — the log replaces the source, so recovery
+        // needs no re-offer. Records below the cursor are skipped; a
+        // replayed epoch boundary re-cuts (and re-persists) the epoch the
+        // crash lost.
+        let (sealed, max_seq) = svc.replay_wal_tail(&dir)?;
+        svc.recovered_from = svc.offered;
+        if svc.config.wal != WalPolicy::Off {
+            let next_seq = max_seq.map_or(0, |s| s + 1);
+            let mut writer = WalWriter::open(
+                &dir,
+                &svc.spec.to_string(),
+                &svc.config.geometry_string(),
+                svc.config.wal,
+                next_seq,
+                svc.offered as u64,
+            )
+            .map_err(ServiceError::Persist)?;
+            // Old segments stay authoritative until a durable snapshot
+            // covers them; prime them so the next truncation pass (or the
+            // one right here, for segments the replayed cuts already
+            // covered) deletes them.
+            writer.prime_sealed(sealed);
+            writer
+                .truncate_through(svc.last_persisted_offered)
+                .map_err(ServiceError::Persist)?;
+            svc.wal = Some(WalSink::attach(writer, svc.config.wal));
+        }
         Ok(svc)
+    }
+
+    /// Replay every intact WAL record beyond the current offered cursor,
+    /// re-dispatching through the same chunk grid (replayed cells are
+    /// never re-logged and never re-shed). Torn tails are repaired in
+    /// place — physically truncated to the valid prefix — and end the
+    /// replayable chain; so does any gap in the offered sequence.
+    /// Returns the scanned segments (sealed, for later truncation) and
+    /// the highest sequence number seen.
+    fn replay_wal_tail(
+        &mut self,
+        dir: &std::path::Path,
+    ) -> Result<(Vec<SealedSegment>, Option<u64>), ServiceError> {
+        let segments = wal::wal_segments(dir).map_err(ServiceError::Persist)?;
+        let mut sealed = Vec::new();
+        let mut max_seq = None;
+        if segments.is_empty() {
+            return Ok((sealed, max_seq));
+        }
+        let spec_stamp = self.spec.to_string();
+        let geometry = self.config.geometry_string();
+        self.replaying = true;
+        let mut intact = true;
+        let last_idx = segments.len() - 1;
+        for (idx, (seq, path)) in segments.into_iter().enumerate() {
+            max_seq = Some(max_seq.map_or(seq, |m: u64| m.max(seq)));
+            let scan = match wal::read_segment(&path) {
+                Ok(scan) => scan,
+                Err(_) if idx == last_idx => {
+                    // A final segment with an unreadable header is the
+                    // footprint of a crash during segment creation: the
+                    // records it might have held were never durable.
+                    let _ = std::fs::remove_file(&path);
+                    break;
+                }
+                Err(_) => {
+                    // A damaged middle segment ends the replayable chain;
+                    // keep the file for forensics, replay nothing past it.
+                    intact = false;
+                    continue;
+                }
+            };
+            if scan.header.spec != spec_stamp {
+                self.replaying = false;
+                return Err(PersistError::SpecMismatch {
+                    expected: spec_stamp,
+                    found: scan.header.spec,
+                }
+                .into());
+            }
+            if scan.header.config != geometry {
+                self.replaying = false;
+                return Err(PersistError::ConfigMismatch {
+                    expected: geometry,
+                    found: scan.header.config,
+                }
+                .into());
+            }
+            let mut seg_end = scan.header.start_offered;
+            for rec in scan.records {
+                let end = rec.end_offered();
+                seg_end = seg_end.max(end);
+                if !intact || end <= self.offered as u64 {
+                    continue;
+                }
+                if rec.offered != self.offered as u64 {
+                    // A gap: records beyond it belong to a cursor we never
+                    // reached, so they cannot be replayed faithfully.
+                    intact = false;
+                    continue;
+                }
+                match rec.cell {
+                    WalCell::Batch(updates) => {
+                        debug_assert!(self.buf.is_empty());
+                        // Freshly decoded, so the `Arc` is unique and this
+                        // unwraps without copying.
+                        self.buf =
+                            Arc::try_unwrap(updates).unwrap_or_else(|arc| arc.as_ref().clone());
+                        self.flush().inspect_err(|_| self.replaying = false)?;
+                    }
+                    WalCell::Shed { count, mass } => {
+                        // The shed outcome is replayed, not re-decided:
+                        // only the cursor and the dropped accounting move.
+                        self.offered += count as usize;
+                        self.in_epoch += count as u64;
+                        self.dropped_updates += count as usize;
+                        self.dropped_mass += mass;
+                    }
+                }
+                if self.in_epoch >= self.config.epoch {
+                    self.cut().inspect_err(|_| self.replaying = false)?;
+                }
+            }
+            if let Some(trunc) = scan.truncation {
+                // Make the repair physical so the next recovery (or an
+                // operator inspecting the file) sees a clean segment.
+                wal::truncate_segment(&path, trunc.valid_len).map_err(ServiceError::Persist)?;
+                intact = false;
+            }
+            sealed.push(SealedSegment {
+                seq,
+                end_offered: seg_end,
+                path,
+            });
+        }
+        // Persist any epoch the replay re-cut (the crash lost its save),
+        // republishing it to the hub on the way.
+        let mut replayed_cuts = Vec::new();
+        let drained = self.drain_pending(&mut replayed_cuts);
+        self.replaying = false;
+        drained?;
+        Ok((sealed, max_seq))
     }
 
     /// The offered-stream position this service resumed from — replay the
@@ -834,9 +1160,12 @@ impl StreamService {
         if self.buf.is_empty() {
             return Ok(());
         }
-        let batch = std::mem::replace(&mut self.buf, Vec::with_capacity(self.config.chunk));
+        let batch = Arc::new(std::mem::replace(
+            &mut self.buf,
+            Vec::with_capacity(self.config.chunk),
+        ));
         let (mut ins, mut del) = (0u64, 0u64);
-        for u in &batch {
+        for u in batch.iter() {
             if u.delta > 0 {
                 ins += u.delta as u64;
             } else {
@@ -845,9 +1174,15 @@ impl StreamService {
         }
         let w = (self.offered / self.config.chunk) % self.senders.len();
         let len = batch.len();
+        let cell_offered = self.offered as u64;
         self.offered += len;
         self.in_epoch += len as u64;
-        if self.send_cmd(w, Cmd::Batch(batch), true)? {
+        // The worker and the log share one `Arc` of the cell — logging
+        // copies nothing; during recovery replay the log is the *source*,
+        // so nothing is re-logged and the logged outcome is never
+        // re-decided (replayed batches are undroppable).
+        let ingested = self.send_cmd(w, Cmd::Batch(Arc::clone(&batch)), !self.replaying)?;
+        if ingested {
             self.inserted += ins;
             self.deleted += del;
             self.total_updates += len;
@@ -855,6 +1190,27 @@ impl StreamService {
         } else {
             self.dropped_updates += len;
             self.dropped_mass += ins + del;
+        }
+        if let Some(sink) = &mut self.wal {
+            // Logged *after* dispatch: a crash between dispatch and append
+            // loses at most this one cell — the `before-append` fault
+            // point — and recovery treats it as never offered.
+            let cell = if ingested {
+                WalCell::Batch(batch)
+            } else {
+                WalCell::Shed {
+                    count: len as u32,
+                    mass: ins + del,
+                }
+            };
+            let bytes = sink
+                .append(WalRecord {
+                    offered: cell_offered,
+                    cell,
+                })
+                .map_err(ServiceError::Persist)?;
+            self.wal_records_epoch += 1;
+            self.wal_bytes_epoch += bytes;
         }
         Ok(())
     }
@@ -886,6 +1242,8 @@ impl StreamService {
             merge_elapsed: Duration::ZERO,
             merge: MergeReport::default(),
             threads: self.config.threads,
+            wal_records: self.wal_records_epoch,
+            wal_bytes: self.wal_bytes_epoch,
         };
         self.inserted = 0;
         self.deleted = 0;
@@ -895,6 +1253,8 @@ impl StreamService {
         self.dropped_mass = 0;
         self.queue_peak = 0;
         self.blocked = Duration::ZERO;
+        self.wal_records_epoch = 0;
+        self.wal_bytes_epoch = 0;
         self.epoch_start = Instant::now();
         report
     }
@@ -916,6 +1276,13 @@ impl StreamService {
             replies.push(reply_rx);
         }
         self.pending.push(PendingCut { replies, report });
+        // Roll the log at the boundary: the sealed segment holds exactly
+        // this epoch's records and becomes deletable once the cut's
+        // snapshot is durably saved (`drain_pending`).
+        if let Some(sink) = &mut self.wal {
+            sink.roll(self.offered as u64)
+                .map_err(ServiceError::Persist)?;
+        }
         Ok(())
     }
 
@@ -951,14 +1318,24 @@ impl StreamService {
             let snap = self.resolve(cut)?;
             if let Some(store) = &self.store {
                 // The offered stamp is the replay cursor: where the stream
-                // cursor stood at the cut, shed cells included.
+                // cursor stood at the cut, shed cells included. The config
+                // stamp is the geometry alone, so durability knobs may
+                // change across restarts.
+                let offered = snap.report.total_offered_updates() as u64;
                 store.save(
                     &self.spec,
-                    &self.config.to_string(),
+                    &self.config.geometry_string(),
                     &snap.report,
-                    snap.report.total_offered_updates() as u64,
+                    offered,
                     snap.sketch.as_ref(),
                 )?;
+                self.last_persisted_offered = offered;
+                // Only now — with the covering snapshot durable — are the
+                // sealed segments up to the cut dead weight.
+                if let Some(sink) = &mut self.wal {
+                    sink.truncate_through(offered)?;
+                }
+                store.prune(self.config.retain)?;
             }
             self.hub.publish(Arc::clone(&snap));
             out.push(snap);
@@ -1089,6 +1466,8 @@ impl StreamService {
             merge_elapsed: Duration::ZERO,
             merge: MergeReport::default(),
             threads: self.config.threads,
+            wal_records: self.wal_records_epoch,
+            wal_bytes: self.wal_bytes_epoch,
         };
         let mut replies = Vec::with_capacity(self.senders.len());
         for w in 0..self.senders.len() {
@@ -1125,7 +1504,14 @@ impl StreamService {
         if self.in_epoch > 0 {
             self.cut()?;
         }
-        self.drain_pending(out)
+        self.drain_pending(out)?;
+        if let Some(sink) = &mut self.wal {
+            // A piped logger applies appends/rolls asynchronously; the
+            // final rendezvous makes `finish` surface any error it hit
+            // instead of losing it in the drop.
+            sink.sync().map_err(ServiceError::Persist)?;
+        }
+        Ok(())
     }
 }
 
@@ -1184,6 +1570,8 @@ mod tests {
         assert_eq!(cfg.chunk, StreamRunner::DEFAULT_CHUNK);
         assert_eq!(cfg.depth, 64);
         assert_eq!(cfg.overflow, OverflowPolicy::Block);
+        assert_eq!(cfg.wal, WalPolicy::Off);
+        assert_eq!(cfg.retain, 0);
         let redisplayed: ServiceConfig = cfg.to_string().parse().unwrap();
         assert_eq!(redisplayed, cfg);
         // The overload knobs parse and round-trip.
@@ -1191,6 +1579,21 @@ mod tests {
         assert_eq!(shed.depth, 8);
         assert_eq!(shed.overflow, OverflowPolicy::Drop);
         assert_eq!(shed.to_string().parse::<ServiceConfig>(), Ok(shed));
+        // The durability knobs parse and round-trip; the geometry stamp
+        // excludes them (it is the pre-WAL Display, so old snapshot
+        // stamps keep validating).
+        let durable: ServiceConfig = "service:epoch=1e4,wal=batch,retain=3".parse().unwrap();
+        assert_eq!(durable.wal, WalPolicy::Batch);
+        assert_eq!(durable.retain, 3);
+        assert_eq!(durable.to_string().parse::<ServiceConfig>(), Ok(durable));
+        assert!(durable.to_string().contains("wal=batch"));
+        assert!(durable.to_string().contains("retain=3"));
+        assert!(!durable.geometry_string().contains("wal="));
+        assert_eq!(
+            durable.geometry_string(),
+            "service:epoch=10000,threads=4,chunk=4096,depth=64,overflow=block"
+        );
+        assert!("service:wal=sometimes".parse::<ServiceConfig>().is_err());
         // Bare key=value form and defaults.
         let bare: ServiceConfig = "epoch=2^10".parse().unwrap();
         assert_eq!(bare.epoch, 1024);

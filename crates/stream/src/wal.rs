@@ -1,0 +1,1112 @@
+//! Write-ahead logging between epoch cuts: durable ingest for
+//! non-replayable sources.
+//!
+//! Snapshot persistence ([`crate::persist`]) makes *epoch cuts* durable,
+//! but a crash between cuts still loses the current epoch's tail —
+//! recoverable only when the caller can re-offer the stream, which live
+//! [`run_channel`](crate::service::StreamService::run_channel) sources
+//! cannot do. This module closes that gap: a **segmented append-only
+//! log** that a [`StreamService`](crate::service::StreamService) writes
+//! one record into per dispatched batch, *after* dispatch, and truncates
+//! at each persisted epoch cut. Recovery then becomes snapshot + WAL tail
+//! replay — no source cooperation required. The bounded-deletion model
+//! keeps replay well-behaved: the α-cap bounds how much net mass a logged
+//! tail can cancel, so a replayed tail can never collapse the sketch's
+//! regime.
+//!
+//! ## On-disk format
+//!
+//! One segment per epoch-in-progress, `wal-NNNNNNNN.bdwal`, named by a
+//! **monotone sequence number** (not the epoch index — recovery opens a
+//! fresh segment while older ones still hold the authoritative tail):
+//!
+//! * **Segment header** — magic `BDWL`, format version, a length-prefixed
+//!   body (spec stamp with the seed, service *geometry* stamp, sequence
+//!   number, the offered-stream position the segment starts at), and a
+//!   CRC-32C over everything before it (Castagnoli — the log checksums
+//!   every dispatched cell, so the polynomial is the one x86's `crc32`
+//!   instruction accelerates; snapshots keep their original CRC-32).
+//! * **Records** — one length-prefixed, CRC-framed record per dispatched
+//!   grid cell: the offered position the cell starts at, then either the
+//!   cell's updates verbatim ([`WalCell::Batch`]) or — under the `drop`
+//!   overflow policy — the shed cell's count and mass
+//!   ([`WalCell::Shed`]), logged so the replay cursor stays continuous
+//!   (the update → worker assignment is a pure function of the *offered*
+//!   position, shed cells included).
+//!
+//! Records self-stamp their offered position, so replay is total under
+//! any crash: [`read_segment`] consumes frames until the first torn or
+//! corrupt one and reports the damage as a typed [`WalTruncation`] —
+//! never a panic, never a partial record handed to the caller.
+//!
+//! ## Fsync contract
+//!
+//! The `wal=` knob in the [`ServiceConfig`](crate::service::ServiceConfig)
+//! grammar picks the durability point:
+//!
+//! * [`WalPolicy::Off`] — no log; a crash loses the tail since the last
+//!   persisted cut (the PR 9 contract).
+//! * [`WalPolicy::Batch`] — fsync after every appended record; a crash
+//!   loses at most the one cell being appended.
+//! * [`WalPolicy::Epoch`] — records are written (so an OS that stays up
+//!   keeps them) but fsynced only at segment roll; a power loss can lose
+//!   the un-synced tail of the current epoch, a process crash typically
+//!   none.
+//!
+//! Every durability point fsyncs the file *and the parent directory*, so
+//! creates/unlinks themselves survive power loss. Under `batch` that is
+//! segment creation, every append, roll, and truncation; under `epoch`
+//! the creation fsyncs are deferred to the next seal (a crash in the
+//! window leaves an unreadable final segment — the "crash during
+//! creation" case recovery deletes), keeping the per-cut cost at one
+//! file sync plus one directory sync (`DESIGN.md §14` states the full
+//! durability matrix).
+
+use crate::persist::{crc32c, fault::FaultInjector, sync_dir, PersistError};
+use crate::spec::SpecError;
+use crate::state::{StateReader, StateWriter};
+use crate::update::Update;
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::str::FromStr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Magic tag opening a WAL segment.
+pub const WAL_MAGIC: [u8; 4] = *b"BDWL";
+
+/// WAL format version. Decoders reject anything else; bumping this is the
+/// contract for any layout change.
+pub const WAL_VERSION: u16 = 1;
+
+/// Hard cap on one record frame's body — a dispatched grid cell is
+/// `chunk` updates (17 bytes each encoded), so even absurd chunk sizes
+/// fit well under this; a corrupt length header is rejected before it can
+/// demand an absurd allocation.
+pub const MAX_WAL_RECORD: usize = 1 << 24;
+
+/// When the log reaches disk — the `wal=` value in the service config
+/// grammar.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum WalPolicy {
+    /// No write-ahead log (the default): a crash loses the tail since the
+    /// last persisted epoch cut.
+    #[default]
+    Off,
+    /// Fsync after every appended record: a crash loses at most the one
+    /// cell being appended. The strongest (and slowest) setting.
+    Batch,
+    /// Write records eagerly but fsync only at segment roll (each epoch
+    /// cut): a process crash typically loses nothing, a power loss can
+    /// lose the un-synced tail of the current epoch.
+    Epoch,
+}
+
+impl fmt::Display for WalPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            WalPolicy::Off => "off",
+            WalPolicy::Batch => "batch",
+            WalPolicy::Epoch => "epoch",
+        })
+    }
+}
+
+impl FromStr for WalPolicy {
+    type Err = SpecError;
+
+    fn from_str(s: &str) -> Result<Self, SpecError> {
+        match s.trim() {
+            "off" => Ok(WalPolicy::Off),
+            "batch" => Ok(WalPolicy::Batch),
+            "epoch" => Ok(WalPolicy::Epoch),
+            other => Err(SpecError::BadField(
+                "wal",
+                format!("`{other}` is not `off`, `batch`, or `epoch`"),
+            )),
+        }
+    }
+}
+
+/// What one logged grid cell did to the stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WalCell {
+    /// A dispatched batch, updates verbatim — replay re-dispatches it
+    /// through the same chunk grid. Shared (`Arc`) with the worker the
+    /// cell was dispatched to, so logging never copies the updates.
+    Batch(Arc<Vec<Update>>),
+    /// A cell shed by the `drop` overflow policy: only its count and mass
+    /// are logged (the updates never reached a worker), enough to keep
+    /// the offered cursor and the dropped accounting continuous across a
+    /// restart.
+    Shed {
+        /// Updates in the shed cell.
+        count: u32,
+        /// Mass `Σ|Δ|` of the shed cell.
+        mass: u64,
+    },
+}
+
+/// One WAL record: a grid cell stamped with the offered-stream position
+/// it starts at.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WalRecord {
+    /// Offered-stream position *before* this cell.
+    pub offered: u64,
+    /// The cell itself.
+    pub cell: WalCell,
+}
+
+impl WalRecord {
+    /// Updates this record advances the offered cursor by.
+    pub fn len(&self) -> usize {
+        match &self.cell {
+            WalCell::Batch(updates) => updates.len(),
+            WalCell::Shed { count, .. } => *count as usize,
+        }
+    }
+
+    /// Whether the record covers zero updates (never written by the
+    /// service; tolerated by the reader).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The offered position after this cell.
+    pub fn end_offered(&self) -> u64 {
+        self.offered + self.len() as u64
+    }
+
+    /// The exact framed size [`encode_record`] will produce, without
+    /// encoding — the async append path reports bytes-appended from the
+    /// dispatch thread while the logger thread does the encoding.
+    pub fn encoded_frame_len(&self) -> u64 {
+        let body = 8
+            + 1
+            + match &self.cell {
+                WalCell::Batch(updates) => 4 + 16 * updates.len() as u64,
+                WalCell::Shed { .. } => 4 + 8,
+            };
+        4 + body + 4
+    }
+}
+
+/// Why a segment's record stream ended early. This is the *total* face of
+/// a torn or corrupt tail: the reader hands back every intact record and
+/// one of these — never a panic, never a partial record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WalDamage {
+    /// The file ends inside a frame (torn final write).
+    TornFrame,
+    /// A frame's length header is zero or exceeds [`MAX_WAL_RECORD`]
+    /// (corruption that would otherwise demand an absurd allocation).
+    BadLength,
+    /// A frame's CRC-32 doesn't match its body (bit flips, torn writes
+    /// that happen to leave the length intact).
+    Checksum,
+    /// The frame's body decoded to no valid record.
+    Malformed,
+}
+
+impl fmt::Display for WalDamage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            WalDamage::TornFrame => "torn frame",
+            WalDamage::BadLength => "bad frame length",
+            WalDamage::Checksum => "frame checksum mismatch",
+            WalDamage::Malformed => "malformed record body",
+        })
+    }
+}
+
+/// A typed report of where (and why) a segment's record stream stopped
+/// being valid. `valid_len` is the byte length of the intact prefix —
+/// [`truncate_segment`] cuts the file back to exactly that.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WalTruncation {
+    /// Byte offset of the first bad frame == length of the valid prefix.
+    pub valid_len: u64,
+    /// What was wrong with the first bad frame.
+    pub damage: WalDamage,
+}
+
+impl fmt::Display for WalTruncation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "wal tail truncated at byte {}: {}",
+            self.valid_len, self.damage
+        )
+    }
+}
+
+/// A segment header, decoded and stamp-ready.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SegmentHeader {
+    /// The sketch spec display string (seed included) the service ran.
+    pub spec: String,
+    /// The service *geometry* stamp
+    /// ([`ServiceConfig::geometry_string`](crate::service::ServiceConfig::geometry_string)) —
+    /// dispatch shape only, so `wal=`/`retain=` may change across
+    /// restarts.
+    pub config: String,
+    /// The segment's monotone sequence number.
+    pub seq: u64,
+    /// Offered-stream position the segment's first record starts at.
+    pub start_offered: u64,
+}
+
+/// Everything [`read_segment`] learned about one segment file.
+#[derive(Debug)]
+pub struct SegmentScan {
+    /// The decoded header.
+    pub header: SegmentHeader,
+    /// Every intact record, in append order.
+    pub records: Vec<WalRecord>,
+    /// `Some` iff the record stream ended at a torn/corrupt frame rather
+    /// than a clean end-of-file.
+    pub truncation: Option<WalTruncation>,
+}
+
+/// A sealed (no longer written) segment the writer still owns: deletable
+/// once a persisted snapshot covers `end_offered`.
+#[derive(Clone, Debug)]
+pub struct SealedSegment {
+    /// The segment's sequence number.
+    pub seq: u64,
+    /// Offered position after the segment's last record.
+    pub end_offered: u64,
+    /// The segment file.
+    pub path: PathBuf,
+}
+
+/// The file name for segment `seq`.
+pub fn segment_file_name(seq: u64) -> String {
+    format!("wal-{seq:08}.bdwal")
+}
+
+/// Every WAL segment in `dir`, ascending by sequence number.
+pub fn wal_segments(dir: impl AsRef<Path>) -> Result<Vec<(u64, PathBuf)>, PersistError> {
+    let dir = dir.as_ref();
+    let mut out = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let name = entry?.file_name();
+        let name = name.to_string_lossy();
+        if let Some(num) = name
+            .strip_prefix("wal-")
+            .and_then(|r| r.strip_suffix(".bdwal"))
+        {
+            if let Ok(seq) = num.parse::<u64>() {
+                out.push((seq, dir.join(name.as_ref())));
+            }
+        }
+    }
+    out.sort_unstable_by_key(|(seq, _)| *seq);
+    Ok(out)
+}
+
+fn encode_header(spec: &str, config: &str, seq: u64, start_offered: u64) -> Vec<u8> {
+    let mut body = StateWriter::new();
+    body.str(spec);
+    body.str(config);
+    body.u64(seq);
+    body.u64(start_offered);
+    let body = body.into_bytes();
+    let mut out = Vec::with_capacity(4 + 2 + 4 + body.len() + 4);
+    out.extend_from_slice(&WAL_MAGIC);
+    out.extend_from_slice(&WAL_VERSION.to_le_bytes());
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&body);
+    let crc = crc32c(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Encode one record as a framed byte string: `u32` body length, body,
+/// CRC-32C over the body.
+pub fn encode_record(rec: &WalRecord) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_record_into(&mut out, rec);
+    out
+}
+
+/// [`encode_record`] into a caller-owned buffer (cleared first). The
+/// writer reuses one buffer across appends: a fresh ~64 KiB `Vec` per
+/// dispatched cell is allocator traffic and fresh-page faults on the
+/// hot path, for bytes that are discarded as soon as they hit the file.
+pub fn encode_record_into(out: &mut Vec<u8>, rec: &WalRecord) {
+    out.clear();
+    out.extend_from_slice(&[0u8; 4]); // body length, backpatched below
+    out.extend_from_slice(&rec.offered.to_le_bytes());
+    match &rec.cell {
+        WalCell::Batch(updates) => {
+            out.push(1);
+            out.extend_from_slice(&(updates.len() as u32).to_le_bytes());
+            #[cfg(target_endian = "little")]
+            {
+                // `Update` is `#[repr(C)] { item: u64, delta: i64 }`, so on
+                // a little-endian target the slice's in-memory bytes are
+                // exactly the wire encoding — one memcpy instead of two
+                // extend calls per update (this runs per dispatched cell
+                // under `wal=batch|epoch`).
+                const _: () = assert!(std::mem::size_of::<Update>() == 16);
+                const _: () = assert!(std::mem::align_of::<Update>() == 8);
+                let raw = unsafe {
+                    std::slice::from_raw_parts(updates.as_ptr().cast::<u8>(), updates.len() * 16)
+                };
+                out.extend_from_slice(raw);
+            }
+            #[cfg(target_endian = "big")]
+            for u in updates {
+                out.extend_from_slice(&u.item.to_le_bytes());
+                out.extend_from_slice(&u.delta.to_le_bytes());
+            }
+        }
+        WalCell::Shed { count, mass } => {
+            out.push(2);
+            out.extend_from_slice(&count.to_le_bytes());
+            out.extend_from_slice(&mass.to_le_bytes());
+        }
+    }
+    let body_len = out.len() - 4;
+    out[..4].copy_from_slice(&(body_len as u32).to_le_bytes());
+    let crc = crc32c(&out[4..]);
+    out.extend_from_slice(&crc.to_le_bytes());
+    debug_assert_eq!(out.len() as u64, rec.encoded_frame_len());
+}
+
+fn decode_record_body(body: &[u8]) -> Result<WalRecord, ()> {
+    let mut r = StateReader::new(body);
+    let offered = r.u64().map_err(|_| ())?;
+    let kind = r.u8().map_err(|_| ())?;
+    let cell = match kind {
+        1 => {
+            let count = r.u32().map_err(|_| ())? as usize;
+            if count.saturating_mul(16) > MAX_WAL_RECORD {
+                return Err(());
+            }
+            let mut updates = Vec::with_capacity(count);
+            for _ in 0..count {
+                let item = r.u64().map_err(|_| ())?;
+                let delta = r.i64().map_err(|_| ())?;
+                updates.push(Update { item, delta });
+            }
+            WalCell::Batch(Arc::new(updates))
+        }
+        2 => WalCell::Shed {
+            count: r.u32().map_err(|_| ())?,
+            mass: r.u64().map_err(|_| ())?,
+        },
+        _ => return Err(()),
+    };
+    r.finish().map_err(|_| ())?;
+    Ok(WalRecord { offered, cell })
+}
+
+/// Read and validate one segment: strict on the header (a segment whose
+/// header doesn't decode is unusable — [`PersistError::BadMagic`] and
+/// friends), **total on the records** — the scan stops at the first torn
+/// or corrupt frame and reports it as a typed [`WalTruncation`] instead
+/// of an error. A clean empty segment (header only) is valid.
+pub fn read_segment(path: impl AsRef<Path>) -> Result<SegmentScan, PersistError> {
+    let bytes = fs::read(path.as_ref())?;
+    if bytes.len() < 10 || bytes[..4] != WAL_MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let version = u16::from_le_bytes(bytes[4..6].try_into().unwrap());
+    if version != WAL_VERSION {
+        return Err(PersistError::UnsupportedVersion(version));
+    }
+    let hlen = u32::from_le_bytes(bytes[6..10].try_into().unwrap()) as usize;
+    if hlen > MAX_WAL_RECORD {
+        return Err(PersistError::Oversized(hlen as u64));
+    }
+    let header_end = 10 + hlen;
+    if bytes.len() < header_end + 4 {
+        return Err(PersistError::ChecksumMismatch);
+    }
+    let stored = u32::from_le_bytes(bytes[header_end..header_end + 4].try_into().unwrap());
+    if crc32c(&bytes[..header_end]) != stored {
+        return Err(PersistError::ChecksumMismatch);
+    }
+    let mut hr = StateReader::new(&bytes[10..header_end]);
+    let header = SegmentHeader {
+        spec: hr.str()?,
+        config: hr.str()?,
+        seq: hr.u64()?,
+        start_offered: hr.u64()?,
+    };
+    hr.finish()?;
+
+    let mut records = Vec::new();
+    let mut pos = header_end + 4;
+    let mut truncation = None;
+    while pos < bytes.len() {
+        let valid_len = pos as u64;
+        let Some(len_bytes) = bytes.get(pos..pos + 4) else {
+            truncation = Some(WalTruncation {
+                valid_len,
+                damage: WalDamage::TornFrame,
+            });
+            break;
+        };
+        let len = u32::from_le_bytes(len_bytes.try_into().unwrap()) as usize;
+        if len == 0 || len > MAX_WAL_RECORD {
+            truncation = Some(WalTruncation {
+                valid_len,
+                damage: WalDamage::BadLength,
+            });
+            break;
+        }
+        let Some(body) = bytes.get(pos + 4..pos + 4 + len) else {
+            truncation = Some(WalTruncation {
+                valid_len,
+                damage: WalDamage::TornFrame,
+            });
+            break;
+        };
+        let Some(crc_bytes) = bytes.get(pos + 4 + len..pos + 8 + len) else {
+            truncation = Some(WalTruncation {
+                valid_len,
+                damage: WalDamage::TornFrame,
+            });
+            break;
+        };
+        if crc32c(body) != u32::from_le_bytes(crc_bytes.try_into().unwrap()) {
+            truncation = Some(WalTruncation {
+                valid_len,
+                damage: WalDamage::Checksum,
+            });
+            break;
+        }
+        match decode_record_body(body) {
+            Ok(rec) => records.push(rec),
+            Err(()) => {
+                truncation = Some(WalTruncation {
+                    valid_len,
+                    damage: WalDamage::Malformed,
+                });
+                break;
+            }
+        }
+        pos += 8 + len;
+    }
+    Ok(SegmentScan {
+        header,
+        records,
+        truncation,
+    })
+}
+
+/// Physically repair a segment with a damaged tail: cut the file back to
+/// its valid prefix (as reported by [`read_segment`]) and fsync the file
+/// and its directory. Idempotent.
+pub fn truncate_segment(path: impl AsRef<Path>, valid_len: u64) -> Result<(), PersistError> {
+    let path = path.as_ref();
+    let f = fs::OpenOptions::new().write(true).open(path)?;
+    f.set_len(valid_len)?;
+    f.sync_all()?;
+    if let Some(dir) = path.parent() {
+        sync_dir(dir)?;
+    }
+    Ok(())
+}
+
+/// Create one segment file. With `durable`, the header and the directory
+/// entry naming the file are fsynced before returning — required under
+/// [`WalPolicy::Batch`], whose first append may be acknowledged
+/// immediately after. Under [`WalPolicy::Epoch`] creation is *not*
+/// synced: the next seal ([`WalWriter::roll`]) covers both, and a crash
+/// in the window leaves at worst an unreadable final segment — exactly
+/// the "crash during creation" case recovery already deletes.
+fn create_segment(
+    dir: &Path,
+    spec: &str,
+    config: &str,
+    seq: u64,
+    start_offered: u64,
+    durable: bool,
+) -> Result<(fs::File, PathBuf), PersistError> {
+    let path = dir.join(segment_file_name(seq));
+    let mut file = fs::File::create(&path)?;
+    file.write_all(&encode_header(spec, config, seq, start_offered))?;
+    if durable {
+        file.sync_all()?;
+        sync_dir(dir)?;
+    }
+    Ok((file, path))
+}
+
+/// The append side of the log: one active segment, rolled at each epoch
+/// cut, sealed segments deleted once a persisted snapshot covers them.
+///
+/// A writer only exists for [`WalPolicy::Batch`] / [`WalPolicy::Epoch`]
+/// (the service never constructs one under `off`), and lives in the same
+/// directory as the [`SnapshotStore`](crate::persist::SnapshotStore).
+pub struct WalWriter {
+    dir: PathBuf,
+    spec: String,
+    config: String,
+    policy: WalPolicy,
+    seq: u64,
+    end_offered: u64,
+    file: fs::File,
+    path: PathBuf,
+    sealed: Vec<SealedSegment>,
+    records: u64,
+    bytes: u64,
+    fault: Option<Arc<FaultInjector>>,
+    scratch: Vec<u8>,
+}
+
+impl fmt::Debug for WalWriter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WalWriter")
+            .field("dir", &self.dir)
+            .field("policy", &self.policy)
+            .field("seq", &self.seq)
+            .field("end_offered", &self.end_offered)
+            .field("records", &self.records)
+            .finish_non_exhaustive()
+    }
+}
+
+impl WalWriter {
+    /// Open a writer in `dir`, creating segment `seq` starting at offered
+    /// position `start_offered`. The segment file (and the directory
+    /// entry for it) are durable before this returns.
+    pub fn open(
+        dir: impl AsRef<Path>,
+        spec: &str,
+        config: &str,
+        policy: WalPolicy,
+        seq: u64,
+        start_offered: u64,
+    ) -> Result<Self, PersistError> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        let (file, path) = create_segment(
+            &dir,
+            spec,
+            config,
+            seq,
+            start_offered,
+            policy == WalPolicy::Batch,
+        )?;
+        Ok(WalWriter {
+            dir,
+            spec: spec.to_string(),
+            config: config.to_string(),
+            policy,
+            seq,
+            end_offered: start_offered,
+            file,
+            path,
+            sealed: Vec::new(),
+            records: 0,
+            bytes: 0,
+            fault: None,
+            scratch: Vec::new(),
+        })
+    }
+
+    fn open_segment(&mut self, seq: u64, start_offered: u64) -> Result<(), PersistError> {
+        let (file, path) = create_segment(
+            &self.dir,
+            &self.spec,
+            &self.config,
+            seq,
+            start_offered,
+            self.policy == WalPolicy::Batch,
+        )?;
+        self.seq = seq;
+        self.end_offered = start_offered;
+        self.file = file;
+        self.path = path;
+        Ok(())
+    }
+
+    /// The directory this writer logs into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The active segment's sequence number.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Records appended over this writer's lifetime.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Frame bytes appended over this writer's lifetime.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Attach a fault injector (crash-point testing only): appends and
+    /// rolls consult it, and once it fires every further operation fails
+    /// with [`PersistError::FaultInjected`].
+    pub fn set_fault(&mut self, fault: Arc<FaultInjector>) {
+        self.fault = Some(fault);
+    }
+
+    /// Register segments that already existed before this writer opened
+    /// (recovery): they are deletable by [`WalWriter::truncate_through`]
+    /// once a persisted snapshot covers their `end_offered`.
+    pub fn prime_sealed(&mut self, sealed: Vec<SealedSegment>) {
+        self.sealed.extend(sealed);
+    }
+
+    /// Append one record. Under [`WalPolicy::Batch`] the record is
+    /// durable when this returns; under [`WalPolicy::Epoch`] it is
+    /// written but synced only at the next [`WalWriter::roll`]. Returns
+    /// the frame bytes appended.
+    pub fn append(&mut self, rec: &WalRecord) -> Result<u64, PersistError> {
+        use crate::persist::fault::AppendAction;
+        // Encode into the writer's reusable buffer (taken, not borrowed,
+        // so the stats updates below don't fight the borrow checker; the
+        // fault early-returns may drop it — those paths are test-only).
+        let mut frame = std::mem::take(&mut self.scratch);
+        encode_record_into(&mut frame, rec);
+        let action = match &self.fault {
+            Some(f) => f.on_append(frame.len()),
+            None => AppendAction::WriteAll,
+        };
+        match action {
+            AppendAction::Die => {
+                return Err(PersistError::FaultInjected(
+                    self.fault.as_ref().unwrap().point(),
+                ))
+            }
+            AppendAction::WritePrefix(n) => {
+                // A torn append: the durable file ends mid-frame, exactly
+                // what a real crash mid-write leaves behind.
+                self.file.write_all(&frame[..n.min(frame.len())])?;
+                self.file.sync_data()?;
+                return Err(PersistError::FaultInjected(
+                    self.fault.as_ref().unwrap().point(),
+                ));
+            }
+            AppendAction::WriteAll | AppendAction::WriteAllThenDie => {
+                self.file.write_all(&frame)?;
+                if self.policy == WalPolicy::Batch {
+                    self.file.sync_data()?;
+                }
+            }
+        }
+        self.end_offered = rec.end_offered();
+        self.records += 1;
+        let frame_len = frame.len() as u64;
+        self.bytes += frame_len;
+        self.scratch = frame;
+        if matches!(action, AppendAction::WriteAllThenDie) {
+            // The append is fully durable; the "process" dies before the
+            // next persistence step (the crash point between an append
+            // and the snapshot save).
+            self.file.sync_data()?;
+            return Err(PersistError::FaultInjected(
+                self.fault.as_ref().unwrap().point(),
+            ));
+        }
+        Ok(frame_len)
+    }
+
+    /// Roll the log at an epoch cut: sync and seal the active segment
+    /// (its records are now covered by the cut whose snapshot save is in
+    /// flight) and open the next one starting at `offered`. Under
+    /// [`WalPolicy::Epoch`] the seal also fsyncs the directory — segment
+    /// creation deferred the entry's durability to exactly this point.
+    pub fn roll(&mut self, offered: u64) -> Result<(), PersistError> {
+        if let Some(f) = &self.fault {
+            f.ensure_alive()?;
+        }
+        // `sync_data`, not `sync_all`: replay needs the frames and the
+        // file size (fdatasync flushes both), not timestamps — skipping
+        // the pure-metadata journal commit at every seal.
+        self.file.sync_data()?;
+        if self.policy == WalPolicy::Epoch {
+            sync_dir(&self.dir)?;
+        }
+        self.sealed.push(SealedSegment {
+            seq: self.seq,
+            end_offered: self.end_offered,
+            path: self.path.clone(),
+        });
+        self.open_segment(self.seq + 1, offered)
+    }
+
+    /// Delete every sealed segment whose records are entirely covered by
+    /// a durable snapshot at offered position `offered`, then fsync the
+    /// directory so the unlinks survive power loss. The active segment is
+    /// never deleted.
+    pub fn truncate_through(&mut self, offered: u64) -> Result<usize, PersistError> {
+        let mut deleted = 0;
+        self.sealed.retain(|seg| {
+            if seg.end_offered <= offered {
+                // A segment that is already gone is fine — truncation is
+                // idempotent across recoveries.
+                let _ = fs::remove_file(&seg.path);
+                deleted += 1;
+                false
+            } else {
+                true
+            }
+        });
+        if deleted > 0 {
+            sync_dir(&self.dir)?;
+        }
+        Ok(deleted)
+    }
+}
+
+/// One operation shipped to the logger thread. Order on the channel is
+/// order on disk.
+enum WalOp {
+    Append(WalRecord),
+    Roll(u64),
+    TruncateThrough(u64),
+    SetFault(Arc<FaultInjector>),
+    Barrier(SyncSender<()>),
+}
+
+/// Off-thread append pipeline for [`WalPolicy::Epoch`]: the dispatch
+/// thread enqueues records and segment operations on a bounded FIFO and a
+/// dedicated logger thread owns the [`WalWriter`], taking the encode +
+/// checksum + `write(2)` + per-cut fsync latency off the ingest hot path
+/// (`DESIGN.md §14`). [`WalPolicy::Batch`] never uses this: its contract
+/// — durable before the append returns — is a rendezvous no pipeline can
+/// hide, so the service keeps that writer inline.
+///
+/// Semantics preserved from the inline writer:
+///
+/// * **Order** — one channel, one consumer; records, rolls, and
+///   truncations hit the disk in dispatch order.
+/// * **Bounded memory** — at most [`WalLogger::QUEUE_DEPTH`] cells sit
+///   between the dispatcher and the disk; a stalled disk back-pressures
+///   the producer instead of growing the heap.
+/// * **Totality of errors** — the first failure (I/O or an injected
+///   fault) poisons the logger: it drains but writes nothing more, and
+///   the error surfaces on the producer's next logged operation.
+/// * **Read-your-own-log** — dropping the logger joins the thread, so
+///   every enqueued record is *written* (not necessarily fsynced) before
+///   the process can re-scan the directory: an in-process restart under
+///   `epoch` policy replays its full tail, exactly like the inline
+///   writer.
+pub struct WalLogger {
+    tx: Option<SyncSender<WalOp>>,
+    join: Option<JoinHandle<()>>,
+    dead: Arc<AtomicBool>,
+    failed: Arc<Mutex<Option<PersistError>>>,
+}
+
+impl fmt::Debug for WalLogger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WalLogger")
+            .field("dead", &self.dead.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl WalLogger {
+    /// Cells that may sit between the dispatcher and the disk before the
+    /// producer blocks (~4 MiB of updates at the default chunk) — enough
+    /// slack to keep dispatching through a seal's fsync, shallow enough
+    /// that the logger never accumulates a dirty-page backlog whose
+    /// writeback would collide with the cut's own snapshot fsync
+    /// (measured: a 4× deeper queue is *slower* end-to-end).
+    pub const QUEUE_DEPTH: usize = 64;
+
+    /// Take ownership of `writer` and spawn the logger thread.
+    pub fn spawn(mut writer: WalWriter) -> Self {
+        let (tx, rx) = sync_channel::<WalOp>(Self::QUEUE_DEPTH);
+        let dead = Arc::new(AtomicBool::new(false));
+        let failed: Arc<Mutex<Option<PersistError>>> = Arc::new(Mutex::new(None));
+        let (dead_t, failed_t) = (Arc::clone(&dead), Arc::clone(&failed));
+        let join = std::thread::Builder::new()
+            .name("bd-wal-logger".into())
+            .spawn(move || {
+                for op in rx {
+                    if dead_t.load(Ordering::Relaxed) {
+                        // Poisoned: keep draining (so a blocked producer
+                        // wakes up and sees the error) but write nothing.
+                        if let WalOp::Barrier(ack) = op {
+                            let _ = ack.send(());
+                        }
+                        continue;
+                    }
+                    let res = match op {
+                        WalOp::Append(rec) => writer.append(&rec).map(|_| ()),
+                        WalOp::Roll(offered) => writer.roll(offered),
+                        WalOp::TruncateThrough(offered) => {
+                            writer.truncate_through(offered).map(|_| ())
+                        }
+                        WalOp::SetFault(f) => {
+                            writer.set_fault(f);
+                            Ok(())
+                        }
+                        WalOp::Barrier(ack) => {
+                            let _ = ack.send(());
+                            Ok(())
+                        }
+                    };
+                    if let Err(e) = res {
+                        *failed_t.lock().unwrap() = Some(e);
+                        dead_t.store(true, Ordering::Relaxed);
+                    }
+                }
+            })
+            .expect("spawn wal logger thread");
+        WalLogger {
+            tx: Some(tx),
+            join: Some(join),
+            dead,
+            failed,
+        }
+    }
+
+    fn check(&self) -> Result<(), PersistError> {
+        if self.dead.load(Ordering::Relaxed) {
+            return Err(match self.failed.lock().unwrap().take() {
+                Some(e) => e,
+                None => PersistError::Io("wal logger stopped after an earlier error".into()),
+            });
+        }
+        Ok(())
+    }
+
+    fn send(&self, op: WalOp) -> Result<(), PersistError> {
+        self.check()?;
+        self.tx
+            .as_ref()
+            .expect("logger channel open while not shut down")
+            .send(op)
+            .map_err(|_| PersistError::Io("wal logger thread is gone".into()))
+    }
+
+    /// Enqueue one record; returns the frame bytes it will occupy
+    /// ([`WalRecord::encoded_frame_len`] — the logger thread does the
+    /// actual encoding). Surfaces any error the thread hit since the last
+    /// call.
+    pub fn append(&self, rec: WalRecord) -> Result<u64, PersistError> {
+        let bytes = rec.encoded_frame_len();
+        self.send(WalOp::Append(rec))?;
+        Ok(bytes)
+    }
+
+    /// Enqueue a segment roll at offered position `offered`.
+    pub fn roll(&self, offered: u64) -> Result<(), PersistError> {
+        self.send(WalOp::Roll(offered))
+    }
+
+    /// Enqueue deletion of sealed segments covered by a durable snapshot
+    /// at `offered`. Ordered after every previously enqueued roll, so it
+    /// can never observe a half-sealed segment.
+    pub fn truncate_through(&self, offered: u64) -> Result<(), PersistError> {
+        self.send(WalOp::TruncateThrough(offered))
+    }
+
+    /// Forward a fault injector to the writer (crash-point testing).
+    pub fn set_fault(&self, fault: Arc<FaultInjector>) -> Result<(), PersistError> {
+        self.send(WalOp::SetFault(fault))
+    }
+
+    /// Rendezvous: block until every previously enqueued operation has
+    /// been applied (or skipped by a poisoned logger), then surface any
+    /// pending error. `finish` calls this so a failure in the final roll
+    /// is an error, not a silent loss.
+    pub fn sync(&self) -> Result<(), PersistError> {
+        let (ack_tx, ack_rx) = sync_channel(1);
+        self.send(WalOp::Barrier(ack_tx))?;
+        let _ = ack_rx.recv();
+        self.check()
+    }
+}
+
+impl Drop for WalLogger {
+    fn drop(&mut self) {
+        // Close the channel, then join: every enqueued record is written
+        // before the logger is gone.
+        drop(self.tx.take());
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("bd-wal-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn batch(offered: u64, n: u64) -> WalRecord {
+        WalRecord {
+            offered,
+            cell: WalCell::Batch(Arc::new(
+                (0..n)
+                    .map(|i| Update::new(i, if i % 2 == 0 { 3 } else { -1 }))
+                    .collect(),
+            )),
+        }
+    }
+
+    #[test]
+    fn policy_parses_and_displays() {
+        for (s, p) in [
+            ("off", WalPolicy::Off),
+            ("batch", WalPolicy::Batch),
+            ("epoch", WalPolicy::Epoch),
+        ] {
+            assert_eq!(s.parse::<WalPolicy>().unwrap(), p);
+            assert_eq!(p.to_string(), s);
+        }
+        assert!("sometimes".parse::<WalPolicy>().is_err());
+    }
+
+    #[test]
+    fn record_frames_roundtrip() {
+        for rec in [
+            batch(0, 5),
+            batch(12345, 1),
+            WalRecord {
+                offered: 99,
+                cell: WalCell::Shed {
+                    count: 64,
+                    mass: 1234,
+                },
+            },
+        ] {
+            let frame = encode_record(&rec);
+            let body = &frame[4..frame.len() - 4];
+            assert_eq!(decode_record_body(body).unwrap(), rec);
+        }
+    }
+
+    #[test]
+    fn writer_appends_and_reader_scans() {
+        let dir = tmp("scan");
+        let mut w = WalWriter::open(&dir, "spec", "cfg", WalPolicy::Batch, 0, 0).unwrap();
+        let r1 = batch(0, 4);
+        let r2 = WalRecord {
+            offered: 4,
+            cell: WalCell::Shed { count: 4, mass: 40 },
+        };
+        let r3 = batch(8, 4);
+        for r in [&r1, &r2, &r3] {
+            w.append(r).unwrap();
+        }
+        assert_eq!(w.records(), 3);
+        let scan = read_segment(dir.join(segment_file_name(0))).unwrap();
+        assert_eq!(scan.header.spec, "spec");
+        assert_eq!(scan.header.config, "cfg");
+        assert_eq!(scan.header.seq, 0);
+        assert_eq!(scan.header.start_offered, 0);
+        assert_eq!(scan.records, vec![r1, r2, r3]);
+        assert!(scan.truncation.is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn roll_seals_and_truncate_deletes_covered_segments() {
+        let dir = tmp("roll");
+        let mut w = WalWriter::open(&dir, "s", "c", WalPolicy::Epoch, 0, 0).unwrap();
+        w.append(&batch(0, 10)).unwrap();
+        w.roll(10).unwrap();
+        w.append(&batch(10, 10)).unwrap();
+        w.roll(20).unwrap();
+        assert_eq!(wal_segments(&dir).unwrap().len(), 3);
+        // A snapshot at offered=10 covers only segment 0.
+        assert_eq!(w.truncate_through(10).unwrap(), 1);
+        let segs = wal_segments(&dir).unwrap();
+        assert_eq!(segs.iter().map(|(s, _)| *s).collect::<Vec<_>>(), vec![1, 2]);
+        // Idempotent; a later snapshot covers segment 1 too.
+        assert_eq!(w.truncate_through(10).unwrap(), 0);
+        assert_eq!(w.truncate_through(20).unwrap(), 1);
+        assert_eq!(wal_segments(&dir).unwrap().len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_and_corrupt_tails_are_typed_never_panic() {
+        let dir = tmp("torn");
+        let mut w = WalWriter::open(&dir, "s", "c", WalPolicy::Batch, 0, 0).unwrap();
+        let r1 = batch(0, 6);
+        let r2 = batch(6, 6);
+        w.append(&r1).unwrap();
+        w.append(&r2).unwrap();
+        drop(w);
+        let path = dir.join(segment_file_name(0));
+        let clean = fs::read(&path).unwrap();
+        let frame2 = encode_record(&r2);
+        let first_end = clean.len() - frame2.len();
+
+        // Torn mid-frame: every truncation point inside the final frame.
+        for cut in [1, 3, 5, frame2.len() - 1] {
+            fs::write(&path, &clean[..first_end + cut]).unwrap();
+            let scan = read_segment(&path).unwrap();
+            assert_eq!(scan.records, vec![r1.clone()]);
+            let t = scan.truncation.unwrap();
+            assert_eq!(t.valid_len, first_end as u64);
+            assert_eq!(t.damage, WalDamage::TornFrame);
+            // Repair restores a cleanly-scanning file.
+            truncate_segment(&path, t.valid_len).unwrap();
+            let repaired = read_segment(&path).unwrap();
+            assert_eq!(repaired.records, vec![r1.clone()]);
+            assert!(repaired.truncation.is_none());
+            fs::write(&path, &clean).unwrap();
+        }
+
+        // A bit flip in the final frame's body: checksum damage.
+        let mut flipped = clean.clone();
+        let mid = first_end + frame2.len() / 2;
+        flipped[mid] ^= 0x40;
+        fs::write(&path, &flipped).unwrap();
+        let scan = read_segment(&path).unwrap();
+        assert_eq!(scan.records, vec![r1.clone()]);
+        assert_eq!(scan.truncation.unwrap().damage, WalDamage::Checksum);
+
+        // An absurd length header: rejected before allocation.
+        let mut huge = clean[..first_end].to_vec();
+        huge.extend_from_slice(&u32::MAX.to_le_bytes());
+        huge.extend_from_slice(&[0; 16]);
+        fs::write(&path, &huge).unwrap();
+        let scan = read_segment(&path).unwrap();
+        assert_eq!(scan.truncation.unwrap().damage, WalDamage::BadLength);
+
+        // Header damage is a hard error (the segment is unusable).
+        fs::write(&path, &clean[..8]).unwrap();
+        assert!(read_segment(&path).is_err());
+        let mut bad_magic = clean.clone();
+        bad_magic[0] = b'X';
+        fs::write(&path, &bad_magic).unwrap();
+        assert_eq!(read_segment(&path).unwrap_err(), PersistError::BadMagic);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn segment_listing_sorts_by_seq() {
+        let dir = tmp("list");
+        fs::create_dir_all(&dir).unwrap();
+        for seq in [3u64, 1, 2] {
+            drop(WalWriter::open(&dir, "s", "c", WalPolicy::Epoch, seq, 0).unwrap());
+        }
+        fs::write(dir.join("not-a-segment.txt"), b"x").unwrap();
+        let segs = wal_segments(&dir).unwrap();
+        assert_eq!(
+            segs.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -134,6 +134,11 @@ pub struct WireReport {
     /// Producer microseconds spent blocked on full worker queues during the
     /// serving epoch.
     pub blocked_us: u64,
+    /// Write-ahead-log records appended during the serving epoch (0 when
+    /// the service runs with `wal=off` or no store).
+    pub wal_records: u64,
+    /// Write-ahead-log frame bytes appended during the serving epoch.
+    pub wal_bytes: u64,
 }
 
 /// Why a query failed, as a wire-stable discriminant.
@@ -355,6 +360,8 @@ impl Response {
                 buf.extend_from_slice(&rep.total_dropped_mass.to_le_bytes());
                 buf.extend_from_slice(&rep.queue_peak.to_le_bytes());
                 buf.extend_from_slice(&rep.blocked_us.to_le_bytes());
+                buf.extend_from_slice(&rep.wal_records.to_le_bytes());
+                buf.extend_from_slice(&rep.wal_bytes.to_le_bytes());
             }
             Response::ShutdownAck => buf.push(0x86),
             Response::Error { code, message } => {
@@ -411,6 +418,8 @@ impl Response {
                 total_dropped_mass: r.u64()?,
                 queue_peak: r.u64()?,
                 blocked_us: r.u64()?,
+                wal_records: r.u64()?,
+                wal_bytes: r.u64()?,
             }),
             0x86 => Response::ShutdownAck,
             0xEE => {
@@ -541,6 +550,8 @@ mod tests {
             total_dropped_mass: 1024,
             queue_peak: 256,
             blocked_us: 17,
+            wal_records: 73,
+            wal_bytes: 9001,
         }));
         response_roundtrip(Response::ShutdownAck);
         response_roundtrip(Response::Error {

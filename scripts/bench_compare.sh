@@ -14,9 +14,11 @@
 # sharded, service, hash (including the per-kernel SIMD rows), merge,
 # query (batched vs scalar point queries on a published snapshot), serve
 # (TCP round-trips under concurrent readers), service_overload (burst
-# ingestion through bounded queues, with the bounded-RSS assertion), and
+# ingestion through bounded queues, with the bounded-RSS assertion),
 # persist (snapshot encode/decode per family plus the cold-start recovery
-# path) sections cannot silently vanish from the bench.
+# path), and wal (persisted ingestion per fsync policy — with the bench's
+# own <20% epoch-policy overhead gate — plus WAL-tail replay) sections
+# cannot silently vanish from the bench.
 
 set -eu
 cd "$(dirname "$0")/.."
@@ -29,7 +31,7 @@ cp BENCH_ingest.json "$BASELINE"
 cargo bench -p bd-bench --bench ingest
 
 for section in '"ingest_sharded/' '"ingest_service/' '"hash/' '"hash/simd_' '"merge/' \
-    '"query/' '"serve/' '"service_overload/' '"persist/'; do
+    '"query/' '"serve/' '"service_overload/' '"persist/' '"wal/'; do
     if ! grep -q "$section" BENCH_ingest.json; then
         echo "bench_compare.sh: $section section missing from BENCH_ingest.json" >&2
         exit 1

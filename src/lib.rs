@@ -156,4 +156,5 @@ pub mod prelude {
         ErrorCode, QueryClient, QueryEngine, QueryError, QueryServer, QueryView, Request, Response,
         SnapshotHandle, SnapshotHub, WireReport,
     };
+    pub use bd_stream::{WalDamage, WalPolicy, WalRecord, WalTruncation, WalWriter};
 }

@@ -105,7 +105,7 @@ fn recovery_matches_uninterrupted_for_every_mergeable_family() {
             // everything in the worker queues is lost).
             let dir = TempDir::new(&format!("{}-{threads}", info.family.name()));
             let mut first = StreamService::start(registry(), &spec, cfg).unwrap();
-            first.persist_to(dir.store());
+            first.persist_to(dir.store()).unwrap();
             first.ingest(&s.updates[..stop]).unwrap();
             drop(first);
 
@@ -169,7 +169,7 @@ fn recovery_falls_back_past_a_corrupt_newest_snapshot() {
     let cfg = service_config(s.len(), 3);
     let dir = TempDir::new("fallback");
     let mut svc = StreamService::start(registry(), &spec, cfg).unwrap();
-    svc.persist_to(dir.store());
+    svc.persist_to(dir.store()).unwrap();
     svc.ingest(&s.updates[..s.len() * 7 / 9]).unwrap(); // epochs 1 and 2 persisted
     drop(svc);
 
@@ -205,7 +205,7 @@ fn recovery_rejects_mismatched_stamps_with_typed_errors() {
     let cfg = service_config(s.len(), 3);
     let dir = TempDir::new("stamps");
     let mut svc = StreamService::start(registry(), &spec, cfg).unwrap();
-    svc.persist_to(dir.store());
+    svc.persist_to(dir.store()).unwrap();
     svc.ingest(&s.updates).unwrap();
     svc.finish().unwrap();
 
